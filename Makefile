@@ -1,0 +1,35 @@
+# Convenience targets for the SafeFlow reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench table1 demo examples experiments clean
+
+install:
+	$(PYTHON) -m pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+table1:
+	$(PYTHON) -m repro.cli table1
+
+demo:
+	$(PYTHON) -m repro.cli demo --rigged --trusting || true
+	$(PYTHON) -m repro.cli demo
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/audit_corpus.py
+	$(PYTHON) examples/inverted_pendulum.py
+	$(PYTHON) examples/runtime_vs_static.py
+	$(PYTHON) examples/message_passing.py
+
+experiments:
+	$(PYTHON) scripts/regen_experiments.py
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis *.egg-info build dist

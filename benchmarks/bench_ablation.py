@@ -1,0 +1,122 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. *Context sensitivity* (§3.3): per-call-sequence re-analysis vs a
+   single merged context. Insensitive analysis must be conservative
+   (never misses a dependency) but loses precision — monitored reads
+   become warnings again.
+2. *Control-dependence tracking* (§3.4.1): disabling it removes every
+   candidate false positive but also removes real control-flow
+   channels — quantified on the corpus.
+3. *Restriction checking* (phase 2): its cost share of a full run.
+"""
+
+import pytest
+
+from repro import AnalysisConfig, SafeFlow
+from repro.corpus import SYSTEM_KEYS, load_system
+from repro.corpus.running_example import RUNNING_EXAMPLE
+
+
+@pytest.mark.parametrize("context_sensitive", [True, False],
+                         ids=["context-sensitive", "context-insensitive"])
+def test_context_sensitivity_precision(benchmark, context_sensitive):
+    config = AnalysisConfig(context_sensitive=context_sensitive)
+    analyzer = SafeFlow(config)
+    report = benchmark.pedantic(
+        lambda: analyzer.analyze_source(RUNNING_EXAMPLE, name="fig2"),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    if context_sensitive:
+        # precise: only the feedback read is unmonitored
+        assert len(report.warnings) == 1
+    else:
+        # merged contexts: monitored reads re-appear as warnings
+        assert len(report.warnings) >= 1
+    benchmark.extra_info["warnings"] = len(report.warnings)
+    benchmark.extra_info["errors"] = len(report.errors)
+
+
+def test_context_insensitive_is_conservative_on_corpus():
+    """Everything the precise analysis reports must still be reported."""
+    for key in SYSTEM_KEYS:
+        system = load_system(key)
+        precise = system.analyze()
+        merged = system.analyze(AnalysisConfig(context_sensitive=False))
+        assert len(merged.warnings) >= len(precise.warnings), key
+        assert len(merged.errors) >= len(precise.errors), key
+
+
+@pytest.mark.parametrize("key", SYSTEM_KEYS)
+def test_control_dependence_ablation(benchmark, key):
+    """Without control tracking the false positives vanish — and so do
+    the control-flow channels, which is why the paper keeps it on and
+    triages manually instead."""
+    system = load_system(key)
+    no_control = AnalysisConfig(track_control_dependence=False)
+    report = benchmark.pedantic(
+        lambda: system.analyze(no_control), rounds=3, iterations=1
+    )
+    assert report.candidate_false_positives == []
+    # the pure data errors (kill-pid etc.) survive
+    assert len(report.confirmed_errors) >= 1
+    full = system.analyze()
+    assert len(full.errors) > len(report.errors)
+    benchmark.extra_info["errors_without_control"] = len(report.errors)
+    benchmark.extra_info["errors_with_control"] = len(full.errors)
+
+
+@pytest.mark.parametrize("check_restrictions", [True, False],
+                         ids=["with-phase2", "without-phase2"])
+def test_restriction_phase_cost(benchmark, check_restrictions):
+    system = load_system("generic_simplex")
+    config = AnalysisConfig(check_restrictions=check_restrictions)
+    report = benchmark.pedantic(
+        lambda: system.analyze(config), rounds=3, iterations=1,
+        warmup_rounds=1,
+    )
+    assert len(report.warnings) == system.paper.warnings
+
+
+@pytest.mark.parametrize("summary_mode", [False, True],
+                         ids=["reanalysis", "esp-summaries"])
+def test_summary_mode_cost(benchmark, summary_mode):
+    """§3.3 last paragraph: 'The algorithm can be made more efficient by
+    analyzing each function only once and summarizing the data
+    dependencies' — implemented as summary_mode. Reports must be
+    identical; the helper-analysis count drops when call sites differ
+    only in argument taints."""
+    from repro.corpus import generate_core
+
+    program = generate_core(
+        data_error_regions=2, control_fp_regions=2,
+        benign_read_regions=1, monitored_regions=2, chain_depth=6,
+    )
+    config = AnalysisConfig(summary_mode=summary_mode)
+    analyzer = SafeFlow(config)
+    report = benchmark.pedantic(
+        lambda: analyzer.analyze_source(program.source),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    assert len(report.confirmed_errors) == program.expected_errors
+    assert len(report.candidate_false_positives) == \
+        program.expected_false_positives
+    benchmark.extra_info["contexts"] = report.stats.contexts_analyzed
+
+
+def test_summary_mode_reports_identical_on_corpus():
+    for key in SYSTEM_KEYS:
+        system = load_system(key)
+        base = system.analyze()
+        summ = system.analyze(AnalysisConfig(summary_mode=True))
+        assert base.counts() == summ.counts(), key
+
+
+def test_triage_ablation():
+    """With triage off, SafeFlow reports raw errors exactly as the tool
+    in the paper does before manual inspection: errors + FPs combined."""
+    system = load_system("generic_simplex")
+    raw = system.analyze(AnalysisConfig(triage_control_dependence=False))
+    triaged = system.analyze()
+    assert len(raw.confirmed_errors) == (
+        len(triaged.confirmed_errors) + len(triaged.candidate_false_positives)
+    )

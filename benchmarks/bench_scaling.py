@@ -1,0 +1,73 @@
+"""§3.3 — analysis-cost scaling.
+
+The paper notes its critical-data analysis 'is exponential in run-time
+complexity' because each function is re-analyzed per call sequence,
+but argues this is acceptable since 'the core component in an embedded
+system is simple'. These benchmarks measure how the Python
+reimplementation's wall time grows with (a) code size and (b)
+monitoring-context depth, and check the diagnosis stays exact while
+scaling.
+"""
+
+import pytest
+
+from repro import SafeFlow
+from repro.corpus import generate_core
+
+
+@pytest.mark.parametrize("filler", [0, 20, 40, 80])
+def test_scaling_with_code_size(benchmark, filler):
+    program = generate_core(
+        data_error_regions=1, control_fp_regions=1,
+        benign_read_regions=1, monitored_regions=1,
+        filler_functions=filler,
+    )
+    report = benchmark.pedantic(
+        lambda: SafeFlow().analyze_source(program.source),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    assert len(report.confirmed_errors) == program.expected_errors
+    assert len(report.warnings) == program.expected_warnings
+    benchmark.extra_info["loc"] = program.loc
+
+
+@pytest.mark.parametrize("depth", [1, 2, 4, 8])
+def test_scaling_with_context_depth(benchmark, depth):
+    """Monitoring chains force per-context re-analysis down the call
+    graph; contexts analyzed should grow with the chain depth."""
+    program = generate_core(monitored_regions=2, chain_depth=depth)
+    analyzer = SafeFlow()
+    report = benchmark.pedantic(
+        lambda: analyzer.analyze_source(program.source),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    assert report.stats.contexts_analyzed >= depth
+    benchmark.extra_info["contexts"] = report.stats.contexts_analyzed
+
+
+@pytest.mark.parametrize("regions", [2, 6, 12])
+def test_scaling_with_region_count(benchmark, regions):
+    program = generate_core(
+        data_error_regions=regions // 2,
+        control_fp_regions=regions - regions // 2,
+        benign_read_regions=0, monitored_regions=0,
+    )
+    report = benchmark.pedantic(
+        lambda: SafeFlow().analyze_source(program.source),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    assert len(report.warnings) == program.expected_warnings
+    benchmark.extra_info["regions"] = regions
+
+
+def test_corpus_core_analysis_is_interactive():
+    """The whole Table 1 corpus must analyze in interactive time —
+    'static analysis time ... is not a significant factor' (§3.3)."""
+    import time
+    from repro.corpus import load_all
+
+    start = time.time()
+    for system in load_all():
+        system.analyze()
+    elapsed = time.time() - start
+    assert elapsed < 30.0

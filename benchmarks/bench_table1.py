@@ -1,0 +1,84 @@
+"""Table 1 — Applying SafeFlow to Control Systems (paper §4).
+
+Regenerates every row of the paper's only results table: for each of
+the three systems, run the full analysis and compare error
+dependencies, warnings, false positives, and annotation lines against
+the published numbers. Timing is reported per system (the paper gives
+no analysis times; these document the Python prototype's cost).
+
+Expected shape (measured == paper):
+
+    system           errors  warnings  false-positives  annot-lines
+    IP                  1        7           2              11
+    Generic Simplex     2        7           6              22
+    Double IP           2        8           2              23
+"""
+
+import pytest
+
+from repro.corpus import SYSTEM_KEYS, load_all, load_system
+from repro.reporting import DependencyKind
+from repro.reporting.render import table1_comparison
+
+
+@pytest.mark.parametrize("key", SYSTEM_KEYS)
+def test_table1_row(benchmark, key):
+    system = load_system(key)
+    report = benchmark.pedantic(system.analyze, rounds=3, iterations=1,
+                                warmup_rounds=1)
+    counts = report.counts()
+    paper = system.paper
+
+    assert counts["errors"] == paper.error_dependencies
+    assert counts["warnings"] == paper.warnings
+    assert counts["false_positives"] == paper.false_positives
+    assert counts["annotation_lines"] == paper.annotation_lines
+    assert counts["violations"] == 0
+
+    benchmark.extra_info.update({
+        "errors (paper)": f"{counts['errors']} ({paper.error_dependencies})",
+        "warnings (paper)": f"{counts['warnings']} ({paper.warnings})",
+        "false_pos (paper)":
+            f"{counts['false_positives']} ({paper.false_positives})",
+        "annot (paper)":
+            f"{counts['annotation_lines']} ({paper.annotation_lines})",
+        "loc_core": system.loc_core(),
+    })
+
+
+def test_table1_error_classes(benchmark):
+    """§4 prose: the five dependencies fall in the documented classes."""
+
+    def classify():
+        out = {}
+        for key in SYSTEM_KEYS:
+            report = load_system(key).analyze()
+            out[key] = report
+        return out
+
+    reports = benchmark.pedantic(classify, rounds=1, iterations=1)
+
+    for key in SYSTEM_KEYS:
+        kill = [e for e in reports[key].confirmed_errors
+                if "kill" in e.variable]
+        assert len(kill) == 1 and kill[0].kind is DependencyKind.DATA
+
+    gs = reports["generic_simplex"].confirmed_errors
+    assert any("gsFeedback" in e.message and e.variable == "output"
+               for e in gs), "feedback read-back dependency"
+
+    dip = reports["double_ip"].confirmed_errors
+    assert any("dipCmd2" in e.message and e.variable == "output"
+               for e in dip), "invalid no-propagation assumption"
+
+    for key in SYSTEM_KEYS:
+        for fp in reports[key].candidate_false_positives:
+            assert fp.kind is DependencyKind.CONTROL
+
+
+def test_print_table1(capsys):
+    """Emit the side-by-side table into the benchmark log."""
+    results = [(system, system.analyze()) for system in load_all()]
+    with capsys.disabled():
+        print()
+        print(table1_comparison(results))

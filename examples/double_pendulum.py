@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Double inverted pendulum under Simplex, plus its static audit.
+
+The Double IP system is the paper's newest, least-mature testbed (two
+of the five Table-1 errors live in it). This example shows both sides:
+
+1. dynamically: the 6-state double pendulum balanced by the Simplex
+   loop, with the swing-damping controller going adversarial and the
+   envelope monitor containing it;
+2. the trim-bias bug: controller B's operator trim is *supposed* to be
+   display-only; folding it into the actuator output (exactly what the
+   corpus C code does in mode 2) visibly biases the plant;
+3. statically: SafeFlow's audit of the corpus Double IP core, where
+   the same trim flow is error #2.
+
+Run:  python examples/double_pendulum.py
+"""
+
+from repro.corpus import load_system
+from repro.simplex import (
+    DoubleInvertedPendulum,
+    FaultyController,
+    MPCController,
+    SimplexSystem,
+)
+
+WEIGHTS = [0.5, 0.1, 8.0, 0.9, 6.0, 0.7]
+
+
+def build(fault_mode=None, fault_time=1.0):
+    plant = DoubleInvertedPendulum()
+    controller = MPCController(plant, dt=0.005, state_weights=WEIGHTS)
+    if fault_mode is not None:
+        controller = FaultyController(controller, fault_time,
+                                      mode=fault_mode, magnitude=2.0)
+    return SimplexSystem(plant, complex_controller=controller, dt=0.005)
+
+
+def report(label, system, trace):
+    print(f"\n--- {label}")
+    print(f"    complex in control: {100 * trace.complex_ratio:5.1f}%   "
+          f"rejections: {len(trace.rejections)}")
+    print(f"    max |angle1| = {trace.max_abs_state(2):.4f} rad, "
+          f"max |angle2| = {trace.max_abs_state(4):.4f} rad")
+    print(f"    envelope: max {trace.max_envelope_value:.4f} "
+          f"(level {system.envelope.level:.4f})  ->  "
+          f"{'recoverable' if trace.stayed_recoverable(system.envelope) else 'VIOLATED'}")
+
+
+def main() -> int:
+    print("Double inverted pendulum — Simplex simulation")
+
+    system = build()
+    report("1. healthy swing-damping controller", system, system.run(4.0))
+
+    system = build(fault_mode="reverse")
+    report("2. adversarial controller at t=1s, monitor containing it",
+           system, system.run(4.0))
+
+    system = build(fault_mode="bias")
+    report("3. trim-bias fault (the Double IP error class)",
+           system, system.run(4.0))
+
+    print("\nStatic audit of the corpus Double IP core:")
+    print("-" * 64)
+    corpus_report = load_system("double_ip").analyze()
+    for error in corpus_report.confirmed_errors:
+        print(f"  [ERROR] {error.message}")
+    for fp in corpus_report.candidate_false_positives:
+        print(f"  [candidate FP] {fp.message}")
+    trim_errors = [e for e in corpus_report.confirmed_errors
+                   if "dipCmd2" in e.message]
+    print()
+    print("The trim-bias flow the simulation perturbs in scenario 3 is")
+    print("exactly the dependency reported statically:")
+    for step in trim_errors[0].witness:
+        print(f"    {step}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""The Simplex inverted pendulum, dynamically: monitors at work.
+
+Four scenarios around the system of Figure 1:
+
+1. healthy complex controller — high performance, pendulum upright;
+2. complex controller turns adversarial at t=1s — the Lyapunov
+   envelope monitor rejects its outputs and the safety controller
+   keeps the pendulum recoverable;
+3. the same fault *plus* the feedback-rigging attack against a core
+   that (incorrectly) trusts the shared feedback copy — the exact
+   dependency SafeFlow flags statically in the Generic Simplex system —
+   and the pendulum falls;
+4. the fix: the core checks recoverability against its locally
+   sampled state, and survives the same attack.
+
+Run:  python examples/inverted_pendulum.py
+"""
+
+from repro.simplex import FeedbackOverwrite, pendulum_simplex
+
+
+def sparkline(values, width=60):
+    """Tiny ASCII plot of |angle| over time."""
+    blocks = " .:-=+*#%@"
+    if not values:
+        return ""
+    step = max(1, len(values) // width)
+    sampled = [max(values[i:i + step]) for i in range(0, len(values), step)]
+    top = max(max(sampled), 1e-9)
+    return "".join(
+        blocks[min(len(blocks) - 1, int(v / top * (len(blocks) - 1)))]
+        for v in sampled
+    )
+
+
+def run_scenario(label, **kwargs):
+    system = pendulum_simplex(dt=0.01, **kwargs)
+    trace = system.run(6.0)
+    angles = [abs(float(s[2])) for s in trace.states]
+    print(f"\n--- {label}")
+    print(f"    |angle| over 6s:  [{sparkline(angles)}]")
+    print(f"    complex in control: {100 * trace.complex_ratio:5.1f}%   "
+          f"monitor rejections: {len(trace.rejections)}")
+    print(f"    max envelope value: {trace.max_envelope_value:8.3f}   "
+          f"(recoverable level {system.envelope.level:.3f})")
+    verdict = "FELL" if system.plant.fallen else "upright"
+    print(f"    outcome: pendulum {verdict}")
+    return system, trace
+
+
+def main() -> int:
+    print("Simplex inverted pendulum — run-time monitoring demonstration")
+
+    run_scenario("1. healthy complex controller")
+
+    run_scenario(
+        "2. adversarial complex controller at t=1s, monitor protecting",
+        fault_time=1.0, fault_mode="reverse",
+    )
+
+    attack = [FeedbackOverwrite(start=1.0, region="feedback",
+                                writer="complex")]
+    rigged, _ = run_scenario(
+        "3. + feedback rigging, core TRUSTS the shared copy (the bug)",
+        fault_time=1.0, fault_mode="reverse", trusting_feedback=True,
+        injections=attack,
+    )
+
+    fixed, _ = run_scenario(
+        "4. + feedback rigging, core uses its LOCAL state (the fix)",
+        fault_time=1.0, fault_mode="reverse", trusting_feedback=False,
+        injections=[FeedbackOverwrite(start=1.0, region="feedback",
+                                      writer="complex")],
+    )
+
+    print("\nAudit trail of scenario 3 (who wrote the feedback region):")
+    for writer in rigged.shm.writers_of("feedback"):
+        print(f"    writer: {writer}")
+    print(
+        "\nThe static analysis finds this dependency at development time\n"
+        "(see examples/audit_corpus.py, Generic Simplex error #1) — no\n"
+        "crash required."
+    )
+    return 0 if (fixed.plant.fallen is False and rigged.plant.fallen) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

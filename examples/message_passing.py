@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""The §3.4.3 extension: safe value flow over message passing.
+
+Shared memory is the paper's main channel, but §3.4.3 sketches the
+socket story: ``assume(noncore(sock))`` marks a descriptor as talking
+to non-core components, ``recv`` into a buffer yields unsafe data, and
+an ``assume(core(buf, ...))`` on the receiving function marks the data
+as monitored.
+
+Run:  python examples/message_passing.py
+"""
+
+from repro import AnalysisConfig, SafeFlow
+
+UNMONITORED = r"""
+int telemetrySock;
+extern void setThrottle(double v);
+extern double clampThrottle(double v);
+
+int main(void)
+/***SafeFlow Annotation assume(noncore(telemetrySock)) /***/
+{
+    char buf[32];
+    double throttle;
+    recv(telemetrySock, buf, 32, 0);
+    throttle = atof(buf);
+    /***SafeFlow Annotation assert(safe(throttle)); /***/
+    setThrottle(throttle);
+    return 0;
+}
+"""
+
+MONITORED = r"""
+int telemetrySock;
+extern void setThrottle(double v);
+
+double readThrottle(void)
+/***SafeFlow Annotation
+    assume(noncore(telemetrySock));
+    assume(core(buf, 0, 32)) /***/
+{
+    char buf[32];
+    double v;
+    recv(telemetrySock, buf, 32, 0);
+    v = atof(buf);
+    if (v < 0.0) return 0.0;      /* the monitor: range-check */
+    if (v > 1.0) return 1.0;
+    return v;
+}
+
+int main(void)
+{
+    double throttle;
+    throttle = readThrottle();
+    /***SafeFlow Annotation assert(safe(throttle)); /***/
+    setThrottle(throttle);
+    return 0;
+}
+"""
+
+
+def main() -> int:
+    analyzer = SafeFlow(AnalysisConfig(message_passing_extension=True))
+
+    print("Unmonitored receive from a non-core socket:")
+    print("-" * 60)
+    report = analyzer.analyze_source(UNMONITORED, name="telemetry-bad")
+    print(report.render())
+    assert report.errors, "the unmonitored receive must be flagged"
+
+    print()
+    print("Monitored receive (assume(core(buf, ...)) + range check):")
+    print("-" * 60)
+    fixed = analyzer.analyze_source(MONITORED, name="telemetry-good")
+    print(fixed.render())
+    assert fixed.passed
+    print("\nThe received value is checked before it escapes the "
+          "monitoring function: safe value flow holds.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Quickstart: annotate a core controller, analyze it, fix the bug.
+
+This walks the SafeFlow workflow end to end on a miniature Simplex
+core controller:
+
+1. declare the shared-memory regions in an ``shminit`` function;
+2. mark the monitoring function with ``assume(core(...))``;
+3. assert the critical actuator output with ``assert(safe(...))``;
+4. run the analysis, read the warning/error and its value-flow witness;
+5. apply the paper's suggested fix and watch the report come back clean.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SafeFlow
+
+BUGGY = r"""
+typedef struct { double control; unsigned int seq; int valid; } Cmd;
+typedef struct { double angle; double velocity; } Fb;
+
+Cmd *ncCmd;    /* written by the non-core complex controller */
+Fb  *fbBox;    /* feedback published by this core controller */
+
+unsigned int lastSeq;
+
+extern double readAngle(void);
+extern double readVelocity(void);
+extern void actuate(double u);
+
+void initShm(void)
+/***SafeFlow Annotation shminit /***/
+{
+    char *cursor;
+    cursor = (char *) shmat(shmget(0x42, sizeof(Cmd) + sizeof(Fb), 0666),
+                            0, 0);
+    ncCmd = (Cmd *) cursor;
+    fbBox = (Fb *) (cursor + sizeof(Cmd));
+    /***SafeFlow Annotation
+        assume(shmvar(ncCmd, sizeof(Cmd)));
+        assume(shmvar(fbBox, sizeof(Fb)));
+        assume(noncore(ncCmd));
+        assume(noncore(fbBox)) /***/
+}
+
+double safeControl(double angle, double velocity)
+{
+    return -(8.0 * angle + 1.5 * velocity);
+}
+
+double decision(Cmd *cmd, double fallback)
+/***SafeFlow Annotation assume(core(cmd, 0, sizeof(Cmd))) /***/
+{
+    double v;
+    unsigned int s;
+    if (cmd->valid == 0) return fallback;
+    s = cmd->seq;
+    if (s == lastSeq) return fallback;
+    lastSeq = s;
+    v = cmd->control;
+    if (v > 5.0 || v < -5.0) return fallback;
+    /* BUG: recoverability is checked against the *shared* copy of the
+     * feedback, which any non-core component could have overwritten */
+    if (fbBox->angle * v > 0.0) return fallback;
+    return v;
+}
+
+int main(void)
+{
+    double angle;
+    double velocity;
+    double fallback;
+    double output;
+    initShm();
+    while (1) {
+        angle = readAngle();
+        velocity = readVelocity();
+        fbBox->angle = angle;            /* publish for non-core */
+        fbBox->velocity = velocity;
+        fallback = safeControl(angle, velocity);
+        output = decision(ncCmd, fallback);
+        /***SafeFlow Annotation assert(safe(output)); /***/
+        actuate(output);
+    }
+    return 0;
+}
+"""
+
+# The paper's fix (§3.3): pass a local copy instead of the shared pointer.
+FIXED = BUGGY.replace(
+    "double decision(Cmd *cmd, double fallback)",
+    "double decision(Cmd *cmd, double fallback, double localAngle)",
+).replace(
+    "if (fbBox->angle * v > 0.0) return fallback;",
+    "if (localAngle * v > 0.0) return fallback;",
+).replace(
+    "output = decision(ncCmd, fallback);",
+    "output = decision(ncCmd, fallback, angle);",
+).replace(
+    "/* BUG: recoverability is checked against the *shared* copy of the\n"
+    "     * feedback, which any non-core component could have overwritten */",
+    "/* FIXED: the check uses the locally sampled angle */",
+)
+
+
+def main() -> int:
+    analyzer = SafeFlow()
+
+    print("=" * 72)
+    print("Analyzing the buggy core controller")
+    print("=" * 72)
+    report = analyzer.analyze_source(BUGGY, filename="quickstart.c",
+                                     name="quickstart-buggy")
+    print(report.render(verbose=True))
+    assert not report.passed, "the bug should have been found"
+
+    print()
+    print("=" * 72)
+    print("Analyzing the fixed controller (local feedback copy)")
+    print("=" * 72)
+    fixed_report = analyzer.analyze_source(FIXED, filename="quickstart.c",
+                                           name="quickstart-fixed")
+    print(fixed_report.render())
+    assert fixed_report.passed, "the fix should satisfy safe value flow"
+    print("\nSafe value flow holds: every non-core value is monitored "
+          "before it can reach the actuator.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

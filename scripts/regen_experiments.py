@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Re-measure everything EXPERIMENTS.md reports and print the tables.
+
+Run after changing the analysis or the corpus:
+
+    python scripts/regen_experiments.py
+"""
+
+import difflib
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import AnalysisConfig, SafeFlow  # noqa: E402
+from repro.corpus import generate_core, load_all, load_system  # noqa: E402
+from repro.corpus.running_example import RUNNING_EXAMPLE  # noqa: E402
+from repro.reporting.render import render_table, table1_comparison  # noqa: E402
+from repro.runtime import RuntimeFlowTracker  # noqa: E402
+
+
+def section(title):
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> int:
+    section("Table 1")
+    systems = load_all()
+    results = []
+    for system in systems:
+        start = time.perf_counter()
+        report = system.analyze()
+        elapsed = time.perf_counter() - start
+        results.append((system, report))
+        print(f"{system.key:18s} analyzed in {1e3 * elapsed:6.1f} ms  "
+              f"({report.stats.contexts_analyzed} contexts)")
+    print()
+    print(table1_comparison(results))
+
+    section("Running example (Figures 2/3)")
+    report = SafeFlow().analyze_source(RUNNING_EXAMPLE, name="fig2")
+    print(report.render(verbose=True))
+
+    section("Porting effort")
+    for key in ("ip", "double_ip"):
+        system = load_system(key)
+        original = system.original_files[0].read_text().splitlines()
+        ported = next(
+            p for p in system.core_files
+            if p.name == system.original_files[0].name
+        ).read_text().splitlines()
+        diff = list(difflib.unified_diff(original, ported, n=0))
+        added = sum(1 for l in diff if l.startswith("+")
+                    and not l.startswith("+++"))
+        removed = sum(1 for l in diff if l.startswith("-")
+                      and not l.startswith("---"))
+        paper = system.paper
+        print(f"{key:10s} +{added}/-{removed} "
+              f"(paper: {paper.source_changes_lines} lines, "
+              f"{paper.source_changes_diff}-line diff, "
+              f"{paper.source_changes_functions} function)")
+
+    section("Scaling")
+    rows = []
+    for filler in (0, 20, 40, 80):
+        program = generate_core(filler_functions=filler)
+        start = time.perf_counter()
+        SafeFlow().analyze_source(program.source)
+        rows.append([program.loc, f"{1e3 * (time.perf_counter() - start):.1f} ms"])
+    print(render_table(["LoC", "analysis time"], rows))
+
+    section("Run-time overhead")
+    steps = 100_000
+
+    def plain(n):
+        total = 0.0
+        for i in range(n):
+            total = 0.9 * (0.37 * (0.001 * (i % 97)) + 0.5 * total)
+        return total
+
+    def tracked(tracker, n):
+        total = tracker.read_core(0.0)
+        gain = tracker.read_core(0.37)
+        for i in range(n):
+            reading = tracker.monitorized(
+                tracker.read_noncore("s", 0.001 * (i % 97))
+            )
+            total = tracker.combine(
+                lambda g, r, t: 0.9 * (g * r + 0.5 * t), gain, reading, total
+            )
+            tracker.assert_safe(total)
+        return total.value
+
+    start = time.perf_counter()
+    plain(steps)
+    base = time.perf_counter() - start
+    start = time.perf_counter()
+    tracked(RuntimeFlowTracker(), steps)
+    instrumented = time.perf_counter() - start
+    print(f"uninstrumented : {1e6 * base / steps:7.3f} us/iter")
+    print(f"tracked        : {1e6 * instrumented / steps:7.3f} us/iter "
+          f"({instrumented / base:.1f}x)")
+
+    section("Ablations")
+    for key in ("ip", "generic_simplex", "double_ip"):
+        system = load_system(key)
+        full = system.analyze()
+        nocd = system.analyze(AnalysisConfig(track_control_dependence=False))
+        summ = system.analyze(AnalysisConfig(summary_mode=True))
+        para = system.analyze(AnalysisConfig(unannotated_shm_is_core=False))
+        print(
+            f"{key:18s} full={len(full.errors):2d} deps | "
+            f"no-ctl={len(nocd.errors):2d} | "
+            f"summaries identical={full.counts() == summ.counts()} | "
+            f"paranoid warnings={len(para.warnings)}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

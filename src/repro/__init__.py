@@ -1,0 +1,34 @@
+"""SafeFlow — static analysis to enforce safe value flow in embedded
+control systems.
+
+Reproduction of Kowshik, Roşu & Sha, DSN 2006. The package provides:
+
+- :mod:`repro.frontend` — C front end (mini preprocessor, SafeFlow
+  annotation extraction, pycparser, AST→IR lowering);
+- :mod:`repro.ir` — typed SSA intermediate representation;
+- :mod:`repro.callgraph`, :mod:`repro.pointer` — call graph and
+  points-to substrates;
+- :mod:`repro.shm` — phase 1: shared-memory pointer identification;
+- :mod:`repro.restrictions` — phase 2: language rules P1–P3, A1, A2;
+- :mod:`repro.valueflow` — phase 3: unsafe value propagation and
+  critical-data checking;
+- :mod:`repro.core` — the :class:`~repro.core.driver.SafeFlow` facade;
+- :mod:`repro.simplex`, :mod:`repro.runtime` — Simplex-architecture
+  simulation substrate (plants, controllers, Lyapunov monitors);
+- :mod:`repro.corpus` — the three evaluation systems of Table 1.
+
+Quickstart::
+
+    from repro import SafeFlow
+    report = SafeFlow().analyze_source(c_source_text)
+    for diag in report.diagnostics:
+        print(diag)
+"""
+
+from .core.config import AnalysisConfig
+from .core.driver import SafeFlow
+from .core.results import AnalysisReport
+
+__version__ = "1.0.0"
+
+__all__ = ["AnalysisConfig", "AnalysisReport", "SafeFlow", "__version__"]

@@ -1,0 +1,31 @@
+"""The SafeFlow annotation language (assume/assert over shared memory)."""
+
+from .lang import (
+    Annotation,
+    AnnotationItem,
+    AssertSafe,
+    AssumeCore,
+    AssumeNoncore,
+    AssumeShmvar,
+    BinarySize,
+    IntSize,
+    ShmInit,
+    SizeExpr,
+    SizeofSize,
+    parse_annotation,
+)
+
+__all__ = [
+    "Annotation",
+    "AnnotationItem",
+    "AssertSafe",
+    "AssumeCore",
+    "AssumeNoncore",
+    "AssumeShmvar",
+    "BinarySize",
+    "IntSize",
+    "ShmInit",
+    "SizeExpr",
+    "SizeofSize",
+    "parse_annotation",
+]

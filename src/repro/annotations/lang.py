@@ -1,0 +1,364 @@
+"""Parser for the SafeFlow annotation language (paper §3.1, §3.2.1).
+
+The language is deliberately tiny — that is the paper's point: a
+succinct, local annotation language embedded in C comments::
+
+    /***SafeFlow Annotation
+        assume(core(noncoreCtrl, 0, sizeof(SHMData))) /***/
+
+    /***SafeFlow Annotation  assert(safe(output));  /***/
+
+    /***SafeFlow Annotation  shminit  /***/
+
+    /***SafeFlow Annotation
+        assume(shmvar(feedback, sizeof(SHMData)));
+        assume(noncore(noncoreCtrl));  /***/
+
+Grammar::
+
+    block   := item ( ';'? item )* ';'?
+    item    := 'assume' '(' pred ')' | 'assert' '(' pred ')' | 'shminit'
+    pred    := 'core' '(' ident ',' expr ',' expr ')'
+             | 'noncore' '(' ident ')'
+             | 'shmvar'  '(' ident ',' expr ')'
+             | 'safe'    '(' ident ')'
+             | 'shminit'
+    expr    := term  (('+' | '-') term)*
+    term    := atom  (('*' | '/') atom)*
+    atom    := INT | 'sizeof' '(' type-name ')' | ident | '(' expr ')'
+
+Size expressions are kept symbolic (:class:`SizeExpr`) and evaluated
+against the module's type table once parsing is done, so ``sizeof``
+sees the real struct layouts.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Union
+
+from ..errors import AnnotationError
+from ..ir.source import SourceLocation
+
+
+# ----------------------------------------------------------------------
+# size-expression AST
+# ----------------------------------------------------------------------
+
+class SizeExpr:
+    """Base of symbolic size expressions inside annotations."""
+
+    def evaluate(self, sizeof: Callable[[str], int]) -> int:
+        """Evaluate with ``sizeof(type_name) -> bytes`` resolving types."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class IntSize(SizeExpr):
+    value: int
+
+    def evaluate(self, sizeof) -> int:
+        return self.value
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class SizeofSize(SizeExpr):
+    type_name: str
+
+    def evaluate(self, sizeof) -> int:
+        return sizeof(self.type_name)
+
+    def __str__(self) -> str:
+        return f"sizeof({self.type_name})"
+
+
+@dataclass(frozen=True)
+class BinarySize(SizeExpr):
+    op: str
+    lhs: SizeExpr
+    rhs: SizeExpr
+
+    def evaluate(self, sizeof) -> int:
+        left = self.lhs.evaluate(sizeof)
+        right = self.rhs.evaluate(sizeof)
+        if self.op == "+":
+            return left + right
+        if self.op == "-":
+            return left - right
+        if self.op == "*":
+            return left * right
+        if self.op == "/":
+            if right == 0:
+                raise AnnotationError("division by zero in size expression")
+            return left // right
+        raise AnnotationError(f"unknown size operator {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"({self.lhs} {self.op} {self.rhs})"
+
+
+# ----------------------------------------------------------------------
+# annotation items
+# ----------------------------------------------------------------------
+
+@dataclass
+class AnnotationItem:
+    """Base class; ``location`` is the comment's position in the source."""
+
+    location: Optional[SourceLocation] = field(default=None, kw_only=True)
+
+    @property
+    def is_function_level(self) -> bool:
+        """True if the item attaches to a whole function (vs a program point)."""
+        return True
+
+
+@dataclass
+class AssumeCore(AnnotationItem):
+    """``assume(core(ptr, offset, size))`` — monitoring-function fact."""
+
+    pointer: str = ""
+    offset: SizeExpr = IntSize(0)
+    size: SizeExpr = IntSize(0)
+
+    def __str__(self) -> str:
+        return f"assume(core({self.pointer}, {self.offset}, {self.size}))"
+
+
+@dataclass
+class AssumeNoncore(AnnotationItem):
+    """``assume(noncore(ptr))`` — region writable by non-core components."""
+
+    pointer: str = ""
+
+    def __str__(self) -> str:
+        return f"assume(noncore({self.pointer}))"
+
+
+@dataclass
+class AssumeShmvar(AnnotationItem):
+    """``assume(shmvar(ptr, size))`` — initializing-function post-condition."""
+
+    pointer: str = ""
+    size: SizeExpr = IntSize(0)
+
+    def __str__(self) -> str:
+        return f"assume(shmvar({self.pointer}, {self.size}))"
+
+
+@dataclass
+class ShmInit(AnnotationItem):
+    """``shminit`` — marks an initializing function (P3 exempt)."""
+
+    def __str__(self) -> str:
+        return "shminit"
+
+
+@dataclass
+class AssertSafe(AnnotationItem):
+    """``assert(safe(x))`` — critical-data assertion at a program point."""
+
+    variable: str = ""
+
+    @property
+    def is_function_level(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return f"assert(safe({self.variable}))"
+
+
+ASSUME_ITEMS = (AssumeCore, AssumeNoncore, AssumeShmvar)
+
+
+# ----------------------------------------------------------------------
+# tokenizer / parser
+# ----------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<int>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>[(),;*+/\-])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str, location: Optional[SourceLocation]) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise AnnotationError(
+                f"unexpected character {text[pos]!r} in annotation", location
+            )
+        pos = m.end()
+        if m.lastgroup != "ws":
+            tokens.append(m.group())
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: Sequence[str], location: Optional[SourceLocation]):
+        self.tokens = list(tokens)
+        self.pos = 0
+        self.location = location
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise AnnotationError("unexpected end of annotation", self.location)
+        self.pos += 1
+        return tok
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise AnnotationError(
+                f"expected {token!r} but found {got!r} in annotation", self.location
+            )
+
+    def ident(self) -> str:
+        tok = self.next()
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", tok):
+            raise AnnotationError(
+                f"expected identifier but found {tok!r}", self.location
+            )
+        return tok
+
+    # -- grammar -------------------------------------------------------
+
+    def parse_block(self) -> List[AnnotationItem]:
+        items: List[AnnotationItem] = []
+        while self.peek() is not None:
+            if self.peek() == ";":
+                self.next()
+                continue
+            items.append(self.parse_item())
+        if not items:
+            raise AnnotationError("empty SafeFlow annotation", self.location)
+        return items
+
+    def parse_item(self) -> AnnotationItem:
+        head = self.next()
+        if head == "shminit":
+            return ShmInit(location=self.location)
+        if head not in ("assume", "assert"):
+            raise AnnotationError(
+                f"annotation item must start with 'assume', 'assert' or "
+                f"'shminit', not {head!r}",
+                self.location,
+            )
+        self.expect("(")
+        pred = self.parse_pred(head)
+        self.expect(")")
+        return pred
+
+    def parse_pred(self, head: str) -> AnnotationItem:
+        name = self.next()
+        if head == "assert":
+            if name != "safe":
+                raise AnnotationError(
+                    f"assert supports only the 'safe' predicate, not {name!r}",
+                    self.location,
+                )
+            self.expect("(")
+            var = self.ident()
+            self.expect(")")
+            return AssertSafe(variable=var, location=self.location)
+        # assume(...)
+        if name == "core":
+            self.expect("(")
+            ptr = self.ident()
+            self.expect(",")
+            offset = self.parse_expr()
+            self.expect(",")
+            size = self.parse_expr()
+            self.expect(")")
+            return AssumeCore(pointer=ptr, offset=offset, size=size,
+                              location=self.location)
+        if name == "noncore":
+            self.expect("(")
+            ptr = self.ident()
+            self.expect(")")
+            return AssumeNoncore(pointer=ptr, location=self.location)
+        if name == "shmvar":
+            self.expect("(")
+            ptr = self.ident()
+            self.expect(",")
+            size = self.parse_expr()
+            self.expect(")")
+            return AssumeShmvar(pointer=ptr, size=size, location=self.location)
+        if name == "shminit":
+            return ShmInit(location=self.location)
+        raise AnnotationError(
+            f"unknown assume predicate {name!r}", self.location
+        )
+
+    def parse_expr(self) -> SizeExpr:
+        left = self.parse_term()
+        while self.peek() in ("+", "-"):
+            op = self.next()
+            right = self.parse_term()
+            left = BinarySize(op, left, right)
+        return left
+
+    def parse_term(self) -> SizeExpr:
+        left = self.parse_atom()
+        while self.peek() in ("*", "/"):
+            op = self.next()
+            right = self.parse_atom()
+            left = BinarySize(op, left, right)
+        return left
+
+    def parse_atom(self) -> SizeExpr:
+        tok = self.peek()
+        if tok == "(":
+            self.next()
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        if tok == "sizeof":
+            self.next()
+            self.expect("(")
+            name_parts = []
+            if self.peek() in ("struct", "union"):
+                name_parts.append(self.next())
+            name_parts.append(self.ident())
+            while self.peek() == "*":
+                self.next()
+                name_parts.append("*")
+            self.expect(")")
+            return SizeofSize(" ".join(name_parts))
+        tok = self.next()
+        if tok.isdigit():
+            return IntSize(int(tok))
+        if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", tok):
+            # bare identifier: treated as sizeof-style symbolic constant
+            return SizeofSize(tok)
+        raise AnnotationError(
+            f"unexpected token {tok!r} in size expression", self.location
+        )
+
+
+def parse_annotation(
+    text: str, location: Optional[SourceLocation] = None
+) -> List[AnnotationItem]:
+    """Parse the body of one SafeFlow annotation comment into items."""
+    tokens = _tokenize(text, location)
+    return _Parser(tokens, location).parse_block()
+
+
+Annotation = Union[
+    AssumeCore, AssumeNoncore, AssumeShmvar, ShmInit, AssertSafe
+]

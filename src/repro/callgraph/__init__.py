@@ -1,0 +1,6 @@
+"""Call-graph substrate: construction, SCCs, traversal orders."""
+
+from .graph import CallGraph, CallSite
+from .scc import strongly_connected_components
+
+__all__ = ["CallGraph", "CallSite", "strongly_connected_components"]

@@ -1,0 +1,64 @@
+"""Tarjan's strongly-connected-components algorithm (iterative).
+
+Returns components in reverse topological order of the condensation —
+i.e. for a call graph, callees appear before callers, which is exactly
+the bottom-up summary order SafeFlow's phases need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, TypeVar
+
+N = TypeVar("N", bound=Hashable)
+
+
+def strongly_connected_components(
+    nodes: Sequence[N], successors: Dict[N, Sequence[N]]
+) -> List[List[N]]:
+    index: Dict[N, int] = {}
+    lowlink: Dict[N, int] = {}
+    on_stack: Dict[N, bool] = {}
+    stack: List[N] = []
+    result: List[List[N]] = []
+    counter = [0]
+
+    for root in nodes:
+        if root in index:
+            continue
+        # iterative Tarjan with an explicit work stack of (node, iterator)
+        work: List[tuple] = [(root, iter(successors.get(root, ())))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack[root] = True
+
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack[succ] = True
+                    work.append((succ, iter(successors.get(succ, ()))))
+                    advanced = True
+                    break
+                if on_stack.get(succ, False):
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: List[N] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                result.append(component)
+    return result

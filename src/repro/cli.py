@@ -1,0 +1,175 @@
+"""Command-line interface: ``safeflow``.
+
+Subcommands::
+
+    safeflow analyze FILE...     # run the analysis on C sources
+    safeflow corpus [KEY]        # analyze a bundled Table-1 system
+    safeflow table1              # reproduce Table 1 (measured vs paper)
+    safeflow demo                # run the Simplex pendulum demo
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .core.config import AnalysisConfig
+from .core.driver import SafeFlow
+from .core.results import AnalysisReport
+from .errors import SafeFlowError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="safeflow",
+        description="SafeFlow: static analysis to enforce safe value flow "
+                    "in embedded control systems (DSN 2006 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="analyze C source files")
+    analyze.add_argument("files", nargs="+", help="C files of the core component")
+    analyze.add_argument("--name", default="program")
+    analyze.add_argument("--json", action="store_true",
+                         help="machine-readable output")
+    analyze.add_argument("--verbose", "-v", action="store_true",
+                         help="include value-flow witness paths")
+    analyze.add_argument("--dot", metavar="FILE",
+                         help="write the value flow graph as DOT")
+    analyze.add_argument("--no-restrictions", action="store_true",
+                         help="skip phase 2 (P1-P3/A1/A2)")
+    analyze.add_argument("--context-insensitive", action="store_true",
+                         help="ablation: analyze each function once")
+    analyze.add_argument("--summaries", action="store_true",
+                         help="use ESP-style function summaries (§3.3)")
+    analyze.add_argument("--paranoid", action="store_true",
+                         help="treat every shared region as non-core")
+    analyze.add_argument("--no-lint", action="store_true",
+                         help="skip the vacuous-monitor lint")
+    analyze.add_argument("--include", "-I", action="append", default=[],
+                         help="include directory")
+
+    corpus = sub.add_parser("corpus", help="analyze a bundled system")
+    corpus.add_argument("key", nargs="?", default="ip",
+                        choices=["ip", "generic_simplex", "double_ip"])
+    corpus.add_argument("--verbose", "-v", action="store_true")
+
+    sub.add_parser("table1", help="reproduce the paper's Table 1")
+
+    demo = sub.add_parser("demo", help="run the Simplex pendulum demo")
+    demo.add_argument("--duration", type=float, default=6.0)
+    demo.add_argument("--fault-time", type=float, default=1.0)
+    demo.add_argument("--rigged", action="store_true",
+                      help="inject the feedback-overwrite attack")
+    demo.add_argument("--trusting", action="store_true",
+                      help="core trusts the shared feedback copy (the bug)")
+    return parser
+
+
+def _report_json(report: AnalysisReport) -> str:
+    return json.dumps(report.to_json(), indent=2)
+
+
+def cmd_analyze(args) -> int:
+    config = AnalysisConfig(
+        check_restrictions=not args.no_restrictions,
+        context_sensitive=not args.context_insensitive,
+        summary_mode=args.summaries,
+        unannotated_shm_is_core=not args.paranoid,
+        lint_monitors=not args.no_lint,
+        include_dirs=tuple(args.include),
+    )
+    report = SafeFlow(config).analyze_files(args.files, name=args.name)
+    if args.json:
+        print(_report_json(report))
+    else:
+        print(report.render(verbose=args.verbose))
+    if args.dot and report.witness_graphs:
+        with open(args.dot, "w") as f:
+            f.write(report.witness_graphs[0])
+        print(f"\nvalue flow graph written to {args.dot}")
+    return 0 if report.passed else 1
+
+
+def cmd_corpus(args) -> int:
+    from .corpus import load_system
+
+    system = load_system(args.key)
+    report = system.analyze()
+    print(report.render(verbose=args.verbose))
+    paper = system.paper
+    counts = report.counts()
+    print(
+        f"\npaper reports: errors={paper.error_dependencies} "
+        f"warnings={paper.warnings} false_positives={paper.false_positives}"
+    )
+    match = (
+        counts["errors"] == paper.error_dependencies
+        and counts["warnings"] == paper.warnings
+        and counts["false_positives"] == paper.false_positives
+    )
+    print("reproduction:", "MATCH" if match else "MISMATCH")
+    return 0 if match else 1
+
+
+def cmd_table1(_args) -> int:
+    from .corpus import load_all
+    from .reporting.render import table1_comparison
+
+    results = [(system, system.analyze()) for system in load_all()]
+    print(table1_comparison(results))
+    return 0
+
+
+def cmd_demo(args) -> int:
+    from .simplex import FeedbackOverwrite, pendulum_simplex
+
+    injections = []
+    if args.rigged:
+        injections.append(
+            FeedbackOverwrite(start=args.fault_time, region="feedback",
+                              writer="complex")
+        )
+    system = pendulum_simplex(
+        fault_time=args.fault_time,
+        fault_mode="reverse",
+        trusting_feedback=args.trusting,
+        injections=injections,
+    )
+    trace = system.run(args.duration)
+    print(
+        f"simplex pendulum: {trace.steps} steps, complex in control "
+        f"{100 * trace.complex_ratio:.0f}% of the time, "
+        f"{len(trace.rejections)} monitor rejections"
+    )
+    print(f"max |angle| = {trace.max_abs_state(2):.3f} rad; "
+          f"max envelope value = {trace.max_envelope_value:.3f} "
+          f"(level {system.envelope.level:.3f})")
+    if system.plant.fallen:
+        print("PENDULUM FELL — the safe-value-flow property was violated "
+              "at run time")
+        return 1
+    print("pendulum stayed recoverable")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "analyze": cmd_analyze,
+        "corpus": cmd_corpus,
+        "table1": cmd_table1,
+        "demo": cmd_demo,
+    }
+    try:
+        return handlers[args.command](args)
+    except SafeFlowError as exc:
+        print(f"safeflow: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

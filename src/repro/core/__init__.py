@@ -1,0 +1,7 @@
+"""SafeFlow core: driver, configuration, results."""
+
+from .config import AnalysisConfig
+from .driver import SafeFlow
+from .results import AnalysisReport, AnalysisStats
+
+__all__ = ["AnalysisConfig", "AnalysisReport", "AnalysisStats", "SafeFlow"]

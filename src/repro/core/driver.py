@@ -1,0 +1,144 @@
+"""The SafeFlow facade: front end + phases 1–3 + reporting.
+
+This is the entry point a user of the library touches::
+
+    from repro import SafeFlow
+
+    report = SafeFlow().analyze_files(["core_controller.c"])
+    print(report.render())
+
+The three phases follow §3.3 of the paper:
+
+1. identify pointers to shared memory interprocedurally
+   (:mod:`repro.shm`);
+2. enforce the language restrictions P1–P3, A1, A2
+   (:mod:`repro.restrictions`);
+3. identify non-core accesses and check critical-data dependencies
+   (:mod:`repro.valueflow`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..frontend.driver import Program, load_files, load_source
+from .config import AnalysisConfig
+from .results import AnalysisReport, AnalysisStats
+
+
+class SafeFlow:
+    """Static analyzer enforcing the safe-value-flow property."""
+
+    def __init__(self, config: Optional[AnalysisConfig] = None):
+        self.config = config or AnalysisConfig()
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+
+    def analyze_source(self, text: str, filename: str = "<source>",
+                       name: str = "program") -> AnalysisReport:
+        """Analyze a single C source string (the core component)."""
+        program = load_source(
+            text,
+            filename=filename,
+            defines=self.config.defines,
+            verify=self.config.verify_ir,
+        )
+        return self.analyze_program(program, name=name, source_text=text)
+
+    def analyze_files(self, paths: Sequence[str],
+                      name: str = "program") -> AnalysisReport:
+        """Analyze one or more C files as a whole program."""
+        program = load_files(
+            paths,
+            include_dirs=self.config.include_dirs,
+            defines=self.config.defines,
+            verify=self.config.verify_ir,
+        )
+        return self.analyze_program(program, name=name)
+
+    # ------------------------------------------------------------------
+    # pipeline
+    # ------------------------------------------------------------------
+
+    def analyze_program(self, program: Program, name: str = "program",
+                        source_text: Optional[str] = None) -> AnalysisReport:
+        from ..restrictions.checker import check_restrictions
+        from ..shm.propagation import ShmAnalysis
+        from ..valueflow.engine import ValueFlowAnalysis
+
+        report = AnalysisReport(name=name)
+        report.stats = self._base_stats(program, source_text)
+
+        # phase 1: shared-memory pointer identification
+        shm = ShmAnalysis(program, self.config)
+        shm.run()
+        report.init_issues.extend(shm.init_issues)
+        report.stats.shm_regions = len(shm.regions)
+        report.stats.noncore_regions = sum(
+            1 for r in shm.regions.values() if r.noncore
+        )
+
+        # phase 2: language restrictions
+        if self.config.check_restrictions:
+            report.violations.extend(check_restrictions(program, shm, self.config))
+
+        # extension: vacuous-monitor lint (advisory)
+        if self.config.lint_monitors:
+            from ..valueflow.monitor_lint import lint_monitors
+
+            report.lint_findings.extend(
+                lint_monitors(program, shm, self.config)
+            )
+
+        # phase 3: value flow
+        vf = ValueFlowAnalysis(program, shm, self.config)
+        vf.run()
+        report.warnings.extend(vf.warnings)
+        report.errors.extend(vf.errors)
+        report.witness_graphs = vf.witness_graphs
+        report.stats.contexts_analyzed = vf.contexts_analyzed
+        report.stats.monitored_functions = len(
+            [f for f, items in program.function_annotations.items() if items]
+        )
+        return report
+
+    def _base_stats(self, program: Program,
+                    source_text: Optional[str]) -> AnalysisStats:
+        stats = AnalysisStats()
+        stats.files = len(program.units)
+        functions = list(program.module.defined_functions())
+        stats.functions = len(functions)
+        stats.instructions = sum(
+            len(list(f.instructions())) for f in functions
+        )
+        stats.annotation_lines = program.annotation_lines
+        if source_text is not None:
+            stats.loc_total = _count_loc(source_text)
+        return stats
+
+
+def _count_loc(text: str) -> int:
+    """Non-blank, non-comment-only line count (Table 1's LOC metric)."""
+    import re
+
+    count = 0
+    in_comment = False
+    for line in text.splitlines():
+        stripped = line.strip()
+        if in_comment:
+            if "*/" in stripped:
+                in_comment = False
+                stripped = stripped.split("*/", 1)[1].strip()
+            else:
+                continue
+        # drop any complete /* ... */ spans within the line
+        stripped = re.sub(r"/\*.*?\*/", "", stripped).strip()
+        if stripped.startswith("/*"):
+            in_comment = True
+            continue
+        if not stripped or stripped.startswith("//"):
+            continue
+        count += 1
+    return count

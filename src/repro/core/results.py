@@ -1,0 +1,157 @@
+"""Aggregated results of a SafeFlow run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..reporting.diagnostics import (
+    CriticalDependencyError,
+    Diagnostic,
+    InitializationIssue,
+    RestrictionViolation,
+    UnmonitoredReadWarning,
+    sort_key,
+)
+
+
+@dataclass
+class AnalysisStats:
+    """Volume/effort statistics of one run (Table 1 support columns)."""
+
+    files: int = 0
+    functions: int = 0
+    instructions: int = 0
+    loc_total: int = 0
+    annotation_lines: int = 0
+    shm_regions: int = 0
+    noncore_regions: int = 0
+    contexts_analyzed: int = 0
+    monitored_functions: int = 0
+
+
+@dataclass
+class AnalysisReport:
+    """Everything SafeFlow found, Table-1-ready.
+
+    ``errors`` includes candidate false positives (the tool reports
+    them; the paper's workflow inspects them manually with the value
+    flow graphs). ``confirmed_errors`` / ``candidate_false_positives``
+    split them by the triage rule of §3.4.1.
+    """
+
+    name: str = "program"
+    warnings: List[UnmonitoredReadWarning] = field(default_factory=list)
+    errors: List[CriticalDependencyError] = field(default_factory=list)
+    violations: List[RestrictionViolation] = field(default_factory=list)
+    init_issues: List[InitializationIssue] = field(default_factory=list)
+    #: advisory findings (e.g. vacuous-monitor lint); do not affect the
+    #: Table 1 counts or ``passed``
+    lint_findings: List[Diagnostic] = field(default_factory=list)
+    stats: AnalysisStats = field(default_factory=AnalysisStats)
+    #: DOT text of the value flow graph per error index (for manual triage)
+    witness_graphs: Dict[int, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def diagnostics(self) -> List[Diagnostic]:
+        out: List[Diagnostic] = []
+        out.extend(self.violations)
+        out.extend(self.init_issues)
+        out.extend(self.warnings)
+        out.extend(self.errors)
+        out.extend(self.lint_findings)
+        return sorted(out, key=sort_key)
+
+    @property
+    def confirmed_errors(self) -> List[CriticalDependencyError]:
+        return [e for e in self.errors if not e.candidate_false_positive]
+
+    @property
+    def candidate_false_positives(self) -> List[CriticalDependencyError]:
+        return [e for e in self.errors if e.candidate_false_positive]
+
+    @property
+    def passed(self) -> bool:
+        """True when the safe-value-flow property holds unconditionally."""
+        return not self.errors and not self.violations and not self.init_issues
+
+    def counts(self) -> Dict[str, int]:
+        """The Table 1 row for this program."""
+        return {
+            "warnings": len(self.warnings),
+            "errors": len(self.confirmed_errors),
+            "false_positives": len(self.candidate_false_positives),
+            "violations": len(self.violations),
+            "annotation_lines": self.stats.annotation_lines,
+        }
+
+    def summary(self) -> str:
+        c = self.counts()
+        lines = [
+            f"SafeFlow report for {self.name}",
+            f"  functions analyzed : {self.stats.functions}"
+            f" ({self.stats.contexts_analyzed} contexts)",
+            f"  shared regions     : {self.stats.shm_regions}"
+            f" ({self.stats.noncore_regions} non-core)",
+            f"  warnings           : {c['warnings']}",
+            f"  error dependencies : {c['errors']}",
+            f"  candidate false pos: {c['false_positives']}",
+            f"  restriction checks : "
+            + ("clean" if not self.violations else f"{c['violations']} violations"),
+        ]
+        return "\n".join(lines)
+
+    def render(self, verbose: bool = False) -> str:
+        """Full human-readable report."""
+        parts = [self.summary(), ""]
+        for diag in self.diagnostics:
+            parts.append(str(diag))
+            if verbose and isinstance(diag, CriticalDependencyError) and diag.witness:
+                parts.append("    " + diag.witness_text())
+        return "\n".join(parts)
+
+    def to_json(self) -> dict:
+        """Machine-readable form (used by ``safeflow analyze --json``)."""
+
+        def diag(d) -> dict:
+            return {
+                "severity": str(d.severity),
+                "message": d.message,
+                "function": d.function,
+                "location": str(d.location) if d.location else None,
+            }
+
+        return {
+            "name": self.name,
+            "counts": self.counts(),
+            "passed": self.passed,
+            "stats": {
+                "files": self.stats.files,
+                "functions": self.stats.functions,
+                "instructions": self.stats.instructions,
+                "loc_total": self.stats.loc_total,
+                "shm_regions": self.stats.shm_regions,
+                "noncore_regions": self.stats.noncore_regions,
+                "contexts_analyzed": self.stats.contexts_analyzed,
+                "monitored_functions": self.stats.monitored_functions,
+            },
+            "warnings": [
+                dict(diag(w), region=w.region) for w in self.warnings
+            ],
+            "errors": [
+                dict(
+                    diag(e),
+                    kind=str(e.kind),
+                    variable=e.variable,
+                    candidate_false_positive=e.candidate_false_positive,
+                    witness=list(e.witness),
+                )
+                for e in self.errors
+            ],
+            "violations": [
+                dict(diag(v), rule=v.rule) for v in self.violations
+            ],
+            "init_issues": [diag(i) for i in self.init_issues],
+        }

@@ -1,0 +1,22 @@
+"""The Table 1 evaluation corpus and the synthetic program generator."""
+
+from .builder import GeneratedProgram, generate_core
+from .loader import (
+    CorpusSystem,
+    PaperRow,
+    SYSTEM_KEYS,
+    SYSTEMS_DIR,
+    load_all,
+    load_system,
+)
+
+__all__ = [
+    "CorpusSystem",
+    "GeneratedProgram",
+    "generate_core",
+    "PaperRow",
+    "SYSTEM_KEYS",
+    "SYSTEMS_DIR",
+    "load_all",
+    "load_system",
+]

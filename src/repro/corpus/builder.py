@@ -1,0 +1,217 @@
+"""Synthetic core-component generator for scaling and stress benches.
+
+Generates SafeFlow-ready C core components with a *known* expected
+diagnosis: a configurable number of shared regions, monitoring
+functions, unmonitored reads that (a) flow into critical data (real
+errors), (b) only steer control flow (the §3.4.1 false-positive
+class), or (c) feed logging (warnings only) — plus filler computation
+functions and call chains to scale code size and context-sensitivity
+depth. The benchmarks use it to measure how analysis time grows with
+program size and how context-sensitive re-analysis behaves (§3.3's
+complexity discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class GeneratedProgram:
+    """A synthetic core component plus its expected diagnosis."""
+
+    source: str
+    regions: int
+    expected_warnings: int
+    expected_errors: int
+    expected_false_positives: int
+
+    @property
+    def loc(self) -> int:
+        return len(self.source.splitlines())
+
+
+def generate_core(
+    data_error_regions: int = 1,
+    control_fp_regions: int = 1,
+    benign_read_regions: int = 1,
+    monitored_regions: int = 1,
+    filler_functions: int = 0,
+    chain_depth: int = 0,
+    loops: bool = True,
+) -> GeneratedProgram:
+    """Build a synthetic core component.
+
+    Region roles (each role gets its own region, reads deduplicate per
+    line so expected counts are exact):
+
+    - *data-error* regions: one unmonitored read each, flowing into the
+      critical output — one warning + one data error per region;
+    - *control-fp* regions: one unmonitored read each steering a branch
+      that selects between two safe values — one warning + one
+      control-only dependency (candidate false positive) per region;
+    - *benign* regions: one unmonitored read each feeding a log value —
+      one warning, no dependency;
+    - *monitored* regions: read only inside a monitoring function —
+      no warnings at all.
+    """
+    n_regions = (data_error_regions + control_fp_regions
+                 + benign_read_regions + monitored_regions)
+    if n_regions == 0:
+        raise ValueError("at least one region is required")
+
+    lines: List[str] = []
+    add = lines.append
+
+    add("/* synthetic SafeFlow core component (generated) */")
+    add("typedef struct { double v; int flag; double arr[8]; } Region;")
+    add("")
+    names = [f"shmR{i}" for i in range(n_regions)]
+    for name in names:
+        add(f"Region *{name};")
+    add("")
+    add("extern void emitOutput(double v);")
+    add("extern void emitLog(double v);")
+    add("extern double readSensor(void);")
+    add("")
+
+    # --- init function -------------------------------------------------
+    add("void initShm(void)")
+    add("/***SafeFlow Annotation")
+    add("    shminit /***/")
+    add("{")
+    add("    void *base;")
+    add("    int shmid;")
+    add("    char *cursor;")
+    add(f"    shmid = shmget(1234, {n_regions} * sizeof(Region), 0666);")
+    add("    base = shmat(shmid, 0, 0);")
+    add("    cursor = (char *) base;")
+    for name in names:
+        add(f"    {name} = (Region *) cursor;")
+        add("    cursor = cursor + sizeof(Region);")
+    add("    /***SafeFlow Annotation")
+    for name in names:
+        add(f"        assume(shmvar({name}, sizeof(Region)));")
+    for i, name in enumerate(names):
+        sep = ";" if i < len(names) - 1 else " /***/"
+        add(f"        assume(noncore({name})){sep}")
+    add("}")
+    add("")
+
+    # --- filler computation --------------------------------------------
+    for i in range(filler_functions):
+        add(f"double filler{i}(double x)")
+        add("{")
+        add("    double acc;")
+        add("    int i;")
+        add("    acc = x;")
+        if loops:
+            add("    for (i = 0; i < 16; i++) {")
+            add(f"        acc = acc * 0.99 + {i + 1}.0 / (i + 2.0);")
+            add("    }")
+        add(f"    return acc + {i}.5;")
+        add("}")
+        add("")
+
+    # --- call chain (context-sensitivity stress) ------------------------
+    for depth in range(chain_depth):
+        callee = f"chain{depth + 1}" if depth + 1 < chain_depth else None
+        add(f"double chain{depth}(Region *r, double fb)")
+        add("/***SafeFlow Annotation")
+        add("    assume(core(r, 0, sizeof(Region))) /***/")
+        add("{")
+        add("    double v;")
+        add("    v = r->v;")
+        add("    if (v > 100.0 || v < -100.0) {")
+        add("        return fb;")
+        add("    }")
+        if callee is not None:
+            add(f"    return {callee}(r, v);")
+        else:
+            add("    return v;")
+        add("}")
+        add("")
+
+    # --- monitoring functions -------------------------------------------
+    region_index = 0
+    monitored = names[region_index: region_index + monitored_regions]
+    region_index += monitored_regions
+    for i, name in enumerate(monitored):
+        add(f"double monitor{i}(Region *r, double fb)")
+        add("/***SafeFlow Annotation")
+        add("    assume(core(r, 0, sizeof(Region))) /***/")
+        add("{")
+        add("    double v;")
+        add("    int j;")
+        add("    if (r->flag == 0) {")
+        add("        return fb;")
+        add("    }")
+        add("    v = r->v;")
+        if loops:
+            add("    for (j = 0; j < 8; j++) {")
+            add("        if (r->arr[j] > 1000.0) {")
+            add("            return fb;")
+            add("        }")
+            add("    }")
+        add("    if (v > 10.0 || v < -10.0) {")
+        add("        return fb;")
+        add("    }")
+        add("    return v;")
+        add("}")
+        add("")
+
+    data_regions = names[region_index: region_index + data_error_regions]
+    region_index += data_error_regions
+    control_regions = names[region_index: region_index + control_fp_regions]
+    region_index += control_fp_regions
+    benign_regions = names[region_index: region_index + benign_read_regions]
+
+    # --- main -------------------------------------------------------------
+    add("int main(void)")
+    add("{")
+    add("    double output;")
+    add("    double safeVal;")
+    add("    double logged;")
+    add("    double bias;")
+    add("    int sel;")
+    add("    unsigned int tick;")
+    add("    initShm();")
+    add("    tick = 0;")
+    add("    while (1) {")
+    add("        safeVal = readSensor();")
+    if chain_depth:
+        add(f"        output = chain0({monitored[0] if monitored else names[0]}, safeVal);")
+    else:
+        add("        output = safeVal;")
+    for i, name in enumerate(monitored):
+        add(f"        output = output + monitor{i}({name}, safeVal);")
+    for name in control_regions:
+        add(f"        sel = {name}->flag;")
+        add("        if (sel == 1) {")
+        add("            output = output * 1.01;")
+        add("        } else {")
+        add("            output = output * 0.99;")
+        add("        }")
+    for name in data_regions:
+        add(f"        bias = {name}->v;")
+        add("        output = output + 0.001 * bias;")
+    add("        /***SafeFlow Annotation assert(safe(output)); /***/")
+    add("        emitOutput(output);")
+    for name in benign_regions:
+        add(f"        logged = {name}->v;")
+        add("        emitLog(logged);")
+    add("        tick = tick + 1u;")
+    add("    }")
+    add("    return 0;")
+    add("}")
+
+    expected_warnings = (len(data_regions) + len(control_regions)
+                         + len(benign_regions))
+    return GeneratedProgram(
+        source="\n".join(lines) + "\n",
+        regions=n_regions,
+        expected_warnings=expected_warnings,
+        expected_errors=len(data_regions),
+        expected_false_positives=len(control_regions),
+    )

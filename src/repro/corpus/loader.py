@@ -1,0 +1,169 @@
+"""Loader for the three evaluation systems of Table 1.
+
+Each bundled system mirrors one row of the paper's evaluation:
+
+- ``ip`` — the inverted pendulum Simplex controller (the running
+  example of Figures 1–3);
+- ``generic_simplex`` — the configurable Simplex implementation for
+  simple plants;
+- ``double_ip`` — the double inverted pendulum controller (newer,
+  less mature, extra control modes).
+
+The original UIUC systems are proprietary; these are reimplementations
+that exhibit the same five erroneous value dependencies, the same
+error *classes* (§4), and the same annotation structure, so the
+analysis exercises the code paths the paper describes. The paper's own
+Table 1 numbers are carried as :class:`PaperRow` for side-by-side
+comparison in ``benchmarks/bench_table1.py``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import AnalysisConfig
+from ..core.driver import SafeFlow, _count_loc
+from ..core.results import AnalysisReport
+from ..errors import CorpusError
+
+SYSTEMS_DIR = Path(__file__).resolve().parent / "systems"
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One row of the paper's Table 1."""
+
+    loc_total: int
+    loc_core: int
+    source_changes_lines: int
+    source_changes_diff: int
+    source_changes_functions: int
+    annotation_lines: int
+    init_annotation_lines: int
+    error_dependencies: int
+    warnings: int
+    false_positives: int
+
+
+@dataclass
+class CorpusSystem:
+    """A bundled evaluation system."""
+
+    key: str
+    title: str
+    directory: Path
+    core_files: List[Path]
+    noncore_files: List[Path]
+    original_files: List[Path]
+    paper: PaperRow
+    #: error classes the paper reports for this system (§4 prose)
+    expected_error_classes: List[str] = field(default_factory=list)
+
+    @property
+    def all_files(self) -> List[Path]:
+        return self.core_files + self.noncore_files
+
+    def loc_core(self) -> int:
+        return sum(_count_loc(p.read_text()) for p in self.core_files)
+
+    def loc_total(self) -> int:
+        return sum(_count_loc(p.read_text()) for p in self.all_files)
+
+    def analyze(self, config: Optional[AnalysisConfig] = None) -> AnalysisReport:
+        """Run SafeFlow on the system's core component."""
+        analyzer = SafeFlow(config)
+        report = analyzer.analyze_files(
+            [str(p) for p in self.core_files], name=self.key
+        )
+        report.stats.loc_total = self.loc_total()
+        return report
+
+
+_PAPER_ROWS: Dict[str, PaperRow] = {
+    "ip": PaperRow(
+        loc_total=7079, loc_core=820,
+        source_changes_lines=7, source_changes_diff=86,
+        source_changes_functions=1,
+        annotation_lines=11, init_annotation_lines=9,
+        error_dependencies=1, warnings=7, false_positives=2,
+    ),
+    "generic_simplex": PaperRow(
+        loc_total=8057, loc_core=1020,
+        source_changes_lines=0, source_changes_diff=0,
+        source_changes_functions=0,
+        annotation_lines=22, init_annotation_lines=15,
+        error_dependencies=2, warnings=7, false_positives=6,
+    ),
+    "double_ip": PaperRow(
+        loc_total=7188, loc_core=929,
+        source_changes_lines=7, source_changes_diff=88,
+        source_changes_functions=1,
+        annotation_lines=23, init_annotation_lines=15,
+        error_dependencies=2, warnings=8, false_positives=2,
+    ),
+}
+
+_TITLES = {
+    "ip": "IP (inverted pendulum Simplex controller)",
+    "generic_simplex": "Generic Simplex",
+    "double_ip": "Double IP",
+}
+
+_ERROR_CLASSES = {
+    "ip": ["kill-pid"],
+    "generic_simplex": ["kill-pid", "feedback-readback"],
+    "double_ip": ["kill-pid", "invalid-no-propagation-assumption"],
+}
+
+_DIR_NAMES = {
+    "ip": "ip_controller",
+    "generic_simplex": "generic_simplex",
+    "double_ip": "double_ip",
+}
+
+SYSTEM_KEYS = tuple(_PAPER_ROWS.keys())
+
+
+def _collect(directory: Path, sub: str) -> List[Path]:
+    base = directory / sub
+    if not base.is_dir():
+        return []
+    return sorted(
+        p for p in base.iterdir() if p.suffix in (".c", ".h")
+    )
+
+
+def load_system(key: str) -> CorpusSystem:
+    """Load one bundled system by key (``ip`` / ``generic_simplex`` /
+    ``double_ip``)."""
+    if key not in _PAPER_ROWS:
+        raise CorpusError(
+            f"unknown corpus system {key!r}; available: {sorted(_PAPER_ROWS)}"
+        )
+    directory = SYSTEMS_DIR / _DIR_NAMES[key]
+    if not directory.is_dir():
+        raise CorpusError(f"corpus directory missing: {directory}")
+    core = [p for p in _collect(directory, "core") if p.suffix == ".c"]
+    if not core:
+        raise CorpusError(f"no core sources in {directory}/core")
+    return CorpusSystem(
+        key=key,
+        title=_TITLES[key],
+        directory=directory,
+        core_files=core,
+        noncore_files=[
+            p for p in _collect(directory, "noncore") if p.suffix == ".c"
+        ],
+        original_files=[
+            p for p in _collect(directory, "original") if p.suffix == ".c"
+        ],
+        paper=_PAPER_ROWS[key],
+        expected_error_classes=list(_ERROR_CLASSES[key]),
+    )
+
+
+def load_all() -> List[CorpusSystem]:
+    return [load_system(key) for key in SYSTEM_KEYS]

@@ -1,0 +1,72 @@
+"""The paper's running example (Figures 2 and 3), as analyzable C.
+
+This is the simplified Simplex core controller of §3: the ``decision``
+monitoring function, the ``initComm`` initializing function of Figure
+3, and the annotated ``main`` loop. §3.3 walks through its analysis:
+the ``feedback`` dereference inside the decision chain is reported
+unsafe, and the critical ``output`` inherits the dependency.
+"""
+
+RUNNING_EXAMPLE = r'''
+typedef struct { double control; double feedback; int mode; } SHMData;
+
+SHMData *noncoreCtrl;
+SHMData *feedback;
+
+int checkSafety(SHMData *f, SHMData *nc)
+/***SafeFlow Annotation
+    assume(core(nc, 0, sizeof(SHMData))) /***/
+{
+    if (nc->control > 5.0 || nc->control < -5.0)
+        return 0;
+    if (f->feedback > 100.0)
+        return 0;
+    return 1;
+}
+
+double decision(SHMData *f, double safe, SHMData *nc)
+/***SafeFlow Annotation
+    assume(core(nc, 0, sizeof(SHMData))) /***/
+{
+    if (checkSafety(f, nc))
+        return nc->control;
+    else
+        return safe;
+}
+
+void initComm(void)
+/***SafeFlow Annotation shminit /***/
+{
+    void *shmStart;
+    int shmid;
+    shmid = shmget(42, 2 * sizeof(SHMData), 0666);
+    shmStart = shmat(shmid, 0, 0);
+    feedback = (SHMData *) shmStart;
+    noncoreCtrl = feedback + 1;
+    /***SafeFlow Annotation
+       assume(shmvar(feedback, sizeof(SHMData)));
+       assume(shmvar(noncoreCtrl, sizeof(SHMData)));
+       assume(noncore(noncoreCtrl));
+       assume(noncore(feedback)); /***/
+}
+
+void sendControl(double v);
+void getFeedback(SHMData *f);
+void computeSafety(SHMData *f, double *out);
+
+int main(void)
+{
+    double output;
+    double safeControl;
+    int i;
+    initComm();
+    for (i = 0; i < 100; i++) {
+        getFeedback(feedback);
+        computeSafety(feedback, &safeControl);
+        output = decision(feedback, safeControl, noncoreCtrl);
+        /***SafeFlow Annotation assert(safe(output)); /***/
+        sendControl(output);
+    }
+    return 0;
+}
+'''

@@ -1,0 +1,82 @@
+/*
+ * dip_hal.c -- hardware abstraction layer of the double-IP core.
+ *
+ * Six sensor channels (track position/velocity and two angle pairs)
+ * on the faster DAQ card; core-side and trusted.
+ */
+
+#include "dip_types.h"
+
+#define CH_TRACK   0
+#define CH_TRKVEL  1
+#define CH_ANGLE1  2
+#define CH_ANGVEL1 3
+#define CH_ANGLE2  4
+#define CH_ANGVEL2 5
+#define CH_MOTOR   0
+
+#define TRACK_SCALE   0.00052
+#define TRKVEL_SCALE  0.00131
+#define ANGLE_SCALE   0.000095
+#define ANGVEL_SCALE  0.00071
+#define MOTOR_SCALE   256.0
+
+int dipDaqFd;
+
+extern int daqReadRaw(int fd, int channel);
+extern void daqWriteRaw(int fd, int channel, int counts);
+
+int halInit(const char *device)
+{
+    dipDaqFd = open(device, 2);
+    if (dipDaqFd < 0) {
+        return -1;
+    }
+    return 0;
+}
+
+double hwReadTrack(void)
+{
+    return daqReadRaw(dipDaqFd, CH_TRACK) * TRACK_SCALE;
+}
+
+double hwReadTrackVel(void)
+{
+    return daqReadRaw(dipDaqFd, CH_TRKVEL) * TRKVEL_SCALE;
+}
+
+double hwReadAngle1(void)
+{
+    return daqReadRaw(dipDaqFd, CH_ANGLE1) * ANGLE_SCALE;
+}
+
+double hwReadAngVel1(void)
+{
+    return daqReadRaw(dipDaqFd, CH_ANGVEL1) * ANGVEL_SCALE;
+}
+
+double hwReadAngle2(void)
+{
+    return daqReadRaw(dipDaqFd, CH_ANGLE2) * ANGLE_SCALE;
+}
+
+double hwReadAngVel2(void)
+{
+    return daqReadRaw(dipDaqFd, CH_ANGVEL2) * ANGVEL_SCALE;
+}
+
+void hwWriteVoltage(double v)
+{
+    if (v > DIP_MAX_VOLTAGE) {
+        v = DIP_MAX_VOLTAGE;
+    }
+    if (v < -DIP_MAX_VOLTAGE) {
+        v = -DIP_MAX_VOLTAGE;
+    }
+    daqWriteRaw(dipDaqFd, CH_MOTOR, (int) (v * MOTOR_SCALE));
+}
+
+void hwWaitPeriod(unsigned int usec)
+{
+    usleep(usec);
+}

@@ -1,0 +1,74 @@
+/*
+ * dip_types.h -- shared-memory layout of the double inverted pendulum
+ * control system.
+ *
+ * Based on the single-pendulum controller, extended with additional
+ * control modes: controller A (balance) and controller B (mode 2,
+ * swing-damping with operator trim) are separate non-core processes
+ * with their own command regions.
+ */
+#ifndef DIP_TYPES_H
+#define DIP_TYPES_H
+
+#define DIP_SHM_KEY     0x4450
+#define DIP_MAX_VOLTAGE 8.0
+#define DIP_PERIOD_US   5000
+#define DIP_TRACK_LIMIT 1.2
+#define DIP_ANGLE_LIMIT 0.25
+#define DIP_NGAINS      6
+#define SIGKILL_NUM     9
+
+/* full double-pendulum state published by the core controller */
+typedef struct {
+    double trackPos;
+    double trackVel;
+    double angle1;      /* lower link angle  */
+    double angVel1;
+    double angle2;      /* upper link angle  */
+    double angVel2;
+    unsigned int tick;
+} DipFeedback;
+
+/* command from non-core controller A (balance) */
+typedef struct {
+    double voltage;
+    unsigned int seq;
+    int valid;
+} DipCommandA;
+
+/* command from non-core controller B (mode 2, with operator trim) */
+typedef struct {
+    double voltage;
+    double trimBias;    /* operator trim, intended for display only */
+    unsigned int seq;
+    int valid;
+} DipCommandB;
+
+/* non-core process status block */
+typedef struct {
+    int ncPid;
+    unsigned int heartbeat;
+    int state;
+} DipStatus;
+
+/* control-mode configuration from the operator console */
+typedef struct {
+    int ctrlMode;       /* 1 = controller A, 2 = controller B      */
+    int uiRate;
+    int reserved[2];
+} DipConfig;
+
+/* mode state machine echo (written by the core for the UI) */
+typedef struct {
+    int activeMode;
+    int fallbackCount;
+    unsigned int lastSwitch;
+} DipState;
+
+/* gain set uploaded by the tuning tool */
+typedef struct {
+    double k[DIP_NGAINS];
+    int uploaded;
+} DipGains;
+
+#endif /* DIP_TYPES_H */

@@ -1,0 +1,97 @@
+/*
+ * dip_balance.c -- non-core balance controller (controller A) of the
+ * double inverted pendulum system. Higher-bandwidth state feedback
+ * with a disturbance observer; unverified, monitored by the core.
+ */
+
+#include "../core/dip_types.h"
+
+DipFeedback *dipFb;
+DipCommandA *dipCmd1;
+DipCommandB *dipCmd2;
+DipStatus *dipStatus;
+DipConfig *dipConfig;
+DipState *dipState;
+DipGains *dipGains;
+
+double distEstimate;
+unsigned int seqCounter;
+
+void attachShm(void)
+{
+    void *base;
+    int shmid;
+    char *cursor;
+    unsigned int total;
+
+    total = sizeof(DipFeedback) + sizeof(DipCommandA)
+          + sizeof(DipCommandB) + sizeof(DipStatus)
+          + sizeof(DipConfig) + sizeof(DipState) + sizeof(DipGains);
+    shmid = shmget(DIP_SHM_KEY, total, 0666);
+    base = shmat(shmid, 0, 0);
+    cursor = (char *) base;
+    dipFb = (DipFeedback *) cursor;
+    cursor = cursor + sizeof(DipFeedback);
+    dipCmd1 = (DipCommandA *) cursor;
+    cursor = cursor + sizeof(DipCommandA);
+    dipCmd2 = (DipCommandB *) cursor;
+    cursor = cursor + sizeof(DipCommandB);
+    dipStatus = (DipStatus *) cursor;
+    cursor = cursor + sizeof(DipStatus);
+    dipConfig = (DipConfig *) cursor;
+    cursor = cursor + sizeof(DipConfig);
+    dipState = (DipState *) cursor;
+    cursor = cursor + sizeof(DipState);
+    dipGains = (DipGains *) cursor;
+}
+
+double observerUpdate(double a1, double v1, double u)
+{
+    double predicted;
+    double innovation;
+
+    predicted = v1 + 0.005 * (17.6 * a1 - 3.0 * u + distEstimate);
+    innovation = v1 - predicted;
+    distEstimate = distEstimate + 2.5 * innovation;
+    return distEstimate;
+}
+
+double balanceControl(void)
+{
+    double u;
+    double dist;
+
+    u = -(-4.2 * dipFb->trackPos + -6.8 * dipFb->trackVel
+        + 81.5 * dipFb->angle1 + 14.7 * dipFb->angVel1
+        + -29.3 * dipFb->angle2 + -5.9 * dipFb->angVel2);
+    dist = observerUpdate(dipFb->angle1, dipFb->angVel1, u);
+    return u - 0.8 * dist;
+}
+
+int main(void)
+{
+    double u;
+    unsigned int beat;
+
+    attachShm();
+    dipStatus->ncPid = getpid();
+    dipStatus->state = 1;
+    distEstimate = 0.0;
+    seqCounter = 0;
+    beat = 0;
+
+    while (1) {
+        u = balanceControl();
+
+        dipCmd1->voltage = u;
+        seqCounter = seqCounter + 1;
+        dipCmd1->seq = seqCounter;
+        dipCmd1->valid = 1;
+
+        beat = beat + 1;
+        dipStatus->heartbeat = beat;
+
+        hwWaitPeriod(DIP_PERIOD_US);
+    }
+    return 0;
+}

@@ -1,0 +1,93 @@
+/*
+ * dip_swing.c -- non-core swing-damping controller (controller B) of
+ * the double inverted pendulum system. Adds an operator trim knob; the
+ * trim is *supposed* to be display-only but is published next to the
+ * voltage in DipCommandB, which is exactly the value the core's mode-2
+ * path erroneously folds into the actuator output.
+ */
+
+#include "../core/dip_types.h"
+
+DipFeedback *dipFb;
+DipCommandA *dipCmd1;
+DipCommandB *dipCmd2;
+DipStatus *dipStatus;
+DipConfig *dipConfig;
+DipState *dipState;
+DipGains *dipGains;
+
+unsigned int seqCounter;
+
+void attachShm(void)
+{
+    void *base;
+    int shmid;
+    char *cursor;
+    unsigned int total;
+
+    total = sizeof(DipFeedback) + sizeof(DipCommandA)
+          + sizeof(DipCommandB) + sizeof(DipStatus)
+          + sizeof(DipConfig) + sizeof(DipState) + sizeof(DipGains);
+    shmid = shmget(DIP_SHM_KEY, total, 0666);
+    base = shmat(shmid, 0, 0);
+    cursor = (char *) base;
+    dipFb = (DipFeedback *) cursor;
+    cursor = cursor + sizeof(DipFeedback);
+    dipCmd1 = (DipCommandA *) cursor;
+    cursor = cursor + sizeof(DipCommandA);
+    dipCmd2 = (DipCommandB *) cursor;
+    cursor = cursor + sizeof(DipCommandB);
+    dipStatus = (DipStatus *) cursor;
+    cursor = cursor + sizeof(DipStatus);
+    dipConfig = (DipConfig *) cursor;
+    cursor = cursor + sizeof(DipConfig);
+    dipState = (DipState *) cursor;
+    cursor = cursor + sizeof(DipState);
+    dipGains = (DipGains *) cursor;
+}
+
+double swingDamping(void)
+{
+    double energy1;
+    double energy2;
+    double u;
+
+    energy1 = 0.5 * dipFb->angVel1 * dipFb->angVel1
+            + 14.2 * (1.0 - cos(dipFb->angle1));
+    energy2 = 0.5 * dipFb->angVel2 * dipFb->angVel2
+            + 9.3 * (1.0 - cos(dipFb->angle2));
+    u = -3.4 * dipFb->angVel1 * energy1 - 1.9 * dipFb->angVel2 * energy2
+      - 2.2 * dipFb->trackVel;
+    return u;
+}
+
+int main(void)
+{
+    double u;
+    double trim;
+    int key;
+
+    attachShm();
+    trim = 0.0;
+    seqCounter = 0;
+
+    while (1) {
+        u = swingDamping();
+
+        key = getchar();
+        if (key == '+') {
+            trim = trim + 0.05;
+        } else if (key == '-') {
+            trim = trim - 0.05;
+        }
+
+        dipCmd2->voltage = u;
+        dipCmd2->trimBias = trim;
+        seqCounter = seqCounter + 1;
+        dipCmd2->seq = seqCounter;
+        dipCmd2->valid = 1;
+
+        hwWaitPeriod(DIP_PERIOD_US * 2);
+    }
+    return 0;
+}

@@ -1,0 +1,345 @@
+/*
+ * dip_core.c -- core controller of the double inverted pendulum system.
+ * (original, pre-SafeFlow version: the controller-B decision logic is
+ * inlined in the main loop; porting extracted it into monitorCmdB so
+ * the assume(core(...)) annotation could be applied.)
+ *
+ * Keeps both links upright with a 6-state LQR law while either of two
+ * non-core controllers (balance / swing-damping) may be dispatched
+ * through the decision monitors. This is the newest of the three lab
+ * systems and still being refined; SafeFlow found two erroneous value
+ * dependencies in it (§4):
+ *
+ *   - the restart supervisor trusts the pid in the status block;
+ *   - the mode-2 path adds the operator trim bias read straight from
+ *     the DipCommandB region to the actuator output, under the
+ *     (invalid) assumption that the trim "cannot reach the plant".
+ */
+
+#include "../core/dip_types.h"
+
+#define WATCHDOG_LIMIT 40
+#define SAFE_PERIOD_US DIP_PERIOD_US
+#define ENV_LIMIT      1.0
+#define TRIM_SCALE     0.1
+
+/* builtin LQR gains for the linearized double pendulum */
+#define KD_TRACK   -3.1623
+#define KD_TRKVEL  -5.4410
+#define KD_ANG1    68.2205
+#define KD_AV1     12.0913
+#define KD_ANG2   -24.5531
+#define KD_AV2     -4.8020
+
+/* Lyapunov envelope weights (diagonal approximation) */
+#define PW_TRACK  0.61
+#define PW_TRKVEL 0.95
+#define PW_ANG1   3.10
+#define PW_AV1    0.88
+#define PW_ANG2   2.40
+#define PW_AV2    0.71
+
+/* shared-memory pointer variables */
+DipFeedback *dipFb;
+DipCommandA *dipCmd1;
+DipCommandB *dipCmd2;
+DipStatus *dipStatus;
+DipConfig *dipConfig;
+DipState *dipState;
+DipGains *dipGains;
+
+unsigned int lastHeartbeat;
+int missedBeats;
+int fallbacks;
+unsigned int lastSeqA;
+unsigned int lastSeqB;
+
+extern double hwReadTrack(void);
+extern double hwReadTrackVel(void);
+extern double hwReadAngle1(void);
+extern double hwReadAngVel1(void);
+extern double hwReadAngle2(void);
+extern double hwReadAngVel2(void);
+extern void hwWriteVoltage(double v);
+extern void hwWaitPeriod(unsigned int usec);
+
+void initShm(void)
+{
+    void *base;
+    int shmid;
+    char *cursor;
+    unsigned int total;
+
+    total = sizeof(DipFeedback) + sizeof(DipCommandA)
+          + sizeof(DipCommandB) + sizeof(DipStatus)
+          + sizeof(DipConfig) + sizeof(DipState) + sizeof(DipGains);
+    shmid = shmget(DIP_SHM_KEY, total, 0666);
+    if (shmid < 0) {
+        exit(1);
+    }
+    base = shmat(shmid, 0, 0);
+    cursor = (char *) base;
+    dipFb = (DipFeedback *) cursor;
+    cursor = cursor + sizeof(DipFeedback);
+    dipCmd1 = (DipCommandA *) cursor;
+    cursor = cursor + sizeof(DipCommandA);
+    dipCmd2 = (DipCommandB *) cursor;
+    cursor = cursor + sizeof(DipCommandB);
+    dipStatus = (DipStatus *) cursor;
+    cursor = cursor + sizeof(DipStatus);
+    dipConfig = (DipConfig *) cursor;
+    cursor = cursor + sizeof(DipConfig);
+    dipState = (DipState *) cursor;
+    cursor = cursor + sizeof(DipState);
+    dipGains = (DipGains *) cursor;
+}
+
+double clampVoltage(double v)
+{
+    if (v > DIP_MAX_VOLTAGE) {
+        return DIP_MAX_VOLTAGE;
+    }
+    if (v < -DIP_MAX_VOLTAGE) {
+        return -DIP_MAX_VOLTAGE;
+    }
+    return v;
+}
+
+void loadDefaultGains(double *out)
+{
+    out[0] = KD_TRACK;
+    out[1] = KD_TRKVEL;
+    out[2] = KD_ANG1;
+    out[3] = KD_AV1;
+    out[4] = KD_ANG2;
+    out[5] = KD_AV2;
+}
+
+/*
+ * Monitoring function for the uploaded gain set (range checks per
+ * gain; the region may be treated as core in here).
+ */
+void monitorGains(DipGains *g, double *out)
+{
+    int i;
+    double v;
+
+    if (g->uploaded == 0) {
+        return;
+    }
+    for (i = 0; i < DIP_NGAINS; i++) {
+        v = g->k[i];
+        if (v >= -100.0 && v <= 100.0) {
+            out[i] = v;
+        }
+    }
+}
+
+void readSensors(DipFeedback *out, unsigned int tick)
+{
+    out->trackPos = hwReadTrack();
+    out->trackVel = hwReadTrackVel();
+    out->angle1 = hwReadAngle1();
+    out->angVel1 = hwReadAngVel1();
+    out->angle2 = hwReadAngle2();
+    out->angVel2 = hwReadAngVel2();
+    out->tick = tick;
+
+    dipFb->trackPos = out->trackPos;
+    dipFb->trackVel = out->trackVel;
+    dipFb->angle1 = out->angle1;
+    dipFb->angVel1 = out->angVel1;
+    dipFb->angle2 = out->angle2;
+    dipFb->angVel2 = out->angVel2;
+    dipFb->tick = out->tick;
+}
+
+double lqr6(DipFeedback *s, double *k)
+{
+    double u;
+    u = k[0] * s->trackPos + k[1] * s->trackVel
+      + k[2] * s->angle1 + k[3] * s->angVel1
+      + k[4] * s->angle2 + k[5] * s->angVel2;
+    return clampVoltage(-u);
+}
+
+/* one-step envelope recoverability for a candidate voltage */
+int recoverable(DipFeedback *s, double v)
+{
+    double dt;
+    double nTrack;
+    double nTrkVel;
+    double nA1;
+    double nV1;
+    double nA2;
+    double nV2;
+    double lyap;
+
+    dt = DIP_PERIOD_US / 1000000.0;
+    nTrack = s->trackPos + dt * s->trackVel;
+    nTrkVel = s->trackVel + dt * (1.12 * v - 0.44 * s->angle1);
+    nA1 = s->angle1 + dt * s->angVel1;
+    nV1 = s->angVel1 + dt * (17.6 * s->angle1 - 6.1 * s->angle2 - 3.0 * v);
+    nA2 = s->angle2 + dt * s->angVel2;
+    nV2 = s->angVel2 + dt * (21.4 * s->angle2 - 9.7 * s->angle1 + 1.9 * v);
+
+    lyap = PW_TRACK * nTrack * nTrack + PW_TRKVEL * nTrkVel * nTrkVel
+         + PW_ANG1 * nA1 * nA1 + PW_AV1 * nV1 * nV1
+         + PW_ANG2 * nA2 * nA2 + PW_AV2 * nV2 * nV2;
+
+    if (lyap > ENV_LIMIT) {
+        return 0;
+    }
+    if (nTrack > DIP_TRACK_LIMIT || nTrack < -DIP_TRACK_LIMIT) {
+        return 0;
+    }
+    if (nA1 > DIP_ANGLE_LIMIT || nA1 < -DIP_ANGLE_LIMIT) {
+        return 0;
+    }
+    if (nA2 > DIP_ANGLE_LIMIT || nA2 < -DIP_ANGLE_LIMIT) {
+        return 0;
+    }
+    return 1;
+}
+
+/* decision monitor for controller A's command */
+double monitorCmdA(DipCommandA *cmd, double fallback, DipFeedback *sense)
+{
+    double v;
+    unsigned int seq;
+
+    if (cmd->valid == 0) {
+        return fallback;
+    }
+    seq = cmd->seq;
+    if (seq == lastSeqA) {
+        return fallback;
+    }
+    lastSeqA = seq;
+    v = cmd->voltage;
+    if (v > DIP_MAX_VOLTAGE || v < -DIP_MAX_VOLTAGE) {
+        return fallback;
+    }
+    if (!recoverable(sense, v)) {
+        return fallback;
+    }
+    return v;
+}
+
+int checkWatchdog(void)
+{
+    unsigned int beat;
+
+    beat = dipStatus->heartbeat;
+    if (beat == lastHeartbeat) {
+        missedBeats = missedBeats + 1;
+    } else {
+        missedBeats = 0;
+        lastHeartbeat = beat;
+    }
+    return missedBeats < WATCHDOG_LIMIT;
+}
+
+/* BUG: unmonitored pid straight into kill() */
+void superviseNoncore(void)
+{
+    int pid;
+
+    pid = dipStatus->ncPid;
+    if (pid > 1) {
+        kill(pid, SIGKILL_NUM);
+    }
+}
+
+/* diagnostic console output */
+void logDiag(DipFeedback *s, double u, unsigned int tick)
+{
+    int rate;
+    double a1;
+    double a2;
+    unsigned int lastA;
+
+    rate = dipConfig->uiRate;
+    if (rate > 0 && (tick % 200u) == 0u) {
+        a1 = dipFb->angle1;
+        a2 = dipFb->angle2;
+        lastA = dipCmd1->seq;
+        printf("[dip-core] tick=%u a1=%f a2=%f u=%f lastA=%u\n",
+               tick, a1, a2, u, lastA);
+    }
+}
+
+int main(void)
+{
+    DipFeedback sensors;
+    double kvec[DIP_NGAINS];
+    double kTrack;
+    double safeU;
+    double base;
+    double trim;
+    double vB;
+    unsigned int seqB;
+    double output;
+    unsigned int safePeriod;
+    double envLimit;
+    unsigned int tick;
+    int cmode;
+    int alive;
+
+    initShm();
+    tick = 0;
+    lastHeartbeat = 0;
+    missedBeats = 0;
+    lastSeqA = 0;
+    lastSeqB = 0;
+    loadDefaultGains(kvec);
+    monitorGains(dipGains, kvec);
+
+    /* sanity checks on the constants the safe controller relies on */
+    kTrack = kvec[0];
+    safePeriod = SAFE_PERIOD_US;
+    envLimit = ENV_LIMIT;
+
+    while (1) {
+        readSensors(&sensors, tick);
+        safeU = lqr6(&sensors, kvec);
+
+        alive = checkWatchdog();
+        if (alive) {
+            cmode = dipConfig->ctrlMode;
+            if (cmode == 2) {
+                /* controller-B decision logic inlined in the loop */
+                base = safeU;
+                if (dipCmd2->valid != 0) {
+                    seqB = dipCmd2->seq;
+                    if (seqB != lastSeqB) {
+                        lastSeqB = seqB;
+                        vB = dipCmd2->voltage;
+                        if (vB <= DIP_MAX_VOLTAGE && vB >= -DIP_MAX_VOLTAGE) {
+                            if (recoverable(&sensors, vB)) {
+                                base = vB;
+                            }
+                        }
+                    }
+                }
+                trim = dipCmd2->trimBias;
+                output = clampVoltage(base + TRIM_SCALE * trim);
+            } else {
+                output = monitorCmdA(dipCmd1, safeU, &sensors);
+            }
+            dipState->activeMode = cmode;
+        } else {
+            superviseNoncore();
+            output = safeU;
+            fallbacks = fallbacks + 1;
+            dipState->fallbackCount = fallbacks;
+        }
+
+        hwWriteVoltage(output);
+        logDiag(&sensors, output, tick);
+
+        tick = tick + 1u;
+        hwWaitPeriod(safePeriod);
+    }
+    return 0;
+}

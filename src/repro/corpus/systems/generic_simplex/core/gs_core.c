@@ -1,0 +1,318 @@
+/*
+ * gs_core.c -- core controller of the generic Simplex system.
+ *
+ * A configurable Simplex implementation for simple (first/second
+ * order) plants: the safe controller is a PD law with either builtin
+ * gains or gains uploaded through shared memory (validated by a
+ * monitoring function); the complex controller's command is dispatched
+ * only after the recoverability monitor admits it.
+ *
+ * KNOWN-SUBTLE BUGS this version carries (all found by SafeFlow, §4):
+ *   - the safe control law reads the plant feedback back from the
+ *     shared FeedbackData region instead of using its local copy; a
+ *     non-core component that overwrites the (supposedly read-only)
+ *     feedback can rig the recoverability check;
+ *   - the restart supervisor passes a pid read from shared memory
+ *     straight to kill().
+ */
+
+#include "gs_types.h"
+
+#define K_P_BUILTIN  3.20
+#define K_D_BUILTIN  1.15
+#define K_R_BUILTIN  0.42
+#define ENVELOPE_LIM 1.0
+#define SUPERVISE_DIV 500u
+
+/* shared-memory pointer variables */
+FeedbackData *gsFeedback;
+ActuationCmd *gsCmd;
+PlantConfig *gsConfig;
+ProcStatus *gsStatus;
+GainData *gsGains;
+ModeData *gsModes;
+LimitData *gsLimits;
+
+unsigned int lastSeq;
+
+/* local plant state sampled from the I/O card */
+typedef struct {
+    double y;
+    double ydot;
+    double yint;
+} PlantState;
+
+extern double hwReadPrimary(void);
+extern double hwReadRate(void);
+extern void hwWriteActuator(double u);
+extern void hwWaitPeriod(unsigned int usec);
+extern void hwDisplaySetpoint(double sp);
+extern void hwAlarmThreshold(double guard);
+
+/*
+ * Shared-memory initialization: seven regions carved out of a single
+ * System V segment. Only this function may cast/offset the untyped
+ * segment (shminit exemption).
+ */
+void initShm(void)
+/***SafeFlow Annotation
+    shminit /***/
+{
+    void *base;
+    int shmid;
+    char *cursor;
+    unsigned int total;
+
+    total = sizeof(FeedbackData) + sizeof(ActuationCmd)
+          + sizeof(PlantConfig) + sizeof(ProcStatus)
+          + sizeof(GainData) + sizeof(ModeData) + sizeof(LimitData);
+    shmid = shmget(GS_SHM_KEY, total, 0666);
+    if (shmid < 0) {
+        exit(1);
+    }
+    base = shmat(shmid, 0, 0);
+    cursor = (char *) base;
+    gsFeedback = (FeedbackData *) cursor;
+    cursor = cursor + sizeof(FeedbackData);
+    gsCmd = (ActuationCmd *) cursor;
+    cursor = cursor + sizeof(ActuationCmd);
+    gsConfig = (PlantConfig *) cursor;
+    cursor = cursor + sizeof(PlantConfig);
+    gsStatus = (ProcStatus *) cursor;
+    cursor = cursor + sizeof(ProcStatus);
+    gsGains = (GainData *) cursor;
+    cursor = cursor + sizeof(GainData);
+    gsModes = (ModeData *) cursor;
+    cursor = cursor + sizeof(ModeData);
+    gsLimits = (LimitData *) cursor;
+    /***SafeFlow Annotation
+        assume(shmvar(gsFeedback, sizeof(FeedbackData)));
+        assume(shmvar(gsCmd, sizeof(ActuationCmd)));
+        assume(shmvar(gsConfig, sizeof(PlantConfig)));
+        assume(shmvar(gsStatus, sizeof(ProcStatus)));
+        assume(shmvar(gsGains, sizeof(GainData)));
+        assume(shmvar(gsModes, sizeof(ModeData)));
+        assume(shmvar(gsLimits, sizeof(LimitData)));
+        assume(noncore(gsFeedback));
+        assume(noncore(gsCmd));
+        assume(noncore(gsConfig));
+        assume(noncore(gsStatus));
+        assume(noncore(gsGains));
+        assume(noncore(gsModes));
+        assume(noncore(gsLimits)) /***/
+}
+
+double clampCmd(double u)
+{
+    if (u > GS_MAX_CMD) {
+        return GS_MAX_CMD;
+    }
+    if (u < -GS_MAX_CMD) {
+        return -GS_MAX_CMD;
+    }
+    return u;
+}
+
+/* sample the plant into a local record and publish it for non-core */
+void samplePlant(PlantState *st, unsigned int tick)
+{
+    st->y = hwReadPrimary();
+    st->ydot = hwReadRate();
+    st->yint = st->yint + st->y * (GS_PERIOD_BASE / 1000000.0);
+
+    gsFeedback->primary = st->y;
+    gsFeedback->secondary = st->ydot;
+    gsFeedback->rate = st->ydot;
+    gsFeedback->tick = tick;
+}
+
+void loadDefaultGains(double *out)
+{
+    out[0] = K_P_BUILTIN;
+    out[1] = K_D_BUILTIN;
+    out[2] = K_R_BUILTIN;
+    out[3] = 0.0;
+}
+
+/*
+ * Monitoring function for the uploaded gain set: each gain is range-
+ * checked before it may replace a builtin gain. Within this function
+ * the GainData region may be treated as core.
+ */
+void monitorGains(GainData *g, double *out)
+/***SafeFlow Annotation
+    assume(core(g, 0, sizeof(GainData))) /***/
+{
+    int i;
+    double v;
+
+    if (g->uploaded == 0) {
+        return;
+    }
+    for (i = 0; i < GS_NGAINS; i++) {
+        v = g->k[i];
+        if (v >= 0.0 && v <= 50.0) {
+            out[i] = v;
+        }
+    }
+}
+
+/*
+ * Safe control law (PD + reference shaping). BUG: the primary
+ * variable is read back from the shared FeedbackData region rather
+ * than from the local PlantState sample -- the value flows into the
+ * actuator output without monitoring.
+ */
+double computeSafeControl(PlantState *st, double *gains, double kp)
+{
+    double y;
+    double u;
+
+    y = gsFeedback->primary;
+    u = -(kp * y + gains[1] * st->ydot + gains[2] * st->yint);
+    return clampCmd(u);
+}
+
+/*
+ * Monitoring function for the complex controller's command: freshness,
+ * validity, range and one-step envelope recoverability.
+ */
+double monitorCmd(ActuationCmd *cmd, double fallback, PlantState *st)
+/***SafeFlow Annotation
+    assume(core(cmd, 0, sizeof(ActuationCmd))) /***/
+{
+    double u;
+    double ny;
+    double nydot;
+    double v;
+    unsigned int seq;
+
+    if (cmd->valid == 0) {
+        return fallback;
+    }
+    seq = cmd->seq;
+    if (seq == lastSeq) {
+        return fallback;
+    }
+    lastSeq = seq;
+    u = cmd->u;
+    if (u > GS_MAX_CMD || u < -GS_MAX_CMD) {
+        return fallback;
+    }
+    ny = st->y + 0.02 * st->ydot;
+    nydot = st->ydot + 0.02 * (1.4 * u - 0.8 * st->y);
+    v = 0.9 * ny * ny + 0.6 * nydot * nydot;
+    if (v > ENVELOPE_LIM) {
+        return fallback;
+    }
+    return u;
+}
+
+/*
+ * Restart supervision. BUG: the pid is an unmonitored non-core value;
+ * a corrupted status block turns this into kill(<anything>).
+ */
+void superviseNoncore(unsigned int tick)
+{
+    int pid;
+
+    if ((tick % SUPERVISE_DIV) != 0u) {
+        return;
+    }
+    pid = gsStatus->ncPid;
+    if (pid > 1) {
+        kill(pid, SIGKILL_NUM);
+    }
+}
+
+int main(void)
+{
+    PlantState st;
+    double gains[GS_NGAINS];
+    double gainTrack;
+    double safeBase;
+    double output;
+    double dispSetpoint;
+    double travelGuard;
+    double boundSum;
+    unsigned int period;
+    unsigned int tick;
+    int pt;
+    int om;
+    int sel;
+    int rd;
+    int i;
+
+    initShm();
+    st.y = 0.0;
+    st.ydot = 0.0;
+    st.yint = 0.0;
+    tick = 0;
+    lastSeq = 0;
+    loadDefaultGains(gains);
+
+    while (1) {
+        samplePlant(&st, tick);
+
+        /* gain source selection comes from the uploaded configuration */
+        pt = gsConfig->plantType;
+        if (pt == 1) {
+            monitorGains(gsGains, gains);
+            gainTrack = gains[0];
+        } else {
+            loadDefaultGains(gains);
+            gainTrack = K_P_BUILTIN;
+        }
+        /***SafeFlow Annotation assert(safe(gainTrack)); /***/
+
+        safeBase = computeSafeControl(&st, gains, gainTrack);
+
+        /* manual mode bypasses the complex controller entirely */
+        om = gsModes->opMode;
+        if (om == 0) {
+            output = safeBase;
+        } else {
+            output = monitorCmd(gsCmd, safeBase, &st);
+        }
+        /***SafeFlow Annotation assert(safe(output)); /***/
+        hwWriteActuator(output);
+
+        /* control-rate selection from the configuration region */
+        rd = gsConfig->rateDiv;
+        if (rd > 1) {
+            period = GS_PERIOD_FAST;
+        } else {
+            period = GS_PERIOD_BASE;
+        }
+        /***SafeFlow Annotation assert(safe(period)); /***/
+
+        /* operator display: setpoint readout */
+        sel = gsModes->setpointSel;
+        if (sel == 1) {
+            dispSetpoint = GS_SP_ALT;
+        } else {
+            dispSetpoint = GS_SP_MAIN;
+        }
+        /***SafeFlow Annotation assert(safe(dispSetpoint)); /***/
+        hwDisplaySetpoint(dispSetpoint);
+
+        /* alarm guard band selection from the uploaded travel limits */
+        boundSum = 0.0;
+        for (i = 0; i < GS_NBOUNDS; i++) {
+            boundSum = boundSum + gsLimits->bound[i];
+        }
+        if (boundSum > 2.0) {
+            travelGuard = GS_GUARD_TIGHT;
+        } else {
+            travelGuard = GS_GUARD_WIDE;
+        }
+        /***SafeFlow Annotation assert(safe(travelGuard)); /***/
+        hwAlarmThreshold(travelGuard);
+
+        superviseNoncore(tick);
+
+        tick = tick + 1u;
+        hwWaitPeriod(period);
+    }
+    return 0;
+}

@@ -1,0 +1,73 @@
+/*
+ * gs_hal.c -- hardware abstraction layer of the generic Simplex core.
+ *
+ * Generic Simplex drives whatever plant the lab wires to the analog
+ * I/O card; the HAL only does calibration and saturation. Core-side
+ * and trusted.
+ */
+
+#include "gs_types.h"
+
+#define AIO_PRIMARY  0
+#define AIO_RATE     1
+#define AIO_ACTUATE  0
+#define AIO_DISPLAY  1
+#define AIO_ALARM    2
+
+#define PRIMARY_SCALE 0.00061
+#define RATE_SCALE    0.00153
+#define CMD_SCALE     204.8
+
+int aioFd;
+
+extern int aioReadRaw(int fd, int channel);
+extern void aioWriteRaw(int fd, int channel, int counts);
+
+int halInit(const char *device)
+{
+    aioFd = open(device, 2);
+    if (aioFd < 0) {
+        return -1;
+    }
+    return 0;
+}
+
+double hwReadPrimary(void)
+{
+    int counts;
+    counts = aioReadRaw(aioFd, AIO_PRIMARY);
+    return counts * PRIMARY_SCALE;
+}
+
+double hwReadRate(void)
+{
+    int counts;
+    counts = aioReadRaw(aioFd, AIO_RATE);
+    return counts * RATE_SCALE;
+}
+
+void hwWriteActuator(double u)
+{
+    if (u > GS_MAX_CMD) {
+        u = GS_MAX_CMD;
+    }
+    if (u < -GS_MAX_CMD) {
+        u = -GS_MAX_CMD;
+    }
+    aioWriteRaw(aioFd, AIO_ACTUATE, (int) (u * CMD_SCALE));
+}
+
+void hwDisplaySetpoint(double sp)
+{
+    aioWriteRaw(aioFd, AIO_DISPLAY, (int) (sp * CMD_SCALE));
+}
+
+void hwAlarmThreshold(double guard)
+{
+    aioWriteRaw(aioFd, AIO_ALARM, (int) (guard * CMD_SCALE));
+}
+
+void hwWaitPeriod(unsigned int usec)
+{
+    usleep(usec);
+}

@@ -1,0 +1,75 @@
+/*
+ * gs_types.h -- shared-memory layout of the generic Simplex system.
+ *
+ * Generic Simplex is a configurable core/complex controller pair for
+ * simple plants: the plant model, gains, operating modes and limits
+ * are all supplied through shared memory by non-core configuration
+ * tools, which is why this system has many more shared regions (and,
+ * as the paper reports, many more control-dependence false positives)
+ * than the pendulum controllers.
+ */
+#ifndef GS_TYPES_H
+#define GS_TYPES_H
+
+#define GS_SHM_KEY     0x4753
+#define GS_MAX_CMD     10.0
+#define GS_PERIOD_BASE 20000
+#define GS_PERIOD_FAST 5000
+#define GS_SP_MAIN     0.0
+#define GS_SP_ALT      0.25
+#define GS_GUARD_WIDE  0.9
+#define GS_GUARD_TIGHT 0.45
+#define GS_NGAINS      4
+#define GS_NBOUNDS     4
+#define SIGKILL_NUM    9
+
+/* plant feedback published by the core controller */
+typedef struct {
+    double primary;      /* primary controlled variable           */
+    double secondary;    /* secondary (rate) variable             */
+    double rate;         /* filtered derivative                   */
+    unsigned int tick;
+} FeedbackData;
+
+/* actuation command computed by the complex controller */
+typedef struct {
+    double u;
+    unsigned int seq;
+    int valid;
+} ActuationCmd;
+
+/* plant configuration uploaded by the configuration tool */
+typedef struct {
+    int plantType;       /* 0 = builtin model, 1 = uploaded gains  */
+    int rateDiv;         /* control-rate divider                   */
+    int logLevel;
+    double refGain;
+} PlantConfig;
+
+/* non-core process status */
+typedef struct {
+    int ncPid;
+    unsigned int heartbeat;
+    int state;
+} ProcStatus;
+
+/* gain set uploaded by the tuning tool */
+typedef struct {
+    double k[GS_NGAINS];
+    int uploaded;
+} GainData;
+
+/* operating modes selected at the operator console */
+typedef struct {
+    int opMode;          /* 0 = manual (safe controller only)      */
+    int setpointSel;     /* display setpoint selector              */
+    int reserved;
+} ModeData;
+
+/* travel limits uploaded by the configuration tool */
+typedef struct {
+    double bound[GS_NBOUNDS];
+    int sel;
+} LimitData;
+
+#endif /* GS_TYPES_H */

@@ -1,0 +1,116 @@
+/*
+ * gs_complex.c -- non-core complex controller of the generic Simplex
+ * system. Runs an adaptive PID whose gains drift with the observed
+ * plant response; not verified, not trusted, monitored by the core.
+ */
+
+#include "../core/gs_types.h"
+
+FeedbackData *gsFeedback;
+ActuationCmd *gsCmd;
+PlantConfig *gsConfig;
+ProcStatus *gsStatus;
+GainData *gsGains;
+ModeData *gsModes;
+LimitData *gsLimits;
+
+double adaptKp;
+double adaptKd;
+double adaptKi;
+double integ;
+double prevErr;
+unsigned int seqCounter;
+
+void attachShm(void)
+{
+    void *base;
+    int shmid;
+    char *cursor;
+    unsigned int total;
+
+    total = sizeof(FeedbackData) + sizeof(ActuationCmd)
+          + sizeof(PlantConfig) + sizeof(ProcStatus)
+          + sizeof(GainData) + sizeof(ModeData) + sizeof(LimitData);
+    shmid = shmget(GS_SHM_KEY, total, 0666);
+    base = shmat(shmid, 0, 0);
+    cursor = (char *) base;
+    gsFeedback = (FeedbackData *) cursor;
+    cursor = cursor + sizeof(FeedbackData);
+    gsCmd = (ActuationCmd *) cursor;
+    cursor = cursor + sizeof(ActuationCmd);
+    gsConfig = (PlantConfig *) cursor;
+    cursor = cursor + sizeof(PlantConfig);
+    gsStatus = (ProcStatus *) cursor;
+    cursor = cursor + sizeof(ProcStatus);
+    gsGains = (GainData *) cursor;
+    cursor = cursor + sizeof(GainData);
+    gsModes = (ModeData *) cursor;
+    cursor = cursor + sizeof(ModeData);
+    gsLimits = (LimitData *) cursor;
+}
+
+double adaptiveControl(double y, double ydot)
+{
+    double err;
+    double derr;
+    double u;
+
+    err = 0.0 - y;
+    derr = (err - prevErr) / 0.02;
+    integ = integ + err * 0.02;
+    if (integ > 4.0) {
+        integ = 4.0;
+    }
+    if (integ < -4.0) {
+        integ = -4.0;
+    }
+    u = adaptKp * err + adaptKd * derr + adaptKi * integ;
+
+    /* crude gain adaptation on the tracking error */
+    if (err * err > 0.04) {
+        adaptKp = adaptKp + 0.002;
+    } else {
+        adaptKp = adaptKp - 0.0005;
+        if (adaptKp < 1.0) {
+            adaptKp = 1.0;
+        }
+    }
+    prevErr = err;
+    return u;
+}
+
+int main(void)
+{
+    double y;
+    double ydot;
+    double u;
+    unsigned int beat;
+
+    attachShm();
+    gsStatus->ncPid = getpid();
+    gsStatus->state = 1;
+    adaptKp = 2.0;
+    adaptKd = 0.8;
+    adaptKi = 0.1;
+    integ = 0.0;
+    prevErr = 0.0;
+    seqCounter = 0;
+    beat = 0;
+
+    while (1) {
+        y = gsFeedback->primary;
+        ydot = gsFeedback->secondary;
+        u = adaptiveControl(y, ydot);
+
+        gsCmd->u = u;
+        seqCounter = seqCounter + 1;
+        gsCmd->seq = seqCounter;
+        gsCmd->valid = 1;
+
+        beat = beat + 1;
+        gsStatus->heartbeat = beat;
+
+        hwWaitPeriod(GS_PERIOD_BASE);
+    }
+    return 0;
+}

@@ -1,0 +1,113 @@
+/*
+ * gs_tuner.c -- non-core configuration/tuning tool of the generic
+ * Simplex system. Parses a plant description file and uploads plant
+ * type, gains, rate, modes, and travel limits into shared memory.
+ */
+
+#include "../core/gs_types.h"
+
+FeedbackData *gsFeedback;
+ActuationCmd *gsCmd;
+PlantConfig *gsConfig;
+ProcStatus *gsStatus;
+GainData *gsGains;
+ModeData *gsModes;
+LimitData *gsLimits;
+
+void attachShm(void)
+{
+    void *base;
+    int shmid;
+    char *cursor;
+    unsigned int total;
+
+    total = sizeof(FeedbackData) + sizeof(ActuationCmd)
+          + sizeof(PlantConfig) + sizeof(ProcStatus)
+          + sizeof(GainData) + sizeof(ModeData) + sizeof(LimitData);
+    shmid = shmget(GS_SHM_KEY, total, 0666);
+    base = shmat(shmid, 0, 0);
+    cursor = (char *) base;
+    gsFeedback = (FeedbackData *) cursor;
+    cursor = cursor + sizeof(FeedbackData);
+    gsCmd = (ActuationCmd *) cursor;
+    cursor = cursor + sizeof(ActuationCmd);
+    gsConfig = (PlantConfig *) cursor;
+    cursor = cursor + sizeof(PlantConfig);
+    gsStatus = (ProcStatus *) cursor;
+    cursor = cursor + sizeof(ProcStatus);
+    gsGains = (GainData *) cursor;
+    cursor = cursor + sizeof(GainData);
+    gsModes = (ModeData *) cursor;
+    cursor = cursor + sizeof(ModeData);
+    gsLimits = (LimitData *) cursor;
+}
+
+int parsePlantFile(const char *path, double *gains, double *bounds,
+                   int *plantType, int *rateDiv)
+{
+    FILE *fp;
+    char line[128];
+    double value;
+    int field;
+
+    fp = fopen(path, "r");
+    if (fp == 0) {
+        return -1;
+    }
+    field = 0;
+    while (fgets(line, 128, fp) != 0) {
+        if (line[0] == '#') {
+            continue;
+        }
+        value = atof(line);
+        if (field < GS_NGAINS) {
+            gains[field] = value;
+        } else if (field < GS_NGAINS + GS_NBOUNDS) {
+            bounds[field - GS_NGAINS] = value;
+        } else if (field == GS_NGAINS + GS_NBOUNDS) {
+            *plantType = (int) value;
+        } else if (field == GS_NGAINS + GS_NBOUNDS + 1) {
+            *rateDiv = (int) value;
+        }
+        field = field + 1;
+    }
+    fclose(fp);
+    return field;
+}
+
+int main(void)
+{
+    double gains[GS_NGAINS];
+    double bounds[GS_NBOUNDS];
+    int plantType;
+    int rateDiv;
+    int parsed;
+    int i;
+
+    attachShm();
+    plantType = 0;
+    rateDiv = 1;
+    parsed = parsePlantFile("plant.cfg", gains, bounds, &plantType, &rateDiv);
+    if (parsed < 0) {
+        printf("gs-tuner: no plant.cfg, leaving builtin configuration\n");
+        return 1;
+    }
+
+    for (i = 0; i < GS_NGAINS; i++) {
+        gsGains->k[i] = gains[i];
+    }
+    gsGains->uploaded = 1;
+    for (i = 0; i < GS_NBOUNDS; i++) {
+        gsLimits->bound[i] = bounds[i];
+    }
+    gsLimits->sel = 0;
+    gsConfig->plantType = plantType;
+    gsConfig->rateDiv = rateDiv;
+    gsConfig->logLevel = 1;
+    gsConfig->refGain = 1.0;
+    gsModes->opMode = 1;
+    gsModes->setpointSel = 0;
+
+    printf("gs-tuner: uploaded %d fields\n", parsed);
+    return 0;
+}

@@ -1,0 +1,338 @@
+/*
+ * ip_core.c -- core controller of the inverted pendulum Simplex system.
+ *
+ * The core controller keeps the pendulum upright no matter what the
+ * non-core side does. Each period it:
+ *
+ *   1. samples the track/angle sensors and publishes them in shared
+ *      memory for the complex controller and the operator UI;
+ *   2. computes its own safe control output (LQR baseline, with an
+ *      energy-shaping alternative selectable from the operator UI);
+ *   3. runs the decision module: the complex controller's output is
+ *      dispatched only if the run-time monitor can verify that the
+ *      system stays inside the recoverable region (Simplex stability
+ *      envelope), otherwise the safe output is used;
+ *   4. supervises the non-core process through a heartbeat watchdog.
+ *
+ * SafeFlow annotations mark the shared-memory initialization, the
+ * monitoring function, and the critical actuator output.
+ */
+
+#include "ip_types.h"
+
+#define WATCHDOG_LIMIT 25
+#define FILTER_ALPHA   0.15
+
+/* LQR state-feedback gains for the linearized pendulum (from dlqr on
+ * the cart-pole model; see the lab notebook for the derivation). */
+#define K_TRACK   -2.4495
+#define K_TRKVEL  -4.0931
+#define K_ANGLE   31.9271
+#define K_ANGVEL   5.9630
+
+/* Lyapunov envelope P matrix (upper triangle), scaled so that
+ * V(x) <= 1.0 is the verified recoverable region. */
+#define P_00 0.82
+#define P_01 0.31
+#define P_11 1.74
+#define P_22 2.45
+#define P_23 0.52
+#define P_33 0.91
+
+/* shared-memory pointer variables (bound in initShm) */
+SensorData *sensorBox;
+CommandData *ncCmd;
+StatusData *ncStatus;
+ConfigData *uiConfig;
+
+/* watchdog bookkeeping */
+unsigned int lastHeartbeat;
+int missedBeats;
+unsigned int lastSeq;
+
+/* filtered sensor state */
+double filtTrackVel;
+double filtAngVel;
+
+/* hardware access (memory-mapped sensor/actuator, trusted library) */
+extern double hwReadTrack(void);
+extern double hwReadTrackVel(void);
+extern double hwReadAngle(void);
+extern double hwReadAngVel(void);
+extern void hwWriteVoltage(double v);
+extern void hwWaitPeriod(unsigned int usec);
+
+/*
+ * Shared-memory initialization. System V shared memory is untyped, so
+ * the casts and pointer arithmetic below are only legal here: the
+ * shminit annotation exempts this function from rules P2/P3 and the
+ * shmvar post-conditions declare each region and its extent.
+ */
+void initShm(void)
+/***SafeFlow Annotation
+    shminit /***/
+{
+    void *base;
+    int shmid;
+    char *cursor;
+    unsigned int total;
+
+    total = sizeof(SensorData) + sizeof(CommandData)
+          + sizeof(StatusData) + sizeof(ConfigData);
+    shmid = shmget(IP_SHM_KEY, total, 0666);
+    if (shmid < 0) {
+        exit(1);
+    }
+    base = shmat(shmid, 0, 0);
+    cursor = (char *) base;
+    sensorBox = (SensorData *) cursor;
+    cursor = cursor + sizeof(SensorData);
+    ncCmd = (CommandData *) cursor;
+    cursor = cursor + sizeof(CommandData);
+    ncStatus = (StatusData *) cursor;
+    cursor = cursor + sizeof(StatusData);
+    uiConfig = (ConfigData *) cursor;
+    /***SafeFlow Annotation
+        assume(shmvar(sensorBox, sizeof(SensorData)));
+        assume(shmvar(ncCmd, sizeof(CommandData)));
+        assume(shmvar(ncStatus, sizeof(StatusData)));
+        assume(shmvar(uiConfig, sizeof(ConfigData)));
+        assume(noncore(sensorBox));
+        assume(noncore(ncCmd));
+        assume(noncore(ncStatus));
+        assume(noncore(uiConfig)) /***/
+}
+
+/* first-order low-pass filter used on the velocity channels */
+double lowpass(double state, double sample)
+{
+    return state + FILTER_ALPHA * (sample - state);
+}
+
+double clampVoltage(double v)
+{
+    if (v > IP_MAX_VOLTAGE) {
+        return IP_MAX_VOLTAGE;
+    }
+    if (v < -IP_MAX_VOLTAGE) {
+        return -IP_MAX_VOLTAGE;
+    }
+    return v;
+}
+
+/*
+ * Sample the sensors into a local record and publish a copy in shared
+ * memory for the non-core components. Publishing is write-only: the
+ * core controller never trusts what comes back from this region.
+ */
+void readSensors(SensorData *out, unsigned int tick)
+{
+    out->trackPos = hwReadTrack();
+    out->trackVel = lowpass(filtTrackVel, hwReadTrackVel());
+    out->angle = hwReadAngle();
+    out->angVel = lowpass(filtAngVel, hwReadAngVel());
+    out->tick = tick;
+    filtTrackVel = out->trackVel;
+    filtAngVel = out->angVel;
+
+    sensorBox->trackPos = out->trackPos;
+    sensorBox->trackVel = out->trackVel;
+    sensorBox->angle = out->angle;
+    sensorBox->angVel = out->angVel;
+    sensorBox->tick = out->tick;
+}
+
+/* baseline LQR state feedback: provably stabilizing, always available */
+double lqrControl(SensorData *s)
+{
+    double u;
+    u = K_TRACK * s->trackPos + K_TRKVEL * s->trackVel
+      + K_ANGLE * s->angle + K_ANGVEL * s->angVel;
+    return clampVoltage(-u);
+}
+
+/* energy-shaping controller: smoother near the upright equilibrium */
+double energyControl(SensorData *s)
+{
+    double energy;
+    double u;
+    energy = 0.5 * s->angVel * s->angVel + 9.81 * (1.0 - cos(s->angle));
+    u = K_ANGLE * s->angle + K_ANGVEL * s->angVel
+      + 1.8 * energy * s->angVel * cos(s->angle);
+    u = u + K_TRACK * s->trackPos;
+    return clampVoltage(-u);
+}
+
+/*
+ * Lyapunov recoverability check: would applying voltage v keep the
+ * predicted next state inside the verified stability envelope
+ * V(x) <= 1.0?  (One-step Euler prediction of the linearized model.)
+ */
+int recoverable(SensorData *s, double v)
+{
+    double dt;
+    double nTrack;
+    double nTrkVel;
+    double nAngle;
+    double nAngVel;
+    double lyap;
+
+    dt = IP_PERIOD_US / 1000000.0;
+    nTrack = s->trackPos + dt * s->trackVel;
+    nTrkVel = s->trackVel + dt * (0.98 * v - 0.31 * s->angle);
+    nAngle = s->angle + dt * s->angVel;
+    nAngVel = s->angVel + dt * (11.2 * s->angle - 2.68 * v);
+
+    lyap = P_00 * nTrack * nTrack + 2.0 * P_01 * nTrack * nTrkVel
+         + P_11 * nTrkVel * nTrkVel + P_22 * nAngle * nAngle
+         + 2.0 * P_23 * nAngle * nAngVel + P_33 * nAngVel * nAngVel;
+
+    if (lyap > 1.0) {
+        return 0;
+    }
+    if (nTrack > IP_TRACK_LIMIT || nTrack < -IP_TRACK_LIMIT) {
+        return 0;
+    }
+    if (nAngle > IP_ANGLE_LIMIT || nAngle < -IP_ANGLE_LIMIT) {
+        return 0;
+    }
+    return 1;
+}
+
+/*
+ * Decision module (monitoring function). Within this function the
+ * command region may be treated as core: every value read from it is
+ * checked for freshness, validity, range, and recoverability before
+ * it can escape through the return value.
+ */
+double monitorCommand(CommandData *cmd, SensorData *sense, double fallback)
+/***SafeFlow Annotation
+    assume(core(cmd, 0, sizeof(CommandData))) /***/
+{
+    double v;
+    unsigned int seq;
+
+    if (cmd->valid == 0) {
+        return fallback;
+    }
+    seq = cmd->seq;
+    if (seq == lastSeq) {
+        /* the complex controller missed its deadline: stale output */
+        return fallback;
+    }
+    lastSeq = seq;
+    v = cmd->voltage;
+    if (v > IP_MAX_VOLTAGE || v < -IP_MAX_VOLTAGE) {
+        return fallback;
+    }
+    if (!recoverable(sense, v)) {
+        return fallback;
+    }
+    return v;
+}
+
+/*
+ * Heartbeat watchdog over the complex controller process. NOTE: the
+ * heartbeat is an unmonitored non-core value -- SafeFlow reports the
+ * read; manual inspection classifies the resulting control dependence
+ * of the actuator output as acceptable (the fallback path is safe).
+ */
+int checkWatchdog(void)
+{
+    unsigned int beat;
+
+    beat = ncStatus->heartbeat;
+    if (beat == lastHeartbeat) {
+        missedBeats = missedBeats + 1;
+    } else {
+        missedBeats = 0;
+        lastHeartbeat = beat;
+    }
+    return missedBeats < WATCHDOG_LIMIT;
+}
+
+/*
+ * Restart supervision: when the watchdog trips, the core controller
+ * kills the complex controller so the init scripts can restart it.
+ * BUG (found by SafeFlow): the pid comes straight from shared memory
+ * without monitoring -- a corrupted status block can make the core
+ * component kill an arbitrary process, including itself.
+ */
+void superviseNoncore(void)
+{
+    int pid;
+
+    pid = ncStatus->ncPid;
+    if (pid > 1) {
+        kill(pid, SIGKILL_NUM);
+    }
+}
+
+/* periodic status output on the operator console */
+void logStatus(SensorData *s, double u, unsigned int tick)
+{
+    int chatty;
+    double shmAngle;
+    double shmTrack;
+    double load;
+
+    chatty = uiConfig->verbosity;
+    if (chatty > 0 && (tick % 100u) == 0u) {
+        shmAngle = sensorBox->angle;
+        shmTrack = sensorBox->trackPos;
+        load = ncStatus->cpuLoad;
+        printf("[ip-core] tick=%u angle=%f track=%f u=%f load=%f\n",
+               tick, shmAngle, shmTrack, u, load);
+    }
+}
+
+int main(void)
+{
+    SensorData sensors;
+    double safeLqr;
+    double safeEnergy;
+    double safeCmd;
+    double output;
+    int mode;
+    int alive;
+    unsigned int tick;
+
+    initShm();
+    tick = 0;
+    lastHeartbeat = 0;
+    missedBeats = 0;
+    lastSeq = 0;
+    filtTrackVel = 0.0;
+    filtAngVel = 0.0;
+
+    while (1) {
+        readSensors(&sensors, tick);
+
+        /* both safe controllers are always computed so the switch is
+         * glitch-free; the selection comes from the operator UI */
+        safeLqr = lqrControl(&sensors);
+        safeEnergy = energyControl(&sensors);
+        mode = uiConfig->mode;
+        if (mode == 1) {
+            safeCmd = safeEnergy;
+        } else {
+            safeCmd = safeLqr;
+        }
+
+        alive = checkWatchdog();
+        if (alive) {
+            output = monitorCommand(ncCmd, &sensors, safeCmd);
+        } else {
+            superviseNoncore();
+            output = safeCmd;
+        }
+
+        /***SafeFlow Annotation assert(safe(output)); /***/
+        hwWriteVoltage(output);
+        logStatus(&sensors, output, tick);
+
+        tick = tick + 1u;
+        hwWaitPeriod(IP_PERIOD_US);
+    }
+    return 0;
+}

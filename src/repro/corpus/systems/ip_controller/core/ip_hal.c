@@ -1,0 +1,96 @@
+/*
+ * ip_hal.c -- hardware abstraction layer of the IP core controller.
+ *
+ * Talks to the sensor/actuator card through the character device
+ * exposed by the lab's PCI DAQ driver. Everything here is core-side
+ * and trusted: the raw channels are calibrated, range-limited, and
+ * converted to SI units before the control code sees them.
+ */
+
+#include "ip_types.h"
+
+#define DAQ_READ_CHANNEL  0x4401
+#define DAQ_WRITE_CHANNEL 0x4402
+
+#define CH_TRACK   0
+#define CH_TRKVEL  1
+#define CH_ANGLE   2
+#define CH_ANGVEL  3
+#define CH_MOTOR   0
+
+/* calibration from the rig's commissioning sheet */
+#define TRACK_SCALE   0.00048   /* counts -> m     */
+#define TRKVEL_SCALE  0.00122   /* counts -> m/s   */
+#define ANGLE_SCALE   0.00015   /* counts -> rad   */
+#define ANGVEL_SCALE  0.00084   /* counts -> rad/s */
+#define MOTOR_SCALE   409.6     /* volts -> counts */
+
+int daqFd;
+int halFaultCount;
+
+extern int daqReadRaw(int fd, int channel);
+extern void daqWriteRaw(int fd, int channel, int counts);
+
+int halInit(const char *device)
+{
+    daqFd = open(device, 2);
+    if (daqFd < 0) {
+        return -1;
+    }
+    ioctl(daqFd, DAQ_READ_CHANNEL, 0);
+    halFaultCount = 0;
+    return 0;
+}
+
+double halScale(int counts, double scale, double limit)
+{
+    double value;
+    value = counts * scale;
+    if (value > limit) {
+        halFaultCount = halFaultCount + 1;
+        return limit;
+    }
+    if (value < -limit) {
+        halFaultCount = halFaultCount + 1;
+        return -limit;
+    }
+    return value;
+}
+
+double hwReadTrack(void)
+{
+    return halScale(daqReadRaw(daqFd, CH_TRACK), TRACK_SCALE, 1.2);
+}
+
+double hwReadTrackVel(void)
+{
+    return halScale(daqReadRaw(daqFd, CH_TRKVEL), TRKVEL_SCALE, 3.0);
+}
+
+double hwReadAngle(void)
+{
+    return halScale(daqReadRaw(daqFd, CH_ANGLE), ANGLE_SCALE, 3.2);
+}
+
+double hwReadAngVel(void)
+{
+    return halScale(daqReadRaw(daqFd, CH_ANGVEL), ANGVEL_SCALE, 12.0);
+}
+
+void hwWriteVoltage(double v)
+{
+    int counts;
+    if (v > IP_MAX_VOLTAGE) {
+        v = IP_MAX_VOLTAGE;
+    }
+    if (v < -IP_MAX_VOLTAGE) {
+        v = -IP_MAX_VOLTAGE;
+    }
+    counts = (int) (v * MOTOR_SCALE);
+    daqWriteRaw(daqFd, CH_MOTOR, counts);
+}
+
+void hwWaitPeriod(unsigned int usec)
+{
+    usleep(usec);
+}

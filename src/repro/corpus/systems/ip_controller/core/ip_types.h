@@ -1,0 +1,52 @@
+/*
+ * ip_types.h -- shared-memory layout of the inverted pendulum Simplex
+ * system (core controller <-> complex controller <-> operator UI).
+ *
+ * The core controller publishes sensor feedback in SensorData and
+ * reads the complex (non-core) controller's output from CommandData.
+ * StatusData and ConfigData are written by the non-core side (process
+ * status / operator interface configuration).
+ */
+#ifndef IP_TYPES_H
+#define IP_TYPES_H
+
+#define IP_SHM_KEY      0x5350
+#define IP_MAX_VOLTAGE  5.0
+#define IP_PERIOD_US    10000
+#define IP_TRACK_LIMIT  0.95
+#define IP_ANGLE_LIMIT  0.35
+#define SIGKILL_NUM     9
+
+/* sensor feedback published by the core controller each period */
+typedef struct {
+    double trackPos;     /* cart position on the track [m]        */
+    double trackVel;     /* cart velocity [m/s]                   */
+    double angle;        /* pendulum angle from vertical [rad]    */
+    double angVel;       /* pendulum angular velocity [rad/s]     */
+    unsigned int tick;   /* period counter                        */
+} SensorData;
+
+/* control command computed by the non-core complex controller */
+typedef struct {
+    double voltage;      /* requested actuator voltage [-5V, +5V] */
+    unsigned int seq;    /* sequence number for freshness         */
+    int valid;           /* self-reported validity flag           */
+} CommandData;
+
+/* non-core process status block (written by the non-core side) */
+typedef struct {
+    int ncPid;           /* pid of the complex controller process */
+    unsigned int heartbeat;
+    double cpuLoad;
+    int state;
+} StatusData;
+
+/* operator interface configuration (written by the UI process) */
+typedef struct {
+    int mode;            /* 0 = LQR baseline, 1 = energy shaping  */
+    int verbosity;       /* 0 = quiet, 1 = periodic status prints */
+    int uiRate;          /* UI refresh divider                    */
+    int reserved[5];
+} ConfigData;
+
+#endif /* IP_TYPES_H */

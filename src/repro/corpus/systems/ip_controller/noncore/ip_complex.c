@@ -1,0 +1,131 @@
+/*
+ * ip_complex.c -- non-core complex controller of the IP Simplex system.
+ *
+ * Computes a jitter-minimizing control output using a model-predictive
+ * sweep over candidate voltages, publishes it in shared memory, and
+ * maintains the heartbeat/status block. This component is NOT part of
+ * the core subsystem: it is not analyzed by SafeFlow and the core
+ * controller never trusts its output without monitoring.
+ */
+
+#include "../core/ip_types.h"
+
+#define MPC_HORIZON 12
+#define MPC_CANDIDATES 21
+
+SensorData *sensorBox;
+CommandData *ncCmd;
+StatusData *ncStatus;
+ConfigData *uiConfig;
+
+unsigned int seqCounter;
+
+void attachShm(void)
+{
+    void *base;
+    int shmid;
+    char *cursor;
+    unsigned int total;
+
+    total = sizeof(SensorData) + sizeof(CommandData)
+          + sizeof(StatusData) + sizeof(ConfigData);
+    shmid = shmget(IP_SHM_KEY, total, 0666);
+    base = shmat(shmid, 0, 0);
+    cursor = (char *) base;
+    sensorBox = (SensorData *) cursor;
+    cursor = cursor + sizeof(SensorData);
+    ncCmd = (CommandData *) cursor;
+    cursor = cursor + sizeof(CommandData);
+    ncStatus = (StatusData *) cursor;
+    cursor = cursor + sizeof(StatusData);
+    uiConfig = (ConfigData *) cursor;
+}
+
+/* one-step cart-pole prediction used by the rollout */
+void predict(double state[4], double v, double out[4])
+{
+    double dt;
+    dt = IP_PERIOD_US / 1000000.0;
+    out[0] = state[0] + dt * state[1];
+    out[1] = state[1] + dt * (0.98 * v - 0.31 * state[2]);
+    out[2] = state[2] + dt * state[3];
+    out[3] = state[3] + dt * (11.2 * state[2] - 2.68 * v);
+}
+
+double rolloutCost(double state[4], double v)
+{
+    double cur[4];
+    double nxt[4];
+    double cost;
+    int step;
+    int i;
+
+    for (i = 0; i < 4; i++) {
+        cur[i] = state[i];
+    }
+    cost = 0.0;
+    for (step = 0; step < MPC_HORIZON; step++) {
+        predict(cur, v, nxt);
+        cost = cost + 8.0 * nxt[2] * nxt[2] + 0.9 * nxt[3] * nxt[3]
+             + 0.5 * nxt[0] * nxt[0] + 0.05 * v * v;
+        for (i = 0; i < 4; i++) {
+            cur[i] = nxt[i];
+        }
+    }
+    return cost;
+}
+
+double mpcControl(double state[4])
+{
+    double best;
+    double bestCost;
+    double v;
+    double cost;
+    int k;
+
+    best = 0.0;
+    bestCost = 1.0e18;
+    for (k = 0; k < MPC_CANDIDATES; k++) {
+        v = -IP_MAX_VOLTAGE + k * (2.0 * IP_MAX_VOLTAGE / (MPC_CANDIDATES - 1));
+        cost = rolloutCost(state, v);
+        if (cost < bestCost) {
+            bestCost = cost;
+            best = v;
+        }
+    }
+    return best;
+}
+
+int main(void)
+{
+    double state[4];
+    double u;
+    unsigned int beat;
+
+    attachShm();
+    ncStatus->ncPid = getpid();
+    ncStatus->state = 1;
+    beat = 0;
+    seqCounter = 0;
+
+    while (1) {
+        state[0] = sensorBox->trackPos;
+        state[1] = sensorBox->trackVel;
+        state[2] = sensorBox->angle;
+        state[3] = sensorBox->angVel;
+
+        u = mpcControl(state);
+
+        ncCmd->voltage = u;
+        seqCounter = seqCounter + 1;
+        ncCmd->seq = seqCounter;
+        ncCmd->valid = 1;
+
+        beat = beat + 1;
+        ncStatus->heartbeat = beat;
+        ncStatus->cpuLoad = 0.42;
+
+        hwWaitPeriod(IP_PERIOD_US);
+    }
+    return 0;
+}

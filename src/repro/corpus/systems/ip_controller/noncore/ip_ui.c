@@ -1,0 +1,92 @@
+/*
+ * ip_ui.c -- operator interface of the IP Simplex system (non-core).
+ *
+ * Displays the pendulum state from shared memory and lets the operator
+ * flip the safe-controller mode and verbosity. Writes only to the
+ * ConfigData region; everything else is read-only for display.
+ */
+
+#include "../core/ip_types.h"
+
+SensorData *sensorBox;
+CommandData *ncCmd;
+StatusData *ncStatus;
+ConfigData *uiConfig;
+
+void attachShm(void)
+{
+    void *base;
+    int shmid;
+    char *cursor;
+    unsigned int total;
+
+    total = sizeof(SensorData) + sizeof(CommandData)
+          + sizeof(StatusData) + sizeof(ConfigData);
+    shmid = shmget(IP_SHM_KEY, total, 0666);
+    base = shmat(shmid, 0, 0);
+    cursor = (char *) base;
+    sensorBox = (SensorData *) cursor;
+    cursor = cursor + sizeof(SensorData);
+    ncCmd = (CommandData *) cursor;
+    cursor = cursor + sizeof(CommandData);
+    ncStatus = (StatusData *) cursor;
+    cursor = cursor + sizeof(StatusData);
+    uiConfig = (ConfigData *) cursor;
+}
+
+void drawGauge(double value, double limit)
+{
+    int cols;
+    int mid;
+    int pos;
+    int i;
+
+    cols = 41;
+    mid = cols / 2;
+    pos = mid + (int) (value / limit * mid);
+    if (pos < 0) {
+        pos = 0;
+    }
+    if (pos >= cols) {
+        pos = cols - 1;
+    }
+    for (i = 0; i < cols; i++) {
+        if (i == pos) {
+            printf("#");
+        } else if (i == mid) {
+            printf("|");
+        } else {
+            printf("-");
+        }
+    }
+    printf("\n");
+}
+
+int main(void)
+{
+    int key;
+
+    attachShm();
+    uiConfig->mode = 0;
+    uiConfig->verbosity = 1;
+    uiConfig->uiRate = 10;
+
+    while (1) {
+        printf("angle  ");
+        drawGauge(sensorBox->angle, IP_ANGLE_LIMIT);
+        printf("track  ");
+        drawGauge(sensorBox->trackPos, IP_TRACK_LIMIT);
+        printf("cmd=%f seq=%u beat=%u\n",
+               ncCmd->voltage, ncCmd->seq, ncStatus->heartbeat);
+
+        key = getchar();
+        if (key == 'm') {
+            uiConfig->mode = 1 - uiConfig->mode;
+        } else if (key == 'v') {
+            uiConfig->verbosity = 1 - uiConfig->verbosity;
+        } else if (key == 'q') {
+            break;
+        }
+    }
+    return 0;
+}

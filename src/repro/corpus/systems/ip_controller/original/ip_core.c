@@ -1,0 +1,254 @@
+/*
+ * ip_core.c -- core controller of the inverted pendulum Simplex system.
+ * (original, pre-SafeFlow version: the decision logic is inlined in the
+ * main loop. Porting to SafeFlow separated it into a monitoring
+ * function so the assume(core(...)) annotation could be applied at
+ * function granularity -- see core/ip_core.c.)
+ */
+
+#include "../core/ip_types.h"
+
+#define WATCHDOG_LIMIT 25
+#define FILTER_ALPHA   0.15
+
+#define K_TRACK   -2.4495
+#define K_TRKVEL  -4.0931
+#define K_ANGLE   31.9271
+#define K_ANGVEL   5.9630
+
+#define P_00 0.82
+#define P_01 0.31
+#define P_11 1.74
+#define P_22 2.45
+#define P_23 0.52
+#define P_33 0.91
+
+SensorData *sensorBox;
+CommandData *ncCmd;
+StatusData *ncStatus;
+ConfigData *uiConfig;
+
+unsigned int lastHeartbeat;
+int missedBeats;
+unsigned int lastSeq;
+
+double filtTrackVel;
+double filtAngVel;
+
+extern double hwReadTrack(void);
+extern double hwReadTrackVel(void);
+extern double hwReadAngle(void);
+extern double hwReadAngVel(void);
+extern void hwWriteVoltage(double v);
+extern void hwWaitPeriod(unsigned int usec);
+
+void initShm(void)
+{
+    void *base;
+    int shmid;
+    char *cursor;
+    unsigned int total;
+
+    total = sizeof(SensorData) + sizeof(CommandData)
+          + sizeof(StatusData) + sizeof(ConfigData);
+    shmid = shmget(IP_SHM_KEY, total, 0666);
+    if (shmid < 0) {
+        exit(1);
+    }
+    base = shmat(shmid, 0, 0);
+    cursor = (char *) base;
+    sensorBox = (SensorData *) cursor;
+    cursor = cursor + sizeof(SensorData);
+    ncCmd = (CommandData *) cursor;
+    cursor = cursor + sizeof(CommandData);
+    ncStatus = (StatusData *) cursor;
+    cursor = cursor + sizeof(StatusData);
+    uiConfig = (ConfigData *) cursor;
+}
+
+double lowpass(double state, double sample)
+{
+    return state + FILTER_ALPHA * (sample - state);
+}
+
+double clampVoltage(double v)
+{
+    if (v > IP_MAX_VOLTAGE) {
+        return IP_MAX_VOLTAGE;
+    }
+    if (v < -IP_MAX_VOLTAGE) {
+        return -IP_MAX_VOLTAGE;
+    }
+    return v;
+}
+
+void readSensors(SensorData *out, unsigned int tick)
+{
+    out->trackPos = hwReadTrack();
+    out->trackVel = lowpass(filtTrackVel, hwReadTrackVel());
+    out->angle = hwReadAngle();
+    out->angVel = lowpass(filtAngVel, hwReadAngVel());
+    out->tick = tick;
+    filtTrackVel = out->trackVel;
+    filtAngVel = out->angVel;
+
+    sensorBox->trackPos = out->trackPos;
+    sensorBox->trackVel = out->trackVel;
+    sensorBox->angle = out->angle;
+    sensorBox->angVel = out->angVel;
+    sensorBox->tick = out->tick;
+}
+
+double lqrControl(SensorData *s)
+{
+    double u;
+    u = K_TRACK * s->trackPos + K_TRKVEL * s->trackVel
+      + K_ANGLE * s->angle + K_ANGVEL * s->angVel;
+    return clampVoltage(-u);
+}
+
+double energyControl(SensorData *s)
+{
+    double energy;
+    double u;
+    energy = 0.5 * s->angVel * s->angVel + 9.81 * (1.0 - cos(s->angle));
+    u = K_ANGLE * s->angle + K_ANGVEL * s->angVel
+      + 1.8 * energy * s->angVel * cos(s->angle);
+    u = u + K_TRACK * s->trackPos;
+    return clampVoltage(-u);
+}
+
+int recoverable(SensorData *s, double v)
+{
+    double dt;
+    double nTrack;
+    double nTrkVel;
+    double nAngle;
+    double nAngVel;
+    double lyap;
+
+    dt = IP_PERIOD_US / 1000000.0;
+    nTrack = s->trackPos + dt * s->trackVel;
+    nTrkVel = s->trackVel + dt * (0.98 * v - 0.31 * s->angle);
+    nAngle = s->angle + dt * s->angVel;
+    nAngVel = s->angVel + dt * (11.2 * s->angle - 2.68 * v);
+
+    lyap = P_00 * nTrack * nTrack + 2.0 * P_01 * nTrack * nTrkVel
+         + P_11 * nTrkVel * nTrkVel + P_22 * nAngle * nAngle
+         + 2.0 * P_23 * nAngle * nAngVel + P_33 * nAngVel * nAngVel;
+
+    if (lyap > 1.0) {
+        return 0;
+    }
+    if (nTrack > IP_TRACK_LIMIT || nTrack < -IP_TRACK_LIMIT) {
+        return 0;
+    }
+    if (nAngle > IP_ANGLE_LIMIT || nAngle < -IP_ANGLE_LIMIT) {
+        return 0;
+    }
+    return 1;
+}
+
+int checkWatchdog(void)
+{
+    unsigned int beat;
+
+    beat = ncStatus->heartbeat;
+    if (beat == lastHeartbeat) {
+        missedBeats = missedBeats + 1;
+    } else {
+        missedBeats = 0;
+        lastHeartbeat = beat;
+    }
+    return missedBeats < WATCHDOG_LIMIT;
+}
+
+void superviseNoncore(void)
+{
+    int pid;
+
+    pid = ncStatus->ncPid;
+    if (pid > 1) {
+        kill(pid, SIGKILL_NUM);
+    }
+}
+
+void logStatus(SensorData *s, double u, unsigned int tick)
+{
+    int chatty;
+    double shmAngle;
+    double shmTrack;
+    double load;
+
+    chatty = uiConfig->verbosity;
+    if (chatty > 0 && (tick % 100u) == 0u) {
+        shmAngle = sensorBox->angle;
+        shmTrack = sensorBox->trackPos;
+        load = ncStatus->cpuLoad;
+        printf("[ip-core] tick=%u angle=%f track=%f u=%f load=%f\n",
+               tick, shmAngle, shmTrack, u, load);
+    }
+}
+
+int main(void)
+{
+    SensorData sensors;
+    double safeLqr;
+    double safeEnergy;
+    double safeCmd;
+    double output;
+    double v;
+    unsigned int seq;
+    int mode;
+    int alive;
+    unsigned int tick;
+
+    initShm();
+    tick = 0;
+    lastHeartbeat = 0;
+    missedBeats = 0;
+    lastSeq = 0;
+    filtTrackVel = 0.0;
+    filtAngVel = 0.0;
+
+    while (1) {
+        readSensors(&sensors, tick);
+
+        safeLqr = lqrControl(&sensors);
+        safeEnergy = energyControl(&sensors);
+        mode = uiConfig->mode;
+        if (mode == 1) {
+            safeCmd = safeEnergy;
+        } else {
+            safeCmd = safeLqr;
+        }
+
+        alive = checkWatchdog();
+        if (alive) {
+            /* decision logic inlined in the control loop */
+            output = safeCmd;
+            if (ncCmd->valid != 0) {
+                seq = ncCmd->seq;
+                if (seq != lastSeq) {
+                    lastSeq = seq;
+                    v = ncCmd->voltage;
+                    if (v <= IP_MAX_VOLTAGE && v >= -IP_MAX_VOLTAGE) {
+                        if (recoverable(&sensors, v)) {
+                            output = v;
+                        }
+                    }
+                }
+            }
+        } else {
+            superviseNoncore();
+            output = safeCmd;
+        }
+
+        hwWriteVoltage(output);
+        logStatus(&sensors, output, tick);
+
+        tick = tick + 1u;
+        hwWaitPeriod(IP_PERIOD_US);
+    }
+    return 0;
+}

@@ -1,0 +1,44 @@
+"""C front end: preprocessing, annotation extraction, parsing, lowering."""
+
+from .attach import annotation_line_count, attach_annotations
+from .driver import Program, load_files, load_source
+from .lower import ModuleLowerer, TypeBuilder, lower_units
+from .parser import (
+    BUILTIN_FUNCTIONS,
+    BUILTIN_PRELUDE,
+    SHM_ALLOCATORS,
+    SHM_DEALLOCATORS,
+    ParsedUnit,
+    parse_files,
+    parse_preprocessed,
+)
+from .preprocessor import (
+    ANNOTATION_TAG,
+    ExtractedAnnotation,
+    Macro,
+    PreprocessedSource,
+    Preprocessor,
+)
+
+__all__ = [
+    "ANNOTATION_TAG",
+    "BUILTIN_FUNCTIONS",
+    "BUILTIN_PRELUDE",
+    "ExtractedAnnotation",
+    "Macro",
+    "ModuleLowerer",
+    "ParsedUnit",
+    "PreprocessedSource",
+    "Preprocessor",
+    "Program",
+    "SHM_ALLOCATORS",
+    "SHM_DEALLOCATORS",
+    "TypeBuilder",
+    "annotation_line_count",
+    "attach_annotations",
+    "load_files",
+    "load_source",
+    "lower_units",
+    "parse_files",
+    "parse_preprocessed",
+]

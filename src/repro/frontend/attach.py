@@ -1,0 +1,85 @@
+"""Attachment of function-level annotations to IR functions.
+
+``assert(safe(x))`` annotations were rewritten into dummy calls by the
+preprocessor and therefore already sit at precise program points. The
+remaining, function-level items (``assume(core/noncore/shmvar)`` and
+``shminit``) attach to the function whose definition encloses or
+immediately precedes them — matching the paper's placement rules:
+monitor/initializer annotations are written inside the function, just
+below its signature (Figure 2) or as post-conditions at its end
+(Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..annotations.lang import AnnotationItem, AssertSafe
+from ..errors import AnnotationError
+from ..ir import Function, Module
+from .preprocessor import ExtractedAnnotation
+
+
+def attach_annotations(
+    module: Module,
+    annotations: Sequence[ExtractedAnnotation],
+    function_starts: Dict[str, object],
+) -> Dict[str, List[AnnotationItem]]:
+    """Build ``module.function_annotations`` from extracted comments.
+
+    ``function_starts`` maps function name → SourceLocation of its
+    definition (from the lowerer).
+    """
+    # index function start positions per file
+    per_file: Dict[str, List[Tuple[int, str]]] = {}
+    for name, loc in function_starts.items():
+        per_file.setdefault(loc.filename, []).append((loc.line, name))
+    for starts in per_file.values():
+        starts.sort()
+
+    attached: Dict[str, List[AnnotationItem]] = {}
+    for annotation in annotations:
+        items = [i for i in annotation.items if not isinstance(i, AssertSafe)]
+        if not items:
+            continue
+        target = _owning_function(
+            per_file, annotation.location.filename, annotation.location.line
+        )
+        if target is None:
+            raise AnnotationError(
+                "function-level SafeFlow annotation is not attached to any "
+                "function definition",
+                annotation.location,
+            )
+        attached.setdefault(target, []).extend(items)
+
+    module.function_annotations = attached
+    return attached
+
+
+def _owning_function(
+    per_file: Dict[str, List[Tuple[int, str]]], filename: str, line: int
+):
+    starts = per_file.get(filename)
+    if not starts:
+        return None
+    owner = None
+    for start_line, name in starts:
+        if start_line <= line:
+            owner = name
+        else:
+            if owner is None:
+                # annotation written just above the first function
+                return name
+            break
+    return owner
+
+
+def annotation_line_count(
+    annotations: Sequence[ExtractedAnnotation],
+) -> int:
+    """Number of annotation *lines*, the burden metric of Table 1."""
+    total = 0
+    for annotation in annotations:
+        total += max(1, annotation.raw_text.strip().count("\n") + 1)
+    return total

@@ -1,0 +1,85 @@
+"""Front-end driver: C text/files → annotated IR program."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..annotations.lang import AnnotationItem
+from ..ir import Module, verify_module
+from .attach import annotation_line_count, attach_annotations
+from .lower import ModuleLowerer, lower_units
+from .parser import ParsedUnit, parse_preprocessed
+from .preprocessor import ExtractedAnnotation, Preprocessor
+
+
+@dataclass
+class Program:
+    """A fully front-ended program: IR + annotations + type info."""
+
+    module: Module
+    annotations: List[ExtractedAnnotation] = field(default_factory=list)
+    function_annotations: Dict[str, List[AnnotationItem]] = field(
+        default_factory=dict
+    )
+    sizeof: Callable[[str], int] = lambda name: 4
+    units: List[ParsedUnit] = field(default_factory=list)
+
+    @property
+    def annotation_lines(self) -> int:
+        return annotation_line_count(self.annotations)
+
+
+def load_source(
+    text: str,
+    filename: str = "<source>",
+    defines: Optional[Dict[str, str]] = None,
+    verify: bool = True,
+) -> Program:
+    """Front-end a single C source string."""
+    pp = Preprocessor(predefined=dict(defines or {}))
+    source = pp.process_text(text, filename=filename)
+    unit = parse_preprocessed(source, name=filename)
+    return _finish([unit], [source.annotations], verify)
+
+
+def load_files(
+    paths: Sequence[str],
+    include_dirs: Sequence[str] = (),
+    defines: Optional[Dict[str, str]] = None,
+    verify: bool = True,
+) -> Program:
+    """Front-end several C files into one program (whole-program analysis)."""
+    units: List[ParsedUnit] = []
+    annotation_groups = []
+    for path in paths:
+        pp = Preprocessor(
+            include_dirs=list(include_dirs), predefined=dict(defines or {})
+        )
+        source = pp.process_file(path)
+        units.append(parse_preprocessed(source, name=path))
+        annotation_groups.append(source.annotations)
+    return _finish(units, annotation_groups, verify)
+
+
+def _finish(
+    units: List[ParsedUnit],
+    annotation_groups: List[List[ExtractedAnnotation]],
+    verify: bool,
+) -> Program:
+    module, lowerer = lower_units(units)
+    annotations: List[ExtractedAnnotation] = []
+    for group in annotation_groups:
+        annotations.extend(group)
+    function_annotations = attach_annotations(
+        module, annotations, lowerer.function_starts
+    )
+    if verify:
+        verify_module(module)
+    return Program(
+        module=module,
+        annotations=annotations,
+        function_annotations=function_annotations,
+        sizeof=lowerer.sizeof_name,
+        units=units,
+    )

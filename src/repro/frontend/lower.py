@@ -1,0 +1,1177 @@
+"""Lowering from the pycparser AST to the SSA IR.
+
+The lowering covers the C subset the paper's restricted language
+targets (§3.2): functions, globals, structs/unions/enums, pointers,
+fixed-size arrays, the full expression grammar including short-circuit
+logicals and the conditional operator, and structured control flow
+(``if``/``while``/``do``/``for``/``switch``/``break``/``continue``).
+``goto`` is outside the subset and is rejected with a clear error.
+
+Every local starts as an ``alloca``; :func:`repro.ir.ssa.build_ssa`
+then promotes scalars whose address never escapes, which recovers the
+flow-sensitivity the value-flow phase relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from pycparser import c_ast
+
+from ..errors import LoweringError
+from ..ir import (
+    Alloca,
+    Argument,
+    ArrayType,
+    BinOp,
+    BasicBlock,
+    Call,
+    Cast,
+    Cmp,
+    CondBranch,
+    Constant,
+    CType,
+    FieldAddr,
+    FloatType,
+    Function,
+    FunctionType,
+    GlobalVariable,
+    IndexAddr,
+    Instruction,
+    IntType,
+    Jump,
+    Load,
+    Module,
+    PointerType,
+    Ret,
+    Store,
+    StructType,
+    UnaryOp,
+    UndefValue,
+    Value,
+    VoidType,
+    build_ssa,
+)
+from ..ir import types as T
+from ..ir.source import SourceLocation
+from .parser import ParsedUnit
+
+_PRIMITIVES: Dict[Tuple[str, ...], CType] = {}
+
+
+def _register_primitives() -> None:
+    entries = [
+        (("void",), T.VOID),
+        (("_Bool",), T.BOOL),
+        (("char",), T.CHAR),
+        (("signed", "char"), T.CHAR),
+        (("unsigned", "char"), T.UCHAR),
+        (("short",), T.SHORT),
+        (("short", "int"), T.SHORT),
+        (("signed", "short"), T.SHORT),
+        (("signed", "short", "int"), T.SHORT),
+        (("unsigned", "short"), T.USHORT),
+        (("unsigned", "short", "int"), T.USHORT),
+        (("int",), T.INT),
+        (("signed",), T.INT),
+        (("signed", "int"), T.INT),
+        (("unsigned",), T.UINT),
+        (("unsigned", "int"), T.UINT),
+        (("long",), T.LONG),
+        (("long", "int"), T.LONG),
+        (("signed", "long"), T.LONG),
+        (("signed", "long", "int"), T.LONG),
+        (("unsigned", "long"), T.ULONG),
+        (("unsigned", "long", "int"), T.ULONG),
+        (("long", "long"), T.LONGLONG),
+        (("long", "long", "int"), T.LONGLONG),
+        (("signed", "long", "long"), T.LONGLONG),
+        (("unsigned", "long", "long"), T.ULONGLONG),
+        (("unsigned", "long", "long", "int"), T.ULONGLONG),
+        (("float",), T.FLOAT),
+        (("double",), T.DOUBLE),
+        (("long", "double"), T.LONGDOUBLE),
+    ]
+    for names, type_ in entries:
+        _PRIMITIVES[tuple(sorted(names))] = type_
+
+
+_register_primitives()
+
+
+class TypeBuilder:
+    """Builds IR types from pycparser declaration nodes."""
+
+    def __init__(self, module: Module, unit: ParsedUnit):
+        self.module = module
+        self.unit = unit
+        self.typedefs: Dict[str, CType] = {}
+        self.enum_constants: Dict[str, int] = {}
+        self._anon_counter = 0
+
+    def sizeof_name(self, type_name: str) -> int:
+        """Resolve ``sizeof(name)`` for annotation size expressions."""
+        name = type_name.strip()
+        if name.endswith("*"):
+            return 4
+        for prefix in ("struct ", "union "):
+            if name.startswith(prefix):
+                tag = name[len(prefix):].strip()
+                key = prefix + tag
+                struct = self.module.structs.get(key)
+                if struct is None:
+                    raise LoweringError(f"unknown type in sizeof: {name!r}")
+                return struct.sizeof()
+        if name in self.typedefs:
+            return self.typedefs[name].sizeof()
+        primitive = _PRIMITIVES.get(tuple(sorted(name.split())))
+        if primitive is not None:
+            return primitive.sizeof()
+        struct = self.module.structs.get("struct " + name)
+        if struct is not None:
+            return struct.sizeof()
+        raise LoweringError(f"unknown type in sizeof: {name!r}")
+
+    # ------------------------------------------------------------------
+
+    def from_node(self, node) -> CType:
+        if isinstance(node, c_ast.TypeDecl):
+            return self.from_node(node.type)
+        if isinstance(node, c_ast.IdentifierType):
+            return self._identifier_type(node)
+        if isinstance(node, c_ast.PtrDecl):
+            return PointerType(self.from_node(node.type))
+        if isinstance(node, c_ast.ArrayDecl):
+            elem = self.from_node(node.type)
+            count = None
+            if node.dim is not None:
+                count = self.eval_const(node.dim)
+            return ArrayType(elem, count)
+        if isinstance(node, (c_ast.Struct, c_ast.Union)):
+            return self._struct_type(node)
+        if isinstance(node, c_ast.Enum):
+            self._register_enum(node)
+            return T.INT
+        if isinstance(node, c_ast.FuncDecl):
+            return self._function_type(node)
+        if isinstance(node, c_ast.Typename):
+            return self.from_node(node.type)
+        raise LoweringError(
+            f"unsupported type construct {type(node).__name__}",
+            self.unit.origin(getattr(node, "coord", None)),
+        )
+
+    def _identifier_type(self, node: c_ast.IdentifierType) -> CType:
+        names = tuple(sorted(node.names))
+        if names in _PRIMITIVES:
+            return _PRIMITIVES[names]
+        if len(node.names) == 1 and node.names[0] in self.typedefs:
+            return self.typedefs[node.names[0]]
+        raise LoweringError(
+            f"unknown type name {' '.join(node.names)!r}",
+            self.unit.origin(node.coord),
+        )
+
+    def _struct_type(self, node) -> StructType:
+        is_union = isinstance(node, c_ast.Union)
+        tag = node.name
+        if tag is None:
+            self._anon_counter += 1
+            tag = f"__anon{self._anon_counter}"
+        struct = self.module.get_struct(tag, is_union)
+        if node.decls is not None and not struct.is_complete:
+            fields = []
+            for decl in node.decls:
+                ftype = self.from_node(decl.type)
+                fields.append((decl.name or f"__pad{len(fields)}", ftype))
+            struct.set_fields(fields)
+        return struct
+
+    def _register_enum(self, node: c_ast.Enum) -> None:
+        if node.values is None:
+            return
+        next_value = 0
+        for enumerator in node.values.enumerators:
+            if enumerator.value is not None:
+                next_value = self.eval_const(enumerator.value)
+            self.enum_constants[enumerator.name] = next_value
+            next_value += 1
+
+    def _function_type(self, node: c_ast.FuncDecl) -> FunctionType:
+        ret = self.from_node(node.type)
+        params: List[CType] = []
+        varargs = False
+        if node.args is None:
+            return FunctionType(ret, [], varargs=True)  # K&R empty list
+        for param in node.args.params:
+            if isinstance(param, c_ast.EllipsisParam):
+                varargs = True
+                continue
+            ptype = self.from_node(param.type)
+            if isinstance(ptype, VoidType):
+                continue  # f(void)
+            if isinstance(ptype, ArrayType):
+                ptype = PointerType(ptype.element)  # parameter decay
+            if isinstance(ptype, FunctionType):
+                ptype = PointerType(ptype)
+            params.append(ptype)
+        return FunctionType(ret, params, varargs)
+
+    # ------------------------------------------------------------------
+
+    def eval_const(self, node) -> int:
+        """Evaluate an integer constant expression (array dims, cases)."""
+        if isinstance(node, c_ast.Constant):
+            if node.type in ("int", "long int", "unsigned int", "long long int"):
+                return _parse_int_literal(node.value)
+            if node.type == "char":
+                return _parse_char_literal(node.value)
+            raise LoweringError(
+                f"non-integer constant {node.value!r} in constant expression",
+                self.unit.origin(node.coord),
+            )
+        if isinstance(node, c_ast.ID):
+            if node.name in self.enum_constants:
+                return self.enum_constants[node.name]
+            raise LoweringError(
+                f"{node.name!r} is not a constant", self.unit.origin(node.coord)
+            )
+        if isinstance(node, c_ast.UnaryOp):
+            if node.op == "-":
+                return -self.eval_const(node.expr)
+            if node.op == "+":
+                return self.eval_const(node.expr)
+            if node.op == "~":
+                return ~self.eval_const(node.expr)
+            if node.op == "!":
+                return int(not self.eval_const(node.expr))
+            if node.op == "sizeof":
+                return self.from_node(node.expr.type if isinstance(
+                    node.expr, c_ast.Typename) else node.expr).sizeof()
+        if isinstance(node, c_ast.BinaryOp):
+            left = self.eval_const(node.left)
+            right = self.eval_const(node.right)
+            ops = {
+                "+": lambda: left + right,
+                "-": lambda: left - right,
+                "*": lambda: left * right,
+                "/": lambda: left // right if right else 0,
+                "%": lambda: left % right if right else 0,
+                "<<": lambda: left << right,
+                ">>": lambda: left >> right,
+                "&": lambda: left & right,
+                "|": lambda: left | right,
+                "^": lambda: left ^ right,
+                "==": lambda: int(left == right),
+                "!=": lambda: int(left != right),
+                "<": lambda: int(left < right),
+                ">": lambda: int(left > right),
+                "<=": lambda: int(left <= right),
+                ">=": lambda: int(left >= right),
+            }
+            if node.op in ops:
+                return ops[node.op]()
+        if isinstance(node, c_ast.Cast):
+            return self.eval_const(node.expr)
+        raise LoweringError(
+            f"unsupported constant expression {type(node).__name__}",
+            self.unit.origin(getattr(node, "coord", None)),
+        )
+
+
+def _parse_int_literal(text: str) -> int:
+    cleaned = text.rstrip("uUlL")
+    lowered = cleaned.lower()
+    if lowered.startswith(("0x", "0b")):
+        return int(cleaned, 0)
+    if cleaned.startswith("0") and len(cleaned) > 1:
+        return int(cleaned, 8)  # C octal literal
+    return int(cleaned, 10)
+
+
+def _parse_char_literal(text: str) -> int:
+    body = text[1:-1]
+    escapes = {
+        "\\n": "\n", "\\t": "\t", "\\r": "\r", "\\0": "\0",
+        "\\\\": "\\", "\\'": "'", '\\"': '"',
+    }
+    if body in escapes:
+        return ord(escapes[body])
+    if body.startswith("\\x"):
+        return int(body[2:], 16)
+    if body.startswith("\\") and body[1:].isdigit():
+        return int(body[1:], 8)
+    return ord(body[0]) if body else 0
+
+
+class _LoopContext:
+    __slots__ = ("break_block", "continue_block")
+
+    def __init__(self, break_block: BasicBlock, continue_block: Optional[BasicBlock]):
+        self.break_block = break_block
+        self.continue_block = continue_block
+
+
+class ModuleLowerer:
+    """Lowers one or more parsed units into a single IR module."""
+
+    def __init__(self, module_name: str = "program", run_ssa: bool = True):
+        self.module = Module(module_name)
+        self.run_ssa = run_ssa
+        #: function name → start SourceLocation, used for annotation
+        #: attachment by the front-end driver
+        self.function_starts: Dict[str, SourceLocation] = {}
+        self._shared_typedefs: Dict[str, CType] = {}
+        self._shared_enums: Dict[str, int] = {}
+        self._types: Optional[TypeBuilder] = None
+
+    def sizeof_name(self, type_name: str) -> int:
+        """Resolve ``sizeof`` in annotation size expressions."""
+        if self._types is None:
+            raise LoweringError("no unit lowered yet")
+        return self._types.sizeof_name(type_name)
+
+    def lower_unit(self, unit: ParsedUnit) -> Module:
+        types = TypeBuilder(self.module, unit)
+        types.typedefs = self._shared_typedefs
+        types.enum_constants = self._shared_enums
+        self._types = types
+        # first sweep: typedefs and type definitions so later sizes work
+        for ext in unit.ast.ext:
+            if isinstance(ext, c_ast.Typedef):
+                types.typedefs[ext.name] = types.from_node(ext.type)
+            elif isinstance(ext, c_ast.Decl) and isinstance(
+                ext.type, (c_ast.Struct, c_ast.Union, c_ast.Enum)
+            ) and ext.name is None:
+                types.from_node(ext.type)
+
+        for ext in unit.ast.ext:
+            if isinstance(ext, c_ast.Typedef):
+                continue
+            if isinstance(ext, c_ast.FuncDef):
+                self._lower_funcdef(ext, types, unit)
+            elif isinstance(ext, c_ast.Decl):
+                self._lower_global_decl(ext, types, unit)
+            elif isinstance(ext, c_ast.Pragma):
+                continue
+            else:
+                raise LoweringError(
+                    f"unsupported top-level construct {type(ext).__name__}",
+                    unit.origin(getattr(ext, "coord", None)),
+                )
+        if unit.name not in self.module.source_files:
+            self.module.source_files.append(unit.name)
+        return self.module
+
+    # ------------------------------------------------------------------
+
+    def _lower_global_decl(self, decl: c_ast.Decl, types: TypeBuilder,
+                           unit: ParsedUnit) -> None:
+        if decl.name is None:
+            types.from_node(decl.type)  # bare struct/enum definition
+            return
+        dtype = types.from_node(decl.type)
+        if isinstance(dtype, FunctionType):
+            func = self.module.get_function(decl.name)
+            if func is None:
+                self.module.add_function(Function(decl.name, dtype))
+            return
+        initializer = None
+        if decl.init is not None:
+            initializer = self._const_initializer(decl.init, types)
+        gv = GlobalVariable(
+            decl.name, dtype, initializer, unit.origin(decl.coord)
+        )
+        self.module.add_global(gv)
+
+    def _const_initializer(self, node, types: TypeBuilder):
+        try:
+            if isinstance(node, c_ast.InitList):
+                return [self._const_initializer(e, types) for e in node.exprs]
+            if isinstance(node, c_ast.Constant) and node.type in ("float", "double"):
+                return float(node.value.rstrip("fFlL"))
+            if isinstance(node, c_ast.Constant) and node.type == "string":
+                return node.value.strip('"')
+            return types.eval_const(node)
+        except LoweringError:
+            return None
+
+    def _lower_funcdef(self, funcdef: c_ast.FuncDef, types: TypeBuilder,
+                       unit: ParsedUnit) -> None:
+        decl = funcdef.decl
+        ftype = types.from_node(decl.type)
+        assert isinstance(ftype, FunctionType)
+        func = self.module.get_function(decl.name)
+        if func is None or not func.is_declaration:
+            func = Function(decl.name, ftype)
+            self.module.add_function(func)
+        else:
+            func.ftype = ftype
+            func.type = ftype
+        func.location = unit.origin(funcdef.coord)
+        self.function_starts[decl.name] = func.location
+
+        param_decls = []
+        fdecl = decl.type
+        if fdecl.args is not None:
+            for param in fdecl.args.params:
+                if isinstance(param, c_ast.EllipsisParam):
+                    continue
+                ptype = types.from_node(param.type)
+                if isinstance(ptype, VoidType):
+                    continue
+                param_decls.append(param)
+
+        lowerer = FunctionLowerer(self, func, types, unit)
+        lowerer.lower_body(param_decls, funcdef.body)
+        if self.run_ssa:
+            build_ssa(func)
+
+
+class FunctionLowerer:
+    """Lowers one function body."""
+
+    def __init__(self, parent: ModuleLowerer, func: Function,
+                 types: TypeBuilder, unit: ParsedUnit):
+        self.parent = parent
+        self.module = parent.module
+        self.func = func
+        self.types = types
+        self.unit = unit
+        self.scopes: List[Dict[str, Value]] = [{}]
+        self.block: Optional[BasicBlock] = None
+        self.loops: List[_LoopContext] = []
+        self.current_loc: Optional[SourceLocation] = None
+
+    # -- plumbing ------------------------------------------------------
+
+    def error(self, message: str, node=None) -> LoweringError:
+        loc = self.unit.origin(getattr(node, "coord", None)) if node is not None \
+            else self.current_loc
+        return LoweringError(message, loc)
+
+    def emit(self, inst: Instruction) -> Instruction:
+        if self.block is None:
+            # unreachable code (after return/break); park it in a fresh
+            # block which dead-block removal will discard.
+            self.block = self.func.new_block("dead")
+        inst.location = self.current_loc
+        self.block.append(inst)
+        return inst
+
+    def set_block(self, block: Optional[BasicBlock]) -> None:
+        self.block = block
+
+    def terminate(self, inst: Instruction) -> None:
+        if self.block is not None and not self.block.is_terminated:
+            inst.location = self.current_loc
+            self.block.append(inst)
+        self.block = None
+
+    def lookup(self, name: str) -> Optional[Value]:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        if name in self.module.globals:
+            return self.module.globals[name]
+        func = self.module.get_function(name)
+        if func is not None:
+            return func
+        return None
+
+    def declare_local(self, name: str, type_: CType) -> Alloca:
+        alloca = Alloca(type_, name)
+        alloca.location = self.current_loc
+        entry = self.func.entry
+        insert_at = 0
+        for i, inst in enumerate(entry.instructions):
+            if isinstance(inst, Alloca):
+                insert_at = i + 1
+            else:
+                break
+        alloca.parent = entry
+        entry.instructions.insert(insert_at, alloca)
+        self.scopes[-1][name] = alloca
+        return alloca
+
+    # -- body ----------------------------------------------------------
+
+    def lower_body(self, param_decls, body: c_ast.Compound) -> None:
+        entry = self.func.new_block("entry")
+        self.set_block(entry)
+        for i, param in enumerate(param_decls):
+            ptype = self.func.ftype.params[i] if i < len(self.func.ftype.params) \
+                else T.INT
+            name = param.name or f"arg{i}"
+            arg = self.func.add_argument(ptype, name)
+            slot = self.declare_local(name, ptype)
+            self.emit(Store(arg, slot))
+        self.lower_stmt(body)
+        # close any dangling fall-off-the-end path
+        if self.block is not None and not self.block.is_terminated:
+            ret_type = self.func.return_type
+            if isinstance(ret_type, VoidType):
+                self.terminate(Ret())
+            else:
+                self.terminate(Ret(_zero_of(ret_type)))
+        self.func.remove_unreachable_blocks()
+
+    # -- statements ------------------------------------------------------
+
+    def lower_stmt(self, node) -> None:
+        if node is None:
+            return
+        self.current_loc = self.unit.origin(getattr(node, "coord", None)) or \
+            self.current_loc
+        method = getattr(self, f"_stmt_{type(node).__name__}", None)
+        if method is None:
+            raise self.error(
+                f"unsupported statement {type(node).__name__}", node
+            )
+        method(node)
+
+    def _stmt_Compound(self, node: c_ast.Compound) -> None:
+        self.scopes.append({})
+        for item in node.block_items or []:
+            self.lower_stmt(item)
+        self.scopes.pop()
+
+    def _stmt_Decl(self, node: c_ast.Decl) -> None:
+        if node.name is None:
+            self.types.from_node(node.type)
+            return
+        dtype = self.types.from_node(node.type)
+        if isinstance(dtype, FunctionType):
+            if self.module.get_function(node.name) is None:
+                self.module.add_function(Function(node.name, dtype))
+            return
+        slot = self.declare_local(node.name, dtype)
+        if node.init is not None:
+            self._lower_initializer(slot, dtype, node.init)
+
+    def _stmt_DeclList(self, node: c_ast.DeclList) -> None:
+        for decl in node.decls:
+            self.lower_stmt(decl)
+
+    def _lower_initializer(self, ptr: Value, dtype: CType, init) -> None:
+        if isinstance(init, c_ast.InitList):
+            if isinstance(dtype, ArrayType):
+                for i, expr in enumerate(init.exprs):
+                    addr = self.emit(IndexAddr(ptr, Constant(T.INT, i)))
+                    self._lower_initializer(addr, dtype.element, expr)
+            elif isinstance(dtype, StructType) and dtype.fields is not None:
+                for field, expr in zip(dtype.fields, init.exprs):
+                    addr = self.emit(FieldAddr(ptr, field.name))
+                    self._lower_initializer(addr, field.type, expr)
+            return
+        value = self.rvalue(init)
+        self.emit(Store(self.coerce(value, dtype), ptr))
+
+    def _stmt_If(self, node: c_ast.If) -> None:
+        cond = self.to_bool(self.rvalue(node.cond))
+        then_block = self.func.new_block("if.then")
+        merge_block = self.func.new_block("if.end")
+        else_block = self.func.new_block("if.else") if node.iffalse else merge_block
+        self.terminate(CondBranch(cond, then_block, else_block))
+        self.set_block(then_block)
+        self.lower_stmt(node.iftrue)
+        self.terminate(Jump(merge_block))
+        if node.iffalse is not None:
+            self.set_block(else_block)
+            self.lower_stmt(node.iffalse)
+            self.terminate(Jump(merge_block))
+        self.set_block(merge_block)
+
+    def _stmt_While(self, node: c_ast.While) -> None:
+        cond_block = self.func.new_block("while.cond")
+        body_block = self.func.new_block("while.body")
+        exit_block = self.func.new_block("while.end")
+        self.terminate(Jump(cond_block))
+        self.set_block(cond_block)
+        cond = self.to_bool(self.rvalue(node.cond))
+        self.terminate(CondBranch(cond, body_block, exit_block))
+        self.loops.append(_LoopContext(exit_block, cond_block))
+        self.set_block(body_block)
+        self.lower_stmt(node.stmt)
+        self.terminate(Jump(cond_block))
+        self.loops.pop()
+        self.set_block(exit_block)
+
+    def _stmt_DoWhile(self, node: c_ast.DoWhile) -> None:
+        body_block = self.func.new_block("do.body")
+        cond_block = self.func.new_block("do.cond")
+        exit_block = self.func.new_block("do.end")
+        self.terminate(Jump(body_block))
+        self.loops.append(_LoopContext(exit_block, cond_block))
+        self.set_block(body_block)
+        self.lower_stmt(node.stmt)
+        self.terminate(Jump(cond_block))
+        self.loops.pop()
+        self.set_block(cond_block)
+        cond = self.to_bool(self.rvalue(node.cond))
+        self.terminate(CondBranch(cond, body_block, exit_block))
+        self.set_block(exit_block)
+
+    def _stmt_For(self, node: c_ast.For) -> None:
+        self.scopes.append({})
+        if node.init is not None:
+            self.lower_stmt(node.init)
+        cond_block = self.func.new_block("for.cond")
+        body_block = self.func.new_block("for.body")
+        step_block = self.func.new_block("for.step")
+        exit_block = self.func.new_block("for.end")
+        self.terminate(Jump(cond_block))
+        self.set_block(cond_block)
+        if node.cond is not None:
+            cond = self.to_bool(self.rvalue(node.cond))
+            self.terminate(CondBranch(cond, body_block, exit_block))
+        else:
+            self.terminate(Jump(body_block))
+        self.loops.append(_LoopContext(exit_block, step_block))
+        self.set_block(body_block)
+        self.lower_stmt(node.stmt)
+        self.terminate(Jump(step_block))
+        self.loops.pop()
+        self.set_block(step_block)
+        if node.next is not None:
+            self.rvalue_or_void(node.next)
+        self.terminate(Jump(cond_block))
+        self.set_block(exit_block)
+        self.scopes.pop()
+
+    def _stmt_Break(self, node: c_ast.Break) -> None:
+        if not self.loops:
+            raise self.error("break outside loop or switch", node)
+        self.terminate(Jump(self.loops[-1].break_block))
+
+    def _stmt_Continue(self, node: c_ast.Continue) -> None:
+        for ctx in reversed(self.loops):
+            if ctx.continue_block is not None:
+                self.terminate(Jump(ctx.continue_block))
+                return
+        raise self.error("continue outside loop", node)
+
+    def _stmt_Return(self, node: c_ast.Return) -> None:
+        if node.expr is None:
+            self.terminate(Ret())
+            return
+        value = self.rvalue(node.expr)
+        self.terminate(Ret(self.coerce(value, self.func.return_type)))
+
+    def _stmt_Switch(self, node: c_ast.Switch) -> None:
+        scrutinee = self.rvalue(node.cond)
+        exit_block = self.func.new_block("switch.end")
+        body = node.stmt
+        items = body.block_items or [] if isinstance(body, c_ast.Compound) else [body]
+        cases: List[Tuple[Optional[int], List, BasicBlock]] = []
+        for item in items:
+            if isinstance(item, c_ast.Case):
+                value = self.types.eval_const(item.expr)
+                cases.append((value, list(item.stmts or []),
+                              self.func.new_block(f"case.{value}")))
+            elif isinstance(item, c_ast.Default):
+                cases.append((None, list(item.stmts or []),
+                              self.func.new_block("case.default")))
+            else:
+                if not cases:
+                    raise self.error("statement before first case label", item)
+                cases[-1][1].append(item)
+
+        # dispatch chain
+        default_block = next((blk for val, _, blk in cases if val is None),
+                             exit_block)
+        for value, _, blk in cases:
+            if value is None:
+                continue
+            cmp = self.emit(Cmp("==", scrutinee, Constant(T.INT, value), T.INT))
+            next_test = self.func.new_block("switch.test")
+            self.terminate(CondBranch(cmp, blk, next_test))
+            self.set_block(next_test)
+        self.terminate(Jump(default_block))
+
+        # case bodies with fallthrough
+        self.loops.append(_LoopContext(exit_block, None))
+        for i, (_, stmts, blk) in enumerate(cases):
+            self.set_block(blk)
+            for stmt in stmts:
+                self.lower_stmt(stmt)
+            fall = cases[i + 1][2] if i + 1 < len(cases) else exit_block
+            self.terminate(Jump(fall))
+        self.loops.pop()
+        self.set_block(exit_block)
+
+    def _stmt_EmptyStatement(self, node) -> None:
+        pass
+
+    def _stmt_Assignment(self, node: c_ast.Assignment) -> None:
+        self.rvalue(node)
+
+    def _stmt_UnaryOp(self, node: c_ast.UnaryOp) -> None:
+        self.rvalue(node)
+
+    def _stmt_FuncCall(self, node: c_ast.FuncCall) -> None:
+        self.rvalue_or_void(node)
+
+    def _stmt_ExprList(self, node: c_ast.ExprList) -> None:
+        for expr in node.exprs:
+            self.rvalue_or_void(expr)
+
+    def _stmt_Cast(self, node: c_ast.Cast) -> None:
+        self.rvalue(node)
+
+    def _stmt_BinaryOp(self, node) -> None:
+        self.rvalue(node)
+
+    def _stmt_TernaryOp(self, node) -> None:
+        self.rvalue(node)
+
+    def _stmt_ID(self, node) -> None:
+        pass  # expression statement with no effect
+
+    def _stmt_Constant(self, node) -> None:
+        pass
+
+    def _stmt_Goto(self, node) -> None:
+        raise self.error(
+            "goto is outside the SafeFlow restricted language subset", node
+        )
+
+    def _stmt_Label(self, node) -> None:
+        raise self.error(
+            "labels are outside the SafeFlow restricted language subset", node
+        )
+
+    # -- expressions -----------------------------------------------------
+
+    def rvalue_or_void(self, node) -> Optional[Value]:
+        """Evaluate an expression whose value may be discarded."""
+        if isinstance(node, c_ast.FuncCall):
+            return self._lower_call(node, want_value=False)
+        return self.rvalue(node)
+
+    def rvalue(self, node) -> Value:
+        self.current_loc = self.unit.origin(getattr(node, "coord", None)) or \
+            self.current_loc
+        handler = getattr(self, f"_rv_{type(node).__name__}", None)
+        if handler is None:
+            raise self.error(
+                f"unsupported expression {type(node).__name__}", node
+            )
+        return handler(node)
+
+    def _rv_Constant(self, node: c_ast.Constant) -> Value:
+        if node.type in ("int", "long int", "long long int",
+                         "unsigned int", "unsigned long int"):
+            return Constant(T.INT, _parse_int_literal(node.value))
+        if node.type in ("float", "double", "long double"):
+            text = node.value.rstrip("fFlL")
+            type_ = T.FLOAT if node.value.rstrip("lL").endswith(("f", "F")) \
+                else T.DOUBLE
+            return Constant(type_, float(text))
+        if node.type == "char":
+            return Constant(T.CHAR, _parse_char_literal(node.value))
+        if node.type == "string":
+            return Constant(PointerType(T.CHAR), node.value[1:-1])
+        raise self.error(f"unsupported literal type {node.type!r}", node)
+
+    def _rv_ID(self, node: c_ast.ID) -> Value:
+        if node.name in self.types.enum_constants:
+            return Constant(T.INT, self.types.enum_constants[node.name])
+        target = self.lookup(node.name)
+        if target is None:
+            raise self.error(f"use of undeclared identifier {node.name!r}", node)
+        if isinstance(target, Function):
+            return target
+        declared = _declared_type(target)
+        if isinstance(declared, ArrayType):
+            return self.emit(IndexAddr(target, Constant(T.INT, 0)))  # decay
+        return self.emit(Load(target, self.func.temp_name(node.name)))
+
+    def lvalue(self, node) -> Value:
+        """Address of an assignable expression."""
+        self.current_loc = self.unit.origin(getattr(node, "coord", None)) or \
+            self.current_loc
+        if isinstance(node, c_ast.ID):
+            target = self.lookup(node.name)
+            if target is None:
+                raise self.error(
+                    f"use of undeclared identifier {node.name!r}", node
+                )
+            if isinstance(target, Function):
+                raise self.error(f"cannot assign to function {node.name!r}", node)
+            return target
+        if isinstance(node, c_ast.UnaryOp) and node.op == "*":
+            return self.rvalue(node.expr)
+        if isinstance(node, c_ast.StructRef):
+            return self._struct_member_addr(node)
+        if isinstance(node, c_ast.ArrayRef):
+            return self._array_elem_addr(node)
+        if isinstance(node, c_ast.Cast):
+            # (T*)expr used as lvalue target — lower the cast of the address
+            inner = self.lvalue(node.expr)
+            to_type = self.types.from_node(node.to_type)
+            return self.emit(Cast(inner, PointerType(to_type)))
+        raise self.error(
+            f"expression {type(node).__name__} is not an lvalue", node
+        )
+
+    def _struct_member_addr(self, node: c_ast.StructRef) -> Value:
+        if node.type == "->":
+            base = self.rvalue(node.name)
+        else:
+            base = self.lvalue(node.name)
+        btype = base.type
+        if not isinstance(btype, PointerType):
+            raise self.error("member access on non-pointer base", node)
+        if not isinstance(btype.pointee, StructType):
+            raise self.error(
+                f"member access on non-struct type {btype.pointee!r}", node
+            )
+        try:
+            return self.emit(FieldAddr(base, node.field.name))
+        except KeyError as exc:
+            raise self.error(str(exc.args[0]) if exc.args else str(exc),
+                             node)
+
+    def _array_elem_addr(self, node: c_ast.ArrayRef) -> Value:
+        name_type = self._static_type(node.name)
+        if isinstance(name_type, ArrayType):
+            base = self.lvalue(node.name)
+        else:
+            base = self.rvalue(node.name)
+        index = self.rvalue(node.subscript)
+        return self.emit(IndexAddr(base, index))
+
+    def _static_type(self, node) -> Optional[CType]:
+        """Best-effort static type of an expression (for array decay)."""
+        if isinstance(node, c_ast.ID):
+            target = self.lookup(node.name)
+            if target is not None:
+                return _declared_type(target)
+        if isinstance(node, c_ast.StructRef):
+            try:
+                base = self._static_type(node.name)
+            except LoweringError:
+                return None
+            if node.type == "->" and isinstance(base, PointerType):
+                base = base.pointee
+            if isinstance(base, StructType) and base.is_complete:
+                try:
+                    return base.field(node.field.name).type
+                except KeyError:
+                    return None
+        if isinstance(node, c_ast.ArrayRef):
+            base = self._static_type(node.name)
+            if isinstance(base, ArrayType):
+                return base.element
+            if isinstance(base, PointerType):
+                return base.pointee
+        return None
+
+    def _rv_StructRef(self, node: c_ast.StructRef) -> Value:
+        addr = self._struct_member_addr(node)
+        pointee = addr.type.pointee  # type: ignore[attr-defined]
+        if isinstance(pointee, ArrayType):
+            return self.emit(IndexAddr(addr, Constant(T.INT, 0)))
+        return self.emit(Load(addr))
+
+    def _rv_ArrayRef(self, node: c_ast.ArrayRef) -> Value:
+        addr = self._array_elem_addr(node)
+        pointee = addr.type.pointee  # type: ignore[attr-defined]
+        if isinstance(pointee, ArrayType):
+            return self.emit(IndexAddr(addr, Constant(T.INT, 0)))
+        return self.emit(Load(addr))
+
+    def _rv_UnaryOp(self, node: c_ast.UnaryOp) -> Value:
+        op = node.op
+        if op == "&":
+            inner = node.expr
+            if isinstance(inner, c_ast.ID):
+                target = self.lookup(inner.name)
+                if isinstance(target, Function):
+                    return target
+            return self.lvalue(inner)
+        if op == "*":
+            ptr = self.rvalue(node.expr)
+            if not isinstance(ptr.type, PointerType):
+                raise self.error("dereference of non-pointer", node)
+            if isinstance(ptr.type.pointee, ArrayType):
+                return self.emit(IndexAddr(ptr, Constant(T.INT, 0)))
+            return self.emit(Load(ptr))
+        if op == "sizeof":
+            if isinstance(node.expr, c_ast.Typename):
+                return Constant(T.UINT, self.types.from_node(node.expr).sizeof())
+            stype = self._static_type(node.expr)
+            if stype is not None:
+                return Constant(T.UINT, stype.sizeof())
+            value = self.rvalue(node.expr)
+            return Constant(T.UINT, value.type.sizeof())
+        if op in ("++", "--", "p++", "p--"):
+            return self._incdec(node)
+        if op == "!":
+            value = self.to_bool(self.rvalue(node.expr))
+            return self.emit(UnaryOp("!", value, T.INT))
+        if op in ("-", "+", "~"):
+            value = self.rvalue(node.expr)
+            if isinstance(value, Constant) and isinstance(
+                value.value, (int, float)
+            ):
+                folded = {"-": lambda v: -v, "+": lambda v: v,
+                          "~": lambda v: ~int(v)}[op](value.value)
+                return Constant(value.type, folded)
+            return self.emit(UnaryOp(op, value, value.type))
+        raise self.error(f"unsupported unary operator {op!r}", node)
+
+    def _incdec(self, node: c_ast.UnaryOp) -> Value:
+        addr = self.lvalue(node.expr)
+        old = self.emit(Load(addr))
+        delta = Constant(T.INT, 1)
+        op = "+" if "++" in node.op else "-"
+        if isinstance(old.type, PointerType):
+            index = delta if op == "+" else self.emit(
+                UnaryOp("-", delta, T.INT))
+            new = self.emit(IndexAddr(old, index))
+        else:
+            new = self.emit(BinOp(op, old, self.coerce(delta, old.type),
+                                  old.type))
+        self.emit(Store(new, addr))
+        return old if node.op.startswith("p") else new
+
+    def _rv_BinaryOp(self, node: c_ast.BinaryOp) -> Value:
+        op = node.op
+        if op in ("&&", "||"):
+            return self._short_circuit(node)
+        left = self.rvalue(node.left)
+        right = self.rvalue(node.right)
+        if op in Cmp.OPS:
+            left, right = self._usual_conversions(left, right)
+            return self.emit(Cmp(op, left, right, T.INT))
+        if op in ("+", "-") and isinstance(left.type, PointerType) \
+                and not isinstance(right.type, PointerType):
+            index = right if op == "+" else self.emit(
+                UnaryOp("-", right, right.type))
+            return self.emit(IndexAddr(left, index))
+        if op == "+" and isinstance(right.type, PointerType):
+            return self.emit(IndexAddr(right, left))
+        if op == "-" and isinstance(left.type, PointerType) \
+                and isinstance(right.type, PointerType):
+            li = self.emit(Cast(left, T.INT))
+            ri = self.emit(Cast(right, T.INT))
+            return self.emit(BinOp("-", li, ri, T.INT))
+        left, right = self._usual_conversions(left, right)
+        return self.emit(BinOp(op, left, right, left.type))
+
+    def _usual_conversions(self, left: Value, right: Value) -> Tuple[Value, Value]:
+        lt, rt = left.type, right.type
+        if lt == rt or lt.is_pointer or rt.is_pointer:
+            return left, right
+        target = _common_type(lt, rt)
+        if lt != target:
+            left = self.emit(Cast(left, target))
+        if rt != target:
+            right = self.emit(Cast(right, target))
+        return left, right
+
+    def _short_circuit(self, node: c_ast.BinaryOp) -> Value:
+        result = self.declare_local(self.func.temp_name("sc"), T.INT)
+        rhs_block = self.func.new_block("sc.rhs")
+        merge_block = self.func.new_block("sc.end")
+        left = self.to_bool(self.rvalue(node.left))
+        self.emit(Store(left, result))
+        if node.op == "&&":
+            self.terminate(CondBranch(left, rhs_block, merge_block))
+        else:
+            self.terminate(CondBranch(left, merge_block, rhs_block))
+        self.set_block(rhs_block)
+        right = self.to_bool(self.rvalue(node.right))
+        self.emit(Store(right, result))
+        self.terminate(Jump(merge_block))
+        self.set_block(merge_block)
+        return self.emit(Load(result))
+
+    def _rv_TernaryOp(self, node: c_ast.TernaryOp) -> Value:
+        then_block = self.func.new_block("sel.then")
+        else_block = self.func.new_block("sel.else")
+        merge_block = self.func.new_block("sel.end")
+        cond = self.to_bool(self.rvalue(node.cond))
+        self.terminate(CondBranch(cond, then_block, else_block))
+
+        self.set_block(then_block)
+        tval = self.rvalue(node.iftrue)
+        slot = self.declare_local(self.func.temp_name("sel"), tval.type)
+        self.emit(Store(tval, slot))
+        self.terminate(Jump(merge_block))
+
+        self.set_block(else_block)
+        fval = self.rvalue(node.iffalse)
+        self.emit(Store(self.coerce(fval, tval.type), slot))
+        self.terminate(Jump(merge_block))
+
+        self.set_block(merge_block)
+        return self.emit(Load(slot))
+
+    def _rv_Assignment(self, node: c_ast.Assignment) -> Value:
+        addr = self.lvalue(node.lvalue)
+        target_type = addr.type.pointee if isinstance(addr.type, PointerType) \
+            else T.INT
+        if node.op == "=":
+            if isinstance(target_type, (StructType,)):
+                src = self.lvalue(node.rvalue)
+                value = self.emit(Load(src))
+                self.emit(Store(value, addr))
+                return value
+            value = self.coerce(self.rvalue(node.rvalue), target_type)
+            self.emit(Store(value, addr))
+            return value
+        binop = node.op[:-1]
+        old = self.emit(Load(addr))
+        rhs = self.rvalue(node.rvalue)
+        if isinstance(old.type, PointerType) and binop in ("+", "-"):
+            index = rhs if binop == "+" else self.emit(
+                UnaryOp("-", rhs, rhs.type))
+            new: Value = self.emit(IndexAddr(old, index))
+        else:
+            new = self.emit(
+                BinOp(binop, old, self.coerce(rhs, old.type), old.type)
+            )
+        self.emit(Store(new, addr))
+        return new
+
+    def _rv_Cast(self, node: c_ast.Cast) -> Value:
+        to_type = self.types.from_node(node.to_type)
+        value = self.rvalue(node.expr)
+        if value.type == to_type:
+            return value
+        if isinstance(to_type, VoidType):
+            return value
+        if isinstance(value, Constant) and value.value == 0 and to_type.is_pointer:
+            return Constant(to_type, 0)
+        return self.emit(Cast(value, to_type))
+
+    def _rv_FuncCall(self, node: c_ast.FuncCall) -> Value:
+        value = self._lower_call(node, want_value=True)
+        assert value is not None
+        return value
+
+    def _lower_call(self, node: c_ast.FuncCall, want_value: bool) -> Optional[Value]:
+        callee: object
+        ftype: Optional[FunctionType] = None
+        if isinstance(node.name, c_ast.ID):
+            target = self.lookup(node.name.name)
+            if isinstance(target, Function):
+                callee = target
+                ftype = target.ftype
+            elif target is None:
+                # C90 implicit declaration: int f();
+                implicit = Function(
+                    node.name.name, FunctionType(T.INT, [], varargs=True)
+                )
+                self.module.add_function(implicit)
+                callee = implicit
+                ftype = implicit.ftype
+            else:
+                callee = self.emit(Load(target))
+                ct = callee.type
+                if isinstance(ct, PointerType) and isinstance(ct.pointee,
+                                                              FunctionType):
+                    ftype = ct.pointee
+        else:
+            callee = self.rvalue(node.name)
+            ct = callee.type
+            if isinstance(ct, PointerType) and isinstance(ct.pointee,
+                                                          FunctionType):
+                ftype = ct.pointee
+
+        args: List[Value] = []
+        exprs = list(node.args.exprs) if node.args is not None else []
+        for i, expr in enumerate(exprs):
+            value = self.rvalue(expr)
+            if ftype is not None and i < len(ftype.params):
+                value = self.coerce(value, ftype.params[i])
+            args.append(value)
+
+        ret_type = ftype.ret if ftype is not None else T.INT
+        call = Call(callee, args, ret_type)
+        self.emit(call)
+        if want_value and not isinstance(ret_type, VoidType):
+            return call
+        return call if isinstance(ret_type, VoidType) else call
+
+    def _rv_ExprList(self, node: c_ast.ExprList) -> Value:
+        value: Optional[Value] = None
+        for expr in node.exprs:
+            value = self.rvalue_or_void(expr)
+        if value is None:
+            raise self.error("empty expression list", node)
+        return value
+
+    # -- conversions -----------------------------------------------------
+
+    def to_bool(self, value: Value) -> Value:
+        if isinstance(value, (Cmp,)):
+            return value
+        if isinstance(value, UnaryOp) and value.op == "!":
+            return value
+        if isinstance(value.type, PointerType):
+            return self.emit(Cmp("!=", value, Constant(value.type, 0), T.INT))
+        zero = Constant(value.type, 0 if value.type.is_integer else 0.0)
+        return self.emit(Cmp("!=", value, zero, T.INT))
+
+    def coerce(self, value: Value, target: CType) -> Value:
+        if value.type == target or isinstance(target, VoidType):
+            return value
+        if isinstance(target, PointerType):
+            if isinstance(value, Constant) and value.value == 0:
+                return Constant(target, 0)
+            if isinstance(value.type, PointerType):
+                return self.emit(Cast(value, target))
+            if value.type.is_integer:
+                return self.emit(Cast(value, target))
+            return value
+        if isinstance(value.type, PointerType) and target.is_integer:
+            return self.emit(Cast(value, target))
+        if (value.type.is_integer or value.type.is_float) and (
+            target.is_integer or target.is_float
+        ):
+            if isinstance(value, Constant):
+                if target.is_integer:
+                    return Constant(target, int(value.value))
+                return Constant(target, float(value.value))
+            return self.emit(Cast(value, target))
+        return value
+
+
+def _declared_type(target: Value) -> CType:
+    if isinstance(target, GlobalVariable):
+        return target.declared_type
+    if isinstance(target, Alloca):
+        return target.allocated_type
+    if isinstance(target.type, PointerType):
+        return target.type.pointee
+    return target.type
+
+
+def _common_type(a: CType, b: CType) -> CType:
+    for candidate in (T.LONGDOUBLE, T.DOUBLE, T.FLOAT):
+        if a == candidate or b == candidate:
+            return candidate
+    if a.is_integer and b.is_integer:
+        return a if a.sizeof() >= b.sizeof() else b
+    return a
+
+
+def _zero_of(type_: CType) -> Value:
+    if type_.is_float:
+        return Constant(type_, 0.0)
+    if type_.is_pointer:
+        return Constant(type_, 0)
+    return Constant(type_, 0)
+
+
+def lower_units(units: List[ParsedUnit], module_name: str = "program",
+                run_ssa: bool = True) -> Tuple[Module, ModuleLowerer]:
+    """Lower several parsed units into one module; returns (module, lowerer)."""
+    lowerer = ModuleLowerer(module_name, run_ssa=run_ssa)
+    for unit in units:
+        lowerer.lower_unit(unit)
+    return lowerer.module, lowerer

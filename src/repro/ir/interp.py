@@ -1,0 +1,333 @@
+"""A small IR interpreter, for differential testing and debugging.
+
+Executes lowered (SSA) functions over a simple memory model: every
+alloca/global is an object, addresses are (object, access-path) pairs,
+and loads/stores index a per-object dictionary. Scalars are Python
+ints/floats. External calls resolve through a user-supplied table
+(math functions and ``printf`` are built in).
+
+This is *not* used by the analysis — it exists so tests can check that
+the front end preserves C semantics (``tests/ir/test_interp.py`` runs
+generated programs against reference implementations).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import IRError
+from .cfg import BasicBlock
+from .function import Function, Module
+from .instructions import (
+    Alloca,
+    BinOp,
+    Call,
+    Cast,
+    Cmp,
+    CondBranch,
+    FieldAddr,
+    IndexAddr,
+    Instruction,
+    Jump,
+    Load,
+    Phi,
+    Ret,
+    Store,
+    UnaryOp,
+)
+from .types import ArrayType, PointerType
+from .values import Constant, GlobalVariable, UndefValue, Value
+
+
+class InterpError(IRError):
+    """Raised on execution faults (missing value, step overflow...)."""
+
+
+class Address:
+    """(object id, access path) — the interpreter's pointer value."""
+
+    __slots__ = ("obj", "path")
+
+    def __init__(self, obj: "MemObject", path: Tuple = ()):
+        self.obj = obj
+        self.path = path
+
+    def child(self, key) -> "Address":
+        return Address(self.obj, self.path + (key,))
+
+    def sibling_offset(self, delta: int) -> "Address":
+        if not self.path:
+            # pointer arithmetic on a scalar object: index 0 stays put
+            if delta == 0:
+                return self
+            raise InterpError("pointer arithmetic escapes the object")
+        *prefix, last = self.path
+        if not isinstance(last, int):
+            raise InterpError("pointer arithmetic on a field address")
+        return Address(self.obj, tuple(prefix) + (last + delta,))
+
+    def __repr__(self) -> str:
+        return f"<addr {self.obj.name}{list(self.path)}>"
+
+
+class MemObject:
+    """Backing storage for one alloca/global."""
+
+    __slots__ = ("name", "slots")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.slots: Dict[Tuple, object] = {}
+
+    def load(self, path: Tuple):
+        if path in self.slots:
+            return self.slots[path]
+        raise InterpError(f"read of uninitialized memory {self.name}{list(path)}")
+
+    def store(self, path: Tuple, value) -> None:
+        if isinstance(value, dict):
+            # aggregate copy: splice the sub-tree
+            for sub, v in value.items():
+                self.slots[path + sub] = v
+            return
+        self.slots[path] = value
+
+    def snapshot(self, path: Tuple) -> dict:
+        """Sub-tree rooted at path, for aggregate loads."""
+        out = {}
+        n = len(path)
+        for key, value in self.slots.items():
+            if key[:n] == path:
+                out[key[n:]] = value
+        return out
+
+
+def _c_div(a: int, b: int) -> int:
+    if b == 0:
+        raise InterpError("integer division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _c_mod(a: int, b: int) -> int:
+    if b == 0:
+        raise InterpError("integer modulo by zero")
+    return a - _c_div(a, b) * b
+
+
+class Interpreter:
+    """Executes defined functions of a module."""
+
+    def __init__(self, module: Module,
+                 externals: Optional[Dict[str, Callable]] = None,
+                 max_steps: int = 1_000_000):
+        self.module = module
+        self.max_steps = max_steps
+        self.steps = 0
+        self.stdout: List[str] = []
+        self.globals: Dict[str, MemObject] = {}
+        for gv in module.globals.values():
+            obj = MemObject(f"@{gv.name}")
+            if gv.initializer is not None and not isinstance(
+                gv.initializer, list
+            ):
+                obj.store((), gv.initializer)
+            elif gv.declared_type.is_scalar:
+                obj.store((), 0)
+            self.globals[gv.name] = obj
+        self.externals: Dict[str, Callable] = {
+            "fabs": abs, "fabsf": abs, "sqrt": math.sqrt, "sin": math.sin,
+            "cos": math.cos, "tan": math.tan, "atan": math.atan,
+            "atan2": math.atan2, "exp": math.exp, "log": math.log,
+            "pow": math.pow, "floor": math.floor, "ceil": math.ceil,
+            "fmod": math.fmod, "abs": abs,
+            "printf": self._printf,
+        }
+        self.externals.update(externals or {})
+
+    def _printf(self, fmt, *args):
+        self.stdout.append(str(fmt))
+        return 0
+
+    # ------------------------------------------------------------------
+
+    def call(self, name: str, *args):
+        func = self.module.get_function(name)
+        if func is None or func.is_declaration:
+            raise InterpError(f"no defined function {name!r}")
+        return self._run(func, list(args))
+
+    def _run(self, func: Function, args: List):
+        env: Dict[Value, object] = {}
+        for i, arg in enumerate(func.arguments):
+            env[arg] = args[i] if i < len(args) else 0
+        block = func.entry
+        prev_block: Optional[BasicBlock] = None
+
+        while True:
+            # phi nodes first, evaluated simultaneously
+            phi_values = {}
+            for phi in block.phis():
+                if prev_block not in phi.incoming:
+                    raise InterpError(
+                        f"phi {phi.short()} has no incoming for edge"
+                    )
+                phi_values[phi] = self._value(phi.incoming[prev_block], env)
+            env.update(phi_values)
+
+            for inst in block.non_phi_instructions():
+                self.steps += 1
+                if self.steps > self.max_steps:
+                    raise InterpError("step limit exceeded")
+                if isinstance(inst, Ret):
+                    if inst.value is None:
+                        return None
+                    return self._value(inst.value, env)
+                if isinstance(inst, Jump):
+                    prev_block, block = block, inst.target
+                    break
+                if isinstance(inst, CondBranch):
+                    cond = self._value(inst.condition, env)
+                    target = inst.true_block if cond else inst.false_block
+                    prev_block, block = block, target
+                    break
+                env[inst] = self._execute(inst, env)
+            else:
+                raise InterpError(f"block {block.name} fell through")
+
+    # ------------------------------------------------------------------
+
+    def _value(self, value: Value, env: Dict[Value, object]):
+        if isinstance(value, Constant):
+            return value.value
+        if isinstance(value, UndefValue):
+            return 0
+        if isinstance(value, GlobalVariable):
+            return Address(self.globals[value.name])
+        if isinstance(value, Function):
+            return value
+        if value in env:
+            return env[value]
+        raise InterpError(f"use of unevaluated value {value.short()}")
+
+    def _execute(self, inst: Instruction, env: Dict[Value, object]):
+        if isinstance(inst, Alloca):
+            return Address(MemObject(inst.name or "local"))
+        if isinstance(inst, Load):
+            addr = self._value(inst.pointer, env)
+            if not isinstance(addr, Address):
+                raise InterpError("load through non-address")
+            if inst.type.is_aggregate:
+                return addr.obj.snapshot(addr.path)
+            return addr.obj.load(addr.path)
+        if isinstance(inst, Store):
+            addr = self._value(inst.pointer, env)
+            if not isinstance(addr, Address):
+                raise InterpError("store through non-address")
+            addr.obj.store(addr.path, self._value(inst.value, env))
+            return None
+        if isinstance(inst, FieldAddr):
+            addr = self._value(inst.pointer, env)
+            return addr.child(inst.field_name)
+        if isinstance(inst, IndexAddr):
+            addr = self._value(inst.pointer, env)
+            index = int(self._value(inst.index, env))
+            ptype = inst.pointer.type
+            assert isinstance(ptype, PointerType)
+            if isinstance(ptype.pointee, ArrayType):
+                return addr.child(index)
+            return addr.sibling_offset(index)
+        if isinstance(inst, BinOp):
+            return self._binop(inst, env)
+        if isinstance(inst, UnaryOp):
+            operand = self._value(inst.operands[0], env)
+            if inst.op == "-":
+                return -operand
+            if inst.op == "+":
+                return operand
+            if inst.op == "~":
+                return ~int(operand)
+            if inst.op == "!":
+                return 0 if operand else 1
+        if isinstance(inst, Cmp):
+            left = self._value(inst.operands[0], env)
+            right = self._value(inst.operands[1], env)
+            if isinstance(left, Address) or isinstance(right, Address):
+                same = (isinstance(left, Address)
+                        and isinstance(right, Address)
+                        and left.obj is right.obj and left.path == right.path)
+                if inst.op == "==":
+                    return 1 if same else 0
+                if inst.op == "!=":
+                    # null-pointer compares: integer 0 vs address
+                    if not isinstance(left, Address) or not isinstance(
+                        right, Address
+                    ):
+                        return 1
+                    return 0 if same else 1
+                raise InterpError("ordered comparison of addresses")
+            ops = {"==": left == right, "!=": left != right,
+                   "<": left < right, "<=": left <= right,
+                   ">": left > right, ">=": left >= right}
+            return 1 if ops[inst.op] else 0
+        if isinstance(inst, Cast):
+            value = self._value(inst.source, env)
+            if inst.kind == "numeric":
+                if inst.type.is_integer:
+                    return int(value)
+                return float(value)
+            return value
+        if isinstance(inst, Call):
+            return self._call(inst, env)
+        raise InterpError(f"cannot execute {inst.opname()}")
+
+    def _binop(self, inst: BinOp, env):
+        left = self._value(inst.lhs, env)
+        right = self._value(inst.rhs, env)
+        op = inst.op
+        integral = inst.type.is_integer
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            return _c_div(int(left), int(right)) if integral else left / right
+        if op == "%":
+            return _c_mod(int(left), int(right))
+        if op == "<<":
+            return int(left) << int(right)
+        if op == ">>":
+            return int(left) >> int(right)
+        if op == "&":
+            return int(left) & int(right)
+        if op == "|":
+            return int(left) | int(right)
+        if op == "^":
+            return int(left) ^ int(right)
+        if op == "&&":
+            return 1 if (left and right) else 0
+        if op == "||":
+            return 1 if (left or right) else 0
+        raise InterpError(f"unknown binop {op}")
+
+    def _call(self, inst: Call, env):
+        args = [self._value(op, env) for op in inst.operands]
+        callee = inst.callee
+        if isinstance(callee, Function) and not callee.is_declaration:
+            return self._run(callee, args)
+        name = inst.callee_name
+        if name is not None:
+            target = self.module.get_function(name)
+            if target is not None and not target.is_declaration:
+                return self._run(target, args)
+            if name in self.externals:
+                return self.externals[name](*args)
+        if isinstance(callee, Function):
+            raise InterpError(f"call to undefined external {callee.name!r}")
+        value = self._value(callee, env) if isinstance(callee, Value) else None
+        if isinstance(value, Function) and not value.is_declaration:
+            return self._run(value, args)
+        raise InterpError("cannot resolve call target")

@@ -1,0 +1,43 @@
+"""Textual dump of IR modules/functions, for tests and debugging."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .function import Function, Module
+
+
+def _assign_names(function: Function) -> None:
+    """Give every unnamed result a stable %tN name before printing."""
+    counter = 0
+    for inst in function.instructions():
+        if inst.type.sizeof() != 0 or inst.type.is_pointer:
+            if not inst.name:
+                inst.name = f"t{counter}"
+                counter += 1
+
+
+def function_to_text(function: Function) -> str:
+    if function.is_declaration:
+        return f"declare {function.name} : {function.ftype!r}\n"
+    _assign_names(function)
+    lines: List[str] = []
+    args = ", ".join(f"%{a.name}: {a.type!r}" for a in function.arguments)
+    lines.append(f"define {function.name}({args}) -> {function.return_type!r} {{")
+    for block in function.blocks:
+        lines.append(f"{block.name}:")
+        for inst in block.instructions:
+            lines.append(f"  {inst.render()}")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def module_to_text(module: Module) -> str:
+    lines: List[str] = [f"; module {module.name}"]
+    for gv in module.globals.values():
+        init = f" = {gv.initializer!r}" if gv.initializer is not None else ""
+        lines.append(f"@{gv.name} : {gv.declared_type!r}{init}")
+    lines.append("")
+    for func in module.functions.values():
+        lines.append(function_to_text(func))
+    return "\n".join(lines)

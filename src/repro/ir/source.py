@@ -1,0 +1,22 @@
+"""Source locations threaded from C text through the IR to diagnostics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class SourceLocation:
+    """A position in an original (pre-preprocessing) C source file."""
+
+    filename: str
+    line: int
+    column: int = 0
+
+    def __str__(self) -> str:
+        if self.column:
+            return f"{self.filename}:{self.line}:{self.column}"
+        return f"{self.filename}:{self.line}"
+
+
+UNKNOWN_LOCATION = SourceLocation("<unknown>", 0)

@@ -1,0 +1,178 @@
+"""SSA construction: promotion of scalar allocas to registers.
+
+This is the classic mem2reg pass (Cytron et al. phi placement on the
+iterated dominance frontier followed by a dominator-tree renaming
+walk). After it runs, every local scalar whose address does not escape
+is a first-class SSA value, which is what makes the value-flow phase
+flow-sensitive for registers, and is also what gives rule P2 its
+meaning: a shared-memory pointer that is *not* promotable (because its
+address was taken) is exactly the aliasing the rule forbids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from .cfg import BasicBlock
+from .dominance import DominatorTree
+from .function import Function
+from .instructions import Alloca, Call, Instruction, Load, Phi, Store
+from .values import UndefValue, Value
+
+
+def promotable_allocas(function: Function) -> List[Alloca]:
+    """Allocas whose every use is a direct load or store-to.
+
+    An alloca is disqualified if its address is used any other way
+    (passed to a call, stored as a value, cast, indexed): those uses
+    mean the variable's address escapes and memory semantics must stay.
+    """
+    uses = function.compute_uses()
+    result = []
+    for inst in function.instructions():
+        if not isinstance(inst, Alloca):
+            continue
+        if not inst.allocated_type.is_scalar:
+            continue
+        ok = True
+        for user, idx in uses.get(inst, []):
+            if isinstance(user, Load):
+                continue
+            if isinstance(user, Store) and idx == 1 and user.pointer is inst:
+                continue
+            ok = False
+            break
+        if ok:
+            result.append(inst)
+    return result
+
+
+def promote_to_ssa(function: Function) -> int:
+    """Run mem2reg on ``function``; returns number of promoted allocas."""
+    if function.is_declaration:
+        return 0
+    function.remove_unreachable_blocks()
+    allocas = promotable_allocas(function)
+    if not allocas:
+        return 0
+
+    dt = DominatorTree(function)
+    frontier = dt.dominance_frontier()
+    alloca_set = set(allocas)
+
+    # 1. phi placement at the iterated dominance frontier of each store.
+    phis: Dict[Phi, Alloca] = {}
+    for alloca in allocas:
+        def_blocks: Set[BasicBlock] = {
+            inst.parent
+            for inst in function.instructions()
+            if isinstance(inst, Store) and inst.pointer is alloca
+        }
+        placed: Set[BasicBlock] = set()
+        work = list(def_blocks)
+        while work:
+            block = work.pop()
+            for fblock in frontier.get(block, ()):  # type: ignore[arg-type]
+                if not isinstance(fblock, BasicBlock) or fblock in placed:
+                    continue
+                phi = Phi(alloca.allocated_type, function.temp_name(alloca.name))
+                phi.location = alloca.location
+                fblock.insert_phi(phi)
+                phis[phi] = alloca
+                placed.add(fblock)
+                if fblock not in def_blocks:
+                    work.append(fblock)
+
+    # 2. renaming walk over the dominator tree.
+    stacks: Dict[Alloca, List[Value]] = {a: [] for a in allocas}
+    to_delete: List[Instruction] = list(allocas)
+    replacements: Dict[Instruction, Value] = {}
+
+    def current(alloca: Alloca) -> Value:
+        stack = stacks[alloca]
+        if stack:
+            return stack[-1]
+        return UndefValue(alloca.allocated_type, alloca.name)
+
+    def rename(block: BasicBlock) -> None:
+        pushed: List[Alloca] = []
+        for inst in list(block.instructions):
+            if isinstance(inst, Phi) and inst in phis:
+                stacks[phis[inst]].append(inst)
+                pushed.append(phis[inst])
+            elif isinstance(inst, Load) and inst.pointer in alloca_set:
+                replacements[inst] = current(inst.pointer)  # type: ignore[arg-type]
+                to_delete.append(inst)
+            elif isinstance(inst, Store) and inst.pointer in alloca_set:
+                value = replacements.get(inst.value, inst.value)  # chains
+                stacks[inst.pointer].append(value)  # type: ignore[index]
+                pushed.append(inst.pointer)  # type: ignore[arg-type]
+                to_delete.append(inst)
+            else:
+                for op in list(inst.operands):
+                    if op in replacements:
+                        inst.replace_operand(op, replacements[op])
+                if isinstance(inst, Call) and inst.callee in replacements:
+                    inst.callee = replacements[inst.callee]
+        for succ in block.successors():
+            for phi in succ.phis():
+                if phi in phis:
+                    phi.add_incoming(block, current(phis[phi]))
+        for child in dt.tree_children(block):
+            if isinstance(child, BasicBlock):
+                rename(child)
+        for alloca in reversed(pushed):
+            stacks[alloca].pop()
+
+    rename(function.entry)
+
+    # 3. resolve any replacement chains that crossed block boundaries,
+    # then delete dead loads/stores/allocas.
+    def resolve(value: Value) -> Value:
+        seen = set()
+        while value in replacements and id(value) not in seen:
+            seen.add(id(value))
+            value = replacements[value]
+        return value
+
+    for inst in function.instructions():
+        for op in list(inst.operands):
+            if op in replacements:
+                inst.replace_operand(op, resolve(op))
+        if isinstance(inst, Call) and inst.callee in replacements:
+            inst.callee = resolve(inst.callee)
+        if isinstance(inst, Phi):
+            for blk, val in list(inst.incoming.items()):
+                if val in replacements:
+                    inst.incoming[blk] = resolve(val)
+            inst.operands = list(inst.incoming.values())
+
+    for inst in to_delete:
+        if inst.parent is not None:
+            inst.parent.remove(inst)
+
+    _prune_trivial_phis(function)
+    return len(allocas)
+
+
+def _prune_trivial_phis(function: Function) -> None:
+    """Remove phis whose incoming values are all identical (or self)."""
+    changed = True
+    while changed:
+        changed = False
+        uses = function.compute_uses()
+        for block in function.blocks:
+            for phi in list(block.phis()):
+                values = {v for v in phi.incoming.values() if v is not phi}
+                if len(values) != 1:
+                    continue
+                replacement = values.pop()
+                for user, _ in uses.get(phi, []):
+                    user.replace_operand(phi, replacement)
+                block.remove(phi)
+                changed = True
+
+
+def build_ssa(function: Function) -> int:
+    """Public entry point: normalize a freshly lowered function."""
+    return promote_to_ssa(function)

@@ -1,0 +1,305 @@
+"""The IR's C-like type model.
+
+Types are immutable value objects: two structurally equal types compare
+and hash equal, so they can be used freely as dict keys. Struct types
+are nominal (compared by tag name) to match C semantics and to make the
+P3 "incompatible cast" rule (§3.2 of the paper) well defined.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+
+class CType:
+    """Base class of all IR types."""
+
+    def sizeof(self) -> int:
+        """Size of the type in bytes (ILP32 model, matching the paper era)."""
+        raise NotImplementedError
+
+    def alignof(self) -> int:
+        """Natural alignment in bytes (primitives align to their size)."""
+        size = self.sizeof()
+        return max(1, min(size, 8)) if size else 1
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    @property
+    def is_scalar(self) -> bool:
+        """True for types that fit in a register (promotable by SSA)."""
+        return isinstance(self, (IntType, FloatType, PointerType))
+
+    @property
+    def is_aggregate(self) -> bool:
+        return isinstance(self, (StructType, ArrayType))
+
+
+class VoidType(CType):
+    def sizeof(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "void"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, VoidType)
+
+    def __hash__(self) -> int:
+        return hash("void")
+
+
+class IntType(CType):
+    """Integral type; ``char``/``short``/``int``/``long`` and unsigned."""
+
+    def __init__(self, name: str, size: int, signed: bool = True):
+        self.name = name
+        self.size = size
+        self.signed = signed
+
+    def sizeof(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, IntType)
+            and other.size == self.size
+            and other.signed == self.signed
+        )
+
+    def __hash__(self) -> int:
+        return hash(("int", self.size, self.signed))
+
+
+class FloatType(CType):
+    def __init__(self, name: str, size: int):
+        self.name = name
+        self.size = size
+
+    def sizeof(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, FloatType) and other.size == self.size
+
+    def __hash__(self) -> int:
+        return hash(("float", self.size))
+
+
+class PointerType(CType):
+    def __init__(self, pointee: CType):
+        self.pointee = pointee
+
+    def sizeof(self) -> int:
+        return 4
+
+    def __repr__(self) -> str:
+        return f"{self.pointee!r}*"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, PointerType) and other.pointee == self.pointee
+
+    def __hash__(self) -> int:
+        return hash(("ptr", self.pointee))
+
+
+class ArrayType(CType):
+    """Fixed-size array. ``count`` may be ``None`` for incomplete arrays."""
+
+    def __init__(self, element: CType, count: Optional[int]):
+        self.element = element
+        self.count = count
+
+    def sizeof(self) -> int:
+        if self.count is None:
+            return 0
+        return self.element.sizeof() * self.count
+
+    def alignof(self) -> int:
+        return self.element.alignof()
+
+    def __repr__(self) -> str:
+        n = "" if self.count is None else str(self.count)
+        return f"{self.element!r}[{n}]"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ArrayType)
+            and other.element == self.element
+            and other.count == self.count
+        )
+
+    def __hash__(self) -> int:
+        return hash(("array", self.element, self.count))
+
+
+class StructField:
+    __slots__ = ("name", "type", "offset")
+
+    def __init__(self, name: str, type_: CType, offset: int):
+        self.name = name
+        self.type = type_
+        self.offset = offset
+
+    def __repr__(self) -> str:
+        return f"{self.name}:{self.type!r}@{self.offset}"
+
+
+class StructType(CType):
+    """Nominal struct/union type.
+
+    Structs start *incomplete* (``fields is None``) so self-referential
+    types (linked structures) can be declared, and are completed once
+    the definition is seen via :meth:`set_fields`.
+    """
+
+    def __init__(self, tag: str, is_union: bool = False):
+        self.tag = tag
+        self.is_union = is_union
+        self.fields: Optional[Tuple[StructField, ...]] = None
+        self._size = 0
+
+    def set_fields(self, fields: Sequence[Tuple[str, CType]]) -> None:
+        """Lay out fields with natural alignment (C struct layout)."""
+        laid_out = []
+        offset = 0
+        size = 0
+        align = 1
+        for fname, ftype in fields:
+            falign = ftype.alignof()
+            align = max(align, falign)
+            if self.is_union:
+                laid_out.append(StructField(fname, ftype, 0))
+                size = max(size, ftype.sizeof())
+            else:
+                if offset % falign:
+                    offset += falign - offset % falign
+                laid_out.append(StructField(fname, ftype, offset))
+                offset += ftype.sizeof()
+                size = offset
+        if size % align:
+            size += align - size % align
+        self.fields = tuple(laid_out)
+        self._size = size
+        self._align = align
+
+    def alignof(self) -> int:
+        return getattr(self, "_align", 1)
+
+    @property
+    def is_complete(self) -> bool:
+        return self.fields is not None
+
+    def field(self, name: str) -> StructField:
+        if self.fields is None:
+            raise KeyError(f"struct {self.tag} is incomplete")
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise KeyError(f"struct {self.tag} has no field {name!r}")
+
+    def field_index(self, name: str) -> int:
+        if self.fields is None:
+            raise KeyError(f"struct {self.tag} is incomplete")
+        for i, f in enumerate(self.fields):
+            if f.name == name:
+                return i
+        raise KeyError(f"struct {self.tag} has no field {name!r}")
+
+    def sizeof(self) -> int:
+        return self._size
+
+    def __repr__(self) -> str:
+        kw = "union" if self.is_union else "struct"
+        return f"{kw} {self.tag}"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, StructType)
+            and other.tag == self.tag
+            and other.is_union == self.is_union
+        )
+
+    def __hash__(self) -> int:
+        return hash(("struct", self.tag, self.is_union))
+
+
+class FunctionType(CType):
+    def __init__(self, ret: CType, params: Sequence[CType], varargs: bool = False):
+        self.ret = ret
+        self.params = tuple(params)
+        self.varargs = varargs
+
+    def sizeof(self) -> int:
+        return 4  # function pointers
+
+    def __repr__(self) -> str:
+        ps = ", ".join(repr(p) for p in self.params)
+        if self.varargs:
+            ps = ps + ", ..." if ps else "..."
+        return f"{self.ret!r}({ps})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, FunctionType)
+            and other.ret == self.ret
+            and other.params == self.params
+            and other.varargs == self.varargs
+        )
+
+    def __hash__(self) -> int:
+        return hash(("fn", self.ret, self.params, self.varargs))
+
+
+# Canonical primitive instances (ILP32).
+VOID = VoidType()
+BOOL = IntType("_Bool", 1, signed=False)
+CHAR = IntType("char", 1)
+UCHAR = IntType("unsigned char", 1, signed=False)
+SHORT = IntType("short", 2)
+USHORT = IntType("unsigned short", 2, signed=False)
+INT = IntType("int", 4)
+UINT = IntType("unsigned int", 4, signed=False)
+LONG = IntType("long", 4)
+ULONG = IntType("unsigned long", 4, signed=False)
+LONGLONG = IntType("long long", 8)
+ULONGLONG = IntType("unsigned long long", 8, signed=False)
+FLOAT = FloatType("float", 4)
+DOUBLE = FloatType("double", 8)
+LONGDOUBLE = FloatType("long double", 12)
+
+VOID_PTR = PointerType(VOID)
+CHAR_PTR = PointerType(CHAR)
+
+
+def pointer_compatible(a: CType, b: CType) -> bool:
+    """C-level compatibility used by rule P3 for pointer casts.
+
+    ``void*`` is compatible with everything; ``char*`` is compatible
+    with everything (byte access); otherwise pointee types must be
+    structurally equal.
+    """
+    if not (a.is_pointer and b.is_pointer):
+        return False
+    pa, pb = a.pointee, b.pointee  # type: ignore[attr-defined]
+    if isinstance(pa, VoidType) or isinstance(pb, VoidType):
+        return True
+    if pa == CHAR or pb == CHAR:
+        return True
+    return pa == pb

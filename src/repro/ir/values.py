@@ -1,0 +1,92 @@
+"""IR values: constants, globals, arguments.
+
+Instructions are also values (when they produce a result); they live in
+:mod:`repro.ir.instructions`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .source import SourceLocation
+from .types import CType, PointerType
+
+
+class Value:
+    """Base of every SSA value in the IR."""
+
+    def __init__(self, type_: CType, name: str = ""):
+        self.type = type_
+        self.name = name
+
+    def short(self) -> str:
+        """Compact rendering used inside instruction operand lists."""
+        return f"%{self.name}" if self.name else f"%{id(self):x}"
+
+    def __repr__(self) -> str:
+        return self.short()
+
+
+class Constant(Value):
+    """Integer / float / string literal constant."""
+
+    def __init__(self, type_: CType, value):
+        super().__init__(type_)
+        self.value = value
+
+    def short(self) -> str:
+        if isinstance(self.value, str):
+            return repr(self.value)
+        return str(self.value)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Constant)
+            and other.type == self.type
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.value))
+
+
+class UndefValue(Value):
+    """Value of an uninitialized read discovered during SSA renaming."""
+
+    def short(self) -> str:
+        return "undef"
+
+
+class GlobalVariable(Value):
+    """A file-scope variable.
+
+    Its IR type is a *pointer to* the declared type, like an LLVM
+    global: loads and stores go through it explicitly.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        declared_type: CType,
+        initializer=None,
+        location: Optional[SourceLocation] = None,
+    ):
+        super().__init__(PointerType(declared_type), name)
+        self.declared_type = declared_type
+        self.initializer = initializer
+        self.location = location
+
+    def short(self) -> str:
+        return f"@{self.name}"
+
+
+class Argument(Value):
+    """A formal parameter of a function."""
+
+    def __init__(self, type_: CType, name: str, index: int, function=None):
+        super().__init__(type_, name)
+        self.index = index
+        self.function = function
+
+    def short(self) -> str:
+        return f"%{self.name}"

@@ -1,0 +1,6 @@
+"""Points-to substrate (Data Structure Analysis substitute)."""
+
+from .analysis import ALLOCATORS, COPYING_EXTERNALS, PointsToAnalysis
+from .cells import Cell
+
+__all__ = ["ALLOCATORS", "COPYING_EXTERNALS", "Cell", "PointsToAnalysis"]

@@ -1,0 +1,114 @@
+"""Memory cells with union-find, the nodes of the points-to graph.
+
+A :class:`Cell` abstracts one or more runtime memory objects. Cells are
+field-sensitive (a struct cell has one child cell per field; arrays
+collapse to a single element cell, matching the paper's whole-array
+granularity) and carry one outgoing ``pointee`` edge, Steensgaard
+style: everything a pointer stored in this cell may reference is
+unified into that one target.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Set
+
+
+class Cell:
+    """Union-find node in the points-to graph."""
+
+    _counter = 0
+
+    def __init__(self, label: str = ""):
+        Cell._counter += 1
+        self.id = Cell._counter
+        self.label = label or f"cell{self.id}"
+        self._parent: "Cell" = self
+        self._rank = 0
+        # valid only on representatives:
+        self._pointee: Optional["Cell"] = None
+        self._fields: Dict[str, "Cell"] = {}
+
+    # -- union-find ----------------------------------------------------
+
+    def find(self) -> "Cell":
+        root = self
+        while root._parent is not root:
+            root = root._parent
+        # path compression
+        node = self
+        while node._parent is not root:
+            node._parent, node = root, node._parent
+        return root
+
+    def unify(self, other: "Cell") -> "Cell":
+        """Merge two cells; returns the representative."""
+        a, b = self.find(), other.find()
+        if a is b:
+            return a
+        if a._rank < b._rank:
+            a, b = b, a
+        b._parent = a
+        if a._rank == b._rank:
+            a._rank += 1
+        # merge pointee edges
+        bp = b._pointee
+        b._pointee = None
+        if bp is not None:
+            if a._pointee is None:
+                a._pointee = bp
+            else:
+                a._pointee.unify(bp)
+        # merge fields pairwise
+        bf = b._fields
+        b._fields = {}
+        a = a.find()
+        for key, cell in bf.items():
+            af = a._fields.get(key)
+            if af is None:
+                a._fields[key] = cell
+            else:
+                af.unify(cell)
+            a = a.find()
+        return a.find()
+
+    # -- structure -----------------------------------------------------
+
+    def pointee(self) -> "Cell":
+        """The cell this cell's contents point to (created on demand)."""
+        root = self.find()
+        if root._pointee is None:
+            root._pointee = Cell(f"{root.label}.*")
+        return root._pointee.find()
+
+    def has_pointee(self) -> bool:
+        return self.find()._pointee is not None
+
+    def field(self, name: str) -> "Cell":
+        root = self.find()
+        cell = root._fields.get(name)
+        if cell is None:
+            cell = Cell(f"{root.label}.{name}")
+            root._fields[name] = cell
+        return cell.find()
+
+    def fields(self) -> Dict[str, "Cell"]:
+        return {k: v.find() for k, v in self.find()._fields.items()}
+
+    def reachable(self) -> Iterator["Cell"]:
+        """All cells reachable through fields/pointee edges."""
+        seen: Set[int] = set()
+        work = [self.find()]
+        while work:
+            cell = work.pop().find()
+            if cell.id in seen:
+                continue
+            seen.add(cell.id)
+            yield cell
+            root = cell
+            if root._pointee is not None:
+                work.append(root._pointee)
+            work.extend(root._fields.values())
+
+    def __repr__(self) -> str:
+        root = self.find()
+        return f"<cell {root.label}#{root.id}>"

@@ -1,0 +1,23 @@
+"""Diagnostics, tables, and value-flow-graph rendering."""
+
+from .diagnostics import (
+    CriticalDependencyError,
+    DependencyKind,
+    Diagnostic,
+    InitializationIssue,
+    RestrictionViolation,
+    Severity,
+    UnmonitoredReadWarning,
+    sort_key,
+)
+
+__all__ = [
+    "CriticalDependencyError",
+    "DependencyKind",
+    "Diagnostic",
+    "InitializationIssue",
+    "RestrictionViolation",
+    "Severity",
+    "UnmonitoredReadWarning",
+    "sort_key",
+]

@@ -1,0 +1,109 @@
+"""Diagnostic records produced by the three analysis phases.
+
+Terminology follows the paper's Table 1:
+
+- **warning** — an access to an unmonitored non-core shared-memory
+  value in the core component ("a warning is reported for each unsafe
+  access to shared memory, without any false positives or false
+  negatives", §3.3);
+- **error (dependency)** — critical data (an ``assert(safe(x))``) is
+  data- or control-dependent on an unsafe value;
+- **restriction violation** — the program leaves the restricted
+  language subset (P1–P3, A1, A2), so the analysis guarantees no
+  longer hold;
+- a **candidate false positive** is an error whose taint reaches the
+  assertion *only* through control dependence — the exact class the
+  paper triages manually with value flow graphs (§3.4.1, §4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..ir.source import SourceLocation
+
+
+class Severity(enum.Enum):
+    WARNING = "warning"
+    ERROR = "error"
+    VIOLATION = "violation"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class DependencyKind(enum.Enum):
+    """How unsafe data reaches the critical assertion."""
+
+    DATA = "data"
+    CONTROL = "control"
+    BOTH = "data+control"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """Base diagnostic; subclasses add structure."""
+
+    message: str
+    location: Optional[SourceLocation]
+    function: str
+    severity: Severity
+
+    def __str__(self) -> str:
+        loc = f"{self.location}: " if self.location else ""
+        return f"{loc}{self.severity}: {self.message} [in {self.function}]"
+
+
+@dataclass(frozen=True)
+class UnmonitoredReadWarning(Diagnostic):
+    """A read of a non-core shared variable outside any monitoring
+    context: the value returned is *unsafe* (§2 operational rules)."""
+
+    region: str = ""
+    #: stable identity for deduplication: (function, region, line)
+    @property
+    def key(self) -> Tuple[str, str, int]:
+        line = self.location.line if self.location else 0
+        return (self.function, self.region, line)
+
+
+@dataclass(frozen=True)
+class CriticalDependencyError(Diagnostic):
+    """Critical data depends on at least one unmonitored non-core value."""
+
+    variable: str = ""
+    kind: DependencyKind = DependencyKind.DATA
+    #: the unmonitored reads this assertion transitively depends on
+    sources: Tuple[UnmonitoredReadWarning, ...] = ()
+    #: human-readable witness path through the value flow graph
+    witness: Tuple[str, ...] = ()
+    #: set by triage when the dependency is control-only (§3.4.1)
+    candidate_false_positive: bool = False
+
+    def witness_text(self) -> str:
+        return " ->\n    ".join(self.witness)
+
+
+@dataclass(frozen=True)
+class RestrictionViolation(Diagnostic):
+    """A violation of the restricted language subset (phase 2)."""
+
+    rule: str = ""  # "P1" | "P2" | "P3" | "A1" | "A2"
+
+
+@dataclass(frozen=True)
+class InitializationIssue(Diagnostic):
+    """Problems discovered in shminit functions (overlaps, bad sizes)."""
+
+    region_a: str = ""
+    region_b: str = ""
+
+
+def sort_key(diag: Diagnostic):
+    loc = diag.location or SourceLocation("~", 1 << 30)
+    return (loc.filename, loc.line, diag.function, diag.message)

@@ -1,0 +1,70 @@
+"""Plain-text table rendering for reports and the Table 1 harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Fixed-width ASCII table (right-pads text, right-aligns numbers)."""
+    str_rows: List[List[str]] = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+
+    def fmt(row: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(row):
+            width = widths[i] if i < len(widths) else len(cell)
+            parts.append(cell.ljust(width))
+        return "| " + " | ".join(parts) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(fmt(list(headers)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(fmt(row))
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def table1_comparison(results) -> str:
+    """Render measured-vs-paper Table 1.
+
+    ``results`` is a list of (CorpusSystem, AnalysisReport) pairs.
+    """
+    headers = [
+        "System", "LOC tot", "LOC core", "Annot (paper)",
+        "Errors (paper)", "Warnings (paper)", "FalsePos (paper)",
+    ]
+    rows = []
+    for system, report in results:
+        counts = report.counts()
+        paper = system.paper
+        rows.append([
+            system.title,
+            f"{system.loc_total()} ({paper.loc_total})",
+            f"{system.loc_core()} ({paper.loc_core})",
+            f"{counts['annotation_lines']} ({paper.annotation_lines})",
+            f"{counts['errors']} ({paper.error_dependencies})",
+            f"{counts['warnings']} ({paper.warnings})",
+            f"{counts['false_positives']} ({paper.false_positives})",
+        ])
+    return render_table(
+        headers, rows,
+        title="Table 1 — Applying SafeFlow to Control Systems "
+              "(measured (paper))",
+    )

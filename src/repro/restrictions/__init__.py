@@ -1,0 +1,23 @@
+"""Phase 2 — restricted-language rules P1–P3 and A1/A2."""
+
+from .affine import AffineExpr, affine_of, induction_info, loop_bounds_for
+from .array_rules import check_arrays
+from .checker import check_restrictions
+from .pointer_rules import check_p1, check_p2, check_p3, shm_accessing_functions
+from .solver import Constraint, can_violate_bounds, is_feasible
+
+__all__ = [
+    "AffineExpr",
+    "Constraint",
+    "affine_of",
+    "can_violate_bounds",
+    "check_arrays",
+    "check_p1",
+    "check_p2",
+    "check_p3",
+    "check_restrictions",
+    "induction_info",
+    "is_feasible",
+    "loop_bounds_for",
+    "shm_accessing_functions",
+]

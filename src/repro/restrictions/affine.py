@@ -1,0 +1,222 @@
+"""Affine views of SSA values, for the A1/A2 array rules.
+
+An index expression is *affine* when it can be written as
+``c0 + c1*x1 + ... + cn*xn`` where each ``xi`` is a leaf SSA value
+(typically a loop-induction phi or a function argument). Rule A2
+requires index expressions in shared-memory array references to be
+provably affine in loop indices / array sizes; anything else is
+conservatively a violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from ..ir import (
+    Argument,
+    BinOp,
+    Cast,
+    Cmp,
+    CondBranch,
+    Constant,
+    Function,
+    Instruction,
+    Phi,
+    UnaryOp,
+    Value,
+)
+
+
+@dataclass
+class AffineExpr:
+    """``const + Σ coeffs[v] * v`` with rational coefficients."""
+
+    coeffs: Dict[Value, Fraction] = field(default_factory=dict)
+    const: Fraction = Fraction(0)
+
+    @staticmethod
+    def constant(value) -> "AffineExpr":
+        return AffineExpr({}, Fraction(value))
+
+    @staticmethod
+    def variable(value: Value) -> "AffineExpr":
+        return AffineExpr({value: Fraction(1)}, Fraction(0))
+
+    def add(self, other: "AffineExpr") -> "AffineExpr":
+        coeffs = dict(self.coeffs)
+        for v, c in other.coeffs.items():
+            coeffs[v] = coeffs.get(v, Fraction(0)) + c
+        return AffineExpr(
+            {v: c for v, c in coeffs.items() if c != 0},
+            self.const + other.const,
+        )
+
+    def negate(self) -> "AffineExpr":
+        return AffineExpr(
+            {v: -c for v, c in self.coeffs.items()}, -self.const
+        )
+
+    def scale(self, factor: Fraction) -> "AffineExpr":
+        if factor == 0:
+            return AffineExpr.constant(0)
+        return AffineExpr(
+            {v: c * factor for v, c in self.coeffs.items()},
+            self.const * factor,
+        )
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def leaves(self) -> List[Value]:
+        return list(self.coeffs.keys())
+
+    def __str__(self) -> str:
+        parts = [f"{c}*{v.short()}" for v, c in self.coeffs.items()]
+        parts.append(str(self.const))
+        return " + ".join(parts)
+
+
+def affine_of(value: Value, max_depth: int = 32) -> Optional[AffineExpr]:
+    """Affine view of an SSA value, with phis/arguments as leaves."""
+    if max_depth <= 0:
+        return None
+    if isinstance(value, Constant):
+        if isinstance(value.value, (int, float)):
+            try:
+                return AffineExpr.constant(Fraction(value.value))
+            except (ValueError, OverflowError):
+                return None
+        return None
+    if isinstance(value, (Phi, Argument)):
+        return AffineExpr.variable(value)
+    if isinstance(value, Cast) and value.kind == "numeric":
+        return affine_of(value.source, max_depth - 1)
+    if isinstance(value, UnaryOp):
+        if value.op == "-":
+            inner = affine_of(value.operands[0], max_depth - 1)
+            return inner.negate() if inner is not None else None
+        if value.op == "+":
+            return affine_of(value.operands[0], max_depth - 1)
+        return None
+    if isinstance(value, BinOp):
+        left = affine_of(value.lhs, max_depth - 1)
+        right = affine_of(value.rhs, max_depth - 1)
+        if left is None or right is None:
+            return None
+        if value.op == "+":
+            return left.add(right)
+        if value.op == "-":
+            return left.add(right.negate())
+        if value.op == "*":
+            if left.is_constant:
+                return right.scale(left.const)
+            if right.is_constant:
+                return left.scale(right.const)
+            return None
+        if value.op == "/" and right.is_constant and right.const != 0:
+            # conservative: exact rational division only
+            return left.scale(Fraction(1) / right.const)
+        return None
+    # loads, calls, arbitrary instructions: opaque leaf
+    if isinstance(value, Instruction):
+        return AffineExpr.variable(value)
+    return None
+
+
+@dataclass
+class InductionInfo:
+    """A loop-induction phi: ``phi = init`` then ``phi += step``."""
+
+    phi: Phi
+    init: AffineExpr
+    step: Fraction
+
+
+def induction_info(phi: Phi) -> Optional[InductionInfo]:
+    """Recognize the canonical 2-incoming induction pattern."""
+    if len(phi.incoming) != 2:
+        return None
+    entries = list(phi.incoming.items())
+    for (init_blk, init_val), (latch_blk, latch_val) in (
+        (entries[0], entries[1]),
+        (entries[1], entries[0]),
+    ):
+        step = _step_of(phi, latch_val)
+        if step is None:
+            continue
+        init = affine_of(init_val)
+        if init is None or phi in init.coeffs:
+            continue
+        return InductionInfo(phi, init, step)
+    return None
+
+
+def _step_of(phi: Phi, latch_val: Value) -> Optional[Fraction]:
+    """If latch_val == phi + c, return c."""
+    expr = affine_of(latch_val, max_depth=8)
+    if expr is None:
+        return None
+    coeffs = dict(expr.coeffs)
+    if coeffs.pop(phi, None) != Fraction(1):
+        return None
+    if coeffs:
+        return None
+    return expr.const
+
+
+@dataclass
+class LoopBound:
+    """``phi`` compared against an affine bound in the loop guard."""
+
+    phi: Phi
+    op: str  # the comparison as seen when the loop body executes
+    bound: AffineExpr
+
+
+def loop_bounds_for(function: Function, phi: Phi) -> List[LoopBound]:
+    """Bounds implied by conditional branches on comparisons with phi.
+
+    For every ``CondBranch(cmp(phi, B))`` in the function, if the loop
+    body (the block containing uses) is on the true edge we learn
+    ``phi op B``; this harvests the guard of canonical ``for``/``while``
+    loops. We conservatively take only comparisons in the phi's own
+    block (the loop header).
+    """
+    bounds: List[LoopBound] = []
+    header = phi.parent
+    if header is None:
+        return bounds
+    term = header.terminator
+    if not isinstance(term, CondBranch):
+        return bounds
+    cond = term.condition
+    if not isinstance(cond, Cmp):
+        return bounds
+    lhs_aff = affine_of(cond.operands[0], max_depth=8)
+    rhs_aff = affine_of(cond.operands[1], max_depth=8)
+    if lhs_aff is None or rhs_aff is None:
+        return bounds
+    # normalize so phi appears alone on the left
+    if lhs_aff.coeffs.get(phi) == Fraction(1) and phi not in rhs_aff.coeffs:
+        residual = AffineExpr(
+            {v: c for v, c in lhs_aff.coeffs.items() if v is not phi},
+            lhs_aff.const,
+        )
+        bound = rhs_aff.add(residual.negate())
+        bounds.append(LoopBound(phi, cond.op, bound))
+    elif rhs_aff.coeffs.get(phi) == Fraction(1) and phi not in lhs_aff.coeffs:
+        residual = AffineExpr(
+            {v: c for v, c in rhs_aff.coeffs.items() if v is not phi},
+            rhs_aff.const,
+        )
+        bound = lhs_aff.add(residual.negate())
+        bounds.append(LoopBound(phi, _flip(cond.op), bound))
+    return bounds
+
+
+def _flip(op: str) -> str:
+    return {"<": ">", ">": "<", "<=": ">=", ">=": "<=",
+            "==": "==", "!=": "!="}[op]

@@ -1,0 +1,24 @@
+"""Phase 2 driver: run all language-restriction checks."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.config import AnalysisConfig
+from ..frontend.driver import Program
+from ..reporting.diagnostics import RestrictionViolation, sort_key
+from ..shm.propagation import ShmAnalysis
+from .array_rules import check_arrays
+from .pointer_rules import check_p1, check_p2, check_p3
+
+
+def check_restrictions(
+    program: Program, shm: ShmAnalysis, config: AnalysisConfig
+) -> List[RestrictionViolation]:
+    """Run P1–P3 and A1/A2 over the program; returns sorted violations."""
+    violations: List[RestrictionViolation] = []
+    violations.extend(check_p1(shm))
+    violations.extend(check_p2(shm))
+    violations.extend(check_p3(shm))
+    violations.extend(check_arrays(shm))
+    return sorted(violations, key=sort_key)

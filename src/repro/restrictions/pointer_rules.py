@@ -1,0 +1,216 @@
+"""Pointer rules P1–P3 on shared-memory pointers (§3.2).
+
+- **P1** — shared memory cannot be deallocated until the end of
+  ``main``: no ``shmdt``/``shmctl`` on a shared pointer except at a
+  point in ``main`` after which no shared-memory access can execute.
+- **P2** — no aliasing of shared-memory pointers through memory: a
+  shared pointer may live only in SSA registers and in the designated
+  global pointer variables assigned by the initializing function;
+  taking the address of such a variable, or storing a shared pointer
+  into any other memory, is a violation.
+- **P3** — no casts of shared-memory pointers to incompatible pointer
+  types and no pointer-to-integer casts (initializing functions are
+  exempt — that is exactly why ``shminit`` exists, §3.2.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..frontend.parser import SHM_DEALLOCATORS
+from ..ir import (
+    Call,
+    Cast,
+    Function,
+    Instruction,
+    Load,
+    Store,
+    pointer_compatible,
+)
+from ..ir.values import GlobalVariable
+from ..reporting.diagnostics import RestrictionViolation, Severity
+from ..shm.propagation import ShmAnalysis
+
+
+def _violation(rule: str, message: str, inst: Instruction,
+               func: Function) -> RestrictionViolation:
+    return RestrictionViolation(
+        message=f"{rule}: {message}",
+        location=inst.location,
+        function=func.name,
+        severity=Severity.VIOLATION,
+        rule=rule,
+    )
+
+
+def shm_accessing_functions(shm: ShmAnalysis) -> Set[Function]:
+    """Functions that (transitively) read or write shared memory."""
+    direct: Set[Function] = set()
+    for func in shm.module.defined_functions():
+        for inst in func.instructions():
+            if isinstance(inst, Load) and shm.is_shm_pointer(func, inst.pointer):
+                direct.add(func)
+                break
+            if isinstance(inst, Store) and shm.is_shm_pointer(func, inst.pointer):
+                direct.add(func)
+                break
+    # propagate accessor-ness up the call graph
+    changed = True
+    accessors = set(direct)
+    while changed:
+        changed = False
+        for func in shm.module.defined_functions():
+            if func in accessors:
+                continue
+            if shm.callgraph.callees(func) & accessors:
+                accessors.add(func)
+                changed = True
+    return accessors
+
+
+def check_p1(shm: ShmAnalysis) -> List[RestrictionViolation]:
+    violations: List[RestrictionViolation] = []
+    accessors = shm_accessing_functions(shm)
+    for func in shm.module.defined_functions():
+        for block in func.blocks:
+            for idx, inst in enumerate(block.instructions):
+                if not isinstance(inst, Call):
+                    continue
+                name = inst.callee_name
+                if name not in SHM_DEALLOCATORS:
+                    continue
+                if name == "shmdt" and inst.operands and not shm.is_shm_pointer(
+                    func, inst.operands[0]
+                ):
+                    # detaching a non-shared pointer is someone else's bug
+                    continue
+                if func.name != "main":
+                    violations.append(
+                        _violation(
+                            "P1",
+                            f"shared memory deallocated by {name} outside "
+                            f"main",
+                            inst,
+                            func,
+                        )
+                    )
+                    continue
+                if _shm_use_after(func, block, idx, shm, accessors):
+                    violations.append(
+                        _violation(
+                            "P1",
+                            f"shared memory deallocated by {name} before "
+                            f"the end of main (shared memory is still "
+                            f"accessed afterwards)",
+                            inst,
+                            func,
+                        )
+                    )
+    return violations
+
+
+def _shm_use_after(func: Function, block, idx: int, shm: ShmAnalysis,
+                   accessors: Set[Function]) -> bool:
+    """Is any shared-memory access reachable after instruction idx?"""
+
+    def uses_shm(inst: Instruction) -> bool:
+        if isinstance(inst, (Load, Store)) and shm.is_shm_pointer(
+            func, inst.pointer
+        ):
+            return True
+        if isinstance(inst, Call):
+            name = inst.callee_name
+            if name in SHM_DEALLOCATORS:
+                return False
+            if isinstance(inst.callee, Function) and inst.callee in accessors:
+                return True
+        return False
+
+    for later in block.instructions[idx + 1:]:
+        if uses_shm(later):
+            return True
+    seen = set()
+    work = list(block.successors())
+    while work:
+        succ = work.pop()
+        if succ in seen:
+            continue
+        seen.add(succ)
+        for inst in succ.instructions:
+            if uses_shm(inst):
+                return True
+        work.extend(succ.successors())
+    return False
+
+
+def check_p2(shm: ShmAnalysis) -> List[RestrictionViolation]:
+    violations: List[RestrictionViolation] = []
+    for func in shm.module.defined_functions():
+        exempt = func.name in shm.init_functions
+        for inst in func.instructions():
+            # (a) storing a shared pointer into memory
+            if isinstance(inst, Store) and not exempt:
+                if shm.regions_of(func, inst.value):
+                    violations.append(
+                        _violation(
+                            "P2",
+                            "shared-memory pointer stored into memory "
+                            "(aliasing through memory locations is "
+                            "disallowed)",
+                            inst,
+                            func,
+                        )
+                    )
+            # (b) taking the address of a designated shared pointer
+            # variable: the global appears as a plain value operand
+            for opi, op in enumerate(inst.operands):
+                if not isinstance(op, GlobalVariable) or op.name not in shm.regions:
+                    continue
+                if isinstance(inst, Load) and inst.pointer is op:
+                    continue
+                if isinstance(inst, Store) and opi == 1 and inst.pointer is op:
+                    continue
+                violations.append(
+                    _violation(
+                        "P2",
+                        f"address of shared-memory pointer variable "
+                        f"{op.name} is taken",
+                        inst,
+                        func,
+                    )
+                )
+    return violations
+
+
+def check_p3(shm: ShmAnalysis) -> List[RestrictionViolation]:
+    violations: List[RestrictionViolation] = []
+    for func in shm.module.defined_functions():
+        if func.name in shm.init_functions:
+            continue  # shminit exemption (§3.2.1)
+        for inst in func.instructions():
+            if not isinstance(inst, Cast):
+                continue
+            if not shm.regions_of(func, inst.source):
+                continue
+            if inst.kind == "ptrtoint":
+                violations.append(
+                    _violation(
+                        "P3",
+                        "shared-memory pointer cast to an integer",
+                        inst,
+                        func,
+                    )
+                )
+            elif inst.kind == "bitcast" and not pointer_compatible(
+                inst.source.type, inst.type
+            ):
+                violations.append(
+                    _violation(
+                        "P3",
+                        f"shared-memory pointer cast between incompatible "
+                        f"types ({inst.source.type!r} to {inst.type!r})",
+                        inst,
+                        func,
+                    )
+                )
+    return violations

@@ -1,0 +1,129 @@
+"""Rational linear-constraint feasibility ("omega-lite").
+
+The paper hands its A1/A2 affine constraint systems to the Omega
+integer-programming solver. The systems SafeFlow generates are tiny —
+a handful of loop-bound and index inequalities over a few induction
+variables — so full Presburger power is unnecessary. We implement
+Fourier–Motzkin elimination over rationals:
+
+- if the rational relaxation is infeasible, the integer system is
+  infeasible (bounds proven safe);
+- if it is feasible we conservatively report a potential violation.
+
+The relaxation direction is the sound one for a checker: it can only
+over-report, never miss an out-of-bounds access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Hashable, List, Tuple
+
+from ..errors import SolverError
+
+Var = Hashable
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A linear inequality ``sum(coeffs[v] * v) + const >= 0``."""
+
+    coeffs: Tuple[Tuple[Var, Fraction], ...]
+    const: Fraction
+
+    @staticmethod
+    def ge_zero(coeffs: Dict[Var, Fraction], const) -> "Constraint":
+        cleaned = tuple(
+            sorted(
+                ((v, Fraction(c)) for v, c in coeffs.items() if c != 0),
+                key=lambda item: repr(item[0]),
+            )
+        )
+        return Constraint(cleaned, Fraction(const))
+
+    def coeff_map(self) -> Dict[Var, Fraction]:
+        return dict(self.coeffs)
+
+    def variables(self) -> List[Var]:
+        return [v for v, _ in self.coeffs]
+
+    def __str__(self) -> str:
+        terms = " + ".join(f"{c}*{v}" for v, c in self.coeffs) or "0"
+        return f"{terms} + {self.const} >= 0"
+
+
+def is_feasible(constraints: List[Constraint], max_vars: int = 16,
+                max_constraints: int = 4096) -> bool:
+    """Fourier–Motzkin feasibility of a conjunction of inequalities."""
+    system = [c for c in constraints]
+    variables: List[Var] = []
+    for c in system:
+        for v in c.variables():
+            if v not in variables:
+                variables.append(v)
+    if len(variables) > max_vars:
+        raise SolverError(
+            f"constraint system has {len(variables)} variables "
+            f"(limit {max_vars})"
+        )
+
+    for var in variables:
+        lower: List[Constraint] = []   # coeff > 0 → gives lower bound terms
+        upper: List[Constraint] = []   # coeff < 0 → gives upper bound terms
+        rest: List[Constraint] = []
+        for c in system:
+            coeff = c.coeff_map().get(var, Fraction(0))
+            if coeff > 0:
+                lower.append(c)
+            elif coeff < 0:
+                upper.append(c)
+            else:
+                rest.append(c)
+        new_system = rest
+        for lo in lower:
+            for hi in upper:
+                new_system.append(_eliminate(var, lo, hi))
+                if len(new_system) > max_constraints:
+                    raise SolverError("Fourier-Motzkin explosion")
+        system = new_system
+
+    # variable-free system: every constraint is "const >= 0"
+    return all(c.const >= 0 for c in system)
+
+
+def _eliminate(var: Var, lo: Constraint, hi: Constraint) -> Constraint:
+    """Combine a lower-bounding and an upper-bounding constraint on var."""
+    lo_map, hi_map = lo.coeff_map(), hi.coeff_map()
+    a = lo_map[var]          # a > 0
+    b = -hi_map[var]         # b > 0
+    coeffs: Dict[Var, Fraction] = {}
+    for v, c in lo_map.items():
+        if v != var:
+            coeffs[v] = coeffs.get(v, Fraction(0)) + b * c
+    for v, c in hi_map.items():
+        if v != var:
+            coeffs[v] = coeffs.get(v, Fraction(0)) + a * c
+    const = b * lo.const + a * hi.const
+    return Constraint.ge_zero(coeffs, const)
+
+
+def can_violate_bounds(
+    index_coeffs: Dict[Var, Fraction],
+    index_const,
+    bound: int,
+    context: List[Constraint],
+) -> bool:
+    """True if ``index`` may fall outside ``[0, bound)`` under context.
+
+    Checks feasibility of (index <= -1) and (index >= bound) separately.
+    """
+    below = Constraint.ge_zero(
+        {v: -c for v, c in index_coeffs.items()}, -Fraction(index_const) - 1
+    )  # -index - 1 >= 0  ⇔  index <= -1
+    if is_feasible(context + [below]):
+        return True
+    above = Constraint.ge_zero(
+        dict(index_coeffs), Fraction(index_const) - bound
+    )  # index - bound >= 0  ⇔  index >= bound
+    return is_feasible(context + [above])

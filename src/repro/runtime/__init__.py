@@ -1,0 +1,40 @@
+"""Run-time substrate: simulated shared memory, monitors, components."""
+
+from .component import (
+    Component,
+    FunctionComponent,
+    RuntimeFlowTracker,
+    Scheduler,
+    TrackedValue,
+    UnsafeFlowError,
+)
+from .monitor import (
+    ADMIT,
+    CompositeMonitor,
+    EnvelopeMonitor,
+    FreshnessMonitor,
+    Monitor,
+    MonitorResult,
+    RangeMonitor,
+)
+from .shm_sim import RegionSpec, SharedSegment, WriteRecord, init_check
+
+__all__ = [
+    "ADMIT",
+    "Component",
+    "CompositeMonitor",
+    "EnvelopeMonitor",
+    "FreshnessMonitor",
+    "FunctionComponent",
+    "Monitor",
+    "MonitorResult",
+    "RangeMonitor",
+    "RegionSpec",
+    "RuntimeFlowTracker",
+    "Scheduler",
+    "SharedSegment",
+    "TrackedValue",
+    "UnsafeFlowError",
+    "WriteRecord",
+    "init_check",
+]

@@ -1,0 +1,157 @@
+"""Periodic components and the scheduler that steps them.
+
+Also hosts :class:`RuntimeFlowTracker`, a *run-time* implementation of
+the safe-value-flow check: every value read from a non-core region is
+wrapped and its taint followed through explicit ``combine`` calls until
+a critical output is produced. The paper motivates static analysis by
+the run-time overhead of exactly this kind of tracking (§1:
+"run-time error dependency detection incurs performance penalties");
+``benchmarks/bench_runtime_overhead.py`` quantifies it against the
+zero-overhead statically-checked loop.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+
+class Component:
+    """A periodic task: ``step(t)`` runs every ``period`` seconds."""
+
+    def __init__(self, name: str, period: float):
+        if period <= 0:
+            raise SimulationError(f"component {name}: period must be > 0")
+        self.name = name
+        self.period = period
+
+    def step(self, t: float) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<component {self.name} @ {self.period}s>"
+
+
+class FunctionComponent(Component):
+    """Component from a plain callable."""
+
+    def __init__(self, name: str, period: float,
+                 fn: Callable[[float], None]):
+        super().__init__(name, period)
+        self._fn = fn
+
+    def step(self, t: float) -> None:
+        self._fn(t)
+
+
+class Scheduler:
+    """Deterministic earliest-release scheduler for components.
+
+    Ties release at the same instant in registration order (the core
+    component should be registered first, like the highest-priority
+    task on the real system).
+    """
+
+    def __init__(self):
+        self._components: List[Component] = []
+        self.time = 0.0
+        self.dispatches: Dict[str, int] = {}
+
+    def add(self, component: Component) -> Component:
+        self._components.append(component)
+        self.dispatches[component.name] = 0
+        return component
+
+    def run(self, duration: float) -> float:
+        """Run all components for ``duration`` seconds of virtual time."""
+        if not self._components:
+            raise SimulationError("no components registered")
+        heap: List[Tuple[float, int, Component]] = []
+        for order, component in enumerate(self._components):
+            heapq.heappush(heap, (self.time, order, component))
+        end = self.time + duration
+        while heap:
+            release, order, component = heapq.heappop(heap)
+            if release >= end:
+                break
+            self.time = release
+            component.step(release)
+            self.dispatches[component.name] += 1
+            heapq.heappush(heap, (release + component.period, order,
+                                  component))
+        self.time = end
+        return self.time
+
+
+# ----------------------------------------------------------------------
+# run-time value-flow tracking (the alternative SafeFlow avoids)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TrackedValue:
+    """A float carrying run-time taint provenance."""
+
+    value: float
+    sources: FrozenSet[str] = frozenset()
+
+    @property
+    def is_safe(self) -> bool:
+        return not self.sources
+
+
+class UnsafeFlowError(SimulationError):
+    """Raised when an unmonitored non-core value reaches critical output."""
+
+
+class RuntimeFlowTracker:
+    """Run-time taint tracking over shared-memory reads.
+
+    Usage mirrors the static analysis: reads of non-core regions
+    produce tainted :class:`TrackedValue`; ``monitorized`` clears the
+    taint (a run-time monitor vouched for the value); ``combine``
+    propagates; ``assert_safe`` is the critical-data check.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.reads = 0
+        self.violations: List[str] = []
+
+    def read_noncore(self, region: str, value: float) -> TrackedValue:
+        self.reads += 1
+        if not self.enabled:
+            return TrackedValue(value)
+        return TrackedValue(value, frozenset({region}))
+
+    def read_core(self, value: float) -> TrackedValue:
+        self.reads += 1
+        return TrackedValue(value)
+
+    def monitorized(self, tracked: TrackedValue) -> TrackedValue:
+        """A monitor admitted the value: it is now safe (§2 rules)."""
+        return TrackedValue(tracked.value)
+
+    def combine(self, op: Callable[..., float],
+                *operands: TrackedValue) -> TrackedValue:
+        value = op(*(t.value for t in operands))
+        if not self.enabled:
+            return TrackedValue(value)
+        sources: FrozenSet[str] = frozenset()
+        for t in operands:
+            sources |= t.sources
+        return TrackedValue(value, sources)
+
+    def assert_safe(self, tracked: TrackedValue, what: str = "output",
+                    raise_on_violation: bool = False) -> float:
+        if self.enabled and tracked.sources:
+            message = (
+                f"critical {what} depends on unmonitored non-core "
+                f"value(s): {sorted(tracked.sources)}"
+            )
+            self.violations.append(message)
+            if raise_on_violation:
+                raise UnsafeFlowError(message)
+        return tracked.value

@@ -1,0 +1,140 @@
+"""Run-time monitors: the checks the ``assume(core(...))`` annotations
+promise are implemented inside monitoring functions.
+
+SafeFlow's whole contract is "assuming that monitors are correctly
+implemented" (§1); this module provides the reference implementations
+used by the simulation substrate and the examples, mirroring the C
+monitors in the corpus: range, freshness/validity, and the Lyapunov
+stability envelope.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # imported lazily to avoid a runtime<->simplex cycle
+    from ..simplex.lyapunov import StabilityEnvelope
+    from ..simplex.plant import Plant
+
+
+class MonitorResult:
+    """Outcome of one monitoring decision, with the reason it failed."""
+
+    __slots__ = ("admitted", "reason")
+
+    def __init__(self, admitted: bool, reason: str = ""):
+        self.admitted = admitted
+        self.reason = reason
+
+    def __bool__(self) -> bool:
+        return self.admitted
+
+    def __repr__(self) -> str:
+        if self.admitted:
+            return "<admit>"
+        return f"<reject: {self.reason}>"
+
+
+ADMIT = MonitorResult(True)
+
+
+class Monitor:
+    """Base monitor; ``check`` admits or rejects a non-core value."""
+
+    name = "monitor"
+
+    def check(self, value: float, context: Dict[str, Any]) -> MonitorResult:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        pass
+
+
+class RangeMonitor(Monitor):
+    """Admit only finite values inside [low, high]."""
+
+    name = "range"
+
+    def __init__(self, low: float, high: float):
+        self.low = low
+        self.high = high
+
+    def check(self, value: float, context: Dict[str, Any]) -> MonitorResult:
+        if not math.isfinite(value):
+            return MonitorResult(False, "non-finite value")
+        if value < self.low or value > self.high:
+            return MonitorResult(
+                False, f"value {value:.3f} outside [{self.low}, {self.high}]"
+            )
+        return ADMIT
+
+
+class FreshnessMonitor(Monitor):
+    """Admit only values whose sequence number advanced since the last
+    admitted one (the staleness check of the corpus monitors)."""
+
+    name = "freshness"
+
+    def __init__(self):
+        self._last_seq: Optional[int] = None
+
+    def check(self, value: float, context: Dict[str, Any]) -> MonitorResult:
+        if not context.get("valid", True):
+            return MonitorResult(False, "producer marked value invalid")
+        seq = context.get("seq")
+        if seq is None:
+            return MonitorResult(False, "no sequence number")
+        if self._last_seq is not None and seq == self._last_seq:
+            return MonitorResult(False, f"stale output (seq {seq})")
+        self._last_seq = seq
+        return ADMIT
+
+    def reset(self) -> None:
+        self._last_seq = None
+
+
+class EnvelopeMonitor(Monitor):
+    """Admit a control output only if the one-step prediction stays in
+    the Lyapunov recoverable region (the Simplex monitor [22])."""
+
+    name = "envelope"
+
+    def __init__(self, envelope: "StabilityEnvelope", plant: "Plant",
+                 dt: float):
+        self.envelope = envelope
+        self.plant = plant
+        self.dt = dt
+
+    def check(self, value: float, context: Dict[str, Any]) -> MonitorResult:
+        state = context.get("state")
+        if state is None:
+            return MonitorResult(False, "no plant state in context")
+        if not self.envelope.recoverable(self.plant, np.asarray(state),
+                                         value, self.dt):
+            return MonitorResult(False, "leaves the stability envelope")
+        return ADMIT
+
+
+class CompositeMonitor(Monitor):
+    """All sub-monitors must admit; reports the first rejection."""
+
+    name = "composite"
+
+    def __init__(self, monitors: Iterable[Monitor]):
+        self.monitors: List[Monitor] = list(monitors)
+
+    def check(self, value: float, context: Dict[str, Any]) -> MonitorResult:
+        for monitor in self.monitors:
+            result = monitor.check(value, context)
+            if not result:
+                return MonitorResult(
+                    False, f"{monitor.name}: {result.reason}"
+                )
+        return ADMIT
+
+    def reset(self) -> None:
+        for monitor in self.monitors:
+            monitor.reset()

@@ -1,0 +1,134 @@
+"""Simulated shared memory between core and non-core components.
+
+Python stand-in for the System V segment the corpus C systems use: a
+segment is carved into named regions (mirroring the ``shmvar``
+annotations), every write records its author component, and nothing
+stops a non-core component from writing a region the design intended
+to be read-only — which is precisely the failure mode the paper's
+Generic Simplex error #1 exploits (the feedback "rigging" overwrite).
+
+``init_check`` reproduces the run-time InitCheck of §3.2.1: executed
+once at boot, it verifies the declared regions are non-overlapping and
+inside the segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """Declared layout of one shared variable (cf. shmvar)."""
+
+    name: str
+    offset: int
+    size: int
+    noncore: bool = False
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+
+def init_check(segment_size: int, regions: List[RegionSpec]) -> None:
+    """The InitCheck of §3.2.1: abort before bootstrap on bad layouts."""
+    ordered = sorted(regions, key=lambda r: r.offset)
+    for spec in ordered:
+        if spec.offset < 0 or spec.size <= 0:
+            raise SimulationError(
+                f"InitCheck failed: region {spec.name} has invalid extent"
+            )
+        if spec.end > segment_size:
+            raise SimulationError(
+                f"InitCheck failed: region {spec.name} "
+                f"[{spec.offset},{spec.end}) exceeds the "
+                f"{segment_size}-byte segment"
+            )
+    for first, second in zip(ordered, ordered[1:]):
+        if second.offset < first.end:
+            raise SimulationError(
+                f"InitCheck failed: regions {first.name} and {second.name} "
+                f"overlap"
+            )
+
+
+@dataclass
+class WriteRecord:
+    """Audit-trail entry: who wrote what, when."""
+
+    time: float
+    writer: str
+    region: str
+    fields: Tuple[str, ...]
+
+
+class SharedSegment:
+    """A simulated shared-memory segment with named, typed regions."""
+
+    def __init__(self, size: int):
+        self.size = size
+        self.specs: Dict[str, RegionSpec] = {}
+        self._data: Dict[str, Dict[str, Any]] = {}
+        self.write_log: List[WriteRecord] = []
+        self._checked = False
+
+    # -- layout ----------------------------------------------------------
+
+    def declare(self, name: str, offset: int, size: int,
+                noncore: bool = False,
+                initial: Optional[Dict[str, Any]] = None) -> RegionSpec:
+        if self._checked:
+            raise SimulationError(
+                "regions must be declared before init_check (P1: layout is "
+                "fixed for the program lifetime)"
+            )
+        if name in self.specs:
+            raise SimulationError(f"region {name!r} already declared")
+        spec = RegionSpec(name, offset, size, noncore)
+        self.specs[name] = spec
+        self._data[name] = dict(initial or {})
+        return spec
+
+    def run_init_check(self) -> None:
+        init_check(self.size, list(self.specs.values()))
+        self._checked = True
+
+    # -- access ------------------------------------------------------------
+
+    def _region(self, name: str) -> Dict[str, Any]:
+        if name not in self._data:
+            raise SimulationError(f"unknown shared region {name!r}")
+        return self._data[name]
+
+    def read(self, region: str, field_name: str, default: Any = 0.0) -> Any:
+        return self._region(region).get(field_name, default)
+
+    def read_region(self, region: str) -> Dict[str, Any]:
+        return dict(self._region(region))
+
+    def write(self, writer: str, region: str, time: float = 0.0,
+              **fields: Any) -> None:
+        """Write fields into a region. Nothing enforces the intended
+        writer set — that is the point: read-only-by-convention is not
+        read-only (§4, Generic Simplex error #1)."""
+        data = self._region(region)
+        data.update(fields)
+        self.write_log.append(
+            WriteRecord(time, writer, region, tuple(sorted(fields)))
+        )
+
+    # -- audit -------------------------------------------------------------
+
+    def writers_of(self, region: str) -> List[str]:
+        return sorted({rec.writer for rec in self.write_log
+                       if rec.region == region})
+
+    def noncore_writes_to(self, region: str,
+                          core_writers: Tuple[str, ...]) -> List[WriteRecord]:
+        """Writes to a region by components outside ``core_writers``."""
+        return [rec for rec in self.write_log
+                if rec.region == region and rec.writer not in core_writers]

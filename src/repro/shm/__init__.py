@@ -1,0 +1,17 @@
+"""Phase 1 — shared-memory regions and pointer identification."""
+
+from .init_analysis import InitInterpreter, SymbolicPointer, check_init_layout
+from .model import EMPTY_REGIONS, RegionSet, SharedRegion, regions
+from .propagation import ResolvedAssume, ShmAnalysis
+
+__all__ = [
+    "EMPTY_REGIONS",
+    "InitInterpreter",
+    "RegionSet",
+    "ResolvedAssume",
+    "SharedRegion",
+    "ShmAnalysis",
+    "SymbolicPointer",
+    "check_init_layout",
+    "regions",
+]

@@ -1,0 +1,236 @@
+"""Analysis of shared-memory initializing functions (§3.2.1).
+
+Initializing functions (annotated ``shminit``) are exempt from rules
+P2/P3 because System V shared memory is untyped: ``shmat`` returns a
+``void*`` that must be cast and offset to produce the typed region
+pointers. In exchange, their ``shmvar`` post-conditions declare every
+region and its size, and the paper inserts a once-at-boot ``InitCheck``
+verifying the declared regions do not overlap.
+
+This module does the static counterpart: an abstract interpretation of
+the initializing function mapping every pointer value to a symbolic
+``(segment, byte-offset)`` pair, from which region intervals are
+derived and checked for overlap and for fitting inside the segment
+size requested from ``shmget``. When offsets cannot be resolved
+statically the check degrades to the run-time ``InitCheck`` (provided
+by :mod:`repro.runtime`), exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..ir import (
+    ArrayType,
+    BinOp,
+    Call,
+    Cast,
+    Constant,
+    FieldAddr,
+    Function,
+    IndexAddr,
+    Instruction,
+    Load,
+    Phi,
+    PointerType,
+    Store,
+    UnaryOp,
+    Value,
+)
+from ..ir.values import GlobalVariable
+from ..reporting.diagnostics import InitializationIssue, Severity
+from .model import SharedRegion
+
+
+@dataclass(frozen=True)
+class SymbolicPointer:
+    """A pointer resolved to byte offset ``offset`` inside ``segment``."""
+
+    segment: int  # id of the shmat call that produced the mapping
+    offset: int
+
+
+class InitInterpreter:
+    """Abstract interpreter for one shminit function."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.values: Dict[Value, object] = {}  # Value -> SymbolicPointer|int|None
+        self.globals: Dict[str, object] = {}   # global name -> SymbolicPointer
+        self.segment_sizes: Dict[int, Optional[int]] = {}
+        self._segment_counter = 0
+        self._shmget_sizes: Dict[Value, Optional[int]] = {}
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> None:
+        """Interpret blocks in layout order, merging at joins.
+
+        Initializing functions are straight-line in practice; if a
+        global receives conflicting symbolic pointers on different
+        paths it degrades to unknown (None).
+        """
+        for block in self.function.blocks:
+            for inst in block.instructions:
+                self._transfer(inst)
+
+    def _transfer(self, inst: Instruction) -> None:
+        if isinstance(inst, Call):
+            self._call(inst)
+        elif isinstance(inst, Cast):
+            self.values[inst] = self._value(inst.source)
+        elif isinstance(inst, IndexAddr):
+            self._indexaddr(inst)
+        elif isinstance(inst, FieldAddr):
+            base = self._value(inst.pointer)
+            if isinstance(base, SymbolicPointer):
+                self.values[inst] = SymbolicPointer(
+                    base.segment, base.offset + inst.field_offset
+                )
+        elif isinstance(inst, Load):
+            ptr = inst.pointer
+            if isinstance(ptr, GlobalVariable):
+                self.values[inst] = self.globals.get(ptr.name)
+        elif isinstance(inst, Store):
+            ptr = inst.pointer
+            if isinstance(ptr, GlobalVariable):
+                new = self._value(inst.value)
+                old = self.globals.get(ptr.name, "<unset>")
+                if old == "<unset>" or old == new:
+                    self.globals[ptr.name] = new
+                else:
+                    self.globals[ptr.name] = None  # conflicting paths
+        elif isinstance(inst, BinOp):
+            left = self._value(inst.lhs)
+            right = self._value(inst.rhs)
+            if isinstance(left, int) and isinstance(right, int):
+                self.values[inst] = _const_binop(inst.op, left, right)
+        elif isinstance(inst, UnaryOp):
+            val = self._value(inst.operands[0])
+            if isinstance(val, int) and inst.op == "-":
+                self.values[inst] = -val
+        elif isinstance(inst, Phi):
+            incoming = {self._value(v) for v in inst.incoming.values()}
+            if len(incoming) == 1:
+                self.values[inst] = incoming.pop()
+
+    def _call(self, inst: Call) -> None:
+        name = inst.callee_name
+        if name == "shmat":
+            segment = self._segment_counter
+            self._segment_counter += 1
+            self.values[inst] = SymbolicPointer(segment, 0)
+            shmid = inst.operands[0] if inst.operands else None
+            self.segment_sizes[segment] = self._shmget_sizes.get(shmid)
+        elif name == "shmget":
+            size = None
+            if len(inst.operands) >= 2:
+                sval = self._value(inst.operands[1])
+                size = sval if isinstance(sval, int) else None
+            self._shmget_sizes[inst] = size
+
+    def _indexaddr(self, inst: IndexAddr) -> None:
+        base = self._value(inst.pointer)
+        index = self._value(inst.index)
+        if not isinstance(base, SymbolicPointer) or not isinstance(index, int):
+            return
+        ptype = inst.pointer.type
+        assert isinstance(ptype, PointerType)
+        pointee = ptype.pointee
+        stride = pointee.element.sizeof() if isinstance(pointee, ArrayType) \
+            else pointee.sizeof()
+        self.values[inst] = SymbolicPointer(base.segment,
+                                            base.offset + index * stride)
+
+    def _value(self, value: Value):
+        if isinstance(value, Constant) and isinstance(value.value, int):
+            return value.value
+        return self.values.get(value)
+
+
+def _const_binop(op: str, left: int, right: int) -> Optional[int]:
+    try:
+        return {
+            "+": left + right,
+            "-": left - right,
+            "*": left * right,
+            "/": left // right if right else None,
+            "%": left % right if right else None,
+            "<<": left << right,
+            ">>": left >> right,
+            "&": left & right,
+            "|": left | right,
+            "^": left ^ right,
+        }.get(op)
+    except Exception:
+        return None
+
+
+def check_init_layout(
+    function: Function, regions: List[SharedRegion]
+) -> Tuple[List[InitializationIssue], Dict[str, Optional[SymbolicPointer]]]:
+    """Statically run the InitCheck of §3.2.1 on one shminit function.
+
+    Returns (issues, region → resolved symbolic pointer or None).
+    """
+    interp = InitInterpreter(function)
+    interp.run()
+    issues: List[InitializationIssue] = []
+    placements: Dict[str, Optional[SymbolicPointer]] = {}
+
+    for region in regions:
+        symbolic = interp.globals.get(region.name)
+        placements[region.name] = symbolic if isinstance(
+            symbolic, SymbolicPointer) else None
+
+    resolved = [
+        (name, ptr) for name, ptr in placements.items()
+        if ptr is not None
+    ]
+    by_region = {r.name: r for r in regions}
+
+    # pairwise overlap within a segment
+    for i in range(len(resolved)):
+        for j in range(i + 1, len(resolved)):
+            (name_a, pa), (name_b, pb) = resolved[i], resolved[j]
+            if pa.segment != pb.segment:
+                continue
+            size_a = by_region[name_a].size
+            size_b = by_region[name_b].size
+            if pa.offset < pb.offset + size_b and pb.offset < pa.offset + size_a:
+                issues.append(
+                    InitializationIssue(
+                        message=(
+                            f"shared variables {name_a} and {name_b} overlap: "
+                            f"[{pa.offset},{pa.offset + size_a}) vs "
+                            f"[{pb.offset},{pb.offset + size_b})"
+                        ),
+                        location=function.location,
+                        function=function.name,
+                        severity=Severity.VIOLATION,
+                        region_a=name_a,
+                        region_b=name_b,
+                    )
+                )
+
+    # regions must fit inside the segment allocated by shmget
+    for name, ptr in resolved:
+        total = interp.segment_sizes.get(ptr.segment)
+        if total is None:
+            continue
+        if ptr.offset + by_region[name].size > total:
+            issues.append(
+                InitializationIssue(
+                    message=(
+                        f"shared variable {name} "
+                        f"[{ptr.offset},{ptr.offset + by_region[name].size}) "
+                        f"exceeds the {total}-byte segment from shmget"
+                    ),
+                    location=function.location,
+                    function=function.name,
+                    severity=Severity.VIOLATION,
+                    region_a=name,
+                )
+            )
+    return issues, placements

@@ -1,0 +1,68 @@
+"""Model of shared memory as seen by the core component.
+
+A *shared region* is the unit of the analysis: one ``shmvar(ptr, size)``
+post-condition in an initializing function declares one region, named
+after its pointer variable. Regions carry the paper's two mutually
+exclusive predicates (§2):
+
+- ``noncore(S)`` — the region can be written by a non-core component
+  (declared with ``assume(noncore(ptr))``);
+- ``core(S)`` — it can be verified that only core components write it
+  (the default for declared regions without a noncore annotation —
+  enforcement of that verification is the InitCheck + encapsulation
+  story of §3.2.1).
+
+Reads of non-core regions yield unsafe values unless the reading
+function's context assumes the region core (a monitoring function).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+from ..ir.source import SourceLocation
+from ..ir.types import CType
+
+
+@dataclass
+class SharedRegion:
+    """One shared-memory variable (a whole array/struct unit)."""
+
+    name: str
+    size: int
+    element_type: Optional[CType] = None
+    noncore: bool = False
+    init_function: str = ""
+    location: Optional[SourceLocation] = None
+
+    @property
+    def element_size(self) -> int:
+        if self.element_type is None:
+            return self.size
+        es = self.element_type.sizeof()
+        return es if es > 0 else self.size
+
+    @property
+    def element_count(self) -> int:
+        """Array length implied by size / sizeof(element) (§3.2.1)."""
+        es = self.element_size
+        return max(1, self.size // es) if es else 1
+
+    @property
+    def core(self) -> bool:
+        return not self.noncore
+
+    def __str__(self) -> str:
+        kind = "noncore" if self.noncore else "core"
+        return f"{self.name}[{self.size}B,{kind}]"
+
+
+#: a set of region names a pointer may refer to
+RegionSet = FrozenSet[str]
+
+EMPTY_REGIONS: RegionSet = frozenset()
+
+
+def regions(*names: str) -> RegionSet:
+    return frozenset(names)

@@ -1,0 +1,52 @@
+"""Simplex-architecture simulation substrate (plants, controllers,
+Lyapunov envelopes, fault injection, the full decision loop)."""
+
+from .architecture import SimplexSystem, SimplexTrace, pendulum_simplex
+from .controllers import (
+    Controller,
+    EnergyShapingController,
+    FaultyController,
+    LQRController,
+    MPCController,
+    PDController,
+    lqr_gains,
+)
+from .faults import (
+    FeedbackOverwrite,
+    FieldCorruption,
+    HeartbeatFreeze,
+    Injection,
+    PidOverwrite,
+)
+from .lyapunov import StabilityEnvelope
+from .plant import (
+    DoubleInvertedPendulum,
+    InvertedPendulum,
+    Plant,
+    SimplePlant,
+    rk4_step,
+)
+
+__all__ = [
+    "Controller",
+    "DoubleInvertedPendulum",
+    "EnergyShapingController",
+    "FaultyController",
+    "FeedbackOverwrite",
+    "FieldCorruption",
+    "HeartbeatFreeze",
+    "Injection",
+    "InvertedPendulum",
+    "LQRController",
+    "MPCController",
+    "PDController",
+    "Plant",
+    "PidOverwrite",
+    "SimplePlant",
+    "SimplexSystem",
+    "SimplexTrace",
+    "StabilityEnvelope",
+    "lqr_gains",
+    "pendulum_simplex",
+    "rk4_step",
+]

@@ -1,0 +1,293 @@
+"""The Simplex architecture loop: safety + complex + decision monitor.
+
+This is the executable counterpart of the corpus C systems: a core
+controller that publishes feedback, a non-core complex controller that
+computes commands into shared memory, and a decision module that
+admits the complex output only through the run-time monitor.
+
+The ``trusting_feedback`` switch reproduces the Generic Simplex error
+the static analysis finds (§4): when True, the decision module feeds
+the *shared-memory copy* of the feedback to the recoverability check
+instead of the locally sampled state — so a non-core overwrite of the
+feedback region can rig the check and drive the plant out of its
+envelope. The examples and tests demonstrate both the failure and the
+fix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..runtime.component import RuntimeFlowTracker
+from ..runtime.monitor import (
+    CompositeMonitor,
+    EnvelopeMonitor,
+    FreshnessMonitor,
+    Monitor,
+    RangeMonitor,
+)
+from ..runtime.shm_sim import SharedSegment
+from .controllers import Controller, LQRController
+from .faults import HeartbeatFreeze, Injection
+from .lyapunov import StabilityEnvelope
+from .plant import InvertedPendulum, Plant
+
+Array = np.ndarray
+
+#: canonical field names for 4-state (cart-pole) feedback regions
+_STATE_FIELDS = ("trackPos", "trackVel", "angle", "angVel")
+
+
+def state_field_names(plant: Plant) -> Tuple[str, ...]:
+    """Shared-memory field names for a plant's state vector."""
+    n = plant.state_dim
+    if n <= len(_STATE_FIELDS):
+        return _STATE_FIELDS[:n]
+    extra = tuple(f"x{i}" for i in range(len(_STATE_FIELDS), n))
+    return _STATE_FIELDS + extra
+
+
+@dataclass
+class SimplexTrace:
+    """Recorded history of one Simplex run."""
+
+    dt: float
+    times: List[float] = field(default_factory=list)
+    states: List[Array] = field(default_factory=list)
+    outputs: List[float] = field(default_factory=list)
+    used_complex: List[bool] = field(default_factory=list)
+    rejections: List[Tuple[float, str]] = field(default_factory=list)
+    envelope_values: List[float] = field(default_factory=list)
+
+    @property
+    def steps(self) -> int:
+        return len(self.times)
+
+    @property
+    def complex_ratio(self) -> float:
+        if not self.used_complex:
+            return 0.0
+        return sum(self.used_complex) / len(self.used_complex)
+
+    @property
+    def fallback_count(self) -> int:
+        return len(self.used_complex) - sum(self.used_complex)
+
+    def max_abs_state(self, index: int) -> float:
+        if not self.states:
+            return 0.0
+        return max(abs(float(s[index])) for s in self.states)
+
+    @property
+    def max_envelope_value(self) -> float:
+        return max(self.envelope_values) if self.envelope_values else 0.0
+
+    def stayed_recoverable(self, envelope: StabilityEnvelope) -> bool:
+        return all(v <= envelope.level * 1.0001 for v in self.envelope_values)
+
+
+class SimplexSystem:
+    """One core + one complex controller around a plant, via simulated
+    shared memory, with optional fault injection."""
+
+    def __init__(
+        self,
+        plant: Plant,
+        safety: Optional[Controller] = None,
+        complex_controller: Optional[Controller] = None,
+        dt: float = 0.01,
+        complex_divisor: int = 2,
+        envelope: Optional[StabilityEnvelope] = None,
+        injections: Sequence[Injection] = (),
+        trusting_feedback: bool = False,
+        tracker: Optional[RuntimeFlowTracker] = None,
+        u_max: Optional[float] = None,
+    ):
+        self.plant = plant
+        self.dt = dt
+        self.complex_divisor = max(1, complex_divisor)
+        self.safety = safety or LQRController(plant)
+        self.complex_controller = complex_controller
+        self.trusting_feedback = trusting_feedback
+        self.tracker = tracker
+        limit = u_max if u_max is not None else plant.u_max
+
+        if envelope is None:
+            lqr = self.safety if isinstance(self.safety, LQRController) \
+                else LQRController(plant)
+            limits = self._state_limits(plant)
+            envelope = StabilityEnvelope.from_closed_loop(
+                lqr.closed_loop_a, state_limits=limits
+            )
+        self.envelope = envelope
+
+        self.monitor: Monitor = CompositeMonitor([
+            RangeMonitor(-limit, limit),
+            EnvelopeMonitor(envelope, plant, dt),
+        ])
+        #: ticks without a fresh sequence number before the command is
+        #: considered stale (missed complex-controller deadline)
+        self.stale_limit = 3 * self.complex_divisor
+
+        self.injections = list(injections)
+        self.state_fields = state_field_names(plant)
+        self.shm = self._build_shm(plant)
+        self._seq = 0
+        self._last_seen_seq: Optional[int] = None
+        self._stale_ticks = 0
+
+    @staticmethod
+    def _state_limits(plant: Plant) -> List[Optional[float]]:
+        limits: List[Optional[float]] = [None] * plant.state_dim
+        track = getattr(plant, "track_limit", None)
+        angle = getattr(plant, "angle_limit", None)
+        if track is not None and plant.state_dim >= 1:
+            limits[0] = track
+        if angle is not None and plant.state_dim >= 3:
+            limits[2] = angle
+        if angle is not None and plant.state_dim >= 5:
+            limits[4] = angle
+        return limits
+
+    @staticmethod
+    def _build_shm(plant: Plant) -> SharedSegment:
+        fb_size = 8 * plant.state_dim + 8  # doubles + tick
+        shm = SharedSegment(size=fb_size + 32)
+        shm.declare("feedback", 0, fb_size, noncore=True)
+        shm.declare("cmd", fb_size, 16, noncore=True)
+        shm.declare("status", fb_size + 16, 16, noncore=True)
+        shm.run_init_check()
+        return shm
+
+    # ------------------------------------------------------------------
+
+    def _publish_feedback(self, state: Array, tick: int, t: float) -> None:
+        fields = {}
+        for i, name in enumerate(self.state_fields):
+            fields[name] = float(state[i])
+        fields["tick"] = tick
+        self.shm.write("core", "feedback", t, **fields)
+
+    def _run_complex(self, t: float, frozen: bool) -> None:
+        if self.complex_controller is None or frozen:
+            return
+        # the complex controller believes the published feedback
+        fb = self.shm.read_region("feedback")
+        state = np.zeros(self.plant.state_dim)
+        for i, name in enumerate(self.state_fields):
+            state[i] = float(fb.get(name, 0.0))
+        u = self.complex_controller.compute(state, t)
+        self._seq += 1
+        self.shm.write("complex", "cmd", t, voltage=float(u),
+                       seq=self._seq, valid=1)
+        beat = self.shm.read("status", "heartbeat", 0)
+        self.shm.write("complex", "status", t, heartbeat=beat + 1)
+
+    def _decide(self, local_state: Array, t: float) -> Tuple[float, bool, str]:
+        """The decision module: returns (output, used_complex, reason).
+
+        The last command is *held* between complex-controller periods
+        (like the real Simplex core) but re-checked against the current
+        state every tick; a command whose sequence number stops
+        advancing for ``stale_limit`` ticks is treated as a missed
+        deadline and rejected.
+        """
+        fallback = self.safety.compute(local_state, t)
+        if self.complex_controller is None:
+            return fallback, False, "no complex controller"
+        cmd = self.shm.read_region("cmd")
+        candidate = float(cmd.get("voltage", 0.0))
+        seq = cmd.get("seq")
+        if seq != self._last_seen_seq:
+            self._last_seen_seq = seq
+            self._stale_ticks = 0
+        else:
+            self._stale_ticks += 1
+        if not cmd.get("valid", 0):
+            return fallback, False, "producer marked command invalid"
+        if self._stale_ticks > self.stale_limit:
+            return fallback, False, "complex controller missed its deadline"
+        if self.trusting_feedback:
+            # BUG under test: the envelope check uses the shared copy
+            fb = self.shm.read_region("feedback")
+            check_state = np.array([
+                float(fb.get(name, 0.0)) for name in self.state_fields
+            ])
+        else:
+            check_state = local_state
+        context = {"state": check_state}
+        result = self.monitor.check(candidate, context)
+        if result:
+            if self.tracker is not None:
+                tracked = self.tracker.read_noncore("cmd", candidate)
+                tracked = self.tracker.monitorized(tracked)
+                value = self.tracker.assert_safe(tracked)
+                return value, True, ""
+            return candidate, True, ""
+        return fallback, False, result.reason
+
+    # ------------------------------------------------------------------
+
+    def run(self, duration: float) -> SimplexTrace:
+        trace = SimplexTrace(dt=self.dt)
+        steps = int(round(duration / self.dt))
+        frozen = False
+        for tick in range(steps):
+            t = tick * self.dt
+            state = self.plant.state.copy()
+            self._publish_feedback(state, tick, t)
+
+            for injection in self.injections:
+                if isinstance(injection, HeartbeatFreeze):
+                    if injection.apply(self.shm, t):
+                        frozen = True
+                else:
+                    injection.apply(self.shm, t)
+
+            if tick % self.complex_divisor == 0:
+                self._run_complex(t, frozen)
+
+            output, used_complex, reason = self._decide(state, t)
+            if reason and not used_complex:
+                trace.rejections.append((t, reason))
+
+            trace.times.append(t)
+            trace.states.append(state)
+            trace.outputs.append(output)
+            trace.used_complex.append(used_complex)
+            trace.envelope_values.append(self.envelope.value(
+                state[: self.envelope.p.shape[0]]
+            ))
+
+            self.plant.step(output, self.dt)
+        return trace
+
+
+def pendulum_simplex(
+    fault_time: Optional[float] = None,
+    fault_mode: str = "wild",
+    trusting_feedback: bool = False,
+    injections: Sequence[Injection] = (),
+    dt: float = 0.01,
+    initial_state=(0.0, 0.0, 0.05, 0.0),
+) -> SimplexSystem:
+    """Convenience constructor: the canonical IP Simplex system."""
+    from .controllers import FaultyController, MPCController
+
+    plant = InvertedPendulum(initial_state=initial_state)
+    complex_controller: Controller = MPCController(plant, dt=dt)
+    if fault_time is not None:
+        complex_controller = FaultyController(
+            complex_controller, fault_time, mode=fault_mode,
+            magnitude=plant.u_max
+        )
+    return SimplexSystem(
+        plant,
+        complex_controller=complex_controller,
+        dt=dt,
+        trusting_feedback=trusting_feedback,
+        injections=injections,
+    )

@@ -1,0 +1,182 @@
+"""Controllers: the safe baseline, the complex controllers, and the
+fault-injection wrappers used to demonstrate why monitoring matters."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy import linalg
+
+from ..errors import SimulationError
+from .plant import Plant
+
+Array = np.ndarray
+
+
+class Controller:
+    """Base controller: maps (state, time) to a scalar input."""
+
+    name = "controller"
+
+    def compute(self, state: Array, t: float) -> float:
+        raise NotImplementedError
+
+    def reset(self) -> None:  # pragma: no cover - default no state
+        pass
+
+
+def lqr_gains(a_mat: Array, b_mat: Array, q: Optional[Array] = None,
+              r: Optional[Array] = None) -> Array:
+    """Continuous-time LQR gain via the algebraic Riccati equation."""
+    n = a_mat.shape[0]
+    q = np.eye(n) if q is None else np.asarray(q, dtype=float)
+    r = np.eye(b_mat.shape[1]) if r is None else np.asarray(r, dtype=float)
+    p = linalg.solve_continuous_are(a_mat, b_mat, q, r)
+    k = np.linalg.solve(r, b_mat.T @ p)
+    return k
+
+
+class LQRController(Controller):
+    """The provably stabilizing safety controller of the Simplex core."""
+
+    name = "lqr-safety"
+
+    def __init__(self, plant: Plant, q: Optional[Array] = None,
+                 r: Optional[Array] = None, u_max: Optional[float] = None):
+        a_mat, b_mat = plant.linearized()
+        self.gains = lqr_gains(a_mat, b_mat, q, r)
+        self.u_max = plant.u_max if u_max is None else u_max
+        self.closed_loop_a = a_mat - b_mat @ self.gains
+
+    def compute(self, state: Array, t: float) -> float:
+        u = float(-(self.gains @ state)[0])
+        return float(np.clip(u, -self.u_max, self.u_max))
+
+
+class EnergyShapingController(Controller):
+    """Energy-based pendulum controller (the IP core's alternate safe
+    mode): injects/removes pendulum energy plus cart recentring."""
+
+    name = "energy-shaping"
+
+    def __init__(self, gravity: float = 9.81, k_energy: float = 1.8,
+                 k_track: float = 2.4, k_damp: float = 6.0,
+                 u_max: float = 5.0):
+        self.gravity = gravity
+        self.k_energy = k_energy
+        self.k_track = k_track
+        self.k_damp = k_damp
+        self.u_max = u_max
+
+    def compute(self, state: Array, t: float) -> float:
+        pos, _vel, theta, omega = state[:4]
+        energy = 0.5 * omega * omega + self.gravity * (1.0 - math.cos(theta))
+        u = (-self.k_damp * theta - self.k_energy * energy * omega
+             * math.cos(theta) - self.k_track * pos)
+        return float(np.clip(u, -self.u_max, self.u_max))
+
+
+class PDController(Controller):
+    """Simple PD law for the generic Simplex plant."""
+
+    name = "pd"
+
+    def __init__(self, kp: float, kd: float, u_max: float = 10.0,
+                 setpoint: float = 0.0):
+        self.kp = kp
+        self.kd = kd
+        self.u_max = u_max
+        self.setpoint = setpoint
+
+    def compute(self, state: Array, t: float) -> float:
+        err = self.setpoint - state[0]
+        u = self.kp * err - self.kd * state[1]
+        return float(np.clip(u, -self.u_max, self.u_max))
+
+
+class MPCController(Controller):
+    """Finite-candidate model-predictive controller: the "complex"
+    controller of the IP system (higher performance, unverified)."""
+
+    name = "mpc-complex"
+
+    def __init__(self, plant: Plant, horizon: int = 12,
+                 candidates: int = 21, dt: float = 0.01,
+                 state_weights: Optional[Sequence[float]] = None,
+                 u_weight: float = 0.05):
+        self.plant = plant
+        self.horizon = horizon
+        self.candidates = candidates
+        self.dt = dt
+        n = plant.state_dim
+        self.state_weights = np.asarray(
+            state_weights if state_weights is not None else [1.0] * n,
+            dtype=float,
+        )
+        self.u_weight = u_weight
+        self._a, self._b = plant.linearized()
+
+    def _rollout_cost(self, state: Array, u: float) -> float:
+        x = state.copy()
+        cost = 0.0
+        for _ in range(self.horizon):
+            x = x + self.dt * (self._a @ x + self._b.flatten() * u)
+            cost += float(self.state_weights @ (x * x))
+            cost += self.u_weight * u * u
+        return cost
+
+    def compute(self, state: Array, t: float) -> float:
+        u_max = self.plant.u_max
+        grid = np.linspace(-u_max, u_max, self.candidates)
+        costs = [self._rollout_cost(state, float(u)) for u in grid]
+        return float(grid[int(np.argmin(costs))])
+
+
+class FaultyController(Controller):
+    """Wraps a controller and injects a fault after ``fault_time``.
+
+    Fault modes model the non-core failures the paper defends against:
+    ``"wild"`` (full-scale bang-bang output), ``"stuck"`` (holds the
+    last value), ``"nan"`` (numerical fault), ``"bias"`` (constant
+    offset — the DIP trim-bias bug), ``"reverse"`` (sign flip).
+    """
+
+    name = "faulty"
+
+    MODES = ("wild", "stuck", "nan", "bias", "reverse")
+
+    def __init__(self, inner: Controller, fault_time: float,
+                 mode: str = "wild", magnitude: float = 5.0):
+        if mode not in self.MODES:
+            raise SimulationError(f"unknown fault mode {mode!r}")
+        self.inner = inner
+        self.fault_time = fault_time
+        self.mode = mode
+        self.magnitude = magnitude
+        self._last = 0.0
+        self._flip = 1.0
+
+    def compute(self, state: Array, t: float) -> float:
+        nominal = self.inner.compute(state, t)
+        if t < self.fault_time:
+            self._last = nominal
+            return nominal
+        if self.mode == "wild":
+            self._flip = -self._flip
+            return self.magnitude * self._flip
+        if self.mode == "stuck":
+            return self._last
+        if self.mode == "nan":
+            return float("nan")
+        if self.mode == "bias":
+            return nominal + self.magnitude
+        if self.mode == "reverse":
+            return -nominal
+        return nominal  # pragma: no cover
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self._last = 0.0
+        self._flip = 1.0

@@ -1,0 +1,99 @@
+"""Shared-memory fault/attack injection for the Simplex simulation.
+
+Each injection reproduces one of the implementation-error classes the
+paper's analysis guards against (§1, §4):
+
+- :class:`FeedbackOverwrite` — the Generic Simplex error: a non-core
+  component overwrites the (read-only by convention) feedback region
+  to rig the recoverability check;
+- :class:`PidOverwrite` — the kill-pid error: the status block's pid
+  is replaced (e.g. with the core's own pid);
+- :class:`FieldCorruption` — generic garbage written into any region
+  field (data races / format incompatibilities degenerate to this);
+- :class:`HeartbeatFreeze` — the non-core side hangs, exercising the
+  watchdog path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..runtime.shm_sim import SharedSegment
+
+
+@dataclass
+class Injection:
+    """Base injection: fires once ``time >= start``."""
+
+    start: float
+    region: str = ""
+    writer: str = "attacker"
+
+    def apply(self, shm: SharedSegment, time: float,
+              context: Optional[Dict[str, Any]] = None) -> bool:
+        """Apply if due; returns True when an effect was injected."""
+        if time < self.start:
+            return False
+        return self._inject(shm, time, context or {})
+
+    def _inject(self, shm: SharedSegment, time: float,
+                context: Dict[str, Any]) -> bool:
+        raise NotImplementedError
+
+
+@dataclass
+class FieldCorruption(Injection):
+    """Overwrite one field with a fixed value every period."""
+
+    field_name: str = ""
+    value: Any = 0.0
+
+    def _inject(self, shm: SharedSegment, time: float,
+                context: Dict[str, Any]) -> bool:
+        shm.write(self.writer, self.region, time,
+                  **{self.field_name: self.value})
+        return True
+
+
+@dataclass
+class FeedbackOverwrite(Injection):
+    """Rig the recoverability check: publish a fake, calm plant state
+    so the monitor admits whatever the complex controller outputs."""
+
+    fake_state: Dict[str, float] = field(default_factory=dict)
+
+    def _inject(self, shm: SharedSegment, time: float,
+                context: Dict[str, Any]) -> bool:
+        fake = self.fake_state or {
+            "trackPos": 0.0, "trackVel": 0.0, "angle": 0.0, "angVel": 0.0,
+        }
+        shm.write(self.writer, self.region, time, **fake)
+        return True
+
+
+@dataclass
+class PidOverwrite(Injection):
+    """Replace the published non-core pid (e.g. with the core's own)."""
+
+    pid: int = 1
+
+    def _inject(self, shm: SharedSegment, time: float,
+                context: Dict[str, Any]) -> bool:
+        shm.write(self.writer, self.region, time, ncPid=self.pid)
+        return True
+
+
+@dataclass
+class HeartbeatFreeze(Injection):
+    """Stop updating the heartbeat: models a hung non-core process.
+
+    Implemented as a marker the producing component consults (the
+    component owns the heartbeat counter)."""
+
+    frozen: bool = field(default=False, init=False)
+
+    def _inject(self, shm: SharedSegment, time: float,
+                context: Dict[str, Any]) -> bool:
+        self.frozen = True
+        return True

@@ -1,0 +1,107 @@
+"""Lyapunov stability envelopes — the Simplex run-time monitor.
+
+The Simplex architecture [Sha et al.] admits an untrusted control
+output only if the plant provably remains *recoverable* by the safety
+controller. The standard construction (and the one the paper's §1
+cites as the canonical monitor): take the closed loop under the safety
+controller, ``A_cl = A - B K``, solve the Lyapunov equation
+``A_clᵀ P + P A_cl = -Q``, and use the largest sub-level set
+``V(x) = xᵀ P x <= c`` that respects the state/input constraints as
+the recoverable region. A candidate input is admitted only if the
+one-step prediction stays inside the envelope.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import linalg
+
+from ..errors import SimulationError
+from .controllers import LQRController
+from .plant import Plant
+
+Array = np.ndarray
+
+
+class StabilityEnvelope:
+    """Quadratic recoverability region ``xᵀ P x <= level``."""
+
+    def __init__(self, p_matrix: Array, level: float = 1.0):
+        self.p = np.asarray(p_matrix, dtype=float)
+        if self.p.shape[0] != self.p.shape[1]:
+            raise SimulationError("P must be square")
+        self.level = float(level)
+
+    @classmethod
+    def from_closed_loop(
+        cls,
+        a_closed: Array,
+        q: Optional[Array] = None,
+        state_limits: Optional[Sequence[float]] = None,
+        margin: float = 0.9,
+    ) -> "StabilityEnvelope":
+        """Solve the Lyapunov equation and scale the level set so the
+        envelope fits inside the box |x_i| <= limit_i."""
+        n = a_closed.shape[0]
+        q = np.eye(n) if q is None else np.asarray(q, dtype=float)
+        p = linalg.solve_continuous_lyapunov(a_closed.T, -q)
+        # symmetrize (numerical noise) and validate positive-definiteness
+        p = 0.5 * (p + p.T)
+        eigenvalues = np.linalg.eigvalsh(p)
+        if eigenvalues.min() <= 0:
+            raise SimulationError(
+                "closed loop is not provably stable (P not positive "
+                "definite); check the safety controller design"
+            )
+        level = 1.0
+        if state_limits is not None:
+            # largest c with {xᵀPx <= c} ⊆ {|x_i| <= L_i}:
+            # c = min_i L_i² / (P⁻¹)_{ii}
+            p_inv = np.linalg.inv(p)
+            cs = []
+            for i, limit in enumerate(state_limits):
+                if limit is None or not np.isfinite(limit):
+                    continue
+                cs.append(margin * limit * limit / p_inv[i, i])
+            if cs:
+                level = min(cs)
+        return cls(p, level)
+
+    @classmethod
+    def for_plant(cls, plant: Plant, controller: Optional[LQRController]
+                  = None, state_limits: Optional[Sequence[float]] = None,
+                  ) -> "StabilityEnvelope":
+        controller = controller or LQRController(plant)
+        return cls.from_closed_loop(controller.closed_loop_a,
+                                    state_limits=state_limits)
+
+    # ------------------------------------------------------------------
+
+    def value(self, state: Array) -> float:
+        x = np.asarray(state, dtype=float)
+        return float(x @ self.p @ x)
+
+    def contains(self, state: Array) -> bool:
+        return self.value(state) <= self.level
+
+    def margin(self, state: Array) -> float:
+        """Positive inside the envelope, negative outside."""
+        return self.level - self.value(state)
+
+    def recoverable(self, plant: Plant, state: Array, u: float,
+                    dt: float, margin: float = 0.9) -> bool:
+        """Would applying ``u`` for one period keep the state inside
+        the envelope? (One-step prediction on the linearized model —
+        the same check the corpus C monitors implement.)
+
+        ``margin`` shrinks the admitted level set so linearization and
+        integration error cannot push the true state past the boundary.
+        """
+        if not np.isfinite(u):
+            return False
+        a_mat, b_mat = plant.linearized()
+        x = np.asarray(state, dtype=float)
+        predicted = x + dt * (a_mat @ x + b_mat.flatten() * float(u))
+        return self.value(predicted) <= self.level * margin

@@ -1,0 +1,209 @@
+"""Plant models: the physical systems the corpus controllers control.
+
+The paper's testbeds are an inverted pendulum, a configurable "simple
+plant", and a double inverted pendulum. We model all three as
+continuous-time dynamics integrated with a fixed-step RK4 — accurate
+enough for control-loop experiments and dependency-free.
+
+Every plant exposes:
+
+- ``state`` — the current state vector (numpy array);
+- ``step(u, dt)`` — advance one control period under input ``u``;
+- ``linearized()`` — (A, B) matrices about the operating point, used
+  by the LQR design and the Lyapunov stability envelope.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+
+Array = np.ndarray
+
+
+def rk4_step(f: Callable[[Array, float], Array], x: Array, u: float,
+             dt: float) -> Array:
+    """Classic fixed-step RK4 for dx/dt = f(x, u)."""
+    k1 = f(x, u)
+    k2 = f(x + 0.5 * dt * k1, u)
+    k3 = f(x + 0.5 * dt * k2, u)
+    k4 = f(x + dt * k3, u)
+    return x + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+
+
+class Plant:
+    """Base class for simulated plants."""
+
+    #: dimension of the state vector
+    state_dim: int = 0
+    #: saturating input limit |u| <= u_max
+    u_max: float = float("inf")
+
+    def __init__(self, initial_state):
+        self.state = np.asarray(initial_state, dtype=float)
+        if self.state.shape != (self.state_dim,):
+            raise SimulationError(
+                f"initial state must have {self.state_dim} entries, got "
+                f"{self.state.shape}"
+            )
+        self.time = 0.0
+
+    def dynamics(self, x: Array, u: float) -> Array:
+        raise NotImplementedError
+
+    def linearized(self) -> Tuple[Array, Array]:
+        raise NotImplementedError
+
+    def step(self, u: float, dt: float) -> Array:
+        """Advance one control period; returns the new state."""
+        if not math.isfinite(u):
+            # a real actuator driver would fault; model as zero drive
+            u = 0.0
+        u = float(np.clip(u, -self.u_max, self.u_max))
+        self.state = rk4_step(lambda x, v: self.dynamics(x, v), self.state,
+                              u, dt)
+        self.time += dt
+        return self.state
+
+    def reset(self, initial_state) -> None:
+        self.state = np.asarray(initial_state, dtype=float)
+        self.time = 0.0
+
+
+class InvertedPendulum(Plant):
+    """Cart-pole: pendulum balanced on a motor-driven cart.
+
+    State: ``[x, x_dot, theta, theta_dot]`` with theta measured from
+    the upright equilibrium. Input is the motor voltage, converted to
+    cart force through a simple DC-motor model.
+    """
+
+    state_dim = 4
+    u_max = 5.0
+
+    def __init__(self, initial_state=(0.0, 0.0, 0.05, 0.0),
+                 cart_mass: float = 0.455, pole_mass: float = 0.21,
+                 pole_length: float = 0.305, friction: float = 0.1,
+                 motor_gain: float = 1.738, gravity: float = 9.81,
+                 track_limit: float = 0.95, angle_limit: float = 0.35):
+        self.cart_mass = cart_mass
+        self.pole_mass = pole_mass
+        self.pole_length = pole_length
+        self.friction = friction
+        self.motor_gain = motor_gain
+        self.gravity = gravity
+        self.track_limit = track_limit
+        self.angle_limit = angle_limit
+        super().__init__(initial_state)
+
+    def dynamics(self, x: Array, u: float) -> Array:
+        pos, vel, theta, omega = x
+        force = self.motor_gain * u
+        m, M, length, g = (self.pole_mass, self.cart_mass,
+                           self.pole_length, self.gravity)
+        sin_t = math.sin(theta)
+        cos_t = math.cos(theta)
+        denom = M + m * sin_t * sin_t
+        acc = (force - self.friction * vel
+               + m * sin_t * (length * omega * omega - g * cos_t)) / denom
+        # theta from upright: theta'' = (g sin - cos * acc) / l
+        ang_acc = (g * sin_t - cos_t * acc) / length
+        return np.array([vel, acc, omega, ang_acc])
+
+    def linearized(self) -> Tuple[Array, Array]:
+        m, M, length, g = (self.pole_mass, self.cart_mass,
+                           self.pole_length, self.gravity)
+        b, k = self.friction, self.motor_gain
+        a_mat = np.array([
+            [0.0, 1.0, 0.0, 0.0],
+            [0.0, -b / M, -m * g / M, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+            [0.0, b / (M * length), (M + m) * g / (M * length), 0.0],
+        ])
+        b_mat = np.array([[0.0], [k / M], [0.0], [-k / (M * length)]])
+        return a_mat, b_mat
+
+    @property
+    def fallen(self) -> bool:
+        return bool(abs(self.state[2]) > math.pi / 2)
+
+    @property
+    def off_track(self) -> bool:
+        return bool(abs(self.state[0]) > self.track_limit)
+
+
+class SimplePlant(Plant):
+    """Configurable second-order plant for the generic Simplex system:
+    ``y'' = -a1 y' - a0 y + b u`` (mass-spring-damper family)."""
+
+    state_dim = 2
+    u_max = 10.0
+
+    def __init__(self, initial_state=(0.4, 0.0), a0: float = 0.8,
+                 a1: float = 0.6, b: float = 1.4):
+        self.a0 = a0
+        self.a1 = a1
+        self.b = b
+        super().__init__(initial_state)
+
+    def dynamics(self, x: Array, u: float) -> Array:
+        y, ydot = x
+        return np.array([ydot, -self.a1 * ydot - self.a0 * y + self.b * u])
+
+    def linearized(self) -> Tuple[Array, Array]:
+        a_mat = np.array([[0.0, 1.0], [-self.a0, -self.a1]])
+        b_mat = np.array([[0.0], [self.b]])
+        return a_mat, b_mat
+
+
+class DoubleInvertedPendulum(Plant):
+    """Two-link pendulum on a cart, linearized about upright.
+
+    State: ``[x, x_dot, theta1, theta1_dot, theta2, theta2_dot]``.
+    The full nonlinear two-link dynamics add little to the Simplex
+    experiments; we integrate the linear model plus a cubic restoring
+    perturbation so instability still grows realistically away from
+    the equilibrium.
+    """
+
+    state_dim = 6
+    u_max = 8.0
+
+    def __init__(self, initial_state=(0.0, 0.0, 0.03, 0.0, -0.02, 0.0),
+                 track_limit: float = 1.2, angle_limit: float = 0.25):
+        self.track_limit = track_limit
+        self.angle_limit = angle_limit
+        self._a, self._b = self._build_matrices()
+        super().__init__(initial_state)
+
+    @staticmethod
+    def _build_matrices() -> Tuple[Array, Array]:
+        # linearized two-link cart-pendulum (parameters from the lab rig)
+        a_mat = np.array([
+            [0.0, 1.0, 0.0, 0.0, 0.0, 0.0],
+            [0.0, -0.20, -1.96, 0.0, 0.49, 0.0],
+            [0.0, 0.0, 0.0, 1.0, 0.0, 0.0],
+            [0.0, 0.55, 23.8, -0.10, -6.5, 0.05],
+            [0.0, 0.0, 0.0, 0.0, 0.0, 1.0],
+            [0.0, -0.35, -12.4, 0.08, 28.9, -0.12],
+        ])
+        b_mat = np.array([[0.0], [0.92], [0.0], [-2.45], [0.0], [1.51]])
+        return a_mat, b_mat
+
+    def dynamics(self, x: Array, u: float) -> Array:
+        linear = self._a @ x + self._b.flatten() * u
+        # cubic softening of the gravitational torque terms
+        linear[3] -= 4.0 * x[2] ** 3
+        linear[5] -= 5.0 * x[4] ** 3
+        return linear
+
+    def linearized(self) -> Tuple[Array, Array]:
+        return self._a.copy(), self._b.copy()
+
+    @property
+    def fallen(self) -> bool:
+        return bool(abs(self.state[2]) > 0.8 or abs(self.state[4]) > 0.8)

@@ -1,0 +1,22 @@
+"""Phase 3 — unsafe value propagation and critical-data checking."""
+
+from .engine import (
+    COPY_CALLS,
+    IMPLICIT_CRITICAL_CALLS,
+    ValueFlowAnalysis,
+)
+from .taint import SAFE, Taint, TaintSource, data_taint, join_all
+from .vfg import ValueFlowGraph, VFGNode
+
+__all__ = [
+    "COPY_CALLS",
+    "IMPLICIT_CRITICAL_CALLS",
+    "SAFE",
+    "Taint",
+    "TaintSource",
+    "VFGNode",
+    "ValueFlowAnalysis",
+    "ValueFlowGraph",
+    "data_taint",
+    "join_all",
+]

@@ -1,0 +1,924 @@
+"""Phase 3: interprocedural unsafe-value propagation (§3.3).
+
+The engine implements the operational rules of §2 over the SSA IR:
+
+- a load from a non-core shared region outside any monitoring context
+  yields an *unsafe* value and a warning;
+- inside a monitoring context (an ``assume(core(...))`` in force for
+  the current call sequence) the same load is *safe*;
+- taint propagates through computation (data), through memory cells
+  (via the points-to analysis), across calls (context-sensitively: the
+  assumed-core set flows to callees, and functions are re-analyzed per
+  distinct context/argument-taint combination, memoized ESP-style),
+  and through control dependence (phi nodes and stores in blocks
+  controlled by unsafe branches acquire *control* provenance — the
+  §3.4.1 false-positive class);
+- every ``assert(safe(x))`` marker and every implicitly critical call
+  argument (``kill``'s pid, §3.1) is checked; failures become
+  :class:`CriticalDependencyError` with a value-flow-graph witness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..core.config import AnalysisConfig
+from ..frontend.driver import Program
+from ..ir import (
+    Alloca,
+    Argument,
+    ASSERT_SAFE_MARKER,
+    BasicBlock,
+    BinOp,
+    Call,
+    Cast,
+    Cmp,
+    CondBranch,
+    Constant,
+    FieldAddr,
+    Function,
+    IndexAddr,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Store,
+    UnaryOp,
+    UndefValue,
+    Value,
+    control_dependence,
+)
+from ..ir.values import GlobalVariable
+from ..annotations.lang import AssertSafe
+from ..pointer import Cell, PointsToAnalysis
+from ..reporting.diagnostics import (
+    CriticalDependencyError,
+    DependencyKind,
+    Severity,
+    UnmonitoredReadWarning,
+)
+from ..shm.model import RegionSet
+from ..shm.propagation import ResolvedAssume, ShmAnalysis
+from .taint import SAFE, Taint, TaintSource, join_all
+from .vfg import ValueFlowGraph, VFGNode
+
+Context = FrozenSet[str]
+EMPTY_CONTEXT: Context = frozenset()
+
+#: externals whose nth argument is implicitly critical data (§3.1:
+#: "the arguments to system calls such as the process-id argument to
+#: kill are asserted to be critical data")
+IMPLICIT_CRITICAL_CALLS: Dict[str, Tuple[int, ...]] = {"kill": (0,)}
+
+#: byte-copy externals: taint flows from the source buffer cell (arg 1)
+#: into the destination buffer cell (arg 0)
+COPY_CALLS = frozenset({"memcpy", "memmove", "strcpy", "strncpy"})
+
+_MAX_OUTER_ITERATIONS = 24
+_MAX_LOCAL_PASSES = 64
+
+
+class ValueFlowAnalysis:
+    """Runs phase 3 over one program; results in ``warnings``/``errors``."""
+
+    def __init__(self, program: Program, shm: ShmAnalysis,
+                 config: Optional[AnalysisConfig] = None):
+        self.program = program
+        self.shm = shm
+        self.config = config or AnalysisConfig()
+        self.module = program.module
+        self.points_to = PointsToAnalysis(self.module, shm.callgraph).run()
+
+        self.cell_taint: Dict[Cell, Taint] = {}
+        self.vfg = ValueFlowGraph()
+        self.warnings_map: Dict[Tuple[str, str, int], UnmonitoredReadWarning] = {}
+        self._failures: Dict[Tuple[str, int, str, str], Dict[str, Set[TaintSource]]] = {}
+        self._memo: Dict[Tuple, Taint] = {}
+        self._in_progress: Set[Tuple] = set()
+        self._control_deps: Dict[Function, Dict[BasicBlock, Set[BasicBlock]]] = {}
+        self._ineffective: Set[Tuple[str, str]] = set()
+        self._ctx_counts: Dict[Function, Set[Context]] = {}
+        self._merged_inputs: Dict[Function, Tuple[Context, Tuple[Taint, ...]]] = {}
+        self._summary_args: Dict[Function, Tuple[Taint, ...]] = {}
+        self._inputs_changed = False
+        self._assert_vars: Dict[Tuple[str, int], str] = {}
+        for annotation in program.annotations:
+            for item in annotation.items:
+                if isinstance(item, AssertSafe) and item.location is not None:
+                    key = (item.location.filename, item.location.line)
+                    self._assert_vars[key] = item.variable
+
+        self.warnings: List[UnmonitoredReadWarning] = []
+        self.errors: List[CriticalDependencyError] = []
+        self.witness_graphs: Dict[int, str] = {}
+        self.contexts_analyzed = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> "ValueFlowAnalysis":
+        roots = self._roots()
+        for _ in range(_MAX_OUTER_ITERATIONS):
+            snapshot = {c: t for c, t in self.cell_taint.items()}
+            self._memo.clear()
+            self._in_progress.clear()
+            self._failures.clear()
+            self._inputs_changed = False
+            for root in roots:
+                args = tuple(SAFE for _ in root.arguments)
+                self._analyze(root, EMPTY_CONTEXT, args)
+            if self._stable(snapshot) and not self._inputs_changed:
+                break
+        self.contexts_analyzed = len(self._memo)
+        self._finalize()
+        return self
+
+    def _roots(self) -> List[Function]:
+        main = self.module.get_function("main")
+        roots: List[Function] = []
+        if main is not None and not main.is_declaration:
+            roots.append(main)
+        reachable = self.shm.callgraph.reachable_from(roots) if roots else set()
+        for func in self.module.defined_functions():
+            if func not in reachable and func not in roots:
+                roots.append(func)
+        return roots
+
+    def _stable(self, snapshot: Dict[Cell, Taint]) -> bool:
+        if len(snapshot) != len(self.cell_taint):
+            return False
+        for cell, taint in self.cell_taint.items():
+            if snapshot.get(cell) != taint:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # per-function analysis
+    # ------------------------------------------------------------------
+
+    def _analyze(self, func: Function, ctx: Context,
+                 arg_taints: Tuple[Taint, ...]) -> Taint:
+        eff_ctx = self._effective_context(func, ctx)
+        if not self.config.context_sensitive or self._over_budget(func, eff_ctx):
+            eff_ctx, arg_taints = self._merge_inputs(func, eff_ctx, arg_taints)
+            key = (func,)
+        elif self.config.summary_mode:
+            return self._analyze_with_summary(func, eff_ctx, arg_taints)
+        else:
+            key = (func, eff_ctx, arg_taints)
+        if key in self._memo and key not in self._in_progress:
+            return self._memo[key]
+        if key in self._in_progress:
+            return self._memo.get(key, SAFE)
+        self._in_progress.add(key)
+        self._memo[key] = SAFE
+        self._ctx_counts.setdefault(func, set()).add(eff_ctx)
+
+        ret = self._analyze_body(func, eff_ctx, arg_taints)
+
+        self._memo[key] = ret
+        self._in_progress.discard(key)
+        return ret
+
+    # ------------------------------------------------------------------
+    # ESP-style summaries (§3.3 last paragraph)
+    # ------------------------------------------------------------------
+
+    _PLACEHOLDER_PREFIX = "\x00arg:"
+
+    @classmethod
+    def _placeholder(cls, func: Function, index: int) -> TaintSource:
+        return TaintSource(
+            region=f"{cls._PLACEHOLDER_PREFIX}{index}",
+            function=func.name, filename="<summary>", line=index,
+        )
+
+    @classmethod
+    def _is_placeholder(cls, source: TaintSource) -> bool:
+        return source.region.startswith(cls._PLACEHOLDER_PREFIX)
+
+    @classmethod
+    def strip_placeholders(cls, taint: Taint) -> Taint:
+        if taint.is_safe:
+            return taint
+        data = frozenset(s for s in taint.data if not cls._is_placeholder(s))
+        control = frozenset(
+            s for s in taint.control if not cls._is_placeholder(s)
+        )
+        if data == taint.data and control == taint.control:
+            return taint
+        return Taint(data, control)
+
+    def _substitute_summary(self, summary: Taint,
+                            arg_taints: Tuple[Taint, ...]) -> Taint:
+        """Replace parameter placeholders with the actual argument
+        taints of this call site (data stays data; anything reaching a
+        control position becomes control provenance)."""
+        result = self.strip_placeholders(summary)
+        for source in summary.data:
+            if self._is_placeholder(source):
+                index = source.line
+                if index < len(arg_taints):
+                    result = result.join(arg_taints[index])
+        for source in summary.control:
+            if self._is_placeholder(source):
+                index = source.line
+                if index < len(arg_taints):
+                    result = result.join(arg_taints[index].as_control())
+        return result
+
+    def _merge_summary_args(self, func: Function,
+                            arg_taints: Tuple[Taint, ...]) -> Tuple[Taint, ...]:
+        old = self._summary_args.get(func)
+        if old is None or len(old) != len(arg_taints):
+            old = tuple(SAFE for _ in arg_taints)
+        merged = tuple(a.join(b) for a, b in zip(old, arg_taints))
+        if merged != self._summary_args.get(func):
+            self._summary_args[func] = merged
+            self._inputs_changed = True
+        return merged
+
+    def _analyze_with_summary(self, func: Function, eff_ctx: Context,
+                              arg_taints: Tuple[Taint, ...]) -> Taint:
+        """Two passes per (function, context):
+
+        - the *summary* pass runs with placeholder argument taints only
+          and yields the return-value transfer function, so a call
+          site's result never inherits other call sites' arguments;
+        - the *effects* pass runs with the join of every caller's
+          actual argument taints, so memory-cell writes and critical
+          checks inside the callee see real provenance. The outer
+          fixpoint re-sweeps when the join grows.
+        """
+        merged = self._merge_summary_args(func, arg_taints)
+        summary_key = (func, eff_ctx, "summary")
+        if summary_key in self._in_progress:
+            return self._substitute_summary(
+                self._memo.get(summary_key, SAFE), arg_taints
+            )
+        if summary_key not in self._memo:
+            self._in_progress.add(summary_key)
+            self._memo[summary_key] = SAFE
+            self._ctx_counts.setdefault(func, set()).add(eff_ctx)
+            placeholders = tuple(
+                Taint(data=frozenset({self._placeholder(func, i)}))
+                for i in range(len(arg_taints))
+            )
+            self._memo[summary_key] = self._analyze_body(
+                func, eff_ctx, placeholders
+            )
+            self._in_progress.discard(summary_key)
+
+        if any(not t.is_safe for t in merged):
+            effects_key = (func, eff_ctx, "effects")
+            if effects_key not in self._memo and \
+                    effects_key not in self._in_progress:
+                self._in_progress.add(effects_key)
+                self._memo[effects_key] = SAFE
+                self._memo[effects_key] = self._analyze_body(
+                    func, eff_ctx, merged
+                )
+                self._in_progress.discard(effects_key)
+
+        return self._substitute_summary(self._memo[summary_key], arg_taints)
+
+    def _over_budget(self, func: Function, ctx: Context) -> bool:
+        seen = self._ctx_counts.get(func)
+        if seen is None or ctx in seen:
+            return False
+        return len(seen) >= self.config.max_contexts_per_function
+
+    def _merge_inputs(self, func: Function, ctx: Context,
+                      arg_taints: Tuple[Taint, ...]):
+        old = self._merged_inputs.get(func)
+        old_ctx, old_args = old if old is not None else (
+            EMPTY_CONTEXT, tuple(SAFE for _ in arg_taints)
+        )
+        if len(old_args) != len(arg_taints):
+            old_args = tuple(SAFE for _ in arg_taints)
+        # context-insensitive merging *intersects* assumed-core sets so
+        # safety is preserved (a region must be monitored on every path)
+        new_ctx = (old_ctx & ctx) if old is not None else ctx
+        new_args = tuple(a.join(b) for a, b in zip(old_args, arg_taints))
+        if old is None or (new_ctx, new_args) != (old_ctx, old_args):
+            # the merged summary is stale: force another outer sweep
+            self._inputs_changed = True
+        self._merged_inputs[func] = (new_ctx, new_args)
+        return new_ctx, new_args
+
+    def _effective_context(self, func: Function, ctx: Context) -> Context:
+        assumes = self.shm.monitor_assumes.get(func.name, [])
+        if not assumes:
+            return ctx
+        added: Set[str] = set(ctx)
+        for assume in assumes:
+            for region_name in self._assume_regions(func, assume):
+                added.add(region_name)
+        return frozenset(added)
+
+    def _assume_regions(self, func: Function,
+                        assume: ResolvedAssume) -> RegionSet:
+        if assume.is_parameter:
+            bindings = self.shm.arg_regions.get(func, [])
+            regions: Set[str] = set()
+            if assume.parameter_index < len(bindings):
+                for name in bindings[assume.parameter_index]:
+                    region = self.shm.regions[name]
+                    if assume.offset == 0 and assume.size == region.size:
+                        regions.add(name)
+                    elif (func.name, name) not in self._ineffective:
+                        self._ineffective.add((func.name, name))
+            return frozenset(regions)
+        if assume.pointer in self.shm.regions:
+            return frozenset({assume.pointer})
+        # §3.4.3: assume(core(localptr, ...)) over received message data
+        return frozenset()
+
+    # ------------------------------------------------------------------
+
+    def _analyze_body(self, func: Function, ctx: Context,
+                      arg_taints: Tuple[Taint, ...]) -> Taint:
+        taints: Dict[Value, Taint] = {}
+        deps = self._control_deps.get(func)
+        if deps is None:
+            deps = control_dependence(func)
+            self._control_deps[func] = deps
+
+        def vt(value: Value) -> Taint:
+            if isinstance(value, Argument):
+                if value.index < len(arg_taints):
+                    return arg_taints[value.index]
+                return SAFE
+            if isinstance(value, (Constant, UndefValue, GlobalVariable,
+                                  Function)):
+                return SAFE
+            return taints.get(value, SAFE)
+
+        ret_taint = SAFE
+        for _ in range(_MAX_LOCAL_PASSES):
+            changed = False
+            for block in func.blocks:
+                block_ctl, controllers = self._block_control(block, deps, vt)
+                phi_ctl, phi_conds = self._phi_control(block, deps, vt)
+                for inst in block.instructions:
+                    if isinstance(inst, Phi):
+                        new = self._transfer(func, inst, ctx, vt, phi_ctl)
+                        if new and phi_ctl:
+                            for cond in phi_conds:
+                                self._edge_value(func, cond, inst, "control")
+                    else:
+                        new = self._transfer(func, inst, ctx, vt, block_ctl)
+                    if new is None:
+                        continue
+                    if taints.get(inst, SAFE) != new:
+                        taints[inst] = new
+                        changed = True
+            if not changed:
+                break
+
+        ret_node = VFGNode("value", f"return of {func.name}", "")
+        for block in func.blocks:
+            term = block.terminator
+            if isinstance(term, Ret) and term.value is not None:
+                # which return executes is decided by the branches this
+                # block is control dependent on: the summary carries
+                # their taint as control provenance (this is how the
+                # paper's decision() example becomes unsafe, §3.3)
+                block_ctl, controllers = self._block_control(block, deps, vt)
+                if vt(term.value):
+                    self.vfg.add_edge(
+                        self._value_node(func, term.value), ret_node, "data"
+                    )
+                for cond in controllers:
+                    self.vfg.add_edge(
+                        self._value_node(func, cond), ret_node, "control"
+                    )
+                ret_taint = ret_taint.join(vt(term.value)).join(block_ctl)
+        return ret_taint
+
+    def _phi_control(self, block: BasicBlock,
+                     deps: Dict[BasicBlock, Set[BasicBlock]], vt):
+        """Control taint governing *which incoming value* a phi selects.
+
+        The merge block itself executes unconditionally, so its own
+        control dependence is not enough: the selection is decided by
+        the branches its predecessors are control dependent on, plus
+        any predecessor that itself ends in a conditional branch.
+        """
+        if not self.config.track_control_dependence:
+            return SAFE, []
+        result = SAFE
+        controllers = []
+        for pred in block.predecessors():
+            pred_ctl, pred_conds = self._block_control(pred, deps, vt)
+            result = result.join(pred_ctl)
+            controllers.extend(pred_conds)
+            term = pred.terminator
+            if isinstance(term, CondBranch):
+                cond_taint = vt(term.condition)
+                if cond_taint:
+                    controllers.append(term.condition)
+                result = result.join(cond_taint.as_control())
+        return result, controllers
+
+    def _block_control(self, block: BasicBlock,
+                       deps: Dict[BasicBlock, Set[BasicBlock]], vt):
+        """Control taint of a block plus the tainted branch conditions."""
+        if not self.config.track_control_dependence:
+            return SAFE, []
+        result = SAFE
+        controllers = []
+        for controller in deps.get(block, ()):
+            term = controller.terminator
+            if isinstance(term, CondBranch):
+                cond_taint = vt(term.condition)
+                if cond_taint:
+                    controllers.append(term.condition)
+                result = result.join(cond_taint.as_control())
+        return result, controllers
+
+    # ------------------------------------------------------------------
+    # transfer functions
+    # ------------------------------------------------------------------
+
+    def _transfer(self, func: Function, inst: Instruction, ctx: Context,
+                  vt, block_ctl: Taint) -> Optional[Taint]:
+        if isinstance(inst, Load):
+            return self._transfer_load(func, inst, ctx, vt, block_ctl)
+        if isinstance(inst, Store):
+            self._transfer_store(func, inst, ctx, vt, block_ctl)
+            return None
+        if isinstance(inst, (BinOp, UnaryOp, Cmp, Cast, FieldAddr, IndexAddr)):
+            taint = join_all(vt(op) for op in inst.operands)
+            if taint:
+                for op in inst.operands:
+                    if vt(op):
+                        self._edge_value(func, op, inst, "data")
+            return taint
+        if isinstance(inst, Phi):
+            taint = join_all(vt(v) for v in inst.incoming.values())
+            if block_ctl:
+                taint = taint.join(block_ctl)
+            if taint:
+                for value in inst.incoming.values():
+                    if vt(value):
+                        self._edge_value(func, value, inst, "data")
+            return taint
+        if isinstance(inst, Call):
+            return self._transfer_call(func, inst, ctx, vt, block_ctl)
+        return None
+
+    def _transfer_load(self, func: Function, inst: Load, ctx: Context,
+                       vt, block_ctl: Taint) -> Taint:
+        regions = self.shm.regions_of(func, inst.pointer)
+        if regions:
+            unmonitored = [
+                name for name in regions
+                if self.shm.regions[name].noncore and name not in ctx
+            ]
+            if unmonitored:
+                sources = set()
+                for name in unmonitored:
+                    source = self._record_warning(func, inst, name)
+                    sources.add(source)
+                    self._edge_source(source, func, inst)
+                return Taint(data=frozenset(sources)).join(block_ctl)
+            # all regions are core or assumed core in this context
+            core_regions = [
+                name for name in regions if not self.shm.regions[name].noncore
+            ]
+            if core_regions:
+                # core shared memory behaves like ordinary memory: taint
+                # written by the core component flows back out of it
+                cell = self.points_to.target_of(inst.pointer)
+                stored = self.cell_taint.get(cell, SAFE) if cell else SAFE
+                if stored:
+                    self._edge_cell(cell, func, inst)
+                return stored.join(block_ctl)
+            return block_ctl  # monitored non-core read: safe (§2)
+        ptr_taint = vt(inst.pointer)
+        cell = self.points_to.target_of(inst.pointer)
+        if cell is None:
+            stored = SAFE
+        elif inst.type.is_aggregate:
+            # a struct/array copy reads every field: join field taints
+            stored = self._deep_cell_taint(cell)
+        else:
+            stored = self.cell_taint.get(cell, SAFE)
+        if stored and cell is not None:
+            self._edge_cell(cell, func, inst)
+        return stored.join(ptr_taint).join(block_ctl)
+
+    def _field_cells(self, cell):
+        """The cell plus every transitively nested field cell."""
+        seen = set()
+        work = [cell.find()]
+        while work:
+            current = work.pop()
+            if current.id in seen:
+                continue
+            seen.add(current.id)
+            yield current
+            work.extend(current.fields().values())
+
+    def _deep_cell_taint(self, cell) -> Taint:
+        result = SAFE
+        for member in self._field_cells(cell):
+            result = result.join(self.cell_taint.get(member, SAFE))
+        return result
+
+    def _transfer_store(self, func: Function, inst: Store, ctx: Context,
+                        vt, block_ctl: Taint) -> None:
+        regions = self.shm.regions_of(func, inst.pointer)
+        taint = vt(inst.value).join(block_ctl.as_control())
+        if regions:
+            noncore = [n for n in regions if self.shm.regions[n].noncore]
+            if noncore and len(noncore) == len(regions):
+                # write to non-core shm: does not change core/noncore (§2)
+                return
+        taint = self.strip_placeholders(taint)
+        if not taint:
+            return
+        cell = self.points_to.target_of(inst.pointer)
+        if cell is None:
+            return
+        # an aggregate store overwrites every field; fan the (joined)
+        # taint out so later per-field loads observe it
+        targets = (list(self._field_cells(cell))
+                   if inst.value.type.is_aggregate else [cell])
+        for target in targets:
+            old = self.cell_taint.get(target, SAFE)
+            new = old.join(taint)
+            if new != old:
+                self.cell_taint[target] = new
+        if vt(inst.value):
+            self._edge_value_to_cell(func, inst.value, cell)
+
+    def _transfer_call(self, func: Function, inst: Call, ctx: Context,
+                       vt, block_ctl: Taint) -> Taint:
+        name = inst.callee_name
+        if name == ASSERT_SAFE_MARKER:
+            if inst.operands:
+                self._check_critical(func, inst, vt(inst.operands[0]),
+                                     self._assert_variable(inst))
+            return SAFE
+        if name in IMPLICIT_CRITICAL_CALLS:
+            for index in IMPLICIT_CRITICAL_CALLS[name]:
+                if index < len(inst.operands):
+                    self._check_critical(
+                        func, inst, vt(inst.operands[index]),
+                        f"{name}() argument {index}",
+                    )
+            return SAFE
+        if name in COPY_CALLS and len(inst.operands) >= 2:
+            return self._transfer_copy(func, inst, ctx, vt, block_ctl)
+        if name in ("recv", "read") and self.config.message_passing_extension:
+            # §3.4.3: message passing and I/O reads share the treatment
+            return self._transfer_recv(func, inst, vt, block_ctl)
+
+        targets: List[Function] = []
+        if isinstance(inst.callee, Function) and not inst.callee.is_declaration:
+            targets = [inst.callee]
+        else:
+            for site in self.shm.callgraph.sites_in(func):
+                if site.call is inst:
+                    targets = list(site.targets)
+                    break
+        if targets:
+            result = SAFE
+            args = tuple(vt(op) for op in inst.operands)
+            for target in targets:
+                padded = tuple(
+                    args[i] if i < len(args) else SAFE
+                    for i in range(len(target.arguments))
+                )
+                # provenance: tainted actuals flow into the callee's
+                # formals (needed for cross-function witness paths)
+                for i, op in enumerate(inst.operands):
+                    if i < len(target.arguments) and args[i]:
+                        self.vfg.add_edge(
+                            self._value_node(func, op),
+                            self._value_node(target, target.arguments[i]),
+                            "data",
+                        )
+                child = self._analyze(target, ctx, padded)
+                result = result.join(child)
+            if result:
+                self._edge_call(func, inst, result)
+            return result.join(block_ctl)
+        # unknown external: the result may depend on its arguments and
+        # on anything reachable through its pointer arguments
+        result = join_all(vt(op) for op in inst.operands)
+        for op in inst.operands:
+            if vt(op):
+                self._edge_value(func, op, inst, "data")
+            if op.type.is_pointer:
+                cell = self.points_to.target_of(op)
+                if cell is not None:
+                    stored = self.cell_taint.get(cell, SAFE)
+                    if stored:
+                        self._edge_cell(cell, func, inst)
+                    result = result.join(stored)
+        return result.join(block_ctl)
+
+    def _transfer_copy(self, func: Function, inst: Call, ctx: Context, vt,
+                       block_ctl: Taint) -> Taint:
+        dest, src = inst.operands[0], inst.operands[1]
+        taint = vt(src).join(block_ctl.as_control())
+        src_regions = self.shm.regions_of(func, src)
+        # copying *from* unmonitored shm is a read of it; inside a
+        # monitoring context for the region it is safe (§2 rules)
+        for name in src_regions:
+            if self.shm.regions[name].noncore and name not in ctx:
+                source = self._record_warning(func, inst, name)
+                taint = taint.join(Taint(data=frozenset({source})))
+                self._edge_source(source, func, inst)
+        src_cell = self.points_to.target_of(src)
+        if src_cell is not None:
+            taint = taint.join(self.cell_taint.get(src_cell, SAFE))
+        dest_regions = self.shm.regions_of(func, dest)
+        if not dest_regions or any(
+            not self.shm.regions[n].noncore for n in dest_regions
+        ):
+            dest_cell = self.points_to.target_of(dest)
+            stored = self.strip_placeholders(taint)
+            if dest_cell is not None and stored:
+                old = self.cell_taint.get(dest_cell, SAFE)
+                self.cell_taint[dest_cell] = old.join(stored)
+                self._edge_value_to_cell(func, src, dest_cell)
+        return taint
+
+    def _transfer_recv(self, func: Function, inst: Call, vt,
+                       block_ctl: Taint) -> Taint:
+        """§3.4.3 extension: recv on a noncore socket taints the buffer."""
+        if len(inst.operands) < 2:
+            return SAFE
+        socket_name = self._descriptor_name(inst.operands[0])
+        noncore_names = set()
+        for names in self.shm.noncore_descriptors.values():
+            noncore_names |= names
+        if socket_name is None or socket_name not in noncore_names:
+            return join_all(vt(op) for op in inst.operands)
+        buffer = inst.operands[1]
+        if self._buffer_assumed_core(func, buffer):
+            return SAFE
+        location = inst.location
+        source = TaintSource(
+            region=f"socket:{socket_name}",
+            function=func.name,
+            filename=location.filename if location else "<unknown>",
+            line=location.line if location else 0,
+        )
+        self._record_warning_source(func, inst, source)
+        self._edge_source(source, func, inst)
+        taint = Taint(data=frozenset({source}))
+        cell = self.points_to.target_of(buffer)
+        if cell is not None:
+            old = self.cell_taint.get(cell, SAFE)
+            self.cell_taint[cell] = old.join(taint)
+        return taint
+
+    @staticmethod
+    def _unwrap_casts(value: Value) -> Value:
+        while isinstance(value, Cast):
+            value = value.source
+        return value
+
+    def _descriptor_name(self, value: Value) -> Optional[str]:
+        value = self._unwrap_casts(value)
+        if isinstance(value, Argument):
+            return value.name
+        if isinstance(value, Load) and isinstance(value.pointer,
+                                                  GlobalVariable):
+            return value.pointer.name
+        if isinstance(value, Load) and isinstance(value.pointer, Alloca):
+            return value.pointer.name
+        return None
+
+    def _buffer_assumed_core(self, func: Function, buffer: Value) -> bool:
+        buffer = self._unwrap_casts(buffer)
+        if isinstance(buffer, IndexAddr):
+            buffer = self._unwrap_casts(buffer.pointer)
+        name = None
+        if isinstance(buffer, Alloca):
+            name = buffer.name
+        elif isinstance(buffer, Argument):
+            name = buffer.name
+        elif isinstance(buffer, IndexAddr) and isinstance(
+            buffer.pointer, Alloca
+        ):
+            name = buffer.pointer.name
+        if name is None:
+            return False
+        for assume in self.shm.monitor_assumes.get(func.name, []):
+            if assume.pointer == name:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # diagnostics plumbing
+    # ------------------------------------------------------------------
+
+    def _record_warning(self, func: Function, inst: Instruction,
+                        region: str) -> TaintSource:
+        location = inst.location
+        source = TaintSource(
+            region=region,
+            function=func.name,
+            filename=location.filename if location else "<unknown>",
+            line=location.line if location else 0,
+        )
+        self._record_warning_source(func, inst, source)
+        return source
+
+    def _record_warning_source(self, func: Function, inst: Instruction,
+                               source: TaintSource) -> None:
+        key = (source.function, source.region, source.line)
+        if key in self.warnings_map:
+            return
+        self.warnings_map[key] = UnmonitoredReadWarning(
+            message=(
+                f"unmonitored access to non-core shared variable "
+                f"{source.region!r}: value is unsafe"
+            ),
+            location=inst.location,
+            function=func.name,
+            severity=Severity.WARNING,
+            region=source.region,
+        )
+
+    def _check_critical(self, func: Function, inst: Instruction,
+                        taint: Taint, variable: str) -> None:
+        # parameter placeholders (summary mode) are not real sources:
+        # the merged actual taints joined alongside carry the report
+        taint = self.strip_placeholders(taint)
+        if taint.is_safe:
+            return
+        location = inst.location
+        key = (
+            location.filename if location else "<unknown>",
+            location.line if location else 0,
+            func.name,
+            variable,
+        )
+        entry = self._failures.setdefault(
+            key, {"data": set(), "control": set()}
+        )
+        entry["data"] |= taint.data
+        entry["control"] |= taint.control
+        self._edge_sink(func, inst, taint, variable)
+
+    def _assert_variable(self, inst: Call) -> str:
+        location = inst.location
+        if location is not None:
+            var = self._assert_vars.get((location.filename, location.line))
+            if var:
+                return var
+        if inst.operands and inst.operands[0].name:
+            return inst.operands[0].name
+        return "<critical value>"
+
+    def _finalize(self) -> None:
+        from ..ir.source import SourceLocation
+        from ..reporting.diagnostics import sort_key
+
+        self.warnings = sorted(self.warnings_map.values(), key=sort_key)
+        self.errors = []
+        for (filename, line, fname, variable), entry in sorted(
+            self._failures.items()
+        ):
+            data, control = entry["data"], entry["control"]
+            # one reported dependency per (critical sink, shared region):
+            # this is Table 1's unit of counting — a sink influenced by
+            # two regions is two erroneous value dependencies
+            regions = sorted(
+                {s.region for s in data} | {s.region for s in control}
+            )
+            for region in regions:
+                data_here = {s for s in data if s.region == region}
+                control_here = {s for s in control if s.region == region}
+                if data_here and control_here:
+                    kind = DependencyKind.BOTH
+                elif data_here:
+                    kind = DependencyKind.DATA
+                else:
+                    kind = DependencyKind.CONTROL
+                candidate_fp = (
+                    self.config.triage_control_dependence
+                    and kind is DependencyKind.CONTROL
+                )
+                sources = tuple(
+                    self.warnings_map.get(
+                        (s.function, s.region, s.line),
+                        UnmonitoredReadWarning(
+                            message=s.describe(),
+                            location=s.location,
+                            function=s.function,
+                            severity=Severity.WARNING,
+                            region=s.region,
+                        ),
+                    )
+                    for s in sorted(data_here | control_here)
+                )
+                sink = self._sink_node(fname, filename, line, variable)
+                witness = tuple(
+                    node.render()
+                    for node in self.vfg.witness_path(sink, region=region)
+                )
+                self.errors.append(
+                    CriticalDependencyError(
+                        message=(
+                            f"critical data {variable!r} is "
+                            f"{kind}-dependent on non-core {region!r}"
+                        ),
+                        location=SourceLocation(filename, line),
+                        function=fname,
+                        severity=Severity.ERROR,
+                        variable=variable,
+                        kind=kind,
+                        sources=sources,
+                        witness=witness,
+                        candidate_false_positive=candidate_fp,
+                    )
+                )
+        for index, error in enumerate(self.errors):
+            location = error.location
+            sink = self._sink_node(
+                error.function,
+                location.filename if location else "<unknown>",
+                location.line if location else 0,
+                error.variable,
+            )
+            trimmed = self.vfg.subgraph(self.vfg.ancestors_of(sink))
+            self.witness_graphs[index] = trimmed.to_dot(f"error{index}")
+
+    # ------------------------------------------------------------------
+    # value-flow-graph recording
+    # ------------------------------------------------------------------
+
+    def _value_node(self, func: Function, value: Value) -> VFGNode:
+        location = ""
+        if isinstance(value, Instruction):
+            if value.location is not None:
+                location = str(value.location)
+            if value.name:
+                label = f"{func.name}::{value.opname()} %{value.name}"
+            else:
+                # stable, human-readable identity for unnamed temps
+                where = (f"L{value.location.line}" if value.location
+                         else "L?")
+                block = value.parent.name if value.parent else "?"
+                index = (value.parent.instructions.index(value)
+                         if value.parent else 0)
+                label = (f"{func.name}::{value.opname()}@"
+                         f"{where}.{block}.{index}")
+        else:
+            label = f"{func.name}::{value.short()}"
+        return VFGNode("value", label, location)
+
+    def _edge_value(self, func: Function, src: Value, dst: Instruction,
+                    kind: str) -> None:
+        self.vfg.add_edge(
+            self._value_node(func, src), self._value_node(func, dst), kind
+        )
+
+    def _edge_source(self, source: TaintSource, func: Function,
+                     inst: Instruction) -> None:
+        node = VFGNode(
+            "source",
+            f"noncore read {source.region}",
+            f"{source.filename}:{source.line}",
+        )
+        self.vfg.add_edge(node, self._value_node(func, inst), "data")
+
+    def _edge_cell(self, cell: Cell, func: Function,
+                   inst: Instruction) -> None:
+        node = VFGNode("cell", cell.label, "")
+        self.vfg.add_edge(node, self._value_node(func, inst), "data")
+
+    def _edge_value_to_cell(self, func: Function, value: Value,
+                            cell: Cell) -> None:
+        node = VFGNode("cell", cell.label, "")
+        self.vfg.add_edge(self._value_node(func, value), node, "data")
+
+    def _edge_call(self, func: Function, inst: Call, taint: Taint) -> None:
+        callee = inst.callee_name or "<indirect>"
+        node = VFGNode("value", f"return of {callee}", "")
+        self.vfg.add_edge(node, self._value_node(func, inst), "data")
+
+    def _edge_sink(self, func: Function, inst: Instruction, taint: Taint,
+                   variable: str) -> None:
+        if inst.location is not None:
+            location = f"{inst.location.filename}:{inst.location.line}"
+        else:
+            location = ""
+        sink = VFGNode("sink", f"assert safe({variable})", location)
+        if inst.operands:
+            self.vfg.add_edge(
+                self._value_node(func, inst.operands[0]), sink, "data"
+            )
+
+    def _sink_node(self, fname: str, filename: str, line: int,
+                   variable: str) -> VFGNode:
+        return VFGNode(
+            "sink", f"assert safe({variable})", f"{filename}:{line}"
+        )

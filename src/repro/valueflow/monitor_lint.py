@@ -1,0 +1,120 @@
+"""Monitor-completeness lint.
+
+SafeFlow's soundness rests on an assumption it cannot discharge
+itself: *"The programmer is expected to verify that the monitoring
+function correctly checks the non-core values for safety (or
+recoverability) before storing it in local variables that escape the
+monitoring function"* (§2). The paper lists erroneous monitor
+annotations as its second limitation — an annotated function that does
+no checking silently turns unsafe values safe (a false negative).
+
+This lint cannot prove a monitor correct, but it catches the blatant
+failure mode: a monitoring function whose monitored reads *escape*
+(through the return value or through memory writes) while **no branch
+in the function tests any monitored value**. Such a function monitors
+nothing; the ``assume(core(...))`` annotation is almost certainly a
+mistake.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..core.config import AnalysisConfig
+from ..frontend.driver import Program
+from ..ir import (
+    BinOp,
+    Call,
+    Cast,
+    Cmp,
+    CondBranch,
+    FieldAddr,
+    Function,
+    IndexAddr,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Store,
+    UnaryOp,
+    Value,
+)
+from ..reporting.diagnostics import Diagnostic, Severity
+from ..shm.propagation import ShmAnalysis
+
+
+def lint_monitors(program: Program, shm: ShmAnalysis,
+                  config: AnalysisConfig) -> List[Diagnostic]:
+    """Check every annotated monitoring function for vacuous monitors."""
+    findings: List[Diagnostic] = []
+    for fname, assumes in sorted(shm.monitor_assumes.items()):
+        func = program.module.get_function(fname)
+        if func is None or func.is_declaration:
+            continue
+        regions: Set[str] = set()
+        for assume in assumes:
+            if assume.is_parameter:
+                bindings = shm.arg_regions.get(func, [])
+                if assume.parameter_index < len(bindings):
+                    regions |= set(bindings[assume.parameter_index])
+            elif assume.pointer in shm.regions:
+                regions.add(assume.pointer)
+        if not regions:
+            continue
+        finding = _lint_one(func, regions, shm)
+        if finding is not None:
+            findings.append(finding)
+    return findings
+
+
+def _lint_one(func: Function, regions: Set[str], shm: ShmAnalysis):
+    monitored: Set[Value] = set()      # values derived from monitored reads
+    escapes = False
+    checked = False
+
+    def derived(inst: Instruction) -> bool:
+        return any(op in monitored for op in inst.operands)
+
+    # fixpoint over the function's instructions (loops via phis)
+    changed = True
+    while changed:
+        changed = False
+        for inst in func.instructions():
+            if inst in monitored:
+                continue
+            if isinstance(inst, Load) and regions & set(
+                shm.regions_of(func, inst.pointer)
+            ):
+                monitored.add(inst)
+                changed = True
+            elif isinstance(inst, (BinOp, UnaryOp, Cmp, Cast, Phi,
+                                   FieldAddr, IndexAddr)) and derived(inst):
+                monitored.add(inst)
+                changed = True
+
+    for inst in func.instructions():
+        if isinstance(inst, CondBranch) and inst.condition in monitored:
+            checked = True
+        elif isinstance(inst, Ret) and inst.value is not None and \
+                inst.value in monitored:
+            escapes = True
+        elif isinstance(inst, Store) and inst.value in monitored:
+            # stored into memory the caller can observe
+            escapes = True
+        elif isinstance(inst, Call) and not isinstance(inst, CondBranch):
+            if any(op in monitored for op in inst.operands):
+                escapes = True
+
+    if escapes and not checked and monitored:
+        return Diagnostic(
+            message=(
+                f"monitoring function releases values from "
+                f"{'/'.join(sorted(regions))} without testing any "
+                f"monitored value: the assume(core(...)) annotation "
+                f"monitors nothing (possible false negative)"
+            ),
+            location=func.location,
+            function=func.name,
+            severity=Severity.WARNING,
+        )
+    return None

@@ -1,0 +1,113 @@
+"""The safe/unsafe lattice of §2, with provenance.
+
+A value's taint records *which* unmonitored non-core reads it depends
+on, split by dependency kind:
+
+- ``data`` sources reach the value through assignments/arithmetic/
+  memory — the paper's hard errors;
+- ``control`` sources reach it only because a branch tested an unsafe
+  value — the class the paper triages as candidate false positives
+  (§3.4.1).
+
+``safe(x)`` ⇔ both sets empty; ``unsafe(x)`` ⇔ data nonempty. The
+mutual exclusion of the predicates in §2 is the emptiness test here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from ..ir.source import SourceLocation
+
+
+@dataclass(frozen=True, order=True)
+class TaintSource:
+    """One unmonitored read of a non-core shared variable."""
+
+    region: str
+    function: str
+    filename: str
+    line: int
+
+    @property
+    def location(self) -> SourceLocation:
+        return SourceLocation(self.filename, self.line)
+
+    def describe(self) -> str:
+        return (
+            f"unmonitored read of non-core {self.region!r} in "
+            f"{self.function} at {self.filename}:{self.line}"
+        )
+
+
+SourceSet = FrozenSet[TaintSource]
+EMPTY_SOURCES: SourceSet = frozenset()
+
+
+@dataclass(frozen=True)
+class Taint:
+    """Provenance-carrying taint value; immutable and hashable."""
+
+    data: SourceSet = EMPTY_SOURCES
+    control: SourceSet = EMPTY_SOURCES
+
+    # -- lattice ---------------------------------------------------------
+
+    def join(self, other: "Taint") -> "Taint":
+        if other.is_safe:
+            return self
+        if self.is_safe:
+            return other
+        return Taint(self.data | other.data, self.control | other.control)
+
+    def as_control(self) -> "Taint":
+        """Demote everything to control provenance (branch influence)."""
+        sources = self.data | self.control
+        if not sources:
+            return SAFE
+        return Taint(EMPTY_SOURCES, sources)
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def is_safe(self) -> bool:
+        return not self.data and not self.control
+
+    @property
+    def is_unsafe(self) -> bool:
+        """The paper's unsafe(x): data dependence on a non-core value."""
+        return bool(self.data)
+
+    @property
+    def all_sources(self) -> SourceSet:
+        return self.data | self.control
+
+    def __bool__(self) -> bool:
+        return not self.is_safe
+
+    def __str__(self) -> str:
+        if self.is_safe:
+            return "safe"
+        parts = []
+        if self.data:
+            parts.append("data:{" + ",".join(sorted(s.region for s in self.data)) + "}")
+        if self.control:
+            parts.append(
+                "ctrl:{" + ",".join(sorted(s.region for s in self.control)) + "}"
+            )
+        return "unsafe(" + " ".join(parts) + ")"
+
+
+SAFE = Taint()
+
+
+def data_taint(sources: Iterable[TaintSource]) -> Taint:
+    return Taint(frozenset(sources), EMPTY_SOURCES)
+
+
+def join_all(taints: Iterable[Taint]) -> Taint:
+    result = SAFE
+    for taint in taints:
+        result = result.join(taint)
+    return result

@@ -1,0 +1,146 @@
+"""Value flow graphs: provenance edges for unsafe values.
+
+The paper propagates the ``unsafe`` predicate with "a standard value
+flow graph [ESP]" and asks the developer to inspect reported errors
+"with the aid of the value flow graphs representing the flow of values
+from unmonitored non-core values to the critical data" (§4). This
+module records exactly that graph during taint propagation and renders
+witness paths and DOT exports for the manual-triage workflow.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class VFGNode:
+    """A program point through which unsafe values flow."""
+
+    kind: str        # "source" | "value" | "cell" | "sink"
+    label: str       # human-readable description
+    location: str    # "file:line" or ""
+
+    def render(self) -> str:
+        loc = f" @ {self.location}" if self.location else ""
+        return f"[{self.kind}] {self.label}{loc}"
+
+
+class ValueFlowGraph:
+    """Directed provenance graph from taint sources to critical sinks."""
+
+    def __init__(self):
+        self.edges: Dict[VFGNode, Set[VFGNode]] = {}
+        self.reverse: Dict[VFGNode, Set[VFGNode]] = {}
+        self.edge_kinds: Dict[Tuple[VFGNode, VFGNode], str] = {}
+
+    def add_edge(self, src: VFGNode, dst: VFGNode, kind: str = "data") -> None:
+        if src == dst:
+            return
+        self.edges.setdefault(src, set()).add(dst)
+        self.reverse.setdefault(dst, set()).add(src)
+        self.edge_kinds.setdefault((src, dst), kind)
+
+    @property
+    def node_count(self) -> int:
+        nodes = set(self.edges)
+        for targets in self.edges.values():
+            nodes |= targets
+        return len(nodes)
+
+    # ------------------------------------------------------------------
+
+    def witness_path(self, sink: VFGNode,
+                     region: Optional[str] = None) -> List[VFGNode]:
+        """Shortest path from a source node back to ``sink``.
+
+        With ``region`` given, sources mentioning that region are
+        preferred (so each reported dependency's witness starts at a
+        read of *its* region); any source is the fallback.
+        """
+        if sink not in self.reverse and sink not in self.edges:
+            return [sink]
+        parent: Dict[VFGNode, Optional[VFGNode]] = {sink: None}
+        queue = deque([sink])
+        best: Optional[VFGNode] = None
+        fallback: Optional[VFGNode] = None
+        while queue:
+            node = queue.popleft()
+            if node.kind == "source":
+                if region is None or region in node.label:
+                    best = node
+                    break
+                if fallback is None:
+                    fallback = node
+                continue
+            for pred in sorted(
+                self.reverse.get(node, ()), key=lambda n: (n.kind, n.label)
+            ):
+                if pred not in parent:
+                    parent[pred] = node
+                    queue.append(pred)
+        if best is None:
+            best = fallback
+        if best is None:
+            return [sink]
+        path = [best]
+        node = best
+        while parent[node] is not None:
+            node = parent[node]  # type: ignore[assignment]
+            path.append(node)
+        return path
+
+    def ancestors_of(self, sink: VFGNode) -> Set[VFGNode]:
+        """Every node from which ``sink`` is reachable (plus the sink)."""
+        seen: Set[VFGNode] = {sink}
+        work = [sink]
+        while work:
+            node = work.pop()
+            for pred in self.reverse.get(node, ()):
+                if pred not in seen:
+                    seen.add(pred)
+                    work.append(pred)
+        return seen
+
+    def subgraph(self, nodes: Set[VFGNode]) -> "ValueFlowGraph":
+        """The induced subgraph on ``nodes`` (for per-error exports)."""
+        sub = ValueFlowGraph()
+        for src, targets in self.edges.items():
+            if src not in nodes:
+                continue
+            for dst in targets:
+                if dst in nodes:
+                    sub.add_edge(src, dst, self.edge_kinds.get((src, dst),
+                                                               "data"))
+        return sub
+
+    def to_dot(self, title: str = "vfg") -> str:
+        lines = [f'digraph "{title}" {{', "  rankdir=LR;"]
+        ids: Dict[VFGNode, str] = {}
+
+        def node_id(node: VFGNode) -> str:
+            if node not in ids:
+                ids[node] = f"n{len(ids)}"
+                shape = {
+                    "source": "box", "sink": "doubleoctagon",
+                    "cell": "folder",
+                }.get(node.kind, "ellipse")
+                label = node.render().replace('"', "'")
+                lines.append(
+                    f'  {ids[node]} [shape={shape}, label="{label}"];'
+                )
+            return ids[node]
+
+        for src, targets in sorted(
+            self.edges.items(), key=lambda kv: kv[0].label
+        ):
+            for dst in sorted(targets, key=lambda n: n.label):
+                kind = self.edge_kinds.get((src, dst), "data")
+                style = "dashed" if kind == "control" else "solid"
+                lines.append(
+                    f"  {node_id(src)} -> {node_id(dst)} [style={style}];"
+                )
+        lines.append("}")
+        return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""The synthetic program generator must produce its promised diagnosis."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import SafeFlow
+from repro.corpus import generate_core
+
+
+def analyze_generated(program):
+    return SafeFlow().analyze_source(program.source, name="generated")
+
+
+class TestDefaults:
+    def test_default_program_analyzes_clean(self):
+        program = generate_core()
+        report = analyze_generated(program)
+        assert report.violations == []
+        assert len(report.warnings) == program.expected_warnings
+        assert len(report.confirmed_errors) == program.expected_errors
+        assert len(report.candidate_false_positives) == \
+            program.expected_false_positives
+
+    def test_monitored_only_program_passes(self):
+        program = generate_core(data_error_regions=0, control_fp_regions=0,
+                                benign_read_regions=0, monitored_regions=3)
+        report = analyze_generated(program)
+        assert report.passed
+        assert report.warnings == []
+
+    def test_zero_regions_rejected(self):
+        with pytest.raises(ValueError):
+            generate_core(data_error_regions=0, control_fp_regions=0,
+                          benign_read_regions=0, monitored_regions=0)
+
+    def test_filler_functions_scale_loc(self):
+        small = generate_core()
+        big = generate_core(filler_functions=30)
+        assert big.loc > small.loc + 100
+
+    def test_chain_depth_adds_monitors(self):
+        program = generate_core(chain_depth=4)
+        report = analyze_generated(program)
+        assert report.violations == []
+        assert len(report.confirmed_errors) == program.expected_errors
+
+
+class TestGeneratedDiagnosisProperty:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        data=st.integers(0, 3),
+        control=st.integers(0, 3),
+        benign=st.integers(0, 3),
+        monitored=st.integers(0, 2),
+    )
+    def test_counts_always_match_prediction(self, data, control, benign,
+                                            monitored):
+        if data + control + benign + monitored == 0:
+            return
+        program = generate_core(
+            data_error_regions=data,
+            control_fp_regions=control,
+            benign_read_regions=benign,
+            monitored_regions=monitored,
+        )
+        report = analyze_generated(program)
+        assert len(report.warnings) == program.expected_warnings
+        assert len(report.confirmed_errors) == program.expected_errors
+        assert len(report.candidate_false_positives) == \
+            program.expected_false_positives
+        assert report.violations == []

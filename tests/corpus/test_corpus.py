@@ -1,0 +1,150 @@
+"""The Table-1 corpus: every row must reproduce the paper's counts and
+error classes."""
+
+import pytest
+
+from repro.corpus import SYSTEM_KEYS, load_all, load_system
+from repro.errors import CorpusError
+from repro.reporting import DependencyKind
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return {key: (load_system(key), load_system(key).analyze())
+            for key in SYSTEM_KEYS}
+
+
+class TestTable1Counts:
+    @pytest.mark.parametrize("key", SYSTEM_KEYS)
+    def test_error_dependencies_match_paper(self, reports, key):
+        system, report = reports[key]
+        assert len(report.confirmed_errors) == system.paper.error_dependencies
+
+    @pytest.mark.parametrize("key", SYSTEM_KEYS)
+    def test_warnings_match_paper(self, reports, key):
+        system, report = reports[key]
+        assert len(report.warnings) == system.paper.warnings
+
+    @pytest.mark.parametrize("key", SYSTEM_KEYS)
+    def test_false_positives_match_paper(self, reports, key):
+        system, report = reports[key]
+        assert len(report.candidate_false_positives) == \
+            system.paper.false_positives
+
+    @pytest.mark.parametrize("key", SYSTEM_KEYS)
+    def test_annotation_lines_match_paper(self, reports, key):
+        system, report = reports[key]
+        assert report.stats.annotation_lines == system.paper.annotation_lines
+
+    @pytest.mark.parametrize("key", SYSTEM_KEYS)
+    def test_no_restriction_violations(self, reports, key):
+        _, report = reports[key]
+        assert report.violations == []
+        assert report.init_issues == []
+
+
+class TestErrorClasses:
+    def test_kill_pid_error_in_every_system(self, reports):
+        """§4: 'In all the three systems, the first argument of a kill
+        system call ... was dependent on an unmonitored non-core
+        value.'"""
+        for key in SYSTEM_KEYS:
+            _, report = reports[key]
+            kill_errors = [e for e in report.confirmed_errors
+                           if "kill" in e.variable]
+            assert len(kill_errors) == 1, key
+            assert kill_errors[0].kind is DependencyKind.DATA
+
+    def test_generic_simplex_feedback_readback(self, reports):
+        """§4: feedback written by core, read back by core — the
+        'rigging' dependency."""
+        _, report = reports["generic_simplex"]
+        readback = [e for e in report.confirmed_errors
+                    if "gsFeedback" in e.message]
+        assert len(readback) == 1
+        assert readback[0].variable == "output"
+
+    def test_double_ip_invalid_assumption(self, reports):
+        """§4: an unmonitored value assumed not to propagate to
+        critical data — the analysis shows it does."""
+        _, report = reports["double_ip"]
+        trim = [e for e in report.confirmed_errors
+                if "dipCmd2" in e.message]
+        assert len(trim) == 1
+        assert trim[0].variable == "output"
+
+    def test_false_positives_are_control_only(self, reports):
+        """§4: 'All false positives returned in our tests were due to
+        control dependence on non-core values.'"""
+        for key in SYSTEM_KEYS:
+            _, report = reports[key]
+            for fp in report.candidate_false_positives:
+                assert fp.kind is DependencyKind.CONTROL
+
+    def test_every_error_has_witness(self, reports):
+        for key in SYSTEM_KEYS:
+            _, report = reports[key]
+            for error in report.errors:
+                assert error.witness
+                assert error.sources
+
+
+class TestAnnotationBurden:
+    EXPECTED_INIT_LINES = {"ip": 9, "generic_simplex": 15, "double_ip": 15}
+
+    @pytest.mark.parametrize("key", SYSTEM_KEYS)
+    def test_majority_of_annotations_on_init_functions(self, key):
+        """§4: 9 of 11, 15 of 22, 15 of 23 annotation lines are on
+        initializing functions."""
+        from repro.frontend import load_files
+        from repro.annotations import AssertSafe, AssumeCore
+
+        system = load_system(key)
+        program = load_files([str(p) for p in system.core_files])
+        init_lines = 0
+        for annotation in program.annotations:
+            first = annotation.items[0]
+            if isinstance(first, (AssertSafe, AssumeCore)):
+                continue
+            init_lines += max(1, annotation.raw_text.strip().count("\n") + 1)
+        assert init_lines == self.EXPECTED_INIT_LINES[key]
+
+
+class TestCorpusStructure:
+    def test_all_systems_load(self):
+        systems = load_all()
+        assert [s.key for s in systems] == list(SYSTEM_KEYS)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(CorpusError):
+            load_system("quadruple_ip")
+
+    @pytest.mark.parametrize("key", SYSTEM_KEYS)
+    def test_noncore_components_present(self, key):
+        system = load_system(key)
+        assert system.noncore_files, "corpus should ship the non-core side"
+
+    def test_original_variants_for_ported_systems(self):
+        assert load_system("ip").original_files
+        assert load_system("double_ip").original_files
+        assert not load_system("generic_simplex").original_files  # 0 changes
+
+    @pytest.mark.parametrize("key", SYSTEM_KEYS)
+    def test_loc_counters(self, key):
+        system = load_system(key)
+        assert 0 < system.loc_core() < system.loc_total()
+
+    def test_original_ip_differs_only_around_monitor(self):
+        import difflib
+        system = load_system("ip")
+        ported = system.core_files[0].read_text().splitlines()
+        original = system.original_files[0].read_text().splitlines()
+        changed = sum(1 for line in difflib.unified_diff(original, ported)
+                      if line.startswith(("+", "-")))
+        assert changed > 0
+
+    @pytest.mark.parametrize("key", SYSTEM_KEYS)
+    def test_monitoring_functions_annotated(self, key):
+        system = load_system(key)
+        report = system.analyze()
+        assert report.stats.monitored_functions >= 2  # init + >=1 monitor

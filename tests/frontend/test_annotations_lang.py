@@ -1,0 +1,153 @@
+"""The SafeFlow annotation language parser."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.annotations import (
+    AssertSafe,
+    AssumeCore,
+    AssumeNoncore,
+    AssumeShmvar,
+    BinarySize,
+    IntSize,
+    ShmInit,
+    SizeofSize,
+    parse_annotation,
+)
+from repro.errors import AnnotationError
+
+
+def sizeof_table(sizes=None):
+    table = {"SHMData": 20, "int": 4, "double": 8}
+    table.update(sizes or {})
+    return table.__getitem__
+
+
+class TestItems:
+    def test_assume_core(self):
+        items = parse_annotation("assume(core(ptr, 0, sizeof(SHMData)))")
+        assert len(items) == 1
+        item = items[0]
+        assert isinstance(item, AssumeCore)
+        assert item.pointer == "ptr"
+        assert item.offset.evaluate(sizeof_table()) == 0
+        assert item.size.evaluate(sizeof_table()) == 20
+
+    def test_assume_noncore(self):
+        (item,) = parse_annotation("assume(noncore(cmdRegion))")
+        assert isinstance(item, AssumeNoncore)
+        assert item.pointer == "cmdRegion"
+
+    def test_assume_shmvar(self):
+        (item,) = parse_annotation("assume(shmvar(fb, 2 * sizeof(SHMData)))")
+        assert isinstance(item, AssumeShmvar)
+        assert item.size.evaluate(sizeof_table()) == 40
+
+    def test_shminit_bare(self):
+        (item,) = parse_annotation("shminit")
+        assert isinstance(item, ShmInit)
+
+    def test_shminit_in_assume(self):
+        (item,) = parse_annotation("assume(shminit)")
+        assert isinstance(item, ShmInit)
+
+    def test_assert_safe(self):
+        (item,) = parse_annotation("assert(safe(output))")
+        assert isinstance(item, AssertSafe)
+        assert item.variable == "output"
+        assert not item.is_function_level
+
+    def test_function_level_flags(self):
+        (item,) = parse_annotation("assume(core(p, 0, 4))")
+        assert item.is_function_level
+
+    def test_multiple_items_with_semicolons(self):
+        items = parse_annotation(
+            "assume(shmvar(a, 8)); assume(shmvar(b, 8)); assume(noncore(b))"
+        )
+        assert len(items) == 3
+
+    def test_trailing_semicolon_ok(self):
+        items = parse_annotation("assert(safe(x));")
+        assert len(items) == 1
+
+
+class TestSizeExpressions:
+    def test_integer_literal(self):
+        (item,) = parse_annotation("assume(shmvar(p, 128))")
+        assert item.size == IntSize(128)
+
+    def test_sizeof_struct_keyword(self):
+        (item,) = parse_annotation("assume(shmvar(p, sizeof(struct data)))")
+        assert isinstance(item.size, SizeofSize)
+        assert item.size.evaluate({"struct data": 24}.__getitem__) == 24
+
+    def test_arithmetic_precedence(self):
+        (item,) = parse_annotation("assume(shmvar(p, 2 + 3 * 4))")
+        assert item.size.evaluate(sizeof_table()) == 14
+
+    def test_parenthesized(self):
+        (item,) = parse_annotation("assume(shmvar(p, (2 + 3) * 4))")
+        assert item.size.evaluate(sizeof_table()) == 20
+
+    def test_subtraction_and_division(self):
+        (item,) = parse_annotation("assume(shmvar(p, 100 / 4 - 5))")
+        assert item.size.evaluate(sizeof_table()) == 20
+
+    def test_sizeof_times_count(self):
+        (item,) = parse_annotation("assume(shmvar(p, 4 * sizeof(int)))")
+        assert item.size.evaluate(sizeof_table()) == 16
+
+    def test_division_by_zero_raises(self):
+        (item,) = parse_annotation("assume(shmvar(p, 8 / 0))")
+        with pytest.raises(AnnotationError):
+            item.size.evaluate(sizeof_table())
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_integer_roundtrip(self, n):
+        (item,) = parse_annotation(f"assume(shmvar(p, {n}))")
+        assert item.size.evaluate(sizeof_table()) == n
+
+    @given(st.integers(min_value=0, max_value=1000),
+           st.integers(min_value=0, max_value=1000),
+           st.integers(min_value=1, max_value=50))
+    def test_linear_expression_evaluates(self, a, b, c):
+        (item,) = parse_annotation(f"assume(shmvar(p, {a} + {b} * {c}))")
+        assert item.size.evaluate(sizeof_table()) == a + b * c
+
+
+class TestErrors:
+    def test_empty_annotation_rejected(self):
+        with pytest.raises(AnnotationError):
+            parse_annotation("")
+
+    def test_unknown_predicate_rejected(self):
+        with pytest.raises(AnnotationError):
+            parse_annotation("assume(tainted(x))")
+
+    def test_assert_only_supports_safe(self):
+        with pytest.raises(AnnotationError):
+            parse_annotation("assert(core(p, 0, 4))")
+
+    def test_missing_paren_rejected(self):
+        with pytest.raises(AnnotationError):
+            parse_annotation("assume(core(p, 0, 4)")
+
+    def test_junk_token_rejected(self):
+        with pytest.raises(AnnotationError):
+            parse_annotation("assume(core(p, 0, 4)) @")
+
+    def test_core_needs_three_args(self):
+        with pytest.raises(AnnotationError):
+            parse_annotation("assume(core(p, 0))")
+
+    def test_bare_identifier_not_an_item(self):
+        with pytest.raises(AnnotationError):
+            parse_annotation("banana")
+
+    def test_location_carried_in_error(self):
+        from repro.ir.source import SourceLocation
+        loc = SourceLocation("x.c", 12)
+        with pytest.raises(AnnotationError) as exc_info:
+            parse_annotation("assume(wat(p))", loc)
+        assert exc_info.value.location == loc

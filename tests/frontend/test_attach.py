@@ -1,0 +1,81 @@
+"""Function-level annotation attachment rules."""
+
+import pytest
+
+from repro.annotations import AssumeCore, ShmInit
+from repro.errors import AnnotationError
+from tests.conftest import front
+
+
+class TestAttachment:
+    def test_annotation_after_signature_attaches(self):
+        program = front("""
+            typedef struct { int v; } R;
+            double mon(R *r)
+            /***SafeFlow Annotation assume(core(r, 0, sizeof(R))) /***/
+            { return r->v; }
+        """)
+        items = program.function_annotations["mon"]
+        assert isinstance(items[0], AssumeCore)
+
+    def test_postcondition_at_function_end_attaches(self):
+        program = front("""
+            typedef struct { int v; } R;
+            R *p;
+            void init(void)
+            /***SafeFlow Annotation shminit /***/
+            {
+                p = (R *) shmat(0, 0, 0);
+                /***SafeFlow Annotation assume(shmvar(p, sizeof(R))) /***/
+            }
+            int other(void) { return 1; }
+        """)
+        kinds = [type(i).__name__ for i in program.function_annotations["init"]]
+        assert kinds == ["ShmInit", "AssumeShmvar"]
+        assert "other" not in program.function_annotations
+
+    def test_annotation_above_first_function_attaches_to_it(self):
+        program = front("""
+            /***SafeFlow Annotation shminit /***/
+            void init(void) { }
+        """)
+        assert isinstance(program.function_annotations["init"][0], ShmInit)
+
+    def test_assert_safe_not_in_function_table(self):
+        program = front("""
+            void emit(double v);
+            void f(double output)
+            {
+                /***SafeFlow Annotation assert(safe(output)); /***/
+                emit(output);
+            }
+        """)
+        assert "f" not in program.function_annotations
+
+    def test_orphan_annotation_raises(self):
+        with pytest.raises(AnnotationError):
+            front("""
+                int x;
+                /***SafeFlow Annotation shminit /***/
+            """)
+
+    def test_multiple_functions_correct_owner(self):
+        program = front("""
+            typedef struct { int v; } R;
+            int a(R *r)
+            /***SafeFlow Annotation assume(core(r, 0, sizeof(R))) /***/
+            { return r->v; }
+            int b(void) { return 0; }
+            int c(R *r)
+            /***SafeFlow Annotation assume(core(r, 0, sizeof(R))) /***/
+            { return r->v; }
+        """)
+        assert set(program.function_annotations) == {"a", "c"}
+
+    def test_annotation_line_total(self, figure2_program):
+        assert figure2_program.annotation_lines == 8
+
+    def test_sizeof_resolver_exposed(self, figure2_program):
+        assert figure2_program.sizeof("SHMData") == 24
+        assert figure2_program.sizeof("double") == 8
+        assert figure2_program.sizeof("SHMData *") == 4

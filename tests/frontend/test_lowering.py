@@ -1,0 +1,313 @@
+"""C → IR lowering across the restricted language subset."""
+
+import pytest
+
+from repro.errors import LoweringError, ParseError
+from repro.ir import (
+    BinOp,
+    Call,
+    Cast,
+    Cmp,
+    CondBranch,
+    Constant,
+    FieldAddr,
+    IndexAddr,
+    Load,
+    Phi,
+    Store,
+    verify_module,
+)
+from repro.ir import types as T
+from tests.conftest import front
+
+
+def func_of(source: str, name: str):
+    program = front(source)
+    verify_module(program.module)
+    return program.module.get_function(name)
+
+
+def insts(func, cls):
+    return [i for i in func.instructions() if isinstance(i, cls)]
+
+
+class TestExpressions:
+    def test_arithmetic_chain(self):
+        f = func_of("int f(int a, int b) { return a * b + a - b; }", "f")
+        ops = [i.op for i in insts(f, BinOp)]
+        assert ops == ["*", "+", "-"]
+
+    def test_comparisons(self):
+        f = func_of("int f(int a) { return a >= 3; }", "f")
+        assert [i.op for i in insts(f, Cmp)] == [">="]
+
+    def test_mixed_int_double_promotes(self):
+        f = func_of("double f(int a) { return a + 1.5; }", "f")
+        casts = insts(f, Cast)
+        assert any(c.kind == "numeric" and c.type == T.DOUBLE for c in casts)
+
+    def test_unary_minus(self):
+        f = func_of("int f(int a) { return -a; }", "f")
+        assert len([i for i in f.instructions()
+                    if i.opname() == "unaryop"]) == 1
+
+    def test_logical_not_produces_int(self):
+        f = func_of("int f(int a) { return !a; }", "f")
+        assert any(i.opname() == "unaryop" for i in f.instructions())
+
+    def test_short_circuit_and_branches(self):
+        f = func_of("int f(int a, int b) { return a && b; }", "f")
+        branches = insts(f, CondBranch)
+        assert len(branches) >= 1
+
+    def test_short_circuit_or(self):
+        f = func_of("int f(int a, int b) { return a || b; }", "f")
+        assert len(insts(f, CondBranch)) >= 1
+
+    def test_ternary_lowered_with_control_flow(self):
+        f = func_of("int f(int a) { return a ? 10 : 20; }", "f")
+        assert len(insts(f, CondBranch)) == 1
+        phis = insts(f, Phi)
+        assert len(phis) == 1
+
+    def test_comma_operator(self):
+        f = func_of("int f(int a) { int x; x = (a = a + 1, a * 2); return x; }",
+                    "f")
+        assert any(i.op == "*" for i in insts(f, BinOp))
+
+    def test_sizeof_type_is_constant(self):
+        f = func_of("unsigned int f(void) { return sizeof(double); }", "f")
+        rets = [i for i in f.instructions() if i.opname() == "ret"]
+        assert isinstance(rets[0].operands[0], (Constant, Cast))
+
+    def test_char_literal(self):
+        f = func_of("int f(void) { return 'A'; }", "f")
+        rets = [i for i in f.instructions() if i.opname() == "ret"]
+        value = rets[0].operands[0]
+        assert isinstance(value, (Constant, Cast))
+
+    def test_hex_and_octal_literals(self):
+        f = func_of("int f(void) { return 0x10 + 010; }", "f")
+        consts = {op.value for i in insts(f, BinOp) for op in i.operands
+                  if isinstance(op, Constant)}
+        assert 16 in consts and 8 in consts
+
+    def test_string_literal_is_char_pointer(self):
+        f = func_of('void f(void) { printf("hi %d", 1); }', "f")
+        call = insts(f, Call)[0]
+        assert call.operands[0].type == T.PointerType(T.CHAR)
+
+
+class TestAssignmentForms:
+    def test_compound_assignment(self):
+        f = func_of("int f(int a) { a += 3; a *= 2; return a; }", "f")
+        ops = [i.op for i in insts(f, BinOp)]
+        assert "+" in ops and "*" in ops
+
+    def test_pre_increment_returns_new_value(self):
+        f = func_of("int f(int a) { return ++a; }", "f")
+        assert any(i.op == "+" for i in insts(f, BinOp))
+
+    def test_post_increment(self):
+        f = func_of("int f(int a) { int b; b = a++; return b + a; }", "f")
+        assert any(i.op == "+" for i in insts(f, BinOp))
+
+    def test_struct_copy_assignment(self):
+        f = func_of("""
+            typedef struct { int a; double b; } S;
+            void f(S *dst, S *src) { *dst = *src; }
+        """, "f")
+        stores = insts(f, Store)
+        assert len(stores) == 1
+        assert isinstance(stores[0].value.type, T.StructType)
+
+    def test_assignment_through_pointer(self):
+        f = func_of("void f(int *p) { *p = 7; }", "f")
+        stores = insts(f, Store)
+        assert len(stores) == 1
+
+
+class TestAggregates:
+    SOURCE = """
+        typedef struct { double x[4]; int n; } Buf;
+        Buf table[3];
+        double f(Buf *b, int i) { return b->x[i]; }
+        int g(int i) { return table[i].n; }
+    """
+
+    def test_arrow_then_index(self):
+        f = func_of(self.SOURCE, "f")
+        assert len(insts(f, FieldAddr)) == 1
+        assert len(insts(f, IndexAddr)) == 1
+
+    def test_global_array_of_structs(self):
+        g = func_of(self.SOURCE, "g")
+        assert len(insts(g, IndexAddr)) == 1
+        assert len(insts(g, FieldAddr)) == 1
+
+    def test_local_array_initializer(self):
+        f = func_of("int f(void) { int a[3] = {1, 2, 3}; return a[1]; }", "f")
+        stores = insts(f, Store)
+        assert len(stores) == 3
+
+    def test_struct_initializer(self):
+        f = func_of("""
+            typedef struct { int a; int b; } P;
+            int f(void) { P p = {1, 2}; return p.b; }
+        """, "f")
+        assert len(insts(f, Store)) == 2
+
+    def test_dot_access_on_local(self):
+        f = func_of("""
+            typedef struct { int a; int b; } P;
+            int f(void) { P p; p.a = 4; return p.a; }
+        """, "f")
+        assert len(insts(f, FieldAddr)) == 2
+
+    def test_array_decay_to_pointer_argument(self):
+        f = func_of("""
+            double sum(double *v, int n);
+            double f(void) { double data[8]; return sum(data, 8); }
+        """, "f")
+        call = insts(f, Call)[0]
+        assert call.operands[0].type == T.PointerType(T.DOUBLE)
+
+
+class TestControlFlowLowering:
+    def test_do_while(self):
+        f = func_of("int f(int n) { int i = 0; do { i++; } while (i < n); return i; }",
+                    "f")
+        assert len(insts(f, CondBranch)) == 1
+
+    def test_break_exits_loop(self):
+        f = func_of("""
+            int f(int n) {
+                int i;
+                for (i = 0; i < n; i++) { if (i == 5) break; }
+                return i;
+            }
+        """, "f")
+        verify_module(front("int z;").module)  # smoke
+        assert len(insts(f, CondBranch)) == 2
+
+    def test_continue(self):
+        f = func_of("""
+            int f(int n) {
+                int i;
+                int total = 0;
+                for (i = 0; i < n; i++) { if (i == 2) continue; total += i; }
+                return total;
+            }
+        """, "f")
+        assert f is not None
+
+    def test_switch_with_fallthrough_and_default(self):
+        f = func_of("""
+            int f(int m) {
+                int r;
+                switch (m) {
+                case 0: r = 1; break;
+                case 1:
+                case 2: r = 2; break;
+                default: r = 0;
+                }
+                return r;
+            }
+        """, "f")
+        cmps = [i for i in insts(f, Cmp) if i.op == "=="]
+        assert len(cmps) == 3
+
+    def test_switch_break_goes_to_end(self):
+        f = func_of("""
+            int f(int m) {
+                int r = 0;
+                switch (m) { case 1: r = 5; break; }
+                return r;
+            }
+        """, "f")
+        assert f is not None
+
+    def test_infinite_while_keeps_exit_reachable(self):
+        f = func_of("""
+            int f(void) {
+                while (1) { if (ready()) return 1; }
+                return 0;
+            }
+        """, "f")
+        rets = [i for i in f.instructions() if i.opname() == "ret"]
+        assert len(rets) >= 1
+
+    def test_goto_rejected(self):
+        with pytest.raises(LoweringError):
+            front("int f(void) { goto out; out: return 1; }")
+
+    def test_missing_return_value_synthesized(self):
+        f = func_of("int f(int a) { if (a) return 1; }", "f")
+        rets = [i for i in f.instructions() if i.opname() == "ret"]
+        assert len(rets) == 2
+
+
+class TestFunctionsAndGlobals:
+    def test_implicit_declaration_gets_int_type(self):
+        f = func_of("int f(void) { return helper(3); }", "f")
+        call = insts(f, Call)[0]
+        assert call.type == T.INT
+
+    def test_varargs_call(self):
+        f = func_of('void f(int a) { printf("%d %d", a, a + 1); }', "f")
+        call = insts(f, Call)[0]
+        assert len(call.operands) == 3
+
+    def test_global_initializer_recorded(self):
+        program = front("int limit = 42; double rate = 1.5;")
+        assert program.module.globals["limit"].initializer == 42
+        assert program.module.globals["rate"].initializer == 1.5
+
+    def test_enum_constants_fold(self):
+        f = func_of("""
+            enum Mode { IDLE, RUN = 5, STOP };
+            int f(void) { return STOP; }
+        """, "f")
+        rets = [i for i in f.instructions() if i.opname() == "ret"]
+        assert rets[0].operands[0].value == 6
+
+    def test_function_redeclaration_merges(self):
+        program = front("""
+            int g(int x);
+            int g(int x) { return x + 1; }
+            int f(void) { return g(2); }
+        """)
+        assert not program.module.get_function("g").is_declaration
+
+    def test_void_pointer_conversions(self):
+        f = func_of("""
+            void *alloc(void);
+            double *f(void) { return (double *) alloc(); }
+        """, "f")
+        casts = insts(f, Cast)
+        assert any(c.kind == "bitcast" for c in casts)
+
+    def test_null_pointer_constant(self):
+        f = func_of("int f(int *p) { return p == 0; }", "f")
+        cmp = insts(f, Cmp)[0]
+        assert isinstance(cmp.operands[1], Constant)
+
+    def test_parse_error_reports_location(self):
+        with pytest.raises(ParseError):
+            front("int f(void) { return 0 }")
+
+    def test_pointer_arithmetic_uses_indexaddr(self):
+        f = func_of("double f(double *p) { return *(p + 3); }", "f")
+        assert len(insts(f, IndexAddr)) == 1
+
+    def test_pointer_difference_is_int(self):
+        f = func_of("int f(char *a, char *b) { return a - b; }", "f")
+        assert any(c.kind == "ptrtoint" for c in insts(f, Cast))
+
+    def test_static_qualifier_accepted(self):
+        f = func_of("static int f(void) { return 1; }", "f")
+        assert f is not None
+
+    def test_const_qualifier_accepted(self):
+        f = func_of("int f(const int *p) { return *p; }", "f")
+        assert f is not None

@@ -1,0 +1,233 @@
+"""Mini C preprocessor: comments, annotations, macros, conditionals."""
+
+import pytest
+
+from repro.errors import PreprocessorError
+from repro.frontend.preprocessor import Preprocessor, PreprocessedSource
+from repro.ir.instructions import ASSERT_SAFE_MARKER
+
+
+def pp(text: str, **kwargs) -> PreprocessedSource:
+    return Preprocessor(**kwargs).process_text(text, filename="t.c")
+
+
+class TestComments:
+    def test_line_comment_stripped(self):
+        out = pp("int x; // hello\nint y;")
+        assert "hello" not in out.text
+        assert "int y;" in out.text
+
+    def test_block_comment_stripped(self):
+        out = pp("int /* comment */ x;")
+        assert "comment" not in out.text
+        assert "int" in out.text and "x;" in out.text
+
+    def test_multiline_comment_preserves_line_count(self):
+        out = pp("int a;\n/* one\ntwo\nthree */\nint b;")
+        lines = out.text.splitlines()
+        assert lines[0] == "int a;"
+        assert "int b;" in lines[4]
+
+    def test_comment_inside_string_kept(self):
+        out = pp('char *s = "/* not a comment */";')
+        assert "/* not a comment */" in out.text
+
+    def test_line_comment_inside_string_kept(self):
+        out = pp('char *s = "// not a comment";')
+        assert "// not a comment" in out.text
+
+    def test_unterminated_comment_raises(self):
+        with pytest.raises(PreprocessorError):
+            pp("int x; /* oops")
+
+
+class TestAnnotations:
+    def test_annotation_extracted(self):
+        out = pp("void f(void)\n/***SafeFlow Annotation\n   shminit /***/\n{}")
+        assert len(out.annotations) == 1
+        assert str(out.annotations[0].items[0]) == "shminit"
+
+    def test_assert_safe_rewritten_to_marker(self):
+        out = pp("/***SafeFlow Annotation assert(safe(output)); /***/")
+        assert f"{ASSERT_SAFE_MARKER}(output);" in out.text
+
+    def test_assert_stays_on_same_line(self):
+        out = pp("int a;\n/***SafeFlow Annotation assert(safe(v)); /***/\nint b;")
+        lines = out.text.splitlines()
+        assert ASSERT_SAFE_MARKER in lines[1]
+
+    def test_annotation_location_recorded(self):
+        out = pp("int a;\nint b;\n/***SafeFlow Annotation shminit /***/")
+        assert out.annotations[0].location.line == 3
+        assert out.annotations[0].location.filename == "t.c"
+
+    def test_multiple_items_in_one_comment(self):
+        out = pp(
+            "/***SafeFlow Annotation\n"
+            "   assume(shmvar(p, 16));\n"
+            "   assume(noncore(p)); /***/"
+        )
+        assert len(out.annotations[0].items) == 2
+
+    def test_plain_comment_is_not_annotation(self):
+        out = pp("/* SafeFlow is great */ int x;")
+        assert out.annotations == []
+
+    def test_annotation_line_count_multiline(self):
+        out = pp(
+            "/***SafeFlow Annotation\n"
+            "   assume(shmvar(a, 8));\n"
+            "   assume(shmvar(b, 8));\n"
+            "   assume(noncore(b)) /***/"
+        )
+        from repro.frontend.attach import annotation_line_count
+        assert annotation_line_count(out.annotations) == 3
+
+
+class TestDefines:
+    def test_object_macro_expansion(self):
+        out = pp("#define LIMIT 42\nint x = LIMIT;")
+        assert "int x = 42;" in out.text
+
+    def test_macro_not_expanded_in_string(self):
+        out = pp('#define LIMIT 42\nchar *s = "LIMIT";')
+        assert '"LIMIT"' in out.text
+
+    def test_macro_word_boundary(self):
+        out = pp("#define A 1\nint ABC = 5;")
+        assert "ABC = 5" in out.text
+
+    def test_function_like_macro(self):
+        out = pp("#define SQ(x) ((x) * (x))\nint y = SQ(3);")
+        assert "((3) * (3))" in out.text
+
+    def test_function_like_macro_multi_args(self):
+        out = pp("#define ADD(a, b) ((a) + (b))\nint y = ADD(1, 2);")
+        assert "((1) + (2))" in out.text
+
+    def test_nested_macro_expansion(self):
+        out = pp("#define A B\n#define B 7\nint x = A;")
+        assert "int x = 7;" in out.text
+
+    def test_undef(self):
+        out = pp("#define A 1\n#undef A\nint x = A;")
+        assert "int x = A;" in out.text
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(PreprocessorError):
+            pp("#define ADD(a, b) (a + b)\nint x = ADD(1);")
+
+    def test_predefined_macros(self):
+        out = pp("int x = FOO;", predefined={"FOO": "9"})
+        assert "int x = 9;" in out.text
+
+
+class TestConditionals:
+    def test_ifdef_taken(self):
+        out = pp("#define A\n#ifdef A\nint x;\n#endif")
+        assert "int x;" in out.text
+
+    def test_ifdef_not_taken(self):
+        out = pp("#ifdef A\nint x;\n#endif\nint y;")
+        assert "int x;" not in out.text
+        assert "int y;" in out.text
+
+    def test_ifndef_include_guard(self):
+        out = pp("#ifndef G\n#define G\nint x;\n#endif")
+        assert "int x;" in out.text
+
+    def test_else_branch(self):
+        out = pp("#ifdef A\nint x;\n#else\nint y;\n#endif")
+        assert "int y;" in out.text
+        assert "int x;" not in out.text
+
+    def test_elif(self):
+        out = pp("#define B 1\n#if 0\nint x;\n#elif B\nint y;\n#endif")
+        assert "int y;" in out.text
+
+    def test_if_arithmetic(self):
+        out = pp("#if 2 + 2 == 4\nint x;\n#endif")
+        assert "int x;" in out.text
+
+    def test_if_defined_operator(self):
+        out = pp("#define A\n#if defined(A) && !defined(B)\nint x;\n#endif")
+        assert "int x;" in out.text
+
+    def test_nested_conditionals(self):
+        out = pp("#ifdef A\n#ifdef B\nint x;\n#endif\nint y;\n#endif\nint z;")
+        assert "int x;" not in out.text
+        assert "int y;" not in out.text
+        assert "int z;" in out.text
+
+    def test_unterminated_conditional_raises(self):
+        with pytest.raises(PreprocessorError):
+            pp("#ifdef A\nint x;")
+
+    def test_endif_without_if_raises(self):
+        with pytest.raises(PreprocessorError):
+            pp("#endif")
+
+    def test_error_directive(self):
+        with pytest.raises(PreprocessorError):
+            pp("#error nope")
+
+    def test_error_in_untaken_branch_ignored(self):
+        out = pp("#ifdef A\n#error nope\n#endif\nint x;")
+        assert "int x;" in out.text
+
+
+class TestIncludes:
+    def test_system_include_skipped(self):
+        out = pp("#include <stdio.h>\nint x;")
+        assert "int x;" in out.text
+
+    def test_local_include_inlined(self, tmp_path):
+        header = tmp_path / "defs.h"
+        header.write_text("#define N 4\n")
+        main = tmp_path / "main.c"
+        main.write_text('#include "defs.h"\nint a[N];\n')
+        out = Preprocessor().process_file(str(main))
+        assert "int a[4];" in out.text
+
+    def test_missing_include_raises(self, tmp_path):
+        main = tmp_path / "main.c"
+        main.write_text('#include "nope.h"\n')
+        with pytest.raises(PreprocessorError):
+            Preprocessor().process_file(str(main))
+
+    def test_include_guard_prevents_duplication(self, tmp_path):
+        header = tmp_path / "defs.h"
+        header.write_text("#ifndef H\n#define H\nint shared;\n#endif\n")
+        main = tmp_path / "main.c"
+        main.write_text('#include "defs.h"\n#include "defs.h"\n')
+        out = Preprocessor().process_file(str(main))
+        assert out.text.count("int shared;") == 1
+
+    def test_line_map_tracks_included_file(self, tmp_path):
+        header = tmp_path / "defs.h"
+        header.write_text("int from_header;\n")
+        main = tmp_path / "main.c"
+        main.write_text('#include "defs.h"\nint from_main;\n')
+        out = Preprocessor().process_file(str(main))
+        lines = out.text.splitlines()
+        header_idx = lines.index("int from_header;") + 1
+        main_idx = lines.index("int from_main;") + 1
+        assert out.origin(header_idx).filename.endswith("defs.h")
+        assert out.origin(main_idx).filename.endswith("main.c")
+
+
+class TestLineHandling:
+    def test_line_splicing(self):
+        out = pp("#define LONG 1 + \\\n2\nint x = LONG;")
+        assert "1 + 2" in out.text
+
+    def test_origin_mapping_simple(self):
+        out = pp("int a;\nint b;\nint c;")
+        assert out.origin(2).line == 2
+
+    def test_origin_after_directives(self):
+        out = pp("#define X 1\n\nint a;")
+        # 'int a;' is on source line 3
+        lines = out.text.splitlines()
+        idx = lines.index("int a;") + 1
+        assert out.origin(idx).line == 3

@@ -1,0 +1,149 @@
+"""Dominator/postdominator trees and control dependence."""
+
+import pytest
+
+from repro.ir import (
+    Cmp,
+    CondBranch,
+    Constant,
+    DominatorTree,
+    Function,
+    FunctionType,
+    Jump,
+    Ret,
+    control_dependence,
+)
+from repro.ir import types as T
+
+
+def diamond():
+    """entry -> (then|else) -> merge"""
+    func = Function("f", FunctionType(T.VOID, []))
+    entry = func.new_block("entry")
+    then = func.new_block("then")
+    other = func.new_block("else")
+    merge = func.new_block("merge")
+    cond = Cmp("<", Constant(T.INT, 0), Constant(T.INT, 1), T.INT)
+    entry.append(cond)
+    entry.append(CondBranch(cond, then, other))
+    then.append(Jump(merge))
+    other.append(Jump(merge))
+    merge.append(Ret())
+    return func, entry, then, other, merge
+
+
+def loop():
+    """entry -> header <-> body; header -> exit"""
+    func = Function("f", FunctionType(T.VOID, []))
+    entry = func.new_block("entry")
+    header = func.new_block("header")
+    body = func.new_block("body")
+    exit_ = func.new_block("exit")
+    entry.append(Jump(header))
+    cond = Cmp("<", Constant(T.INT, 0), Constant(T.INT, 10), T.INT)
+    header.append(cond)
+    header.append(CondBranch(cond, body, exit_))
+    body.append(Jump(header))
+    exit_.append(Ret())
+    return func, entry, header, body, exit_
+
+
+class TestDominators:
+    def test_entry_dominates_all(self):
+        func, entry, then, other, merge = diamond()
+        dt = DominatorTree(func)
+        for block in (then, other, merge):
+            assert dt.dominates(entry, block)
+
+    def test_branches_do_not_dominate_merge(self):
+        func, entry, then, other, merge = diamond()
+        dt = DominatorTree(func)
+        assert not dt.dominates(then, merge)
+        assert not dt.dominates(other, merge)
+        assert dt.idom[merge] is entry
+
+    def test_dominance_is_reflexive(self):
+        func, entry, *_ = diamond()
+        dt = DominatorTree(func)
+        assert dt.dominates(entry, entry)
+
+    def test_strict_dominance_excludes_self(self):
+        func, entry, *_ = diamond()
+        dt = DominatorTree(func)
+        assert not dt.strictly_dominates(entry, entry)
+
+    def test_loop_header_dominates_body(self):
+        func, entry, header, body, exit_ = loop()
+        dt = DominatorTree(func)
+        assert dt.dominates(header, body)
+        assert dt.dominates(header, exit_)
+        assert not dt.dominates(body, exit_)
+
+    def test_tree_children(self):
+        func, entry, then, other, merge = diamond()
+        dt = DominatorTree(func)
+        children = set(dt.tree_children(entry))
+        assert {then, other, merge} <= children
+
+
+class TestDominanceFrontier:
+    def test_diamond_frontier_is_merge(self):
+        func, entry, then, other, merge = diamond()
+        dt = DominatorTree(func)
+        df = dt.dominance_frontier()
+        assert df[then] == {merge}
+        assert df[other] == {merge}
+        assert df[merge] == set()
+
+    def test_loop_body_frontier_is_header(self):
+        func, entry, header, body, exit_ = loop()
+        dt = DominatorTree(func)
+        df = dt.dominance_frontier()
+        assert header in df[body]
+        assert header in df[header]  # header is in its own frontier
+
+
+class TestPostdominators:
+    def test_merge_postdominates_branches(self):
+        func, entry, then, other, merge = diamond()
+        pdt = DominatorTree(func, post=True)
+        assert pdt.dominates(merge, then)
+        assert pdt.dominates(merge, other)
+        assert pdt.dominates(merge, entry)
+
+    def test_branch_does_not_postdominate_entry(self):
+        func, entry, then, other, merge = diamond()
+        pdt = DominatorTree(func, post=True)
+        assert not pdt.dominates(then, entry)
+
+    def test_infinite_loop_does_not_crash(self):
+        func = Function("f", FunctionType(T.VOID, []))
+        b = func.new_block("spin")
+        b.append(Jump(b))
+        pdt = DominatorTree(func, post=True)
+        assert pdt is not None
+
+
+class TestControlDependence:
+    def test_diamond_arms_depend_on_entry(self):
+        func, entry, then, other, merge = diamond()
+        deps = control_dependence(func)
+        assert deps[then] == {entry}
+        assert deps[other] == {entry}
+
+    def test_merge_not_control_dependent(self):
+        func, entry, then, other, merge = diamond()
+        deps = control_dependence(func)
+        assert deps[merge] == set()
+
+    def test_loop_body_depends_on_header(self):
+        func, entry, header, body, exit_ = loop()
+        deps = control_dependence(func)
+        assert header in deps[body]
+        assert deps[exit_] == set()
+
+    def test_loop_header_depends_on_itself(self):
+        # whether another iteration runs is decided by the header branch
+        func, entry, header, body, exit_ = loop()
+        deps = control_dependence(func)
+        assert header in deps[header]

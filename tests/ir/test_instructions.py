@@ -1,0 +1,217 @@
+"""Unit tests for IR instruction construction and invariants."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    Alloca,
+    BasicBlock,
+    BinOp,
+    Call,
+    Cast,
+    Cmp,
+    CondBranch,
+    Constant,
+    FieldAddr,
+    Function,
+    FunctionType,
+    IndexAddr,
+    Jump,
+    Load,
+    Phi,
+    PointerType,
+    Ret,
+    Store,
+    UnaryOp,
+)
+from repro.ir import types as T
+from repro.ir.types import ArrayType, StructType
+
+
+def make_struct():
+    s = StructType("pt")
+    s.set_fields([("x", T.DOUBLE), ("y", T.DOUBLE), ("tag", T.INT)])
+    return s
+
+
+class TestAllocaLoadStore:
+    def test_alloca_result_is_pointer(self):
+        a = Alloca(T.INT, "i")
+        assert a.type == PointerType(T.INT)
+        assert a.allocated_type == T.INT
+
+    def test_load_yields_pointee_type(self):
+        a = Alloca(T.DOUBLE, "d")
+        load = Load(a)
+        assert load.type == T.DOUBLE
+        assert load.pointer is a
+
+    def test_load_from_non_pointer_rejected(self):
+        with pytest.raises(IRError):
+            Load(Constant(T.INT, 3))
+
+    def test_store_has_no_result(self):
+        a = Alloca(T.INT, "i")
+        st = Store(Constant(T.INT, 7), a)
+        assert st.type == T.VOID
+        assert st.value.value == 7
+        assert st.pointer is a
+
+    def test_store_to_non_pointer_rejected(self):
+        with pytest.raises(IRError):
+            Store(Constant(T.INT, 1), Constant(T.INT, 2))
+
+
+class TestArithmetic:
+    def test_binop_operands(self):
+        op = BinOp("+", Constant(T.INT, 1), Constant(T.INT, 2), T.INT)
+        assert op.lhs.value == 1 and op.rhs.value == 2
+
+    def test_unknown_binop_rejected(self):
+        with pytest.raises(IRError):
+            BinOp("**", Constant(T.INT, 1), Constant(T.INT, 2), T.INT)
+
+    def test_unaryop(self):
+        op = UnaryOp("-", Constant(T.INT, 5), T.INT)
+        assert op.op == "-"
+
+    def test_unknown_unaryop_rejected(self):
+        with pytest.raises(IRError):
+            UnaryOp("?", Constant(T.INT, 5), T.INT)
+
+    def test_cmp_ops(self):
+        cmp = Cmp("<=", Constant(T.INT, 1), Constant(T.INT, 2), T.INT)
+        assert cmp.op == "<="
+
+    def test_unknown_cmp_rejected(self):
+        with pytest.raises(IRError):
+            Cmp("<=>", Constant(T.INT, 1), Constant(T.INT, 2), T.INT)
+
+
+class TestCastKinds:
+    def test_pointer_to_pointer_is_bitcast(self):
+        v = Alloca(T.INT, "p")
+        cast = Cast(v, PointerType(T.DOUBLE))
+        assert cast.kind == "bitcast"
+
+    def test_pointer_to_int_is_ptrtoint(self):
+        v = Alloca(T.INT, "p")
+        assert Cast(v, T.INT).kind == "ptrtoint"
+
+    def test_int_to_pointer_is_inttoptr(self):
+        assert Cast(Constant(T.INT, 0), PointerType(T.INT)).kind == "inttoptr"
+
+    def test_numeric_conversion(self):
+        assert Cast(Constant(T.INT, 1), T.DOUBLE).kind == "numeric"
+
+
+class TestAddressing:
+    def test_fieldaddr_type_and_offset(self):
+        s = make_struct()
+        base = Alloca(s, "pt")
+        fa = FieldAddr(base, "y")
+        assert fa.type == PointerType(T.DOUBLE)
+        assert fa.field_offset == 8
+
+    def test_fieldaddr_requires_struct_pointer(self):
+        with pytest.raises(IRError):
+            FieldAddr(Alloca(T.INT, "i"), "x")
+
+    def test_indexaddr_on_array_decays(self):
+        arr = Alloca(ArrayType(T.INT, 8), "a")
+        ia = IndexAddr(arr, Constant(T.INT, 2))
+        assert ia.type == PointerType(T.INT)
+
+    def test_indexaddr_pointer_arith_keeps_type(self):
+        s = make_struct()
+        a = Alloca(PointerType(s), "p")
+        ptr = Load(a)
+        ia = IndexAddr(ptr, Constant(T.INT, 1))
+        assert ia.type == PointerType(s)
+
+    def test_indexaddr_requires_pointer(self):
+        with pytest.raises(IRError):
+            IndexAddr(Constant(T.INT, 1), Constant(T.INT, 0))
+
+
+class TestControlFlow:
+    def test_block_requires_single_terminator(self):
+        func = Function("f", FunctionType(T.VOID, []))
+        block = func.new_block()
+        block.append(Ret())
+        with pytest.raises(IRError):
+            block.append(Ret())
+
+    def test_jump_successors(self):
+        func = Function("f", FunctionType(T.VOID, []))
+        b1, b2 = func.new_block(), func.new_block()
+        b1.append(Jump(b2))
+        assert b1.successors() == [b2]
+        assert b2.predecessors() == [b1]
+
+    def test_condbranch_successors(self):
+        func = Function("f", FunctionType(T.VOID, []))
+        b1, b2, b3 = func.new_block(), func.new_block(), func.new_block()
+        cond = Cmp("<", Constant(T.INT, 0), Constant(T.INT, 1), T.INT)
+        b1.append(cond)
+        b1.append(CondBranch(cond, b2, b3))
+        assert b1.successors() == [b2, b3]
+
+    def test_condbranch_same_target_collapses(self):
+        func = Function("f", FunctionType(T.VOID, []))
+        b1, b2 = func.new_block(), func.new_block()
+        cond = Constant(T.INT, 1)
+        b1.append(CondBranch(cond, b2, b2))
+        assert b1.successors() == [b2]
+
+    def test_ret_block_has_no_successors(self):
+        func = Function("f", FunctionType(T.VOID, []))
+        b = func.new_block()
+        b.append(Ret())
+        assert b.successors() == []
+
+
+class TestPhi:
+    def test_incoming_tracked_per_block(self):
+        func = Function("f", FunctionType(T.INT, []))
+        b1, b2, b3 = func.new_block(), func.new_block(), func.new_block()
+        phi = Phi(T.INT, "x")
+        b3.insert_phi(phi)
+        phi.add_incoming(b1, Constant(T.INT, 1))
+        phi.add_incoming(b2, Constant(T.INT, 2))
+        assert len(phi.incoming) == 2
+        assert len(phi.operands) == 2
+
+    def test_replace_operand_updates_incoming(self):
+        func = Function("f", FunctionType(T.INT, []))
+        b1 = func.new_block()
+        phi = Phi(T.INT, "x")
+        old = Constant(T.INT, 1)
+        new = Constant(T.INT, 9)
+        phi.add_incoming(b1, old)
+        phi.replace_operand(old, new)
+        assert phi.incoming[b1] == new
+
+    def test_phis_iterate_only_leading(self):
+        func = Function("f", FunctionType(T.INT, []))
+        b = func.new_block()
+        phi = Phi(T.INT, "x")
+        b.insert_phi(phi)
+        b.append(Ret(Constant(T.INT, 0)))
+        assert list(b.phis()) == [phi]
+        assert len(list(b.non_phi_instructions())) == 1
+
+
+class TestCall:
+    def test_direct_call_name(self):
+        callee = Function("g", FunctionType(T.INT, [T.INT]))
+        call = Call(callee, [Constant(T.INT, 1)], T.INT)
+        assert call.callee_name == "g"
+
+    def test_external_call_by_string(self):
+        call = Call("printf", [Constant(PointerType(T.CHAR), "hi")], T.INT)
+        assert call.callee_name == "printf"
+
+    def test_render_mentions_target(self):
+        call = Call("kill", [Constant(T.INT, 3), Constant(T.INT, 9)], T.INT)
+        assert "kill" in call.render()

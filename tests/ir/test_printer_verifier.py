@@ -1,0 +1,140 @@
+"""IR printer output and verifier rejection of malformed IR."""
+
+import pytest
+
+from repro.ir import (
+    BinOp,
+    Cmp,
+    CondBranch,
+    Constant,
+    Function,
+    FunctionType,
+    Jump,
+    Phi,
+    Ret,
+    function_to_text,
+    module_to_text,
+    verify_function,
+)
+from repro.ir import types as T
+from repro.ir.verifier import VerificationError
+from tests.conftest import front
+
+
+class TestPrinter:
+    def test_declaration_rendering(self):
+        func = Function("ext", FunctionType(T.INT, [T.DOUBLE]))
+        assert "declare ext" in function_to_text(func)
+
+    def test_definition_contains_blocks_and_args(self):
+        program = front("int add(int a, int b) { return a + b; }")
+        text = function_to_text(program.module.get_function("add"))
+        assert "define add(%a: int, %b: int) -> int" in text
+        assert "entry0:" in text
+        assert "binop '+'" in text
+
+    def test_module_text_lists_globals(self):
+        program = front("double rate = 2.5;\nint f(void) { return 0; }")
+        text = module_to_text(program.module)
+        assert "@rate : double = 2.5" in text
+
+    def test_temp_names_are_stable_within_print(self):
+        program = front("int f(int a) { return a * a + a; }")
+        text = function_to_text(program.module.get_function("f"))
+        assert "%t0" in text and "%t1" in text
+
+    def test_phi_rendering_names_blocks(self):
+        program = front("""
+            int f(int a) {
+                int x;
+                if (a) x = 1; else x = 2;
+                return x;
+            }
+        """)
+        text = function_to_text(program.module.get_function("f"))
+        assert "phi" in text and "[if.then" in text
+
+
+def _empty_func():
+    return Function("f", FunctionType(T.VOID, []))
+
+
+class TestVerifier:
+    def test_unterminated_block_rejected(self):
+        func = _empty_func()
+        func.new_block("entry")  # no terminator
+        with pytest.raises(VerificationError, match="not terminated"):
+            verify_function(func)
+
+    def test_use_before_def_in_block_rejected(self):
+        func = Function("f", FunctionType(T.INT, []))
+        block = func.new_block("entry")
+        late = BinOp("+", Constant(T.INT, 1), Constant(T.INT, 2), T.INT)
+        use = BinOp("*", late, Constant(T.INT, 2), T.INT)
+        use.parent = block
+        block.instructions.append(use)
+        block.append(late)
+        block.append(Ret(use))
+        with pytest.raises(VerificationError, match="used before defined"):
+            verify_function(func)
+
+    def test_use_not_dominated_rejected(self):
+        func = Function("f", FunctionType(T.INT, []))
+        entry = func.new_block("entry")
+        left = func.new_block("left")
+        right = func.new_block("right")
+        merge = func.new_block("merge")
+        cond = Cmp("<", Constant(T.INT, 0), Constant(T.INT, 1), T.INT)
+        entry.append(cond)
+        entry.append(CondBranch(cond, left, right))
+        value = BinOp("+", Constant(T.INT, 1), Constant(T.INT, 1), T.INT)
+        left.append(value)
+        left.append(Jump(merge))
+        right.append(Jump(merge))
+        merge.append(Ret(value))  # only defined on the left path
+        with pytest.raises(VerificationError, match="does not dominate"):
+            verify_function(func)
+
+    def test_phi_with_non_predecessor_rejected(self):
+        func = Function("f", FunctionType(T.INT, []))
+        entry = func.new_block("entry")
+        other = func.new_block("other")
+        merge = func.new_block("merge")
+        entry.append(Jump(merge))
+        other.append(Jump(merge))  # other IS a pred; build a bogus one
+        bogus = func.new_block("bogus")
+        bogus.append(Ret(Constant(T.INT, 0)))
+        phi = Phi(T.INT, "x")
+        merge.insert_phi(phi)
+        phi.add_incoming(entry, Constant(T.INT, 1))
+        phi.add_incoming(bogus, Constant(T.INT, 2))  # not a predecessor
+        merge.append(Ret(phi))
+        with pytest.raises(VerificationError, match="non-predecessor"):
+            verify_function(func)
+
+    def test_phi_after_non_phi_rejected(self):
+        func = Function("f", FunctionType(T.INT, []))
+        entry = func.new_block("entry")
+        merge = func.new_block("merge")
+        entry.append(Jump(merge))
+        value = BinOp("+", Constant(T.INT, 1), Constant(T.INT, 1), T.INT)
+        merge.append(value)
+        phi = Phi(T.INT, "x")
+        phi.parent = merge
+        merge.instructions.append(phi)  # after the binop: malformed
+        phi.add_incoming(entry, Constant(T.INT, 0))
+        merge.append(Ret(value))
+        with pytest.raises(VerificationError, match="phi after non-phi"):
+            verify_function(func)
+
+    def test_well_formed_function_accepted(self):
+        program = front("int f(int a) { if (a) return 1; return 2; }")
+        verify_function(program.module.get_function("f"))
+
+    def test_whole_corpus_verifies(self):
+        from repro.corpus import load_all
+        from repro.frontend import load_files
+        from repro.ir import verify_module
+        for system in load_all():
+            prog = load_files([str(p) for p in system.core_files])
+            verify_module(prog.module)

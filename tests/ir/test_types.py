@@ -1,0 +1,166 @@
+"""Unit tests for the IR type model (ILP32 layout, nominal structs)."""
+
+import pytest
+
+from repro.ir import types as T
+from repro.ir.types import (
+    ArrayType,
+    FunctionType,
+    PointerType,
+    StructType,
+    pointer_compatible,
+)
+
+
+class TestPrimitiveSizes:
+    def test_char_is_one_byte(self):
+        assert T.CHAR.sizeof() == 1
+
+    def test_short_is_two_bytes(self):
+        assert T.SHORT.sizeof() == 2
+
+    def test_int_is_four_bytes(self):
+        assert T.INT.sizeof() == 4
+
+    def test_long_is_four_bytes_ilp32(self):
+        assert T.LONG.sizeof() == 4
+
+    def test_long_long_is_eight_bytes(self):
+        assert T.LONGLONG.sizeof() == 8
+
+    def test_float_is_four_bytes(self):
+        assert T.FLOAT.sizeof() == 4
+
+    def test_double_is_eight_bytes(self):
+        assert T.DOUBLE.sizeof() == 8
+
+    def test_void_has_no_size(self):
+        assert T.VOID.sizeof() == 0
+
+    def test_pointer_is_four_bytes(self):
+        assert PointerType(T.DOUBLE).sizeof() == 4
+
+
+class TestTypeEquality:
+    def test_same_int_types_equal(self):
+        assert T.INT == T.IntType("int", 4)
+
+    def test_signedness_distinguishes(self):
+        assert T.INT != T.UINT
+
+    def test_size_distinguishes(self):
+        assert T.SHORT != T.INT
+
+    def test_pointer_equality_structural(self):
+        assert PointerType(T.INT) == PointerType(T.INT)
+        assert PointerType(T.INT) != PointerType(T.DOUBLE)
+
+    def test_array_equality_includes_count(self):
+        assert ArrayType(T.INT, 4) == ArrayType(T.INT, 4)
+        assert ArrayType(T.INT, 4) != ArrayType(T.INT, 5)
+
+    def test_struct_equality_is_nominal(self):
+        a = StructType("point")
+        b = StructType("point")
+        c = StructType("vec")
+        assert a == b
+        assert a != c
+
+    def test_union_distinct_from_struct(self):
+        assert StructType("u", is_union=True) != StructType("u")
+
+    def test_types_usable_as_dict_keys(self):
+        d = {T.INT: 1, PointerType(T.INT): 2, ArrayType(T.INT, 3): 3}
+        assert d[T.IntType("int", 4)] == 1
+        assert d[PointerType(T.INT)] == 2
+
+    def test_function_type_equality(self):
+        f1 = FunctionType(T.VOID, [T.INT, T.DOUBLE])
+        f2 = FunctionType(T.VOID, [T.INT, T.DOUBLE])
+        f3 = FunctionType(T.VOID, [T.INT], varargs=True)
+        assert f1 == f2
+        assert f1 != f3
+
+
+class TestStructLayout:
+    def test_field_offsets_accumulate(self):
+        s = StructType("shmdata")
+        s.set_fields([("control", T.DOUBLE), ("feedback", T.DOUBLE),
+                      ("mode", T.INT)])
+        assert s.field("control").offset == 0
+        assert s.field("feedback").offset == 8
+        assert s.field("mode").offset == 16
+        assert s.sizeof() == 24  # padded to 8-byte alignment
+
+    def test_union_fields_share_offset_zero(self):
+        u = StructType("payload", is_union=True)
+        u.set_fields([("i", T.INT), ("d", T.DOUBLE)])
+        assert u.field("i").offset == 0
+        assert u.field("d").offset == 0
+        assert u.sizeof() == 8
+
+    def test_nested_struct_size(self):
+        inner = StructType("inner")
+        inner.set_fields([("a", T.INT), ("b", T.INT)])
+        outer = StructType("outer")
+        outer.set_fields([("x", inner), ("y", T.DOUBLE)])
+        assert outer.sizeof() == 16
+        assert outer.field("y").offset == 8
+
+    def test_array_field_size(self):
+        s = StructType("cfg")
+        s.set_fields([("mode", T.INT), ("reserved", ArrayType(T.INT, 5))])
+        assert s.sizeof() == 24  # 4-byte aligned throughout
+
+    def test_incomplete_struct_raises_on_field_access(self):
+        s = StructType("fwd")
+        assert not s.is_complete
+        with pytest.raises(KeyError):
+            s.field("anything")
+
+    def test_unknown_field_raises(self):
+        s = StructType("p")
+        s.set_fields([("x", T.INT)])
+        with pytest.raises(KeyError):
+            s.field("y")
+
+    def test_field_index(self):
+        s = StructType("p")
+        s.set_fields([("x", T.INT), ("y", T.INT)])
+        assert s.field_index("y") == 1
+
+    def test_incomplete_array_sizeof_zero(self):
+        assert ArrayType(T.INT, None).sizeof() == 0
+
+
+class TestPointerCompatibility:
+    def test_void_pointer_compatible_with_everything(self):
+        assert pointer_compatible(T.VOID_PTR, PointerType(T.DOUBLE))
+        assert pointer_compatible(PointerType(T.DOUBLE), T.VOID_PTR)
+
+    def test_char_pointer_compatible(self):
+        assert pointer_compatible(T.CHAR_PTR, PointerType(T.INT))
+
+    def test_same_pointee_compatible(self):
+        s = StructType("s")
+        assert pointer_compatible(PointerType(s), PointerType(StructType("s")))
+
+    def test_different_structs_incompatible(self):
+        a = PointerType(StructType("a"))
+        b = PointerType(StructType("b"))
+        assert not pointer_compatible(a, b)
+
+    def test_int_double_pointers_incompatible(self):
+        assert not pointer_compatible(PointerType(T.INT),
+                                      PointerType(T.DOUBLE))
+
+    def test_non_pointer_never_compatible(self):
+        assert not pointer_compatible(T.INT, PointerType(T.INT))
+
+    def test_scalar_predicate(self):
+        assert T.INT.is_scalar
+        assert PointerType(T.INT).is_scalar
+        assert not ArrayType(T.INT, 3).is_scalar
+        s = StructType("s")
+        assert not s.is_scalar
+        assert s.is_aggregate

@@ -1,0 +1,180 @@
+"""Affine expression extraction and induction-variable recognition."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ir import BinOp, Cmp, Phi
+from repro.restrictions.affine import (
+    affine_of,
+    induction_info,
+    loop_bounds_for,
+)
+from tests.conftest import front
+
+
+def lowered(source: str, fname: str):
+    program = front(source)
+    return program.module.get_function(fname)
+
+
+def only_phi(func) -> Phi:
+    phis = [i for i in func.instructions() if isinstance(i, Phi)]
+    assert len(phis) == 1, f"expected one phi, got {len(phis)}"
+    return phis[0]
+
+
+class TestAffineOf:
+    def _value_of_return(self, source):
+        func = lowered(source, "f")
+        rets = [i for i in func.instructions() if i.opname() == "ret"]
+        return rets[0].operands[0], func
+
+    def test_constant(self):
+        value, _ = self._value_of_return("int f(void) { return 42; }")
+        expr = affine_of(value)
+        assert expr.is_constant and expr.const == 42
+
+    def test_argument_is_leaf(self):
+        value, func = self._value_of_return("int f(int n) { return n; }")
+        expr = affine_of(value)
+        assert expr.coeffs[func.arguments[0]] == 1
+
+    def test_linear_combination(self):
+        value, func = self._value_of_return(
+            "int f(int n, int m) { return 2 * n + m - 3; }"
+        )
+        expr = affine_of(value)
+        coeffs = {v.name: c for v, c in expr.coeffs.items()}
+        assert coeffs == {"n": 2, "m": 1}
+        assert expr.const == -3
+
+    def test_negation(self):
+        value, func = self._value_of_return("int f(int n) { return -n + 1; }")
+        expr = affine_of(value)
+        assert list(expr.coeffs.values()) == [Fraction(-1)]
+
+    def test_product_of_variables_not_affine(self):
+        value, _ = self._value_of_return("int f(int n, int m) { return n * m; }")
+        assert affine_of(value) is None
+
+    def test_scaling_by_constant(self):
+        value, _ = self._value_of_return("int f(int n) { return n * 4; }")
+        expr = affine_of(value)
+        assert list(expr.coeffs.values()) == [Fraction(4)]
+
+    def test_opaque_call_is_leaf(self):
+        value, _ = self._value_of_return(
+            "int g(void); int f(void) { return g() + 1; }"
+        )
+        expr = affine_of(value)
+        assert len(expr.coeffs) == 1
+        assert expr.const == 1
+
+    def test_add_and_scale_api(self):
+        from repro.restrictions.affine import AffineExpr
+        a = AffineExpr.constant(3)
+        b = AffineExpr.variable("x")
+        combined = a.add(b.scale(Fraction(2)))
+        assert combined.const == 3
+        assert combined.coeffs["x"] == 2
+
+
+LOOP = """
+void sink(int v);
+void f(int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        sink(i);
+    }
+}
+"""
+
+
+class TestInduction:
+    def test_canonical_for_loop_recognized(self):
+        func = lowered(LOOP, "f")
+        phi = only_phi(func)
+        info = induction_info(phi)
+        assert info is not None
+        assert info.step == 1
+        assert info.init.is_constant and info.init.const == 0
+
+    def test_downward_loop(self):
+        func = lowered("""
+            void sink(int v);
+            void f(int n) {
+                int i;
+                for (i = n; i > 0; i--) { sink(i); }
+            }
+        """, "f")
+        info = induction_info(only_phi(func))
+        assert info is not None and info.step == -1
+
+    def test_stride_two(self):
+        func = lowered("""
+            void sink(int v);
+            void f(int n) {
+                int i;
+                for (i = 0; i < n; i = i + 2) { sink(i); }
+            }
+        """, "f")
+        info = induction_info(only_phi(func))
+        assert info.step == 2
+
+    def test_non_induction_phi_rejected(self):
+        func = lowered("""
+            int g(void);
+            int f(int c) {
+                int x;
+                if (c) x = g(); else x = g();
+                return x;
+            }
+        """, "f")
+        phis = [i for i in func.instructions() if isinstance(i, Phi)]
+        for phi in phis:
+            assert induction_info(phi) is None
+
+    def test_multiplicative_update_rejected(self):
+        func = lowered("""
+            void sink(int v);
+            void f(int n) {
+                int i;
+                for (i = 1; i < n; i = i * 2) { sink(i); }
+            }
+        """, "f")
+        assert induction_info(only_phi(func)) is None
+
+
+class TestLoopBounds:
+    def test_upper_bound_from_guard(self):
+        func = lowered(LOOP, "f")
+        phi = only_phi(func)
+        bounds = loop_bounds_for(func, phi)
+        assert len(bounds) == 1
+        assert bounds[0].op == "<"
+        # bound is the argument n
+        assert func.arguments[0] in bounds[0].bound.coeffs
+
+    def test_le_guard(self):
+        func = lowered("""
+            void sink(int v);
+            void f(void) {
+                int i;
+                for (i = 0; i <= 7; i++) { sink(i); }
+            }
+        """, "f")
+        bounds = loop_bounds_for(func, only_phi(func))
+        assert bounds[0].op == "<="
+        assert bounds[0].bound.const == 7
+
+    def test_flipped_comparison_normalized(self):
+        func = lowered("""
+            void sink(int v);
+            void f(int n) {
+                int i;
+                for (i = 0; n > i; i++) { sink(i); }
+            }
+        """, "f")
+        bounds = loop_bounds_for(func, only_phi(func))
+        assert bounds[0].op == "<"

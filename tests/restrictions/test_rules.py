@@ -1,0 +1,287 @@
+"""Language restriction rules P1–P3 and A1/A2 on real C inputs."""
+
+import pytest
+
+from repro.core.config import AnalysisConfig
+from repro.restrictions import check_arrays, check_p1, check_p2, check_p3
+from repro.shm import ShmAnalysis
+from tests.conftest import front
+
+
+HEADER = """
+typedef struct { double v; int flag; double arr[8]; } R;
+R *region;
+void initShm(void)
+/***SafeFlow Annotation shminit /***/
+{
+    region = (R *) shmat(shmget(7, sizeof(R), 0666), 0, 0);
+    /***SafeFlow Annotation
+        assume(shmvar(region, sizeof(R)));
+        assume(noncore(region)) /***/
+}
+"""
+
+
+def shm_of(body: str) -> ShmAnalysis:
+    return ShmAnalysis(front(HEADER + body), AnalysisConfig()).run()
+
+
+class TestP1:
+    def test_detach_outside_main_flagged(self):
+        shm = shm_of("""
+            void cleanup(void) { shmdt(region); }
+        """)
+        violations = check_p1(shm)
+        assert len(violations) == 1
+        assert violations[0].rule == "P1"
+
+    def test_detach_at_end_of_main_allowed(self):
+        shm = shm_of("""
+            int main(void) {
+                initShm();
+                shmdt(region);
+                return 0;
+            }
+        """)
+        assert check_p1(shm) == []
+
+    def test_detach_before_use_in_main_flagged(self):
+        shm = shm_of("""
+            int main(void) {
+                double v;
+                initShm();
+                shmdt(region);
+                v = region->v;
+                return (int) v;
+            }
+        """)
+        violations = check_p1(shm)
+        assert len(violations) == 1
+
+    def test_detach_before_call_that_uses_shm_flagged(self):
+        shm = shm_of("""
+            double peek(void) { return region->v; }
+            int main(void) {
+                initShm();
+                shmdt(region);
+                return (int) peek();
+            }
+        """)
+        assert len(check_p1(shm)) == 1
+
+    def test_detach_of_local_pointer_ignored(self):
+        shm = shm_of("""
+            int main(void) {
+                int x;
+                initShm();
+                shmdt(&x);
+                region->v = 1.0;
+                return 0;
+            }
+        """)
+        assert check_p1(shm) == []
+
+
+class TestP2:
+    def test_storing_shm_pointer_into_memory_flagged(self):
+        shm = shm_of("""
+            R *stash[2];
+            void keep(void) { stash[0] = region; }
+        """)
+        violations = check_p2(shm)
+        assert len(violations) == 1
+        assert violations[0].rule == "P2"
+
+    def test_address_of_region_global_flagged(self):
+        shm = shm_of("""
+            void escape(R **out) { *out = region; }
+            void top(void) {
+                R **pp;
+                escape(&region);
+            }
+        """)
+        violations = check_p2(shm)
+        assert any("address" in v.message for v in violations)
+
+    def test_register_copies_allowed(self):
+        shm = shm_of("""
+            double ok(void) {
+                R *p;
+                p = region;
+                return p->v;
+            }
+        """)
+        assert check_p2(shm) == []
+
+    def test_address_taken_local_holding_shm_pointer_flagged(self):
+        shm = shm_of("""
+            void mutate(R **slot);
+            double bad(void) {
+                R *p;
+                p = region;
+                mutate(&p);
+                return p->v;
+            }
+        """)
+        violations = check_p2(shm)
+        assert len(violations) >= 1
+
+    def test_init_function_exempt(self):
+        # initShm itself stores the shm pointer into the global
+        shm = shm_of("")
+        assert check_p2(shm) == []
+
+
+class TestP3:
+    def test_incompatible_cast_flagged(self):
+        shm = shm_of("""
+            typedef struct { int a; int b; } Other;
+            int reinterpret(void) {
+                Other *o;
+                o = (Other *) region;
+                return o->a;
+            }
+        """)
+        violations = check_p3(shm)
+        assert len(violations) == 1
+        assert violations[0].rule == "P3"
+
+    def test_pointer_to_int_cast_flagged(self):
+        shm = shm_of("""
+            int addr(void) { return (int) region; }
+        """)
+        violations = check_p3(shm)
+        assert any("integer" in v.message for v in violations)
+
+    def test_void_pointer_cast_allowed(self):
+        shm = shm_of("""
+            void take(void *p);
+            void pass(void) { take((void *) region); }
+        """)
+        assert check_p3(shm) == []
+
+    def test_char_pointer_cast_allowed(self):
+        shm = shm_of("""
+            char peek(void) { return *((char *) region); }
+        """)
+        assert check_p3(shm) == []
+
+    def test_init_function_exempt(self):
+        shm = shm_of("")  # initShm casts void* -> R*
+        assert check_p3(shm) == []
+
+
+class TestArrayRules:
+    def test_constant_index_in_bounds(self):
+        shm = shm_of("""
+            double ok(void) { return region->arr[7]; }
+        """)
+        assert check_arrays(shm) == []
+
+    def test_constant_index_out_of_bounds(self):
+        shm = shm_of("""
+            double bad(void) { return region->arr[8]; }
+        """)
+        violations = check_arrays(shm)
+        assert len(violations) == 1
+        assert violations[0].rule == "A1"
+
+    def test_negative_constant_index(self):
+        shm = shm_of("""
+            double bad(void) { return region->arr[-1]; }
+        """)
+        assert check_arrays(shm)[0].rule == "A1"
+
+    def test_affine_loop_in_bounds(self):
+        shm = shm_of("""
+            double sum(void) {
+                double total;
+                int i;
+                total = 0.0;
+                for (i = 0; i < 8; i++) { total = total + region->arr[i]; }
+                return total;
+            }
+        """)
+        assert check_arrays(shm) == []
+
+    def test_affine_loop_overruns(self):
+        shm = shm_of("""
+            double sum(void) {
+                double total;
+                int i;
+                total = 0.0;
+                for (i = 0; i <= 8; i++) { total = total + region->arr[i]; }
+                return total;
+            }
+        """)
+        violations = check_arrays(shm)
+        assert len(violations) == 1
+        assert violations[0].rule == "A2"
+
+    def test_offset_index_overruns(self):
+        shm = shm_of("""
+            double sum(void) {
+                double total;
+                int i;
+                total = 0.0;
+                for (i = 0; i < 8; i++) { total = total + region->arr[i + 1]; }
+                return total;
+            }
+        """)
+        assert len(check_arrays(shm)) == 1
+
+    def test_symbolic_index_rejected(self):
+        shm = shm_of("""
+            int pick(void);
+            double bad(void) { return region->arr[pick()]; }
+        """)
+        violations = check_arrays(shm)
+        assert len(violations) == 1
+        assert "cannot bound" in violations[0].message \
+            or "not" in violations[0].message
+
+    def test_nonaffine_index_rejected(self):
+        shm = shm_of("""
+            double bad(int n) {
+                double total;
+                int i;
+                total = 0.0;
+                for (i = 0; i < 2; i++) { total = total + region->arr[i * i]; }
+                return total;
+            }
+        """)
+        assert len(check_arrays(shm)) == 1
+
+    def test_local_array_not_checked(self):
+        shm = shm_of("""
+            double ok(void) {
+                double local[4];
+                local[3] = 1.0;
+                return local[3];
+            }
+        """)
+        assert check_arrays(shm) == []
+
+    def test_stride_two_loop(self):
+        shm = shm_of("""
+            double sum(void) {
+                double total;
+                int i;
+                total = 0.0;
+                for (i = 0; i < 8; i = i + 2) { total = total + region->arr[i]; }
+                return total;
+            }
+        """)
+        assert check_arrays(shm) == []
+
+    def test_whole_region_as_array(self):
+        # region itself indexed: only element 0 exists
+        shm = shm_of("""
+            double bad(void) {
+                R *p;
+                p = region;
+                return p[1].v;
+            }
+        """)
+        violations = check_arrays(shm)
+        assert len(violations) == 1

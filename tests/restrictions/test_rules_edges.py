@@ -1,0 +1,162 @@
+"""Additional restriction-rule coverage: 2D shm arrays, shmctl, mixed."""
+
+import pytest
+
+from repro.core.config import AnalysisConfig
+from repro.restrictions import check_arrays, check_p1
+from repro.shm import ShmAnalysis
+from tests.conftest import front
+
+
+HEADER = """
+typedef struct { double m[2][4]; double tail[3]; int n; } Grid;
+Grid *grid;
+void initShm(void)
+/***SafeFlow Annotation shminit /***/
+{
+    grid = (Grid *) shmat(shmget(9, sizeof(Grid), 0666), 0, 0);
+    /***SafeFlow Annotation
+        assume(shmvar(grid, sizeof(Grid)));
+        assume(noncore(grid)) /***/
+}
+"""
+
+
+def shm_of(body: str) -> ShmAnalysis:
+    return ShmAnalysis(front(HEADER + body), AnalysisConfig()).run()
+
+
+class TestTwoDimensionalArrays:
+    def test_nested_loops_in_bounds(self):
+        shm = shm_of("""
+            double sum(void) {
+                double total;
+                int i;
+                int j;
+                total = 0.0;
+                for (i = 0; i < 2; i++) {
+                    for (j = 0; j < 4; j++) {
+                        total = total + grid->m[i][j];
+                    }
+                }
+                return total;
+            }
+        """)
+        assert check_arrays(shm) == []
+
+    def test_outer_loop_overruns(self):
+        shm = shm_of("""
+            double sum(void) {
+                double total;
+                int i;
+                total = 0.0;
+                for (i = 0; i <= 2; i++) {
+                    total = total + grid->m[i][0];
+                }
+                return total;
+            }
+        """)
+        violations = check_arrays(shm)
+        assert len(violations) == 1
+        assert violations[0].rule == "A2"
+
+    def test_inner_loop_overruns(self):
+        shm = shm_of("""
+            double sum(void) {
+                double total;
+                int j;
+                total = 0.0;
+                for (j = 0; j < 5; j++) {
+                    total = total + grid->m[1][j];
+                }
+                return total;
+            }
+        """)
+        assert len(check_arrays(shm)) == 1
+
+    def test_constant_2d_access(self):
+        shm = shm_of("""
+            double peek(void) { return grid->m[1][3]; }
+        """)
+        assert check_arrays(shm) == []
+
+    def test_constant_2d_out_of_bounds(self):
+        shm = shm_of("""
+            double peek(void) { return grid->m[1][4]; }
+        """)
+        assert check_arrays(shm)[0].rule == "A1"
+
+    def test_second_member_array_checked_independently(self):
+        shm = shm_of("""
+            double peek(void) { return grid->tail[2]; }
+            double bad(void) { return grid->tail[3]; }
+        """)
+        violations = check_arrays(shm)
+        assert len(violations) == 1
+
+
+class TestP1Shmctl:
+    def test_shmctl_outside_main_flagged(self):
+        shm = shm_of("""
+            void destroy(int shmid) { shmctl(shmid, 0, 0); }
+        """)
+        violations = check_p1(shm)
+        assert len(violations) == 1
+        assert "shmctl" in violations[0].message
+
+    def test_shmctl_at_end_of_main_allowed(self):
+        shm = shm_of("""
+            int main(void) {
+                initShm();
+                grid->n = 1;
+                shmctl(3, 0, 0);
+                return 0;
+            }
+        """)
+        assert check_p1(shm) == []
+
+
+class TestMonitoredCopies:
+    def test_memcpy_inside_monitor_is_safe(self):
+        from tests.conftest import analyze
+        report = analyze(HEADER + """
+            void emit(double v);
+            void monGrab(Grid *g, double *out)
+            /***SafeFlow Annotation assume(core(g, 0, sizeof(Grid))) /***/
+            {
+                memcpy(out, g->tail, 3 * sizeof(double));
+                if (out[0] > 100.0) { out[0] = 0.0; }
+                if (out[1] > 100.0) { out[1] = 0.0; }
+                if (out[2] > 100.0) { out[2] = 0.0; }
+            }
+            int main(void) {
+                double local[3];
+                double x;
+                initShm();
+                monGrab(grid, local);
+                x = local[0];
+                /***SafeFlow Annotation assert(safe(x)); /***/
+                emit(x);
+                return 0;
+            }
+        """)
+        assert report.warnings == []
+        assert report.errors == []
+
+    def test_memcpy_outside_monitor_still_flagged(self):
+        from tests.conftest import analyze
+        report = analyze(HEADER + """
+            void emit(double v);
+            int main(void) {
+                double local[3];
+                double x;
+                initShm();
+                memcpy(local, grid->tail, 3 * sizeof(double));
+                x = local[0];
+                /***SafeFlow Annotation assert(safe(x)); /***/
+                emit(x);
+                return 0;
+            }
+        """)
+        assert len(report.warnings) == 1
+        assert len(report.errors) == 1

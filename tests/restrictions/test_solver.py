@@ -1,0 +1,136 @@
+"""Fourier–Motzkin feasibility ("omega-lite")."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SolverError
+from repro.restrictions.solver import (
+    Constraint,
+    can_violate_bounds,
+    is_feasible,
+)
+
+
+def ge(coeffs, const):
+    return Constraint.ge_zero(
+        {k: Fraction(v) for k, v in coeffs.items()}, Fraction(const)
+    )
+
+
+class TestFeasibility:
+    def test_empty_system_feasible(self):
+        assert is_feasible([])
+
+    def test_single_bound_feasible(self):
+        assert is_feasible([ge({"x": 1}, 0)])  # x >= 0
+
+    def test_contradictory_constants(self):
+        assert not is_feasible([ge({}, -1)])  # -1 >= 0
+
+    def test_box_feasible(self):
+        # 0 <= x <= 10
+        assert is_feasible([ge({"x": 1}, 0), ge({"x": -1}, 10)])
+
+    def test_empty_interval_infeasible(self):
+        # x >= 5 and x <= 3
+        assert not is_feasible([ge({"x": 1}, -5), ge({"x": -1}, 3)])
+
+    def test_two_variable_chain(self):
+        # x >= 0, y >= x + 2, y <= 1  → infeasible
+        system = [
+            ge({"x": 1}, 0),
+            ge({"y": 1, "x": -1}, -2),
+            ge({"y": -1}, 1),
+        ]
+        assert not is_feasible(system)
+
+    def test_two_variable_feasible(self):
+        # x >= 0, y >= x, y <= 100
+        system = [
+            ge({"x": 1}, 0),
+            ge({"y": 1, "x": -1}, 0),
+            ge({"y": -1}, 100),
+        ]
+        assert is_feasible(system)
+
+    def test_rational_coefficients(self):
+        # 2x >= 1, 3x <= 2  →  1/2 <= x <= 2/3 feasible
+        assert is_feasible([ge({"x": 2}, -1), ge({"x": -3}, 2)])
+
+    def test_degenerate_equality(self):
+        # x >= 4 and x <= 4
+        assert is_feasible([ge({"x": 1}, -4), ge({"x": -1}, 4)])
+
+    def test_too_many_variables_raises(self):
+        system = [ge({f"v{i}": 1}, 0) for i in range(20)]
+        with pytest.raises(SolverError):
+            is_feasible(system, max_vars=16)
+
+    @given(st.integers(-50, 50), st.integers(-50, 50))
+    def test_interval_feasibility_matches_arithmetic(self, lo, hi):
+        system = [ge({"x": 1}, -lo), ge({"x": -1}, hi)]  # lo <= x <= hi
+        assert is_feasible(system) == (lo <= hi)
+
+    @given(st.integers(0, 30), st.integers(1, 30))
+    def test_scaled_interval(self, k, scale):
+        # scale*x >= 0, scale*x <= k → feasible always
+        assert is_feasible([ge({"x": scale}, 0), ge({"x": -scale}, k)])
+
+
+class TestBoundsViolation:
+    def _loop_context(self, lower, upper):
+        # lower <= i <= upper
+        return [ge({"i": 1}, -lower), ge({"i": -1}, upper)]
+
+    def test_in_bounds_loop_safe(self):
+        # i in [0, 7], access arr[i] with bound 8
+        assert not can_violate_bounds({"i": Fraction(1)}, 0, 8,
+                                      self._loop_context(0, 7))
+
+    def test_loop_one_too_far(self):
+        # i in [0, 8] with bound 8: i == 8 violates
+        assert can_violate_bounds({"i": Fraction(1)}, 0, 8,
+                                  self._loop_context(0, 8))
+
+    def test_negative_start_violates(self):
+        assert can_violate_bounds({"i": Fraction(1)}, 0, 8,
+                                  self._loop_context(-1, 7))
+
+    def test_offset_shifts_range(self):
+        # i in [0, 5], index = i + 3, bound 8 → max 8 → violation
+        assert can_violate_bounds({"i": Fraction(1)}, 3, 8,
+                                  self._loop_context(0, 5))
+
+    def test_offset_in_bounds(self):
+        # i in [0, 4], index = i + 3, bound 8 → [3, 7] ok
+        assert not can_violate_bounds({"i": Fraction(1)}, 3, 8,
+                                      self._loop_context(0, 4))
+
+    def test_scaled_index(self):
+        # i in [0, 3], index = 2*i, bound 8 → [0, 6] ok
+        assert not can_violate_bounds({"i": Fraction(2)}, 0, 8,
+                                      self._loop_context(0, 3))
+        # i in [0, 4], index = 2*i, bound 8 → 8 violates
+        assert can_violate_bounds({"i": Fraction(2)}, 0, 8,
+                                  self._loop_context(0, 4))
+
+    def test_unconstrained_variable_violates(self):
+        assert can_violate_bounds({"i": Fraction(1)}, 0, 8, [])
+
+    def test_constant_index(self):
+        assert not can_violate_bounds({}, 5, 8, [])
+        assert can_violate_bounds({}, 8, 8, [])
+        assert can_violate_bounds({}, -1, 8, [])
+
+    @given(st.integers(0, 20), st.integers(0, 20), st.integers(1, 25))
+    def test_matches_exhaustive_check(self, lo, hi, bound):
+        """The rational relaxation must never miss a real violation."""
+        context = self._loop_context(lo, hi)
+        result = can_violate_bounds({"i": Fraction(1)}, 0, bound, context)
+        if lo > hi:
+            return  # empty loop: nothing to compare against
+        real_violation = any(i < 0 or i >= bound for i in range(lo, hi + 1))
+        if real_violation:
+            assert result  # soundness: must be flagged

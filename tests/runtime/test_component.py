@@ -1,0 +1,106 @@
+"""Scheduler and run-time value-flow tracking."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime import (
+    FunctionComponent,
+    RuntimeFlowTracker,
+    Scheduler,
+    UnsafeFlowError,
+)
+
+
+class TestScheduler:
+    def test_dispatch_counts_follow_periods(self):
+        sched = Scheduler()
+        calls = {"fast": 0, "slow": 0}
+        sched.add(FunctionComponent("fast", 0.01,
+                                    lambda t: calls.__setitem__(
+                                        "fast", calls["fast"] + 1)))
+        sched.add(FunctionComponent("slow", 0.05,
+                                    lambda t: calls.__setitem__(
+                                        "slow", calls["slow"] + 1)))
+        sched.run(1.0)
+        assert calls["fast"] == 100
+        assert calls["slow"] == 20
+
+    def test_registration_order_breaks_ties(self):
+        order = []
+        sched = Scheduler()
+        sched.add(FunctionComponent("core", 0.01,
+                                    lambda t: order.append("core")))
+        sched.add(FunctionComponent("noncore", 0.01,
+                                    lambda t: order.append("noncore")))
+        sched.run(0.03)
+        assert order[:2] == ["core", "noncore"]
+
+    def test_time_advances(self):
+        sched = Scheduler()
+        sched.add(FunctionComponent("c", 0.01, lambda t: None))
+        sched.run(0.5)
+        assert sched.time == pytest.approx(0.5)
+
+    def test_empty_scheduler_rejected(self):
+        with pytest.raises(SimulationError):
+            Scheduler().run(1.0)
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(SimulationError):
+            FunctionComponent("c", 0.0, lambda t: None)
+
+    def test_dispatch_bookkeeping(self):
+        sched = Scheduler()
+        # binary-exact period so releases land exactly on the horizon
+        sched.add(FunctionComponent("c", 0.125, lambda t: None))
+        sched.run(1.0)
+        assert sched.dispatches["c"] == 8
+
+
+class TestRuntimeFlowTracker:
+    def test_noncore_read_tainted(self):
+        tracker = RuntimeFlowTracker()
+        value = tracker.read_noncore("cmd", 2.5)
+        assert not value.is_safe
+        assert value.sources == frozenset({"cmd"})
+
+    def test_core_read_safe(self):
+        tracker = RuntimeFlowTracker()
+        assert tracker.read_core(1.0).is_safe
+
+    def test_combine_propagates(self):
+        tracker = RuntimeFlowTracker()
+        a = tracker.read_noncore("cmd", 2.0)
+        b = tracker.read_core(3.0)
+        total = tracker.combine(lambda x, y: x + y, a, b)
+        assert total.value == 5.0
+        assert total.sources == frozenset({"cmd"})
+
+    def test_monitorized_clears_taint(self):
+        tracker = RuntimeFlowTracker()
+        value = tracker.monitorized(tracker.read_noncore("cmd", 2.0))
+        assert value.is_safe
+
+    def test_assert_safe_records_violation(self):
+        tracker = RuntimeFlowTracker()
+        tracker.assert_safe(tracker.read_noncore("cmd", 2.0))
+        assert len(tracker.violations) == 1
+
+    def test_assert_safe_can_raise(self):
+        tracker = RuntimeFlowTracker()
+        with pytest.raises(UnsafeFlowError):
+            tracker.assert_safe(tracker.read_noncore("cmd", 2.0),
+                                raise_on_violation=True)
+
+    def test_disabled_tracker_has_no_taint(self):
+        tracker = RuntimeFlowTracker(enabled=False)
+        value = tracker.read_noncore("cmd", 2.0)
+        assert value.is_safe
+        tracker.assert_safe(value)
+        assert tracker.violations == []
+
+    def test_reads_counted_for_overhead_measurement(self):
+        tracker = RuntimeFlowTracker()
+        for _ in range(5):
+            tracker.read_noncore("cmd", 1.0)
+        assert tracker.reads == 5

@@ -1,0 +1,113 @@
+"""Run-time monitors: range, freshness, envelope, composition."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    CompositeMonitor,
+    EnvelopeMonitor,
+    FreshnessMonitor,
+    RangeMonitor,
+)
+from repro.simplex import InvertedPendulum, LQRController, StabilityEnvelope
+
+
+class TestRangeMonitor:
+    def test_admits_in_range(self):
+        assert RangeMonitor(-5, 5).check(3.0, {})
+
+    def test_rejects_out_of_range(self):
+        result = RangeMonitor(-5, 5).check(5.1, {})
+        assert not result
+        assert "outside" in result.reason
+
+    def test_rejects_nan(self):
+        assert not RangeMonitor(-5, 5).check(float("nan"), {})
+
+    def test_rejects_inf(self):
+        assert not RangeMonitor(-5, 5).check(float("inf"), {})
+
+    def test_boundary_admitted(self):
+        assert RangeMonitor(-5, 5).check(-5.0, {})
+
+
+class TestFreshnessMonitor:
+    def test_first_value_admitted(self):
+        mon = FreshnessMonitor()
+        assert mon.check(1.0, {"seq": 1, "valid": True})
+
+    def test_repeated_seq_rejected(self):
+        mon = FreshnessMonitor()
+        mon.check(1.0, {"seq": 1, "valid": True})
+        result = mon.check(1.0, {"seq": 1, "valid": True})
+        assert not result
+        assert "stale" in result.reason
+
+    def test_advancing_seq_admitted(self):
+        mon = FreshnessMonitor()
+        mon.check(1.0, {"seq": 1, "valid": True})
+        assert mon.check(2.0, {"seq": 2, "valid": True})
+
+    def test_invalid_flag_rejected(self):
+        assert not FreshnessMonitor().check(1.0, {"seq": 1, "valid": False})
+
+    def test_missing_seq_rejected(self):
+        assert not FreshnessMonitor().check(1.0, {"valid": True})
+
+    def test_reset_forgets_history(self):
+        mon = FreshnessMonitor()
+        mon.check(1.0, {"seq": 5, "valid": True})
+        mon.reset()
+        assert mon.check(1.0, {"seq": 5, "valid": True})
+
+
+class TestEnvelopeMonitor:
+    @pytest.fixture
+    def monitor(self):
+        plant = InvertedPendulum()
+        controller = LQRController(plant)
+        envelope = StabilityEnvelope.from_closed_loop(
+            controller.closed_loop_a,
+            state_limits=[plant.track_limit, None, plant.angle_limit, None],
+        )
+        return EnvelopeMonitor(envelope, plant, dt=0.01)
+
+    def test_small_input_at_origin_admitted(self, monitor):
+        assert monitor.check(0.1, {"state": np.zeros(4)})
+
+    def test_missing_state_rejected(self, monitor):
+        assert not monitor.check(0.1, {})
+
+    def test_destabilizing_input_near_boundary_rejected(self, monitor):
+        envelope = monitor.envelope
+        p_inv = np.linalg.inv(envelope.p)
+        angle = 0.99 * np.sqrt(envelope.level * p_inv[2, 2])
+        state = np.array([0.0, 0.0, angle, 1.0])
+        result = monitor.check(-5.0, {"state": state})
+        if envelope.contains(state):
+            assert not result
+
+
+class TestCompositeMonitor:
+    def test_all_must_admit(self):
+        composite = CompositeMonitor([
+            RangeMonitor(-5, 5),
+            FreshnessMonitor(),
+        ])
+        assert composite.check(1.0, {"seq": 1, "valid": True})
+
+    def test_first_rejection_reported(self):
+        composite = CompositeMonitor([
+            RangeMonitor(-1, 1),
+            FreshnessMonitor(),
+        ])
+        result = composite.check(3.0, {"seq": 1, "valid": True})
+        assert not result
+        assert result.reason.startswith("range:")
+
+    def test_reset_propagates(self):
+        fresh = FreshnessMonitor()
+        composite = CompositeMonitor([fresh])
+        composite.check(1.0, {"seq": 1, "valid": True})
+        composite.reset()
+        assert fresh._last_seq is None

@@ -1,0 +1,94 @@
+"""Simulated shared memory: layout checking and the write audit trail."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime import RegionSpec, SharedSegment, init_check
+
+
+class TestInitCheck:
+    def test_clean_layout_passes(self):
+        init_check(64, [RegionSpec("a", 0, 32), RegionSpec("b", 32, 32)])
+
+    def test_overlap_rejected(self):
+        with pytest.raises(SimulationError, match="overlap"):
+            init_check(64, [RegionSpec("a", 0, 40), RegionSpec("b", 32, 16)])
+
+    def test_region_past_segment_rejected(self):
+        with pytest.raises(SimulationError, match="exceeds"):
+            init_check(32, [RegionSpec("a", 0, 48)])
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(SimulationError):
+            init_check(64, [RegionSpec("a", -4, 8)])
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(SimulationError):
+            init_check(64, [RegionSpec("a", 0, 0)])
+
+    def test_adjacent_regions_fine(self):
+        init_check(48, [RegionSpec("a", 0, 24), RegionSpec("b", 24, 24)])
+
+
+class TestSegment:
+    def _segment(self):
+        shm = SharedSegment(64)
+        shm.declare("feedback", 0, 32, noncore=True,
+                    initial={"angle": 0.0})
+        shm.declare("cmd", 32, 16, noncore=True)
+        shm.run_init_check()
+        return shm
+
+    def test_read_default(self):
+        shm = self._segment()
+        assert shm.read("cmd", "voltage", default=0.0) == 0.0
+
+    def test_write_then_read(self):
+        shm = self._segment()
+        shm.write("core", "feedback", 0.1, angle=0.5)
+        assert shm.read("feedback", "angle") == 0.5
+
+    def test_unknown_region_rejected(self):
+        shm = self._segment()
+        with pytest.raises(SimulationError):
+            shm.read("nope", "x")
+
+    def test_duplicate_declare_rejected(self):
+        shm = SharedSegment(64)
+        shm.declare("a", 0, 8)
+        with pytest.raises(SimulationError):
+            shm.declare("a", 8, 8)
+
+    def test_declare_after_check_rejected(self):
+        shm = self._segment()
+        with pytest.raises(SimulationError):
+            shm.declare("late", 48, 8)
+
+    def test_bad_layout_fails_at_check(self):
+        shm = SharedSegment(16)
+        shm.declare("a", 0, 12)
+        shm.declare("b", 8, 8)
+        with pytest.raises(SimulationError):
+            shm.run_init_check()
+
+    def test_write_log_records_author(self):
+        shm = self._segment()
+        shm.write("core", "feedback", 0.0, angle=1.0)
+        shm.write("attacker", "feedback", 0.5, angle=0.0)
+        assert shm.writers_of("feedback") == ["attacker", "core"]
+
+    def test_noncore_writes_audit(self):
+        """The audit catches the Generic Simplex rigging: a region the
+        core believes it alone writes was also written by someone else."""
+        shm = self._segment()
+        shm.write("core", "feedback", 0.0, angle=1.0)
+        shm.write("complex", "feedback", 0.5, angle=0.0)
+        intruders = shm.noncore_writes_to("feedback", core_writers=("core",))
+        assert len(intruders) == 1
+        assert intruders[0].writer == "complex"
+
+    def test_read_region_returns_copy(self):
+        shm = self._segment()
+        snapshot = shm.read_region("feedback")
+        snapshot["angle"] = 99.0
+        assert shm.read("feedback", "angle") == 0.0

@@ -1,0 +1,128 @@
+"""Static InitCheck: symbolic interpretation of shminit functions."""
+
+import pytest
+
+from repro.shm import InitInterpreter, SymbolicPointer, check_init_layout
+from repro.shm.model import SharedRegion
+from tests.conftest import front
+
+
+INIT_TEMPLATE = """
+typedef struct {{ double a; double b; int c; }} R;   /* 24 bytes (padded) */
+R *first;
+R *second;
+void initShm(void)
+{{
+    void *base;
+    int shmid;
+    shmid = shmget(7, {total}, 0666);
+    base = shmat(shmid, 0, 0);
+    first = (R *) base;
+    second = first + {offset_elems};
+}}
+"""
+
+
+def interpret(total="2 * sizeof(R)", offset_elems=1):
+    program = front(INIT_TEMPLATE.format(total=total,
+                                         offset_elems=offset_elems))
+    func = program.module.get_function("initShm")
+    interp = InitInterpreter(func)
+    interp.run()
+    return interp
+
+
+class TestInterpreter:
+    def test_first_region_at_offset_zero(self):
+        interp = interpret()
+        ptr = interp.globals["first"]
+        assert isinstance(ptr, SymbolicPointer)
+        assert ptr.offset == 0
+
+    def test_pointer_arithmetic_offsets(self):
+        interp = interpret(offset_elems=1)
+        assert interp.globals["second"].offset == 24
+
+    def test_larger_stride(self):
+        interp = interpret(offset_elems=3)
+        assert interp.globals["second"].offset == 72
+
+    def test_same_segment(self):
+        interp = interpret()
+        assert (interp.globals["first"].segment
+                == interp.globals["second"].segment)
+
+    def test_segment_size_from_shmget(self):
+        interp = interpret()
+        seg = interp.globals["first"].segment
+        assert interp.segment_sizes[seg] == 48
+
+    def test_char_cursor_arithmetic(self):
+        program = front("""
+            typedef struct { double a; double b; } R;  /* 16 bytes */
+            R *x;
+            R *y;
+            void initShm(void)
+            {
+                char *cursor;
+                cursor = (char *) shmat(shmget(7, 32, 0666), 0, 0);
+                x = (R *) cursor;
+                cursor = cursor + sizeof(R);
+                y = (R *) cursor;
+            }
+        """)
+        interp = InitInterpreter(program.module.get_function("initShm"))
+        interp.run()
+        assert interp.globals["x"].offset == 0
+        assert interp.globals["y"].offset == 16
+
+
+class TestLayoutCheck:
+    def _check(self, offset_elems, sizes, total="2 * sizeof(R)"):
+        program = front(INIT_TEMPLATE.format(total=total,
+                                             offset_elems=offset_elems))
+        func = program.module.get_function("initShm")
+        regions = [
+            SharedRegion("first", sizes[0], init_function="initShm"),
+            SharedRegion("second", sizes[1], init_function="initShm"),
+        ]
+        issues, placements = check_init_layout(func, regions)
+        return issues, placements
+
+    def test_clean_layout(self):
+        issues, placements = self._check(1, (24, 24))
+        assert issues == []
+        assert placements["second"].offset == 24
+
+    def test_overlap_detected(self):
+        # first declared too large: [0, 30) overlaps second [24, 48)
+        issues, _ = self._check(1, (30, 24), total="72")
+        assert any("overlap" in issue.message for issue in issues)
+
+    def test_region_exceeding_segment_detected(self):
+        issues, _ = self._check(1, (24, 48))
+        assert any("exceeds" in issue.message for issue in issues)
+
+    def test_zero_offset_overlap(self):
+        issues, _ = self._check(0, (24, 24), total="48")
+        assert any("overlap" in issue.message for issue in issues)
+
+    def test_unresolvable_placement_degrades_gracefully(self):
+        program = front("""
+            typedef struct { int v; } R;
+            R *p;
+            int pick(void);
+            void initShm(void)
+            {
+                char *cursor;
+                cursor = (char *) shmat(shmget(7, 64, 0666), 0, 0);
+                cursor = cursor + pick();   /* unknown offset */
+                p = (R *) cursor;
+            }
+        """)
+        func = program.module.get_function("initShm")
+        issues, placements = check_init_layout(
+            func, [SharedRegion("p", 4, init_function="initShm")]
+        )
+        assert issues == []
+        assert placements["p"] is None

@@ -1,0 +1,229 @@
+"""Phase 1: shared-memory region declaration and pointer propagation."""
+
+import pytest
+
+from repro.core.config import AnalysisConfig
+from repro.errors import AnnotationError
+from repro.ir import Load
+from repro.shm import ShmAnalysis
+from tests.conftest import front
+
+
+BASE = """
+typedef struct { double v; int flag; } R;
+R *alpha;
+R *beta;
+void initShm(void)
+/***SafeFlow Annotation shminit /***/
+{
+    char *cursor;
+    cursor = (char *) shmat(shmget(7, 2 * sizeof(R), 0666), 0, 0);
+    alpha = (R *) cursor;
+    beta = (R *) (cursor + sizeof(R));
+    /***SafeFlow Annotation
+        assume(shmvar(alpha, sizeof(R)));
+        assume(shmvar(beta, sizeof(R)));
+        assume(noncore(beta)) /***/
+}
+"""
+
+
+def shm_of(source: str) -> ShmAnalysis:
+    program = front(source)
+    return ShmAnalysis(program, AnalysisConfig()).run()
+
+
+class TestRegionDeclaration:
+    def test_regions_created(self):
+        shm = shm_of(BASE)
+        assert set(shm.regions) == {"alpha", "beta"}
+
+    def test_sizes_evaluated(self):
+        shm = shm_of(BASE)
+        assert shm.regions["alpha"].size == 16
+
+    def test_noncore_flag(self):
+        shm = shm_of(BASE)
+        assert shm.regions["beta"].noncore
+        assert shm.regions["alpha"].core
+
+    def test_element_type_resolved(self):
+        shm = shm_of(BASE)
+        assert shm.regions["alpha"].element_type.sizeof() == 16
+        assert shm.regions["alpha"].element_count == 1
+
+    def test_init_function_recorded(self):
+        shm = shm_of(BASE)
+        assert shm.init_functions == {"initShm"}
+        assert shm.regions["beta"].init_function == "initShm"
+
+    def test_shmvar_outside_shminit_rejected(self):
+        with pytest.raises(AnnotationError):
+            shm_of("""
+                typedef struct { int v; } R;
+                R *p;
+                void notinit(void)
+                /***SafeFlow Annotation assume(shmvar(p, sizeof(R))) /***/
+                { }
+            """)
+
+    def test_noncore_without_shmvar_rejected(self):
+        with pytest.raises(AnnotationError):
+            shm_of("""
+                typedef struct { int v; } R;
+                R *p;
+                void initShm(void)
+                /***SafeFlow Annotation
+                    shminit;
+                    assume(noncore(p)) /***/
+                { }
+            """)
+
+    def test_array_region_element_count(self):
+        shm = shm_of("""
+            double *samples;
+            void initShm(void)
+            /***SafeFlow Annotation shminit /***/
+            {
+                samples = (double *) shmat(shmget(7, 64, 0666), 0, 0);
+                /***SafeFlow Annotation
+                    assume(shmvar(samples, 8 * sizeof(double))) /***/
+            }
+        """)
+        assert shm.regions["samples"].element_count == 8
+
+
+class TestPointerPropagation:
+    def test_load_of_region_global_seeds(self):
+        source = BASE + """
+            double read_it(void) { return beta->v; }
+        """
+        shm = shm_of(source)
+        func = shm.module.get_function("read_it")
+        loads = [i for i in func.instructions() if isinstance(i, Load)]
+        ptr_load = loads[0]          # load @beta
+        assert shm.regions_of(func, ptr_load) == frozenset({"beta"})
+
+    def test_propagates_through_arguments(self):
+        source = BASE + """
+            double helper(R *r) { return r->v; }
+            double top(void) { return helper(beta); }
+        """
+        shm = shm_of(source)
+        helper = shm.module.get_function("helper")
+        assert shm.arg_regions[helper][0] == frozenset({"beta"})
+
+    def test_propagates_through_returns(self):
+        source = BASE + """
+            R *select(int which) {
+                if (which) return alpha;
+                return beta;
+            }
+            double top(int w) { return select(w)->v; }
+        """
+        shm = shm_of(source)
+        top = shm.module.get_function("top")
+        loads = [i for i in top.instructions() if isinstance(i, Load)]
+        field_load = [l for l in loads if l.type.is_float][0]
+        regions = shm.regions_of(top, field_load.pointer)
+        assert regions == frozenset({"alpha", "beta"})
+
+    def test_phi_merges_regions(self):
+        source = BASE + """
+            double pick(int c) {
+                R *p;
+                if (c) p = alpha; else p = beta;
+                return p->v;
+            }
+        """
+        shm = shm_of(source)
+        func = shm.module.get_function("pick")
+        loads = [i for i in func.instructions()
+                 if isinstance(i, Load) and i.type.is_float]
+        assert shm.regions_of(func, loads[0].pointer) == frozenset(
+            {"alpha", "beta"}
+        )
+
+    def test_cast_and_arithmetic_keep_regions(self):
+        source = BASE + """
+            int peek(void) {
+                char *raw;
+                raw = (char *) beta;
+                return *(raw + 4);
+            }
+        """
+        shm = shm_of(source)
+        func = shm.module.get_function("peek")
+        loads = [i for i in func.instructions()
+                 if isinstance(i, Load) and i.type.is_integer]
+        assert "beta" in shm.regions_of(func, loads[0].pointer)
+
+    def test_local_pointers_not_shared(self):
+        source = BASE + """
+            double local(void) {
+                double x;
+                double *p;
+                p = &x;
+                return *p;
+            }
+        """
+        shm = shm_of(source)
+        func = shm.module.get_function("local")
+        for inst in func.instructions():
+            if isinstance(inst, Load):
+                assert shm.regions_of(func, inst.pointer) == frozenset()
+
+    def test_recursive_functions_stabilize(self):
+        source = BASE + """
+            double walk(R *r, int depth) {
+                if (depth == 0) return r->v;
+                return walk(r, depth - 1);
+            }
+            double top(void) { return walk(beta, 3); }
+        """
+        shm = shm_of(source)
+        walk = shm.module.get_function("walk")
+        assert shm.arg_regions[walk][0] == frozenset({"beta"})
+
+
+class TestMonitorAssumes:
+    def test_parameter_assume_resolved(self):
+        source = BASE + """
+            double mon(R *r)
+            /***SafeFlow Annotation assume(core(r, 0, sizeof(R))) /***/
+            { return r->v; }
+            double top(void) { return mon(beta); }
+        """
+        shm = shm_of(source)
+        assumes = shm.monitor_assumes["mon"]
+        assert assumes[0].is_parameter
+        assert assumes[0].parameter_index == 0
+        assert assumes[0].size == 16
+
+    def test_global_assume_resolved(self):
+        source = BASE + """
+            double mon(void)
+            /***SafeFlow Annotation assume(core(beta, 0, sizeof(R))) /***/
+            { return beta->v; }
+        """
+        shm = shm_of(source)
+        assert not shm.monitor_assumes["mon"][0].is_parameter
+
+    def test_non_spanning_global_assume_is_ineffective(self):
+        source = BASE + """
+            double mon(void)
+            /***SafeFlow Annotation assume(core(beta, 0, 4)) /***/
+            { return beta->v; }
+        """
+        shm = shm_of(source)
+        assert "mon" not in shm.monitor_assumes
+        assert any("ineffective" in issue.message for issue in shm.init_issues)
+
+    def test_noncore_descriptor_collected(self):
+        source = BASE + """
+            int handle(int sock)
+            /***SafeFlow Annotation assume(noncore(sock)) /***/
+            { return sock; }
+        """
+        shm = shm_of(source)
+        assert shm.noncore_descriptors["handle"] == {"sock"}

@@ -1,0 +1,147 @@
+"""The full Simplex loop: protection, attacks, and the fix."""
+
+import pytest
+
+from repro.runtime import RuntimeFlowTracker
+from repro.simplex import (
+    FeedbackOverwrite,
+    HeartbeatFreeze,
+    PidOverwrite,
+    SimplexSystem,
+    InvertedPendulum,
+    pendulum_simplex,
+)
+
+
+class TestNominalOperation:
+    def test_healthy_system_stays_up(self):
+        system = pendulum_simplex(dt=0.01)
+        trace = system.run(5.0)
+        assert not system.plant.fallen
+        assert trace.stayed_recoverable(system.envelope)
+
+    def test_complex_controller_mostly_in_control(self):
+        system = pendulum_simplex(dt=0.01)
+        trace = system.run(5.0)
+        assert trace.complex_ratio > 0.5
+
+    def test_safety_only_without_complex(self):
+        plant = InvertedPendulum(initial_state=(0.0, 0.0, 0.05, 0.0))
+        system = SimplexSystem(plant, dt=0.01)
+        trace = system.run(4.0)
+        assert trace.complex_ratio == 0.0
+        assert not plant.fallen
+
+
+class TestFaultProtection:
+    def test_reverse_fault_contained_by_monitor(self):
+        system = pendulum_simplex(fault_time=1.0, fault_mode="reverse")
+        trace = system.run(6.0)
+        assert not system.plant.fallen
+        assert trace.stayed_recoverable(system.envelope)
+        assert len(trace.rejections) > 0
+
+    def test_nan_fault_contained(self):
+        system = pendulum_simplex(fault_time=1.0, fault_mode="nan")
+        system.run(4.0)
+        assert not system.plant.fallen
+
+    def test_heartbeat_freeze_triggers_fallback(self):
+        system = pendulum_simplex(
+            injections=[HeartbeatFreeze(start=1.0, region="status")]
+        )
+        trace = system.run(4.0)
+        assert not system.plant.fallen
+        # after the freeze, the stale command keeps getting rejected
+        late = [used for t, used in zip(trace.times, trace.used_complex)
+                if t > 1.5]
+        assert not any(late)
+
+
+class TestFeedbackRigging:
+    """The Generic Simplex error #1, demonstrated dynamically (§4)."""
+
+    def _injection(self):
+        return FeedbackOverwrite(start=1.0, region="feedback",
+                                 writer="complex")
+
+    def test_trusting_core_is_defeated(self):
+        system = pendulum_simplex(
+            fault_time=1.0, fault_mode="reverse", trusting_feedback=True,
+            injections=[self._injection()],
+        )
+        trace = system.run(6.0)
+        assert system.plant.fallen
+        assert not trace.stayed_recoverable(system.envelope)
+
+    def test_local_state_core_survives(self):
+        system = pendulum_simplex(
+            fault_time=1.0, fault_mode="reverse", trusting_feedback=False,
+            injections=[self._injection()],
+        )
+        trace = system.run(6.0)
+        assert not system.plant.fallen
+        assert trace.stayed_recoverable(system.envelope)
+
+    def test_audit_trail_shows_intruder(self):
+        system = pendulum_simplex(
+            trusting_feedback=True, injections=[self._injection()]
+        )
+        system.run(2.0)
+        intruders = system.shm.noncore_writes_to("feedback",
+                                                 core_writers=("core",))
+        assert intruders
+
+
+class TestPidOverwrite:
+    def test_status_region_corrupted(self):
+        system = pendulum_simplex(
+            injections=[PidOverwrite(start=0.5, region="status", pid=1)]
+        )
+        system.run(1.0)
+        assert system.shm.read("status", "ncPid") == 1
+
+
+class TestTrackerIntegration:
+    def test_monitorized_values_pass_runtime_check(self):
+        tracker = RuntimeFlowTracker()
+        system = pendulum_simplex(dt=0.01)
+        system.tracker = tracker
+        system.run(2.0)
+        assert tracker.violations == []
+        assert tracker.reads > 0
+
+
+class TestDoubleInvertedPendulumSimplex:
+    """The Simplex loop generalizes to the 6-state double pendulum."""
+
+    def _system(self, **kwargs):
+        from repro.simplex import (
+            DoubleInvertedPendulum,
+            MPCController,
+            SimplexSystem,
+        )
+        plant = DoubleInvertedPendulum()
+        complex_controller = MPCController(
+            plant, dt=0.005,
+            state_weights=[0.5, 0.1, 8.0, 0.9, 6.0, 0.7],
+        )
+        return SimplexSystem(plant, complex_controller=complex_controller,
+                             dt=0.005, **kwargs)
+
+    def test_six_state_feedback_published(self):
+        system = self._system()
+        system.run(0.1)
+        fb = system.shm.read_region("feedback")
+        assert "x4" in fb and "x5" in fb  # beyond the 4 canonical names
+
+    def test_stays_recoverable(self):
+        system = self._system()
+        trace = system.run(3.0)
+        assert not system.plant.fallen
+        assert trace.stayed_recoverable(system.envelope)
+
+    def test_region_layout_scales_with_state(self):
+        system = self._system()
+        fb_spec = system.shm.specs["feedback"]
+        assert fb_spec.size == 8 * 6 + 8

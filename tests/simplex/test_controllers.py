@@ -1,0 +1,127 @@
+"""Controller implementations, including fault injection."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simplex import (
+    EnergyShapingController,
+    FaultyController,
+    InvertedPendulum,
+    LQRController,
+    MPCController,
+    PDController,
+    SimplePlant,
+    lqr_gains,
+)
+
+
+class TestLQRDesign:
+    def test_gains_shape(self):
+        plant = InvertedPendulum()
+        a, b = plant.linearized()
+        k = lqr_gains(a, b)
+        assert k.shape == (1, 4)
+
+    def test_closed_loop_stable(self):
+        plant = InvertedPendulum()
+        controller = LQRController(plant)
+        eigs = np.linalg.eigvals(controller.closed_loop_a)
+        assert np.all(eigs.real < 0)
+
+    def test_output_clamped(self):
+        plant = InvertedPendulum()
+        controller = LQRController(plant)
+        huge_state = np.array([10.0, 10.0, 10.0, 10.0])
+        u = controller.compute(huge_state, 0.0)
+        assert abs(u) <= plant.u_max
+
+    def test_zero_state_zero_output(self):
+        controller = LQRController(InvertedPendulum())
+        assert controller.compute(np.zeros(4), 0.0) == pytest.approx(0.0)
+
+
+class TestOtherControllers:
+    def test_pd_drives_toward_setpoint(self):
+        plant = SimplePlant(initial_state=(1.0, 0.0))
+        pd = PDController(kp=4.0, kd=2.0)
+        for _ in range(3000):
+            u = pd.compute(plant.state, plant.time)
+            plant.step(u, 0.01)
+        assert abs(plant.state[0]) < 0.05
+
+    def test_energy_shaping_output_bounded(self):
+        ctrl = EnergyShapingController(u_max=5.0)
+        state = np.array([0.5, 0.0, 0.3, 2.0])
+        assert abs(ctrl.compute(state, 0.0)) <= 5.0
+
+    def test_mpc_picks_stabilizing_direction(self):
+        plant = InvertedPendulum(initial_state=(0.0, 0.0, 0.1, 0.0))
+        mpc = MPCController(plant, state_weights=[0.5, 0.1, 8.0, 0.9])
+        u = mpc.compute(plant.state, 0.0)
+        # pendulum leaning positive: the cart must move to catch it;
+        # any admissible output is fine, but it must not be extreme-wrong
+        plant_copy = InvertedPendulum(initial_state=(0.0, 0.0, 0.1, 0.0))
+        for _ in range(50):
+            u = mpc.compute(plant_copy.state, plant_copy.time)
+            plant_copy.step(u, 0.01)
+        assert abs(plant_copy.state[2]) < 0.5
+
+    def test_mpc_output_within_limits(self):
+        plant = InvertedPendulum()
+        mpc = MPCController(plant)
+        u = mpc.compute(np.array([0.5, 0.0, 0.2, 0.0]), 0.0)
+        assert abs(u) <= plant.u_max
+
+
+class TestFaultyController:
+    def _base(self):
+        return PDController(kp=1.0, kd=0.5, u_max=5.0)
+
+    def test_nominal_before_fault_time(self):
+        faulty = FaultyController(self._base(), fault_time=10.0, mode="wild")
+        state = np.array([0.5, 0.0])
+        assert faulty.compute(state, 0.0) == self._base().compute(state, 0.0)
+
+    def test_wild_mode_is_bang_bang(self):
+        faulty = FaultyController(self._base(), fault_time=0.0, mode="wild",
+                                  magnitude=5.0)
+        state = np.zeros(2)
+        outputs = {faulty.compute(state, 1.0) for _ in range(4)}
+        assert outputs == {5.0, -5.0}
+
+    def test_stuck_mode_holds_last(self):
+        faulty = FaultyController(self._base(), fault_time=1.0, mode="stuck")
+        state = np.array([0.5, 0.0])
+        before = faulty.compute(state, 0.5)
+        after = faulty.compute(np.array([-0.9, 0.0]), 2.0)
+        assert after == before
+
+    def test_nan_mode(self):
+        faulty = FaultyController(self._base(), fault_time=0.0, mode="nan")
+        assert math.isnan(faulty.compute(np.zeros(2), 1.0))
+
+    def test_bias_mode(self):
+        faulty = FaultyController(self._base(), fault_time=0.0, mode="bias",
+                                  magnitude=2.0)
+        state = np.zeros(2)
+        assert faulty.compute(state, 1.0) == pytest.approx(2.0)
+
+    def test_reverse_mode(self):
+        faulty = FaultyController(self._base(), fault_time=0.0,
+                                  mode="reverse")
+        state = np.array([1.0, 0.0])
+        nominal = self._base().compute(state, 0.0)
+        assert faulty.compute(state, 0.0) == pytest.approx(-nominal)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SimulationError):
+            FaultyController(self._base(), fault_time=0.0, mode="gremlins")
+
+    def test_reset_clears_fault_state(self):
+        faulty = FaultyController(self._base(), fault_time=1.0, mode="stuck")
+        faulty.compute(np.array([0.7, 0.0]), 0.5)
+        faulty.reset()
+        assert faulty._last == 0.0

@@ -1,0 +1,117 @@
+"""Lyapunov stability envelopes (the Simplex recoverability monitor)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.simplex import (
+    InvertedPendulum,
+    LQRController,
+    StabilityEnvelope,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    plant = InvertedPendulum()
+    controller = LQRController(plant)
+    envelope = StabilityEnvelope.from_closed_loop(
+        controller.closed_loop_a,
+        state_limits=[plant.track_limit, None, plant.angle_limit, None],
+    )
+    return plant, controller, envelope
+
+
+class TestConstruction:
+    def test_p_is_positive_definite(self, setup):
+        _, _, envelope = setup
+        eigs = np.linalg.eigvalsh(envelope.p)
+        assert np.all(eigs > 0)
+
+    def test_level_respects_state_limits(self, setup):
+        plant, _, envelope = setup
+        # any state on the envelope boundary must satisfy the box limits;
+        # check along the worst-case axes via P^-1 diagonal formula
+        p_inv = np.linalg.inv(envelope.p)
+        for i, limit in [(0, plant.track_limit), (2, plant.angle_limit)]:
+            worst = np.sqrt(envelope.level * p_inv[i, i])
+            assert worst <= limit + 1e-9
+
+    def test_unstable_closed_loop_rejected(self):
+        a_unstable = np.array([[1.0, 0.0], [0.0, 2.0]])
+        with pytest.raises(SimulationError):
+            StabilityEnvelope.from_closed_loop(a_unstable)
+
+    def test_non_square_p_rejected(self):
+        with pytest.raises(SimulationError):
+            StabilityEnvelope(np.ones((2, 3)))
+
+    def test_for_plant_convenience(self):
+        envelope = StabilityEnvelope.for_plant(InvertedPendulum())
+        assert envelope.p.shape == (4, 4)
+
+
+class TestQueries:
+    def test_origin_inside(self, setup):
+        _, _, envelope = setup
+        assert envelope.contains(np.zeros(4))
+        assert envelope.margin(np.zeros(4)) == pytest.approx(envelope.level)
+
+    def test_far_state_outside(self, setup):
+        _, _, envelope = setup
+        assert not envelope.contains(np.array([5.0, 5.0, 5.0, 5.0]))
+
+    def test_value_is_quadratic(self, setup):
+        _, _, envelope = setup
+        x = np.array([0.1, 0.0, 0.05, 0.0])
+        assert envelope.value(2 * x) == pytest.approx(4 * envelope.value(x))
+
+    def test_nan_input_never_recoverable(self, setup):
+        plant, _, envelope = setup
+        assert not envelope.recoverable(plant, np.zeros(4), float("nan"),
+                                        0.01)
+
+    def test_small_input_from_origin_recoverable(self, setup):
+        plant, _, envelope = setup
+        assert envelope.recoverable(plant, np.zeros(4), 0.1, 0.01)
+
+    def test_huge_input_near_boundary_not_recoverable(self, setup):
+        plant, _, envelope = setup
+        # state close to the boundary along the angle axis
+        p_inv = np.linalg.inv(envelope.p)
+        angle = 0.98 * np.sqrt(envelope.level * p_inv[2, 2])
+        state = np.array([0.0, 0.0, angle, 0.6])
+        if envelope.contains(state):
+            assert not envelope.recoverable(plant, state, -plant.u_max, 0.2)
+
+
+class TestInvariance:
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(-1.0, 1.0), st.floats(-1.0, 1.0),
+           st.floats(-1.0, 1.0), st.floats(-1.0, 1.0))
+    def test_lyapunov_value_decreases_under_safety_controller(
+        self, a, b, c, d
+    ):
+        """The defining envelope property: under the safety controller
+        the Lyapunov function is non-increasing (up to integration
+        error) for states inside the envelope."""
+        plant = InvertedPendulum()
+        controller = LQRController(plant)
+        envelope = StabilityEnvelope.from_closed_loop(
+            controller.closed_loop_a,
+            state_limits=[plant.track_limit, None, plant.angle_limit, None],
+        )
+        direction = np.array([a, b, c, d])
+        norm = np.linalg.norm(direction)
+        if norm < 1e-3:
+            return
+        # place the state well inside the envelope
+        state = direction / norm * 0.1
+        value = envelope.value(state)
+        if value >= envelope.level:
+            return
+        # evolve the *linearized* closed loop one small step
+        a_cl = controller.closed_loop_a
+        next_state = state + 0.002 * (a_cl @ state)
+        assert envelope.value(next_state) <= value + 1e-6

@@ -1,0 +1,128 @@
+"""Plant dynamics: instability without control, stability under LQR."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simplex import (
+    DoubleInvertedPendulum,
+    InvertedPendulum,
+    LQRController,
+    SimplePlant,
+    rk4_step,
+)
+
+
+class TestRK4:
+    def test_exponential_decay_accuracy(self):
+        # dx/dt = -x, exact solution e^{-t}
+        x = np.array([1.0])
+        for _ in range(100):
+            x = rk4_step(lambda s, u: -s, x, 0.0, 0.01)
+        assert abs(x[0] - math.exp(-1.0)) < 1e-8
+
+    def test_forced_system(self):
+        # dx/dt = u with u=2: x(1) = 2
+        x = np.array([0.0])
+        for _ in range(100):
+            x = rk4_step(lambda s, u: np.array([u]), x, 2.0, 0.01)
+        assert abs(x[0] - 2.0) < 1e-9
+
+
+class TestInvertedPendulum:
+    def test_initial_state_validated(self):
+        with pytest.raises(SimulationError):
+            InvertedPendulum(initial_state=(0.0, 0.0))
+
+    def test_upright_is_unstable_without_control(self):
+        plant = InvertedPendulum(initial_state=(0.0, 0.0, 0.02, 0.0))
+        for _ in range(400):
+            plant.step(0.0, 0.01)
+        assert abs(plant.state[2]) > 0.5  # the pendulum falls
+
+    def test_lqr_stabilizes(self):
+        plant = InvertedPendulum(initial_state=(0.1, 0.0, 0.08, 0.0))
+        controller = LQRController(plant)
+        for _ in range(800):
+            u = controller.compute(plant.state, plant.time)
+            plant.step(u, 0.01)
+        assert abs(plant.state[2]) < 0.02
+        assert abs(plant.state[0]) < 0.2
+
+    def test_input_saturation(self):
+        plant = InvertedPendulum()
+        before = plant.state.copy()
+        plant.step(1000.0, 0.01)  # clipped to u_max
+        plant2 = InvertedPendulum()
+        plant2.step(plant.u_max, 0.01)
+        assert np.allclose(plant.state, plant2.state)
+
+    def test_nan_input_handled(self):
+        plant = InvertedPendulum()
+        plant.step(float("nan"), 0.01)
+        assert np.all(np.isfinite(plant.state))
+
+    def test_linearization_shape(self):
+        a, b = InvertedPendulum().linearized()
+        assert a.shape == (4, 4)
+        assert b.shape == (4, 1)
+
+    def test_linearization_matches_dynamics_near_origin(self):
+        plant = InvertedPendulum(initial_state=(0.0, 0.0, 0.0, 0.0))
+        a, b = plant.linearized()
+        eps = 1e-6
+        state = np.array([0.0, 0.0, eps, 0.0])
+        nonlinear = plant.dynamics(state, 0.0)
+        linear = a @ state
+        assert np.allclose(nonlinear, linear, atol=1e-9)
+
+    def test_fallen_predicate(self):
+        plant = InvertedPendulum(initial_state=(0.0, 0.0, 2.0, 0.0))
+        assert plant.fallen
+
+    def test_reset(self):
+        plant = InvertedPendulum()
+        plant.step(1.0, 0.01)
+        plant.reset((0.0, 0.0, 0.0, 0.0))
+        assert plant.time == 0.0
+        assert np.allclose(plant.state, 0.0)
+
+
+class TestSimplePlant:
+    def test_decays_to_origin_unforced(self):
+        plant = SimplePlant(initial_state=(1.0, 0.0))
+        for _ in range(4000):
+            plant.step(0.0, 0.01)
+        assert abs(plant.state[0]) < 0.05
+
+    def test_constant_input_settles_at_gain(self):
+        plant = SimplePlant(initial_state=(0.0, 0.0), a0=1.0, a1=2.0, b=1.0)
+        for _ in range(4000):
+            plant.step(1.0, 0.01)
+        assert abs(plant.state[0] - 1.0) < 0.02  # steady state b/a0
+
+
+class TestDoubleInvertedPendulum:
+    def test_unstable_without_control(self):
+        plant = DoubleInvertedPendulum()
+        for _ in range(300):
+            plant.step(0.0, 0.005)
+        assert plant.fallen or abs(plant.state[2]) > 0.2
+
+    def test_lqr_stabilizes_six_states(self):
+        plant = DoubleInvertedPendulum(
+            initial_state=(0.0, 0.0, 0.02, 0.0, -0.015, 0.0)
+        )
+        controller = LQRController(plant)
+        for _ in range(2000):
+            u = controller.compute(plant.state, plant.time)
+            plant.step(u, 0.005)
+        assert abs(plant.state[2]) < 0.01
+        assert abs(plant.state[4]) < 0.01
+
+    def test_linearization_shape(self):
+        a, b = DoubleInvertedPendulum().linearized()
+        assert a.shape == (6, 6)
+        assert b.shape == (6, 1)

@@ -1,0 +1,125 @@
+"""Call graph construction, SCCs, and traversal orders."""
+
+import pytest
+
+from repro.callgraph import CallGraph, strongly_connected_components
+from tests.conftest import front
+
+
+def graph_of(source: str) -> CallGraph:
+    return CallGraph(front(source).module)
+
+
+class TestTarjan:
+    def test_linear_chain_reverse_topological(self):
+        sccs = strongly_connected_components(
+            ["a", "b", "c"], {"a": ["b"], "b": ["c"], "c": []}
+        )
+        assert sccs == [["c"], ["b"], ["a"]]
+
+    def test_cycle_grouped(self):
+        sccs = strongly_connected_components(
+            ["a", "b", "c"], {"a": ["b"], "b": ["a"], "c": ["a"]}
+        )
+        assert sorted(sorted(group) for group in sccs) == [["a", "b"], ["c"]]
+        assert set(sccs[0]) == {"a", "b"}
+
+    def test_self_loop(self):
+        sccs = strongly_connected_components(["a"], {"a": ["a"]})
+        assert sccs == [["a"]]
+
+    def test_diamond(self):
+        sccs = strongly_connected_components(
+            ["a", "b", "c", "d"],
+            {"a": ["b", "c"], "b": ["d"], "c": ["d"], "d": []},
+        )
+        order = {node: i for i, group in enumerate(sccs) for node in group}
+        assert order["d"] < order["b"]
+        assert order["d"] < order["c"]
+        assert order["b"] < order["a"]
+
+    def test_disconnected_nodes(self):
+        sccs = strongly_connected_components(["a", "b"], {})
+        assert len(sccs) == 2
+
+    def test_large_cycle_no_recursion_error(self):
+        n = 5000
+        nodes = list(range(n))
+        succ = {i: [(i + 1) % n] for i in nodes}
+        sccs = strongly_connected_components(nodes, succ)
+        assert len(sccs) == 1
+        assert len(sccs[0]) == n
+
+
+class TestCallGraph:
+    SOURCE = """
+        int leaf(int x) { return x + 1; }
+        int mid(int x) { return leaf(x) * 2; }
+        int even(int x);
+        int odd(int x) { if (x == 0) return 0; return even(x - 1); }
+        int even(int x) { if (x == 0) return 1; return odd(x - 1); }
+        int main(void) { return mid(3) + odd(4) + printf("x"); }
+    """
+
+    def test_edges(self):
+        cg = graph_of(self.SOURCE)
+        module = cg.module
+        main = module.get_function("main")
+        names = {f.name for f in cg.callees(main)}
+        assert names == {"mid", "odd"}
+
+    def test_callers(self):
+        cg = graph_of(self.SOURCE)
+        leaf = cg.module.get_function("leaf")
+        assert {f.name for f in cg.callers(leaf)} == {"mid"}
+
+    def test_external_calls_tracked(self):
+        cg = graph_of(self.SOURCE)
+        externals = {c.callee_name for _, c in cg.external_calls}
+        assert "printf" in externals
+
+    def test_mutual_recursion_one_scc(self):
+        cg = graph_of(self.SOURCE)
+        groups = [sorted(f.name for f in group) for group in cg.sccs()]
+        assert ["even", "odd"] in groups
+
+    def test_bottom_up_order(self):
+        cg = graph_of(self.SOURCE)
+        order = {}
+        for i, group in enumerate(cg.bottom_up_order()):
+            for func in group:
+                order[func.name] = i
+        assert order["leaf"] < order["mid"] < order["main"]
+
+    def test_top_down_is_reverse(self):
+        cg = graph_of(self.SOURCE)
+        assert cg.top_down_order() == list(reversed(cg.bottom_up_order()))
+
+    def test_root_is_main(self):
+        cg = graph_of(self.SOURCE)
+        assert cg.root.name == "main"
+
+    def test_reachable_from_main(self):
+        cg = graph_of(self.SOURCE)
+        reachable = {f.name for f in cg.reachable_from([cg.root])}
+        assert reachable == {"main", "mid", "leaf", "even", "odd"}
+
+    def test_indirect_call_resolves_address_taken(self):
+        cg = graph_of("""
+            int inc(int x) { return x + 1; }
+            int dec(int x) { return x - 1; }
+            int apply(int x) {
+                int (*fn)(int);
+                fn = inc;
+                return fn(x);
+            }
+        """)
+        apply_fn = cg.module.get_function("apply")
+        names = {f.name for f in cg.callees(apply_fn)}
+        assert "inc" in names
+
+    def test_sites_in(self):
+        cg = graph_of(self.SOURCE)
+        main = cg.module.get_function("main")
+        sites = list(cg.sites_in(main))
+        assert len(sites) == 2

@@ -1,0 +1,147 @@
+"""The SafeFlow facade, report rendering, and the command line."""
+
+import json
+
+import pytest
+
+from repro import AnalysisConfig, SafeFlow
+from repro.cli import main as cli_main
+from repro.core.driver import _count_loc
+from tests.conftest import FIGURE2_SOURCE, analyze
+
+
+class TestFacade:
+    def test_analyze_source_end_to_end(self, figure2_report):
+        counts = figure2_report.counts()
+        assert counts["warnings"] == 1
+        # the paper's running-example dependency: output <- feedback
+        assert counts["errors"] + counts["false_positives"] == 1
+
+    def test_analyze_files(self, tmp_path):
+        path = tmp_path / "core.c"
+        path.write_text(FIGURE2_SOURCE)
+        report = SafeFlow().analyze_files([str(path)], name="fig2")
+        assert len(report.warnings) == 1
+
+    def test_multi_file_program(self, tmp_path):
+        (tmp_path / "shm.c").write_text("""
+            typedef struct { double v; } R;
+            R *nc;
+            void initShm(void)
+            /***SafeFlow Annotation shminit /***/
+            {
+                nc = (R *) shmat(shmget(7, sizeof(R), 0666), 0, 0);
+                /***SafeFlow Annotation
+                    assume(shmvar(nc, sizeof(R)));
+                    assume(noncore(nc)) /***/
+            }
+        """)
+        (tmp_path / "main.c").write_text("""
+            typedef struct { double v; } R;
+            extern R *nc;
+            void initShm(void);
+            void emit(double v);
+            int main(void) {
+                double x;
+                initShm();
+                x = nc->v;
+                /***SafeFlow Annotation assert(safe(x)); /***/
+                emit(x);
+                return 0;
+            }
+        """)
+        report = SafeFlow().analyze_files(
+            [str(tmp_path / "shm.c"), str(tmp_path / "main.c")]
+        )
+        assert len(report.errors) == 1
+
+    def test_report_render_contains_summary(self, figure2_report):
+        text = figure2_report.render(verbose=True)
+        assert "SafeFlow report" in text
+        assert "warning" in text
+
+    def test_passed_flag(self):
+        report = analyze("int main(void) { return 0; }")
+        assert report.passed
+
+    def test_stats_populated(self, figure2_report):
+        stats = figure2_report.stats
+        assert stats.functions == 4
+        assert stats.shm_regions == 2
+        assert stats.noncore_regions == 2
+        assert stats.loc_total > 0
+
+    def test_restrictions_can_be_skipped(self):
+        source = FIGURE2_SOURCE.replace(
+            "output = decision(feedback, safeControl, noncoreCtrl);",
+            "output = decision(feedback, safeControl, noncoreCtrl);"
+            " shmdt(feedback);",
+        )
+        strict = analyze(source)
+        assert any(v.rule == "P1" for v in strict.violations)
+        relaxed = analyze(source, AnalysisConfig(check_restrictions=False))
+        assert relaxed.violations == []
+
+
+class TestLocCounter:
+    def test_blank_and_comment_lines_ignored(self):
+        text = "int a;\n\n/* comment */\n// line\nint b;\n"
+        assert _count_loc(text) == 2
+
+    def test_multiline_comment_ignored(self):
+        text = "int a;\n/* one\n two\n three */\nint b;\n"
+        assert _count_loc(text) == 2
+
+    def test_code_after_comment_close_counted(self):
+        text = "/* x\n y */ int a;\n"
+        assert _count_loc(text) == 1
+
+
+class TestCli:
+    def test_analyze_json(self, tmp_path, capsys):
+        path = tmp_path / "core.c"
+        path.write_text(FIGURE2_SOURCE)
+        rc = cli_main(["analyze", str(path), "--json"])
+        assert rc == 1  # an error dependency was found
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["warnings"] == 1
+        assert not payload["passed"]
+
+    def test_analyze_clean_program_exit_zero(self, tmp_path, capsys):
+        path = tmp_path / "ok.c"
+        path.write_text("int main(void) { return 0; }")
+        assert cli_main(["analyze", str(path)]) == 0
+
+    def test_analyze_dot_export(self, tmp_path):
+        src = tmp_path / "core.c"
+        src.write_text(FIGURE2_SOURCE)
+        dot = tmp_path / "vfg.dot"
+        cli_main(["analyze", str(src), "--dot", str(dot)])
+        assert "digraph" in dot.read_text()
+
+    def test_corpus_command_matches(self, capsys):
+        rc = cli_main(["corpus", "ip"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "MATCH" in out
+
+    def test_table1_command(self, capsys):
+        assert cli_main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Generic Simplex" in out
+
+    def test_demo_protected(self, capsys):
+        rc = cli_main(["demo", "--duration", "3.0"])
+        assert rc == 0
+        assert "recoverable" in capsys.readouterr().out
+
+    def test_demo_rigged_and_trusting_falls(self, capsys):
+        rc = cli_main(["demo", "--duration", "4.0", "--rigged", "--trusting"])
+        assert rc == 1
+        assert "FELL" in capsys.readouterr().out
+
+    def test_nonexistent_file_reports_error(self, capsys):
+        rc = cli_main(["analyze", "/nonexistent/file.c"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err

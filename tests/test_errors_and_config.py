@@ -1,0 +1,105 @@
+"""Exception hierarchy and analysis configuration."""
+
+import pytest
+
+from repro import AnalysisConfig
+from repro.errors import (
+    AnalysisError,
+    AnnotationError,
+    CorpusError,
+    IRError,
+    LoweringError,
+    ParseError,
+    PreprocessorError,
+    SafeFlowError,
+    SimulationError,
+    SolverError,
+)
+from repro.ir.source import SourceLocation, UNKNOWN_LOCATION
+
+
+class TestErrors:
+    @pytest.mark.parametrize("cls", [
+        AnalysisError, AnnotationError, CorpusError, IRError,
+        LoweringError, ParseError, PreprocessorError, SimulationError,
+        SolverError,
+    ])
+    def test_all_derive_from_safeflow_error(self, cls):
+        assert issubclass(cls, SafeFlowError)
+
+    def test_location_rendered(self):
+        err = ParseError("bad token", SourceLocation("x.c", 5, 3))
+        assert str(err) == "x.c:5:3: bad token"
+
+    def test_location_optional(self):
+        assert str(SafeFlowError("plain")) == "plain"
+
+    def test_catchable_as_family(self):
+        try:
+            raise LoweringError("nope")
+        except SafeFlowError as exc:
+            assert exc.message == "nope"
+
+    def test_source_location_ordering(self):
+        a = SourceLocation("a.c", 3)
+        b = SourceLocation("a.c", 10)
+        assert a < b
+
+    def test_unknown_location_constant(self):
+        assert UNKNOWN_LOCATION.line == 0
+
+
+class TestConfig:
+    def test_defaults_reproduce_the_paper(self):
+        config = AnalysisConfig()
+        assert config.context_sensitive
+        assert config.track_control_dependence
+        assert config.check_restrictions
+        assert config.triage_control_dependence
+        assert not config.summary_mode
+        assert config.message_passing_extension
+
+    def test_defines_are_independent_per_instance(self):
+        a = AnalysisConfig()
+        b = AnalysisConfig()
+        a.defines["X"] = "1"
+        assert "X" not in b.defines
+
+    def test_defines_reach_the_preprocessor(self):
+        from tests.conftest import analyze
+        source = """
+            void emit(int v);
+            int main(void) {
+            #ifdef EXTRA
+                emit(1);
+            #endif
+                return 0;
+            }
+        """
+        from repro import SafeFlow
+        plain = SafeFlow().analyze_source(source)
+        with_define = SafeFlow(
+            AnalysisConfig(defines={"EXTRA": "1"})
+        ).analyze_source(source)
+        # both clean; just ensure the define changed the program size
+        assert with_define.stats.instructions > plain.stats.instructions
+
+    def test_include_dirs_used(self, tmp_path):
+        from repro import SafeFlow
+        inc = tmp_path / "inc"
+        inc.mkdir()
+        (inc / "shared.h").write_text("#define LIMIT 9\n")
+        src = tmp_path / "main.c"
+        src.write_text('#include "shared.h"\nint main(void)'
+                       '{ return LIMIT; }\n')
+        config = AnalysisConfig(include_dirs=(str(inc),))
+        report = SafeFlow(config).analyze_files([str(src)])
+        assert report.passed
+
+    def test_verify_ir_can_be_disabled(self):
+        from repro import SafeFlow
+        config = AnalysisConfig(verify_ir=False)
+        report = SafeFlow(config).analyze_source(
+            "int main(void) { return 0; }"
+        )
+        assert report.passed

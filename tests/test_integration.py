@@ -1,0 +1,162 @@
+"""End-to-end scenarios tying the paper's narrative together."""
+
+import pytest
+
+from repro import AnalysisConfig, SafeFlow
+from repro.reporting import DependencyKind
+from tests.conftest import FIGURE2_SOURCE, analyze
+
+
+class TestRunningExample:
+    """§3.3's walkthrough of Figure 2."""
+
+    def test_feedback_deref_in_decision_chain_reported(self, figure2_report):
+        assert len(figure2_report.warnings) == 1
+        warning = figure2_report.warnings[0]
+        assert warning.region == "feedback"
+        assert warning.function == "checkSafety"
+
+    def test_output_dependency_reported(self, figure2_report):
+        assert len(figure2_report.errors) == 1
+        error = figure2_report.errors[0]
+        assert error.variable == "output"
+        assert "feedback" in error.message
+
+    def test_witness_spans_three_functions(self, figure2_report):
+        witness = "\n".join(figure2_report.errors[0].witness)
+        assert "checkSafety" in witness
+        assert "decision" in witness
+        assert "assert safe(output)" in witness
+
+    def test_fix_with_local_copy_removes_dependency(self):
+        """§3.3: 'One way to eliminate this dependency is to use a local
+        copy of the feedback as an argument to decision.'"""
+        fixed = FIGURE2_SOURCE.replace(
+            "int checkSafety(SHMData *f, SHMData *nc)",
+            "int checkSafety(double localFeedback, SHMData *nc)",
+        ).replace(
+            "if (f->feedback > 100.0)", "if (localFeedback > 100.0)"
+        ).replace(
+            "double decision(SHMData *f, double safe, SHMData *nc)",
+            "double decision(double localFeedback, double safe, SHMData *nc)",
+        ).replace(
+            "if (checkSafety(f, nc))", "if (checkSafety(localFeedback, nc))"
+        ).replace(
+            "output = decision(feedback, safeControl, noncoreCtrl);",
+            "output = decision(safeControl, safeControl, noncoreCtrl);",
+        )
+        report = analyze(fixed, name="figure2-fixed")
+        assert report.errors == []
+        assert report.warnings == []
+
+    def test_extra_assume_silences_feedback_read(self):
+        """§3.4.2: declaring feedback core inside decision (fine-grained
+        encapsulation knowledge) eliminates the dependency."""
+        relaxed = FIGURE2_SOURCE.replace(
+            """int checkSafety(SHMData *f, SHMData *nc)
+/***SafeFlow Annotation
+    assume(core(nc, 0, sizeof(SHMData))) /***/""",
+            """int checkSafety(SHMData *f, SHMData *nc)
+/***SafeFlow Annotation
+    assume(core(nc, 0, sizeof(SHMData)));
+    assume(core(f, 0, sizeof(SHMData))) /***/""",
+        )
+        report = analyze(relaxed, name="figure2-relaxed")
+        assert report.errors == []
+        assert report.warnings == []
+
+
+class TestAblations:
+    def test_context_insensitivity_only_loses_precision(self, figure2_source):
+        precise = analyze(figure2_source, name="cs")
+        merged = analyze(
+            figure2_source, AnalysisConfig(context_sensitive=False),
+            name="ci",
+        )
+        # context-insensitive must report at least everything the
+        # context-sensitive analysis reports
+        assert len(merged.warnings) >= len(precise.warnings)
+        assert len(merged.errors) >= len(precise.errors)
+
+    def test_context_budget_forces_merging(self, figure2_source):
+        budget = AnalysisConfig(max_contexts_per_function=1)
+        report = analyze(figure2_source, budget, name="budget")
+        # still sound: the dependency is found
+        assert len(report.errors) >= 1
+
+
+class TestStaticDynamicAgreement:
+    """The static verdicts must agree with runtime fault injection."""
+
+    def test_static_error_has_dynamic_counterpart(self):
+        """The feedback-rigging dependency flagged statically in the
+        generic simplex corpus corresponds to a real dynamic failure
+        (tests/simplex/test_architecture.py shows the fall); here we
+        check the static side names the same region."""
+        from repro.corpus import load_system
+        report = load_system("generic_simplex").analyze()
+        regions = {s.region for e in report.confirmed_errors
+                   for s in e.sources}
+        assert "gsFeedback" in regions
+        assert "gsStatus" in regions
+
+    def test_monitored_pipeline_passes_both(self):
+        source = """
+            typedef struct { double v; unsigned int seq; int valid; } Cmd;
+            Cmd *cmd;
+            unsigned int lastSeq;
+            void actuate(double u);
+            double sense(void);
+            void initShm(void)
+            /***SafeFlow Annotation shminit /***/
+            {
+                cmd = (Cmd *) shmat(shmget(9, sizeof(Cmd), 0666), 0, 0);
+                /***SafeFlow Annotation
+                    assume(shmvar(cmd, sizeof(Cmd)));
+                    assume(noncore(cmd)) /***/
+            }
+            double monitor(Cmd *c, double fb)
+            /***SafeFlow Annotation assume(core(c, 0, sizeof(Cmd))) /***/
+            {
+                double v;
+                unsigned int s;
+                if (c->valid == 0) return fb;
+                s = c->seq;
+                if (s == lastSeq) return fb;
+                lastSeq = s;
+                v = c->v;
+                if (v > 1.0 || v < -1.0) return fb;
+                return v;
+            }
+            int main(void)
+            {
+                double safe;
+                double out;
+                initShm();
+                while (1) {
+                    safe = 0.5 * sense();
+                    out = monitor(cmd, safe);
+                    /***SafeFlow Annotation assert(safe(out)); /***/
+                    actuate(out);
+                }
+                return 0;
+            }
+        """
+        report = analyze(source, name="pipeline")
+        assert report.passed
+
+
+class TestScaleSmoke:
+    def test_medium_program_analyzes_quickly(self):
+        from repro.corpus import generate_core
+        import time
+        program = generate_core(
+            data_error_regions=2, control_fp_regions=2,
+            benign_read_regions=2, monitored_regions=2,
+            filler_functions=40, chain_depth=6,
+        )
+        start = time.time()
+        report = SafeFlow().analyze_source(program.source)
+        elapsed = time.time() - start
+        assert elapsed < 20.0
+        assert len(report.confirmed_errors) == program.expected_errors

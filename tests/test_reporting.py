@@ -1,0 +1,154 @@
+"""Diagnostics, report aggregation, table rendering, JSON export."""
+
+import pytest
+
+from repro.core.results import AnalysisReport, AnalysisStats
+from repro.ir.source import SourceLocation
+from repro.reporting import (
+    CriticalDependencyError,
+    DependencyKind,
+    InitializationIssue,
+    RestrictionViolation,
+    Severity,
+    UnmonitoredReadWarning,
+    sort_key,
+)
+from repro.reporting.render import render_table, table1_comparison
+
+
+def warning(region="nc", line=10, function="f"):
+    return UnmonitoredReadWarning(
+        message=f"unmonitored access to {region}",
+        location=SourceLocation("a.c", line),
+        function=function,
+        severity=Severity.WARNING,
+        region=region,
+    )
+
+
+def error(variable="out", kind=DependencyKind.DATA, fp=False, line=20):
+    return CriticalDependencyError(
+        message=f"critical data {variable} depends on nc",
+        location=SourceLocation("a.c", line),
+        function="main",
+        severity=Severity.ERROR,
+        variable=variable,
+        kind=kind,
+        sources=(warning(),),
+        witness=("[source] read nc", "[sink] assert"),
+        candidate_false_positive=fp,
+    )
+
+
+class TestDiagnostics:
+    def test_str_contains_location_and_function(self):
+        text = str(warning())
+        assert "a.c:10" in text and "[in f]" in text
+
+    def test_warning_key_is_stable(self):
+        assert warning().key == ("f", "nc", 10)
+
+    def test_sort_key_orders_by_position(self):
+        diags = [warning(line=30), warning(line=5), error(line=12)]
+        ordered = sorted(diags, key=sort_key)
+        assert [d.location.line for d in ordered] == [5, 12, 30]
+
+    def test_witness_text_joins_steps(self):
+        text = error().witness_text()
+        assert "read nc" in text and "assert" in text
+
+    def test_dependency_kind_str(self):
+        assert str(DependencyKind.DATA) == "data"
+        assert str(DependencyKind.BOTH) == "data+control"
+
+
+class TestReport:
+    def _report(self):
+        report = AnalysisReport(name="demo")
+        report.warnings = [warning()]
+        report.errors = [error(), error(variable="mode",
+                                        kind=DependencyKind.CONTROL,
+                                        fp=True, line=25)]
+        return report
+
+    def test_counts_split_errors_and_fps(self):
+        counts = self._report().counts()
+        assert counts["errors"] == 1
+        assert counts["false_positives"] == 1
+        assert counts["warnings"] == 1
+
+    def test_confirmed_vs_candidates(self):
+        report = self._report()
+        assert [e.variable for e in report.confirmed_errors] == ["out"]
+        assert [e.variable for e in report.candidate_false_positives] == \
+            ["mode"]
+
+    def test_passed_requires_no_diagnostics(self):
+        assert AnalysisReport().passed
+        assert not self._report().passed
+
+    def test_violations_fail_report(self):
+        report = AnalysisReport()
+        report.violations = [RestrictionViolation(
+            message="P2: bad", location=None, function="f",
+            severity=Severity.VIOLATION, rule="P2",
+        )]
+        assert not report.passed
+
+    def test_init_issues_fail_report(self):
+        report = AnalysisReport()
+        report.init_issues = [InitializationIssue(
+            message="overlap", location=None, function="init",
+            severity=Severity.VIOLATION, region_a="a", region_b="b",
+        )]
+        assert not report.passed
+
+    def test_diagnostics_merged_and_sorted(self):
+        diags = self._report().diagnostics
+        assert len(diags) == 3
+        lines = [d.location.line for d in diags]
+        assert lines == sorted(lines)
+
+    def test_summary_mentions_counts(self):
+        text = self._report().summary()
+        assert "warnings           : 1" in text
+        assert "error dependencies : 1" in text
+
+    def test_render_verbose_includes_witness(self):
+        text = self._report().render(verbose=True)
+        assert "read nc" in text
+
+    def test_to_json_round_trips_counts(self):
+        import json
+        payload = self._report().to_json()
+        encoded = json.dumps(payload)  # must be JSON-serializable
+        decoded = json.loads(encoded)
+        assert decoded["counts"]["errors"] == 1
+        assert decoded["errors"][0]["witness"]
+
+    def test_stats_defaults(self):
+        stats = AnalysisStats()
+        assert stats.functions == 0 and stats.contexts_analyzed == 0
+
+
+class TestRenderTable:
+    def test_columns_aligned(self):
+        text = render_table(["name", "value"],
+                            [["a", 1], ["longer-name", 22]])
+        lines = text.splitlines()
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_title_included(self):
+        text = render_table(["h"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_floats_formatted(self):
+        text = render_table(["v"], [[3.14159]])
+        assert "3.14" in text
+
+    def test_table1_comparison_smoke(self):
+        from repro.corpus import load_system
+        system = load_system("ip")
+        text = table1_comparison([(system, system.analyze())])
+        assert "Table 1" in text
+        assert "7 (7)" in text  # warnings measured (paper)

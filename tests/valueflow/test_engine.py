@@ -1,0 +1,484 @@
+"""Phase-3 engine behavior: the operational rules of §2, context
+sensitivity, control dependence, memory flow, and the extensions."""
+
+import pytest
+
+from repro.core.config import AnalysisConfig
+from repro.reporting import DependencyKind
+from tests.conftest import analyze
+
+
+HEADER = """
+typedef struct { double v; int flag; double arr[4]; } R;
+R *nc;      /* non-core region */
+R *core;    /* core region      */
+void emit(double v);
+void initShm(void)
+/***SafeFlow Annotation shminit /***/
+{
+    char *cursor;
+    cursor = (char *) shmat(shmget(7, 2 * sizeof(R), 0666), 0, 0);
+    nc = (R *) cursor;
+    core = (R *) (cursor + sizeof(R));
+    /***SafeFlow Annotation
+        assume(shmvar(nc, sizeof(R)));
+        assume(shmvar(core, sizeof(R)));
+        assume(noncore(nc)) /***/
+}
+"""
+
+
+def run(body: str, config: AnalysisConfig = None):
+    return analyze(HEADER + body, config=config)
+
+
+class TestOperationalRules:
+    def test_unmonitored_noncore_read_is_error(self):
+        report = run("""
+            int main(void) {
+                double x;
+                initShm();
+                x = nc->v;
+                /***SafeFlow Annotation assert(safe(x)); /***/
+                emit(x);
+                return 0;
+            }
+        """)
+        assert len(report.warnings) == 1
+        assert len(report.errors) == 1
+        assert report.errors[0].kind is DependencyKind.DATA
+        assert not report.passed
+
+    def test_core_region_read_is_safe(self):
+        report = run("""
+            int main(void) {
+                double x;
+                initShm();
+                x = core->v;
+                /***SafeFlow Annotation assert(safe(x)); /***/
+                emit(x);
+                return 0;
+            }
+        """)
+        assert report.warnings == []
+        assert report.errors == []
+        assert report.passed
+
+    def test_monitored_read_is_safe(self):
+        report = run("""
+            double mon(R *r, double fb)
+            /***SafeFlow Annotation assume(core(r, 0, sizeof(R))) /***/
+            {
+                double v;
+                v = r->v;
+                if (v > 5.0 || v < -5.0) return fb;
+                return v;
+            }
+            int main(void) {
+                double out;
+                initShm();
+                out = mon(nc, 0.0);
+                /***SafeFlow Annotation assert(safe(out)); /***/
+                emit(out);
+                return 0;
+            }
+        """)
+        assert report.warnings == []
+        assert report.errors == []
+
+    def test_write_does_not_change_noncore_status(self):
+        """§2: writes to a shared variable do not change core/noncore —
+        the core writing a value it later reads back is still unsafe."""
+        report = run("""
+            int main(void) {
+                double x;
+                initShm();
+                nc->v = 3.0;          /* core writes a perfectly safe value */
+                x = nc->v;            /* ...but the read-back is unsafe     */
+                /***SafeFlow Annotation assert(safe(x)); /***/
+                emit(x);
+                return 0;
+            }
+        """)
+        assert len(report.errors) == 1
+        assert report.errors[0].kind is DependencyKind.DATA
+
+    def test_core_region_laundering_caught(self):
+        """Storing an unsafe value into a *core* region and reading it
+        back must not wash the taint away."""
+        report = run("""
+            int main(void) {
+                double x;
+                double y;
+                initShm();
+                x = nc->v;
+                core->v = x;
+                y = core->v;
+                /***SafeFlow Annotation assert(safe(y)); /***/
+                emit(y);
+                return 0;
+            }
+        """)
+        assert len(report.errors) == 1
+
+    def test_arithmetic_propagates_taint(self):
+        report = run("""
+            int main(void) {
+                double x;
+                initShm();
+                x = 2.0 * nc->v + 1.0;
+                /***SafeFlow Annotation assert(safe(x)); /***/
+                emit(x);
+                return 0;
+            }
+        """)
+        assert len(report.errors) == 1
+
+    def test_safe_computation_passes(self):
+        report = run("""
+            double helper(double a) { return a * 2.0 + 1.0; }
+            int main(void) {
+                double x;
+                initShm();
+                x = helper(3.0);
+                /***SafeFlow Annotation assert(safe(x)); /***/
+                emit(x);
+                return 0;
+            }
+        """)
+        assert report.passed
+
+
+class TestContextSensitivity:
+    SHARED_HELPER = """
+        double raw(R *r) { return r->v; }
+        double mon(R *r, double fb)
+        /***SafeFlow Annotation assume(core(r, 0, sizeof(R))) /***/
+        {
+            double v;
+            v = raw(r);             /* monitored: assume flows to callee */
+            if (v > 5.0 || v < -5.0) return fb;
+            return v;
+        }
+        int main(void) {
+            double a;
+            double b;
+            initShm();
+            a = mon(nc, 0.0);
+            /***SafeFlow Annotation assert(safe(a)); /***/
+            emit(a);
+            b = raw(nc);            /* same helper, unmonitored context */
+            /***SafeFlow Annotation assert(safe(b)); /***/
+            emit(b);
+            return 0;
+        }
+    """
+
+    def test_assume_flows_to_callees(self):
+        report = run(self.SHARED_HELPER)
+        failing = {e.variable for e in report.errors}
+        assert failing == {"b"}
+
+    def test_warning_only_for_unmonitored_context(self):
+        report = run(self.SHARED_HELPER)
+        assert len(report.warnings) == 1
+        assert report.warnings[0].function == "raw"
+
+    def test_context_insensitive_merges_conservatively(self):
+        config = AnalysisConfig(context_sensitive=False)
+        report = run(self.SHARED_HELPER, config)
+        failing = {e.variable for e in report.errors}
+        # merged context must not assume core (intersection): both fail
+        assert "b" in failing and "a" in failing
+
+    def test_contexts_counted(self):
+        report = run(self.SHARED_HELPER)
+        assert report.stats.contexts_analyzed >= 4
+
+
+class TestControlDependence:
+    CONTROL = """
+        int main(void) {
+            double out;
+            int sel;
+            initShm();
+            sel = nc->flag;
+            if (sel == 1) out = 1.0; else out = 2.0;
+            /***SafeFlow Annotation assert(safe(out)); /***/
+            emit(out);
+            return 0;
+        }
+    """
+
+    def test_control_dependence_reported_as_candidate_fp(self):
+        report = run(self.CONTROL)
+        assert len(report.errors) == 1
+        error = report.errors[0]
+        assert error.kind is DependencyKind.CONTROL
+        assert error.candidate_false_positive
+        assert report.confirmed_errors == []
+        assert len(report.candidate_false_positives) == 1
+
+    def test_triage_can_be_disabled(self):
+        config = AnalysisConfig(triage_control_dependence=False)
+        report = run(self.CONTROL, config)
+        assert len(report.confirmed_errors) == 1
+
+    def test_control_tracking_can_be_disabled(self):
+        config = AnalysisConfig(track_control_dependence=False)
+        report = run(self.CONTROL, config)
+        assert report.errors == []
+        # the warning remains either way
+        assert len(report.warnings) == 1
+
+    def test_control_through_returns(self):
+        report = run("""
+            int check(void) {
+                if (nc->flag == 1) return 0;
+                return 1;
+            }
+            int main(void) {
+                double out;
+                initShm();
+                if (check()) out = 1.0; else out = 2.0;
+                /***SafeFlow Annotation assert(safe(out)); /***/
+                emit(out);
+                return 0;
+            }
+        """)
+        assert len(report.errors) == 1
+        assert report.errors[0].kind is DependencyKind.CONTROL
+
+    def test_data_beats_control_in_kind(self):
+        report = run("""
+            int main(void) {
+                double out;
+                initShm();
+                if (nc->flag) out = nc->v; else out = 0.0;
+                /***SafeFlow Annotation assert(safe(out)); /***/
+                emit(out);
+                return 0;
+            }
+        """)
+        assert len(report.errors) == 1
+        assert report.errors[0].kind is DependencyKind.BOTH
+        assert not report.errors[0].candidate_false_positive
+
+
+class TestMemoryFlow:
+    def test_out_parameter_flow(self):
+        report = run("""
+            void compute(double *out) { *out = nc->v; }
+            int main(void) {
+                double x;
+                initShm();
+                compute(&x);
+                /***SafeFlow Annotation assert(safe(x)); /***/
+                emit(x);
+                return 0;
+            }
+        """)
+        assert len(report.errors) == 1
+
+    def test_struct_fields_do_not_cross_taint(self):
+        report = run("""
+            typedef struct { double hot; double cold; } Pair;
+            int main(void) {
+                Pair p;
+                double x;
+                initShm();
+                p.hot = nc->v;
+                p.cold = 1.0;
+                x = p.cold;
+                /***SafeFlow Annotation assert(safe(x)); /***/
+                emit(x);
+                return 0;
+            }
+        """)
+        assert report.errors == []
+
+    def test_global_cell_flow(self):
+        report = run("""
+            double stash;
+            void save(void) { stash = nc->v; }
+            int main(void) {
+                double x;
+                initShm();
+                save();
+                x = stash;
+                /***SafeFlow Annotation assert(safe(x)); /***/
+                emit(x);
+                return 0;
+            }
+        """)
+        assert len(report.errors) == 1
+
+    def test_memcpy_from_region_taints_destination(self):
+        report = run("""
+            int main(void) {
+                double local[4];
+                double x;
+                initShm();
+                memcpy(local, nc->arr, 4 * sizeof(double));
+                x = local[0];
+                /***SafeFlow Annotation assert(safe(x)); /***/
+                emit(x);
+                return 0;
+            }
+        """)
+        assert len(report.errors) == 1
+
+    def test_return_value_flow(self):
+        report = run("""
+            double fetch(void) { return nc->v; }
+            int main(void) {
+                double x;
+                initShm();
+                x = fetch();
+                /***SafeFlow Annotation assert(safe(x)); /***/
+                emit(x);
+                return 0;
+            }
+        """)
+        assert len(report.errors) == 1
+
+
+class TestImplicitCriticalCalls:
+    def test_kill_pid_checked(self):
+        report = run("""
+            int main(void) {
+                int pid;
+                initShm();
+                pid = nc->flag;
+                if (pid > 1) kill(pid, 9);
+                return 0;
+            }
+        """)
+        assert len(report.errors) == 1
+        assert "kill" in report.errors[0].variable
+
+    def test_kill_with_safe_pid_passes(self):
+        report = run("""
+            int main(void) {
+                initShm();
+                kill(getpid(), 9);
+                return 0;
+            }
+        """)
+        assert report.errors == []
+
+
+class TestMessagePassingExtension:
+    RECV = """
+        int noncoreSock;
+        double parse(char *buf);
+        int main(void)
+        /***SafeFlow Annotation assume(noncore(noncoreSock)) /***/
+        {
+            char buf[64];
+            double x;
+            initShm();
+            recv(noncoreSock, buf, 64, 0);
+            x = parse(buf);
+            /***SafeFlow Annotation assert(safe(x)); /***/
+            emit(x);
+            return 0;
+        }
+    """
+
+    def test_recv_from_noncore_socket_taints(self):
+        report = run(self.RECV)
+        assert len(report.errors) == 1
+        assert "socket" in report.errors[0].message
+
+    def test_extension_can_be_disabled(self):
+        config = AnalysisConfig(message_passing_extension=False)
+        report = run(self.RECV, config)
+        assert report.errors == []
+
+    def test_unannotated_socket_is_core(self):
+        report = run("""
+            int coreSock;
+            double parse(char *buf);
+            int main(void)
+            {
+                char buf[64];
+                double x;
+                initShm();
+                recv(coreSock, buf, 64, 0);
+                x = parse(buf);
+                /***SafeFlow Annotation assert(safe(x)); /***/
+                emit(x);
+                return 0;
+            }
+        """)
+        assert report.errors == []
+
+
+class TestWarningAccounting:
+    def test_distinct_lines_distinct_warnings(self):
+        report = run("""
+            int main(void) {
+                double a;
+                double b;
+                initShm();
+                a = nc->v;
+                b = nc->v;
+                emit(a + b);
+                return 0;
+            }
+        """)
+        assert len(report.warnings) == 2
+
+    def test_same_site_deduplicated_across_contexts(self):
+        report = run("""
+            double raw(R *r) { return r->v; }
+            int main(void) {
+                initShm();
+                emit(raw(nc));
+                emit(raw(nc));
+                return 0;
+            }
+        """)
+        assert len(report.warnings) == 1
+
+    def test_warning_names_region_and_function(self):
+        report = run("""
+            double peek(void) { return nc->v; }
+            int main(void) { initShm(); emit(peek()); return 0; }
+        """)
+        warning = report.warnings[0]
+        assert warning.region == "nc"
+        assert warning.function == "peek"
+
+
+class TestWitnesses:
+    def test_error_carries_witness_path(self):
+        report = run("""
+            int main(void) {
+                double x;
+                initShm();
+                x = nc->v;
+                /***SafeFlow Annotation assert(safe(x)); /***/
+                emit(x);
+                return 0;
+            }
+        """)
+        error = report.errors[0]
+        assert error.witness
+        assert any("noncore read" in step for step in error.witness)
+        assert "assert safe(x)" in error.witness[-1]
+
+    def test_witness_graph_exported_as_dot(self):
+        report = run("""
+            int main(void) {
+                double x;
+                initShm();
+                x = nc->v;
+                /***SafeFlow Annotation assert(safe(x)); /***/
+                emit(x);
+                return 0;
+            }
+        """)
+        assert 0 in report.witness_graphs
+        assert "digraph" in report.witness_graphs[0]

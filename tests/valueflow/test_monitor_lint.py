@@ -1,0 +1,148 @@
+"""The vacuous-monitor lint (mitigation of the paper's limitation #2)."""
+
+import pytest
+
+from repro import AnalysisConfig
+from tests.conftest import analyze
+
+HEADER = """
+typedef struct { double v; int flag; } R;
+R *nc;
+void emit(double v);
+void initShm(void)
+/***SafeFlow Annotation shminit /***/
+{
+    nc = (R *) shmat(shmget(7, sizeof(R), 0666), 0, 0);
+    /***SafeFlow Annotation
+        assume(shmvar(nc, sizeof(R)));
+        assume(noncore(nc)) /***/
+}
+"""
+
+
+class TestVacuousMonitors:
+    def test_monitor_with_no_checks_flagged(self):
+        report = analyze(HEADER + """
+            double mon(R *r)
+            /***SafeFlow Annotation assume(core(r, 0, sizeof(R))) /***/
+            {
+                return r->v;   /* no check whatsoever */
+            }
+            int main(void) {
+                double x;
+                initShm();
+                x = mon(nc);
+                /***SafeFlow Annotation assert(safe(x)); /***/
+                emit(x);
+                return 0;
+            }
+        """)
+        assert len(report.lint_findings) == 1
+        assert "monitors nothing" in report.lint_findings[0].message
+        # the lint is advisory: value-flow itself still trusts the assume
+        assert report.errors == []
+
+    def test_range_checking_monitor_clean(self):
+        report = analyze(HEADER + """
+            double mon(R *r, double fb)
+            /***SafeFlow Annotation assume(core(r, 0, sizeof(R))) /***/
+            {
+                double v;
+                v = r->v;
+                if (v > 5.0 || v < -5.0) return fb;
+                return v;
+            }
+            int main(void) {
+                double x;
+                initShm();
+                x = mon(nc, 0.0);
+                /***SafeFlow Annotation assert(safe(x)); /***/
+                emit(x);
+                return 0;
+            }
+        """)
+        assert report.lint_findings == []
+
+    def test_flag_check_counts_as_monitoring(self):
+        report = analyze(HEADER + """
+            double mon(R *r, double fb)
+            /***SafeFlow Annotation assume(core(r, 0, sizeof(R))) /***/
+            {
+                if (r->flag == 0) return fb;
+                return r->v;
+            }
+            int main(void) {
+                initShm();
+                emit(mon(nc, 0.0));
+                return 0;
+            }
+        """)
+        assert report.lint_findings == []
+
+    def test_monitor_that_releases_nothing_clean(self):
+        report = analyze(HEADER + """
+            double mon(R *r, double fb)
+            /***SafeFlow Annotation assume(core(r, 0, sizeof(R))) /***/
+            {
+                return fb;   /* never uses the region at all */
+            }
+            int main(void) {
+                initShm();
+                emit(mon(nc, 0.0));
+                return 0;
+            }
+        """)
+        assert report.lint_findings == []
+
+    def test_escape_through_global_flagged(self):
+        report = analyze(HEADER + """
+            double stash;
+            void mon(R *r)
+            /***SafeFlow Annotation assume(core(r, 0, sizeof(R))) /***/
+            {
+                stash = r->v;   /* unchecked escape via memory */
+            }
+            int main(void) {
+                initShm();
+                mon(nc);
+                emit(stash);
+                return 0;
+            }
+        """)
+        assert len(report.lint_findings) == 1
+
+    def test_lint_can_be_disabled(self):
+        report = analyze(HEADER + """
+            double mon(R *r)
+            /***SafeFlow Annotation assume(core(r, 0, sizeof(R))) /***/
+            { return r->v; }
+            int main(void) { initShm(); emit(mon(nc)); return 0; }
+        """, AnalysisConfig(lint_monitors=False))
+        assert report.lint_findings == []
+
+    def test_corpus_monitors_all_pass_the_lint(self):
+        from repro.corpus import load_all
+        for system in load_all():
+            report = system.analyze()
+            assert report.lint_findings == [], system.key
+
+
+class TestReadExtension:
+    def test_read_from_noncore_descriptor_taints(self):
+        report = analyze("""
+            int sensorFd;
+            void emit(double v);
+            int main(void)
+            /***SafeFlow Annotation assume(noncore(sensorFd)) /***/
+            {
+                char buf[16];
+                double x;
+                read(sensorFd, buf, 16);
+                x = atof(buf);
+                /***SafeFlow Annotation assert(safe(x)); /***/
+                emit(x);
+                return 0;
+            }
+        """)
+        assert len(report.errors) == 1
+        assert "socket:sensorFd" in report.errors[0].message

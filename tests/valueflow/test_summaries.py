@@ -1,0 +1,177 @@
+"""ESP-style function summaries (§3.3 last paragraph).
+
+Summary mode must produce byte-identical diagnoses while analyzing
+shared helpers once per assumed-core context instead of once per
+argument-taint combination.
+"""
+
+import pytest
+
+from repro import AnalysisConfig, SafeFlow
+from repro.corpus import SYSTEM_KEYS, generate_core, load_system
+from repro.corpus.running_example import RUNNING_EXAMPLE
+from tests.conftest import analyze
+
+
+def summary_config(**kwargs) -> AnalysisConfig:
+    return AnalysisConfig(summary_mode=True, **kwargs)
+
+
+HEADER = """
+typedef struct { double v; int flag; } R;
+R *r0;
+R *r1;
+R *r2;
+void emit(double v);
+void initShm(void)
+/***SafeFlow Annotation shminit /***/
+{
+    char *cursor;
+    cursor = (char *) shmat(shmget(7, 3 * sizeof(R), 0666), 0, 0);
+    r0 = (R *) cursor;
+    r1 = (R *) (cursor + sizeof(R));
+    r2 = (R *) (cursor + 2 * sizeof(R));
+    /***SafeFlow Annotation
+        assume(shmvar(r0, sizeof(R)));
+        assume(shmvar(r1, sizeof(R)));
+        assume(shmvar(r2, sizeof(R)));
+        assume(noncore(r0));
+        assume(noncore(r1));
+        assume(noncore(r2)) /***/
+}
+"""
+
+MANY_COMBINATIONS = HEADER + """
+    double mix(double a, double b) { return 0.5 * a + 0.25 * b; }
+    int main(void) {
+        double x0; double x1; double x2;
+        double a; double b; double c; double d;
+        initShm();
+        x0 = r0->v;
+        x1 = r1->v;
+        x2 = r2->v;
+        a = mix(x0, x1);
+        b = mix(x1, x2);
+        c = mix(x2, x0);
+        d = mix(1.0, 2.0);
+        /***SafeFlow Annotation assert(safe(a)); /***/
+        /***SafeFlow Annotation assert(safe(d)); /***/
+        emit(a + b + c + d);
+        return 0;
+    }
+"""
+
+
+class TestEquivalence:
+    def test_per_site_precision_preserved(self):
+        """`d = mix(1.0, 2.0)` must stay safe even though other call
+        sites pass tainted arguments — the test a naive merged summary
+        fails."""
+        report = analyze(MANY_COMBINATIONS, summary_config())
+        failing = {e.variable for e in report.errors}
+        assert "a" in failing
+        assert "d" not in failing
+
+    def test_same_counts_as_reanalysis(self):
+        base = analyze(MANY_COMBINATIONS)
+        summ = analyze(MANY_COMBINATIONS, summary_config())
+        assert base.counts() == summ.counts()
+
+    def test_fewer_helper_analyses(self):
+        base = analyze(MANY_COMBINATIONS)
+        summ = analyze(MANY_COMBINATIONS, summary_config())
+        # base re-analyzes mix() per argument-taint combination (4);
+        # summary mode needs at most 2 passes for it
+        assert summ.stats.contexts_analyzed < base.stats.contexts_analyzed
+
+    @pytest.mark.parametrize("key", SYSTEM_KEYS)
+    def test_corpus_reports_identical(self, key):
+        system = load_system(key)
+        base = system.analyze()
+        summ = system.analyze(summary_config())
+        assert base.counts() == summ.counts()
+        assert {(e.variable, e.message) for e in base.errors} == \
+            {(e.variable, e.message) for e in summ.errors}
+
+    def test_running_example_identical(self):
+        base = SafeFlow().analyze_source(RUNNING_EXAMPLE)
+        summ = SafeFlow(summary_config()).analyze_source(RUNNING_EXAMPLE)
+        assert base.counts() == summ.counts()
+
+    def test_generated_chain_identical(self):
+        program = generate_core(monitored_regions=2, chain_depth=6,
+                                data_error_regions=2, control_fp_regions=1)
+        base = SafeFlow().analyze_source(program.source)
+        summ = SafeFlow(summary_config()).analyze_source(program.source)
+        assert base.counts() == summ.counts()
+
+
+class TestSummaryMechanics:
+    def test_memory_effects_still_flow(self):
+        """The effects pass must carry actual taints into cells."""
+        source = HEADER + """
+            double stash;
+            void save(double v) { stash = v; }
+            int main(void) {
+                double x;
+                initShm();
+                save(r0->v);
+                x = stash;
+                /***SafeFlow Annotation assert(safe(x)); /***/
+                emit(x);
+                return 0;
+            }
+        """
+        report = analyze(source, summary_config())
+        assert len(report.errors) == 1
+
+    def test_control_position_demotes_to_control(self):
+        source = HEADER + """
+            double pick(int sel) {
+                if (sel == 1) return 1.0;
+                return 2.0;
+            }
+            int main(void) {
+                double out;
+                initShm();
+                out = pick(r0->flag);
+                /***SafeFlow Annotation assert(safe(out)); /***/
+                emit(out);
+                return 0;
+            }
+        """
+        report = analyze(source, summary_config())
+        assert len(report.errors) == 1
+        assert report.errors[0].candidate_false_positive
+
+    def test_placeholders_never_reach_reports(self):
+        report = analyze(MANY_COMBINATIONS, summary_config())
+        for error in report.errors:
+            for source in error.sources:
+                assert not source.region.startswith("\x00")
+        for warning in report.warnings:
+            assert not warning.region.startswith("\x00")
+
+    def test_monitored_context_still_safe(self):
+        source = HEADER + """
+            double raw(R *r) { return r->v; }
+            double mon(R *r, double fb)
+            /***SafeFlow Annotation assume(core(r, 0, sizeof(R))) /***/
+            {
+                double v;
+                v = raw(r);
+                if (v > 5.0 || v < -5.0) return fb;
+                return v;
+            }
+            int main(void) {
+                double out;
+                initShm();
+                out = mon(r0, 0.0);
+                /***SafeFlow Annotation assert(safe(out)); /***/
+                emit(out);
+                return 0;
+            }
+        """
+        report = analyze(source, summary_config())
+        assert report.errors == []
+        assert report.warnings == []

@@ -1,0 +1,128 @@
+"""The safe/unsafe lattice with provenance (§2 predicates)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.valueflow import SAFE, Taint, TaintSource, data_taint, join_all
+
+
+def src(region: str, line: int = 1) -> TaintSource:
+    return TaintSource(region=region, function="f", filename="t.c", line=line)
+
+
+sources = st.builds(
+    TaintSource,
+    region=st.sampled_from(["a", "b", "c", "d"]),
+    function=st.just("f"),
+    filename=st.just("t.c"),
+    line=st.integers(1, 50),
+)
+taints = st.builds(
+    Taint,
+    data=st.frozensets(sources, max_size=4),
+    control=st.frozensets(sources, max_size=4),
+)
+
+
+class TestPredicates:
+    def test_safe_by_default(self):
+        assert SAFE.is_safe
+        assert not SAFE.is_unsafe
+
+    def test_data_taint_is_unsafe(self):
+        t = data_taint([src("shm")])
+        assert t.is_unsafe and not t.is_safe
+
+    def test_control_only_is_not_unsafe(self):
+        """§2: unsafe(x) means *value* dependence; control-only taint is
+        the candidate-false-positive class, not unsafe(x)."""
+        t = Taint(control=frozenset({src("shm")}))
+        assert not t.is_unsafe
+        assert not t.is_safe
+
+    def test_mutual_exclusion(self):
+        """safe(x) and unsafe(x) are mutually exclusive (§2)."""
+        for t in (SAFE, data_taint([src("a")]),
+                  Taint(control=frozenset({src("b")}))):
+            assert not (t.is_safe and t.is_unsafe)
+
+    def test_bool_mirrors_not_safe(self):
+        assert not SAFE
+        assert data_taint([src("a")])
+
+    def test_all_sources_unions(self):
+        t = Taint(frozenset({src("a")}), frozenset({src("b")}))
+        assert {s.region for s in t.all_sources} == {"a", "b"}
+
+
+class TestJoin:
+    def test_join_identity(self):
+        t = data_taint([src("a")])
+        assert t.join(SAFE) == t
+        assert SAFE.join(t) == t
+
+    def test_join_unions_sources(self):
+        t = data_taint([src("a")]).join(data_taint([src("b")]))
+        assert {s.region for s in t.data} == {"a", "b"}
+
+    def test_join_keeps_kinds_separate(self):
+        t = data_taint([src("a")]).join(Taint(control=frozenset({src("b")})))
+        assert {s.region for s in t.data} == {"a"}
+        assert {s.region for s in t.control} == {"b"}
+
+    def test_as_control_demotes_data(self):
+        t = data_taint([src("a")]).as_control()
+        assert not t.data
+        assert {s.region for s in t.control} == {"a"}
+
+    def test_as_control_of_safe_is_safe(self):
+        assert SAFE.as_control() is SAFE
+
+    def test_join_all(self):
+        t = join_all([data_taint([src("a")]), SAFE, data_taint([src("b")])])
+        assert len(t.data) == 2
+
+    @given(taints, taints)
+    def test_join_commutative(self, a, b):
+        assert a.join(b) == b.join(a)
+
+    @given(taints, taints, taints)
+    def test_join_associative(self, a, b, c):
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @given(taints)
+    def test_join_idempotent(self, a):
+        assert a.join(a) == a
+
+    @given(taints)
+    def test_safe_is_identity(self, a):
+        assert a.join(SAFE) == a
+
+    @given(taints)
+    def test_as_control_idempotent(self, a):
+        assert a.as_control().as_control() == a.as_control()
+
+    @given(taints, taints)
+    def test_join_monotone_in_sources(self, a, b):
+        joined = a.join(b)
+        assert a.data <= joined.data
+        assert b.control <= joined.control
+
+    @given(taints)
+    def test_hashable_and_equal(self, a):
+        assert hash(a) == hash(Taint(a.data, a.control))
+
+
+class TestSourceIdentity:
+    def test_sources_compare_by_fields(self):
+        assert src("a", 3) == src("a", 3)
+        assert src("a", 3) != src("a", 4)
+
+    def test_sorted_deterministically(self):
+        items = [src("b"), src("a"), src("a", 2)]
+        ordered = sorted(items)
+        assert ordered[0].region == "a"
+
+    def test_describe_mentions_region_and_site(self):
+        text = src("cmdRegion", 12).describe()
+        assert "cmdRegion" in text and "t.c:12" in text

@@ -1,0 +1,90 @@
+"""Value flow graph: provenance edges, witness paths, DOT export."""
+
+from repro.valueflow import ValueFlowGraph, VFGNode
+
+
+def node(kind, label):
+    return VFGNode(kind, label, "")
+
+
+class TestWitnessPaths:
+    def test_direct_edge(self):
+        g = ValueFlowGraph()
+        s, t = node("source", "read"), node("sink", "assert")
+        g.add_edge(s, t)
+        path = g.witness_path(t)
+        assert path[0] == s and path[-1] == t
+
+    def test_multi_hop_path(self):
+        g = ValueFlowGraph()
+        s = node("source", "read")
+        v1, v2 = node("value", "v1"), node("value", "v2")
+        t = node("sink", "assert")
+        g.add_edge(s, v1)
+        g.add_edge(v1, v2)
+        g.add_edge(v2, t)
+        path = g.witness_path(t)
+        assert [n.label for n in path] == ["read", "v1", "v2", "assert"]
+
+    def test_shortest_source_preferred(self):
+        g = ValueFlowGraph()
+        near = node("source", "near")
+        far = node("source", "far")
+        mid = node("value", "mid")
+        t = node("sink", "assert")
+        g.add_edge(far, mid)
+        g.add_edge(mid, t)
+        g.add_edge(near, t)
+        path = g.witness_path(t)
+        assert path[0] == near
+        assert len(path) == 2
+
+    def test_sink_without_sources(self):
+        g = ValueFlowGraph()
+        t = node("sink", "assert")
+        g.add_edge(node("value", "v"), t)
+        path = g.witness_path(t)
+        assert path[-1] == t
+
+    def test_unknown_sink_returns_itself(self):
+        g = ValueFlowGraph()
+        t = node("sink", "assert")
+        assert g.witness_path(t) == [t]
+
+    def test_cycle_terminates(self):
+        g = ValueFlowGraph()
+        a, b = node("value", "a"), node("value", "b")
+        t = node("sink", "assert")
+        g.add_edge(a, b)
+        g.add_edge(b, a)
+        g.add_edge(b, t)
+        path = g.witness_path(t)
+        assert path[-1] == t
+
+    def test_self_edge_ignored(self):
+        g = ValueFlowGraph()
+        a = node("value", "a")
+        g.add_edge(a, a)
+        assert a not in g.edges
+
+
+class TestDot:
+    def test_dot_contains_nodes_and_edges(self):
+        g = ValueFlowGraph()
+        s, t = node("source", "read r"), node("sink", "assert x")
+        g.add_edge(s, t, "data")
+        dot = g.to_dot("demo")
+        assert "digraph" in dot
+        assert "read r" in dot and "assert x" in dot
+        assert "->" in dot
+
+    def test_control_edges_dashed(self):
+        g = ValueFlowGraph()
+        g.add_edge(node("value", "cond"), node("value", "phi"), "control")
+        assert "dashed" in g.to_dot()
+
+    def test_node_count(self):
+        g = ValueFlowGraph()
+        g.add_edge(node("value", "a"), node("value", "b"))
+        g.add_edge(node("value", "b"), node("value", "c"))
+        assert g.node_count == 3

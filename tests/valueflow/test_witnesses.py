@@ -1,0 +1,99 @@
+"""Witness quality: region-specific paths and per-error DOT subgraphs."""
+
+import pytest
+
+from repro import AnalysisConfig
+from tests.conftest import analyze
+
+SOURCE = """
+typedef struct { double v; int flag; } R;
+R *alpha;
+R *beta;
+void emit(double v);
+void initShm(void)
+/***SafeFlow Annotation shminit /***/
+{
+    char *cursor;
+    cursor = (char *) shmat(shmget(7, 2 * sizeof(R), 0666), 0, 0);
+    alpha = (R *) cursor;
+    beta = (R *) (cursor + sizeof(R));
+    /***SafeFlow Annotation
+        assume(shmvar(alpha, sizeof(R)));
+        assume(shmvar(beta, sizeof(R)));
+        assume(noncore(alpha));
+        assume(noncore(beta)) /***/
+}
+double scalePass(double x) { return 2.0 * x; }
+int main(void) {
+    double fromAlpha;
+    double fromBeta;
+    double out;
+    int sel;
+    initShm();
+    fromAlpha = scalePass(alpha->v);
+    sel = beta->flag;
+    if (sel == 1) out = fromAlpha; else out = 0.0;
+    /***SafeFlow Annotation assert(safe(out)); /***/
+    emit(out);
+    fromBeta = beta->v;
+    /***SafeFlow Annotation assert(safe(fromBeta)); /***/
+    emit(fromBeta);
+    return 0;
+}
+"""
+
+
+class TestWitnessRegions:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return analyze(SOURCE, name="witnesses")
+
+    def test_each_dependency_has_its_own_region_source(self, report):
+        for error in report.errors:
+            region = error.message.split("'")[-2]
+            assert f"noncore read {region}" in error.witness[0], error.message
+
+    def test_cross_function_path_traverses_callee(self, report):
+        alpha_errors = [e for e in report.errors if "alpha" in e.message]
+        assert alpha_errors
+        witness = "\n".join(alpha_errors[0].witness)
+        assert "scalePass" in witness
+
+    def test_every_witness_ends_at_its_sink(self, report):
+        for error in report.errors:
+            assert error.variable in error.witness[-1]
+
+    def test_dot_subgraph_excludes_unrelated_sinks(self, report):
+        # find the index of the fromBeta error; its DOT must not pull in
+        # the whole graph's other sink
+        for index, error in enumerate(report.errors):
+            dot = report.witness_graphs[index]
+            assert "digraph" in dot
+            assert f"assert safe({error.variable})" in dot
+
+    def test_dot_contains_source_nodes(self, report):
+        for index, error in enumerate(report.errors):
+            region = error.message.split("'")[-2]
+            assert f"noncore read {region}" in report.witness_graphs[index]
+
+
+class TestExtensionInterplay:
+    def test_summaries_plus_paranoid(self):
+        config = AnalysisConfig(summary_mode=True,
+                                unannotated_shm_is_core=False)
+        report = analyze(SOURCE, config)
+        base = analyze(SOURCE)
+        assert len(report.errors) >= len(base.errors)
+
+    def test_summaries_preserve_witness_quality(self):
+        report = analyze(SOURCE, AnalysisConfig(summary_mode=True))
+        alpha_errors = [e for e in report.errors if "alpha" in e.message]
+        assert alpha_errors and alpha_errors[0].witness
+
+    def test_insensitive_plus_no_control(self):
+        config = AnalysisConfig(context_sensitive=False,
+                                track_control_dependence=False)
+        report = analyze(SOURCE, config)
+        # data deps survive, control-only ones vanish
+        variables = {e.variable for e in report.errors}
+        assert "fromBeta" in variables
