@@ -11,7 +11,8 @@ test:
 	$(PYTHON) -m pytest tests/
 
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only \
+		--benchmark-json=BENCH_parallel.json
 
 table1:
 	$(PYTHON) -m repro.cli table1

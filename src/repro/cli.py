@@ -3,15 +3,21 @@
 Subcommands::
 
     safeflow analyze FILE...     # run the analysis on C sources
+    safeflow batch FILE...       # analyze independent programs in parallel
     safeflow corpus [KEY]        # analyze a bundled Table-1 system
     safeflow table1              # reproduce Table 1 (measured vs paper)
     safeflow demo                # run the Simplex pendulum demo
+
+``analyze`` and ``batch`` use the on-disk caches of :mod:`repro.perf`
+by default (``$SAFEFLOW_CACHE_DIR`` or ``~/.cache/safeflow``); disable
+with ``--no-cache``, relocate with ``--cache-dir``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -50,6 +56,29 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="skip the vacuous-monitor lint")
     analyze.add_argument("--include", "-I", action="append", default=[],
                          help="include directory")
+    analyze.add_argument("--stats", action="store_true",
+                         help="print per-phase timings and cache counters")
+    _add_cache_flags(analyze)
+
+    batch = sub.add_parser(
+        "batch", help="analyze independent programs in parallel"
+    )
+    batch.add_argument("files", nargs="*",
+                       help="C files; each file is one independent job")
+    batch.add_argument("--corpus", action="store_true",
+                       help="add the three bundled Table-1 systems as jobs")
+    batch.add_argument("--jobs", "-j", type=int, default=0, metavar="N",
+                       help="worker processes (default: CPU count; "
+                            "1 = sequential in-process)")
+    batch.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                       help="per-job timeout in seconds")
+    batch.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+    batch.add_argument("--summaries", action="store_true",
+                       help="use ESP-style function summaries (§3.3)")
+    batch.add_argument("--include", "-I", action="append", default=[],
+                       help="include directory")
+    _add_cache_flags(batch)
 
     corpus = sub.add_parser("corpus", help="analyze a bundled system")
     corpus.add_argument("key", nargs="?", default="ip",
@@ -68,6 +97,36 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_cache_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--no-cache", action="store_true",
+                     help="disable the IR / summary caches")
+    sub.add_argument("--cache-dir", default=None, metavar="DIR",
+                     help="cache directory (default: $SAFEFLOW_CACHE_DIR "
+                          "or ~/.cache/safeflow)")
+
+
+def _cache_dir(args) -> Optional[str]:
+    if args.no_cache:
+        return None
+    if args.cache_dir:
+        return args.cache_dir
+    return os.environ.get(
+        "SAFEFLOW_CACHE_DIR",
+        os.path.join(os.path.expanduser("~"), ".cache", "safeflow"),
+    )
+
+
+def _render_stats(report: AnalysisReport) -> str:
+    stats = report.stats
+    lines = [f"stats for {report.name}",
+             f"  contexts analyzed  : {stats.contexts_analyzed}"]
+    for phase, seconds in stats.phase_timings.items():
+        lines.append(f"  {phase + ' time':<19}: {seconds * 1000:.1f} ms")
+    for counter, value in stats.cache_counters().items():
+        lines.append(f"  {counter:<19}: {value}")
+    return "\n".join(lines)
+
+
 def _report_json(report: AnalysisReport) -> str:
     return json.dumps(report.to_json(), indent=2)
 
@@ -80,17 +139,85 @@ def cmd_analyze(args) -> int:
         unannotated_shm_is_core=not args.paranoid,
         lint_monitors=not args.no_lint,
         include_dirs=tuple(args.include),
+        cache_dir=_cache_dir(args),
     )
     report = SafeFlow(config).analyze_files(args.files, name=args.name)
     if args.json:
         print(_report_json(report))
     else:
         print(report.render(verbose=args.verbose))
+        if args.stats:
+            print()
+            print(_render_stats(report))
     if args.dot and report.witness_graphs:
         with open(args.dot, "w") as f:
             f.write(report.witness_graphs[0])
         print(f"\nvalue flow graph written to {args.dot}")
     return 0 if report.passed else 1
+
+
+def cmd_batch(args) -> int:
+    from .perf.batch import BatchJob
+
+    jobs: List[BatchJob] = []
+    if args.corpus:
+        from .corpus import load_all
+
+        for system in load_all():
+            jobs.append(BatchJob(
+                name=system.key,
+                files=tuple(str(p) for p in system.core_files),
+            ))
+    for path in args.files:
+        jobs.append(BatchJob(name=os.path.basename(path), files=(path,)))
+    if not jobs:
+        print("safeflow batch: no jobs (give FILES and/or --corpus)",
+              file=sys.stderr)
+        return 2
+
+    config = AnalysisConfig(
+        summary_mode=args.summaries,
+        include_dirs=tuple(args.include),
+        cache_dir=_cache_dir(args),
+    )
+    max_workers = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    outcome = SafeFlow(config).analyze_batch(
+        jobs, max_workers=max_workers, timeout=args.timeout
+    )
+
+    if args.json:
+        payload = {
+            "wall_time": outcome.wall_time,
+            "jobs": [
+                {
+                    "name": r.name,
+                    "ok": r.ok,
+                    "duration": r.duration,
+                    "error": r.error,
+                    "report": r.report.to_json() if r.report else None,
+                }
+                for r in outcome.results
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for result in outcome.results:
+            if result.ok:
+                counts = result.report.counts()
+                status = "PASS" if result.report.passed else "FAIL"
+                print(f"{result.name:<20} {status}  "
+                      f"errors={counts['errors']} "
+                      f"warnings={counts['warnings']} "
+                      f"violations={counts['violations']} "
+                      f"({result.duration:.2f}s)")
+            else:
+                first_line = result.error.strip().splitlines()[-1]
+                print(f"{result.name:<20} ERROR {first_line}")
+        print(f"{len(outcome.results)} jobs in {outcome.wall_time:.2f}s "
+              f"({max_workers} workers)")
+    if not outcome.ok:
+        return 2
+    return 0 if all(r.report.passed for r in outcome.results) else 1
 
 
 def cmd_corpus(args) -> int:
@@ -160,6 +287,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "analyze": cmd_analyze,
+        "batch": cmd_batch,
         "corpus": cmd_corpus,
         "table1": cmd_table1,
         "demo": cmd_demo,

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 
 @dataclass
@@ -62,3 +62,12 @@ class AnalysisConfig:
     #: socket descriptors annotated noncore for the §3.4.3 message-
     #: passing extension are honored when this is on
     message_passing_extension: bool = True
+    #: directory for the performance layer's on-disk caches; None
+    #: disables all caching (the default — caching is opt-in for the
+    #: library, opted into by the CLI). Never part of a cache key.
+    cache_dir: Optional[str] = None
+    #: reuse pickled front-ended programs from ``cache_dir``
+    frontend_cache: bool = True
+    #: persist/replay value-flow summary bodies (only effective in
+    #: ``summary_mode``); see :mod:`repro.perf.summary_store`
+    summary_cache: bool = True

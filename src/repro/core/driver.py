@@ -15,15 +15,28 @@ The three phases follow §3.3 of the paper:
    (:mod:`repro.restrictions`);
 3. identify non-core accesses and check critical-data dependencies
    (:mod:`repro.valueflow`).
+
+With ``config.cache_dir`` set, the performance layer (:mod:`repro.perf`)
+kicks in: front-ended programs are reused from a content-hash-keyed
+on-disk cache, and in ``summary_mode`` value-flow summary bodies of
+unchanged functions are replayed instead of recomputed. Both paths are
+behavior-preserving — reports render byte-identical to a cold run —
+and observable through ``AnalysisStats.phase_timings`` and the cache
+hit/miss counters.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import os
+import re
+import time
+from typing import List, Optional, Sequence, Union
 
 from ..frontend.driver import Program, load_files, load_source
 from .config import AnalysisConfig
 from .results import AnalysisReport, AnalysisStats
+
+_BLOCK_COMMENT_RE = re.compile(r"/\*.*?\*/")
 
 
 class SafeFlow:
@@ -39,41 +52,94 @@ class SafeFlow:
     def analyze_source(self, text: str, filename: str = "<source>",
                        name: str = "program") -> AnalysisReport:
         """Analyze a single C source string (the core component)."""
+        cache = self._ir_cache()
+        started = time.perf_counter()
         program = load_source(
             text,
             filename=filename,
             defines=self.config.defines,
             verify=self.config.verify_ir,
+            cache=cache,
         )
-        return self.analyze_program(program, name=name, source_text=text)
+        return self.analyze_program(
+            program,
+            name=name,
+            source_text=text,
+            frontend_seconds=time.perf_counter() - started,
+            ir_cache=cache,
+        )
 
     def analyze_files(self, paths: Sequence[str],
                       name: str = "program") -> AnalysisReport:
         """Analyze one or more C files as a whole program."""
+        cache = self._ir_cache()
+        started = time.perf_counter()
         program = load_files(
             paths,
             include_dirs=self.config.include_dirs,
             defines=self.config.defines,
             verify=self.config.verify_ir,
+            cache=cache,
         )
-        return self.analyze_program(program, name=name)
+        return self.analyze_program(
+            program,
+            name=name,
+            frontend_seconds=time.perf_counter() - started,
+            ir_cache=cache,
+        )
+
+    def analyze_batch(self, jobs: Sequence, max_workers: Optional[int] = None,
+                      timeout: Optional[float] = None):
+        """Analyze independent programs in parallel worker processes.
+
+        ``jobs`` is a sequence of :class:`repro.perf.BatchJob` or
+        ``(name, [paths])`` pairs; each job is a whole program analyzed
+        with this analyzer's config. Returns a
+        :class:`repro.perf.BatchOutcome` with per-job reports/errors in
+        job order. ``max_workers=1`` runs sequentially in-process.
+        """
+        from ..perf.batch import BatchJob, run_batch
+
+        normalized: List[BatchJob] = []
+        for job in jobs:
+            if isinstance(job, BatchJob):
+                normalized.append(job)
+            else:
+                name, files = job
+                normalized.append(BatchJob(name=name, files=tuple(files)))
+        if max_workers is None:
+            max_workers = min(len(normalized), os.cpu_count() or 1)
+        return run_batch(
+            normalized, self.config, max_workers=max_workers, timeout=timeout
+        )
 
     # ------------------------------------------------------------------
     # pipeline
     # ------------------------------------------------------------------
 
     def analyze_program(self, program: Program, name: str = "program",
-                        source_text: Optional[str] = None) -> AnalysisReport:
+                        source_text: Optional[str] = None,
+                        frontend_seconds: Optional[float] = None,
+                        ir_cache=None) -> AnalysisReport:
         from ..restrictions.checker import check_restrictions
         from ..shm.propagation import ShmAnalysis
         from ..valueflow.engine import ValueFlowAnalysis
 
+        started = time.perf_counter()
         report = AnalysisReport(name=name)
         report.stats = self._base_stats(program, source_text)
+        timings = report.stats.phase_timings
+        if frontend_seconds is not None:
+            timings["frontend"] = frontend_seconds
+        if ir_cache is not None:
+            report.stats.frontend_cache_hits = ir_cache.hits
+            report.stats.frontend_cache_misses = ir_cache.misses
 
         # phase 1: shared-memory pointer identification
+        phase_start = time.perf_counter()
         shm = ShmAnalysis(program, self.config)
         shm.run()
+        timings["shm"] = time.perf_counter() - phase_start
         report.init_issues.extend(shm.init_issues)
         report.stats.shm_regions = len(shm.regions)
         report.stats.noncore_regions = sum(
@@ -82,19 +148,29 @@ class SafeFlow:
 
         # phase 2: language restrictions
         if self.config.check_restrictions:
+            phase_start = time.perf_counter()
             report.violations.extend(check_restrictions(program, shm, self.config))
+            timings["restrictions"] = time.perf_counter() - phase_start
 
         # extension: vacuous-monitor lint (advisory)
         if self.config.lint_monitors:
             from ..valueflow.monitor_lint import lint_monitors
 
+            phase_start = time.perf_counter()
             report.lint_findings.extend(
                 lint_monitors(program, shm, self.config)
             )
+            timings["lint"] = time.perf_counter() - phase_start
 
         # phase 3: value flow
-        vf = ValueFlowAnalysis(program, shm, self.config)
+        phase_start = time.perf_counter()
+        store = self._summary_store()
+        vf = ValueFlowAnalysis(program, shm, self.config, summary_store=store)
         vf.run()
+        timings["valueflow"] = time.perf_counter() - phase_start
+        if store is not None:
+            report.stats.summary_cache_hits = store.hits
+            report.stats.summary_cache_misses = store.misses
         report.warnings.extend(vf.warnings)
         report.errors.extend(vf.errors)
         report.witness_graphs = vf.witness_graphs
@@ -102,7 +178,37 @@ class SafeFlow:
         report.stats.monitored_functions = len(
             [f for f, items in program.function_annotations.items() if items]
         )
+        timings["total"] = (
+            time.perf_counter() - started + (frontend_seconds or 0.0)
+        )
         return report
+
+    # ------------------------------------------------------------------
+    # performance layer plumbing
+    # ------------------------------------------------------------------
+
+    def _ir_cache(self):
+        if not self.config.cache_dir or not self.config.frontend_cache:
+            return None
+        from ..perf.ircache import IRCache
+
+        return IRCache(self.config.cache_dir)
+
+    def _summary_store(self):
+        # summary bodies only exist in context-sensitive summary mode
+        if (not self.config.cache_dir or not self.config.summary_cache
+                or not self.config.summary_mode
+                or not self.config.context_sensitive):
+            return None
+        from ..perf.fingerprint import config_fingerprint
+        from ..perf.summary_store import SummaryStore
+
+        fp = config_fingerprint(self.config)[:16]
+        return SummaryStore(
+            os.path.join(self.config.cache_dir, f"summaries-{fp}.pkl")
+        )
+
+    # ------------------------------------------------------------------
 
     def _base_stats(self, program: Program,
                     source_text: Optional[str]) -> AnalysisStats:
@@ -111,7 +217,7 @@ class SafeFlow:
         functions = list(program.module.defined_functions())
         stats.functions = len(functions)
         stats.instructions = sum(
-            len(list(f.instructions())) for f in functions
+            sum(1 for _ in f.instructions()) for f in functions
         )
         stats.annotation_lines = program.annotation_lines
         if source_text is not None:
@@ -121,8 +227,6 @@ class SafeFlow:
 
 def _count_loc(text: str) -> int:
     """Non-blank, non-comment-only line count (Table 1's LOC metric)."""
-    import re
-
     count = 0
     in_comment = False
     for line in text.splitlines():
@@ -134,7 +238,7 @@ def _count_loc(text: str) -> int:
             else:
                 continue
         # drop any complete /* ... */ spans within the line
-        stripped = re.sub(r"/\*.*?\*/", "", stripped).strip()
+        stripped = _BLOCK_COMMENT_RE.sub("", stripped).strip()
         if stripped.startswith("/*"):
             in_comment = True
             continue

@@ -17,7 +17,15 @@ from ..reporting.diagnostics import (
 
 @dataclass
 class AnalysisStats:
-    """Volume/effort statistics of one run (Table 1 support columns)."""
+    """Volume/effort statistics of one run (Table 1 support columns).
+
+    ``phase_timings`` and the cache counters observe the performance
+    layer (:mod:`repro.perf`). They are deliberately excluded from
+    :meth:`AnalysisReport.summary` / :meth:`AnalysisReport.render` so
+    cached and parallel runs stay byte-identical to cold sequential
+    ones; they surface through ``repro analyze --stats`` and
+    :meth:`AnalysisReport.to_json` instead.
+    """
 
     files: int = 0
     functions: int = 0
@@ -28,6 +36,21 @@ class AnalysisStats:
     noncore_regions: int = 0
     contexts_analyzed: int = 0
     monitored_functions: int = 0
+    #: wall-clock seconds per pipeline phase ("frontend", "shm",
+    #: "restrictions", "lint", "valueflow", "total")
+    phase_timings: Dict[str, float] = field(default_factory=dict)
+    frontend_cache_hits: int = 0
+    frontend_cache_misses: int = 0
+    summary_cache_hits: int = 0
+    summary_cache_misses: int = 0
+
+    def cache_counters(self) -> Dict[str, int]:
+        return {
+            "frontend_cache_hits": self.frontend_cache_hits,
+            "frontend_cache_misses": self.frontend_cache_misses,
+            "summary_cache_hits": self.summary_cache_hits,
+            "summary_cache_misses": self.summary_cache_misses,
+        }
 
 
 @dataclass
@@ -136,6 +159,8 @@ class AnalysisReport:
                 "noncore_regions": self.stats.noncore_regions,
                 "contexts_analyzed": self.stats.contexts_analyzed,
                 "monitored_functions": self.stats.monitored_functions,
+                "phase_timings": dict(self.stats.phase_timings),
+                **self.stats.cache_counters(),
             },
             "warnings": [
                 dict(diag(w), region=w.region) for w in self.warnings

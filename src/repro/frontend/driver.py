@@ -35,12 +35,26 @@ def load_source(
     filename: str = "<source>",
     defines: Optional[Dict[str, str]] = None,
     verify: bool = True,
+    cache=None,
 ) -> Program:
-    """Front-end a single C source string."""
+    """Front-end a single C source string.
+
+    ``cache`` is an optional :class:`repro.perf.IRCache`; on a hit the
+    pickled program is returned without re-parsing.
+    """
+    key = None
+    if cache is not None:
+        key = cache.key_for_source(text, filename, defines, verify)
+        program = cache.fetch(key)
+        if program is not None:
+            return program
     pp = Preprocessor(predefined=dict(defines or {}))
     source = pp.process_text(text, filename=filename)
     unit = parse_preprocessed(source, name=filename)
-    return _finish([unit], [source.annotations], verify)
+    program = _finish([unit], [source.annotations], verify)
+    if cache is not None:
+        cache.store(key, program)
+    return program
 
 
 def load_files(
@@ -48,8 +62,20 @@ def load_files(
     include_dirs: Sequence[str] = (),
     defines: Optional[Dict[str, str]] = None,
     verify: bool = True,
+    cache=None,
 ) -> Program:
-    """Front-end several C files into one program (whole-program analysis)."""
+    """Front-end several C files into one program (whole-program analysis).
+
+    ``cache`` is an optional :class:`repro.perf.IRCache`; a hit is
+    validated against the content hash of every file the preprocessor
+    read when the entry was built (``#include`` dependencies included).
+    """
+    key = None
+    if cache is not None:
+        key = cache.key_for_files(paths, include_dirs, defines, verify)
+        program = cache.fetch(key)
+        if program is not None:
+            return program
     units: List[ParsedUnit] = []
     annotation_groups = []
     for path in paths:
@@ -59,7 +85,10 @@ def load_files(
         source = pp.process_file(path)
         units.append(parse_preprocessed(source, name=path))
         annotation_groups.append(source.annotations)
-    return _finish(units, annotation_groups, verify)
+    program = _finish(units, annotation_groups, verify)
+    if cache is not None:
+        cache.store(key, program)
+    return program
 
 
 def _finish(

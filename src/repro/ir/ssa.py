@@ -61,6 +61,11 @@ def promote_to_ssa(function: Function) -> int:
     alloca_set = set(allocas)
 
     # 1. phi placement at the iterated dominance frontier of each store.
+    # Worklist and frontier sets are iterated in block order: phi names
+    # come from a per-function counter, so placement order must not
+    # depend on set order (object hashes vary across processes, and
+    # reports must be byte-reproducible for the repro.perf caches).
+    block_order = {block: i for i, block in enumerate(function.blocks)}
     phis: Dict[Phi, Alloca] = {}
     for alloca in allocas:
         def_blocks: Set[BasicBlock] = {
@@ -69,10 +74,14 @@ def promote_to_ssa(function: Function) -> int:
             if isinstance(inst, Store) and inst.pointer is alloca
         }
         placed: Set[BasicBlock] = set()
-        work = list(def_blocks)
+        work = sorted(def_blocks, key=lambda b: block_order.get(b, -1))
         while work:
             block = work.pop()
-            for fblock in frontier.get(block, ()):  # type: ignore[arg-type]
+            for fblock in sorted(
+                frontier.get(block, ()),  # type: ignore[arg-type]
+                key=lambda b: block_order.get(b, -1)
+                if isinstance(b, BasicBlock) else -1,
+            ):
                 if not isinstance(fblock, BasicBlock) or fblock in placed:
                     continue
                 phi = Phi(alloca.allocated_type, function.temp_name(alloca.name))

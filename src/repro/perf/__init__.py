@@ -1,0 +1,44 @@
+"""Performance layer: content-hashed caching + parallel batch driver.
+
+Three cooperating pieces, all strictly behavior-preserving (every
+cached or parallel path renders a report byte-identical to the
+sequential cold path):
+
+- :class:`IRCache` — on-disk cache of front-ended programs keyed by
+  input content hashes + front-end config (:mod:`repro.perf.ircache`);
+- :class:`SummaryStore` — persistent ESP-summary records keyed by
+  transitive IR fingerprints, replayed with full validation
+  (:mod:`repro.perf.summary_store`);
+- :func:`run_batch` — process-parallel fan-out over independent
+  programs (:mod:`repro.perf.batch`).
+"""
+
+from .batch import BatchJob, BatchOutcome, BatchResult, run_batch
+from .fingerprint import (
+    SCHEMA_VERSION,
+    config_fingerprint,
+    file_digest,
+    function_fingerprint,
+    FlowFingerprints,
+    text_digest,
+)
+from .ircache import IRCache
+from .summary_store import BodyRecord, BodyRecorder, CellNamer, SummaryStore
+
+__all__ = [
+    "BatchJob",
+    "BatchOutcome",
+    "BatchResult",
+    "BodyRecord",
+    "BodyRecorder",
+    "CellNamer",
+    "FlowFingerprints",
+    "IRCache",
+    "SCHEMA_VERSION",
+    "SummaryStore",
+    "config_fingerprint",
+    "file_digest",
+    "function_fingerprint",
+    "run_batch",
+    "text_digest",
+]

@@ -1,0 +1,152 @@
+"""Parallel batch analysis of independent programs.
+
+Whole programs are the natural parallel grain for SafeFlow: each job
+(a corpus system, a generated scaling program, a user translation
+unit set) is analyzed in complete isolation, so fanning jobs across a
+:class:`~concurrent.futures.ProcessPoolExecutor` needs no shared state
+beyond the on-disk caches, which are multi-process safe by design
+(atomic replace writes, validate-on-read).
+
+One worker process analyzes one job end to end and ships the rendered
+:class:`~repro.core.results.AnalysisReport` back — reports are plain
+frozen dataclasses and pickle cheaply. A job that raises is reported as
+a failed :class:`BatchResult` without disturbing its siblings; a job
+that exceeds ``timeout`` seconds is reported as timed out.
+
+``max_workers=1`` (or a single job) runs inline in the calling process
+— the degenerate case doubles as the escape hatch (``--jobs 1``) and
+keeps single-job semantics identical to :meth:`SafeFlow.analyze_files`.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One independent analysis unit."""
+
+    name: str
+    files: Sequence[str]
+    include_dirs: Sequence[str] = ()
+    defines: Optional[Dict[str, str]] = None
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one job: exactly one of ``report`` / ``error`` set."""
+
+    name: str
+    report: Optional[object] = None
+    error: Optional[str] = None
+    duration: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class BatchOutcome:
+    """Ordered per-job results plus whole-batch wall-clock."""
+
+    results: List[BatchResult] = field(default_factory=list)
+    wall_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+
+def _run_job(job: BatchJob, config) -> BatchResult:
+    """Worker entry point; must stay module-level for pickling."""
+    from ..core.driver import SafeFlow
+
+    start = time.perf_counter()
+    try:
+        overrides = {}
+        if job.include_dirs:
+            overrides["include_dirs"] = tuple(job.include_dirs)
+        if job.defines:
+            overrides["defines"] = dict(job.defines)
+        job_config = dataclasses.replace(config, **overrides)
+        report = SafeFlow(job_config).analyze_files(
+            list(job.files), name=job.name
+        )
+        return BatchResult(
+            name=job.name,
+            report=report,
+            duration=time.perf_counter() - start,
+        )
+    except Exception:
+        return BatchResult(
+            name=job.name,
+            error=traceback.format_exc(limit=8),
+            duration=time.perf_counter() - start,
+        )
+
+
+def run_batch(
+    jobs: Sequence[BatchJob],
+    config,
+    max_workers: int = 1,
+    timeout: Optional[float] = None,
+) -> BatchOutcome:
+    """Analyze ``jobs`` with up to ``max_workers`` processes.
+
+    Results come back in job order regardless of completion order. A
+    per-job ``timeout`` (seconds) turns a straggler into a timed-out
+    result; completed siblings are unaffected.
+    """
+    start = time.perf_counter()
+    outcome = BatchOutcome()
+    if not jobs:
+        return outcome
+
+    if max_workers <= 1 or len(jobs) == 1:
+        for job in jobs:
+            outcome.results.append(_run_job(job, config))
+        outcome.wall_time = time.perf_counter() - start
+        return outcome
+
+    # fork keeps worker start cheap; the analyzer holds no threads or
+    # open handles at this point that fork could corrupt
+    try:
+        mp_context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        mp_context = multiprocessing.get_context()
+
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=min(max_workers, len(jobs)),
+        mp_context=mp_context,
+    ) as pool:
+        futures = [pool.submit(_run_job, job, config) for job in jobs]
+        deadline = None if timeout is None else start + timeout
+        for job, future in zip(jobs, futures):
+            try:
+                remaining = None
+                if deadline is not None:
+                    remaining = max(0.0, deadline - time.perf_counter())
+                outcome.results.append(future.result(timeout=remaining))
+            except concurrent.futures.TimeoutError:
+                future.cancel()
+                outcome.results.append(BatchResult(
+                    name=job.name,
+                    error=f"timed out after {timeout:.1f}s",
+                    duration=time.perf_counter() - start,
+                ))
+            except Exception as exc:  # worker died (e.g. OOM kill)
+                outcome.results.append(BatchResult(
+                    name=job.name,
+                    error=f"worker failed: {exc!r}",
+                    duration=time.perf_counter() - start,
+                ))
+    outcome.wall_time = time.perf_counter() - start
+    return outcome

@@ -1,0 +1,273 @@
+"""Stable content fingerprints for the performance layer.
+
+Every cache in :mod:`repro.perf` is keyed by *content*, never by
+timestamps: two runs that see the same bytes, the same configuration
+and the same analysis-relevant facts must produce the same key, across
+processes and machines. Three fingerprint families live here:
+
+- :func:`file_digest` / :func:`text_digest` — raw input hashing for the
+  front-end IR cache;
+- :func:`config_fingerprint` — the analysis-relevant slice of
+  :class:`repro.core.config.AnalysisConfig` (cache plumbing fields are
+  excluded so toggling the cache never invalidates it);
+- :func:`function_fingerprint` / :class:`FlowFingerprints` — structural
+  hashes of IR functions, including source locations (diagnostics embed
+  line numbers, so a moved function *is* a changed function) and the
+  per-function shared-memory facts the value-flow phase consumes.
+
+The function fingerprints deliberately avoid :mod:`repro.ir.printer`:
+``function_to_text`` assigns names to unnamed temporaries as a side
+effect, and its operand rendering falls back to ``id()``-based names
+that differ between processes. Here every instruction is named by its
+(block, index) position, which is stable for a fixed program.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import fields as dataclass_fields
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..ir import BasicBlock, Function, Instruction
+from ..ir.instructions import (
+    Alloca,
+    BinOp,
+    Call,
+    Cast,
+    Cmp,
+    CondBranch,
+    FieldAddr,
+    IndexAddr,
+    Jump,
+    Phi,
+    Ret,
+)
+from ..ir.values import Argument, Constant, GlobalVariable, UndefValue, Value
+
+#: bump when the fingerprint composition changes; folded into every key
+SCHEMA_VERSION = 1
+
+#: AnalysisConfig fields that only steer the performance layer itself —
+#: never part of a semantic cache key
+CACHE_ONLY_FIELDS = frozenset({"cache_dir", "frontend_cache", "summary_cache"})
+
+
+def sha256_hex(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def text_digest(text: str) -> str:
+    return sha256_hex(text.encode("utf-8", errors="surrogateescape"))
+
+
+def file_digest(path: str) -> Optional[str]:
+    """Content hash of a file; ``None`` when it cannot be read."""
+    try:
+        with open(path, "rb") as f:
+            return sha256_hex(f.read())
+    except OSError:
+        return None
+
+
+def combine(parts: Iterable[str]) -> str:
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part.encode("utf-8", errors="surrogateescape"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def config_fingerprint(config) -> str:
+    """Deterministic digest of the analysis-relevant config fields."""
+    parts = [f"schema={SCHEMA_VERSION}"]
+    for f in sorted(dataclass_fields(config), key=lambda f: f.name):
+        if f.name in CACHE_ONLY_FIELDS:
+            continue
+        value = getattr(config, f.name)
+        if isinstance(value, dict):
+            rendered = repr(sorted(value.items()))
+        elif isinstance(value, (tuple, list)):
+            rendered = repr(tuple(value))
+        else:
+            rendered = repr(value)
+        parts.append(f"{f.name}={rendered}")
+    return combine(parts)
+
+
+# ----------------------------------------------------------------------
+# IR function fingerprints
+# ----------------------------------------------------------------------
+
+def _loc_text(location) -> str:
+    if location is None:
+        return "-"
+    return f"{location.filename}:{location.line}:{location.column}"
+
+
+def function_fingerprint(func: Function) -> str:
+    """Structural + positional digest of one function's IR.
+
+    Includes every instruction's class, operands (positionally named),
+    class-specific attributes, and source location, so both a semantic
+    edit and a pure line-shift change the fingerprint — either would
+    change the diagnostics the cached summaries reproduce.
+    """
+    if func.is_declaration:
+        return combine([f"declare {func.name}", repr(func.ftype)])
+    ids: Dict[Value, str] = {}
+    block_ids: Dict[BasicBlock, str] = {}
+    for bi, block in enumerate(func.blocks):
+        block_ids[block] = f"b{bi}"
+        for ii, inst in enumerate(block.instructions):
+            ids[inst] = f"%{bi}.{ii}"
+
+    def val(v: Value) -> str:
+        if isinstance(v, Instruction):
+            return ids.get(v, "%ext")
+        if isinstance(v, Argument):
+            return f"arg{v.index}"
+        if isinstance(v, Constant):
+            return f"const({v.value!r}:{v.type!r})"
+        if isinstance(v, GlobalVariable):
+            return f"@{v.name}"
+        if isinstance(v, Function):
+            return f"fn:{v.name}"
+        if isinstance(v, UndefValue):
+            return "undef"
+        return f"other:{type(v).__name__}"
+
+    lines = [
+        f"define {func.name}",
+        ",".join(f"{a.name}:{a.type!r}" for a in func.arguments),
+        repr(func.return_type),
+    ]
+    for block in func.blocks:
+        lines.append(f"{block_ids[block]}:")
+        for inst in block.instructions:
+            extra = ""
+            if isinstance(inst, BinOp):
+                extra = inst.op
+            elif isinstance(inst, Cmp):
+                extra = inst.op
+            elif isinstance(inst, Cast):
+                extra = inst.kind
+            elif isinstance(inst, FieldAddr):
+                extra = inst.field_name
+            elif isinstance(inst, Alloca):
+                extra = repr(inst.allocated_type)
+            elif isinstance(inst, Call):
+                extra = inst.callee_name or val(inst.callee)
+            elif isinstance(inst, Jump):
+                extra = block_ids.get(inst.target, "b?")
+            elif isinstance(inst, CondBranch):
+                extra = (f"{block_ids.get(inst.true_block, 'b?')}/"
+                         f"{block_ids.get(inst.false_block, 'b?')}")
+            elif isinstance(inst, Phi):
+                extra = ",".join(
+                    f"{block_ids.get(b, 'b?')}={val(v)}"
+                    for b, v in sorted(
+                        inst.incoming.items(),
+                        key=lambda kv: block_ids.get(kv[0], "b?"),
+                    )
+                )
+            else:
+                op = getattr(inst, "op", None)
+                if isinstance(op, str):
+                    extra = op
+            ops = ",".join(val(op) for op in inst.operands)
+            lines.append(
+                f"{ids[inst]}={type(inst).__name__}"
+                f"[{extra}]({ops}):{inst.type!r}@{_loc_text(inst.location)}"
+            )
+    return combine(lines)
+
+
+# ----------------------------------------------------------------------
+# per-function flow facts + transitive closure hashes
+# ----------------------------------------------------------------------
+
+class FlowFingerprints:
+    """Per-function fingerprints covering everything a value-flow
+    summary of that function can observe:
+
+    - the function's own IR (with locations);
+    - the shared-memory facts phase 1 derived *for that function*
+      (``value_regions``, ``arg_regions``, ``monitor_assumes``);
+    - the global tables every function sees (region model, resolved
+      ``assert(safe(...))`` positions, non-core descriptors, config).
+
+    ``closure(func)`` folds in the fingerprints of every transitively
+    callable function, so an edit to a callee invalidates exactly the
+    callers that can reach it and nothing else.
+    """
+
+    def __init__(self, shm, config, assert_vars: Optional[dict] = None):
+        self.shm = shm
+        self.module = shm.module
+        self._global_fp = self._compute_global(config, assert_vars or {})
+        self._flow: Dict[str, str] = {}
+        self._closure: Dict[str, str] = {}
+
+    # -- pieces --------------------------------------------------------
+
+    def _compute_global(self, config, assert_vars: dict) -> str:
+        parts = [config_fingerprint(config)]
+        for name in sorted(self.shm.regions):
+            region = self.shm.regions[name]
+            parts.append(
+                f"region:{name}:{region.size}:{region.noncore}:"
+                f"{region.init_function}"
+            )
+        for key in sorted(assert_vars):
+            parts.append(f"assert:{key!r}={assert_vars[key]!r}")
+        for fname in sorted(self.shm.noncore_descriptors):
+            names = sorted(self.shm.noncore_descriptors[fname])
+            parts.append(f"descr:{fname}:{names}")
+        return combine(parts)
+
+    def _flow_fp(self, func: Function) -> str:
+        cached = self._flow.get(func.name)
+        if cached is not None:
+            return cached
+        parts = [self._global_fp, function_fingerprint(func)]
+        positions: Dict[Value, str] = {}
+        for bi, block in enumerate(func.blocks):
+            for ii, inst in enumerate(block.instructions):
+                positions[inst] = f"{bi}.{ii}"
+        vr = self.shm.value_regions.get(func, {})
+        entries = sorted(
+            (positions.get(value, "?"), sorted(regions))
+            for value, regions in vr.items()
+            if regions
+        )
+        parts.append(f"vr:{entries!r}")
+        ar = self.shm.arg_regions.get(func, [])
+        parts.append(f"ar:{[sorted(r) for r in ar]!r}")
+        assumes = self.shm.monitor_assumes.get(func.name, [])
+        parts.append(
+            "as:" + repr(sorted(
+                (a.pointer, a.offset, a.size, a.is_parameter,
+                 a.parameter_index)
+                for a in assumes
+            ))
+        )
+        fp = combine(parts)
+        self._flow[func.name] = fp
+        return fp
+
+    # -- public --------------------------------------------------------
+
+    def closure(self, func: Function) -> str:
+        """Fingerprint of ``func`` plus everything it can call."""
+        cached = self._closure.get(func.name)
+        if cached is not None:
+            return cached
+        reachable = self.shm.callgraph.reachable_from([func])
+        parts = [f"root:{self._flow_fp(func)}"]
+        for other in sorted(reachable, key=lambda f: f.name):
+            if other is func or other.is_declaration:
+                continue
+            parts.append(f"{other.name}:{self._flow_fp(other)}")
+        fp = combine(parts)
+        self._closure[func.name] = fp
+        return fp

@@ -1,0 +1,188 @@
+"""Content-hash-keyed on-disk cache for front-ended programs.
+
+The front end (preprocess → pycparser → lower → SSA → verify) is the
+dominant cost of re-analyzing an unchanged translation unit, and it is
+a pure function of the input bytes plus a handful of config knobs. This
+cache pickles the finished :class:`repro.frontend.driver.Program` keyed
+by:
+
+- the schema version and pycparser version;
+- the given paths (diagnostics embed the path strings, so the same
+  bytes under another name is a different program) or the literal
+  source text for :func:`load_source`;
+- the content hash of every top-level input file;
+- the preprocessor ``defines``, the include directories, and the
+  ``verify`` flag.
+
+``#include`` dependencies cannot be known before preprocessing, so
+they are handled by *validation* instead of keying: each entry records
+the content hash of every file the preprocessor actually read, and a
+lookup whose recorded dependencies no longer hash-match is a miss.
+
+Failures are never fatal: any OS, pickle, or recursion error turns
+into a cache miss (or a skipped store) and the caller re-parses. Writes
+go through a temp file + :func:`os.replace` so concurrent batch
+workers sharing one cache directory can never observe a torn entry.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sys
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .fingerprint import SCHEMA_VERSION, combine, file_digest, text_digest
+
+#: deep IR/AST object graphs need headroom beyond the default 1000
+_PICKLE_RECURSION_LIMIT = 100_000
+
+
+def _pycparser_version() -> str:
+    try:
+        import pycparser
+
+        return getattr(pycparser, "__version__", "?")
+    except Exception:  # pragma: no cover - pycparser is a hard dep
+        return "?"
+
+
+@dataclass
+class CacheEntry:
+    """One pickled program plus the inputs it was built from."""
+
+    #: [(path, content-hash)] for every real file the front end read
+    deps: List[Tuple[str, str]]
+    program_blob: bytes
+
+
+class IRCache:
+    """Directory-backed store of front-ended programs."""
+
+    def __init__(self, directory: str):
+        self.directory = os.path.join(directory, "ir")
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # keys
+    # ------------------------------------------------------------------
+
+    def key_for_files(
+        self,
+        paths: Sequence[str],
+        include_dirs: Sequence[str],
+        defines: Optional[Dict[str, str]],
+        verify: bool,
+    ) -> Optional[str]:
+        parts = [
+            f"schema={SCHEMA_VERSION}",
+            f"pycparser={_pycparser_version()}",
+            f"include_dirs={tuple(include_dirs)!r}",
+            f"defines={sorted((defines or {}).items())!r}",
+            f"verify={verify}",
+        ]
+        for path in paths:
+            digest = file_digest(path)
+            if digest is None:
+                return None
+            parts.append(f"file={path}:{digest}")
+        return combine(parts)
+
+    def key_for_source(
+        self,
+        text: str,
+        filename: str,
+        defines: Optional[Dict[str, str]],
+        verify: bool,
+    ) -> str:
+        return combine([
+            f"schema={SCHEMA_VERSION}",
+            f"pycparser={_pycparser_version()}",
+            f"defines={sorted((defines or {}).items())!r}",
+            f"verify={verify}",
+            f"filename={filename}",
+            f"text={text_digest(text)}",
+        ])
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.pkl")
+
+    # ------------------------------------------------------------------
+    # lookup / store
+    # ------------------------------------------------------------------
+
+    def fetch(self, key: Optional[str]):
+        """The cached Program for ``key``, or ``None`` on any miss."""
+        if key is None:
+            self.misses += 1
+            return None
+        try:
+            # fail-open on *anything*: a corrupt or truncated entry can
+            # raise nearly any exception out of pickle, and a malformed
+            # one can fail attribute access / unpacking below
+            with open(self._path(key), "rb") as f:
+                entry: CacheEntry = pickle.load(f)
+            stale = any(file_digest(path) != digest
+                        for path, digest in entry.deps)
+            blob = entry.program_blob
+        except Exception:
+            self.misses += 1
+            return None
+        if stale:
+            self.misses += 1
+            return None
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, _PICKLE_RECURSION_LIMIT))
+        try:
+            program = pickle.loads(blob)
+        except Exception:
+            self.misses += 1
+            return None
+        finally:
+            sys.setrecursionlimit(old_limit)
+        self.hits += 1
+        return program
+
+    def store(self, key: Optional[str], program) -> bool:
+        """Pickle ``program`` under ``key``; False when not cacheable."""
+        if key is None:
+            return False
+        deps: List[Tuple[str, str]] = []
+        seen = set()
+        for unit in program.units:
+            for path in getattr(unit.source, "files", []):
+                if path in seen or not os.path.isfile(path):
+                    continue
+                seen.add(path)
+                digest = file_digest(path)
+                if digest is None:
+                    return False
+                deps.append((path, digest))
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, _PICKLE_RECURSION_LIMIT))
+        try:
+            blob = pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return False
+        finally:
+            sys.setrecursionlimit(old_limit)
+        entry = CacheEntry(deps=deps, program_blob=blob)
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as f:
+                    pickle.dump(entry, f, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        return True

@@ -1,0 +1,314 @@
+"""Persistent ESP-summary reuse for the value-flow phase.
+
+:class:`repro.valueflow.engine.ValueFlowAnalysis` in ``summary_mode``
+analyzes each (function, assumed-core context) once per outer fixpoint
+iteration. For a function whose analysis-relevant inputs have not
+changed since a previous *process*, that work is replayable: this
+module persists, per summary/effects body run, everything the run
+observed and everything it did.
+
+**Key** (see :mod:`repro.perf.fingerprint`): the function's transitive
+closure fingerprint (its own IR with locations, every reachable
+callee's IR, the per-function shared-memory facts, the global region /
+assertion tables and the analysis config), the assumed-core context,
+the body kind, and the serialized argument taints. Editing one function
+therefore invalidates exactly that function and its transitive callers;
+everything else keeps replaying.
+
+**Record**: the returned taint, plus the body's observable effects —
+warnings ensured, critical-dependency failures accumulated, value-flow
+graph edges added, memory-cell taints joined — plus its *inputs*: the
+first-read taint of every memory cell it consulted and the (callee,
+context, argument-taints, result) of every call it dispatched.
+
+**Replay** is validating, never trusting: a record is applied only if
+every recorded cell read matches the engine's current cell state, every
+re-dispatched call returns the recorded taint, and no re-dispatched
+call mutated cell state out from under the recorded reads. Any mismatch
+falls back to recomputing the body, which is always safe because every
+effect is an idempotent join. The engine's outer fixpoint then
+converges to the same state, and the same report, as a cold run.
+
+Memory cells are identified across processes by *canonical names*
+derived from the points-to graph structure (:class:`CellNamer`), never
+by the process-local ``Cell.id`` counter.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from .fingerprint import SCHEMA_VERSION, combine
+
+if TYPE_CHECKING:  # imported lazily at runtime: valueflow imports us
+    from ..valueflow.taint import Taint
+
+# ----------------------------------------------------------------------
+# serialization of taints / contexts / locations
+# ----------------------------------------------------------------------
+
+SerSource = Tuple[str, str, str, int]
+SerTaint = Tuple[Tuple[SerSource, ...], Tuple[SerSource, ...]]
+
+
+def _ser_sources(sources) -> Tuple[SerSource, ...]:
+    return tuple(sorted(
+        (s.region, s.function, s.filename, s.line) for s in sources
+    ))
+
+
+def ser_taint(taint: Taint) -> SerTaint:
+    return (_ser_sources(taint.data), _ser_sources(taint.control))
+
+
+def deser_taint(data: SerTaint) -> "Taint":
+    from ..valueflow.taint import SAFE, Taint, TaintSource
+
+    data_srcs, control_srcs = data
+    if not data_srcs and not control_srcs:
+        return SAFE
+    return Taint(
+        frozenset(TaintSource(*s) for s in data_srcs),
+        frozenset(TaintSource(*s) for s in control_srcs),
+    )
+
+
+def ser_args(args) -> Tuple[SerTaint, ...]:
+    return tuple(ser_taint(a) for a in args)
+
+
+def deser_args(data) -> Tuple[Taint, ...]:
+    return tuple(deser_taint(a) for a in data)
+
+
+def ser_ctx(ctx) -> Tuple[str, ...]:
+    return tuple(sorted(ctx))
+
+
+def ser_loc(location) -> Optional[Tuple[str, int, int]]:
+    if location is None:
+        return None
+    return (location.filename, location.line, location.column)
+
+
+# ----------------------------------------------------------------------
+# body records
+# ----------------------------------------------------------------------
+
+@dataclass
+class BodyRecord:
+    """One persisted summary/effects body run (all fields serialized)."""
+
+    ret: SerTaint
+    reads: Tuple[Tuple[str, SerTaint], ...] = ()
+    writes: Tuple[Tuple[str, SerTaint], ...] = ()
+    #: ((function, region, line), (message, loc, function, region))
+    warnings: Tuple[tuple, ...] = ()
+    #: ((filename, line, function, variable), data srcs, control srcs)
+    failures: Tuple[tuple, ...] = ()
+    #: ((kind, label, loc), (kind, label, loc), edge kind)
+    edges: Tuple[tuple, ...] = ()
+    #: (callee name, context, argument taints, returned taint)
+    calls: Tuple[tuple, ...] = ()
+
+
+class BodyRecorder:
+    """Mutable capture buffer for one body run."""
+
+    __slots__ = ("ok", "_reads", "_read_names", "_written", "writes",
+                 "warnings", "failures", "edges", "calls")
+
+    def __init__(self):
+        self.ok = True
+        self._reads: List[Tuple[str, Taint]] = []
+        self._read_names = set()
+        self._written = set()
+        self.writes: List[Tuple[str, Taint]] = []
+        self.warnings: List[tuple] = []
+        self.failures: List[tuple] = []
+        self.edges: List[tuple] = []
+        self.calls: List[tuple] = []
+
+    def note_read(self, name: Optional[str], taint: Taint) -> None:
+        if name is None:
+            self.ok = False
+            return
+        # only the *first* read of a cell the body has not itself
+        # written is an input; later reads see the body's own joins
+        if name in self._read_names or name in self._written:
+            return
+        self._read_names.add(name)
+        self._reads.append((name, taint))
+
+    def note_write(self, name: Optional[str], taint: Taint) -> None:
+        if name is None:
+            self.ok = False
+            return
+        self._written.add(name)
+        self.writes.append((name, taint))
+
+    def note_warning(self, key: tuple, fields: tuple) -> None:
+        self.warnings.append((key, fields))
+
+    def note_failure(self, key: tuple, data, control) -> None:
+        self.failures.append((key, _ser_sources(data), _ser_sources(control)))
+
+    def note_edge(self, src: tuple, dst: tuple, kind: str) -> None:
+        self.edges.append((src, dst, kind))
+
+    def note_call(self, callee: str, ctx, args, ret: Taint) -> None:
+        self.calls.append((callee, ser_ctx(ctx), ser_args(args),
+                           ser_taint(ret)))
+
+    def finish(self, ret: Taint) -> BodyRecord:
+        return BodyRecord(
+            ret=ser_taint(ret),
+            reads=tuple((n, ser_taint(t)) for n, t in self._reads),
+            writes=tuple((n, ser_taint(t)) for n, t in self.writes),
+            warnings=tuple(self.warnings),
+            failures=tuple(self.failures),
+            edges=tuple(self.edges),
+            calls=tuple(self.calls),
+        )
+
+
+# ----------------------------------------------------------------------
+# canonical cell naming
+# ----------------------------------------------------------------------
+
+class CellNamer:
+    """Process-independent names for points-to representatives.
+
+    Starting from the named roots of the points-to graph (globals,
+    allocas, arguments, return slots), every reachable representative
+    is assigned the lexicographically smallest derivation path such as
+    ``@shm_ptr.*.angle``. Cells not reachable from any named root stay
+    unnamed; records touching them are simply not persisted.
+    """
+
+    def __init__(self, points_to):
+        self._names: Dict[int, str] = {}
+        self._cells: Dict[str, object] = {}
+        heap = []
+        seq = 0
+        for name, cell in points_to.named_roots():
+            heapq.heappush(heap, (name, seq, cell))
+            seq += 1
+        while heap:
+            name, _, cell = heapq.heappop(heap)
+            rep = cell.find()
+            if rep.id in self._names:
+                continue
+            self._names[rep.id] = name
+            self._cells[name] = rep
+            if rep.has_pointee():
+                heapq.heappush(heap, (f"{name}.*", seq, rep.pointee()))
+                seq += 1
+            for fname, fcell in sorted(rep.fields().items()):
+                heapq.heappush(heap, (f"{name}.{fname}", seq, fcell))
+                seq += 1
+
+    def key_of(self, cell) -> Optional[str]:
+        return self._names.get(cell.find().id)
+
+    def cell_for(self, name: str):
+        cell = self._cells.get(name)
+        return cell.find() if cell is not None else None
+
+
+# ----------------------------------------------------------------------
+# the store
+# ----------------------------------------------------------------------
+
+@dataclass
+class _StoreFile:
+    schema: int = SCHEMA_VERSION
+    entries: Dict[str, BodyRecord] = field(default_factory=dict)
+
+
+class SummaryStore:
+    """On-disk map from body keys to :class:`BodyRecord`.
+
+    Load-on-construct, stage-in-memory, merge-and-flush atomically.
+    Concurrent writers (batch workers) may race; the merge-then-
+    ``os.replace`` discipline keeps the file consistent, and a lost
+    update only costs a future cache miss.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, BodyRecord] = {}
+        self._staged: Dict[str, BodyRecord] = {}
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "rb") as f:
+                data: _StoreFile = pickle.load(f)
+            if getattr(data, "schema", None) == SCHEMA_VERSION:
+                self._entries = dict(data.entries)
+        except Exception:  # fail-open: a corrupt store is an empty one
+            self._entries = {}
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def entry_key(func_name: str, kind: str, closure_fp: str,
+                  ctx: Tuple[str, ...], args: Tuple[SerTaint, ...]) -> str:
+        return combine([
+            f"func={func_name}",
+            f"kind={kind}",
+            f"closure={closure_fp}",
+            f"ctx={ctx!r}",
+            f"args={args!r}",
+        ])
+
+    def lookup(self, key: str) -> Optional[BodyRecord]:
+        return self._entries.get(key)
+
+    def stage(self, key: str, record: BodyRecord) -> None:
+        self._staged[key] = record
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Merge staged records into the file (atomic replace)."""
+        if not self._staged:
+            return
+        current = _StoreFile()
+        try:
+            with open(self.path, "rb") as f:
+                on_disk: _StoreFile = pickle.load(f)
+            if getattr(on_disk, "schema", None) == SCHEMA_VERSION:
+                current = on_disk
+        except Exception:  # fail-open: merge over an empty store
+            pass
+        current.entries.update(self._staged)
+        try:
+            directory = os.path.dirname(self.path) or "."
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as f:
+                    pickle.dump(current, f, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return
+        self._entries.update(self._staged)
+        self._staged.clear()

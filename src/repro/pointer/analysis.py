@@ -81,6 +81,38 @@ class PointsToAnalysis:
 
     # ------------------------------------------------------------------
 
+    def named_roots(self):
+        """Deterministic ``(name, cell)`` pairs covering every cell the
+        analysis created, for process-independent cell identification
+        (:class:`repro.perf.CellNamer`). Cells ``id``s are assigned from
+        a process-local counter, so anything persisted across runs must
+        go through these structural names instead.
+
+        Instruction-bound cells are named by the instruction's
+        (function, block index, instruction index) position, which is
+        stable for a fixed program; globals, arguments and return slots
+        carry their declared names.
+        """
+        roots = []
+        for name in sorted(self.module.globals):
+            cell = self._var_cells.get(self.module.globals[name])
+            if cell is not None:
+                roots.append((f"@{name}", cell))
+        positions: Dict[Value, str] = {}
+        for func in self.module.defined_functions():
+            for bi, block in enumerate(func.blocks):
+                for ii, inst in enumerate(block.instructions):
+                    positions[inst] = f"v:{func.name}:{bi}.{ii}"
+        for value, cell in self._points.items():
+            if isinstance(value, Argument):
+                owner = value.function.name if value.function else "?"
+                roots.append((f"arg:{owner}.{value.index}", cell))
+            elif value in positions:
+                roots.append((positions[value], cell))
+        for func, cell in self._ret_cells.items():
+            roots.append((f"ret:{func.name}", cell))
+        return sorted(roots, key=lambda pair: pair[0])
+
     def target_of(self, value: Value) -> Optional[Cell]:
         """Cell a pointer value points at (None for non-pointers)."""
         if isinstance(value, GlobalVariable):

@@ -57,6 +57,16 @@ from ..reporting.diagnostics import (
     Severity,
     UnmonitoredReadWarning,
 )
+from ..perf.summary_store import (
+    BodyRecorder,
+    CellNamer,
+    deser_args,
+    deser_taint,
+    ser_args,
+    ser_ctx,
+    ser_loc,
+    ser_taint,
+)
 from ..shm.model import RegionSet
 from ..shm.propagation import ResolvedAssume, ShmAnalysis
 from .taint import SAFE, Taint, TaintSource, join_all
@@ -78,19 +88,82 @@ _MAX_OUTER_ITERATIONS = 24
 _MAX_LOCAL_PASSES = 64
 
 
+class _RecordingCellMap(dict):
+    """``cell_taint`` with read/write observation for summary records.
+
+    Installed only when a summary store is active. ``get`` reports the
+    observed taint to the current body recorder (a record's *inputs*);
+    ``__setitem__`` reports joins (its *effects*) and bumps ``version``
+    so replay can detect interleaved mutation.
+    """
+
+    def __init__(self, engine: "ValueFlowAnalysis"):
+        super().__init__()
+        self._engine = engine
+        self.version = 0
+
+    def get(self, cell, default=SAFE):
+        value = dict.get(self, cell, default)
+        recorder = self._engine._active_recorder()
+        if recorder is not None:
+            recorder.note_read(self._engine._cell_key(cell), value)
+        return value
+
+    def __setitem__(self, cell, value) -> None:
+        if dict.get(self, cell) != value:
+            self.version += 1
+        dict.__setitem__(self, cell, value)
+        recorder = self._engine._active_recorder()
+        if recorder is not None:
+            recorder.note_write(self._engine._cell_key(cell), value)
+
+
+class _RecordingVFG(ValueFlowGraph):
+    """Value flow graph that mirrors edge adds into the body recorder."""
+
+    def __init__(self, engine: "ValueFlowAnalysis"):
+        super().__init__()
+        self._engine = engine
+
+    def add_edge(self, src: VFGNode, dst: VFGNode, kind: str = "data") -> None:
+        super().add_edge(src, dst, kind)
+        recorder = self._engine._active_recorder()
+        if recorder is not None:
+            recorder.note_edge(
+                (src.kind, src.label, src.location),
+                (dst.kind, dst.label, dst.location),
+                kind,
+            )
+
+
 class ValueFlowAnalysis:
     """Runs phase 3 over one program; results in ``warnings``/``errors``."""
 
     def __init__(self, program: Program, shm: ShmAnalysis,
-                 config: Optional[AnalysisConfig] = None):
+                 config: Optional[AnalysisConfig] = None,
+                 summary_store=None):
         self.program = program
         self.shm = shm
         self.config = config or AnalysisConfig()
         self.module = program.module
         self.points_to = PointsToAnalysis(self.module, shm.callgraph).run()
 
-        self.cell_taint: Dict[Cell, Taint] = {}
-        self.vfg = ValueFlowGraph()
+        #: optional :class:`repro.perf.SummaryStore`; when set, summary
+        #: bodies are recorded/replayed across processes
+        self.summary_store = summary_store
+        #: (function, body kind, "hit"|"miss") per summary body, in
+        #: execution order — lets tests pin down exact invalidation
+        self.summary_events: List[Tuple[str, str, str]] = []
+        self._recorders: List[Optional[BodyRecorder]] = []
+        self._flow_fps = None
+        self._cell_namer: Optional[CellNamer] = None
+
+        if summary_store is not None:
+            self.cell_taint: Dict[Cell, Taint] = _RecordingCellMap(self)
+            self.vfg = _RecordingVFG(self)
+        else:
+            self.cell_taint = {}
+            self.vfg = ValueFlowGraph()
         self.warnings_map: Dict[Tuple[str, str, int], UnmonitoredReadWarning] = {}
         self._failures: Dict[Tuple[str, int, str, str], Dict[str, Set[TaintSource]]] = {}
         self._memo: Dict[Tuple, Taint] = {}
@@ -130,6 +203,8 @@ class ValueFlowAnalysis:
                 break
         self.contexts_analyzed = len(self._memo)
         self._finalize()
+        if self.summary_store is not None:
+            self.summary_store.flush()
         return self
 
     def _roots(self) -> List[Function]:
@@ -263,8 +338,8 @@ class ValueFlowAnalysis:
                 Taint(data=frozenset({self._placeholder(func, i)}))
                 for i in range(len(arg_taints))
             )
-            self._memo[summary_key] = self._analyze_body(
-                func, eff_ctx, placeholders
+            self._memo[summary_key] = self._run_summary_body(
+                func, eff_ctx, placeholders, "summary"
             )
             self._in_progress.discard(summary_key)
 
@@ -274,12 +349,148 @@ class ValueFlowAnalysis:
                     effects_key not in self._in_progress:
                 self._in_progress.add(effects_key)
                 self._memo[effects_key] = SAFE
-                self._memo[effects_key] = self._analyze_body(
-                    func, eff_ctx, merged
+                self._memo[effects_key] = self._run_summary_body(
+                    func, eff_ctx, merged, "effects"
                 )
                 self._in_progress.discard(effects_key)
 
         return self._substitute_summary(self._memo[summary_key], arg_taints)
+
+    # ------------------------------------------------------------------
+    # persistent summary reuse (repro.perf.summary_store)
+    # ------------------------------------------------------------------
+
+    def _active_recorder(self) -> Optional[BodyRecorder]:
+        if self._recorders and self._recorders[-1] is not None:
+            return self._recorders[-1]
+        return None
+
+    def _namer(self) -> CellNamer:
+        if self._cell_namer is None:
+            self._cell_namer = CellNamer(self.points_to)
+        return self._cell_namer
+
+    def _cell_key(self, cell) -> Optional[str]:
+        return self._namer().key_of(cell)
+
+    def _closure_fp(self, func: Function) -> str:
+        if self._flow_fps is None:
+            from ..perf.fingerprint import FlowFingerprints
+
+            self._flow_fps = FlowFingerprints(
+                self.shm, self.config, self._assert_vars
+            )
+        return self._flow_fps.closure(func)
+
+    def _dispatch_call(self, target: Function, ctx: Context,
+                       args: Tuple[Taint, ...]) -> Taint:
+        """``_analyze`` for a call site. While a body is being recorded
+        the dispatch is shielded (the callee's own effects must not land
+        in the caller's record — the callee has its own record) and the
+        (callee, context, args, result) tuple becomes part of the
+        caller's inputs."""
+        recorder = self._active_recorder()
+        if recorder is None:
+            return self._analyze(target, ctx, args)
+        self._recorders.append(None)
+        try:
+            child = self._analyze(target, ctx, args)
+        finally:
+            self._recorders.pop()
+        recorder.note_call(target.name, ctx, args, child)
+        return child
+
+    def _run_summary_body(self, func: Function, ctx: Context,
+                          arg_taints: Tuple[Taint, ...], kind: str) -> Taint:
+        """``_analyze_body`` with record/replay through the store."""
+        store = self.summary_store
+        if store is None:
+            return self._analyze_body(func, ctx, arg_taints)
+        key = store.entry_key(
+            func.name, kind, self._closure_fp(func),
+            ser_ctx(ctx), ser_args(arg_taints),
+        )
+        record = store.lookup(key)
+        if record is not None:
+            ret = self._replay_body(record)
+            if ret is not None:
+                store.hits += 1
+                self.summary_events.append((func.name, kind, "hit"))
+                return ret
+        store.misses += 1
+        self.summary_events.append((func.name, kind, "miss"))
+        recorder = BodyRecorder()
+        self._recorders.append(recorder)
+        try:
+            ret = self._analyze_body(func, ctx, arg_taints)
+        finally:
+            self._recorders.pop()
+        if recorder.ok:
+            store.stage(key, recorder.finish(ret))
+        return ret
+
+    def _replay_body(self, record) -> Optional[Taint]:
+        """Apply a persisted record if its inputs still hold; ``None``
+        on any mismatch (the caller recomputes — always safe, because
+        every recorded effect is an idempotent join)."""
+        from ..ir.source import SourceLocation
+
+        namer = self._namer()
+        reads = []
+        for name, expected in record.reads:
+            cell = namer.cell_for(name)
+            if cell is None:
+                return None
+            reads.append((cell, expected))
+        writes = []
+        for name, ser in record.writes:
+            cell = namer.cell_for(name)
+            if cell is None:
+                return None
+            writes.append((cell, deser_taint(ser)))
+        cmap = self.cell_taint
+        for cell, expected in reads:
+            if ser_taint(dict.get(cmap, cell, SAFE)) != expected:
+                return None
+        version = cmap.version
+        for callee_name, ctx, args, expected_ret in record.calls:
+            target = self.module.get_function(callee_name)
+            if target is None or target.is_declaration:
+                return None
+            child = self._analyze(target, frozenset(ctx), deser_args(args))
+            if ser_taint(child) != expected_ret:
+                return None
+        if record.reads and cmap.version != version:
+            # a re-dispatched callee moved cell state out from under the
+            # recorded reads; this record may describe a stale interleaving
+            return None
+        for cell, taint in writes:
+            old = dict.get(cmap, cell, SAFE)
+            new = old.join(taint)
+            if new != old:
+                cmap[cell] = new
+        for key, fields in record.warnings:
+            key = tuple(key)
+            if key not in self.warnings_map:
+                message, loc, function, region = fields
+                self.warnings_map[key] = UnmonitoredReadWarning(
+                    message=message,
+                    location=SourceLocation(*loc) if loc is not None else None,
+                    function=function,
+                    severity=Severity.WARNING,
+                    region=region,
+                )
+        for key, data, control in record.failures:
+            entry = self._failures.setdefault(
+                tuple(key), {"data": set(), "control": set()}
+            )
+            entry["data"] |= {TaintSource(*s) for s in data}
+            entry["control"] |= {TaintSource(*s) for s in control}
+        for src, dst, kind in record.edges:
+            ValueFlowGraph.add_edge(
+                self.vfg, VFGNode(*src), VFGNode(*dst), kind
+            )
+        return deser_taint(record.ret)
 
     def _over_budget(self, func: Function, ctx: Context) -> bool:
         seen = self._ctx_counts.get(func)
@@ -600,7 +811,7 @@ class ValueFlowAnalysis:
                             self._value_node(target, target.arguments[i]),
                             "data",
                         )
-                child = self._analyze(target, ctx, padded)
+                child = self._dispatch_call(target, ctx, padded)
                 result = result.join(child)
             if result:
                 self._edge_call(func, inst, result)
@@ -733,18 +944,25 @@ class ValueFlowAnalysis:
     def _record_warning_source(self, func: Function, inst: Instruction,
                                source: TaintSource) -> None:
         key = (source.function, source.region, source.line)
-        if key in self.warnings_map:
-            return
-        self.warnings_map[key] = UnmonitoredReadWarning(
-            message=(
-                f"unmonitored access to non-core shared variable "
-                f"{source.region!r}: value is unsafe"
-            ),
-            location=inst.location,
-            function=func.name,
-            severity=Severity.WARNING,
-            region=source.region,
-        )
+        if key not in self.warnings_map:
+            self.warnings_map[key] = UnmonitoredReadWarning(
+                message=(
+                    f"unmonitored access to non-core shared variable "
+                    f"{source.region!r}: value is unsafe"
+                ),
+                location=inst.location,
+                function=func.name,
+                severity=Severity.WARNING,
+                region=source.region,
+            )
+        recorder = self._active_recorder()
+        if recorder is not None:
+            warning = self.warnings_map[key]
+            recorder.note_warning(
+                key,
+                (warning.message, ser_loc(warning.location),
+                 warning.function, warning.region),
+            )
 
     def _check_critical(self, func: Function, inst: Instruction,
                         taint: Taint, variable: str) -> None:
@@ -765,6 +983,9 @@ class ValueFlowAnalysis:
         )
         entry["data"] |= taint.data
         entry["control"] |= taint.control
+        recorder = self._active_recorder()
+        if recorder is not None:
+            recorder.note_failure(key, taint.data, taint.control)
         self._edge_sink(func, inst, taint, variable)
 
     def _assert_variable(self, inst: Call) -> str:

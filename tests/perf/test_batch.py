@@ -1,0 +1,93 @@
+"""Batch driver semantics: ordering, equality with the sequential
+path, single-job failure isolation, and timeouts."""
+
+import pytest
+
+from repro.core.config import AnalysisConfig
+from repro.core.driver import SafeFlow
+from repro.perf.batch import BatchJob
+
+from tests.perf.test_cache_correctness import SIMPLE
+
+BROKEN = "int main(void) { return 0;"  # unbalanced brace: parse error
+
+
+def _write_jobs(tmp_path, count=3):
+    jobs = []
+    for i in range(count):
+        path = tmp_path / f"prog{i}.c"
+        # vary a constant so each job is a distinct program
+        path.write_text(SIMPLE.replace("a * 2.0", f"a * {i + 2}.0"))
+        jobs.append(BatchJob(name=f"prog{i}", files=(str(path),)))
+    return jobs
+
+
+@pytest.mark.parametrize("workers", [1, 3])
+def test_batch_matches_sequential_reports(tmp_path, workers):
+    jobs = _write_jobs(tmp_path)
+    flow = SafeFlow(AnalysisConfig(summary_mode=True))
+    sequential = [
+        flow.analyze_files(list(job.files), name=job.name) for job in jobs
+    ]
+
+    outcome = flow.analyze_batch(jobs, max_workers=workers)
+    assert outcome.ok
+    assert [r.name for r in outcome.results] == [j.name for j in jobs]
+    for result, expected in zip(outcome.results, sequential):
+        assert result.report.render(verbose=True) \
+            == expected.render(verbose=True)
+
+
+def test_batch_accepts_name_files_pairs(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(SIMPLE)
+    outcome = SafeFlow().analyze_batch([("pair", [str(path)])],
+                                       max_workers=1)
+    assert outcome.ok
+    assert outcome.results[0].name == "pair"
+    assert outcome.results[0].report is not None
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_single_job_failure_does_not_disturb_siblings(tmp_path, workers):
+    good = tmp_path / "good.c"
+    good.write_text(SIMPLE)
+    bad = tmp_path / "bad.c"
+    bad.write_text(BROKEN)
+    jobs = [
+        BatchJob(name="good", files=(str(good),)),
+        BatchJob(name="bad", files=(str(bad),)),
+        BatchJob(name="missing", files=(str(tmp_path / "absent.c"),)),
+    ]
+    outcome = SafeFlow().analyze_batch(jobs, max_workers=workers)
+
+    assert not outcome.ok
+    by_name = {r.name: r for r in outcome.results}
+    assert by_name["good"].ok
+    assert by_name["good"].report.render()
+    assert not by_name["bad"].ok
+    assert by_name["bad"].report is None
+    assert by_name["bad"].error
+    assert not by_name["missing"].ok
+
+
+def test_batch_timeout_turns_stragglers_into_errors(tmp_path):
+    jobs = _write_jobs(tmp_path, count=2)
+    outcome = SafeFlow().analyze_batch(jobs, max_workers=2,
+                                       timeout=0.000001)
+    assert not outcome.ok
+    assert all("timed out" in r.error for r in outcome.results)
+
+
+def test_batch_job_level_overrides(tmp_path):
+    """Per-job include_dirs/defines override the shared config."""
+    header = tmp_path / "scale.h"
+    header.write_text("double scale(double a) { return a * 2.0; }\n")
+    src = tmp_path / "prog.c"
+    src.write_text('#include "scale.h"\n' + SIMPLE.replace(
+        "double scale(double a) { return a * 2.0; }", ""
+    ))
+    job = BatchJob(name="inc", files=(str(src),),
+                   include_dirs=(str(tmp_path),))
+    outcome = SafeFlow().analyze_batch([job], max_workers=1)
+    assert outcome.ok, outcome.results[0].error

@@ -1,0 +1,198 @@
+"""Cache correctness: cached paths must change *nothing* but speed.
+
+Warm runs must render byte-identical reports to cold runs on every
+corpus system, and both caches must invalidate when any key ingredient
+changes: the source bytes (including ``#include`` dependencies), the
+preprocessor ``defines``, or the analysis flags of the
+:class:`AnalysisConfig` (the config hash is part of the cache key).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import AnalysisConfig
+from repro.core.driver import SafeFlow
+from repro.corpus import SYSTEM_KEYS, load_system
+
+
+SIMPLE = r"""
+typedef struct { double v; int flag; } R;
+R *nc;
+void emit(double v);
+void initShm(void)
+/***SafeFlow Annotation shminit /***/
+{
+    nc = (R *) shmat(shmget(7, sizeof(R), 0666), 0, 0);
+    /***SafeFlow Annotation
+        assume(shmvar(nc, sizeof(R)));
+        assume(noncore(nc)) /***/
+}
+
+double scale(double a) { return a * 2.0; }
+
+int main(void)
+{
+    double x;
+    double y;
+    initShm();
+    x = nc->v;
+    y = scale(x);
+    /***SafeFlow Annotation assert(safe(y)); /***/
+    emit(y);
+    return 0;
+}
+"""
+
+
+def _strip_stats(payload):
+    payload = dict(payload)
+    payload.pop("stats", None)
+    return payload
+
+
+@pytest.mark.parametrize("key", SYSTEM_KEYS)
+def test_warm_equals_cold_on_corpus(tmp_path, key):
+    """Baseline (no cache), cold (empty cache) and warm (populated
+    cache) runs must render byte-identically on every Table-1 system."""
+    system = load_system(key)
+    baseline = system.analyze(AnalysisConfig(summary_mode=True))
+    cached_config = AnalysisConfig(
+        summary_mode=True, cache_dir=str(tmp_path / "cache")
+    )
+    cold = system.analyze(cached_config)
+    warm = system.analyze(cached_config)
+
+    assert cold.render(verbose=True) == baseline.render(verbose=True)
+    assert warm.render(verbose=True) == baseline.render(verbose=True)
+    assert _strip_stats(warm.to_json()) == _strip_stats(cold.to_json())
+
+    assert cold.stats.frontend_cache_hits == 0
+    assert cold.stats.frontend_cache_misses > 0
+    assert warm.stats.frontend_cache_hits > 0
+    assert warm.stats.frontend_cache_misses == 0
+    assert warm.stats.summary_cache_hits > 0
+
+
+def test_frontend_cache_hits_and_source_invalidation(tmp_path):
+    src = tmp_path / "prog.c"
+    src.write_text(SIMPLE)
+    flow = SafeFlow(AnalysisConfig(cache_dir=str(tmp_path / "cache")))
+
+    cold = flow.analyze_files([str(src)])
+    assert cold.stats.frontend_cache_misses == 1
+    assert cold.stats.frontend_cache_hits == 0
+
+    warm = flow.analyze_files([str(src)])
+    assert warm.stats.frontend_cache_hits == 1
+    assert warm.stats.frontend_cache_misses == 0
+    assert warm.render(verbose=True) == cold.render(verbose=True)
+
+    # editing the source busts the entry
+    src.write_text(SIMPLE.replace("a * 2.0", "a * 3.0"))
+    edited = flow.analyze_files([str(src)])
+    assert edited.stats.frontend_cache_misses == 1
+    assert edited.stats.frontend_cache_hits == 0
+
+
+def test_frontend_cache_include_dependency_invalidation(tmp_path):
+    """The cache key hashes the listed files; ``#include`` dependencies
+    are caught by digest re-validation of everything the preprocessor
+    actually read."""
+    header = tmp_path / "scale.h"
+    header.write_text("double scale(double a) { return a * 2.0; }\n")
+    src = tmp_path / "prog.c"
+    src.write_text('#include "scale.h"\n' + SIMPLE.replace(
+        "double scale(double a) { return a * 2.0; }", ""
+    ))
+    flow = SafeFlow(AnalysisConfig(
+        cache_dir=str(tmp_path / "cache"),
+        include_dirs=(str(tmp_path),),
+    ))
+
+    flow.analyze_files([str(src)])
+    warm = flow.analyze_files([str(src)])
+    assert warm.stats.frontend_cache_hits == 1
+
+    header.write_text("double scale(double a) { return a * 4.0; }\n")
+    edited = flow.analyze_files([str(src)])
+    assert edited.stats.frontend_cache_hits == 0
+    assert edited.stats.frontend_cache_misses == 1
+
+
+def test_frontend_cache_defines_invalidation(tmp_path):
+    src = tmp_path / "prog.c"
+    src.write_text(SIMPLE)
+    cache = str(tmp_path / "cache")
+
+    flow = SafeFlow(AnalysisConfig(cache_dir=cache))
+    flow.analyze_files([str(src)])
+    assert flow.analyze_files([str(src)]).stats.frontend_cache_hits == 1
+
+    defined = SafeFlow(AnalysisConfig(cache_dir=cache,
+                                      defines={"EXTRA": "1"}))
+    report = defined.analyze_files([str(src)])
+    assert report.stats.frontend_cache_hits == 0
+    assert report.stats.frontend_cache_misses == 1
+
+
+def test_summary_cache_config_flag_invalidation(tmp_path):
+    """Analysis flags are part of the summary key: flipping one must
+    miss; flipping it back must hit the original entries again."""
+    config = AnalysisConfig(summary_mode=True,
+                            cache_dir=str(tmp_path / "cache"))
+    flow = SafeFlow(config)
+
+    cold = flow.analyze_source(SIMPLE, name="prog")
+    assert cold.stats.summary_cache_hits == 0
+    assert cold.stats.summary_cache_misses > 0
+    warm = flow.analyze_source(SIMPLE, name="prog")
+    assert warm.stats.summary_cache_hits > 0
+    assert warm.stats.summary_cache_misses == 0
+
+    flipped = SafeFlow(dataclasses.replace(
+        config, track_control_dependence=False
+    )).analyze_source(SIMPLE, name="prog")
+    assert flipped.stats.summary_cache_hits == 0
+    assert flipped.stats.summary_cache_misses > 0
+
+    back = flow.analyze_source(SIMPLE, name="prog")
+    assert back.stats.summary_cache_hits > 0
+    assert back.stats.summary_cache_misses == 0
+
+
+def test_corrupt_cache_files_fail_open(tmp_path):
+    """Garbage in any cache file must read as a miss, never a crash."""
+    cache = tmp_path / "cache"
+    config = AnalysisConfig(summary_mode=True, cache_dir=str(cache))
+    flow = SafeFlow(config)
+    good = flow.analyze_source(SIMPLE, name="prog")
+
+    for victim in list(cache.rglob("*.pkl")):
+        victim.write_text("GARBAGE\n")
+    corrupted = flow.analyze_source(SIMPLE, name="prog")
+    assert corrupted.render(verbose=True) == good.render(verbose=True)
+    assert corrupted.stats.frontend_cache_hits == 0
+    assert corrupted.stats.summary_cache_hits == 0
+
+    # the rewrite heals the cache: next run hits again
+    healed = flow.analyze_source(SIMPLE, name="prog")
+    assert healed.stats.frontend_cache_hits == 1
+    assert healed.stats.summary_cache_hits > 0
+
+
+def test_cache_control_fields_do_not_change_results(tmp_path):
+    """cache_dir / frontend_cache / summary_cache are excluded from all
+    fingerprints, so toggling them never alters the report."""
+    plain = SafeFlow(AnalysisConfig(summary_mode=True))
+    cached = SafeFlow(AnalysisConfig(
+        summary_mode=True,
+        cache_dir=str(tmp_path / "cache"),
+        frontend_cache=False,
+        summary_cache=False,
+    ))
+    a = plain.analyze_source(SIMPLE, name="prog")
+    b = cached.analyze_source(SIMPLE, name="prog")
+    assert a.render(verbose=True) == b.render(verbose=True)
+    assert b.stats.frontend_cache_misses == 0
+    assert b.stats.summary_cache_misses == 0
