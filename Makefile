@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench table1 demo examples experiments clean
+.PHONY: install test bench bench-server serve-smoke table1 demo examples experiments clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -13,6 +13,12 @@ test:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only \
 		--benchmark-json=BENCH_parallel.json
+
+bench-server:
+	$(PYTHON) -m pytest benchmarks/bench_server.py -q
+
+serve-smoke:
+	$(PYTHON) scripts/serve_smoke.py
 
 table1:
 	$(PYTHON) -m repro.cli table1

@@ -1,0 +1,89 @@
+"""Analysis-service benchmark: warm daemon requests vs the cold CLI path.
+
+The point of running ``safeflow serve`` at all is that a long-lived
+daemon amortizes front-end and summary work across requests through
+the shared on-disk caches. This benchmark measures that directly:
+
+- *cold CLI*: a fresh ``SafeFlow`` with no cache directory, the same
+  work ``safeflow analyze`` does on every invocation;
+- *warm server*: a round-trip through ``SafeFlowClient`` against a
+  daemon whose caches were primed by one prior request — including
+  all protocol, queue, and worker-pool overhead.
+
+The warm request must still be measurably faster despite the added
+serving machinery. Results autosave to ``BENCH_server.json`` at the
+repo root. Run via ``make bench-server`` (or plain pytest).
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.config import AnalysisConfig
+from repro.core.driver import SafeFlow
+from repro.corpus import load_system
+from repro.server import SafeFlowClient, SafeFlowServer
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+ROUNDS = 5
+SYSTEM = "generic_simplex"
+MIN_SPEEDUP = 1.2
+
+
+def _best_of(fn, rounds=ROUNDS):
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def test_warm_server_request_beats_cold_cli(tmp_path):
+    system = load_system(SYSTEM)
+    files = [str(p) for p in system.core_files]
+
+    def cold():
+        flow = SafeFlow(AnalysisConfig(summary_mode=True))
+        report = flow.analyze_files(files, name=SYSTEM)
+        assert report.render()
+
+    cold_s = _best_of(cold)
+
+    server = SafeFlowServer(
+        config=AnalysisConfig(summary_mode=True,
+                              cache_dir=str(tmp_path / "cache")),
+        port=0, workers=2,
+    )
+    server.start()
+    try:
+        with SafeFlowClient(port=server.address[1]) as client:
+            prime = client.analyze(files=files, name=SYSTEM)
+
+            def warm():
+                result = client.analyze(files=files, name=SYSTEM)
+                assert result["render"] == prime["render"]
+
+            warm_s = _best_of(warm)
+            metrics = client.metrics()
+    finally:
+        server.stop()
+
+    speedup = cold_s / warm_s
+    payload = {
+        "system": SYSTEM,
+        "rounds": ROUNDS,
+        "cold_cli_s": cold_s,
+        "warm_server_s": warm_s,
+        "speedup": speedup,
+        "pool_mode": server.pool.mode,
+        "cache": metrics["cache"],
+    }
+    (REPO_ROOT / "BENCH_server.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+
+    assert metrics["cache"]["frontend_hits"] > 0
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm server request ({warm_s:.3f}s) not measurably faster "
+        f"than cold CLI path ({cold_s:.3f}s): {speedup:.2f}x"
+    )

@@ -4,13 +4,20 @@ Subcommands::
 
     safeflow analyze FILE...     # run the analysis on C sources
     safeflow batch FILE...       # analyze independent programs in parallel
+    safeflow serve               # long-lived analysis service (JSON-RPC)
     safeflow corpus [KEY]        # analyze a bundled Table-1 system
     safeflow table1              # reproduce Table 1 (measured vs paper)
     safeflow demo                # run the Simplex pendulum demo
 
-``analyze`` and ``batch`` use the on-disk caches of :mod:`repro.perf`
-by default (``$SAFEFLOW_CACHE_DIR`` or ``~/.cache/safeflow``); disable
-with ``--no-cache``, relocate with ``--cache-dir``.
+``analyze``, ``batch`` and ``serve`` use the on-disk caches of
+:mod:`repro.perf` by default (``$SAFEFLOW_CACHE_DIR`` or
+``~/.cache/safeflow``); disable with ``--no-cache``, relocate with
+``--cache-dir``.
+
+Exit codes are uniform across subcommands: 0 = analysis ran and the
+property holds, 1 = analysis ran and found errors/violations, 2 = the
+tool itself failed (bad input, job crash, timeout). Failures are
+always reported as structured one-line errors, never raw tracebacks.
 """
 
 from __future__ import annotations
@@ -79,6 +86,29 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--include", "-I", action="append", default=[],
                        help="include directory")
     _add_cache_flags(batch)
+
+    serve = sub.add_parser(
+        "serve", help="run the long-lived analysis service"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=4650, metavar="PORT",
+                       help="TCP port (default: 4650; 0 = ephemeral)")
+    serve.add_argument("--unix", metavar="PATH", default=None,
+                       help="serve on a Unix socket instead of TCP")
+    serve.add_argument("--workers", type=int, default=0, metavar="N",
+                       help="analysis worker processes (default: CPU count)")
+    serve.add_argument("--queue-size", type=int, default=64, metavar="N",
+                       help="bounded request queue capacity (default: 64)")
+    serve.add_argument("--deadline", type=float, default=None, metavar="SEC",
+                       help="default per-request deadline in seconds")
+    serve.add_argument("--summaries", action="store_true",
+                       help="use ESP-style function summaries (§3.3)")
+    serve.add_argument("--include", "-I", action="append", default=[],
+                       help="include directory")
+    serve.add_argument("--metrics-json", metavar="FILE", default=None,
+                       help="write a metrics snapshot to FILE on shutdown")
+    _add_cache_flags(serve)
 
     corpus = sub.add_parser("corpus", help="analyze a bundled system")
     corpus.add_argument("key", nargs="?", default="ip",
@@ -194,6 +224,7 @@ def cmd_batch(args) -> int:
                     "ok": r.ok,
                     "duration": r.duration,
                     "error": r.error,
+                    "detail": r.detail,
                     "report": r.report.to_json() if r.report else None,
                 }
                 for r in outcome.results
@@ -213,11 +244,67 @@ def cmd_batch(args) -> int:
             else:
                 first_line = result.error.strip().splitlines()[-1]
                 print(f"{result.name:<20} ERROR {first_line}")
+        failed = sum(1 for r in outcome.results if not r.ok)
+        if failed:
+            print(f"{failed} job(s) failed", file=sys.stderr)
         print(f"{len(outcome.results)} jobs in {outcome.wall_time:.2f}s "
               f"({max_workers} workers)")
     if not outcome.ok:
         return 2
     return 0 if all(r.report.passed for r in outcome.results) else 1
+
+
+def cmd_serve(args) -> int:
+    import signal
+
+    from .server.daemon import SafeFlowServer
+
+    config = AnalysisConfig(
+        summary_mode=args.summaries,
+        include_dirs=tuple(args.include),
+        cache_dir=_cache_dir(args),
+    )
+    try:
+        server = SafeFlowServer(
+            config=config,
+            host=args.host,
+            port=args.port,
+            unix_path=args.unix,
+            workers=args.workers if args.workers > 0 else None,
+            queue_size=args.queue_size,
+            default_deadline=args.deadline,
+        )
+    except OSError as exc:
+        print(f"safeflow serve: cannot bind: {exc}", file=sys.stderr)
+        return 2
+    address = server.address
+    where = address if isinstance(address, str) else f"{address[0]}:{address[1]}"
+    print(
+        f"safeflow serve: listening on {where} "
+        f"(pid {os.getpid()}, {server.pool.workers} workers, "
+        f"{server.pool.mode}, queue {server.queue.capacity})",
+        flush=True,
+    )
+
+    def _on_signal(_signum, _frame):
+        server.request_shutdown()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, _on_signal)
+        except (ValueError, OSError):  # pragma: no cover - odd hosts
+            pass
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - handler-less hosts
+        server.stop()
+    server.wait_stopped(timeout=60.0)
+    if args.metrics_json:
+        with open(args.metrics_json, "w") as f:
+            json.dump(server.metrics.snapshot(), f, indent=2)
+        print(f"safeflow serve: metrics written to {args.metrics_json}",
+              flush=True)
+    return 0
 
 
 def cmd_corpus(args) -> int:
@@ -288,6 +375,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "analyze": cmd_analyze,
         "batch": cmd_batch,
+        "serve": cmd_serve,
         "corpus": cmd_corpus,
         "table1": cmd_table1,
         "demo": cmd_demo,

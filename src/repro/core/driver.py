@@ -88,6 +88,28 @@ class SafeFlow:
             ir_cache=cache,
         )
 
+    def analyze_request(self, *, source: Optional[str] = None,
+                        filename: str = "<source>",
+                        files: Optional[Sequence[str]] = None,
+                        name: str = "program") -> AnalysisReport:
+        """Analyze exactly one of ``source`` (inline C text) or
+        ``files`` (paths).
+
+        The submission shape of the analysis service
+        (:mod:`repro.server`): a request carries either the literal
+        source of a core component or the paths of its translation
+        units, and both routes must produce reports byte-identical to
+        the corresponding direct call. ``ValueError`` on an ambiguous
+        or empty request.
+        """
+        if (source is None) == (files is None):
+            raise ValueError(
+                "analyze_request takes exactly one of source= or files="
+            )
+        if source is not None:
+            return self.analyze_source(source, filename=filename, name=name)
+        return self.analyze_files(list(files), name=name)
+
     def analyze_batch(self, jobs: Sequence, max_workers: Optional[int] = None,
                       timeout: Optional[float] = None):
         """Analyze independent programs in parallel worker processes.

@@ -52,6 +52,28 @@ class AnalysisStats:
             "summary_cache_misses": self.summary_cache_misses,
         }
 
+    def to_json(self) -> Dict[str, object]:
+        """Wire form of the stats block.
+
+        One schema shared by ``safeflow analyze --json``
+        (:meth:`AnalysisReport.to_json`) and the analysis service,
+        whose metrics plane (:mod:`repro.server.metrics`) folds the
+        ``phase_timings`` and cache counters of every response into
+        its histograms.
+        """
+        return {
+            "files": self.files,
+            "functions": self.functions,
+            "instructions": self.instructions,
+            "loc_total": self.loc_total,
+            "shm_regions": self.shm_regions,
+            "noncore_regions": self.noncore_regions,
+            "contexts_analyzed": self.contexts_analyzed,
+            "monitored_functions": self.monitored_functions,
+            "phase_timings": dict(self.phase_timings),
+            **self.cache_counters(),
+        }
+
 
 @dataclass
 class AnalysisReport:
@@ -150,18 +172,7 @@ class AnalysisReport:
             "name": self.name,
             "counts": self.counts(),
             "passed": self.passed,
-            "stats": {
-                "files": self.stats.files,
-                "functions": self.stats.functions,
-                "instructions": self.stats.instructions,
-                "loc_total": self.stats.loc_total,
-                "shm_regions": self.stats.shm_regions,
-                "noncore_regions": self.stats.noncore_regions,
-                "contexts_analyzed": self.stats.contexts_analyzed,
-                "monitored_functions": self.stats.monitored_functions,
-                "phase_timings": dict(self.stats.phase_timings),
-                **self.stats.cache_counters(),
-            },
+            "stats": self.stats.to_json(),
             "warnings": [
                 dict(diag(w), region=w.region) for w in self.warnings
             ],

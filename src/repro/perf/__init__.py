@@ -13,7 +13,13 @@ sequential cold path):
   programs (:mod:`repro.perf.batch`).
 """
 
-from .batch import BatchJob, BatchOutcome, BatchResult, run_batch
+from .batch import (
+    BatchJob,
+    BatchOutcome,
+    BatchResult,
+    resolve_mp_context,
+    run_batch,
+)
 from .fingerprint import (
     SCHEMA_VERSION,
     config_fingerprint,
@@ -39,6 +45,7 @@ __all__ = [
     "config_fingerprint",
     "file_digest",
     "function_fingerprint",
+    "resolve_mp_context",
     "run_batch",
     "text_digest",
 ]

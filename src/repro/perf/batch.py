@@ -16,6 +16,13 @@ that exceeds ``timeout`` seconds is reported as timed out.
 ``max_workers=1`` (or a single job) runs inline in the calling process
 — the degenerate case doubles as the escape hatch (``--jobs 1``) and
 keeps single-job semantics identical to :meth:`SafeFlow.analyze_files`.
+
+Platform robustness: worker processes prefer the cheap ``fork`` start
+method, fall back to ``spawn`` where ``fork`` does not exist, and fall
+all the way back to in-process sequential execution when no process
+pool can be created at all (:func:`resolve_mp_context` /
+:func:`run_batch`). The analysis service
+(:mod:`repro.server.pool`) reuses the same resolution.
 """
 
 from __future__ import annotations
@@ -41,11 +48,18 @@ class BatchJob:
 
 @dataclass
 class BatchResult:
-    """Outcome of one job: exactly one of ``report`` / ``error`` set."""
+    """Outcome of one job: exactly one of ``report`` / ``error`` set.
+
+    ``error`` is a single structured line (``ExcType: message``) fit
+    for terminal output and JSON payloads; ``detail`` carries the full
+    traceback for post-mortems and is never printed by the CLI's
+    human-readable path.
+    """
 
     name: str
     report: Optional[object] = None
     error: Optional[str] = None
+    detail: Optional[str] = None
     duration: float = 0.0
 
     @property
@@ -85,12 +99,39 @@ def _run_job(job: BatchJob, config) -> BatchResult:
             report=report,
             duration=time.perf_counter() - start,
         )
-    except Exception:
+    except Exception as exc:
         return BatchResult(
             name=job.name,
-            error=traceback.format_exc(limit=8),
+            error=f"{type(exc).__name__}: {exc}",
+            detail=traceback.format_exc(limit=8),
             duration=time.perf_counter() - start,
         )
+
+
+def resolve_mp_context(prefer: str = "fork"):
+    """Best available multiprocessing context, or ``None``.
+
+    Tries ``prefer`` (default ``fork``: cheap worker start, no
+    re-import), then ``spawn``, then the platform default. ``None``
+    means no usable context — callers must run in-process.
+    """
+    for method in (prefer, "spawn"):
+        try:
+            return multiprocessing.get_context(method)
+        except ValueError:
+            continue
+    try:  # pragma: no cover - every supported platform has a default
+        return multiprocessing.get_context()
+    except Exception:  # pragma: no cover
+        return None
+
+
+def _run_sequential(outcome: BatchOutcome, jobs: Sequence[BatchJob],
+                    config, start: float) -> BatchOutcome:
+    for job in jobs:
+        outcome.results.append(_run_job(job, config))
+    outcome.wall_time = time.perf_counter() - start
+    return outcome
 
 
 def run_batch(
@@ -111,22 +152,24 @@ def run_batch(
         return outcome
 
     if max_workers <= 1 or len(jobs) == 1:
-        for job in jobs:
-            outcome.results.append(_run_job(job, config))
-        outcome.wall_time = time.perf_counter() - start
-        return outcome
+        return _run_sequential(outcome, jobs, config, start)
 
     # fork keeps worker start cheap; the analyzer holds no threads or
-    # open handles at this point that fork could corrupt
+    # open handles at this point that fork could corrupt. Platforms
+    # without fork get spawn; platforms where no pool can be created
+    # at all (sandboxes forbidding process creation) run sequentially.
+    mp_context = resolve_mp_context()
+    if mp_context is None:
+        return _run_sequential(outcome, jobs, config, start)
     try:
-        mp_context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        mp_context = multiprocessing.get_context()
+        pool_cm = concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(max_workers, len(jobs)),
+            mp_context=mp_context,
+        )
+    except (OSError, PermissionError, ValueError):
+        return _run_sequential(outcome, jobs, config, start)
 
-    with concurrent.futures.ProcessPoolExecutor(
-        max_workers=min(max_workers, len(jobs)),
-        mp_context=mp_context,
-    ) as pool:
+    with pool_cm as pool:
         futures = [pool.submit(_run_job, job, config) for job in jobs]
         deadline = None if timeout is None else start + timeout
         for job, future in zip(jobs, futures):

@@ -1,0 +1,245 @@
+"""Python client of the SafeFlow analysis service.
+
+:class:`SafeFlowClient` speaks the newline-delimited JSON-RPC of
+:mod:`repro.server.protocol` over TCP or a Unix socket, with separate
+connect and request timeouts and bounded retry-with-backoff on
+*transient connection* errors — refused/reset connects and send
+failures on a half-dead persistent connection. A failure while
+*waiting for a response* is never retried: the server may already be
+analyzing, and blind re-submission would double the work (the framing
+makes re-sending a partially written request safe — a line without
+its newline is not a message — so send-side retries are).
+
+Usage::
+
+    with SafeFlowClient(port=4650) as client:
+        result = client.analyze(files=["core_controller.c"])
+        print(result["render"])          # == `safeflow analyze` output
+        print(client.metrics()["cache"])  # warm-path visibility
+
+Server-side failures surface as :class:`ServerError` (a
+:class:`~repro.errors.SafeFlowError`) carrying the structured error
+``code``/``name``; timeouts as :class:`RequestTimeout`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+import time
+from typing import Any, Dict, List, Optional, Union
+
+from ..errors import SafeFlowError
+from . import protocol
+
+
+class ServerError(SafeFlowError):
+    """A structured error response from the daemon."""
+
+    def __init__(self, code: int, message: str,
+                 data: Optional[Dict[str, Any]] = None):
+        super().__init__(message)
+        self.code = code
+        self.name = protocol.error_name(code)
+        self.data = data or {}
+
+    def __str__(self) -> str:
+        return f"[{self.name}] {self.message}"
+
+
+class ConnectionFailed(SafeFlowError):
+    """Could not (re)connect within the configured retry budget."""
+
+
+class RequestTimeout(SafeFlowError):
+    """No response within the request timeout; connection is dropped."""
+
+
+class SafeFlowClient:
+    """Blocking client with a persistent, lazily (re)connected socket."""
+
+    def __init__(self, host: str = "127.0.0.1", port: Optional[int] = None,
+                 unix_path: Optional[str] = None,
+                 connect_timeout: float = 5.0,
+                 request_timeout: float = 300.0,
+                 retries: int = 3, backoff: float = 0.05):
+        if (port is None) == (unix_path is None):
+            raise ValueError("give exactly one of port= or unix_path=")
+        self.host = host
+        self.port = port
+        self.unix_path = unix_path
+        self.connect_timeout = connect_timeout
+        self.request_timeout = request_timeout
+        self.retries = max(0, retries)
+        self.backoff = backoff
+        self._sock: Optional[socket.socket] = None
+        self._rfile = None
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # connection management
+    # ------------------------------------------------------------------
+
+    def _connect_once(self) -> None:
+        if self.unix_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.connect_timeout)
+            sock.connect(self.unix_path)
+        else:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout)
+        sock.settimeout(self.request_timeout)
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+
+    def connect(self) -> None:
+        """(Re)connect, retrying transient failures with backoff."""
+        if self._sock is not None:
+            return
+        last: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            try:
+                self._connect_once()
+                return
+            except (ConnectionError, socket.timeout, OSError) as exc:
+                last = exc
+                self.close()
+                if attempt < self.retries:
+                    time.sleep(self.backoff * (2 ** attempt))
+        raise ConnectionFailed(
+            f"could not connect to the analysis service after "
+            f"{self.retries + 1} attempts: {last}"
+        )
+
+    def close(self) -> None:
+        if self._rfile is not None:
+            try:
+                self._rfile.close()
+            except OSError:
+                pass
+            self._rfile = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "SafeFlowClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # the RPC core
+    # ------------------------------------------------------------------
+
+    def call(self, method: str, params: Optional[Dict[str, Any]] = None,
+             timeout: Optional[float] = None) -> Any:
+        """One round-trip; returns the ``result`` payload.
+
+        Send failures (stale persistent connection, server restarted)
+        are retried on a fresh connection up to ``retries`` times;
+        anything after the request has been fully sent is not.
+        """
+        req_id = next(self._ids)
+        line = protocol.encode(
+            protocol.request_payload(method, params, req_id))
+        last: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            self.connect()
+            try:
+                self._sock.sendall(line)
+            except (ConnectionError, socket.timeout, OSError) as exc:
+                last = exc
+                self.close()
+                if attempt < self.retries:
+                    time.sleep(self.backoff * (2 ** attempt))
+                continue
+            return self._read_response(req_id, timeout)
+        raise ConnectionFailed(
+            f"could not send {method!r} after {self.retries + 1} "
+            f"attempts: {last}"
+        )
+
+    def _read_response(self, req_id, timeout: Optional[float]) -> Any:
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        try:
+            raw = self._rfile.readline(protocol.MAX_MESSAGE_BYTES + 2)
+        except socket.timeout:
+            self.close()  # the response would desynchronize the stream
+            raise RequestTimeout(
+                f"no response within {timeout or self.request_timeout}s")
+        except (ConnectionError, OSError) as exc:
+            self.close()
+            raise ConnectionFailed(f"connection lost mid-request: {exc}")
+        finally:
+            if timeout is not None and self._sock is not None:
+                self._sock.settimeout(self.request_timeout)
+        if not raw:
+            self.close()
+            raise ConnectionFailed("server closed the connection")
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except ValueError as exc:
+            self.close()
+            raise ConnectionFailed(f"undecodable response: {exc}")
+        if payload.get("id") not in (req_id, None):
+            self.close()
+            raise ConnectionFailed(
+                f"response id {payload.get('id')!r} does not match "
+                f"request id {req_id!r}"
+            )
+        error = payload.get("error")
+        if error is not None:
+            raise ServerError(error.get("code", protocol.INTERNAL_ERROR),
+                              error.get("message", "unknown server error"),
+                              error.get("data"))
+        return payload.get("result")
+
+    # ------------------------------------------------------------------
+    # convenience methods (one per RPC)
+    # ------------------------------------------------------------------
+
+    def analyze(self, source: Optional[str] = None,
+                files: Optional[List[str]] = None,
+                name: str = "program", filename: str = "<source>",
+                verbose: bool = False,
+                deadline: Optional[float] = None,
+                job_id: Optional[str] = None,
+                config: Optional[Dict[str, Any]] = None,
+                timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Submit one analysis; returns the result payload
+        (``render``, ``report``, ``counts``, ``passed``, ...)."""
+        params: Dict[str, Any] = {"name": name, "verbose": verbose}
+        if source is not None:
+            params["source"] = source
+            params["filename"] = filename
+        if files is not None:
+            params["files"] = [str(f) for f in files]
+        if deadline is not None:
+            params["deadline"] = deadline
+        if job_id is not None:
+            params["job_id"] = job_id
+        if config:
+            params["config"] = config
+        return self.call("analyze", params, timeout=timeout)
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self.call("cancel", {"job_id": job_id})
+
+    def health(self) -> Dict[str, Any]:
+        return self.call("health")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self.call("metrics")
+
+    def ping(self) -> bool:
+        return bool(self.call("ping").get("pong"))
+
+    def shutdown(self, drain: bool = True) -> Dict[str, Any]:
+        return self.call("shutdown", {"drain": drain})

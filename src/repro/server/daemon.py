@@ -1,0 +1,486 @@
+"""The long-lived SafeFlow analysis daemon (``safeflow serve``).
+
+One :class:`SafeFlowServer` owns the four moving parts and wires them
+together:
+
+- a threaded stream server (TCP on ``host:port`` or a Unix socket)
+  speaking the newline-delimited JSON-RPC of
+  :mod:`repro.server.protocol` — one handler thread per connection,
+  requests on a connection answered in order;
+- the bounded :class:`~repro.server.queue.RequestQueue` (admission
+  control: a full queue answers ``queue_full`` immediately instead of
+  queueing unboundedly);
+- the :class:`~repro.server.pool.WorkerPool` of analysis processes
+  sharing the on-disk caches, which is what makes repeat requests
+  warm;
+- the :class:`~repro.server.metrics.ServerMetrics` plane behind the
+  ``health`` and ``metrics`` RPCs.
+
+RPC methods: ``analyze`` (inline ``source`` or ``files`` paths, with
+optional per-request ``deadline``, ``job_id`` and config overrides),
+``cancel`` (by ``job_id``, from any connection), ``health``,
+``metrics``, ``ping``, and ``shutdown``.
+
+Graceful shutdown (``shutdown`` RPC, SIGINT/SIGTERM via
+:meth:`request_shutdown`, or :meth:`stop`): new ``analyze`` requests
+are rejected with ``shutting_down``, the queue backlog and every
+running job finish normally, every handler writes its pending
+responses, and only then are connections and the listening socket
+closed. No admitted request ever loses its response.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import socket
+import socketserver
+import threading
+import time
+from typing import Any, Dict, Optional, Tuple, Union
+
+from ..core.config import AnalysisConfig
+from . import protocol
+from .metrics import ServerMetrics
+from .pool import WorkerPool
+from .queue import PendingJob, QueueClosedError, QueueFullError, RequestQueue
+
+#: extra seconds a handler waits past the job deadline before declaring
+#: the pool wedged (the pool itself resolves deadlines; this is a
+#: belt-and-braces bound so a handler can never block forever)
+_DEADLINE_GRACE = 10.0
+
+#: AnalysisConfig fields a request may override per-analysis
+_CONFIG_OVERRIDES = {
+    "summary_mode": bool,
+    "check_restrictions": bool,
+    "context_sensitive": bool,
+    "track_control_dependence": bool,
+    "lint_monitors": bool,
+    "unannotated_shm_is_core": bool,
+    "include_dirs": (list, tuple),
+    "defines": dict,
+}
+
+_OUTCOME_BY_CODE = {
+    protocol.CANCELLED: "cancelled",
+    protocol.DEADLINE_EXCEEDED: "deadline_exceeded",
+}
+
+
+class _RpcHandler(socketserver.StreamRequestHandler):
+    """One connection: read request lines, answer each in order."""
+
+    def setup(self):
+        super().setup()
+        self.server.safeflow_server._track_connection(self.connection, True)
+
+    def finish(self):
+        self.server.safeflow_server._track_connection(self.connection, False)
+        super().finish()
+
+    def handle(self):
+        server: SafeFlowServer = self.server.safeflow_server
+        while True:
+            try:
+                line = self.rfile.readline(protocol.MAX_MESSAGE_BYTES + 2)
+            except (OSError, ValueError):
+                return  # connection force-closed during shutdown
+            if not line:
+                return  # EOF: client went away
+            if line.strip() == b"":
+                continue
+            response = server.handle_line(line)
+            try:
+                self.wfile.write(protocol.encode(response))
+                self.wfile.flush()
+            except (OSError, ValueError):
+                return
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    block_on_close = False
+
+
+if hasattr(socketserver, "ThreadingUnixStreamServer"):
+    class _UnixServer(socketserver.ThreadingUnixStreamServer):
+        daemon_threads = True
+        block_on_close = False
+else:  # pragma: no cover - non-POSIX platforms
+    _UnixServer = None
+
+
+class SafeFlowServer:
+    """The analysis service; see the module docstring."""
+
+    def __init__(self, config: Optional[AnalysisConfig] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 unix_path: Optional[str] = None,
+                 workers: Optional[int] = None,
+                 queue_size: int = 64,
+                 default_deadline: Optional[float] = None,
+                 use_processes: bool = True):
+        self.config = config or AnalysisConfig()
+        self.default_deadline = default_deadline
+        self.unix_path = unix_path
+        self.metrics = ServerMetrics()
+        self.queue = RequestQueue(queue_size)
+        self.pool = WorkerPool(self.queue, self.config, workers=workers,
+                               use_processes=use_processes)
+        self.metrics.register_gauge("queue_depth", self.queue.depth)
+        self.metrics.register_gauge("in_flight", self.pool.running_count)
+
+        self._lock = threading.Lock()
+        self._draining = False
+        self._stopping = False
+        self._stopped = threading.Event()
+        self._serve_thread: Optional[threading.Thread] = None
+        self._connections: set = set()
+        self._active_rpcs = 0
+        self._idle = threading.Condition(self._lock)
+        self._job_seq = itertools.count(1)
+        self._jobs: Dict[str, PendingJob] = {}
+
+        if unix_path is not None:
+            if _UnixServer is None:  # pragma: no cover
+                raise OSError("unix sockets are not supported here")
+            if os.path.exists(unix_path):
+                os.unlink(unix_path)  # stale socket from a dead daemon
+            self._tcp = _UnixServer(unix_path, _RpcHandler)
+        else:
+            self._tcp = _TCPServer((host, port), _RpcHandler)
+        self._tcp.safeflow_server = self
+
+        self._methods = {
+            "analyze": self._rpc_analyze,
+            "cancel": self._rpc_cancel,
+            "health": self._rpc_health,
+            "metrics": self._rpc_metrics,
+            "ping": self._rpc_ping,
+            "shutdown": self._rpc_shutdown,
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> Union[Tuple[str, int], str]:
+        """Bound address: ``(host, port)`` or the Unix socket path."""
+        if self.unix_path is not None:
+            return self.unix_path
+        host, port = self._tcp.server_address[:2]
+        return (host, port)
+
+    def serve_forever(self) -> None:
+        """Run until shut down (blocks the calling thread)."""
+        self.pool.start()
+        try:
+            self._tcp.serve_forever(poll_interval=0.1)
+        finally:
+            # when a shutdown is in flight, let it finish tearing down
+            # before returning control (KeyboardInterrupt exits here
+            # without one; the CLI then calls stop() itself)
+            with self._lock:
+                stopping = self._stopping
+            if stopping:
+                self._stopped.wait(timeout=30.0)
+
+    def start(self) -> "SafeFlowServer":
+        """Serve on a background thread (tests and embedding)."""
+        self.pool.start()
+        self._serve_thread = threading.Thread(
+            target=self._tcp.serve_forever, kwargs={"poll_interval": 0.1},
+            name="safeflow-serve", daemon=True,
+        )
+        self._serve_thread.start()
+        return self
+
+    def request_shutdown(self, drain: bool = True) -> None:
+        """Trigger :meth:`stop` from a background thread.
+
+        Safe to call from a signal handler or an RPC handler — both
+        run in threads that must not block on the shutdown itself.
+        """
+        threading.Thread(target=self.stop, kwargs={"drain": drain},
+                         name="safeflow-shutdown", daemon=True).start()
+
+    def stop(self, drain: bool = True) -> None:
+        """Drain (optionally) and stop; idempotent and blocking."""
+        with self._lock:
+            if self._stopping:
+                self._stopped.wait()
+                return
+            self._stopping = True
+            self._draining = True
+        # 1. finish the analysis backlog (or fail it when drain=False)
+        self.pool.shutdown(drain=drain, timeout=None if drain else 10.0)
+        # 2. let handlers write out every pending response
+        with self._idle:
+            deadline = time.monotonic() + 30.0
+            while self._active_rpcs > 0 and time.monotonic() < deadline:
+                self._idle.wait(timeout=0.2)
+        # 3. stop accepting and tear the sockets down
+        self._tcp.shutdown()
+        with self._lock:
+            connections = list(self._connections)
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._tcp.server_close()
+        if self.unix_path is not None:
+            try:
+                os.unlink(self.unix_path)
+            except OSError:
+                pass
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+        self._stopped.set()
+
+    def wait_stopped(self, timeout: Optional[float] = None) -> bool:
+        return self._stopped.wait(timeout)
+
+    def __enter__(self) -> "SafeFlowServer":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # connection / rpc bookkeeping
+    # ------------------------------------------------------------------
+
+    def _track_connection(self, conn, active: bool) -> None:
+        with self._lock:
+            if active:
+                self._connections.add(conn)
+            else:
+                self._connections.discard(conn)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def handle_line(self, line: bytes) -> Dict[str, Any]:
+        """Decode, dispatch and answer one request line."""
+        try:
+            request = protocol.decode_request(line)
+        except protocol.ProtocolError as exc:
+            self.metrics.count_response(False, protocol.error_name(exc.code))
+            return protocol.error_response(None, exc.code, exc.message)
+        handler = self._methods.get(request.method)
+        if handler is None:
+            self.metrics.count_request(request.method)
+            self.metrics.count_response(
+                False, protocol.error_name(protocol.METHOD_NOT_FOUND))
+            return protocol.error_response(
+                request.id, protocol.METHOD_NOT_FOUND,
+                f"unknown method {request.method!r}",
+            )
+        self.metrics.count_request(request.method)
+        started = time.monotonic()
+        with self._idle:
+            self._active_rpcs += 1
+        try:
+            response = handler(request)
+        except Exception as exc:  # a handler bug must not kill the daemon
+            response = protocol.error_response(
+                request.id, protocol.INTERNAL_ERROR,
+                f"{type(exc).__name__}: {exc}",
+            )
+        finally:
+            with self._idle:
+                self._active_rpcs -= 1
+                self._idle.notify_all()
+        elapsed = time.monotonic() - started
+        error = response.get("error")
+        self.metrics.count_response(
+            error is None,
+            error["name"] if error else None,
+            seconds=elapsed,
+        )
+        return response
+
+    # ------------------------------------------------------------------
+    # methods
+    # ------------------------------------------------------------------
+
+    def _rpc_ping(self, request) -> Dict[str, Any]:
+        return protocol.ok_response(request.id, {"pong": True})
+
+    def _rpc_health(self, request) -> Dict[str, Any]:
+        with self._lock:
+            draining = self._draining
+        return protocol.ok_response(request.id, {
+            "status": "draining" if draining else "ok",
+            "protocol": protocol.PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "uptime_seconds": self.metrics.uptime_seconds(),
+            "workers": self.pool.workers,
+            "pool_mode": self.pool.mode,
+            "queue_depth": self.queue.depth(),
+            "queue_capacity": self.queue.capacity,
+            "in_flight": self.pool.running_count(),
+            "cache_dir": self.config.cache_dir,
+        })
+
+    def _rpc_metrics(self, request) -> Dict[str, Any]:
+        return protocol.ok_response(request.id, self.metrics.snapshot())
+
+    def _rpc_shutdown(self, request) -> Dict[str, Any]:
+        drain = bool(request.params.get("drain", True))
+        with self._lock:
+            self._draining = True
+        self.request_shutdown(drain=drain)
+        return protocol.ok_response(request.id,
+                                    {"shutting_down": True, "drain": drain})
+
+    def _rpc_cancel(self, request) -> Dict[str, Any]:
+        job_id = request.params.get("job_id")
+        if not isinstance(job_id, str) or not job_id:
+            return protocol.error_response(
+                request.id, protocol.INVALID_PARAMS,
+                "cancel requires a job_id string",
+            )
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            return protocol.ok_response(
+                request.id, {"job_id": job_id, "found": False,
+                             "cancelled": False})
+        cancelled = job.cancel()
+        return protocol.ok_response(
+            request.id, {"job_id": job_id, "found": True,
+                         "cancelled": cancelled})
+
+    # -- analyze -------------------------------------------------------
+
+    def _rpc_analyze(self, request) -> Dict[str, Any]:
+        try:
+            spec, deadline_s, job_id = self._parse_analyze(request.params)
+        except ValueError as exc:
+            return protocol.error_response(
+                request.id, protocol.INVALID_PARAMS, str(exc))
+        with self._lock:
+            if self._draining:
+                return protocol.error_response(
+                    request.id, protocol.SHUTTING_DOWN,
+                    "server is draining; not accepting new analyses",
+                )
+            if job_id in self._jobs:
+                return protocol.error_response(
+                    request.id, protocol.INVALID_PARAMS,
+                    f"job_id {job_id!r} is already in flight",
+                )
+        deadline = None
+        if deadline_s is not None:
+            deadline = time.monotonic() + deadline_s
+        job = PendingJob(job_id, spec, deadline=deadline)
+        with self._lock:
+            self._jobs[job_id] = job
+        try:
+            try:
+                self.queue.put_nowait(job)
+            except QueueFullError as exc:
+                self.metrics.count_analysis("queue_rejections")
+                return protocol.error_response(
+                    request.id, protocol.QUEUE_FULL, str(exc),
+                    data={"job_id": job_id},
+                )
+            except QueueClosedError:
+                return protocol.error_response(
+                    request.id, protocol.SHUTTING_DOWN,
+                    "server is draining; not accepting new analyses",
+                    data={"job_id": job_id},
+                )
+            wait_timeout = None
+            if deadline_s is not None:
+                wait_timeout = deadline_s + _DEADLINE_GRACE
+            if not job.wait(timeout=wait_timeout):
+                job.cancel()
+                return protocol.error_response(
+                    request.id, protocol.INTERNAL_ERROR,
+                    "worker pool failed to resolve the request in time",
+                    data={"job_id": job_id},
+                )
+            return self._finish_analyze(request, job)
+        finally:
+            with self._lock:
+                self._jobs.pop(job_id, None)
+
+    def _finish_analyze(self, request, job: PendingJob) -> Dict[str, Any]:
+        if job.result is not None:
+            stats = (job.result.get("report") or {}).get("stats") or {}
+            self.metrics.observe_analysis(stats)
+            result = dict(job.result)
+            result.pop("ok", None)
+            result["job_id"] = job.id
+            return protocol.ok_response(request.id, result)
+        code, message = job.error
+        self.metrics.count_analysis(_OUTCOME_BY_CODE.get(code, "failed"))
+        return protocol.error_response(request.id, code, message,
+                                       data={"job_id": job.id})
+
+    def _parse_analyze(self, params: Dict[str, Any]):
+        source = params.get("source")
+        files = params.get("files")
+        if (source is None) == (files is None):
+            raise ValueError(
+                "analyze takes exactly one of source= or files=")
+        if source is not None and not isinstance(source, str):
+            raise ValueError("source must be a string of C code")
+        if files is not None:
+            if (not isinstance(files, list) or not files
+                    or not all(isinstance(f, str) for f in files)):
+                raise ValueError("files must be a non-empty list of paths")
+        name = params.get("name", "program")
+        if not isinstance(name, str):
+            raise ValueError("name must be a string")
+        filename = params.get("filename", "<source>")
+        if not isinstance(filename, str):
+            raise ValueError("filename must be a string")
+        overrides: Dict[str, Any] = {}
+        for key, value in (params.get("config") or {}).items():
+            expected = _CONFIG_OVERRIDES.get(key)
+            if expected is None:
+                raise ValueError(f"unknown config override {key!r}")
+            if not isinstance(value, expected):
+                raise ValueError(f"config override {key!r} has wrong type")
+            if key == "include_dirs":
+                value = tuple(str(v) for v in value)
+            elif key == "defines":
+                value = {str(k): str(v) for k, v in value.items()}
+            overrides[key] = value
+        deadline_s = params.get("deadline", None)
+        if deadline_s is not None:
+            deadline_s = float(deadline_s)
+            if deadline_s <= 0:
+                raise ValueError("deadline must be positive seconds")
+        if self.default_deadline is not None:
+            deadline_s = (self.default_deadline if deadline_s is None
+                          else min(deadline_s, self.default_deadline))
+        job_id = params.get("job_id")
+        if job_id is None:
+            job_id = f"job-{next(self._job_seq)}"
+        elif not isinstance(job_id, str) or not job_id:
+            raise ValueError("job_id must be a non-empty string")
+        spec: Dict[str, Any] = {
+            "name": name,
+            "verbose": bool(params.get("verbose", False)),
+        }
+        if source is not None:
+            spec["source"] = source
+            spec["filename"] = filename
+        else:
+            spec["files"] = list(files)
+        if overrides:
+            spec["config_overrides"] = overrides
+        return spec, deadline_s, job_id

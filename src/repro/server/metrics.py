@@ -1,0 +1,186 @@
+"""Observability plane of the analysis service.
+
+One :class:`ServerMetrics` instance per daemon aggregates, under a
+single lock:
+
+- request/response counters per method and per error name;
+- analysis outcomes (completed / failed / cancelled / deadline
+  exceeded / queue rejections);
+- cache effectiveness, folded from the ``AnalysisStats`` cache
+  counters of every completed analysis — this is how a warm request
+  becomes visible from the outside (``frontend_hits`` > 0);
+- latency histograms: whole-request wall time plus one histogram per
+  analysis phase (``frontend``, ``shm``, ``restrictions``, ``lint``,
+  ``valueflow``, ``total``), folded from ``phase_timings``;
+- gauges (queue depth, in-flight count) read through registered
+  callables at snapshot time, so they are always current and never
+  drift from the queue/pool's own bookkeeping.
+
+``snapshot()`` returns a plain JSON-ready dict: it is the body of the
+``metrics`` RPC, the ``safeflow serve --metrics-json`` dump, and what
+``make serve-smoke`` scrapes. Histograms use Prometheus-style
+cumulative ``le`` buckets so the schema maps 1:1 onto a future
+``/metrics`` exposition without re-aggregation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+#: upper bounds (seconds) of the latency buckets; +Inf is implicit
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram (not thread-safe on its own;
+    :class:`ServerMetrics` serializes access under its lock)."""
+
+    __slots__ = ("buckets", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, buckets=DEFAULT_BUCKETS):
+        self.buckets = tuple(buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # last = +Inf
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, seconds: float) -> None:
+        seconds = max(0.0, float(seconds))
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if seconds <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.count += 1
+        self.sum += seconds
+        self.min = seconds if self.min is None else min(self.min, seconds)
+        self.max = seconds if self.max is None else max(self.max, seconds)
+
+    def snapshot(self) -> Dict[str, object]:
+        cumulative: List[List[object]] = []
+        running = 0
+        for bound, n in zip(self.buckets, self.counts):
+            running += n
+            cumulative.append([bound, running])
+        cumulative.append(["+Inf", running + self.counts[-1]])
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "buckets_le": cumulative,
+        }
+
+
+class ServerMetrics:
+    """Thread-safe aggregate state of one daemon."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.started_at = time.time()
+        self._started_mono = time.monotonic()
+        self._requests: Dict[str, int] = {}
+        self._responses = {"ok": 0, "error": 0}
+        self._errors: Dict[str, int] = {}
+        self._analyses = {
+            "completed": 0,
+            "failed": 0,
+            "cancelled": 0,
+            "deadline_exceeded": 0,
+            "queue_rejections": 0,
+        }
+        self._cache = {
+            "frontend_hits": 0,
+            "frontend_misses": 0,
+            "summary_hits": 0,
+            "summary_misses": 0,
+        }
+        self._request_latency = LatencyHistogram()
+        self._phase_latency: Dict[str, LatencyHistogram] = {}
+        self._gauges: Dict[str, Callable[[], int]] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def register_gauge(self, name: str, read: Callable[[], int]) -> None:
+        with self._lock:
+            self._gauges[name] = read
+
+    def count_request(self, method: str) -> None:
+        with self._lock:
+            self._requests[method] = self._requests.get(method, 0) + 1
+
+    def count_response(self, ok: bool, error_name: Optional[str] = None,
+                       seconds: Optional[float] = None) -> None:
+        with self._lock:
+            self._responses["ok" if ok else "error"] += 1
+            if error_name:
+                self._errors[error_name] = self._errors.get(error_name, 0) + 1
+            if seconds is not None:
+                self._request_latency.observe(seconds)
+
+    def count_analysis(self, outcome: str) -> None:
+        """``outcome`` is one of the ``_analyses`` keys."""
+        with self._lock:
+            self._analyses[outcome] = self._analyses.get(outcome, 0) + 1
+
+    def observe_analysis(self, stats: Dict[str, object]) -> None:
+        """Fold one completed analysis's stats block
+        (:meth:`repro.core.results.AnalysisStats.to_json`) in."""
+        timings = stats.get("phase_timings") or {}
+        with self._lock:
+            self._analyses["completed"] += 1
+            for phase, seconds in timings.items():
+                hist = self._phase_latency.get(phase)
+                if hist is None:
+                    hist = self._phase_latency[phase] = LatencyHistogram()
+                hist.observe(float(seconds))
+            self._cache["frontend_hits"] += int(
+                stats.get("frontend_cache_hits", 0) or 0)
+            self._cache["frontend_misses"] += int(
+                stats.get("frontend_cache_misses", 0) or 0)
+            self._cache["summary_hits"] += int(
+                stats.get("summary_cache_hits", 0) or 0)
+            self._cache["summary_misses"] += int(
+                stats.get("summary_cache_misses", 0) or 0)
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self._started_mono
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            gauges = {}
+            for name, read in self._gauges.items():
+                try:
+                    gauges[name] = int(read())
+                except Exception:  # a dying pool must not break metrics
+                    gauges[name] = -1
+            return {
+                "started_at": self.started_at,
+                "uptime_seconds": self.uptime_seconds(),
+                "requests_total": dict(self._requests),
+                "responses_total": dict(self._responses),
+                "errors_total": dict(self._errors),
+                "analyses": dict(self._analyses),
+                "gauges": gauges,
+                "cache": dict(self._cache),
+                "latency": {
+                    "request": self._request_latency.snapshot(),
+                    "phases": {
+                        phase: hist.snapshot()
+                        for phase, hist in sorted(self._phase_latency.items())
+                    },
+                },
+            }

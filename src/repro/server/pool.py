@@ -1,0 +1,233 @@
+"""Process worker pool of the analysis service.
+
+Reuses the batch machinery's platform resolution
+(:func:`repro.perf.batch.resolve_mp_context`): analyses run in a
+long-lived ``ProcessPoolExecutor`` (fork where available, spawn
+otherwise), falling back to in-process execution when no process pool
+can be created at all. Worker processes are the isolation boundary —
+a crashing analysis (or a pycparser recursion blow-up) kills a worker,
+not the daemon — and they share the on-disk ``IRCache`` /
+``SummaryStore`` through ``config.cache_dir``, which is what makes the
+daemon *warm*: the second request for an unchanged translation unit
+skips the front end entirely, and in summary mode an edit to one
+function re-analyzes only that function and its transitive callers.
+
+``workers`` runner *threads* pull :class:`PendingJob` items off the
+:class:`RequestQueue` and drive each through the executor, polling in
+short slices so cancellation and deadlines resolve within
+``poll_interval`` even though a busy worker process cannot be
+interrupted: the runner abandons the future (the response goes out
+immediately; the orphaned process run finishes in the background and
+its result is discarded). The runner count equals the process count,
+so an abandoned future at worst costs one temporarily busy worker,
+never a wedged daemon.
+
+``shutdown(drain=True)`` closes the queue, lets runners finish the
+backlog, then joins them — the pool half of the graceful-drain
+guarantee.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from concurrent.futures.process import BrokenProcessPool
+import dataclasses
+import os
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from ..perf.batch import resolve_mp_context
+from .protocol import (
+    ANALYSIS_FAILED,
+    CANCELLED,
+    DEADLINE_EXCEEDED,
+    INTERNAL_ERROR,
+)
+from .queue import RequestQueue
+
+
+def _execute_spec(spec: Dict[str, Any], config) -> Dict[str, Any]:
+    """Run one analysis request; module-level for pickling.
+
+    Returns a plain JSON-ready payload: the rendered report (the same
+    bytes ``safeflow analyze`` would print) plus the ``--json`` form,
+    or a one-line structured error. Never raises — exceptions inside a
+    worker become ``{"ok": False, ...}`` payloads.
+    """
+    from ..core.driver import SafeFlow
+    from ..errors import SafeFlowError
+
+    try:
+        overrides = spec.get("config_overrides") or {}
+        if overrides:
+            config = dataclasses.replace(config, **overrides)
+        report = SafeFlow(config).analyze_request(
+            source=spec.get("source"),
+            filename=spec.get("filename", "<source>"),
+            files=spec.get("files"),
+            name=spec.get("name", "program"),
+        )
+    except SafeFlowError as exc:
+        return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+    except Exception as exc:
+        return {"ok": False,
+                "error": f"internal error: {type(exc).__name__}: {exc}"}
+    return {
+        "ok": True,
+        "name": report.name,
+        "passed": report.passed,
+        "exit_code": 0 if report.passed else 1,
+        "counts": report.counts(),
+        "render": report.render(verbose=bool(spec.get("verbose"))),
+        "report": report.to_json(),
+    }
+
+
+class WorkerPool:
+    """Runner threads + (optional) process executor driving the queue."""
+
+    def __init__(self, queue: RequestQueue, config,
+                 workers: Optional[int] = None,
+                 use_processes: bool = True,
+                 poll_interval: float = 0.05):
+        self.queue = queue
+        self.config = config
+        self.workers = max(1, workers or os.cpu_count() or 1)
+        self.poll_interval = poll_interval
+        self._lock = threading.Lock()
+        self._running = 0
+        self._threads: list = []
+        self._executor = None
+        self._started = False
+        if use_processes:
+            context = resolve_mp_context()
+            if context is not None:
+                try:
+                    self._executor = concurrent.futures.ProcessPoolExecutor(
+                        max_workers=self.workers, mp_context=context,
+                    )
+                except (OSError, PermissionError, ValueError):
+                    self._executor = None  # in-process fallback
+
+    @property
+    def mode(self) -> str:
+        return "processes" if self._executor is not None else "in-process"
+
+    def running_count(self) -> int:
+        with self._lock:
+            return self._running
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for i in range(self.workers):
+            thread = threading.Thread(
+                target=self._run_loop, name=f"safeflow-runner-{i}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _run_loop(self) -> None:
+        while True:
+            job = self.queue.get(timeout=0.1)
+            if job is None:
+                if self.queue.finished():
+                    return
+                continue
+            if not job.start():
+                continue  # cancelled between dequeue and start
+            with self._lock:
+                self._running += 1
+            try:
+                self._execute(job)
+            finally:
+                with self._lock:
+                    self._running -= 1
+
+    # ------------------------------------------------------------------
+
+    def _execute(self, job) -> None:
+        remaining = job.remaining()
+        if remaining is not None and remaining <= 0:
+            self._resolve_deadline(job)
+            return
+        if self._executor is None:
+            # in-process fallback: no mid-run cancellation point, so
+            # deadline/cancel races are settled after the run instead
+            payload = _execute_spec(job.spec, self.config)
+            remaining = job.remaining()
+            if remaining is not None and remaining <= 0:
+                self._resolve_deadline(job)
+            else:
+                self._resolve(job, payload)
+            return
+        try:
+            future = self._executor.submit(_execute_spec, job.spec,
+                                           self.config)
+        except RuntimeError as exc:  # executor already shut down
+            job.fail(INTERNAL_ERROR, f"worker pool unavailable: {exc}")
+            return
+        while True:
+            slice_timeout = self.poll_interval
+            remaining = job.remaining()
+            if remaining is not None:
+                if remaining <= 0:
+                    future.cancel()
+                    self._resolve_deadline(job)
+                    return
+                slice_timeout = min(slice_timeout, remaining)
+            if job.cancelled:
+                future.cancel()
+                job.fail(CANCELLED, "request cancelled")
+                return
+            try:
+                payload = future.result(timeout=slice_timeout)
+            except concurrent.futures.TimeoutError:
+                continue
+            except BrokenProcessPool:
+                job.fail(INTERNAL_ERROR, "analysis worker process died")
+                return
+            except Exception as exc:  # future raised something odd
+                job.fail(INTERNAL_ERROR,
+                         f"{type(exc).__name__}: {exc}")
+                return
+            self._resolve(job, payload)
+            return
+
+    def _resolve(self, job, payload: Dict[str, Any]) -> None:
+        if not payload.get("ok"):
+            job.fail(ANALYSIS_FAILED,
+                     str(payload.get("error", "analysis failed")))
+            return
+        job.finish(payload)
+
+    def _resolve_deadline(self, job) -> None:
+        budget = (job.deadline - job.created) if job.deadline else 0.0
+        job.fail(DEADLINE_EXCEEDED,
+                 f"deadline of {budget:.3f}s exceeded")
+
+    # ------------------------------------------------------------------
+
+    def shutdown(self, drain: bool = True,
+                 timeout: Optional[float] = None) -> None:
+        """Close the queue and stop runners.
+
+        ``drain=True`` finishes every queued job first (no admitted
+        request loses its response); ``drain=False`` fails queued jobs
+        with ``shutting_down`` and only waits for the currently
+        running ones.
+        """
+        self.queue.close(drain=drain)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for thread in self._threads:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            thread.join(timeout=remaining)
+        if self._executor is not None:
+            self._executor.shutdown(wait=drain)

@@ -1,0 +1,137 @@
+"""Wire protocol of the SafeFlow analysis service.
+
+Newline-delimited JSON-RPC: every message — request and response — is
+one JSON object serialized without embedded newlines and terminated by
+``\\n``. Requests carry ``{"id", "method", "params"}``; responses echo
+the request ``id`` and carry exactly one of ``result`` / ``error``.
+Responses on one connection come back in request order, so a client
+may pipeline requests and pair responses positionally.
+
+The framing is deliberately primitive: it survives being spoken by
+``nc``/``socat`` during an incident, needs no length prefixes, and a
+torn connection can never leave a half-message ambiguity — a line
+without a trailing newline is simply not a message yet.
+
+Error codes follow the JSON-RPC 2.0 reserved range for transport
+errors and use the implementation-defined ``-320xx`` range for
+service-level conditions (queue admission, deadlines, cancellation,
+drain). :data:`ERROR_NAMES` maps codes to the stable snake_case names
+the metrics plane counts by.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
+
+#: protocol revision, echoed by ``health``; bump on breaking changes
+PROTOCOL_VERSION = 1
+
+#: hard cap on one serialized message (inline sources included)
+MAX_MESSAGE_BYTES = 16 * 1024 * 1024
+
+# -- JSON-RPC reserved codes -------------------------------------------
+PARSE_ERROR = -32700
+INVALID_REQUEST = -32600
+METHOD_NOT_FOUND = -32601
+INVALID_PARAMS = -32602
+INTERNAL_ERROR = -32603
+
+# -- service-level codes -----------------------------------------------
+ANALYSIS_FAILED = -32000    #: the analysis itself raised (parse error, ...)
+QUEUE_FULL = -32001         #: bounded queue rejected the request
+DEADLINE_EXCEEDED = -32002  #: per-request deadline expired
+CANCELLED = -32003          #: request cancelled by a ``cancel`` call
+SHUTTING_DOWN = -32004      #: daemon is draining; no new work accepted
+
+ERROR_NAMES: Dict[int, str] = {
+    PARSE_ERROR: "parse_error",
+    INVALID_REQUEST: "invalid_request",
+    METHOD_NOT_FOUND: "method_not_found",
+    INVALID_PARAMS: "invalid_params",
+    INTERNAL_ERROR: "internal_error",
+    ANALYSIS_FAILED: "analysis_failed",
+    QUEUE_FULL: "queue_full",
+    DEADLINE_EXCEEDED: "deadline_exceeded",
+    CANCELLED: "cancelled",
+    SHUTTING_DOWN: "shutting_down",
+}
+
+
+def error_name(code: int) -> str:
+    return ERROR_NAMES.get(code, f"error_{code}")
+
+
+class ProtocolError(Exception):
+    """A message that cannot be decoded into a valid request."""
+
+    def __init__(self, code: int, message: str):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One decoded client request."""
+
+    method: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    id: Optional[Union[int, str]] = None
+
+
+def encode(payload: Dict[str, Any]) -> bytes:
+    """Serialize one message: compact JSON + ``\\n``.
+
+    ``json.dumps`` never emits raw newlines, so the line framing is
+    safe for arbitrary payload content (inline C sources included).
+    """
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_request(line: Union[bytes, str]) -> Request:
+    """Parse one request line; :class:`ProtocolError` on bad input."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    line = line.strip()
+    try:
+        payload = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(PARSE_ERROR, f"invalid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(INVALID_REQUEST, "request must be a JSON object")
+    method = payload.get("method")
+    if not isinstance(method, str) or not method:
+        raise ProtocolError(INVALID_REQUEST, "missing request method")
+    params = payload.get("params", {})
+    if params is None:
+        params = {}
+    if not isinstance(params, dict):
+        raise ProtocolError(INVALID_REQUEST, "params must be an object")
+    req_id = payload.get("id")
+    if req_id is not None and not isinstance(req_id, (int, str)):
+        raise ProtocolError(INVALID_REQUEST, "id must be an int or string")
+    return Request(method=method, params=params, id=req_id)
+
+
+def request_payload(method: str, params: Optional[Dict[str, Any]] = None,
+                    req_id: Optional[Union[int, str]] = None) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {"id": req_id, "method": method}
+    if params:
+        payload["params"] = params
+    return payload
+
+
+def ok_response(req_id, result: Any) -> Dict[str, Any]:
+    return {"id": req_id, "result": result}
+
+
+def error_response(req_id, code: int, message: str,
+                   data: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    error: Dict[str, Any] = {
+        "code": code, "name": error_name(code), "message": message,
+    }
+    if data:
+        error["data"] = data
+    return {"id": req_id, "error": error}

@@ -1,0 +1,201 @@
+"""Bounded admission queue and per-request state machine.
+
+A :class:`PendingJob` is the server-side handle of one ``analyze``
+request: it moves ``QUEUED → RUNNING → DONE`` exactly once, carries
+the absolute deadline, and resolves to either a result payload or an
+(error code, message) pair. The connection handler blocks on
+:meth:`PendingJob.wait`; a runner thread of the worker pool drives the
+transition; ``cancel`` may resolve it early from any thread. All
+transitions are guarded so exactly one resolution wins — a job whose
+deadline fires while a cancel races it still produces exactly one
+response.
+
+:class:`RequestQueue` is the bounded buffer between the two:
+``put_nowait`` rejects above capacity (the daemon answers
+``queue_full`` instead of building an unbounded backlog — load
+shedding at admission is what keeps tail latency bounded), ``get``
+hands jobs to runners in FIFO order and silently discards jobs that
+were cancelled while still queued. ``close(drain=True)`` stops
+admission but lets runners empty the backlog: this is the graceful-
+shutdown half that guarantees every admitted request gets a response.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, Optional, Tuple
+
+from .protocol import CANCELLED, SHUTTING_DOWN
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+
+
+class QueueFullError(Exception):
+    """Raised by :meth:`RequestQueue.put_nowait` above capacity."""
+
+
+class QueueClosedError(Exception):
+    """Raised when admitting into a closed (draining) queue."""
+
+
+class PendingJob:
+    """One in-flight analysis request."""
+
+    def __init__(self, job_id: str, spec: Dict[str, Any],
+                 deadline: Optional[float] = None):
+        #: externally visible id (``cancel`` targets this)
+        self.id = job_id
+        #: picklable description handed to the worker function
+        self.spec = spec
+        #: absolute ``time.monotonic()`` deadline, or None
+        self.deadline = deadline
+        self.created = time.monotonic()
+        self._lock = threading.Lock()
+        self._finished = threading.Event()
+        self.state = QUEUED
+        self.cancelled = False
+        self.result: Optional[Dict[str, Any]] = None
+        self.error: Optional[Tuple[int, str]] = None
+
+    # ------------------------------------------------------------------
+
+    def remaining(self) -> Optional[float]:
+        """Seconds until the deadline; None when unbounded."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
+
+    def start(self) -> bool:
+        """QUEUED → RUNNING; False when already resolved/cancelled."""
+        with self._lock:
+            if self.state != QUEUED or self.cancelled:
+                return False
+            self.state = RUNNING
+            return True
+
+    def finish(self, result: Dict[str, Any]) -> bool:
+        with self._lock:
+            if self.state == DONE:
+                return False
+            if self.cancelled:
+                # the cancel already owns the resolution
+                self.state = DONE
+                self.error = (CANCELLED, "request cancelled")
+                self._finished.set()
+                return False
+            self.state = DONE
+            self.result = result
+            self._finished.set()
+            return True
+
+    def fail(self, code: int, message: str) -> bool:
+        with self._lock:
+            if self.state == DONE:
+                return False
+            self.state = DONE
+            self.error = (code, message)
+            self._finished.set()
+            return True
+
+    def cancel(self) -> bool:
+        """Request cancellation; True when this call decided the fate.
+
+        A still-QUEUED job resolves immediately (the queue will skip
+        it); a RUNNING job is flagged and the runner resolves it at its
+        next poll point without waiting for the worker process.
+        """
+        with self._lock:
+            if self.state == DONE:
+                return False
+            self.cancelled = True
+            if self.state == QUEUED:
+                self.state = DONE
+                self.error = (CANCELLED, "request cancelled while queued")
+                self._finished.set()
+            return True
+
+    @property
+    def done(self) -> bool:
+        return self._finished.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._finished.wait(timeout)
+
+
+class RequestQueue:
+    """Bounded FIFO of :class:`PendingJob` between handlers and runners."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._items: deque = deque()
+        self._closed = False
+        self._drain = True
+
+    # ------------------------------------------------------------------
+
+    def put_nowait(self, job: PendingJob) -> None:
+        with self._not_empty:
+            if self._closed:
+                raise QueueClosedError("queue is draining")
+            if len(self._items) >= self.capacity:
+                raise QueueFullError(
+                    f"queue full ({self.capacity} requests waiting)"
+                )
+            self._items.append(job)
+            self._not_empty.notify()
+
+    def get(self, timeout: float = 0.1) -> Optional[PendingJob]:
+        """Next live job, or None on timeout / closed-and-empty.
+
+        Jobs cancelled while queued are dropped here, never handed to
+        a runner. Use :meth:`finished` to tell the two None cases
+        apart.
+        """
+        with self._not_empty:
+            while True:
+                while self._items:
+                    job = self._items.popleft()
+                    if job.done or job.cancelled:
+                        continue
+                    return job
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout):
+                    return None
+
+    def close(self, drain: bool = True) -> None:
+        """Stop admission. ``drain=False`` also resolves every queued
+        job with ``shutting_down`` instead of letting runners finish
+        the backlog."""
+        with self._not_empty:
+            self._closed = True
+            self._drain = drain
+            if not drain:
+                while self._items:
+                    job = self._items.popleft()
+                    job.fail(SHUTTING_DOWN, "server shutting down")
+            self._not_empty.notify_all()
+
+    # ------------------------------------------------------------------
+
+    def depth(self) -> int:
+        with self._lock:
+            return sum(1 for j in self._items if not j.done)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def finished(self) -> bool:
+        """Closed and emptied — runners may exit."""
+        with self._lock:
+            return self._closed and not self._items

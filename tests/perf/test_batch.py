@@ -91,3 +91,74 @@ def test_batch_job_level_overrides(tmp_path):
                    include_dirs=(str(tmp_path),))
     outcome = SafeFlow().analyze_batch([job], max_workers=1)
     assert outcome.ok, outcome.results[0].error
+
+
+class TestPlatformFallback:
+    """Platforms without fork (or without process creation at all)
+    still get correct batch results through spawn or the in-process
+    sequential path."""
+
+    def test_resolve_mp_context_prefers_fork(self):
+        from repro.perf.batch import resolve_mp_context
+        context = resolve_mp_context()
+        assert context is not None
+        assert context.get_start_method() in ("fork", "spawn")
+
+    def test_resolve_mp_context_falls_back_to_spawn(self, monkeypatch):
+        import multiprocessing
+        from repro.perf import batch as batch_mod
+
+        real_get_context = multiprocessing.get_context
+
+        def no_fork(method=None):
+            if method == "fork":
+                raise ValueError("cannot find context for 'fork'")
+            return real_get_context(method)
+
+        monkeypatch.setattr(batch_mod.multiprocessing, "get_context",
+                            no_fork)
+        context = batch_mod.resolve_mp_context()
+        assert context.get_start_method() == "spawn"
+
+    def test_run_batch_sequential_when_no_context(self, tmp_path,
+                                                  monkeypatch):
+        from repro.perf import batch as batch_mod
+
+        monkeypatch.setattr(batch_mod, "resolve_mp_context", lambda *a: None)
+        jobs = _write_jobs(tmp_path)
+        flow = SafeFlow(AnalysisConfig(summary_mode=True))
+        sequential = [
+            flow.analyze_files(list(job.files), name=job.name)
+            for job in jobs
+        ]
+        outcome = flow.analyze_batch(jobs, max_workers=3)
+        assert outcome.ok
+        for result, expected in zip(outcome.results, sequential):
+            assert result.report.render(verbose=True) \
+                == expected.render(verbose=True)
+
+    def test_run_batch_sequential_when_pool_creation_fails(
+            self, tmp_path, monkeypatch):
+        from repro.perf import batch as batch_mod
+
+        def no_processes(*args, **kwargs):
+            raise OSError("process creation forbidden")
+
+        monkeypatch.setattr(batch_mod.concurrent.futures,
+                            "ProcessPoolExecutor", no_processes)
+        jobs = _write_jobs(tmp_path, count=2)
+        outcome = SafeFlow().analyze_batch(jobs, max_workers=2)
+        assert outcome.ok
+        assert [r.name for r in outcome.results] == ["prog0", "prog1"]
+
+    def test_failure_detail_carries_traceback_error_stays_concise(
+            self, tmp_path):
+        bad = tmp_path / "bad.c"
+        bad.write_text(BROKEN)
+        outcome = SafeFlow().analyze_batch(
+            [BatchJob(name="bad", files=(str(bad),))], max_workers=1)
+        result = outcome.results[0]
+        assert not result.ok
+        assert "Traceback" not in result.error
+        assert "\n" not in result.error
+        assert result.detail and "Traceback" in result.detail

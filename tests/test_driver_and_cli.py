@@ -145,3 +145,60 @@ class TestCli:
         rc = cli_main(["analyze", "/nonexistent/file.c"])
         assert rc == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestCliErrorReporting:
+    """Exit-code and error-reporting consistency: tool failures exit 2
+    with a structured entry per failed job, never a traceback spray."""
+
+    BROKEN = "int main(void) { return 0;"  # unbalanced brace
+
+    def test_batch_broken_file_exits_2_without_traceback(
+            self, tmp_path, capsys):
+        good = tmp_path / "good.c"
+        good.write_text("int main(void) { return 0; }")
+        bad = tmp_path / "bad.c"
+        bad.write_text(self.BROKEN)
+        rc = cli_main(["batch", str(good), str(bad)])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "ERROR" in captured.out          # structured per-job line
+        assert "PASS" in captured.out           # sibling still reported
+        assert "job(s) failed" in captured.err
+        assert "Traceback" not in captured.out
+        assert "Traceback" not in captured.err
+
+    def test_batch_missing_file_exits_2_without_traceback(
+            self, tmp_path, capsys):
+        rc = cli_main(["batch", str(tmp_path / "absent.c")])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "ERROR" in captured.out
+        assert "Traceback" not in captured.out + captured.err
+
+    def test_batch_timeout_exits_2_with_structured_entries(
+            self, tmp_path, capsys):
+        for name in ("one.c", "two.c"):
+            (tmp_path / name).write_text(FIGURE2_SOURCE)
+        rc = cli_main(["batch", str(tmp_path / "one.c"),
+                       str(tmp_path / "two.c"), "--jobs", "2",
+                       "--timeout", "0.000001"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "timed out" in captured.out
+        assert "Traceback" not in captured.out + captured.err
+
+    def test_batch_json_errors_stay_machine_readable(
+            self, tmp_path, capsys):
+        bad = tmp_path / "bad.c"
+        bad.write_text(self.BROKEN)
+        rc = cli_main(["batch", str(bad), "--json"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        payload = json.loads(captured.out)
+        job = payload["jobs"][0]
+        assert job["ok"] is False
+        assert job["report"] is None
+        assert "ParseError" in job["error"]
+        assert "\n" not in job["error"]         # one concise line
+        assert "Traceback" in job["detail"]     # full context preserved
