@@ -1,0 +1,219 @@
+#!/usr/bin/env python
+"""Fast-kernel benchmark: cold-analysis wall time on generated cores.
+
+Measures the whole-pipeline cost (front end + phases 1-3) of the
+sparse fixpoint engine against the dense reference loop on a ladder of
+:func:`repro.corpus.generate_core` configurations, the largest of
+which combines every scaling knob (filler code size, chain depth,
+call fan-out, and a deep store/load pipeline that forces one outer
+fixpoint iteration per stage). Every timing run is a fresh subprocess,
+so process-global caches (taint interning, solver verdicts) start
+cold, and before timing anything the script asserts the sparse and
+dense reports are byte-identical.
+
+Usage::
+
+    python benchmarks/bench_kernels.py                  # full ladder
+    python benchmarks/bench_kernels.py --prepr-src DIR  # + pre-PR tree
+    python benchmarks/bench_kernels.py --smoke          # quick sanity
+    python benchmarks/bench_kernels.py --check BENCH_kernels.json
+
+``--prepr-src`` points at the ``src/`` of a checkout predating the
+fast-kernel work; its default analyzer is timed on the same programs
+to report the end-to-end speedup. ``--check`` re-measures only the
+largest configuration and fails (exit 1) when its machine-independent
+``speedup_vs_dense`` ratio regressed more than ``--max-regression``
+relative to the committed baseline JSON — that is the CI gate.
+
+Results land in ``BENCH_kernels.json`` (see ``--output``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro import SafeFlow  # noqa: E402
+from repro.core.config import AnalysisConfig  # noqa: E402
+from repro.corpus import generate_core  # noqa: E402
+
+#: ladder of generator configurations, largest last. The large case is
+#: what the CI regression gate watches.
+CONFIGS = [
+    dict(name="medium", filler_functions=120, chain_depth=8,
+         call_fanout=2, pipeline_stages=10, monitored_regions=2),
+    dict(name="large", filler_functions=320, chain_depth=12,
+         call_fanout=3, pipeline_stages=16, monitored_regions=2),
+    dict(name="xlarge", filler_functions=600, chain_depth=16,
+         call_fanout=4, pipeline_stages=22, monitored_regions=2),
+]
+
+SMOKE_CONFIGS = [
+    dict(name="smoke", filler_functions=20, chain_depth=4,
+         call_fanout=2, pipeline_stages=6, monitored_regions=1),
+]
+
+#: child process body: time one cold analysis and print a JSON line.
+#: ``mode`` "default" uses the tree's stock configuration (the only
+#: mode a pre-fast-kernel tree understands).
+_TIMER = r"""
+import json, sys, time
+sys.path.insert(0, sys.argv[1])
+from repro import SafeFlow
+mode = sys.argv[3]
+analyzer = SafeFlow()
+if mode != "default":
+    from repro.core.config import AnalysisConfig
+    analyzer = SafeFlow(AnalysisConfig(sparse_fixpoint=(mode == "sparse")))
+text = open(sys.argv[2]).read()
+t0 = time.perf_counter()
+report = analyzer.analyze_source(text, name="bench")
+elapsed = time.perf_counter() - t0
+print(json.dumps({
+    "seconds": elapsed,
+    "warnings": len(report.warnings),
+    "errors": len(report.confirmed_errors),
+}))
+"""
+
+
+def _time_cold(src_dir: Path, program_path: Path, mode: str,
+               runs: int) -> dict:
+    """Best-of-``runs`` cold wall time in fresh subprocesses."""
+    best = None
+    for _ in range(runs):
+        proc = subprocess.run(
+            [sys.executable, "-c", _TIMER, str(src_dir),
+             str(program_path), mode],
+            capture_output=True, text=True, check=True,
+        )
+        result = json.loads(proc.stdout)
+        if best is None or result["seconds"] < best["seconds"]:
+            best = result
+    return best
+
+
+def _assert_byte_identical(source: str) -> None:
+    reports = {}
+    for sparse in (True, False):
+        config = AnalysisConfig(sparse_fixpoint=sparse)
+        reports[sparse] = SafeFlow(config).analyze_source(source, name="eq")
+    sparse_r, dense_r = reports[True], reports[False]
+    if (sparse_r.render(verbose=True) != dense_r.render(verbose=True)
+            or sparse_r.witness_graphs != dense_r.witness_graphs
+            or sparse_r.stats.contexts_analyzed
+            != dense_r.stats.contexts_analyzed):
+        raise SystemExit("sparse and dense reports differ; refusing to bench")
+
+
+def _bench_config(spec: dict, runs: int, prepr_src: Path | None) -> dict:
+    params = {k: v for k, v in spec.items() if k != "name"}
+    program = generate_core(**params)
+    _assert_byte_identical(program.source)
+    with tempfile.NamedTemporaryFile(
+            "w", suffix=".c", delete=False) as handle:
+        handle.write(program.source)
+        path = Path(handle.name)
+    try:
+        sparse = _time_cold(SRC, path, "sparse", runs)
+        dense = _time_cold(SRC, path, "dense", runs)
+        for label, result in (("sparse", sparse), ("dense", dense)):
+            if (result["warnings"] != program.expected_warnings
+                    or result["errors"] != program.expected_errors):
+                raise SystemExit(
+                    f"{spec['name']}/{label}: diagnosis drifted "
+                    f"({result['warnings']}w/{result['errors']}e)"
+                )
+        entry = {
+            "name": spec["name"],
+            "params": params,
+            "loc": program.loc,
+            "sparse_seconds": round(sparse["seconds"], 4),
+            "dense_seconds": round(dense["seconds"], 4),
+            "speedup_vs_dense": round(
+                dense["seconds"] / sparse["seconds"], 3),
+        }
+        if prepr_src is not None:
+            prepr = _time_cold(prepr_src, path, "default", runs)
+            entry["prepr_seconds"] = round(prepr["seconds"], 4)
+            entry["speedup_vs_prepr"] = round(
+                prepr["seconds"] / sparse["seconds"], 3)
+        return entry
+    finally:
+        path.unlink(missing_ok=True)
+
+
+def _check_regression(baseline_path: Path, runs: int,
+                      max_regression: float) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    by_name = {e["name"]: e for e in baseline["results"]}
+    spec = CONFIGS[-1]
+    if spec["name"] not in by_name:
+        raise SystemExit(f"baseline has no entry named {spec['name']!r}")
+    reference = by_name[spec["name"]]["speedup_vs_dense"]
+    entry = _bench_config(spec, runs, None)
+    measured = entry["speedup_vs_dense"]
+    floor = reference * (1.0 - max_regression)
+    status = "OK" if measured >= floor else "REGRESSION"
+    print(f"{spec['name']}: speedup_vs_dense {measured:.3f} "
+          f"(baseline {reference:.3f}, floor {floor:.3f}) {status}")
+    return 0 if measured >= floor else 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--runs", type=int, default=3,
+                        help="timing runs per mode (best is kept)")
+    parser.add_argument("--output", default=str(ROOT / "BENCH_kernels.json"))
+    parser.add_argument("--prepr-src", default=None,
+                        help="src/ of a pre-fast-kernel checkout to "
+                             "compare against")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny configuration, no file written")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="re-measure the largest configuration and "
+                             "fail on regression vs this JSON")
+    parser.add_argument("--max-regression", type=float, default=0.25)
+    args = parser.parse_args()
+
+    if args.check:
+        return _check_regression(
+            Path(args.check), args.runs, args.max_regression)
+
+    configs = SMOKE_CONFIGS if args.smoke else CONFIGS
+    prepr = Path(args.prepr_src) if args.prepr_src else None
+    results = []
+    for spec in configs:
+        entry = _bench_config(spec, args.runs, prepr)
+        results.append(entry)
+        line = (f"{entry['name']:<8} loc={entry['loc']:<6} "
+                f"sparse={entry['sparse_seconds']:.3f}s "
+                f"dense={entry['dense_seconds']:.3f}s "
+                f"x{entry['speedup_vs_dense']:.2f}")
+        if "speedup_vs_prepr" in entry:
+            line += (f"  prepr={entry['prepr_seconds']:.3f}s "
+                     f"x{entry['speedup_vs_prepr']:.2f}")
+        print(line)
+
+    if not args.smoke:
+        payload = {
+            "benchmark": "kernels",
+            "runs": args.runs,
+            "results": results,
+        }
+        Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

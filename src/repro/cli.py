@@ -8,6 +8,7 @@ Subcommands::
     safeflow corpus [KEY]        # analyze a bundled Table-1 system
     safeflow table1              # reproduce Table 1 (measured vs paper)
     safeflow demo                # run the Simplex pendulum demo
+    safeflow gen [FILE]          # generate a synthetic core component
 
 ``analyze``, ``batch`` and ``serve`` use the on-disk caches of
 :mod:`repro.perf` by default (``$SAFEFLOW_CACHE_DIR`` or
@@ -65,6 +66,9 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="include directory")
     analyze.add_argument("--stats", action="store_true",
                          help="print per-phase timings and cache counters")
+    analyze.add_argument("--profile", action="store_true",
+                         help="collect analysis-kernel counters and "
+                              "per-body timings; print the hottest bodies")
     _add_cache_flags(analyze)
 
     batch = sub.add_parser(
@@ -124,6 +128,36 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="inject the feedback-overwrite attack")
     demo.add_argument("--trusting", action="store_true",
                       help="core trusts the shared feedback copy (the bug)")
+
+    gen = sub.add_parser(
+        "gen", help="generate a synthetic core component (scaling benches)"
+    )
+    gen.add_argument("output", nargs="?", default="-", metavar="FILE",
+                     help="output path (default: stdout)")
+    gen.add_argument("--data-errors", type=int, default=1, metavar="N",
+                     help="regions whose unmonitored read corrupts the "
+                          "critical output (default: 1)")
+    gen.add_argument("--control-fps", type=int, default=1, metavar="N",
+                     help="regions steering control flow only — the "
+                          "candidate-false-positive class (default: 1)")
+    gen.add_argument("--benign", type=int, default=1, metavar="N",
+                     help="regions read only for logging (default: 1)")
+    gen.add_argument("--monitored", type=int, default=1, metavar="N",
+                     help="regions read only through a monitor (default: 1)")
+    gen.add_argument("--filler", type=int, default=0, metavar="N",
+                     help="pure computation functions (code size)")
+    gen.add_argument("--chain", type=int, default=0, metavar="DEPTH",
+                     help="call-chain depth (context-sensitivity stress)")
+    gen.add_argument("--fanout", type=int, default=0, metavar="N",
+                     help="shared helpers every chain function calls "
+                          "(call-graph width stress)")
+    gen.add_argument("--pipeline", type=int, default=0, metavar="STAGES",
+                     help="value-pipeline stages through core shared "
+                          "regions (fixpoint-depth stress)")
+    gen.add_argument("--no-loops", action="store_true",
+                     help="omit loops from generated bodies")
+    gen.add_argument("--expect", action="store_true",
+                     help="print the expected diagnosis to stderr")
     return parser
 
 
@@ -157,6 +191,21 @@ def _render_stats(report: AnalysisReport) -> str:
     return "\n".join(lines)
 
 
+def _render_profile(report: AnalysisReport, top: int = 10) -> str:
+    stats = report.stats
+    lines = [f"profile for {report.name}"]
+    for counter in sorted(stats.kernel_counters):
+        lines.append(f"  {counter:<24}: {stats.kernel_counters[counter]}")
+    if stats.hotspots:
+        lines.append(f"  hottest bodies (self time, top {top}):")
+        for label, rec in list(stats.hotspots.items())[:top]:
+            lines.append(
+                f"    {rec['self_seconds'] * 1000:8.2f} ms "
+                f"({rec['calls']:.0f} runs) {label}"
+            )
+    return "\n".join(lines)
+
+
 def _report_json(report: AnalysisReport) -> str:
     return json.dumps(report.to_json(), indent=2)
 
@@ -170,6 +219,7 @@ def cmd_analyze(args) -> int:
         lint_monitors=not args.no_lint,
         include_dirs=tuple(args.include),
         cache_dir=_cache_dir(args),
+        profile=args.profile,
     )
     report = SafeFlow(config).analyze_files(args.files, name=args.name)
     if args.json:
@@ -179,6 +229,9 @@ def cmd_analyze(args) -> int:
         if args.stats:
             print()
             print(_render_stats(report))
+        if args.profile:
+            print()
+            print(_render_profile(report))
     if args.dot and report.witness_graphs:
         with open(args.dot, "w") as f:
             f.write(report.witness_graphs[0])
@@ -369,6 +422,40 @@ def cmd_demo(args) -> int:
     return 0
 
 
+def cmd_gen(args) -> int:
+    from .corpus import generate_core
+
+    try:
+        program = generate_core(
+            data_error_regions=args.data_errors,
+            control_fp_regions=args.control_fps,
+            benign_read_regions=args.benign,
+            monitored_regions=args.monitored,
+            filler_functions=args.filler,
+            chain_depth=args.chain,
+            loops=not args.no_loops,
+            call_fanout=args.fanout,
+            pipeline_stages=args.pipeline,
+        )
+    except ValueError as exc:
+        print(f"safeflow gen: {exc}", file=sys.stderr)
+        return 2
+    if args.output == "-":
+        sys.stdout.write(program.source)
+    else:
+        with open(args.output, "w") as f:
+            f.write(program.source)
+    if args.expect:
+        print(
+            f"safeflow gen: {program.loc} lines, {program.regions} regions; "
+            f"expected warnings={program.expected_warnings} "
+            f"errors={program.expected_errors} "
+            f"false_positives={program.expected_false_positives}",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -379,6 +466,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "corpus": cmd_corpus,
         "table1": cmd_table1,
         "demo": cmd_demo,
+        "gen": cmd_gen,
     }
     try:
         return handlers[args.command](args)

@@ -71,3 +71,14 @@ class AnalysisConfig:
     #: persist/replay value-flow summary bodies (only effective in
     #: ``summary_mode``); see :mod:`repro.perf.summary_store`
     summary_cache: bool = True
+    #: sparse outer fixpoint in the value-flow engine: between outer
+    #: iterations, re-analyze only the (function, context) bodies whose
+    #: consulted memory cells (or merged inputs) changed, instead of
+    #: snapshotting the whole cell map and re-running every root.
+    #: Reports are identical either way; False keeps the dense
+    #: reference loop for ablation and debugging.
+    sparse_fixpoint: bool = True
+    #: collect kernel counters and per-body timings during the
+    #: value-flow phase (surfaced as ``AnalysisStats.hotspots`` /
+    #: ``kernel_counters`` and by ``safeflow analyze --profile``)
+    profile: bool = False

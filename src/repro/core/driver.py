@@ -147,10 +147,18 @@ class SafeFlow:
         from ..shm.propagation import ShmAnalysis
         from ..valueflow.engine import ValueFlowAnalysis
 
+        from ..restrictions.solver import solver_cache_stats
+        from ..valueflow.taint import taint_cache_stats
+
         started = time.perf_counter()
         report = AnalysisReport(name=name)
         report.stats = self._base_stats(program, source_text)
         timings = report.stats.phase_timings
+        # the taint/solver caches are process-global; bracket the whole
+        # pipeline (the solver runs in phase 2) to report this run's
+        # contribution as deltas
+        taint_before = taint_cache_stats()
+        solver_before = solver_cache_stats()
         if frontend_seconds is not None:
             timings["frontend"] = frontend_seconds
         if ir_cache is not None:
@@ -193,6 +201,19 @@ class SafeFlow:
         if store is not None:
             report.stats.summary_cache_hits = store.hits
             report.stats.summary_cache_misses = store.misses
+        report.stats.kernel_counters = dict(vf.kernel_counters)
+        for key, value in taint_cache_stats().items():
+            report.stats.kernel_counters[key] = value - taint_before.get(key, 0)
+        for key, value in solver_cache_stats().items():
+            report.stats.kernel_counters[key] = value - solver_before.get(key, 0)
+        if self.config.profile:
+            report.stats.hotspots = {
+                label: rec for label, rec in sorted(
+                    vf.body_profile.items(),
+                    key=lambda item: item[1]["self_seconds"],
+                    reverse=True,
+                )
+            }
         report.warnings.extend(vf.warnings)
         report.errors.extend(vf.errors)
         report.witness_graphs = vf.witness_graphs
@@ -238,8 +259,10 @@ class SafeFlow:
         stats.files = len(program.units)
         functions = list(program.module.defined_functions())
         stats.functions = len(functions)
-        stats.instructions = sum(
-            sum(1 for _ in f.instructions()) for f in functions
+        # counting instructions walks every block of every function;
+        # defer it until something actually reads the stat
+        stats._instruction_counter = lambda fs=tuple(functions): sum(
+            sum(1 for _ in f.instructions()) for f in fs
         )
         stats.annotation_lines = program.annotation_lines
         if source_text is not None:

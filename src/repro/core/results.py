@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..reporting.diagnostics import (
     CriticalDependencyError,
@@ -29,7 +29,6 @@ class AnalysisStats:
 
     files: int = 0
     functions: int = 0
-    instructions: int = 0
     loc_total: int = 0
     annotation_lines: int = 0
     shm_regions: int = 0
@@ -43,6 +42,43 @@ class AnalysisStats:
     frontend_cache_misses: int = 0
     summary_cache_hits: int = 0
     summary_cache_misses: int = 0
+    #: analysis-kernel counters (outer iterations, bodies analyzed,
+    #: memo hits, sparse invalidations, cache hit rates of the interned
+    #: taint / solver layers); populated by the driver after phase 3
+    kernel_counters: Dict[str, int] = field(default_factory=dict)
+    #: per-(function, context) value-flow body timings, only collected
+    #: under ``AnalysisConfig.profile``; label → {calls, seconds,
+    #: self_seconds}
+    hotspots: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: backing slots for the lazy ``instructions`` property: counting
+    #: instructions walks every block of every function, which a run
+    #: that never reads the stat should not pay for
+    _instructions: Optional[int] = field(
+        default=None, repr=False, compare=False
+    )
+    _instruction_counter: Optional[Callable[[], int]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def instructions(self) -> int:
+        """Total IR instruction count, computed on first access."""
+        if self._instructions is None:
+            counter = self._instruction_counter
+            self._instructions = counter() if counter is not None else 0
+        return self._instructions
+
+    @instructions.setter
+    def instructions(self, value: int) -> None:
+        self._instructions = value
+
+    def __getstate__(self):
+        # the counter closes over live IR; force the count and drop the
+        # closure so reports pickle cleanly across batch workers
+        state = self.__dict__.copy()
+        state["_instructions"] = self.instructions
+        state["_instruction_counter"] = None
+        return state
 
     def cache_counters(self) -> Dict[str, int]:
         return {
@@ -61,7 +97,7 @@ class AnalysisStats:
         ``phase_timings`` and cache counters of every response into
         its histograms.
         """
-        return {
+        out = {
             "files": self.files,
             "functions": self.functions,
             "instructions": self.instructions,
@@ -73,6 +109,13 @@ class AnalysisStats:
             "phase_timings": dict(self.phase_timings),
             **self.cache_counters(),
         }
+        if self.kernel_counters:
+            out["kernel_counters"] = dict(self.kernel_counters)
+        if self.hotspots:
+            out["hotspots"] = {
+                label: dict(rec) for label, rec in self.hotspots.items()
+            }
+        return out
 
 
 @dataclass

@@ -40,6 +40,8 @@ def generate_core(
     filler_functions: int = 0,
     chain_depth: int = 0,
     loops: bool = True,
+    call_fanout: int = 0,
+    pipeline_stages: int = 0,
 ) -> GeneratedProgram:
     """Build a synthetic core component.
 
@@ -55,6 +57,23 @@ def generate_core(
       one warning, no dependency;
     - *monitored* regions: read only inside a monitoring function —
       no warnings at all.
+
+    Scaling knobs beyond region roles:
+
+    - ``filler_functions`` / ``chain_depth``: code size and
+      context-sensitivity depth (as before);
+    - ``call_fanout``: every chain function additionally calls this many
+      *shared* pure helpers, widening the call graph (many callers per
+      callee — context-budget and memoization stress). No effect on the
+      expected counts;
+    - ``pipeline_stages``: a chain of stage functions passing a value
+      through *core* (unannotated-noncore) shared regions: stage ``k``
+      reads region ``k-1`` and writes region ``k``, seeded from one
+      extra non-core region (one warning). ``main`` calls the stages in
+      *reverse* order, so each outer fixpoint sweep propagates the
+      value exactly one stage further — the interprocedural-fixpoint
+      stress the sparse engine is built for. Adds one expected warning
+      and nothing else.
     """
     n_regions = (data_error_regions + control_fp_regions
                  + benign_read_regions + monitored_regions)
@@ -68,7 +87,11 @@ def generate_core(
     add("typedef struct { double v; int flag; double arr[8]; } Region;")
     add("")
     names = [f"shmR{i}" for i in range(n_regions)]
-    for name in names:
+    pipe_names = [f"shmPipe{i}" for i in range(pipeline_stages)]
+    pipe_src = "shmPipeSrc" if pipeline_stages else None
+    all_names = names + ([pipe_src] if pipe_src else []) + pipe_names
+    noncore_names = names + ([pipe_src] if pipe_src else [])
+    for name in all_names:
         add(f"Region *{name};")
     add("")
     add("extern void emitOutput(double v);")
@@ -90,11 +113,17 @@ def generate_core(
     for name in names:
         add(f"    {name} = (Region *) cursor;")
         add("    cursor = cursor + sizeof(Region);")
+    # pipeline regions get one segment each: separate attachments keep
+    # their points-to cells distinct, so value flow through the pipeline
+    # really crosses one shared cell per stage
+    for k, name in enumerate([pipe_src] + pipe_names if pipe_src else []):
+        add(f"    shmid = shmget({2000 + k}, sizeof(Region), 0666);")
+        add(f"    {name} = (Region *) shmat(shmid, 0, 0);")
     add("    /***SafeFlow Annotation")
-    for name in names:
+    for name in all_names:
         add(f"        assume(shmvar({name}, sizeof(Region)));")
-    for i, name in enumerate(names):
-        sep = ";" if i < len(names) - 1 else " /***/"
+    for i, name in enumerate(noncore_names):
+        sep = ";" if i < len(noncore_names) - 1 else " /***/"
         add(f"        assume(noncore({name})){sep}")
     add("}")
     add("")
@@ -109,8 +138,21 @@ def generate_core(
         if loops:
             add("    for (i = 0; i < 16; i++) {")
             add(f"        acc = acc * 0.99 + {i + 1}.0 / (i + 2.0);")
+            add("        acc = acc + x * 0.5;")
+            add("        if (acc > 1000.0) {")
+            add("            acc = acc * 0.5;")
+            add("        }")
+            add("        acc = acc - 0.125;")
             add("    }")
         add(f"    return acc + {i}.5;")
+        add("}")
+        add("")
+
+    # --- shared fan-out helpers (call-graph width stress) ---------------
+    for j in range(call_fanout):
+        add(f"double fan{j}(double x)")
+        add("{")
+        add(f"    return x * 0.5 + {j}.25;")
         add("}")
         add("")
 
@@ -126,6 +168,8 @@ def generate_core(
         add("    if (v > 100.0 || v < -100.0) {")
         add("        return fb;")
         add("    }")
+        for j in range(call_fanout):
+            add(f"    fb = fb + fan{j}(v) * 0.000001;")
         if callee is not None:
             add(f"    return {callee}(r, v);")
         else:
@@ -158,6 +202,20 @@ def generate_core(
         add("        return fb;")
         add("    }")
         add("    return v;")
+        add("}")
+        add("")
+
+    # --- value pipeline through core regions (fixpoint-depth stress) ----
+    # stage k reads region k-1 (the extra non-core source for stage 0)
+    # and writes region k; main calls the stages newest-first, so one
+    # outer sweep advances the value exactly one stage
+    for k in range(pipeline_stages):
+        src = pipe_src if k == 0 else pipe_names[k - 1]
+        add(f"void stage{k}(void)")
+        add("{")
+        add("    double v;")
+        add(f"    v = {src}->v;")
+        add(f"    {pipe_names[k]}->v = v * 0.5 + {k}.0;")
         add("}")
         add("")
 
@@ -201,16 +259,21 @@ def generate_core(
     for name in benign_regions:
         add(f"        logged = {name}->v;")
         add("        emitLog(logged);")
+    for k in reversed(range(pipeline_stages)):
+        add(f"        stage{k}();")
+    if pipeline_stages:
+        add(f"        emitLog({pipe_names[-1]}->v);")
     add("        tick = tick + 1u;")
     add("    }")
     add("    return 0;")
     add("}")
 
     expected_warnings = (len(data_regions) + len(control_regions)
-                         + len(benign_regions))
+                         + len(benign_regions)
+                         + (1 if pipeline_stages else 0))
     return GeneratedProgram(
         source="\n".join(lines) + "\n",
-        regions=n_regions,
+        regions=len(all_names),
         expected_warnings=expected_warnings,
         expected_errors=len(data_regions),
         expected_false_positives=len(control_regions),

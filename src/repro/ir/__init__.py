@@ -7,7 +7,7 @@ and postdominator trees, SSA construction, and def-use chains.
 """
 
 from .cfg import BasicBlock
-from .dominance import DominatorTree, control_dependence
+from .dominance import DominatorTree, control_dependence, dominator_tree
 from .function import Function, Module
 from .instructions import (
     ASSERT_SAFE_MARKER,
@@ -110,6 +110,7 @@ __all__ = [
     "VoidType",
     "build_ssa",
     "control_dependence",
+    "dominator_tree",
     "function_to_text",
     "module_to_text",
     "pointer_compatible",

@@ -164,13 +164,34 @@ class DominatorTree:
         return frontier
 
 
+def dominator_tree(function: Function, post: bool = False) -> DominatorTree:
+    """Memoized :class:`DominatorTree` (see ``Function.cached_analysis``).
+
+    Dominance depends only on the CFG shape, which is final once
+    lowering has removed unreachable blocks; SSA's instruction rewrites
+    do not disturb it, so the verifier, SSA construction, and the
+    value-flow engine can all share one tree per function.
+    """
+    return function.cached_analysis(
+        ("domtree", post), lambda f: DominatorTree(f, post=post)
+    )
+
+
 def control_dependence(function: Function) -> Dict[BasicBlock, Set[BasicBlock]]:
     """Map each block B to the set of blocks whose branch B depends on.
 
     B is control dependent on A iff A's branch decides whether B
-    executes — computed as the postdominance frontier of B.
+    executes — computed as the postdominance frontier of B. Memoized
+    per function: the value-flow engine consults this for every
+    (function, context) body it analyzes.
     """
-    pdt = DominatorTree(function, post=True)
+    return function.cached_analysis("control_deps", _control_dependence)
+
+
+def _control_dependence(
+    function: Function,
+) -> Dict[BasicBlock, Set[BasicBlock]]:
+    pdt = dominator_tree(function, post=True)
     frontier = pdt.dominance_frontier()
     deps: Dict[BasicBlock, Set[BasicBlock]] = {}
     for block in function.blocks:

@@ -24,6 +24,9 @@ class Function(Value):
         self.module = None
         self._next_temp = 0
         self._next_block = 0
+        #: memoized derived analyses (dominator trees, control
+        #: dependence, def-use); see :meth:`cached_analysis`
+        self._analysis_cache: Dict[object, object] = {}
 
     # -- construction -------------------------------------------------
 
@@ -87,6 +90,8 @@ class Function(Value):
             reachable.add(block)
             work.extend(block.successors())
         removed = [b for b in self.blocks if b not in reachable]
+        if removed:
+            self.invalidate_analyses()
         self.blocks = [b for b in self.blocks if b in reachable]
         for dead in removed:
             for block in self.blocks:
@@ -103,6 +108,31 @@ class Function(Value):
             for idx, op in enumerate(inst.operands):
                 uses.setdefault(op, []).append((inst, idx))
         return uses
+
+    # -- derived-analysis memoization ----------------------------------
+
+    def cached_analysis(self, key, builder):
+        """Build-once cache for per-function derived analyses.
+
+        ``builder`` receives the function and its result is kept until
+        :meth:`invalidate_analyses` — which every IR-mutating pass must
+        call. Used for dominator trees, control dependence, and def-use
+        chains so repeated analyses of one loaded Program (warm server,
+        repeated SafeFlow runs, fingerprinting) stop recomputing them.
+        """
+        value = self._analysis_cache.get(key)
+        if value is None:
+            value = builder(self)
+            self._analysis_cache[key] = value
+        return value
+
+    def invalidate_analyses(self) -> None:
+        """Drop memoized analyses after an IR mutation."""
+        self._analysis_cache.clear()
+
+    def uses(self) -> Dict[Value, List[Tuple[Instruction, int]]]:
+        """Memoized :meth:`compute_uses` (valid until IR mutation)."""
+        return self.cached_analysis("uses", Function.compute_uses)
 
     def short(self) -> str:
         return f"@{self.name}"

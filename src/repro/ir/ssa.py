@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Dict, List, Set
 
 from .cfg import BasicBlock
-from .dominance import DominatorTree
+from .dominance import dominator_tree
 from .function import Function
 from .instructions import Alloca, Call, Instruction, Load, Phi, Store
 from .values import UndefValue, Value
@@ -56,7 +56,9 @@ def promote_to_ssa(function: Function) -> int:
     if not allocas:
         return 0
 
-    dt = DominatorTree(function)
+    # the CFG is final here (unreachable blocks were just removed), so
+    # this tree seeds the shared cache for the verifier and engine
+    dt = dominator_tree(function)
     frontier = dt.dominance_frontier()
     alloca_set = set(allocas)
 
@@ -161,6 +163,9 @@ def promote_to_ssa(function: Function) -> int:
             inst.parent.remove(inst)
 
     _prune_trivial_phis(function)
+    # instructions changed but the CFG did not: drop def-use chains,
+    # keep the (still valid) dominator trees
+    function._analysis_cache.pop("uses", None)
     return len(allocas)
 
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 from typing import List
 
 from .cfg import BasicBlock
-from .dominance import DominatorTree
+from .dominance import dominator_tree
 from .function import Function, Module
 from .instructions import Instruction, Phi
 from .values import Argument, Constant, GlobalVariable, UndefValue, Value
@@ -66,7 +66,7 @@ def verify_function(function: Function, check_ssa: bool = True) -> None:
 
 def _check_dominance(function: Function, errors: List[str]) -> None:
     """Every use must be dominated by its definition (SSA property)."""
-    dt = DominatorTree(function)
+    dt = dominator_tree(function)
     def_block = {}
     for inst in function.instructions():
         def_block[inst] = inst.parent

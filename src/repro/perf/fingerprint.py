@@ -25,8 +25,9 @@ that differ between processes. Here every instruction is named by its
 from __future__ import annotations
 
 import hashlib
+import weakref
 from dataclasses import fields as dataclass_fields
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
 from ..ir import BasicBlock, Function, Instruction
 from ..ir.instructions import (
@@ -48,8 +49,13 @@ from ..ir.values import Argument, Constant, GlobalVariable, UndefValue, Value
 SCHEMA_VERSION = 1
 
 #: AnalysisConfig fields that only steer the performance layer itself —
-#: never part of a semantic cache key
-CACHE_ONLY_FIELDS = frozenset({"cache_dir", "frontend_cache", "summary_cache"})
+#: never part of a semantic cache key. ``sparse_fixpoint`` and
+#: ``profile`` qualify because both are report-preserving: toggling
+#: them must not invalidate summaries recorded under the other setting.
+CACHE_ONLY_FIELDS = frozenset({
+    "cache_dir", "frontend_cache", "summary_cache",
+    "sparse_fixpoint", "profile",
+})
 
 
 def sha256_hex(data: bytes) -> str:
@@ -104,6 +110,15 @@ def _loc_text(location) -> str:
     return f"{location.filename}:{location.line}:{location.column}"
 
 
+#: memoized digests keyed by Function identity. IR functions are
+#: immutable once the front end hands them to the analysis pipeline, so
+#: the digest of a live object never changes; weak keys let programs be
+#: garbage-collected normally.
+_FUNCTION_FP_CACHE: "weakref.WeakKeyDictionary[Function, str]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
 def function_fingerprint(func: Function) -> str:
     """Structural + positional digest of one function's IR.
 
@@ -111,7 +126,20 @@ def function_fingerprint(func: Function) -> str:
     class-specific attributes, and source location, so both a semantic
     edit and a pure line-shift change the fingerprint — either would
     change the diagnostics the cached summaries reproduce.
+
+    Memoized per live ``Function`` object: summary replay fingerprints
+    every function once per analyzed program, and long-lived processes
+    (``safeflow serve``, batch workers) re-fingerprint shared corpora.
     """
+    cached = _FUNCTION_FP_CACHE.get(func)
+    if cached is not None:
+        return cached
+    fp = _function_fingerprint_uncached(func)
+    _FUNCTION_FP_CACHE[func] = fp
+    return fp
+
+
+def _function_fingerprint_uncached(func: Function) -> str:
     if func.is_declaration:
         return combine([f"declare {func.name}", repr(func.ftype)])
     ids: Dict[Value, str] = {}
@@ -207,6 +235,9 @@ class FlowFingerprints:
         self._global_fp = self._compute_global(config, assert_vars or {})
         self._flow: Dict[str, str] = {}
         self._closure: Dict[str, str] = {}
+        self._reachable_sets: Optional[
+            Dict[Function, FrozenSet[Function]]
+        ] = None
 
     # -- pieces --------------------------------------------------------
 
@@ -257,12 +288,42 @@ class FlowFingerprints:
 
     # -- public --------------------------------------------------------
 
+    def _reachable(self, func: Function) -> FrozenSet[Function]:
+        """Everything transitively callable from ``func`` (inclusive).
+
+        Computed for all functions at once, bottom-up over the call
+        graph's SCC condensation: one pass unions callee-component sets
+        instead of re-traversing the graph per function, and every
+        member of an SCC shares one frozenset. Yields exactly the same
+        sets as per-function ``reachable_from`` — the closure
+        fingerprints are unchanged.
+        """
+        if self._reachable_sets is None:
+            cg = self.shm.callgraph
+            sets: Dict[Function, FrozenSet[Function]] = {}
+            for component in cg.sccs():  # callees before callers
+                members = set(component)
+                acc = set(members)
+                for member in component:
+                    for callee in cg.callees(member):
+                        if callee not in members:
+                            acc |= sets[callee]
+                shared = frozenset(acc)
+                for member in component:
+                    sets[member] = shared
+            self._reachable_sets = sets
+        cached = self._reachable_sets.get(func)
+        if cached is not None:
+            return cached
+        # not a call-graph node (e.g. a function outside the module)
+        return frozenset(self.shm.callgraph.reachable_from([func]))
+
     def closure(self, func: Function) -> str:
         """Fingerprint of ``func`` plus everything it can call."""
         cached = self._closure.get(func.name)
         if cached is not None:
             return cached
-        reachable = self.shm.callgraph.reachable_from([func])
+        reachable = self._reachable(func)
         parts = [f"root:{self._flow_fp(func)}"]
         for other in sorted(reachable, key=lambda f: f.name):
             if other is func or other.is_declaration:

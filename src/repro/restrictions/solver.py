@@ -12,13 +12,23 @@ Fourier–Motzkin elimination over rationals:
 
 The relaxation direction is the sound one for a checker: it can only
 over-report, never miss an out-of-bounds access.
+
+Identical constraint systems recur constantly — every access to the
+same shared array inside the same loop shape produces the same A1/A2
+system, and batch/server workloads re-check whole families of similar
+loops. :func:`can_violate_bounds` therefore memoizes verdicts under a
+*canonicalized* form of the system: variables (arbitrary hashable IR
+values) are renamed to indices by first appearance in a deterministic
+traversal, which makes the key independent of object identity.
+Feasibility is invariant under variable renaming, so two systems with
+equal canonical forms necessarily share a verdict.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, Hashable, List, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
 from ..errors import SolverError
 
@@ -117,7 +127,36 @@ def can_violate_bounds(
     """True if ``index`` may fall outside ``[0, bound)`` under context.
 
     Checks feasibility of (index <= -1) and (index >= bound) separately.
+    Verdicts are memoized per canonicalized system (see module doc);
+    :class:`SolverError` outcomes are memoized too, so a pathological
+    system is diagnosed once.
     """
+    key = _canonical_key(index_coeffs, index_const, bound, context)
+    cached = _VERDICT_CACHE.get(key)
+    if cached is not None:
+        _SOLVER_STATS["hits"] += 1
+        verdict, error = cached
+        if error is not None:
+            raise SolverError(error)
+        return verdict
+    _SOLVER_STATS["misses"] += 1
+    try:
+        verdict = _can_violate_bounds_fresh(
+            index_coeffs, index_const, bound, context
+        )
+    except SolverError as exc:
+        _remember(key, (False, str(exc)))
+        raise
+    _remember(key, (verdict, None))
+    return verdict
+
+
+def _can_violate_bounds_fresh(
+    index_coeffs: Dict[Var, Fraction],
+    index_const,
+    bound: int,
+    context: List[Constraint],
+) -> bool:
     below = Constraint.ge_zero(
         {v: -c for v, c in index_coeffs.items()}, -Fraction(index_const) - 1
     )  # -index - 1 >= 0  ⇔  index <= -1
@@ -127,3 +166,58 @@ def can_violate_bounds(
         dict(index_coeffs), Fraction(index_const) - bound
     )  # index - bound >= 0  ⇔  index >= bound
     return is_feasible(context + [above])
+
+
+# ----------------------------------------------------------------------
+# canonicalized verdict memoization
+# ----------------------------------------------------------------------
+
+_MAX_CACHED_VERDICTS = 8192
+_VERDICT_CACHE: Dict[tuple, Tuple[bool, Optional[str]]] = {}
+_SOLVER_STATS: Dict[str, int] = {"hits": 0, "misses": 0}
+
+
+def _canonical_key(index_coeffs: Dict[Var, Fraction], index_const,
+                   bound: int, context: List[Constraint]) -> tuple:
+    """Rename variables to first-appearance indices.
+
+    Traversal order: the index expression's coefficients (in their
+    deterministic ``repr`` sort, matching :meth:`Constraint.ge_zero`),
+    then each context constraint's stored coefficient order. The key
+    holds only ints/Fractions/strings — no references to IR objects —
+    so caching never pins a Program in memory.
+    """
+    rename: Dict[int, int] = {}
+
+    def vid(v: Var) -> int:
+        i = rename.get(id(v))
+        if i is None:
+            i = len(rename)
+            rename[id(v)] = i
+        return i
+
+    index_part = tuple(
+        (vid(v), c) for v, c in sorted(
+            index_coeffs.items(), key=lambda item: repr(item[0])
+        ) if c != 0
+    )
+    ctx_part = tuple(
+        (tuple((vid(v), c) for v, c in con.coeffs), con.const)
+        for con in context
+    )
+    return (index_part, Fraction(index_const), bound, ctx_part)
+
+
+def _remember(key: tuple, value: Tuple[bool, Optional[str]]) -> None:
+    if len(_VERDICT_CACHE) >= _MAX_CACHED_VERDICTS:
+        _VERDICT_CACHE.clear()  # simple epoch eviction; misses are cheap
+    _VERDICT_CACHE[key] = value
+
+
+def solver_cache_stats() -> Dict[str, int]:
+    """Observability for the verdict cache (``--profile``)."""
+    return {
+        "solver_cache_size": len(_VERDICT_CACHE),
+        "solver_cache_hits": _SOLVER_STATS["hits"],
+        "solver_cache_misses": _SOLVER_STATS["misses"],
+    }

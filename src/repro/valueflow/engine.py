@@ -20,6 +20,8 @@ The engine implements the operational rules of §2 over the SSA IR:
 
 from __future__ import annotations
 
+from collections import deque
+from time import perf_counter
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..core.config import AnalysisConfig
@@ -85,16 +87,22 @@ IMPLICIT_CRITICAL_CALLS: Dict[str, Tuple[int, ...]] = {"kill": (0,)}
 COPY_CALLS = frozenset({"memcpy", "memmove", "strcpy", "strncpy"})
 
 _MAX_OUTER_ITERATIONS = 24
+
+#: distinguishes "no evicted result to compare against" from any taint
+_NO_RESULT = object()
 _MAX_LOCAL_PASSES = 64
 
 
-class _RecordingCellMap(dict):
-    """``cell_taint`` with read/write observation for summary records.
+class _CellMap(dict):
+    """``cell_taint`` with read/write observation for the sparse
+    fixpoint.
 
-    Installed only when a summary store is active. ``get`` reports the
-    observed taint to the current body recorder (a record's *inputs*);
-    ``__setitem__`` reports joins (its *effects*) and bumps ``version``
-    so replay can detect interleaved mutation.
+    ``get`` registers the cell as a *read dependency* of the body
+    currently on the engine's body stack; ``__setitem__`` marks the
+    cell dirty when its taint actually changes (taints only grow, so
+    "changed" means "grew") and bumps ``version`` so summary replay can
+    detect interleaved mutation. With ``sparse_fixpoint`` off the map
+    degrades to a plain dict plus the version counter.
     """
 
     def __init__(self, engine: "ValueFlowAnalysis"):
@@ -103,16 +111,37 @@ class _RecordingCellMap(dict):
         self.version = 0
 
     def get(self, cell, default=SAFE):
-        value = dict.get(self, cell, default)
+        engine = self._engine
+        if engine._sparse and engine._body_stack:
+            engine._note_cell_read(cell)
+        return dict.get(self, cell, default)
+
+    def __setitem__(self, cell, value) -> None:
+        if dict.get(self, cell) != value:
+            self.version += 1
+            engine = self._engine
+            if engine._sparse:
+                engine._dirty_cells.add(cell)
+        dict.__setitem__(self, cell, value)
+
+
+class _RecordingCellMap(_CellMap):
+    """``_CellMap`` that additionally feeds the summary-body recorder.
+
+    Installed only when a summary store is active. ``get`` reports the
+    observed taint to the current body recorder (a record's *inputs*);
+    ``__setitem__`` reports joins (its *effects*).
+    """
+
+    def get(self, cell, default=SAFE):
+        value = _CellMap.get(self, cell, default)
         recorder = self._engine._active_recorder()
         if recorder is not None:
             recorder.note_read(self._engine._cell_key(cell), value)
         return value
 
     def __setitem__(self, cell, value) -> None:
-        if dict.get(self, cell) != value:
-            self.version += 1
-        dict.__setitem__(self, cell, value)
+        _CellMap.__setitem__(self, cell, value)
         recorder = self._engine._active_recorder()
         if recorder is not None:
             recorder.note_write(self._engine._cell_key(cell), value)
@@ -158,11 +187,45 @@ class ValueFlowAnalysis:
         self._flow_fps = None
         self._cell_namer: Optional[CellNamer] = None
 
+        #: sparse-fixpoint bookkeeping (see :meth:`run`). ``_sparse``
+        #: must exist before the cell map: its hooks consult it.
+        self._sparse = bool(getattr(self.config, "sparse_fixpoint", True))
+        self._profile = bool(getattr(self.config, "profile", False))
+        self._body_stack: List[Tuple] = []
+        self._key_reads: Dict[Tuple, Set[Cell]] = {}
+        self._cell_readers: Dict[Cell, Set[Tuple]] = {}
+        self._key_calls: Dict[Tuple, Set[Tuple]] = {}
+        self._result_observers: Dict[Tuple, Set[Tuple]] = {}
+        self._func_keys: Dict[Function, Set[Tuple]] = {}
+        self._root_keys: Set[Tuple] = set()
+        self._dirty_cells: Set[Cell] = set()
+        self._merged_dirty: Set[Function] = set()
+        #: revalidation state: the inputs each memo key last ran with
+        #: (so an evicted body can re-run directly, without a root
+        #: descent), the evicted results awaiting comparison, and the
+        #: queue of keys to re-run next sweep
+        self._key_inputs: Dict[
+            Tuple, Tuple[Function, Context, Tuple[Taint, ...]]
+        ] = {}
+        self._stale: Dict[Tuple, Taint] = {}
+        self._revalidation: "deque[Tuple]" = deque()
+        #: observability (``AnalysisStats.kernel_counters``)
+        self.kernel_counters: Dict[str, int] = {
+            "outer_iterations": 0,
+            "bodies_analyzed": 0,
+            "body_memo_hits": 0,
+            "sparse_invalidated": 0,
+            "cells_dirtied": 0,
+        }
+        #: per-body inclusive/self timings when ``config.profile``
+        self.body_profile: Dict[str, Dict[str, float]] = {}
+        self._profile_stack: List[list] = []
+
         if summary_store is not None:
             self.cell_taint: Dict[Cell, Taint] = _RecordingCellMap(self)
             self.vfg = _RecordingVFG(self)
         else:
-            self.cell_taint = {}
+            self.cell_taint = _CellMap(self)
             self.vfg = ValueFlowGraph()
         self.warnings_map: Dict[Tuple[str, str, int], UnmonitoredReadWarning] = {}
         self._failures: Dict[Tuple[str, int, str, str], Dict[str, Set[TaintSource]]] = {}
@@ -189,19 +252,48 @@ class ValueFlowAnalysis:
     # ------------------------------------------------------------------
 
     def run(self) -> "ValueFlowAnalysis":
+        """Outer fixpoint over the interprocedural cell/taint state.
+
+        Dense mode (``sparse_fixpoint=False``) is the reference loop:
+        snapshot the cell map, wipe every memo, re-run every root, stop
+        when nothing moved. Sparse mode keeps the memo table across
+        iterations and, between sweeps, evicts exactly the bodies whose
+        *consulted* cells were dirtied (or whose merged inputs grew)
+        and re-runs them directly from their recorded inputs; a re-run
+        whose result actually moved evicts the bodies that observed the
+        old result, and so on until the queue drains. Taints only grow,
+        so a body none of whose inputs changed would recompute the same
+        result; skipping it is behavior-preserving and the reports come
+        out byte-identical.
+        """
         roots = self._roots()
-        for _ in range(_MAX_OUTER_ITERATIONS):
-            snapshot = {c: t for c, t in self.cell_taint.items()}
-            self._memo.clear()
+        sparse = self._sparse
+        for iteration in range(_MAX_OUTER_ITERATIONS):
+            self.kernel_counters["outer_iterations"] = iteration + 1
+            if sparse:
+                if iteration:
+                    self._invalidate_stale()
+            else:
+                snapshot = {c: t for c, t in self.cell_taint.items()}
+                self._memo.clear()
+                self._failures.clear()
             self._in_progress.clear()
-            self._failures.clear()
             self._inputs_changed = False
-            for root in roots:
-                args = tuple(SAFE for _ in root.arguments)
-                self._analyze(root, EMPTY_CONTEXT, args)
-            if self._stable(snapshot) and not self._inputs_changed:
+            if sparse and iteration:
+                self._revalidate()
+            else:
+                for root in roots:
+                    args = tuple(SAFE for _ in root.arguments)
+                    self._analyze(root, EMPTY_CONTEXT, args)
+            if sparse:
+                self.kernel_counters["cells_dirtied"] += len(self._dirty_cells)
+                if not self._dirty_cells and not self._inputs_changed:
+                    break
+            elif self._stable(snapshot) and not self._inputs_changed:
                 break
-        self.contexts_analyzed = len(self._memo)
+        self.contexts_analyzed = (
+            self._reachable_contexts() if sparse else len(self._memo)
+        )
         self._finalize()
         if self.summary_store is not None:
             self.summary_store.flush()
@@ -227,6 +319,228 @@ class ValueFlowAnalysis:
         return True
 
     # ------------------------------------------------------------------
+    # sparse-fixpoint bookkeeping
+    # ------------------------------------------------------------------
+
+    def _note_cell_read(self, cell) -> None:
+        """Register ``cell`` as a read dependency of the running body."""
+        key = self._body_stack[-1]
+        reads = self._key_reads[key]
+        if cell not in reads:
+            reads.add(cell)
+            self._cell_readers.setdefault(cell, set()).add(key)
+
+    def _begin_body(self, key: Tuple) -> None:
+        """Open a dependency-tracking scope for one body run.
+
+        Previous read registrations of the same key are dropped first:
+        a re-run's dependency set replaces (never accumulates onto) the
+        stale one, so a body that stops consulting a cell stops being
+        invalidated by it.
+        """
+        prev = self._key_reads.get(key)
+        if prev:
+            for cell in prev:
+                readers = self._cell_readers.get(cell)
+                if readers is not None:
+                    readers.discard(key)
+        self._key_reads[key] = set()
+        self._key_calls[key] = set()
+        self._body_stack.append(key)
+        self.kernel_counters["bodies_analyzed"] += 1
+        if self._profile:
+            self._profile_stack.append([key, perf_counter(), 0.0])
+
+    def _end_body(self, key: Tuple) -> None:
+        self._body_stack.pop()
+        if self._profile:
+            entry = self._profile_stack.pop()
+            elapsed = perf_counter() - entry[1]
+            if self._profile_stack:
+                self._profile_stack[-1][2] += elapsed
+            rec = self.body_profile.setdefault(
+                self._profile_label(key),
+                {"calls": 0, "seconds": 0.0, "self_seconds": 0.0},
+            )
+            rec["calls"] += 1
+            rec["seconds"] += elapsed
+            rec["self_seconds"] += max(0.0, elapsed - entry[2])
+
+    @staticmethod
+    def _profile_label(key: Tuple) -> str:
+        func = key[0]
+        if len(key) == 1:
+            return f"{func.name}[merged]"
+        ctx = ",".join(sorted(key[1]))
+        if len(key) == 3 and isinstance(key[2], str):
+            return f"{func.name}[{key[2]}]{{{ctx}}}"
+        return f"{func.name}{{{ctx}}}"
+
+    def _note_dispatch(self, caller: Optional[Tuple], key: Tuple) -> None:
+        """Record the call edge used for reachability accounting."""
+        if caller is None:
+            self._root_keys.add(key)
+        else:
+            self._key_calls[caller].add(key)
+
+    def _invalidate_stale(self) -> None:
+        """Evict the memo entries the previous sweep made stale and
+        queue them for revalidation.
+
+        Two seed families, with different propagation rules:
+
+        - bodies that *read* a cell whose taint grew re-run directly;
+          their observers are touched later, and only if the re-run's
+          result actually moved (:meth:`_finish_body`). Taints only
+          grow, so an unchanged result means every downstream body
+          would recompute exactly what it already has;
+        - every memo key of a function whose merged
+          (context-insensitive or summary-effects) inputs grew is
+          evicted together with the upward closure of its observers:
+          growing a merged context flips later budget checks, which can
+          re-route call sites *without any result changing*, so callers
+          must re-dispatch unconditionally.
+        """
+        invalid: Set[Tuple] = set()
+        for cell in self._dirty_cells:
+            invalid |= self._cell_readers.get(cell, set())
+        work: List[Tuple] = []
+        for func in self._merged_dirty:
+            work.extend(self._func_keys.get(func, ()))
+        while work:
+            key = work.pop()
+            if key in invalid:
+                continue
+            invalid.add(key)
+            for observer in self._result_observers.get(key, ()):
+                if observer not in invalid:
+                    work.append(observer)
+        for key in sorted(invalid, key=self._key_order):
+            if key in self._memo:
+                self._stale[key] = self._memo.pop(key)
+                self._revalidation.append(key)
+        self._dirty_cells = set()
+        self._merged_dirty = set()
+        self.kernel_counters["sparse_invalidated"] += len(invalid)
+
+    @staticmethod
+    def _key_order(key: Tuple):
+        """Cheap deterministic ordering for revalidation queues.
+
+        The final report is insertion-order-independent (everything is
+        sorted in :meth:`_finalize`); this just keeps re-run order
+        stable within a process for reproducible profiles/counters.
+        """
+        func = key[0]
+        if len(key) == 1:
+            return (func.name, 0, "")
+        kind = key[2] if len(key) == 3 and isinstance(key[2], str) else ""
+        return (func.name, 1, ",".join(sorted(key[1])) + "|" + kind)
+
+    def _revalidate(self) -> None:
+        """Drain the revalidation queue, re-running each evicted body
+        in place. A queued key may already have been refreshed by a
+        re-running caller's dispatch (it is back in the memo and out of
+        ``_stale``) — those are skipped. :meth:`_finish_body` appends
+        the observers of any body whose result moved, so the drain
+        reaches the same fixpoint a full root descent would."""
+        queue = self._revalidation
+        while queue:
+            key = queue.popleft()
+            if key not in self._stale or key in self._in_progress:
+                continue
+            inputs = self._key_inputs.get(key)
+            if inputs is None:
+                # bookkeeping gap: drop the stale result and let the
+                # next dispatch recompute the body from scratch
+                self._stale.pop(key, None)
+                continue
+            func, eff_ctx, args = inputs
+            if len(key) == 1:
+                # merged bodies must see the *current* joined inputs,
+                # which may have grown since they were captured
+                stored = self._merged_inputs.get(func)
+                if stored is not None:
+                    eff_ctx, args = stored
+            elif len(key) == 3 and key[2] == "effects":
+                stored_args = self._summary_args.get(func)
+                if stored_args is not None:
+                    args = stored_args
+            self._rerun_body(key, func, eff_ctx, args)
+
+    def _rerun_body(self, key: Tuple, func: Function, eff_ctx: Context,
+                    args: Tuple[Taint, ...]) -> None:
+        """Re-run one evicted body directly, without a root descent.
+
+        Mirrors the dispatch-path discipline (placeholder memo entry,
+        in-progress marking, dependency scope) but records no call
+        edge: the key's position in the call graph is unchanged, only
+        its result is refreshed."""
+        self._in_progress.add(key)
+        self._memo[key] = SAFE
+        if len(key) == 1:
+            seen = self._ctx_counts.setdefault(func, set())
+            if eff_ctx not in seen:
+                # same routing concern as in _analyze: a newly admitted
+                # context flips later budget checks
+                self._merged_dirty.add(func)
+            seen.add(eff_ctx)
+        self._begin_body(key)
+        try:
+            if len(key) == 3 and isinstance(key[2], str):
+                ret = self._run_summary_body(func, eff_ctx, args, key[2])
+            else:
+                ret = self._analyze_body(func, eff_ctx, args)
+        finally:
+            self._end_body(key)
+        self._finish_body(key, ret)
+
+    def _finish_body(self, key: Tuple, ret: Taint) -> None:
+        """Publish a completed body result.
+
+        In sparse mode, when the body was re-validating an evicted
+        entry and the result actually changed (an identity check —
+        taints are interned), every observer of the old result is
+        evicted and queued. Observers currently mid-run are left alone:
+        they are consuming the fresh result through the very dispatch
+        that triggered this run, or will hit the refreshed memo entry
+        when they get there."""
+        self._memo[key] = ret
+        self._in_progress.discard(key)
+        if not self._sparse:
+            return
+        old = self._stale.pop(key, _NO_RESULT)
+        if old is _NO_RESULT or ret == old:
+            return
+        for observer in sorted(self._result_observers.get(key, ()),
+                               key=self._key_order):
+            if observer in self._in_progress or observer in self._stale:
+                continue
+            if observer in self._memo:
+                self._stale[observer] = self._memo.pop(observer)
+                self._revalidation.append(observer)
+
+    def _reachable_contexts(self) -> int:
+        """Count memo keys reachable from the roots over call edges.
+
+        Stale keys (a (function, context, args) combination the final
+        call graph no longer produces) stay in the memo table but are
+        unreachable; excluding them makes ``contexts_analyzed`` match
+        what a dense run's final sweep would have memoized.
+        """
+        seen: Set[Tuple] = set()
+        work = [key for key in self._root_keys if key in self._memo]
+        while work:
+            key = work.pop()
+            if key in seen:
+                continue
+            seen.add(key)
+            for callee in self._key_calls.get(key, ()):
+                if callee not in seen and callee in self._memo:
+                    work.append(callee)
+        return len(seen)
+
+    # ------------------------------------------------------------------
     # per-function analysis
     # ------------------------------------------------------------------
 
@@ -240,18 +554,44 @@ class ValueFlowAnalysis:
             return self._analyze_with_summary(func, eff_ctx, arg_taints)
         else:
             key = (func, eff_ctx, arg_taints)
+        caller = self._body_stack[-1] if self._body_stack else None
+        if self._sparse:
+            self._note_dispatch(caller, key)
         if key in self._memo and key not in self._in_progress:
+            self.kernel_counters["body_memo_hits"] += 1
+            if self._sparse and caller is not None:
+                # the caller consumed a finished result: if it is ever
+                # evicted, the caller must re-run too
+                self._result_observers.setdefault(key, set()).add(caller)
             return self._memo[key]
         if key in self._in_progress:
+            # recursion: hand back the placeholder; no observer edge —
+            # an in-progress observation always yields the placeholder,
+            # so eviction of the callee cannot change what we saw here
             return self._memo.get(key, SAFE)
         self._in_progress.add(key)
         self._memo[key] = SAFE
-        self._ctx_counts.setdefault(func, set()).add(eff_ctx)
+        seen = self._ctx_counts.setdefault(func, set())
+        if self._sparse and len(key) == 1 and eff_ctx not in seen:
+            # a context admitted through the merged path is now "seen",
+            # so the budget check routes later dispatches of that
+            # context context-sensitively; callers bound to the merged
+            # body must re-bind next sweep (dense re-binds by re-running
+            # everything)
+            self._merged_dirty.add(func)
+        seen.add(eff_ctx)
+        self._func_keys.setdefault(func, set()).add(key)
+        if self._sparse:
+            self._key_inputs[key] = (func, eff_ctx, arg_taints)
+        self._begin_body(key)
+        try:
+            ret = self._analyze_body(func, eff_ctx, arg_taints)
+        finally:
+            self._end_body(key)
 
-        ret = self._analyze_body(func, eff_ctx, arg_taints)
-
-        self._memo[key] = ret
-        self._in_progress.discard(key)
+        self._finish_body(key, ret)
+        if self._sparse and caller is not None:
+            self._result_observers.setdefault(key, set()).add(caller)
         return ret
 
     # ------------------------------------------------------------------
@@ -307,9 +647,14 @@ class ValueFlowAnalysis:
         if old is None or len(old) != len(arg_taints):
             old = tuple(SAFE for _ in arg_taints)
         merged = tuple(a.join(b) for a, b in zip(old, arg_taints))
-        if merged != self._summary_args.get(func):
+        prev = self._summary_args.get(func)
+        if merged != prev:
             self._summary_args[func] = merged
             self._inputs_changed = True
+            if prev is not None:
+                # effects bodies that already ran saw the old join;
+                # evict every memo entry of this function next sweep
+                self._merged_dirty.add(func)
         return merged
 
     def _analyze_with_summary(self, func: Function, eff_ctx: Context,
@@ -324,9 +669,14 @@ class ValueFlowAnalysis:
           checks inside the callee see real provenance. The outer
           fixpoint re-sweeps when the join grows.
         """
+        caller = self._body_stack[-1] if self._body_stack else None
         merged = self._merge_summary_args(func, arg_taints)
         summary_key = (func, eff_ctx, "summary")
+        if self._sparse:
+            self._note_dispatch(caller, summary_key)
         if summary_key in self._in_progress:
+            # recursion: placeholder result, no observer edge (see
+            # the matching branch in _analyze)
             return self._substitute_summary(
                 self._memo.get(summary_key, SAFE), arg_taints
             )
@@ -334,26 +684,46 @@ class ValueFlowAnalysis:
             self._in_progress.add(summary_key)
             self._memo[summary_key] = SAFE
             self._ctx_counts.setdefault(func, set()).add(eff_ctx)
+            self._func_keys.setdefault(func, set()).add(summary_key)
             placeholders = tuple(
                 Taint(data=frozenset({self._placeholder(func, i)}))
                 for i in range(len(arg_taints))
             )
-            self._memo[summary_key] = self._run_summary_body(
-                func, eff_ctx, placeholders, "summary"
-            )
-            self._in_progress.discard(summary_key)
+            if self._sparse:
+                self._key_inputs[summary_key] = (func, eff_ctx, placeholders)
+            self._begin_body(summary_key)
+            try:
+                ret = self._run_summary_body(
+                    func, eff_ctx, placeholders, "summary"
+                )
+            finally:
+                self._end_body(summary_key)
+            self._finish_body(summary_key, ret)
+        else:
+            self.kernel_counters["body_memo_hits"] += 1
 
         if any(not t.is_safe for t in merged):
             effects_key = (func, eff_ctx, "effects")
+            if self._sparse:
+                self._note_dispatch(caller, effects_key)
             if effects_key not in self._memo and \
                     effects_key not in self._in_progress:
                 self._in_progress.add(effects_key)
                 self._memo[effects_key] = SAFE
-                self._memo[effects_key] = self._run_summary_body(
-                    func, eff_ctx, merged, "effects"
-                )
-                self._in_progress.discard(effects_key)
+                self._func_keys.setdefault(func, set()).add(effects_key)
+                if self._sparse:
+                    self._key_inputs[effects_key] = (func, eff_ctx, merged)
+                self._begin_body(effects_key)
+                try:
+                    ret = self._run_summary_body(
+                        func, eff_ctx, merged, "effects"
+                    )
+                finally:
+                    self._end_body(effects_key)
+                self._finish_body(effects_key, ret)
 
+        if self._sparse and caller is not None:
+            self._result_observers.setdefault(summary_key, set()).add(caller)
         return self._substitute_summary(self._memo[summary_key], arg_taints)
 
     # ------------------------------------------------------------------
@@ -449,7 +819,12 @@ class ValueFlowAnalysis:
                 return None
             writes.append((cell, deser_taint(ser)))
         cmap = self.cell_taint
+        sparse = self._sparse and bool(self._body_stack)
         for cell, expected in reads:
+            if sparse:
+                # replayed reads are real input dependencies of the
+                # replaying body; register them for sparse invalidation
+                self._note_cell_read(cell)
             if ser_taint(dict.get(cmap, cell, SAFE)) != expected:
                 return None
         version = cmap.version
@@ -513,6 +888,10 @@ class ValueFlowAnalysis:
         if old is None or (new_ctx, new_args) != (old_ctx, old_args):
             # the merged summary is stale: force another outer sweep
             self._inputs_changed = True
+            if old is not None:
+                # the (func,) body may have already run under the old
+                # merge this iteration; evict it (and its observers)
+                self._merged_dirty.add(func)
         self._merged_inputs[func] = (new_ctx, new_args)
         return new_ctx, new_args
 

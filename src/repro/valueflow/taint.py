@@ -11,12 +11,22 @@ on, split by dependency kind:
 
 ``safe(x)`` ⇔ both sets empty; ``unsafe(x)`` ⇔ data nonempty. The
 mutual exclusion of the predicates in §2 is the emptiness test here.
+
+Taint values are **hash-consed**: for any (data, control) pair there is
+exactly one live :class:`Taint` instance, so equality and hashing are
+pointer operations instead of frozenset comparisons (which dominated
+profiles of the value-flow phase — every instruction-level transfer
+compares old vs new taint). ``join`` is memoized on the identities of
+its operands; because the intern table holds strong references, object
+ids are stable keys for the lifetime of the process. Pickling round-
+trips through the constructor, so an unpickled taint is the *same*
+object as its interned original.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, Optional, Tuple
+from typing import ClassVar, Dict, FrozenSet, Iterable, Tuple
 
 from ..ir.source import SourceLocation
 
@@ -45,28 +55,68 @@ SourceSet = FrozenSet[TaintSource]
 EMPTY_SOURCES: SourceSet = frozenset()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Taint:
-    """Provenance-carrying taint value; immutable and hashable."""
+    """Provenance-carrying taint value; immutable, interned, hashable.
+
+    ``eq=False`` is deliberate: interning makes default identity
+    equality/hashing exact (two taints with equal source sets are the
+    same object) and removes frozenset hashing from the hot path.
+    """
 
     data: SourceSet = EMPTY_SOURCES
     control: SourceSet = EMPTY_SOURCES
 
+    #: intern table: (data, control) → the unique instance. Strong
+    #: references on purpose — stable ids are what makes the identity-
+    #: keyed join memo sound.
+    _intern: ClassVar[Dict[Tuple[SourceSet, SourceSet], "Taint"]] = {}
+
+    def __new__(cls, data: SourceSet = EMPTY_SOURCES,
+                control: SourceSet = EMPTY_SOURCES) -> "Taint":
+        # sets must be frozensets here; a mutable set fails loudly on
+        # hashing, which beats silently interning an aliasable value
+        key = (data, control)
+        cached = cls._intern.get(key)
+        if cached is not None:
+            return cached
+        self = super().__new__(cls)
+        cls._intern[key] = self
+        return self
+
+    def __reduce__(self):
+        # pickling must re-enter the intern table, otherwise unpickled
+        # taints would be distinct objects and identity equality breaks
+        return (Taint, (self.data, self.control))
+
     # -- lattice ---------------------------------------------------------
 
     def join(self, other: "Taint") -> "Taint":
-        if other.is_safe:
+        if other is self or other.is_safe:
             return self
         if self.is_safe:
             return other
-        return Taint(self.data | other.data, self.control | other.control)
+        key = (id(self), id(other))
+        cached = _JOIN_MEMO.get(key)
+        if cached is None:
+            _JOIN_STATS["misses"] += 1
+            cached = Taint(self.data | other.data,
+                           self.control | other.control)
+            _JOIN_MEMO[key] = cached
+            _JOIN_MEMO[(key[1], key[0])] = cached
+        else:
+            _JOIN_STATS["hits"] += 1
+        return cached
 
     def as_control(self) -> "Taint":
         """Demote everything to control provenance (branch influence)."""
+        cached = self.__dict__.get("_as_control")
+        if cached is not None:
+            return cached
         sources = self.data | self.control
-        if not sources:
-            return SAFE
-        return Taint(EMPTY_SOURCES, sources)
+        result = SAFE if not sources else Taint(EMPTY_SOURCES, sources)
+        object.__setattr__(self, "_as_control", result)
+        return result
 
     # -- queries ----------------------------------------------------------
 
@@ -99,6 +149,11 @@ class Taint:
         return "unsafe(" + " ".join(parts) + ")"
 
 
+#: identity-keyed join memo; sound because the intern table keeps every
+#: Taint alive (ids are never reused for live interned values)
+_JOIN_MEMO: Dict[Tuple[int, int], Taint] = {}
+_JOIN_STATS: Dict[str, int] = {"hits": 0, "misses": 0}
+
 SAFE = Taint()
 
 
@@ -111,3 +166,12 @@ def join_all(taints: Iterable[Taint]) -> Taint:
     for taint in taints:
         result = result.join(taint)
     return result
+
+
+def taint_cache_stats() -> Dict[str, int]:
+    """Observability for the interning layer (``--profile``)."""
+    return {
+        "taint_interned": len(Taint._intern),
+        "taint_join_hits": _JOIN_STATS["hits"],
+        "taint_join_misses": _JOIN_STATS["misses"],
+    }
