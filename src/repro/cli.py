@@ -5,6 +5,7 @@ Subcommands::
     safeflow analyze FILE...     # run the analysis on C sources
     safeflow batch FILE...       # analyze independent programs in parallel
     safeflow serve               # long-lived analysis service (JSON-RPC)
+    safeflow chaos               # fault-injection harness (resilience)
     safeflow corpus [KEY]        # analyze a bundled Table-1 system
     safeflow table1              # reproduce Table 1 (measured vs paper)
     safeflow demo                # run the Simplex pendulum demo
@@ -89,6 +90,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="use ESP-style function summaries (§3.3)")
     batch.add_argument("--include", "-I", action="append", default=[],
                        help="include directory")
+    batch.add_argument("--stats", action="store_true",
+                       help="print batch-level counters (restarts, "
+                            "quarantines, cache integrity evictions)")
+    batch.add_argument("--max-crashes", type=int, default=2, metavar="N",
+                       help="worker crashes before a job is quarantined "
+                            "(default: 2)")
+    _add_limit_flags(batch)
     _add_cache_flags(batch)
 
     serve = sub.add_parser(
@@ -112,7 +120,34 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="include directory")
     serve.add_argument("--metrics-json", metavar="FILE", default=None,
                        help="write a metrics snapshot to FILE on shutdown")
+    serve.add_argument("--max-crashes", type=int, default=2, metavar="N",
+                       help="worker crashes before a request is "
+                            "quarantined (default: 2)")
+    _add_limit_flags(serve)
     _add_cache_flags(serve)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the fault-injection harness and assert recovery",
+        description="Runs a deterministic generated workload under "
+                    "named fault schedules (worker kills, poisoned "
+                    "inputs, cache corruption) and asserts the final "
+                    "verdicts are byte-identical to a fault-free run.",
+    )
+    chaos.add_argument("--smoke", action="store_true",
+                       help="small workload, core schedules only (CI)")
+    chaos.add_argument("--schedule", action="append", default=None,
+                       metavar="NAME",
+                       help="run only this schedule (repeatable); one of "
+                            "kill, quarantine, slow, corrupt-ir, "
+                            "torn-summary, serve-kill")
+    chaos.add_argument("--chaos-jobs", type=int, default=6, metavar="N",
+                       help="generated programs in the workload "
+                            "(default: 6)")
+    chaos.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="worker processes (default: 2)")
+    chaos.add_argument("--json", action="store_true",
+                       help="machine-readable output")
 
     corpus = sub.add_parser("corpus", help="analyze a bundled system")
     corpus.add_argument("key", nargs="?", default="ip",
@@ -167,6 +202,28 @@ def _add_cache_flags(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--cache-dir", default=None, metavar="DIR",
                      help="cache directory (default: $SAFEFLOW_CACHE_DIR "
                           "or ~/.cache/safeflow)")
+
+
+def _add_limit_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--cpu-limit", type=float, default=None, metavar="SEC",
+                     help="per-worker CPU-time cap in seconds "
+                          "(RLIMIT_CPU; overrun → resource_exhausted)")
+    sub.add_argument("--mem-limit", type=float, default=None, metavar="MB",
+                     help="per-worker address-space cap in MiB "
+                          "(RLIMIT_AS; overrun → resource_exhausted)")
+
+
+def _guards_from_args(args):
+    """:class:`ResourceGuards` from ``--cpu-limit``/``--mem-limit``."""
+    if args.cpu_limit is None and args.mem_limit is None:
+        return None
+    from .resilience import ResourceGuards
+
+    return ResourceGuards(
+        cpu_seconds=int(args.cpu_limit) if args.cpu_limit else None,
+        rss_bytes=(int(args.mem_limit * 1024 * 1024)
+                   if args.mem_limit else None),
+    )
 
 
 def _cache_dir(args) -> Optional[str]:
@@ -265,18 +322,22 @@ def cmd_batch(args) -> int:
     )
     max_workers = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
     outcome = SafeFlow(config).analyze_batch(
-        jobs, max_workers=max_workers, timeout=args.timeout
+        jobs, max_workers=max_workers, timeout=args.timeout,
+        guards=_guards_from_args(args), max_crashes=args.max_crashes,
     )
 
     if args.json:
         payload = {
             "wall_time": outcome.wall_time,
+            "worker_restarts": outcome.worker_restarts,
+            "quarantined": list(outcome.quarantined),
             "jobs": [
                 {
                     "name": r.name,
                     "ok": r.ok,
                     "duration": r.duration,
                     "error": r.error,
+                    "code": r.code,
                     "detail": r.detail,
                     "report": r.report.to_json() if r.report else None,
                 }
@@ -296,12 +357,22 @@ def cmd_batch(args) -> int:
                       f"({result.duration:.2f}s)")
             else:
                 first_line = result.error.strip().splitlines()[-1]
-                print(f"{result.name:<20} ERROR {first_line}")
+                tag = ""
+                if result.code and result.code != "analysis_failed":
+                    tag = f"[{result.code}] "
+                print(f"{result.name:<20} ERROR {tag}{first_line}")
         failed = sum(1 for r in outcome.results if not r.ok)
         if failed:
             print(f"{failed} job(s) failed", file=sys.stderr)
         print(f"{len(outcome.results)} jobs in {outcome.wall_time:.2f}s "
               f"({max_workers} workers)")
+        if args.stats:
+            evictions = sum(r.report.stats.cache_integrity_evictions
+                            for r in outcome.results if r.ok)
+            print(f"worker restarts     : {outcome.worker_restarts}")
+            print(f"quarantined jobs    : "
+                  f"{', '.join(outcome.quarantined) or 'none'}")
+            print(f"integrity evictions : {evictions}")
     if not outcome.ok:
         return 2
     return 0 if all(r.report.passed for r in outcome.results) else 1
@@ -326,6 +397,8 @@ def cmd_serve(args) -> int:
             workers=args.workers if args.workers > 0 else None,
             queue_size=args.queue_size,
             default_deadline=args.deadline,
+            guards=_guards_from_args(args),
+            max_crashes=args.max_crashes,
         )
     except OSError as exc:
         print(f"safeflow serve: cannot bind: {exc}", file=sys.stderr)
@@ -358,6 +431,26 @@ def cmd_serve(args) -> int:
         print(f"safeflow serve: metrics written to {args.metrics_json}",
               flush=True)
     return 0
+
+
+def cmd_chaos(args) -> int:
+    from .resilience.chaos import run_chaos
+
+    try:
+        outcome = run_chaos(
+            schedules=args.schedule,
+            jobs=args.chaos_jobs,
+            workers=args.workers,
+            smoke=args.smoke,
+        )
+    except ValueError as exc:
+        print(f"safeflow chaos: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(outcome.to_json(), indent=2))
+    else:
+        print(outcome.render())
+    return 0 if outcome.ok else 2
 
 
 def cmd_corpus(args) -> int:
@@ -463,6 +556,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "analyze": cmd_analyze,
         "batch": cmd_batch,
         "serve": cmd_serve,
+        "chaos": cmd_chaos,
         "corpus": cmd_corpus,
         "table1": cmd_table1,
         "demo": cmd_demo,

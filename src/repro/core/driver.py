@@ -111,7 +111,8 @@ class SafeFlow:
         return self.analyze_files(list(files), name=name)
 
     def analyze_batch(self, jobs: Sequence, max_workers: Optional[int] = None,
-                      timeout: Optional[float] = None):
+                      timeout: Optional[float] = None,
+                      guards=None, max_crashes: int = 2):
         """Analyze independent programs in parallel worker processes.
 
         ``jobs`` is a sequence of :class:`repro.perf.BatchJob` or
@@ -119,6 +120,9 @@ class SafeFlow:
         with this analyzer's config. Returns a
         :class:`repro.perf.BatchOutcome` with per-job reports/errors in
         job order. ``max_workers=1`` runs sequentially in-process.
+        ``guards`` (a :class:`repro.resilience.ResourceGuards`) caps
+        each worker's CPU/RSS budget; ``max_crashes`` is the
+        quarantine threshold of the crash supervision.
         """
         from ..perf.batch import BatchJob, run_batch
 
@@ -132,7 +136,8 @@ class SafeFlow:
         if max_workers is None:
             max_workers = min(len(normalized), os.cpu_count() or 1)
         return run_batch(
-            normalized, self.config, max_workers=max_workers, timeout=timeout
+            normalized, self.config, max_workers=max_workers,
+            timeout=timeout, guards=guards, max_crashes=max_crashes,
         )
 
     # ------------------------------------------------------------------
@@ -164,6 +169,8 @@ class SafeFlow:
         if ir_cache is not None:
             report.stats.frontend_cache_hits = ir_cache.hits
             report.stats.frontend_cache_misses = ir_cache.misses
+            report.stats.cache_integrity_evictions += (
+                ir_cache.integrity_evictions)
 
         # phase 1: shared-memory pointer identification
         phase_start = time.perf_counter()
@@ -201,6 +208,8 @@ class SafeFlow:
         if store is not None:
             report.stats.summary_cache_hits = store.hits
             report.stats.summary_cache_misses = store.misses
+            report.stats.cache_integrity_evictions += (
+                store.integrity_evictions)
         report.stats.kernel_counters = dict(vf.kernel_counters)
         for key, value in taint_cache_stats().items():
             report.stats.kernel_counters[key] = value - taint_before.get(key, 0)

@@ -42,6 +42,8 @@ class AnalysisStats:
     frontend_cache_misses: int = 0
     summary_cache_hits: int = 0
     summary_cache_misses: int = 0
+    #: damaged cache entries (checksum mismatch) evicted and recomputed
+    cache_integrity_evictions: int = 0
     #: analysis-kernel counters (outer iterations, bodies analyzed,
     #: memo hits, sparse invalidations, cache hit rates of the interned
     #: taint / solver layers); populated by the driver after phase 3
@@ -86,6 +88,7 @@ class AnalysisStats:
             "frontend_cache_misses": self.frontend_cache_misses,
             "summary_cache_hits": self.summary_cache_hits,
             "summary_cache_misses": self.summary_cache_misses,
+            "cache_integrity_evictions": self.cache_integrity_evictions,
         }
 
     def to_json(self) -> Dict[str, object]:

@@ -52,6 +52,23 @@ class AnalysisError(SafeFlowError):
     """Raised when an analysis phase cannot complete."""
 
 
+class ResourceExhaustedError(SafeFlowError):
+    """Raised when an analysis exceeds a resource guard.
+
+    ``kind`` names the budget that ran out: ``"deadline"`` (the
+    in-analysis wall-clock deadline checked in the outer fixpoint and
+    the constraint solver), ``"cpu"`` (the ``RLIMIT_CPU`` soft cap via
+    ``SIGXCPU``), or ``"rss"`` (the memory cap — a ``MemoryError``
+    under ``RLIMIT_AS``). Worker entry points translate it into a
+    structured ``resource_exhausted`` result instead of letting a
+    runaway input take the worker (or the whole batch) down.
+    """
+
+    def __init__(self, message: str, kind: str = "deadline", location=None):
+        super().__init__(message, location)
+        self.kind = kind
+
+
 class SolverError(SafeFlowError):
     """Raised by the affine constraint solver on malformed systems."""
 

@@ -10,7 +10,11 @@ sequential cold path):
   transitive IR fingerprints, replayed with full validation
   (:mod:`repro.perf.summary_store`);
 - :func:`run_batch` — process-parallel fan-out over independent
-  programs (:mod:`repro.perf.batch`).
+  programs with crash supervision (:mod:`repro.perf.batch`,
+  :mod:`repro.resilience`);
+- :func:`seal` / :func:`unseal` — the checksum frame every on-disk
+  cache entry carries, so torn or rotted entries are evicted and
+  recomputed instead of trusted (:mod:`repro.perf.integrity`).
 """
 
 from .batch import (
@@ -28,6 +32,7 @@ from .fingerprint import (
     FlowFingerprints,
     text_digest,
 )
+from .integrity import IntegrityError, seal, unseal
 from .ircache import IRCache
 from .summary_store import BodyRecord, BodyRecorder, CellNamer, SummaryStore
 
@@ -40,6 +45,7 @@ __all__ = [
     "CellNamer",
     "FlowFingerprints",
     "IRCache",
+    "IntegrityError",
     "SCHEMA_VERSION",
     "SummaryStore",
     "config_fingerprint",
@@ -47,5 +53,7 @@ __all__ = [
     "function_fingerprint",
     "resolve_mp_context",
     "run_batch",
+    "seal",
     "text_digest",
+    "unseal",
 ]

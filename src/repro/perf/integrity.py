@@ -1,0 +1,50 @@
+"""Checksummed cache-entry framing (torn-write detection).
+
+The on-disk caches write atomically (``mkstemp`` + ``os.replace``),
+which protects against *concurrent* readers — but not against partial
+disks, bit rot, or a crash mid-``write`` on filesystems where replace
+lands but the temp data didn't all make it. A silently truncated
+pickle can raise nearly anything at load time, or — worse — unpickle
+to a plausible but wrong object graph.
+
+Every cache entry is therefore framed as::
+
+    MAGIC (6 bytes) + sha256(payload) (32 bytes) + payload
+
+:func:`unseal` verifies the magic and digest before a single byte of
+the payload reaches ``pickle``; any mismatch raises
+:class:`IntegrityError`, which the caches treat as *evict and
+recompute silently*, counting the event into
+``AnalysisStats.cache_integrity_evictions`` / server metrics.
+Pre-checksum legacy entries fail the magic check and are evicted the
+same way — one recompute, no schema migration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: frame magic; bump the digit on framing changes
+MAGIC = b"SFCK1\n"
+_DIGEST_LEN = 32
+HEADER_LEN = len(MAGIC) + _DIGEST_LEN
+
+
+class IntegrityError(Exception):
+    """A cache entry whose checksum footer does not match its bytes."""
+
+
+def seal(payload: bytes) -> bytes:
+    """Frame ``payload`` with the magic + content digest header."""
+    return MAGIC + hashlib.sha256(payload).digest() + payload
+
+
+def unseal(blob: bytes) -> bytes:
+    """Verify and strip the frame; :class:`IntegrityError` on damage."""
+    if len(blob) < HEADER_LEN or not blob.startswith(MAGIC):
+        raise IntegrityError("missing or foreign cache-entry header")
+    digest = blob[len(MAGIC):HEADER_LEN]
+    payload = blob[HEADER_LEN:]
+    if hashlib.sha256(payload).digest() != digest:
+        raise IntegrityError("cache-entry checksum mismatch (torn write?)")
+    return payload

@@ -22,7 +22,11 @@ lookup whose recorded dependencies no longer hash-match is a miss.
 Failures are never fatal: any OS, pickle, or recursion error turns
 into a cache miss (or a skipped store) and the caller re-parses. Writes
 go through a temp file + :func:`os.replace` so concurrent batch
-workers sharing one cache directory can never observe a torn entry.
+workers sharing one cache directory can never observe a torn entry,
+and every entry carries the checksum frame of
+:mod:`repro.perf.integrity`: a damaged entry (bit rot, partial disk
+write) is detected before it reaches ``pickle``, evicted, counted in
+``integrity_evictions``, and recomputed silently.
 """
 
 from __future__ import annotations
@@ -35,6 +39,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .fingerprint import SCHEMA_VERSION, combine, file_digest, text_digest
+from .integrity import IntegrityError, seal, unseal
 
 #: deep IR/AST object graphs need headroom beyond the default 1000
 _PICKLE_RECURSION_LIMIT = 100_000
@@ -65,6 +70,7 @@ class IRCache:
         self.directory = os.path.join(directory, "ir")
         self.hits = 0
         self.misses = 0
+        self.integrity_evictions = 0
 
     # ------------------------------------------------------------------
     # keys
@@ -114,19 +120,41 @@ class IRCache:
     # lookup / store
     # ------------------------------------------------------------------
 
+    def _evict(self, path: str) -> None:
+        """Remove a checksum-failed entry so it is rebuilt, not re-read."""
+        self.integrity_evictions += 1
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
     def fetch(self, key: Optional[str]):
         """The cached Program for ``key``, or ``None`` on any miss."""
         if key is None:
             self.misses += 1
             return None
+        path = self._path(key)
         try:
-            # fail-open on *anything*: a corrupt or truncated entry can
-            # raise nearly any exception out of pickle, and a malformed
-            # one can fail attribute access / unpacking below
-            with open(self._path(key), "rb") as f:
-                entry: CacheEntry = pickle.load(f)
-            stale = any(file_digest(path) != digest
-                        for path, digest in entry.deps)
+            with open(path, "rb") as f:
+                raw = f.read()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            payload = unseal(raw)
+        except IntegrityError:
+            # damaged (or pre-checksum legacy) entry: evict + recompute
+            self._evict(path)
+            self.misses += 1
+            return None
+        try:
+            # fail-open on *anything*: a checksum-valid but schema-
+            # skewed entry can raise nearly any exception out of
+            # pickle, and a malformed one can fail attribute access /
+            # unpacking below
+            entry: CacheEntry = pickle.loads(payload)
+            stale = any(file_digest(dep_path) != digest
+                        for dep_path, digest in entry.deps)
             blob = entry.program_blob
         except Exception:
             self.misses += 1
@@ -171,11 +199,15 @@ class IRCache:
             sys.setrecursionlimit(old_limit)
         entry = CacheEntry(deps=deps, program_blob=blob)
         try:
+            payload = pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return False
+        try:
             os.makedirs(self.directory, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as f:
-                    pickle.dump(entry, f, protocol=pickle.HIGHEST_PROTOCOL)
+                    f.write(seal(payload))
                 os.replace(tmp, self._path(key))
             except BaseException:
                 try:

@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from .fingerprint import SCHEMA_VERSION, combine
+from .integrity import IntegrityError, seal, unseal
 
 if TYPE_CHECKING:  # imported lazily at runtime: valueflow imports us
     from ..valueflow.taint import Taint
@@ -244,18 +245,44 @@ class SummaryStore:
         self.path = path
         self.hits = 0
         self.misses = 0
+        self.integrity_evictions = 0
         self._entries: Dict[str, BodyRecord] = {}
         self._staged: Dict[str, BodyRecord] = {}
         self._load()
 
-    def _load(self) -> None:
+    def _read_file(self) -> Optional[_StoreFile]:
+        """The on-disk store, or None when absent/damaged.
+
+        A checksum failure (torn write, bit rot, pre-checksum legacy
+        file) evicts the file and counts an ``integrity_eviction`` —
+        summaries are pure acceleration, so the recovery is simply an
+        empty store and a cold first run.
+        """
         try:
             with open(self.path, "rb") as f:
-                data: _StoreFile = pickle.load(f)
+                raw = f.read()
+        except OSError:
+            return None
+        try:
+            payload = unseal(raw)
+        except IntegrityError:
+            self.integrity_evictions += 1
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+            return None
+        try:
+            data: _StoreFile = pickle.loads(payload)
             if getattr(data, "schema", None) == SCHEMA_VERSION:
-                self._entries = dict(data.entries)
+                return data
         except Exception:  # fail-open: a corrupt store is an empty one
-            self._entries = {}
+            pass
+        return None
+
+    def _load(self) -> None:
+        data = self._read_file()
+        self._entries = dict(data.entries) if data is not None else {}
 
     # ------------------------------------------------------------------
 
@@ -285,22 +312,20 @@ class SummaryStore:
         """Merge staged records into the file (atomic replace)."""
         if not self._staged:
             return
-        current = _StoreFile()
-        try:
-            with open(self.path, "rb") as f:
-                on_disk: _StoreFile = pickle.load(f)
-            if getattr(on_disk, "schema", None) == SCHEMA_VERSION:
-                current = on_disk
-        except Exception:  # fail-open: merge over an empty store
-            pass
+        current = self._read_file() or _StoreFile()
         current.entries.update(self._staged)
+        try:
+            payload = pickle.dumps(current,
+                                   protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return
         try:
             directory = os.path.dirname(self.path) or "."
             os.makedirs(directory, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as f:
-                    pickle.dump(current, f, protocol=pickle.HIGHEST_PROTOCOL)
+                    f.write(seal(payload))
                 os.replace(tmp, self.path)
             except BaseException:
                 try:

@@ -1,0 +1,364 @@
+"""The ``safeflow chaos`` harness: fault schedules vs byte-identity.
+
+The repo-wide invariant is that every acceleration and resilience
+path — caches, parallel batch, supervised pools, crash recovery —
+renders reports *byte-identical* to a cold sequential run. This module
+turns that invariant into an executable check: generate a
+deterministic workload (:func:`repro.corpus.generate_core` variants),
+run it fault-free for a baseline, then re-run it under each named
+fault schedule (:mod:`repro.resilience.faults`) and assert that
+
+- every non-quarantined job completes with a render byte-identical to
+  the baseline;
+- the supervision layer actually engaged (worker restarts observed for
+  kill schedules, integrity evictions counted for corruption ones);
+- for the ``serve-kill`` schedule, the daemon answers a *follow-up*
+  request in the same process — one worker crash never costs the
+  service.
+
+Schedules needing a real process pool (anything that kills a worker)
+are skipped, not failed, on platforms where no pool can be created —
+there is no isolation boundary to test there.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..core.config import AnalysisConfig
+from . import faults
+from .faults import FaultPlan
+
+#: schedule names in execution order; ``--smoke`` runs the starred core
+SCHEDULES = ("kill", "quarantine", "slow", "corrupt-ir", "torn-summary",
+             "serve-kill")
+SMOKE_SCHEDULES = ("kill", "corrupt-ir", "serve-kill")
+
+#: the job a schedule's fault targets (second job: exercises recovery
+#: with completed work before and pending work after the crash)
+TARGET = "job-1"
+
+
+@dataclass
+class ScheduleReport:
+    """Outcome of one schedule run."""
+
+    name: str
+    passed: bool = True
+    skipped: bool = False
+    notes: List[str] = field(default_factory=list)
+
+    def fail(self, note: str) -> None:
+        self.passed = False
+        self.notes.append(f"FAIL: {note}")
+
+    def note(self, note: str) -> None:
+        self.notes.append(note)
+
+
+@dataclass
+class ChaosOutcome:
+    """All schedule reports plus the workload shape."""
+
+    jobs: int
+    workers: int
+    schedules: List[ScheduleReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(s.passed for s in self.schedules)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "jobs": self.jobs,
+            "workers": self.workers,
+            "ok": self.ok,
+            "schedules": [
+                {"name": s.name, "passed": s.passed,
+                 "skipped": s.skipped, "notes": list(s.notes)}
+                for s in self.schedules
+            ],
+        }
+
+    def render(self) -> str:
+        lines = []
+        for s in self.schedules:
+            status = ("SKIP" if s.skipped
+                      else "PASS" if s.passed else "FAIL")
+            lines.append(f"{s.name:<14} {status}")
+            for note in s.notes:
+                lines.append(f"    {note}")
+        verdict = "OK" if self.ok else "FAILED"
+        lines.append(f"chaos: {verdict} ({self.jobs} jobs, "
+                     f"{self.workers} workers)")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# workload
+# ----------------------------------------------------------------------
+
+def _write_workload(root: str, count: int) -> List:
+    """``count`` deterministic generated programs, one file per job."""
+    from ..corpus import generate_core
+    from ..perf.batch import BatchJob
+
+    jobs = []
+    for i in range(count):
+        program = generate_core(
+            data_error_regions=1 + i % 2,
+            control_fp_regions=i % 2,
+            benign_read_regions=1,
+            monitored_regions=1 + i % 2,
+            filler_functions=i % 3,
+            chain_depth=i % 2,
+        )
+        path = os.path.join(root, f"job-{i}.c")
+        with open(path, "w") as f:
+            f.write(program.source)
+        jobs.append(BatchJob(name=f"job-{i}", files=(path,)))
+    return jobs
+
+
+def _fingerprints(outcome) -> Dict[str, str]:
+    """job name → rendered report (the byte-identity unit)."""
+    prints = {}
+    for result in outcome.results:
+        if result.ok:
+            prints[result.name] = result.report.render(verbose=False)
+    return prints
+
+
+def _pool_available() -> bool:
+    from ..perf.batch import resolve_mp_context
+    from .supervisor import SupervisedExecutor
+
+    if resolve_mp_context() is None:
+        return False
+    probe = SupervisedExecutor(max_workers=1)
+    try:
+        return probe.available
+    finally:
+        probe.shutdown(wait=False)
+
+
+def _compare(report: ScheduleReport, baseline: Dict[str, str],
+             observed: Dict[str, str],
+             expect_missing: Optional[set] = None) -> None:
+    expect_missing = expect_missing or set()
+    for name, render in sorted(baseline.items()):
+        if name in expect_missing:
+            if name in observed:
+                report.fail(f"{name} completed but should have been "
+                            f"quarantined")
+            continue
+        if name not in observed:
+            report.fail(f"{name} did not complete")
+        elif observed[name] != render:
+            report.fail(f"{name} render differs from fault-free run")
+    if not any(n.startswith("FAIL") for n in report.notes):
+        survivors = len(baseline) - len(expect_missing)
+        report.note(f"{survivors} job(s) byte-identical to "
+                    f"fault-free baseline")
+
+
+# ----------------------------------------------------------------------
+# schedules
+# ----------------------------------------------------------------------
+
+def _run_batch(jobs, config, workers, plan=None, **kwargs):
+    from ..perf.batch import run_batch
+
+    with faults.activate(plan):
+        return run_batch(jobs, config, max_workers=workers, **kwargs)
+
+
+def _schedule_kill(report, jobs, baseline, config, workers, scratch):
+    plan = FaultPlan(kill_job=TARGET,
+                     latch_dir=os.path.join(scratch, "latch"))
+    outcome = _run_batch(jobs, config, workers, plan)
+    if outcome.worker_restarts < 1:
+        report.fail("worker was killed but no pool restart was recorded")
+    else:
+        report.note(f"pool restarted {outcome.worker_restarts} time(s)")
+    if outcome.quarantined:
+        report.fail(f"one-shot kill must not quarantine "
+                    f"(got {outcome.quarantined})")
+    _compare(report, baseline, _fingerprints(outcome))
+
+
+def _schedule_quarantine(report, jobs, baseline, config, workers, scratch):
+    plan = FaultPlan(kill_job=TARGET, kill_always=True)
+    outcome = _run_batch(jobs, config, workers, plan)
+    if outcome.quarantined != [TARGET]:
+        report.fail(f"expected quarantined == [{TARGET!r}], "
+                    f"got {outcome.quarantined}")
+    else:
+        report.note(f"{TARGET} quarantined after repeated crashes")
+    by_name = {r.name: r for r in outcome.results}
+    target = by_name.get(TARGET)
+    if target is None or target.code != "worker_crashed":
+        report.fail(f"{TARGET} should carry code worker_crashed")
+    _compare(report, baseline, _fingerprints(outcome),
+             expect_missing={TARGET})
+
+
+def _schedule_slow(report, jobs, baseline, config, workers, scratch):
+    plan = FaultPlan(slow_job=TARGET, slow_seconds=0.3)
+    outcome = _run_batch(jobs, config, workers, plan)
+    if outcome.quarantined:
+        report.fail("slow worker must not be quarantined")
+    _compare(report, baseline, _fingerprints(outcome))
+
+
+def _schedule_corrupt_ir(report, jobs, baseline, config, workers, scratch):
+    cache_dir = os.path.join(scratch, "cache-corrupt")
+    cached = dataclasses.replace(config, cache_dir=cache_dir)
+    _run_batch(jobs, cached, workers)  # cold pass populates the cache
+    flipped = faults.corrupt_ir_entry(cache_dir)
+    torn = faults.truncate_ir_entry(cache_dir)
+    if flipped is None and torn is None:
+        report.fail("no IR cache entries were written to corrupt")
+        return
+    report.note("corrupted one IR entry, truncated another")
+    outcome = _run_batch(jobs, cached, workers)
+    evictions = sum(r.report.stats.cache_integrity_evictions
+                    for r in outcome.results if r.ok)
+    if evictions < 1:
+        report.fail("damaged entries were not detected/evicted")
+    else:
+        report.note(f"{evictions} integrity eviction(s) counted")
+    _compare(report, baseline, _fingerprints(outcome))
+
+
+def _schedule_torn_summary(report, jobs, _unused_baseline, config, workers,
+                           scratch):
+    # summary mode changes what work is replayed, not the verdicts;
+    # the baseline is a summary-mode fault-free run of the same jobs
+    cache_dir = os.path.join(scratch, "cache-summary")
+    summary = dataclasses.replace(config, cache_dir=cache_dir,
+                                  summary_mode=True)
+    baseline = _fingerprints(_run_batch(jobs, summary, workers))
+    torn = faults.tear_summary_store(cache_dir)
+    if torn is None:
+        report.fail("no summary store was written to tear")
+        return
+    report.note("tore the summary store mid-file")
+    outcome = _run_batch(jobs, summary, workers)
+    evictions = sum(r.report.stats.cache_integrity_evictions
+                    for r in outcome.results if r.ok)
+    if evictions < 1:
+        report.fail("torn store was not detected/evicted")
+    else:
+        report.note(f"{evictions} integrity eviction(s) counted")
+    _compare(report, baseline, _fingerprints(outcome))
+
+
+def _schedule_serve_kill(report, jobs, baseline, config, workers, scratch):
+    from ..server.client import SafeFlowClient
+    from ..server.daemon import SafeFlowServer
+
+    plan = FaultPlan(kill_job=TARGET,
+                     latch_dir=os.path.join(scratch, "serve-latch"))
+    server = SafeFlowServer(config=config, port=0, workers=workers)
+    if server.pool.mode != "processes":
+        server.stop()
+        report.skipped = True
+        report.note("no process pool on this platform; nothing to kill")
+        return
+    pid_before = os.getpid()
+    try:
+        with faults.activate(plan):
+            server.start()
+            host, port = server.address
+            with SafeFlowClient(host=host, port=port) as client:
+                observed = {}
+                for job in jobs:
+                    result = client.analyze(
+                        files=list(job.files), name=job.name)
+                    observed[job.name] = result["render"]
+                # the daemon must answer follow-ups in the SAME process
+                if not client.ping():
+                    report.fail("daemon did not answer after the crash")
+                health = client.health()
+                if health["pid"] != pid_before:
+                    report.fail("daemon process changed identity")
+                if health.get("worker_restarts", 0) < 1:
+                    report.fail("no worker restart recorded in health")
+                else:
+                    report.note(
+                        f"daemon survived: {health['worker_restarts']} "
+                        f"restart(s), follow-up served by pid "
+                        f"{health['pid']}")
+                resilience = client.metrics().get("resilience", {})
+                if resilience.get("jobs_resubmitted", 0) < 1:
+                    report.fail("crashed request was not resubmitted")
+        _compare(report, baseline, observed)
+    finally:
+        server.stop()
+
+
+_RUNNERS: Dict[str, Callable] = {
+    "kill": _schedule_kill,
+    "quarantine": _schedule_quarantine,
+    "slow": _schedule_slow,
+    "corrupt-ir": _schedule_corrupt_ir,
+    "torn-summary": _schedule_torn_summary,
+    "serve-kill": _schedule_serve_kill,
+}
+
+#: schedules meaningless without a real worker process to kill
+_NEEDS_POOL = {"kill", "quarantine", "serve-kill"}
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+
+def run_chaos(schedules=None, jobs: int = 6, workers: int = 2,
+              smoke: bool = False) -> ChaosOutcome:
+    """Run the named ``schedules`` (default: all) over a generated
+    workload and return the per-schedule verdicts."""
+    if schedules is None:
+        schedules = SMOKE_SCHEDULES if smoke else SCHEDULES
+    unknown = [s for s in schedules if s not in _RUNNERS]
+    if unknown:
+        raise ValueError(f"unknown chaos schedule(s): {unknown} "
+                         f"(known: {', '.join(SCHEDULES)})")
+    if smoke:
+        jobs = min(jobs, 3)
+    jobs = max(2, jobs)
+    workers = max(2, workers)
+
+    scratch = tempfile.mkdtemp(prefix="safeflow-chaos-")
+    outcome = ChaosOutcome(jobs=jobs, workers=workers)
+    try:
+        src_dir = os.path.join(scratch, "src")
+        os.makedirs(src_dir, exist_ok=True)
+        batch_jobs = _write_workload(src_dir, jobs)
+        config = AnalysisConfig(cache_dir=None)
+        baseline = _fingerprints(
+            _run_batch(batch_jobs, config, workers))
+        pool_ok = _pool_available()
+        for name in schedules:
+            report = ScheduleReport(name=name)
+            if name in _NEEDS_POOL and not pool_ok:
+                report.skipped = True
+                report.note("no process pool on this platform")
+                outcome.schedules.append(report)
+                continue
+            try:
+                _RUNNERS[name](report, batch_jobs, baseline, config,
+                               workers, scratch)
+            except Exception as exc:
+                report.fail(f"schedule raised "
+                            f"{type(exc).__name__}: {exc}")
+            outcome.schedules.append(report)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    return outcome

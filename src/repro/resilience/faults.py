@@ -1,0 +1,214 @@
+"""Deterministic fault injection for the resilience layer.
+
+A :class:`FaultPlan` describes *what goes wrong and when* — kill the
+worker while it runs job k, stall it, raise an artificial allocation
+failure — plus the on-disk corruptions the chaos harness applies
+between passes (flip bytes in an IR-cache entry, tear a summary-store
+write). Plans travel through the ``SAFEFLOW_FAULTS`` environment
+variable as JSON so that fork- and spawn-started worker processes
+inherit them without any plumbing through the analysis API: production
+code paths call :func:`on_job_start` unconditionally, and with no plan
+in the environment that is a single dict lookup.
+
+Determinism rules:
+
+- every fault targets a *job name*, never a timer or a random draw;
+- one-shot faults (the default for ``kill``) are latched through an
+  ``O_CREAT | O_EXCL`` token file in ``latch_dir``, which is atomic
+  across the worker processes of a pool — exactly one worker fires,
+  and the supervised re-run of the same job proceeds cleanly;
+- ``kill_always`` disables the latch to model a *poisoned* input that
+  kills every worker it touches (the quarantine schedule).
+
+Process-killing faults only ever fire inside a real worker process
+(:func:`in_worker`), so an in-process fallback pool or a sequential
+batch never shoots down the daemon/CLI itself — the fault is simply
+skipped there, mirroring the fact that there is no isolation boundary
+to test.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+#: environment variable carrying the active plan as JSON
+ENV_VAR = "SAFEFLOW_FAULTS"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One deterministic fault schedule."""
+
+    #: SIGKILL the worker process at the start of this job
+    kill_job: Optional[str] = None
+    #: fire the kill on *every* run of the job (poisoned input);
+    #: default is once, latched through ``latch_dir``
+    kill_always: bool = False
+    #: sleep at the start of this job (slow-worker injection)
+    slow_job: Optional[str] = None
+    slow_seconds: float = 0.0
+    #: raise ``MemoryError`` at the start of this job — the
+    #: deterministic stand-in for an RLIMIT_AS allocation failure
+    boom_job: Optional[str] = None
+    #: directory for one-shot latch tokens (required by one-shot kills)
+    latch_dir: Optional[str] = None
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @staticmethod
+    def from_json(text: str) -> "FaultPlan":
+        return FaultPlan(**json.loads(text))
+
+
+# parse cache: the env string is read on every job start; plans are
+# tiny but workers run many jobs, so cache by exact string
+_parsed: dict = {}
+
+
+def plan_from_env() -> Optional[FaultPlan]:
+    text = os.environ.get(ENV_VAR)
+    if not text:
+        return None
+    plan = _parsed.get(text)
+    if plan is None:
+        try:
+            plan = FaultPlan.from_json(text)
+        except (ValueError, TypeError):
+            return None  # malformed plan: fail-open, inject nothing
+        if len(_parsed) > 8:
+            _parsed.clear()
+        _parsed[text] = plan
+    return plan
+
+
+class activate:
+    """Context manager installing ``plan`` into the environment.
+
+    Workers started (or forked) inside the scope inherit the plan;
+    the previous value is restored on exit.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan]):
+        self.plan = plan
+        self._previous: Optional[str] = None
+
+    def __enter__(self) -> "activate":
+        self._previous = os.environ.get(ENV_VAR)
+        if self.plan is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = self.plan.to_json()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        if self._previous is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = self._previous
+
+
+def in_worker() -> bool:
+    """True inside a multiprocessing worker (fork or spawn)."""
+    return multiprocessing.parent_process() is not None
+
+
+def _claim(latch_dir: Optional[str], token: str) -> bool:
+    """Atomically claim a one-shot token; True for exactly one caller."""
+    if latch_dir is None:
+        return False
+    try:
+        os.makedirs(latch_dir, exist_ok=True)
+        fd = os.open(os.path.join(latch_dir, token),
+                     os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    except OSError:
+        return False
+    os.write(fd, str(os.getpid()).encode())
+    os.close(fd)
+    return True
+
+
+def on_job_start(job_name: str) -> None:
+    """Fire any faults scheduled for ``job_name``.
+
+    Called by the worker entry points (:mod:`repro.perf.batch`,
+    :mod:`repro.server.pool`) before the analysis begins. No-op
+    without an active plan.
+    """
+    plan = plan_from_env()
+    if plan is None:
+        return
+    if plan.slow_job == job_name and plan.slow_seconds > 0:
+        time.sleep(plan.slow_seconds)
+    if plan.boom_job == job_name:
+        if plan.kill_always or _claim(plan.latch_dir, f"boom-{job_name}"):
+            raise MemoryError(
+                f"injected allocation failure in job {job_name!r}"
+            )
+    if plan.kill_job == job_name and in_worker():
+        if plan.kill_always or _claim(plan.latch_dir, f"kill-{job_name}"):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+# ----------------------------------------------------------------------
+# on-disk corruption helpers (driver-level faults of the chaos harness)
+# ----------------------------------------------------------------------
+
+def corrupt_ir_entry(cache_dir: str) -> Optional[str]:
+    """Flip bytes in the middle of one IR-cache entry; path or None."""
+    directory = os.path.join(cache_dir, "ir")
+    try:
+        names = sorted(n for n in os.listdir(directory)
+                       if n.endswith(".pkl"))
+    except OSError:
+        return None
+    if not names:
+        return None
+    path = os.path.join(directory, names[0])
+    with open(path, "r+b") as f:
+        data = f.read()
+        middle = len(data) // 2
+        f.seek(middle)
+        f.write(bytes(b ^ 0xFF for b in data[middle:middle + 16]))
+    return path
+
+
+def truncate_ir_entry(cache_dir: str) -> Optional[str]:
+    """Truncate one IR-cache entry to half (partial-disk write)."""
+    directory = os.path.join(cache_dir, "ir")
+    try:
+        names = sorted(n for n in os.listdir(directory)
+                       if n.endswith(".pkl"))
+    except OSError:
+        return None
+    if not names:
+        return None
+    path = os.path.join(directory, names[0])
+    size = os.path.getsize(path)
+    with open(path, "r+b") as f:
+        f.truncate(max(1, size // 2))
+    return path
+
+
+def tear_summary_store(cache_dir: str) -> Optional[str]:
+    """Tear the summary store mid-write (truncate to half); path/None."""
+    try:
+        names = sorted(n for n in os.listdir(cache_dir)
+                       if n.startswith("summaries-") and n.endswith(".pkl"))
+    except OSError:
+        return None
+    if not names:
+        return None
+    path = os.path.join(cache_dir, names[0])
+    size = os.path.getsize(path)
+    with open(path, "r+b") as f:
+        f.truncate(max(1, size // 2))
+    return path

@@ -1,0 +1,173 @@
+"""Per-worker resource guards: rlimits + an in-analysis deadline.
+
+A runaway translation unit must produce a structured
+``resource_exhausted`` diagnostic, never an OOM kill that takes the
+worker (and, unsupervised, the batch or daemon) with it. Three guards
+cooperate:
+
+- **CPU time** — ``resource.setrlimit(RLIMIT_CPU)``. The soft limit
+  delivers ``SIGXCPU``, which :func:`apply_rlimits` turns into a
+  :class:`~repro.errors.ResourceExhaustedError` (kind ``cpu``) raised
+  at the next bytecode boundary; the hard limit (soft + grace) is the
+  kernel's backstop ``SIGKILL``, which the supervision layer then
+  handles as a worker crash.
+- **Memory** — ``RLIMIT_AS`` (``RLIMIT_RSS`` is a no-op on modern
+  Linux; the address-space cap is the nearest enforceable stand-in).
+  Exceeding it surfaces as ``MemoryError``, which worker entry points
+  map to ``resource_exhausted`` (kind ``rss``).
+- **Deadline** — a *cooperative* wall-clock budget checked by
+  :func:`check_deadline` inside the two unbounded loops of the
+  analysis: the value-flow outer fixpoint
+  (:meth:`repro.valueflow.engine.ValueFlowAnalysis.run`) and the
+  Fourier–Motzkin elimination
+  (:func:`repro.restrictions.solver.is_feasible`). The deadline is
+  thread-local so the daemon's in-process fallback mode, where runner
+  *threads* execute analyses side by side, cannot cross-contaminate
+  budgets.
+
+rlimits are process-wide and effectively irreversible (a lowered hard
+limit cannot be raised back), so :func:`apply_rlimits` must only ever
+run inside a sacrificial worker process — callers gate it on
+:func:`repro.resilience.faults.in_worker`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ResourceExhaustedError
+
+try:  # POSIX only; guards degrade to deadline-only elsewhere
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _resource = None
+
+try:
+    import signal as _signal
+except ImportError:  # pragma: no cover
+    _signal = None
+
+#: seconds between the SIGXCPU soft limit and the SIGKILL hard limit
+CPU_GRACE_SECONDS = 5
+
+
+@dataclass(frozen=True)
+class ResourceGuards:
+    """Per-job resource budget; ``None`` fields are unbounded.
+
+    Picklable and tuple-convertible so the server pool can ship it to
+    worker processes inside a plain job spec.
+    """
+
+    cpu_seconds: Optional[int] = None
+    rss_bytes: Optional[int] = None
+    deadline_seconds: Optional[float] = None
+
+    def has_rlimits(self) -> bool:
+        return self.cpu_seconds is not None or self.rss_bytes is not None
+
+    def with_deadline(self, seconds: Optional[float]) -> "ResourceGuards":
+        """A copy whose deadline is the tighter of ours and ``seconds``."""
+        if seconds is None:
+            return self
+        if self.deadline_seconds is not None:
+            seconds = min(seconds, self.deadline_seconds)
+        return dataclasses.replace(self, deadline_seconds=seconds)
+
+    def to_tuple(self):
+        return (self.cpu_seconds, self.rss_bytes, self.deadline_seconds)
+
+    @staticmethod
+    def from_tuple(data) -> "ResourceGuards":
+        return ResourceGuards(*data)
+
+
+def _on_sigxcpu(_signum, _frame):  # pragma: no cover - exercised in workers
+    raise ResourceExhaustedError(
+        "analysis exceeded its CPU-time budget", kind="cpu"
+    )
+
+
+def apply_rlimits(guards: ResourceGuards) -> bool:
+    """Cap this process's CPU time / address space per ``guards``.
+
+    Returns True when at least one limit was applied. Fail-open on
+    platforms without ``resource`` or where lowering is forbidden —
+    the cooperative deadline still applies.
+    """
+    if _resource is None or not guards.has_rlimits():
+        return False
+    applied = False
+    if guards.cpu_seconds is not None:
+        try:
+            soft = int(guards.cpu_seconds)
+            _, hard = _resource.getrlimit(_resource.RLIMIT_CPU)
+            new_hard = soft + CPU_GRACE_SECONDS
+            if hard != _resource.RLIM_INFINITY:
+                new_hard = min(new_hard, hard)
+            _resource.setrlimit(_resource.RLIMIT_CPU, (soft, new_hard))
+            if _signal is not None and hasattr(_signal, "SIGXCPU"):
+                _signal.signal(_signal.SIGXCPU, _on_sigxcpu)
+            applied = True
+        except (ValueError, OSError):  # pragma: no cover - odd hosts
+            pass
+    if guards.rss_bytes is not None and hasattr(_resource, "RLIMIT_AS"):
+        try:
+            soft = int(guards.rss_bytes)
+            _, hard = _resource.getrlimit(_resource.RLIMIT_AS)
+            if hard != _resource.RLIM_INFINITY:
+                soft = min(soft, hard)
+            _resource.setrlimit(_resource.RLIMIT_AS, (soft, hard))
+            applied = True
+        except (ValueError, OSError):  # pragma: no cover - odd hosts
+            pass
+    return applied
+
+
+# ----------------------------------------------------------------------
+# the cooperative in-analysis deadline
+# ----------------------------------------------------------------------
+
+_state = threading.local()
+
+
+def set_deadline(seconds: Optional[float]) -> None:
+    """Arm (or with ``None`` disarm) this thread's analysis deadline."""
+    if seconds is None:
+        _state.deadline = None
+    else:
+        _state.deadline = time.monotonic() + seconds
+
+
+def clear_deadline() -> None:
+    _state.deadline = None
+
+
+def check_deadline() -> None:
+    """Raise :class:`ResourceExhaustedError` when the deadline passed.
+
+    Called from the analysis's unbounded loops; a single attribute
+    read when no deadline is armed, so the fast path costs nothing
+    measurable.
+    """
+    deadline = getattr(_state, "deadline", None)
+    if deadline is not None and time.monotonic() > deadline:
+        raise ResourceExhaustedError(
+            "analysis exceeded its wall-clock deadline", kind="deadline"
+        )
+
+
+@contextmanager
+def deadline_scope(seconds: Optional[float]):
+    """Arm the deadline for the duration of one job, then restore."""
+    previous = getattr(_state, "deadline", None)
+    set_deadline(seconds)
+    try:
+        yield
+    finally:
+        _state.deadline = previous

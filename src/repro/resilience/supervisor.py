@@ -1,0 +1,136 @@
+"""Supervision of analysis worker processes.
+
+``ProcessPoolExecutor`` has a brutal failure mode: one worker dying
+(OOM kill, hard rlimit, a C-extension segfault) marks the whole pool
+broken, fails *every* outstanding future with ``BrokenProcessPool``,
+and leaves the executor permanently unusable. Unsupervised, one
+poisoned translation unit costs the entire batch — or the daemon's
+executor, and with it every later request.
+
+Two small pieces turn that into "one crash costs one result":
+
+- :class:`SupervisedExecutor` owns the executor and *rebuilds* it when
+  a crash is reported, under a generation counter so the many runner
+  threads (or batch wait-loop iterations) that observe the same break
+  trigger exactly one rebuild. Jobs that already completed keep their
+  results; unaffected jobs are simply resubmitted to the new pool.
+- :class:`CrashLedger` tracks crash *attribution*. Worker death cannot
+  name its culprit (the process is gone), so every job in flight at
+  break time is recorded as a suspect; a job whose crash count reaches
+  ``max_crashes`` (default 2) is **quarantined** — resolved with a
+  structured ``worker_crashed`` result instead of being retried
+  forever. The batch driver re-runs first-time suspects one at a time
+  (isolation), so a second crash is unambiguous and innocent siblings
+  pay at most one re-run.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+from typing import Dict, List, Optional, Tuple
+
+
+class CrashLedger:
+    """Thread-safe crash counts per job key, with a quarantine line."""
+
+    def __init__(self, max_crashes: int = 2):
+        self.max_crashes = max(1, int(max_crashes))
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {}
+
+    def record(self, key: str) -> int:
+        """Count one crash against ``key``; returns the new total."""
+        with self._lock:
+            self._counts[key] = self._counts.get(key, 0) + 1
+            return self._counts[key]
+
+    def count(self, key: str) -> int:
+        with self._lock:
+            return self._counts.get(key, 0)
+
+    def is_quarantined(self, key: str) -> bool:
+        return self.count(key) >= self.max_crashes
+
+    def quarantined(self) -> List[str]:
+        with self._lock:
+            return sorted(k for k, n in self._counts.items()
+                          if n >= self.max_crashes)
+
+
+class SupervisedExecutor:
+    """A process executor that survives ``BrokenProcessPool``.
+
+    ``submit`` returns ``(generation, future)``; a caller that sees the
+    future die with ``BrokenProcessPool`` reports it through
+    :meth:`notify_broken` with that generation. The first reporter of a
+    generation rebuilds the executor (and is told so, for restart
+    accounting); late reporters of the same break find the generation
+    already advanced and do nothing. ``available`` goes False only when
+    a rebuild itself fails — the platform stopped allowing process
+    creation — at which point callers fall back exactly as they do when
+    no pool could be created in the first place.
+    """
+
+    def __init__(self, max_workers: int):
+        self.max_workers = max(1, int(max_workers))
+        self._lock = threading.Lock()
+        self._generation = 0
+        self.restarts = 0
+        self._shut_down = False
+        self._executor = self._build()
+
+    def _build(self):
+        from ..perf.batch import resolve_mp_context  # lazy: avoid cycle
+
+        context = resolve_mp_context()
+        if context is None:
+            return None
+        try:
+            return concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.max_workers, mp_context=context,
+            )
+        except (OSError, PermissionError, ValueError):
+            return None
+
+    @property
+    def available(self) -> bool:
+        with self._lock:
+            return self._executor is not None and not self._shut_down
+
+    def submit(self, fn, *args) -> Tuple[int, concurrent.futures.Future]:
+        """Submit work; ``RuntimeError`` when no executor is usable."""
+        with self._lock:
+            if self._executor is None or self._shut_down:
+                raise RuntimeError("no worker pool available")
+            return self._generation, self._executor.submit(fn, *args)
+
+    def notify_broken(self, generation: int) -> bool:
+        """Report a break observed on ``generation``.
+
+        Returns True when *this* call performed the rebuild (exactly
+        one caller per break), False when the pool had already been
+        rebuilt — or shut down — by the time the report arrived.
+        """
+        with self._lock:
+            if self._shut_down or generation != self._generation:
+                return False
+            old = self._executor
+            self._generation += 1
+            self._executor = self._build()
+            self.restarts += 1
+        if old is not None:
+            # the broken executor cannot run anything; don't wait on it
+            old.shutdown(wait=False)
+        return True
+
+    def shutdown(self, wait: bool = True,
+                 cancel_futures: bool = False) -> None:
+        with self._lock:
+            if self._shut_down:
+                return
+            self._shut_down = True
+            executor = self._executor
+            self._executor = None
+        if executor is not None:
+            executor.shutdown(wait=wait, cancel_futures=cancel_futures)

@@ -31,6 +31,7 @@ from fractions import Fraction
 from typing import Dict, Hashable, List, Optional, Tuple
 
 from ..errors import SolverError
+from ..resilience.guards import check_deadline
 
 Var = Hashable
 
@@ -79,6 +80,7 @@ def is_feasible(constraints: List[Constraint], max_vars: int = 16,
         )
 
     for var in variables:
+        check_deadline()  # elimination can blow up; honor the budget
         lower: List[Constraint] = []   # coeff > 0 → gives lower bound terms
         upper: List[Constraint] = []   # coeff < 0 → gives upper bound terms
         rest: List[Constraint] = []

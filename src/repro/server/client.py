@@ -3,12 +3,25 @@
 :class:`SafeFlowClient` speaks the newline-delimited JSON-RPC of
 :mod:`repro.server.protocol` over TCP or a Unix socket, with separate
 connect and request timeouts and bounded retry-with-backoff on
-*transient connection* errors — refused/reset connects and send
-failures on a half-dead persistent connection. A failure while
-*waiting for a response* is never retried: the server may already be
-analyzing, and blind re-submission would double the work (the framing
-makes re-sending a partially written request safe — a line without
-its newline is not a message — so send-side retries are).
+*transient* failures. Two classes of failure are retried:
+
+- transient connection errors — refused/reset connects and send
+  failures on a half-dead persistent connection;
+- *retryable* server responses (:data:`repro.server.protocol
+  .RETRYABLE_CODES`: ``queue_full``, ``worker_crashed``) — the server
+  answered, so the request provably produced no kept result, and the
+  degraded state is typically transient (the queue drains, the pool
+  has already been rebuilt).
+
+A failure while *waiting for a response* is never retried: the server
+may already be analyzing, and blind re-submission would double the
+work (the framing makes re-sending a partially written request safe —
+a line without its newline is not a message — so send-side retries
+are). Non-retryable error responses (``analysis_failed``,
+``deadline_exceeded``, ``resource_exhausted``, ``cancelled``) raise
+immediately: the same input would fail the same way again. Backoff is
+exponential with jitter so a fleet of clients bounced by one crash
+does not reconverge in lockstep.
 
 Usage::
 
@@ -26,6 +39,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import random
 import socket
 import time
 from typing import Any, Dict, List, Optional, Union
@@ -43,6 +57,12 @@ class ServerError(SafeFlowError):
         self.code = code
         self.name = protocol.error_name(code)
         self.data = data or {}
+
+    @property
+    def retryable(self) -> bool:
+        """True when resubmitting the same request is safe and likely
+        to succeed (see :data:`repro.server.protocol.RETRYABLE_CODES`)."""
+        return self.code in protocol.RETRYABLE_CODES
 
     def __str__(self) -> str:
         return f"[{self.name}] {self.message}"
@@ -76,6 +96,12 @@ class SafeFlowClient:
         self._sock: Optional[socket.socket] = None
         self._rfile = None
         self._ids = itertools.count(1)
+        self._rng = random.Random()
+
+    def _backoff_sleep(self, attempt: int) -> None:
+        """Exponential backoff with jitter in [0.5x, 1.5x)."""
+        time.sleep(self.backoff * (2 ** attempt)
+                   * (0.5 + self._rng.random()))
 
     # ------------------------------------------------------------------
     # connection management
@@ -106,7 +132,7 @@ class SafeFlowClient:
                 last = exc
                 self.close()
                 if attempt < self.retries:
-                    time.sleep(self.backoff * (2 ** attempt))
+                    self._backoff_sleep(attempt)
         raise ConnectionFailed(
             f"could not connect to the analysis service after "
             f"{self.retries + 1} attempts: {last}"
@@ -142,8 +168,11 @@ class SafeFlowClient:
         """One round-trip; returns the ``result`` payload.
 
         Send failures (stale persistent connection, server restarted)
-        are retried on a fresh connection up to ``retries`` times;
-        anything after the request has been fully sent is not.
+        are retried on a fresh connection up to ``retries`` times, as
+        are *retryable* error responses (``queue_full``,
+        ``worker_crashed`` — the server answered, so nothing is in
+        flight); any other failure after the request has been fully
+        sent is not.
         """
         req_id = next(self._ids)
         line = protocol.encode(
@@ -157,9 +186,17 @@ class SafeFlowClient:
                 last = exc
                 self.close()
                 if attempt < self.retries:
-                    time.sleep(self.backoff * (2 ** attempt))
+                    self._backoff_sleep(attempt)
                 continue
-            return self._read_response(req_id, timeout)
+            try:
+                return self._read_response(req_id, timeout)
+            except ServerError as exc:
+                if not exc.retryable or attempt >= self.retries:
+                    raise
+                last = exc
+                self._backoff_sleep(attempt)
+        if isinstance(last, ServerError):
+            raise last
         raise ConnectionFailed(
             f"could not send {method!r} after {self.retries + 1} "
             f"attempts: {last}"

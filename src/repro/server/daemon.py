@@ -67,6 +67,8 @@ _CONFIG_OVERRIDES = {
 _OUTCOME_BY_CODE = {
     protocol.CANCELLED: "cancelled",
     protocol.DEADLINE_EXCEEDED: "deadline_exceeded",
+    protocol.WORKER_CRASHED: "worker_crashed",
+    protocol.RESOURCE_EXHAUSTED: "resource_exhausted",
 }
 
 
@@ -123,14 +125,18 @@ class SafeFlowServer:
                  workers: Optional[int] = None,
                  queue_size: int = 64,
                  default_deadline: Optional[float] = None,
-                 use_processes: bool = True):
+                 use_processes: bool = True,
+                 guards=None,
+                 max_crashes: int = 2):
         self.config = config or AnalysisConfig()
         self.default_deadline = default_deadline
         self.unix_path = unix_path
         self.metrics = ServerMetrics()
         self.queue = RequestQueue(queue_size)
         self.pool = WorkerPool(self.queue, self.config, workers=workers,
-                               use_processes=use_processes)
+                               use_processes=use_processes,
+                               guards=guards, max_crashes=max_crashes,
+                               events=self.metrics.count_resilience)
         self.metrics.register_gauge("queue_depth", self.queue.depth)
         self.metrics.register_gauge("in_flight", self.pool.running_count)
 
@@ -331,6 +337,7 @@ class SafeFlowServer:
             "queue_depth": self.queue.depth(),
             "queue_capacity": self.queue.capacity,
             "in_flight": self.pool.running_count(),
+            "worker_restarts": self.pool.worker_restarts,
             "cache_dir": self.config.cache_dir,
         })
 
@@ -428,8 +435,10 @@ class SafeFlowServer:
             return protocol.ok_response(request.id, result)
         code, message = job.error
         self.metrics.count_analysis(_OUTCOME_BY_CODE.get(code, "failed"))
-        return protocol.error_response(request.id, code, message,
-                                       data={"job_id": job.id})
+        data = {"job_id": job.id}
+        if job.error_data:
+            data.update(job.error_data)
+        return protocol.error_response(request.id, code, message, data=data)
 
     def _parse_analyze(self, params: Dict[str, Any]):
         source = params.get("source")

@@ -5,7 +5,10 @@ single lock:
 
 - request/response counters per method and per error name;
 - analysis outcomes (completed / failed / cancelled / deadline
-  exceeded / queue rejections);
+  exceeded / queue rejections / worker crashes / resource
+  exhaustion);
+- resilience events from the supervised worker pool (pool restarts,
+  resubmitted jobs, quarantined jobs);
 - cache effectiveness, folded from the ``AnalysisStats`` cache
   counters of every completed analysis — this is how a warm request
   becomes visible from the outside (``frontend_hits`` > 0);
@@ -95,12 +98,20 @@ class ServerMetrics:
             "cancelled": 0,
             "deadline_exceeded": 0,
             "queue_rejections": 0,
+            "worker_crashed": 0,
+            "resource_exhausted": 0,
         }
         self._cache = {
             "frontend_hits": 0,
             "frontend_misses": 0,
             "summary_hits": 0,
             "summary_misses": 0,
+            "integrity_evictions": 0,
+        }
+        self._resilience = {
+            "worker_restarts": 0,
+            "jobs_resubmitted": 0,
+            "jobs_quarantined": 0,
         }
         self._request_latency = LatencyHistogram()
         self._phase_latency: Dict[str, LatencyHistogram] = {}
@@ -132,6 +143,12 @@ class ServerMetrics:
         with self._lock:
             self._analyses[outcome] = self._analyses.get(outcome, 0) + 1
 
+    def count_resilience(self, event: str) -> None:
+        """``event`` is one of the ``_resilience`` keys (pool events:
+        ``worker_restarts`` / ``jobs_resubmitted`` / ``jobs_quarantined``)."""
+        with self._lock:
+            self._resilience[event] = self._resilience.get(event, 0) + 1
+
     def observe_analysis(self, stats: Dict[str, object]) -> None:
         """Fold one completed analysis's stats block
         (:meth:`repro.core.results.AnalysisStats.to_json`) in."""
@@ -151,6 +168,8 @@ class ServerMetrics:
                 stats.get("summary_cache_hits", 0) or 0)
             self._cache["summary_misses"] += int(
                 stats.get("summary_cache_misses", 0) or 0)
+            self._cache["integrity_evictions"] += int(
+                stats.get("cache_integrity_evictions", 0) or 0)
 
     # ------------------------------------------------------------------
     # reading
@@ -176,6 +195,7 @@ class ServerMetrics:
                 "analyses": dict(self._analyses),
                 "gauges": gauges,
                 "cache": dict(self._cache),
+                "resilience": dict(self._resilience),
                 "latency": {
                     "request": self._request_latency.snapshot(),
                     "phases": {

@@ -2,7 +2,7 @@
 
 Reuses the batch machinery's platform resolution
 (:func:`repro.perf.batch.resolve_mp_context`): analyses run in a
-long-lived ``ProcessPoolExecutor`` (fork where available, spawn
+long-lived supervised process executor (fork where available, spawn
 otherwise), falling back to in-process execution when no process pool
 can be created at all. Worker processes are the isolation boundary —
 a crashing analysis (or a pycparser recursion blow-up) kills a worker,
@@ -11,6 +11,18 @@ not the daemon — and they share the on-disk ``IRCache`` /
 daemon *warm*: the second request for an unchanged translation unit
 skips the front end entirely, and in summary mode an edit to one
 function re-analyzes only that function and its transitive callers.
+
+Crash isolation (:mod:`repro.resilience`): a worker death breaks the
+underlying ``ProcessPoolExecutor`` and fails every outstanding future;
+the :class:`~repro.resilience.supervisor.SupervisedExecutor` rebuilds
+it (exactly once per break, however many runner threads observe it)
+and each runner transparently *resubmits* its own request, so
+unaffected requests survive a neighbour's crash. A request whose spec
+has crashed ``max_crashes`` workers is quarantined with a structured
+``worker_crashed`` error instead of being retried forever — the
+daemon keeps serving. Per-worker :class:`ResourceGuards` travel inside
+the job spec and are applied by the worker entry point, so a runaway
+request degrades into ``resource_exhausted`` rather than an OOM kill.
 
 ``workers`` runner *threads* pull :class:`PendingJob` items off the
 :class:`RequestQueue` and drive each through the executor, polling in
@@ -32,17 +44,21 @@ from __future__ import annotations
 import concurrent.futures
 from concurrent.futures.process import BrokenProcessPool
 import dataclasses
+import hashlib
+import json
 import os
 import threading
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
-from ..perf.batch import resolve_mp_context
+from ..resilience import CrashLedger, ResourceGuards, SupervisedExecutor, worker_harness
 from .protocol import (
     ANALYSIS_FAILED,
     CANCELLED,
     DEADLINE_EXCEEDED,
     INTERNAL_ERROR,
+    RESOURCE_EXHAUSTED,
+    WORKER_CRASHED,
 )
 from .queue import RequestQueue
 
@@ -53,21 +69,38 @@ def _execute_spec(spec: Dict[str, Any], config) -> Dict[str, Any]:
     Returns a plain JSON-ready payload: the rendered report (the same
     bytes ``safeflow analyze`` would print) plus the ``--json`` form,
     or a one-line structured error. Never raises — exceptions inside a
-    worker become ``{"ok": False, ...}`` payloads.
+    worker become ``{"ok": False, ...}`` payloads. ``spec["_guards"]``
+    (a :meth:`ResourceGuards.to_tuple` value placed there by the pool)
+    arms the per-worker resource guards.
     """
     from ..core.driver import SafeFlow
-    from ..errors import SafeFlowError
+    from ..errors import ResourceExhaustedError, SafeFlowError
 
+    guards = None
+    guards_tuple = spec.get("_guards")
+    if guards_tuple is not None:
+        guards = ResourceGuards.from_tuple(guards_tuple)
     try:
-        overrides = spec.get("config_overrides") or {}
-        if overrides:
-            config = dataclasses.replace(config, **overrides)
-        report = SafeFlow(config).analyze_request(
-            source=spec.get("source"),
-            filename=spec.get("filename", "<source>"),
-            files=spec.get("files"),
-            name=spec.get("name", "program"),
-        )
+        with worker_harness(spec.get("name", "program"), guards):
+            overrides = spec.get("config_overrides") or {}
+            if overrides:
+                config = dataclasses.replace(config, **overrides)
+            report = SafeFlow(config).analyze_request(
+                source=spec.get("source"),
+                filename=spec.get("filename", "<source>"),
+                files=spec.get("files"),
+                name=spec.get("name", "program"),
+            )
+    except ResourceExhaustedError as exc:
+        if exc.kind == "deadline":
+            return {"ok": False, "code": "deadline_exceeded",
+                    "error": "analysis exceeded its deadline"}
+        return {"ok": False, "code": "resource_exhausted",
+                "error": f"resource exhausted ({exc.kind}): {exc}"}
+    except MemoryError:
+        return {"ok": False, "code": "resource_exhausted",
+                "error": "resource exhausted (rss): analysis ran "
+                         "out of memory"}
     except SafeFlowError as exc:
         return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
     except Exception as exc:
@@ -84,39 +117,62 @@ def _execute_spec(spec: Dict[str, Any], config) -> Dict[str, Any]:
     }
 
 
+def _spec_key(spec: Dict[str, Any]) -> str:
+    """Stable crash-attribution key: same input ⇒ same suspect."""
+    try:
+        text = json.dumps(spec, sort_keys=True, default=repr)
+    except (TypeError, ValueError):
+        text = repr(sorted(spec.items(), key=lambda kv: kv[0]))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
 class WorkerPool:
-    """Runner threads + (optional) process executor driving the queue."""
+    """Runner threads + (optional) supervised process executor."""
 
     def __init__(self, queue: RequestQueue, config,
                  workers: Optional[int] = None,
                  use_processes: bool = True,
-                 poll_interval: float = 0.05):
+                 poll_interval: float = 0.05,
+                 guards: Optional[ResourceGuards] = None,
+                 max_crashes: int = 2,
+                 events: Optional[Callable[[str], None]] = None):
         self.queue = queue
         self.config = config
         self.workers = max(1, workers or os.cpu_count() or 1)
         self.poll_interval = poll_interval
+        self.guards = guards
+        self.ledger = CrashLedger(max_crashes)
+        self._events = events
         self._lock = threading.Lock()
         self._running = 0
         self._threads: list = []
-        self._executor = None
+        self._supervisor: Optional[SupervisedExecutor] = None
         self._started = False
         if use_processes:
-            context = resolve_mp_context()
-            if context is not None:
-                try:
-                    self._executor = concurrent.futures.ProcessPoolExecutor(
-                        max_workers=self.workers, mp_context=context,
-                    )
-                except (OSError, PermissionError, ValueError):
-                    self._executor = None  # in-process fallback
+            supervisor = SupervisedExecutor(max_workers=self.workers)
+            if supervisor.available:
+                self._supervisor = supervisor
+            else:
+                supervisor.shutdown()  # in-process fallback
 
     @property
     def mode(self) -> str:
-        return "processes" if self._executor is not None else "in-process"
+        return "processes" if self._supervisor is not None else "in-process"
+
+    @property
+    def worker_restarts(self) -> int:
+        return self._supervisor.restarts if self._supervisor else 0
 
     def running_count(self) -> int:
         with self._lock:
             return self._running
+
+    def _event(self, name: str) -> None:
+        if self._events is not None:
+            try:
+                self._events(name)
+            except Exception:  # metrics must never hurt the data plane
+                pass
 
     # ------------------------------------------------------------------
 
@@ -151,27 +207,53 @@ class WorkerPool:
 
     # ------------------------------------------------------------------
 
+    def _guarded_spec(self, job) -> Dict[str, Any]:
+        """The job spec plus its resource-guard budget.
+
+        The worker-side deadline is the tighter of the configured
+        guard and the request's remaining protocol deadline, so a
+        worker abandoned by its runner still stops burning CPU soon
+        after the response went out.
+        """
+        guards = self.guards or ResourceGuards()
+        remaining = job.remaining()
+        if remaining is not None:
+            guards = guards.with_deadline(max(0.001, remaining))
+        if guards == ResourceGuards():
+            return job.spec
+        spec = dict(job.spec)
+        spec["_guards"] = guards.to_tuple()
+        return spec
+
     def _execute(self, job) -> None:
         remaining = job.remaining()
         if remaining is not None and remaining <= 0:
             self._resolve_deadline(job)
             return
-        if self._executor is None:
+        if self._supervisor is None:
             # in-process fallback: no mid-run cancellation point, so
             # deadline/cancel races are settled after the run instead
-            payload = _execute_spec(job.spec, self.config)
+            payload = _execute_spec(self._guarded_spec(job), self.config)
             remaining = job.remaining()
             if remaining is not None and remaining <= 0:
                 self._resolve_deadline(job)
             else:
                 self._resolve(job, payload)
             return
+        key = _spec_key(job.spec)
+        while True:  # resubmission loop: one pass per worker crash
+            if not self._submit_once(job, key):
+                return
+
+    def _submit_once(self, job, key: str) -> bool:
+        """One executor pass; True means "crashed, resubmit me"."""
         try:
-            future = self._executor.submit(_execute_spec, job.spec,
-                                           self.config)
-        except RuntimeError as exc:  # executor already shut down
+            generation, future = self._supervisor.submit(
+                _execute_spec, self._guarded_spec(job), self.config
+            )
+        except RuntimeError as exc:  # no pool can be (re)built
             job.fail(INTERNAL_ERROR, f"worker pool unavailable: {exc}")
-            return
+            return False
         while True:
             slice_timeout = self.poll_interval
             remaining = job.remaining()
@@ -179,30 +261,59 @@ class WorkerPool:
                 if remaining <= 0:
                     future.cancel()
                     self._resolve_deadline(job)
-                    return
+                    return False
                 slice_timeout = min(slice_timeout, remaining)
             if job.cancelled:
                 future.cancel()
                 job.fail(CANCELLED, "request cancelled")
-                return
+                return False
             try:
                 payload = future.result(timeout=slice_timeout)
             except concurrent.futures.TimeoutError:
                 continue
             except BrokenProcessPool:
-                job.fail(INTERNAL_ERROR, "analysis worker process died")
-                return
+                return self._on_crash(job, key, generation)
+            except concurrent.futures.CancelledError:
+                # pool break cancelled the queued future before start
+                return self._on_crash(job, key, generation, suspect=False)
             except Exception as exc:  # future raised something odd
                 job.fail(INTERNAL_ERROR,
                          f"{type(exc).__name__}: {exc}")
-                return
+                return False
             self._resolve(job, payload)
-            return
+            return False
+
+    def _on_crash(self, job, key: str, generation: int,
+                  suspect: bool = True) -> bool:
+        """Handle a broken pool under ``job``; True to resubmit."""
+        if self._supervisor.notify_broken(generation):
+            self._event("worker_restarts")
+        if suspect:
+            crashes = self.ledger.record(key)
+            if crashes >= self.ledger.max_crashes:
+                self._event("jobs_quarantined")
+                job.fail(
+                    WORKER_CRASHED,
+                    f"analysis worker crashed {crashes} times on this "
+                    f"request; quarantined",
+                    data={"crashes": crashes},
+                )
+                return False
+        if not self._supervisor.available:
+            job.fail(INTERNAL_ERROR,
+                     "analysis worker process died and the pool could "
+                     "not be rebuilt")
+            return False
+        self._event("jobs_resubmitted")
+        return True
 
     def _resolve(self, job, payload: Dict[str, Any]) -> None:
         if not payload.get("ok"):
-            job.fail(ANALYSIS_FAILED,
-                     str(payload.get("error", "analysis failed")))
+            code = {
+                "deadline_exceeded": DEADLINE_EXCEEDED,
+                "resource_exhausted": RESOURCE_EXHAUSTED,
+            }.get(payload.get("code"), ANALYSIS_FAILED)
+            job.fail(code, str(payload.get("error", "analysis failed")))
             return
         job.finish(payload)
 
@@ -229,5 +340,5 @@ class WorkerPool:
             if deadline is not None:
                 remaining = max(0.0, deadline - time.monotonic())
             thread.join(timeout=remaining)
-        if self._executor is not None:
-            self._executor.shutdown(wait=drain)
+        if self._supervisor is not None:
+            self._supervisor.shutdown(wait=drain)

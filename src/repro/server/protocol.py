@@ -44,6 +44,8 @@ QUEUE_FULL = -32001         #: bounded queue rejected the request
 DEADLINE_EXCEEDED = -32002  #: per-request deadline expired
 CANCELLED = -32003          #: request cancelled by a ``cancel`` call
 SHUTTING_DOWN = -32004      #: daemon is draining; no new work accepted
+WORKER_CRASHED = -32005     #: request quarantined after repeated worker deaths
+RESOURCE_EXHAUSTED = -32006 #: analysis hit a CPU/RSS/deadline resource guard
 
 ERROR_NAMES: Dict[int, str] = {
     PARSE_ERROR: "parse_error",
@@ -56,7 +58,17 @@ ERROR_NAMES: Dict[int, str] = {
     DEADLINE_EXCEEDED: "deadline_exceeded",
     CANCELLED: "cancelled",
     SHUTTING_DOWN: "shutting_down",
+    WORKER_CRASHED: "worker_crashed",
+    RESOURCE_EXHAUSTED: "resource_exhausted",
 }
+
+#: codes a client may retry without risking doubled work: the request
+#: provably did not produce a (kept) result — it was turned away at
+#: admission, or its worker died and the job was quarantined. The
+#: degraded state is usually transient: the pool has already been
+#: rebuilt / the queue drains. ``resource_exhausted`` is deliberately
+#: NOT here — the same input will exhaust the same budget again.
+RETRYABLE_CODES = frozenset({QUEUE_FULL, WORKER_CRASHED})
 
 
 def error_name(code: int) -> str:

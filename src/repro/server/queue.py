@@ -60,6 +60,8 @@ class PendingJob:
         self.cancelled = False
         self.result: Optional[Dict[str, Any]] = None
         self.error: Optional[Tuple[int, str]] = None
+        #: optional structured detail attached to a failure response
+        self.error_data: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
 
@@ -92,12 +94,14 @@ class PendingJob:
             self._finished.set()
             return True
 
-    def fail(self, code: int, message: str) -> bool:
+    def fail(self, code: int, message: str,
+             data: Optional[Dict[str, Any]] = None) -> bool:
         with self._lock:
             if self.state == DONE:
                 return False
             self.state = DONE
             self.error = (code, message)
+            self.error_data = data
             self._finished.set()
             return True
 

@@ -26,6 +26,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..core.config import AnalysisConfig
 from ..frontend.driver import Program
+from ..resilience.guards import check_deadline
 from ..ir import (
     Alloca,
     Argument,
@@ -269,6 +270,7 @@ class ValueFlowAnalysis:
         roots = self._roots()
         sparse = self._sparse
         for iteration in range(_MAX_OUTER_ITERATIONS):
+            check_deadline()  # resource-guard budget (no-op unarmed)
             self.kernel_counters["outer_iterations"] = iteration + 1
             if sparse:
                 if iteration:

@@ -1,0 +1,32 @@
+"""The chaos harness's own contract: a schedule run produces a
+structured outcome whose byte-identity assertions actually executed.
+
+Only the cheapest schedule runs here — the full matrix is the CI
+chaos job (``safeflow chaos --smoke``) and ``safeflow chaos``."""
+
+from repro.resilience.chaos import SCHEDULES, SMOKE_SCHEDULES, run_chaos
+
+
+def test_smoke_schedules_are_a_subset():
+    assert set(SMOKE_SCHEDULES) <= set(SCHEDULES)
+
+
+def test_corrupt_ir_schedule_passes_and_reports():
+    outcome = run_chaos(schedules=["corrupt-ir"], jobs=2, workers=1)
+    assert outcome.ok
+    assert [s.name for s in outcome.schedules] == ["corrupt-ir"]
+    report = outcome.schedules[0]
+    assert report.passed and not report.skipped
+    assert any("eviction" in note for note in report.notes)
+    payload = outcome.to_json()
+    assert payload["ok"] is True
+    assert payload["schedules"][0]["name"] == "corrupt-ir"
+    rendered = outcome.render()
+    assert "corrupt-ir" in rendered and "PASS" in rendered
+
+
+def test_unknown_schedule_is_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        run_chaos(schedules=["no-such-schedule"])

@@ -1,0 +1,110 @@
+"""Client-side failure classification: retryable server responses are
+resubmitted with jittered backoff, everything else raises immediately."""
+
+import pytest
+
+from repro.server import SafeFlowClient, ServerError, protocol
+from repro.server import client as client_mod
+
+
+class _FakeSock:
+    def sendall(self, _data):
+        pass
+
+    def settimeout(self, _value):
+        pass
+
+
+def _scripted_client(monkeypatch, responses, retries=3):
+    """A client whose transport is stubbed out; ``responses`` is a list
+    of ServerError (raised) or payloads (returned), one per attempt."""
+    client = SafeFlowClient(port=1, retries=retries, backoff=0.001)
+    client._sock = _FakeSock()
+    monkeypatch.setattr(client, "connect", lambda: None)
+    monkeypatch.setattr(client, "close", lambda: None)
+    attempts = []
+
+    def read_response(_req_id, _timeout):
+        attempts.append(1)
+        outcome = responses[min(len(attempts) - 1, len(responses) - 1)]
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+    monkeypatch.setattr(client, "_read_response", read_response)
+    sleeps = []
+    monkeypatch.setattr(client, "_backoff_sleep",
+                        lambda attempt: sleeps.append(attempt))
+    return client, attempts, sleeps
+
+
+class TestClassification:
+    @pytest.mark.parametrize("code,expected", [
+        (protocol.QUEUE_FULL, True),
+        (protocol.WORKER_CRASHED, True),
+        (protocol.ANALYSIS_FAILED, False),
+        (protocol.DEADLINE_EXCEEDED, False),
+        (protocol.RESOURCE_EXHAUSTED, False),
+        (protocol.CANCELLED, False),
+        (protocol.INVALID_REQUEST, False),
+    ])
+    def test_retryable_matches_protocol_table(self, code, expected):
+        assert ServerError(code, "x").retryable is expected
+
+    def test_retryable_codes_are_a_deliberate_subset(self):
+        # resource_exhausted is a property of the input, not of the
+        # moment: resubmitting would burn another worker's budget
+        assert protocol.RESOURCE_EXHAUSTED not in protocol.RETRYABLE_CODES
+        assert protocol.RETRYABLE_CODES == frozenset(
+            {protocol.QUEUE_FULL, protocol.WORKER_CRASHED})
+
+
+class TestRetryLoop:
+    def test_retryable_response_is_retried_then_succeeds(self, monkeypatch):
+        client, attempts, sleeps = _scripted_client(monkeypatch, [
+            ServerError(protocol.WORKER_CRASHED, "worker died"),
+            {"pong": True},
+        ])
+        assert client.call("ping") == {"pong": True}
+        assert len(attempts) == 2
+        assert sleeps == [0]  # backed off once, before the resubmit
+
+    def test_non_retryable_response_raises_immediately(self, monkeypatch):
+        client, attempts, _ = _scripted_client(monkeypatch, [
+            ServerError(protocol.ANALYSIS_FAILED, "parse error"),
+        ])
+        with pytest.raises(ServerError) as exc:
+            client.call("analyze", {"source": "x"})
+        assert exc.value.code == protocol.ANALYSIS_FAILED
+        assert len(attempts) == 1
+
+    def test_exhausted_retries_raise_the_server_error(self, monkeypatch):
+        # the terminal failure is the structured ServerError, not a
+        # generic connection failure
+        client, attempts, _ = _scripted_client(monkeypatch, [
+            ServerError(protocol.QUEUE_FULL, "queue full"),
+        ], retries=2)
+        with pytest.raises(ServerError) as exc:
+            client.call("ping")
+        assert exc.value.code == protocol.QUEUE_FULL
+        assert len(attempts) == 3
+
+    def test_retries_zero_disables_resubmission(self, monkeypatch):
+        client, attempts, _ = _scripted_client(monkeypatch, [
+            ServerError(protocol.QUEUE_FULL, "queue full"),
+        ], retries=0)
+        with pytest.raises(ServerError):
+            client.call("ping")
+        assert len(attempts) == 1
+
+
+class TestBackoff:
+    def test_backoff_is_exponential_with_bounded_jitter(self, monkeypatch):
+        client = SafeFlowClient(port=1, backoff=0.1)
+        slept = []
+        monkeypatch.setattr(client_mod.time, "sleep", slept.append)
+        for attempt in range(3):
+            client._backoff_sleep(attempt)
+        for attempt, duration in enumerate(slept):
+            base = 0.1 * (2 ** attempt)
+            assert 0.5 * base <= duration < 1.5 * base

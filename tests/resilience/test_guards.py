@@ -1,0 +1,65 @@
+"""Resource-guard units: the cooperative deadline and the guard
+record itself (the rlimit syscalls only ever run inside sacrificial
+worker processes and are exercised end to end by the chaos harness)."""
+
+import pytest
+
+from repro.core.config import AnalysisConfig
+from repro.core.driver import SafeFlow
+from repro.errors import ResourceExhaustedError
+from repro.resilience import ResourceGuards, check_deadline, deadline_scope
+from repro.resilience.guards import clear_deadline, set_deadline
+
+from tests.perf.test_cache_correctness import SIMPLE
+
+
+class TestDeadline:
+    def test_unarmed_is_a_noop(self):
+        clear_deadline()
+        check_deadline()  # must not raise
+
+    def test_expired_deadline_raises(self):
+        set_deadline(0.0)
+        try:
+            with pytest.raises(ResourceExhaustedError) as exc:
+                check_deadline()
+            assert exc.value.kind == "deadline"
+        finally:
+            clear_deadline()
+
+    def test_scope_restores_previous_deadline(self):
+        clear_deadline()
+        with deadline_scope(1000.0):
+            with deadline_scope(None):
+                check_deadline()
+            check_deadline()  # outer deadline restored, far away
+        check_deadline()  # disarmed again
+
+    def test_analysis_honors_the_deadline(self):
+        # the value-flow fixpoint checks the budget; an expired
+        # deadline aborts the analysis with a structured error instead
+        # of running to completion
+        with deadline_scope(0.0):
+            with pytest.raises(ResourceExhaustedError) as exc:
+                SafeFlow(AnalysisConfig()).analyze_source(SIMPLE)
+        assert exc.value.kind == "deadline"
+
+
+class TestResourceGuards:
+    def test_tuple_roundtrip(self):
+        guards = ResourceGuards(cpu_seconds=30, rss_bytes=1 << 30,
+                                deadline_seconds=5.0)
+        assert ResourceGuards.from_tuple(guards.to_tuple()) == guards
+
+    def test_with_deadline_keeps_the_tighter_budget(self):
+        loose = ResourceGuards(deadline_seconds=60.0)
+        assert loose.with_deadline(5.0).deadline_seconds == 5.0
+        tight = ResourceGuards(deadline_seconds=2.0)
+        assert tight.with_deadline(5.0).deadline_seconds == 2.0
+        assert tight.with_deadline(None) is tight
+
+    def test_has_rlimits(self):
+        assert not ResourceGuards().has_rlimits()
+        assert not ResourceGuards(deadline_seconds=1.0).has_rlimits()
+        assert ResourceGuards(cpu_seconds=1).has_rlimits()
+        assert ResourceGuards(rss_bytes=1).has_rlimits()

@@ -1,0 +1,117 @@
+"""Daemon-side crash isolation: a worker death is invisible to the
+client whose request survives it, poisoned requests are quarantined,
+and the daemon itself never dies."""
+
+import os
+
+import pytest
+
+from repro.core.config import AnalysisConfig
+from repro.core.driver import SafeFlow
+from repro.perf.batch import resolve_mp_context
+from repro.server import SafeFlowClient, SafeFlowServer, ServerError, protocol
+from repro.resilience import faults
+from repro.resilience.faults import FaultPlan
+
+from tests.perf.test_cache_correctness import SIMPLE
+
+needs_pool = pytest.mark.skipif(
+    resolve_mp_context() is None,
+    reason="no multiprocessing context on this platform",
+)
+
+
+def _start_server(tmp_path, **kwargs):
+    kwargs.setdefault("config", AnalysisConfig(
+        cache_dir=str(tmp_path / "cache")))
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("queue_size", 8)
+    server = SafeFlowServer(port=0, **kwargs)
+    server.start()
+    return server
+
+
+def _client(server, **kwargs):
+    kwargs.setdefault("request_timeout", 60.0)
+    return SafeFlowClient(port=server.address[1], **kwargs)
+
+
+def _require_processes(server):
+    if server.pool.mode != "processes":
+        server.stop()
+        pytest.skip("server fell back to in-process execution")
+
+
+@needs_pool
+class TestServerCrashIsolation:
+    def test_request_survives_its_workers_death(self, tmp_path):
+        # the plan must be in the environment before the pool forks
+        plan = FaultPlan(kill_job="victim",
+                         latch_dir=str(tmp_path / "latch"))
+        with faults.activate(plan):
+            server = _start_server(tmp_path)
+            try:
+                _require_processes(server)
+                with _client(server) as client:
+                    result = client.analyze(source=SIMPLE, name="victim")
+                    health = client.health()
+                    metrics = client.metrics()
+            finally:
+                server.stop()
+        direct = SafeFlow(AnalysisConfig()).analyze_source(
+            SIMPLE, name="victim")
+        assert result["render"] == direct.render()
+        assert health["worker_restarts"] >= 1
+        assert metrics["resilience"]["jobs_resubmitted"] >= 1
+        assert metrics["resilience"]["worker_restarts"] >= 1
+        # the daemon itself never died
+        assert health["pid"] == os.getpid()
+
+    def test_poisoned_request_is_quarantined_daemon_survives(self, tmp_path):
+        plan = FaultPlan(kill_job="poison", kill_always=True)
+        with faults.activate(plan):
+            server = _start_server(tmp_path, max_crashes=2)
+            try:
+                _require_processes(server)
+                # retries=0: worker_crashed is client-retryable, and a
+                # poisoned request would just be quarantined again
+                with _client(server, retries=0) as client:
+                    with pytest.raises(ServerError) as exc:
+                        client.analyze(source=SIMPLE, name="poison")
+                    assert exc.value.code == protocol.WORKER_CRASHED
+                    assert exc.value.retryable
+                    assert exc.value.data.get("crashes") == 2
+                    # the very next request on the same daemon succeeds
+                    clean = client.analyze(source=SIMPLE, name="clean")
+                    metrics = client.metrics()
+            finally:
+                server.stop()
+        direct = SafeFlow(AnalysisConfig()).analyze_source(
+            SIMPLE, name="clean")
+        assert clean["render"] == direct.render()
+        assert metrics["resilience"]["jobs_quarantined"] >= 1
+        assert metrics["analyses"]["worker_crashed"] >= 1
+
+
+class TestDegradedResultMapping:
+    def test_resource_exhausted_is_not_retried(self, tmp_path):
+        # boom (the deterministic RLIMIT_AS stand-in) must surface as
+        # the non-retryable resource_exhausted error even through the
+        # in-process fallback pool
+        plan = FaultPlan(boom_job="hog", kill_always=True)
+        with faults.activate(plan):
+            server = _start_server(tmp_path, use_processes=False)
+            try:
+                with _client(server) as client:
+                    with pytest.raises(ServerError) as exc:
+                        client.analyze(source=SIMPLE, name="hog")
+            finally:
+                server.stop()
+        assert exc.value.code == protocol.RESOURCE_EXHAUSTED
+        assert not exc.value.retryable
+
+    def test_protocol_names_cover_the_new_codes(self):
+        assert protocol.error_name(protocol.WORKER_CRASHED) == (
+            "worker_crashed")
+        assert protocol.error_name(protocol.RESOURCE_EXHAUSTED) == (
+            "resource_exhausted")

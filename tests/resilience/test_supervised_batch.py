@@ -1,0 +1,158 @@
+"""Crash supervision in the batch driver: pool rebuilds, quarantine,
+per-job durations, and resource-guard degradation."""
+
+import time
+
+import pytest
+
+from repro.core.config import AnalysisConfig
+from repro.core.driver import SafeFlow
+from repro.perf.batch import BatchJob, resolve_mp_context, run_batch
+from repro.resilience import SupervisedExecutor, faults
+from repro.resilience.faults import FaultPlan
+
+from tests.perf.test_cache_correctness import SIMPLE
+
+needs_pool = pytest.mark.skipif(
+    resolve_mp_context() is None,
+    reason="no multiprocessing context on this platform",
+)
+
+
+def _write_jobs(tmp_path, count=4):
+    jobs = []
+    for i in range(count):
+        path = tmp_path / f"prog{i}.c"
+        path.write_text(SIMPLE.replace("a * 2.0", f"a * {i + 2}.0"))
+        jobs.append(BatchJob(name=f"prog{i}", files=(str(path),)))
+    return jobs
+
+
+def _baseline(jobs):
+    flow = SafeFlow(AnalysisConfig())
+    return {
+        job.name: flow.analyze_files(list(job.files),
+                                     name=job.name).render()
+        for job in jobs
+    }
+
+
+@needs_pool
+class TestCrashRecovery:
+    def test_one_killed_worker_costs_nothing(self, tmp_path):
+        jobs = _write_jobs(tmp_path)
+        baseline = _baseline(jobs)
+        plan = FaultPlan(kill_job="prog1",
+                         latch_dir=str(tmp_path / "latch"))
+        with faults.activate(plan):
+            outcome = run_batch(jobs, AnalysisConfig(), max_workers=2)
+        assert outcome.ok
+        assert outcome.worker_restarts >= 1
+        assert outcome.quarantined == []
+        for result in outcome.results:
+            assert result.report.render() == baseline[result.name]
+
+    def test_poisoned_job_is_quarantined(self, tmp_path):
+        jobs = _write_jobs(tmp_path)
+        baseline = _baseline(jobs)
+        plan = FaultPlan(kill_job="prog1", kill_always=True)
+        with faults.activate(plan):
+            outcome = run_batch(jobs, AnalysisConfig(), max_workers=2)
+        assert not outcome.ok
+        assert outcome.quarantined == ["prog1"]
+        by_name = {r.name: r for r in outcome.results}
+        assert by_name["prog1"].code == "worker_crashed"
+        assert by_name["prog1"].report is None
+        # innocent siblings all complete, byte-identical
+        for name, result in by_name.items():
+            if name != "prog1":
+                assert result.ok
+                assert result.report.render() == baseline[name]
+
+    def test_quarantine_threshold_is_configurable(self, tmp_path):
+        jobs = _write_jobs(tmp_path, count=2)
+        plan = FaultPlan(kill_job="prog0", kill_always=True)
+        with faults.activate(plan):
+            outcome = run_batch(jobs, AnalysisConfig(), max_workers=2,
+                                max_crashes=1)
+        by_name = {r.name: r for r in outcome.results}
+        assert by_name["prog0"].code == "worker_crashed"
+        assert "1 time" in by_name["prog0"].error
+
+
+@needs_pool
+class TestDurations:
+    def test_timeout_duration_is_per_job_not_per_batch(self, tmp_path):
+        # prog1 stalls; its timeout duration must reflect its OWN
+        # runtime, not the whole batch's elapsed wall-clock
+        jobs = _write_jobs(tmp_path, count=3)
+        plan = FaultPlan(slow_job="prog1", slow_seconds=5.0)
+        with faults.activate(plan):
+            outcome = run_batch(jobs, AnalysisConfig(), max_workers=2,
+                                timeout=0.5)
+        by_name = {r.name: r for r in outcome.results}
+        straggler = by_name["prog1"]
+        assert not straggler.ok
+        assert straggler.code == "timeout"
+        assert "timed out" in straggler.error
+        assert 0.4 <= straggler.duration < 3.0
+        for name in ("prog0", "prog2"):
+            assert by_name[name].ok
+            # a completed job's duration is its own, bounded well
+            # below the straggler-dominated batch wall time
+            assert by_name[name].duration < 3.0
+
+    def test_successful_job_duration_is_positive(self, tmp_path):
+        jobs = _write_jobs(tmp_path, count=2)
+        outcome = run_batch(jobs, AnalysisConfig(), max_workers=2)
+        assert outcome.ok
+        for result in outcome.results:
+            assert 0.0 < result.duration <= outcome.wall_time + 0.5
+
+
+class TestResourceGuards:
+    def test_boom_degrades_into_resource_exhausted(self, tmp_path):
+        # the boom fault raises MemoryError exactly where a breached
+        # RLIMIT_AS would; sequential path exercises the mapping
+        jobs = _write_jobs(tmp_path, count=2)
+        plan = FaultPlan(boom_job="prog0", kill_always=True)
+        with faults.activate(plan):
+            outcome = run_batch(jobs, AnalysisConfig(), max_workers=1)
+        by_name = {r.name: r for r in outcome.results}
+        assert by_name["prog0"].code == "resource_exhausted"
+        assert "resource exhausted" in by_name["prog0"].error
+        assert by_name["prog1"].ok
+
+    def test_worker_deadline_degrades_into_timeout(self, tmp_path):
+        # sequential path: the per-job timeout arms the in-analysis
+        # deadline, which the fixpoint honors cooperatively
+        jobs = _write_jobs(tmp_path, count=1)
+        outcome = run_batch(jobs, AnalysisConfig(), max_workers=1,
+                            timeout=0.0)
+        result = outcome.results[0]
+        assert not result.ok
+        assert result.code == "timeout"
+        assert "timed out" in result.error
+
+
+class TestSupervisedExecutor:
+    @needs_pool
+    def test_exactly_one_rebuild_per_generation(self):
+        executor = SupervisedExecutor(max_workers=1)
+        try:
+            assert executor.available
+            generation, _future = executor.submit(time.sleep, 0)
+            assert executor.notify_broken(generation) is True
+            # a second observer of the SAME break must not rebuild again
+            assert executor.notify_broken(generation) is False
+            assert executor.restarts == 1
+            assert executor.available
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    @needs_pool
+    def test_submit_after_shutdown_raises(self):
+        executor = SupervisedExecutor(max_workers=1)
+        executor.shutdown(wait=False)
+        with pytest.raises(RuntimeError):
+            executor.submit(time.sleep, 0)

@@ -232,10 +232,13 @@ class TestBackpressure:
         assert _wait_until(
             lambda: server.pool.running_count() == 1
             and server.queue.depth() == 2)
-        with client_for(server) as client:
+        # retries=0: queue_full is retryable by default, which would
+        # re-submit and inflate the rejection counter below
+        with client_for(server, retries=0) as client:
             with pytest.raises(ServerError) as exc:
                 client.analyze(source=CLEAN, name="overflow")
         assert exc.value.code == protocol.QUEUE_FULL
+        assert exc.value.retryable
         for thread in threads:
             thread.join(timeout=10)
         assert all(results[i]["render"] == "slept" for i in range(3))
