@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
 import sys
 from typing import List, Optional
@@ -214,15 +215,22 @@ def _add_limit_flags(sub: argparse.ArgumentParser) -> None:
 
 
 def _guards_from_args(args):
-    """:class:`ResourceGuards` from ``--cpu-limit``/``--mem-limit``."""
+    """:class:`ResourceGuards` from ``--cpu-limit``/``--mem-limit``.
+
+    Sub-second (or zero) values round *up* to the smallest enforceable
+    cap rather than truncating to 0, which ``RLIMIT_CPU`` would treat
+    as "no budget at all" (instant ``SIGXCPU``); only an omitted flag
+    means unlimited.
+    """
     if args.cpu_limit is None and args.mem_limit is None:
         return None
     from .resilience import ResourceGuards
 
     return ResourceGuards(
-        cpu_seconds=int(args.cpu_limit) if args.cpu_limit else None,
-        rss_bytes=(int(args.mem_limit * 1024 * 1024)
-                   if args.mem_limit else None),
+        cpu_seconds=(max(1, math.ceil(args.cpu_limit))
+                     if args.cpu_limit is not None else None),
+        rss_bytes=(max(1, math.ceil(args.mem_limit * 1024 * 1024))
+                   if args.mem_limit is not None else None),
     )
 
 

@@ -336,7 +336,12 @@ def _run_supervised(outcome: BatchOutcome, jobs: Sequence[BatchJob],
                 except concurrent.futures.CancelledError:
                     pending.appendleft((index, job))
                 except concurrent.futures.TimeoutError:
-                    settle_crash(index, job, dispatched_at)
+                    # still unresolved after the pool broke: merely
+                    # slow, not provably crashed (its worker may have
+                    # been healthy when the break was flagged). Re-run
+                    # it in isolation without a ledger mark so a slow
+                    # innocent is never crash-attributed.
+                    suspects.append((index, job))
                 except Exception as exc:
                     results[index] = BatchResult(
                         name=job.name, code="worker_crashed",

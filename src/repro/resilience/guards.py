@@ -5,12 +5,24 @@ A runaway translation unit must produce a structured
 worker (and, unsupervised, the batch or daemon) with it. Three guards
 cooperate:
 
-- **CPU time** — ``resource.setrlimit(RLIMIT_CPU)``. The soft limit
-  delivers ``SIGXCPU``, which :func:`apply_rlimits` turns into a
+- **CPU time** — ``resource.setrlimit(RLIMIT_CPU)``. ``RLIMIT_CPU``
+  counts *cumulative* process CPU, and workers are long-lived and
+  reused across jobs, so the budget must be re-armed **relative** to
+  the CPU already consumed: each :func:`apply_rlimits` call sets the
+  soft limit to ``getrusage(RUSAGE_SELF) + cpu_seconds``. An absolute
+  cap would hand every worker a finite CPU *lifetime* — once its total
+  across many jobs crossed the budget, innocent jobs would draw
+  spurious ``SIGXCPU``. The soft limit delivers ``SIGXCPU``, which
+  :func:`apply_rlimits` turns into a
   :class:`~repro.errors.ResourceExhaustedError` (kind ``cpu``) raised
-  at the next bytecode boundary; the hard limit (soft + grace) is the
-  kernel's backstop ``SIGKILL``, which the supervision layer then
-  handles as a worker crash.
+  at the next bytecode boundary (and which Linux re-delivers every
+  second past the limit, so a swallowed first raise gets retried). The
+  *hard* limit is deliberately left untouched: a hard limit can only
+  ever be lowered by an unprivileged process, so a per-job
+  ``soft + grace`` hard cap could never be re-raised for the next job
+  in the same worker — the stale cap would ``SIGKILL`` innocent jobs
+  mid-run. Code that out-stalls ``SIGXCPU`` (a signal-proof C loop) is
+  instead covered by the supervision layer's wall-clock abandonment.
 - **Memory** — ``RLIMIT_AS`` (``RLIMIT_RSS`` is a no-op on modern
   Linux; the address-space cap is the nearest enforceable stand-in).
   Exceeding it surfaces as ``MemoryError``, which worker entry points
@@ -25,15 +37,16 @@ cooperate:
   *threads* execute analyses side by side, cannot cross-contaminate
   budgets.
 
-rlimits are process-wide and effectively irreversible (a lowered hard
-limit cannot be raised back), so :func:`apply_rlimits` must only ever
-run inside a sacrificial worker process — callers gate it on
+rlimits are process-wide (the address-space cap outlives the job that
+armed it), so :func:`apply_rlimits` must only ever run inside a
+sacrificial worker process — callers gate it on
 :func:`repro.resilience.faults.in_worker`.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 import threading
 import time
 from contextlib import contextmanager
@@ -51,10 +64,6 @@ try:
     import signal as _signal
 except ImportError:  # pragma: no cover
     _signal = None
-
-#: seconds between the SIGXCPU soft limit and the SIGKILL hard limit
-CPU_GRACE_SECONDS = 5
-
 
 @dataclass(frozen=True)
 class ResourceGuards:
@@ -96,8 +105,14 @@ def _on_sigxcpu(_signum, _frame):  # pragma: no cover - exercised in workers
 def apply_rlimits(guards: ResourceGuards) -> bool:
     """Cap this process's CPU time / address space per ``guards``.
 
+    Called once per job inside a (reused) worker process. The CPU
+    budget is relative: the soft limit is re-armed to the CPU this
+    process has *already consumed* plus ``guards.cpu_seconds``, so
+    every job gets its own budget however long the worker has lived.
+    The hard limit is never changed (see the module docstring).
+
     Returns True when at least one limit was applied. Fail-open on
-    platforms without ``resource`` or where lowering is forbidden —
+    platforms without ``resource`` or where the change is forbidden —
     the cooperative deadline still applies.
     """
     if _resource is None or not guards.has_rlimits():
@@ -105,12 +120,13 @@ def apply_rlimits(guards: ResourceGuards) -> bool:
     applied = False
     if guards.cpu_seconds is not None:
         try:
-            soft = int(guards.cpu_seconds)
+            usage = _resource.getrusage(_resource.RUSAGE_SELF)
+            consumed = usage.ru_utime + usage.ru_stime
+            soft = math.ceil(consumed) + max(1, int(guards.cpu_seconds))
             _, hard = _resource.getrlimit(_resource.RLIMIT_CPU)
-            new_hard = soft + CPU_GRACE_SECONDS
             if hard != _resource.RLIM_INFINITY:
-                new_hard = min(new_hard, hard)
-            _resource.setrlimit(_resource.RLIMIT_CPU, (soft, new_hard))
+                soft = min(soft, hard)
+            _resource.setrlimit(_resource.RLIMIT_CPU, (soft, hard))
             if _signal is not None and hasattr(_signal, "SIGXCPU"):
                 _signal.signal(_signal.SIGXCPU, _on_sigxcpu)
             applied = True

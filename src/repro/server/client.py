@@ -8,18 +8,20 @@ connect and request timeouts and bounded retry-with-backoff on
 - transient connection errors — refused/reset connects and send
   failures on a half-dead persistent connection;
 - *retryable* server responses (:data:`repro.server.protocol
-  .RETRYABLE_CODES`: ``queue_full``, ``worker_crashed``) — the server
-  answered, so the request provably produced no kept result, and the
-  degraded state is typically transient (the queue drains, the pool
-  has already been rebuilt).
+  .RETRYABLE_CODES`: ``queue_full``) — the server answered, so the
+  request provably produced no kept result, and the degraded state is
+  transient (the queue drains).
 
 A failure while *waiting for a response* is never retried: the server
 may already be analyzing, and blind re-submission would double the
 work (the framing makes re-sending a partially written request safe —
 a line without its newline is not a message — so send-side retries
 are). Non-retryable error responses (``analysis_failed``,
-``deadline_exceeded``, ``resource_exhausted``, ``cancelled``) raise
-immediately: the same input would fail the same way again. Backoff is
+``deadline_exceeded``, ``resource_exhausted``, ``cancelled``,
+``worker_crashed``) raise immediately: the same input would fail the
+same way again — ``worker_crashed`` in particular means the input has
+been *quarantined* after repeatedly killing workers, so resubmitting
+it would only kill more. Backoff is
 exponential with jitter so a fleet of clients bounced by one crash
 does not reconverge in lockstep.
 
@@ -169,10 +171,9 @@ class SafeFlowClient:
 
         Send failures (stale persistent connection, server restarted)
         are retried on a fresh connection up to ``retries`` times, as
-        are *retryable* error responses (``queue_full``,
-        ``worker_crashed`` — the server answered, so nothing is in
-        flight); any other failure after the request has been fully
-        sent is not.
+        are *retryable* error responses (``queue_full`` — the server
+        answered, so nothing is in flight); any other failure after
+        the request has been fully sent is not.
         """
         req_id = next(self._ids)
         line = protocol.encode(

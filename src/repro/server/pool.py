@@ -19,8 +19,9 @@ it (exactly once per break, however many runner threads observe it)
 and each runner transparently *resubmits* its own request, so
 unaffected requests survive a neighbour's crash. A request whose spec
 has crashed ``max_crashes`` workers is quarantined with a structured
-``worker_crashed`` error instead of being retried forever — the
-daemon keeps serving. Per-worker :class:`ResourceGuards` travel inside
+``worker_crashed`` error instead of being retried forever, and a
+*resubmission* of an already-quarantined spec fails fast without ever
+reaching a worker — the daemon keeps serving. Per-worker :class:`ResourceGuards` travel inside
 the job spec and are applied by the worker entry point, so a runaway
 request degrades into ``resource_exhausted`` rather than an OOM kill.
 
@@ -241,6 +242,13 @@ class WorkerPool:
                 self._resolve(job, payload)
             return
         key = _spec_key(job.spec)
+        if self.ledger.is_quarantined(key):
+            # known worker-killer (same spec resubmitted, e.g. by a
+            # retrying client): fail fast without feeding it another
+            # worker — dispatching it would break the pool again and
+            # disrupt every in-flight neighbour
+            self._fail_quarantined(job, self.ledger.count(key))
+            return
         while True:  # resubmission loop: one pass per worker crash
             if not self._submit_once(job, key):
                 return
@@ -291,13 +299,7 @@ class WorkerPool:
         if suspect:
             crashes = self.ledger.record(key)
             if crashes >= self.ledger.max_crashes:
-                self._event("jobs_quarantined")
-                job.fail(
-                    WORKER_CRASHED,
-                    f"analysis worker crashed {crashes} times on this "
-                    f"request; quarantined",
-                    data={"crashes": crashes},
-                )
+                self._fail_quarantined(job, crashes)
                 return False
         if not self._supervisor.available:
             job.fail(INTERNAL_ERROR,
@@ -306,6 +308,15 @@ class WorkerPool:
             return False
         self._event("jobs_resubmitted")
         return True
+
+    def _fail_quarantined(self, job, crashes: int) -> None:
+        self._event("jobs_quarantined")
+        job.fail(
+            WORKER_CRASHED,
+            f"analysis worker crashed {crashes} times on this "
+            f"request; quarantined",
+            data={"crashes": crashes},
+        )
 
     def _resolve(self, job, payload: Dict[str, Any]) -> None:
         if not payload.get("ok"):

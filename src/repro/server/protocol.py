@@ -64,11 +64,14 @@ ERROR_NAMES: Dict[int, str] = {
 
 #: codes a client may retry without risking doubled work: the request
 #: provably did not produce a (kept) result — it was turned away at
-#: admission, or its worker died and the job was quarantined. The
-#: degraded state is usually transient: the pool has already been
-#: rebuilt / the queue drains. ``resource_exhausted`` is deliberately
-#: NOT here — the same input will exhaust the same budget again.
-RETRYABLE_CODES = frozenset({QUEUE_FULL, WORKER_CRASHED})
+#: admission — and the degraded state is transient (the queue drains).
+#: ``worker_crashed`` is deliberately NOT here: the server only
+#: returns it once the spec has been *quarantined* (it already killed
+#: ``max_crashes`` workers), so resubmitting would just kill more
+#: workers and disrupt every in-flight neighbour. ``resource_exhausted``
+#: is likewise excluded — the same input will exhaust the same budget
+#: again.
+RETRYABLE_CODES = frozenset({QUEUE_FULL})
 
 
 def error_name(code: int) -> str:

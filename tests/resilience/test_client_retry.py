@@ -41,7 +41,7 @@ def _scripted_client(monkeypatch, responses, retries=3):
 class TestClassification:
     @pytest.mark.parametrize("code,expected", [
         (protocol.QUEUE_FULL, True),
-        (protocol.WORKER_CRASHED, True),
+        (protocol.WORKER_CRASHED, False),
         (protocol.ANALYSIS_FAILED, False),
         (protocol.DEADLINE_EXCEEDED, False),
         (protocol.RESOURCE_EXHAUSTED, False),
@@ -53,16 +53,18 @@ class TestClassification:
 
     def test_retryable_codes_are_a_deliberate_subset(self):
         # resource_exhausted is a property of the input, not of the
-        # moment: resubmitting would burn another worker's budget
+        # moment: resubmitting would burn another worker's budget.
+        # worker_crashed means the input is already quarantined after
+        # killing max_crashes workers: resubmitting would kill more.
         assert protocol.RESOURCE_EXHAUSTED not in protocol.RETRYABLE_CODES
-        assert protocol.RETRYABLE_CODES == frozenset(
-            {protocol.QUEUE_FULL, protocol.WORKER_CRASHED})
+        assert protocol.WORKER_CRASHED not in protocol.RETRYABLE_CODES
+        assert protocol.RETRYABLE_CODES == frozenset({protocol.QUEUE_FULL})
 
 
 class TestRetryLoop:
     def test_retryable_response_is_retried_then_succeeds(self, monkeypatch):
         client, attempts, sleeps = _scripted_client(monkeypatch, [
-            ServerError(protocol.WORKER_CRASHED, "worker died"),
+            ServerError(protocol.QUEUE_FULL, "queue full"),
             {"pong": True},
         ])
         assert client.call("ping") == {"pong": True}

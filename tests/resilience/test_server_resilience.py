@@ -73,14 +73,24 @@ class TestServerCrashIsolation:
             server = _start_server(tmp_path, max_crashes=2)
             try:
                 _require_processes(server)
-                # retries=0: worker_crashed is client-retryable, and a
-                # poisoned request would just be quarantined again
-                with _client(server, retries=0) as client:
+                # worker_crashed is non-retryable: even a client left
+                # at its default retry budget raises the quarantine
+                # verdict immediately instead of resubmitting a known
+                # worker-killer
+                with _client(server) as client:
                     with pytest.raises(ServerError) as exc:
                         client.analyze(source=SIMPLE, name="poison")
                     assert exc.value.code == protocol.WORKER_CRASHED
-                    assert exc.value.retryable
+                    assert not exc.value.retryable
                     assert exc.value.data.get("crashes") == 2
+                    restarts = client.metrics()[
+                        "resilience"]["worker_restarts"]
+                    # an explicit resubmission of the quarantined spec
+                    # fails fast: no worker is fed to it, so no
+                    # further pool break / restart
+                    with pytest.raises(ServerError) as again:
+                        client.analyze(source=SIMPLE, name="poison")
+                    assert again.value.code == protocol.WORKER_CRASHED
                     # the very next request on the same daemon succeeds
                     clean = client.analyze(source=SIMPLE, name="clean")
                     metrics = client.metrics()
@@ -89,8 +99,9 @@ class TestServerCrashIsolation:
         direct = SafeFlow(AnalysisConfig()).analyze_source(
             SIMPLE, name="clean")
         assert clean["render"] == direct.render()
-        assert metrics["resilience"]["jobs_quarantined"] >= 1
-        assert metrics["analyses"]["worker_crashed"] >= 1
+        assert metrics["resilience"]["worker_restarts"] == restarts
+        assert metrics["resilience"]["jobs_quarantined"] >= 2
+        assert metrics["analyses"]["worker_crashed"] >= 2
 
 
 class TestDegradedResultMapping:
