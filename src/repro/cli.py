@@ -64,6 +64,10 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="treat every shared region as non-core")
     analyze.add_argument("--no-lint", action="store_true",
                          help="skip the vacuous-monitor lint")
+    analyze.add_argument("--keep-going", action="store_true",
+                         help="degraded mode: recover from front-end "
+                              "failures, analyze the rest fail-closed "
+                              "(a degraded verdict never passes)")
     analyze.add_argument("--include", "-I", action="append", default=[],
                          help="include directory")
     analyze.add_argument("--stats", action="store_true",
@@ -97,6 +101,22 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--max-crashes", type=int, default=2, metavar="N",
                        help="worker crashes before a job is quarantined "
                             "(default: 2)")
+    batch.add_argument("--journal", metavar="PATH", default=None,
+                       help="append every completed job's result to a "
+                            "durable write-ahead journal at PATH")
+    batch.add_argument("--resume", action="store_true",
+                       help="replay --journal first and re-run only "
+                            "jobs without an intact, fingerprint-"
+                            "matching result")
+    policy = batch.add_mutually_exclusive_group()
+    policy.add_argument("--keep-going", action="store_true",
+                        help="degraded mode: jobs with front-end "
+                             "failures yield fail-closed partial "
+                             "verdicts instead of errors")
+    policy.add_argument("--fail-fast", action="store_true",
+                        help="stop dispatching new jobs after the "
+                             "first failure (remaining jobs are "
+                             "reported as aborted)")
     _add_limit_flags(batch)
     _add_cache_flags(batch)
 
@@ -141,7 +161,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="NAME",
                        help="run only this schedule (repeatable); one of "
                             "kill, quarantine, slow, corrupt-ir, "
-                            "torn-summary, serve-kill")
+                            "torn-summary, serve-kill, kill-resume")
     chaos.add_argument("--chaos-jobs", type=int, default=6, metavar="N",
                        help="generated programs in the workload "
                             "(default: 6)")
@@ -285,6 +305,7 @@ def cmd_analyze(args) -> int:
         include_dirs=tuple(args.include),
         cache_dir=_cache_dir(args),
         profile=args.profile,
+        degraded_mode=args.keep_going,
     )
     report = SafeFlow(config).analyze_files(args.files, name=args.name)
     if args.json:
@@ -323,15 +344,22 @@ def cmd_batch(args) -> int:
               file=sys.stderr)
         return 2
 
+    if args.resume and not args.journal:
+        print("safeflow batch: --resume requires --journal PATH",
+              file=sys.stderr)
+        return 2
+
     config = AnalysisConfig(
         summary_mode=args.summaries,
         include_dirs=tuple(args.include),
         cache_dir=_cache_dir(args),
+        degraded_mode=args.keep_going,
     )
     max_workers = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
     outcome = SafeFlow(config).analyze_batch(
         jobs, max_workers=max_workers, timeout=args.timeout,
         guards=_guards_from_args(args), max_crashes=args.max_crashes,
+        fail_fast=args.fail_fast, journal=args.journal, resume=args.resume,
     )
 
     if args.json:
@@ -339,6 +367,8 @@ def cmd_batch(args) -> int:
             "wall_time": outcome.wall_time,
             "worker_restarts": outcome.worker_restarts,
             "quarantined": list(outcome.quarantined),
+            "resumed_jobs": outcome.resumed_jobs,
+            "journal_truncated_records": outcome.journal_truncated_records,
             "jobs": [
                 {
                     "name": r.name,
@@ -357,7 +387,7 @@ def cmd_batch(args) -> int:
         for result in outcome.results:
             if result.ok:
                 counts = result.report.counts()
-                status = "PASS" if result.report.passed else "FAIL"
+                status = result.report.verdict.upper()
                 print(f"{result.name:<20} {status}  "
                       f"errors={counts['errors']} "
                       f"warnings={counts['warnings']} "
@@ -374,6 +404,11 @@ def cmd_batch(args) -> int:
             print(f"{failed} job(s) failed", file=sys.stderr)
         print(f"{len(outcome.results)} jobs in {outcome.wall_time:.2f}s "
               f"({max_workers} workers)")
+        if args.journal and (outcome.resumed_jobs
+                             or outcome.journal_truncated_records):
+            print(f"resumed from journal : {outcome.resumed_jobs} job(s) "
+                  f"reused, {outcome.journal_truncated_records} damaged "
+                  f"record(s) truncated")
         if args.stats:
             evictions = sum(r.report.stats.cache_integrity_evictions
                             for r in outcome.results if r.ok)
@@ -381,6 +416,9 @@ def cmd_batch(args) -> int:
             print(f"quarantined jobs    : "
                   f"{', '.join(outcome.quarantined) or 'none'}")
             print(f"integrity evictions : {evictions}")
+            degraded = sum(len(r.report.degraded)
+                           for r in outcome.results if r.ok)
+            print(f"degraded units      : {degraded}")
     if not outcome.ok:
         return 2
     return 0 if all(r.report.passed for r in outcome.results) else 1

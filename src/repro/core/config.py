@@ -82,3 +82,13 @@ class AnalysisConfig:
     #: value-flow phase (surfaced as ``AnalysisStats.hotspots`` /
     #: ``kernel_counters`` and by ``safeflow analyze --profile``)
     profile: bool = False
+    #: degraded-mode analysis (``--keep-going``): isolate frontend and
+    #: annotation failures per translation unit / function / annotation
+    #: as structured :class:`repro.degrade.DegradedUnit` records and
+    #: keep analyzing the rest of the corpus, failing *closed* around
+    #: the degraded parts (calls into them become unmonitored non-core
+    #: flow and the report's verdict becomes ``degraded``). The strict
+    #: default raises on the first unprocessable input. Part of the
+    #: analysis fingerprint: degraded and strict runs never share
+    #: cached results.
+    degraded_mode: bool = False

@@ -60,6 +60,7 @@ class SafeFlow:
             defines=self.config.defines,
             verify=self.config.verify_ir,
             cache=cache,
+            recover=self.config.degraded_mode,
         )
         return self.analyze_program(
             program,
@@ -80,6 +81,7 @@ class SafeFlow:
             defines=self.config.defines,
             verify=self.config.verify_ir,
             cache=cache,
+            recover=self.config.degraded_mode,
         )
         return self.analyze_program(
             program,
@@ -112,7 +114,10 @@ class SafeFlow:
 
     def analyze_batch(self, jobs: Sequence, max_workers: Optional[int] = None,
                       timeout: Optional[float] = None,
-                      guards=None, max_crashes: int = 2):
+                      guards=None, max_crashes: int = 2,
+                      fail_fast: bool = False,
+                      journal: Optional[str] = None,
+                      resume: bool = False):
         """Analyze independent programs in parallel worker processes.
 
         ``jobs`` is a sequence of :class:`repro.perf.BatchJob` or
@@ -123,8 +128,16 @@ class SafeFlow:
         ``guards`` (a :class:`repro.resilience.ResourceGuards`) caps
         each worker's CPU/RSS budget; ``max_crashes`` is the
         quarantine threshold of the crash supervision.
+
+        ``fail_fast`` stops dispatching after the first failed job.
+        ``journal`` makes the batch durable: every completed job is
+        appended to a checksum-framed write-ahead log at that path, and
+        ``resume=True`` replays it first, re-running only jobs whose
+        results are missing or whose input fingerprints changed (see
+        :mod:`repro.perf.journal`).
         """
         from ..perf.batch import BatchJob, run_batch
+        from ..perf.journal import run_journaled
 
         normalized: List[BatchJob] = []
         for job in jobs:
@@ -135,9 +148,16 @@ class SafeFlow:
                 normalized.append(BatchJob(name=name, files=tuple(files)))
         if max_workers is None:
             max_workers = min(len(normalized), os.cpu_count() or 1)
+        if journal is not None:
+            return run_journaled(
+                normalized, self.config, journal, resume=resume,
+                max_workers=max_workers, timeout=timeout, guards=guards,
+                max_crashes=max_crashes, fail_fast=fail_fast,
+            )
         return run_batch(
             normalized, self.config, max_workers=max_workers,
             timeout=timeout, guards=guards, max_crashes=max_crashes,
+            fail_fast=fail_fast,
         )
 
     # ------------------------------------------------------------------
@@ -230,6 +250,13 @@ class SafeFlow:
         report.stats.monitored_functions = len(
             [f for f, items in program.function_annotations.items() if items]
         )
+        # degraded-mode provenance: everything the frontend (and the
+        # shm annotation collector) failed closed around. getattr keeps
+        # programs pickled by older cache entries loadable.
+        from ..degrade import sort_degraded
+
+        report.degraded = sort_degraded(getattr(program, "degraded", []) or [])
+        report.stats.degraded_units = len(report.degraded)
         timings["total"] = (
             time.perf_counter() - started + (frontend_seconds or 0.0)
         )

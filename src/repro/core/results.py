@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..degrade import DegradedUnit
 from ..reporting.diagnostics import (
     CriticalDependencyError,
     Diagnostic,
@@ -44,6 +45,12 @@ class AnalysisStats:
     summary_cache_misses: int = 0
     #: damaged cache entries (checksum mismatch) evicted and recomputed
     cache_integrity_evictions: int = 0
+    #: frontend/annotation failures isolated instead of raised
+    #: (degraded-mode analysis; see :mod:`repro.degrade`)
+    degraded_units: int = 0
+    #: torn/corrupt batch-journal tail records truncated and recovered
+    #: from during ``safeflow batch --resume``
+    journal_recovered_records: int = 0
     #: analysis-kernel counters (outer iterations, bodies analyzed,
     #: memo hits, sparse invalidations, cache hit rates of the interned
     #: taint / solver layers); populated by the driver after phase 3
@@ -109,6 +116,8 @@ class AnalysisStats:
             "noncore_regions": self.noncore_regions,
             "contexts_analyzed": self.contexts_analyzed,
             "monitored_functions": self.monitored_functions,
+            "degraded_units": self.degraded_units,
+            "journal_recovered_records": self.journal_recovered_records,
             "phase_timings": dict(self.phase_timings),
             **self.cache_counters(),
         }
@@ -142,6 +151,9 @@ class AnalysisReport:
     stats: AnalysisStats = field(default_factory=AnalysisStats)
     #: DOT text of the value flow graph per error index (for manual triage)
     witness_graphs: Dict[int, str] = field(default_factory=dict)
+    #: per-unit provenance of degraded-mode recovery: everything the
+    #: frontend could not process and failed closed around
+    degraded: List[DegradedUnit] = field(default_factory=list)
 
     # ------------------------------------------------------------------
 
@@ -165,8 +177,29 @@ class AnalysisReport:
 
     @property
     def passed(self) -> bool:
-        """True when the safe-value-flow property holds unconditionally."""
-        return not self.errors and not self.violations and not self.init_issues
+        """True when the safe-value-flow property holds unconditionally.
+
+        A degraded run can never pass: parts of the program were not
+        analyzed, so the property was not verified for them — the
+        fail-closed guarantee is that the tool never certifies what it
+        could not see.
+        """
+        return (not self.errors and not self.violations
+                and not self.init_issues and not self.degraded)
+
+    @property
+    def verdict(self) -> str:
+        """Three-way verdict: ``pass`` / ``degraded`` / ``fail``.
+
+        ``degraded`` means no violation was found in the analyzed part
+        *but* some units were skipped fail-closed; ``fail`` means a
+        real finding exists (degraded or not).
+        """
+        if self.errors or self.violations or self.init_issues:
+            return "fail"
+        if self.degraded:
+            return "degraded"
+        return "pass"
 
     def counts(self) -> Dict[str, int]:
         """The Table 1 row for this program."""
@@ -192,15 +225,28 @@ class AnalysisReport:
             f"  restriction checks : "
             + ("clean" if not self.violations else f"{c['violations']} violations"),
         ]
+        if self.degraded:
+            lines.append(
+                f"  degraded units     : {len(self.degraded)} (fail-closed)"
+            )
         return "\n".join(lines)
 
     def render(self, verbose: bool = False) -> str:
-        """Full human-readable report."""
+        """Full human-readable report.
+
+        The degradation section only appears when degradation actually
+        occurred, so non-degraded runs stay byte-identical to the
+        strict pipeline's output.
+        """
         parts = [self.summary(), ""]
         for diag in self.diagnostics:
             parts.append(str(diag))
             if verbose and isinstance(diag, CriticalDependencyError) and diag.witness:
                 parts.append("    " + diag.witness_text())
+        if self.degraded:
+            parts.append("degraded units (analyzed fail-closed):")
+            for unit in self.degraded:
+                parts.append(f"  {unit}")
         return "\n".join(parts)
 
     def to_json(self) -> dict:
@@ -218,6 +264,8 @@ class AnalysisReport:
             "name": self.name,
             "counts": self.counts(),
             "passed": self.passed,
+            "verdict": self.verdict,
+            "degraded": [u.to_json() for u in self.degraded],
             "stats": self.stats.to_json(),
             "warnings": [
                 dict(diag(w), region=w.region) for w in self.warnings

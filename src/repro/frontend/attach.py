@@ -8,13 +8,21 @@ immediately precedes them — matching the paper's placement rules:
 monitor/initializer annotations are written inside the function, just
 below its signature (Figure 2) or as post-conditions at its end
 (Figure 3).
+
+In recover mode (degraded-mode analysis) an annotation that cannot be
+attached — no owning function definition, or a duplicate of an item
+already attached to the same function — becomes a
+:class:`repro.degrade.DegradedUnit` instead of an error, and the
+owning function (when known) is marked degraded so the value-flow
+engine fails closed around it.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..annotations.lang import AnnotationItem, AssertSafe
+from ..degrade import KIND_ANNOTATION, DegradedUnit
 from ..errors import AnnotationError
 from ..ir import Function, Module
 from .preprocessor import ExtractedAnnotation
@@ -24,11 +32,14 @@ def attach_annotations(
     module: Module,
     annotations: Sequence[ExtractedAnnotation],
     function_starts: Dict[str, object],
+    recover: bool = False,
+    degraded: Optional[List[DegradedUnit]] = None,
 ) -> Dict[str, List[AnnotationItem]]:
     """Build ``module.function_annotations`` from extracted comments.
 
     ``function_starts`` maps function name → SourceLocation of its
-    definition (from the lowerer).
+    definition (from the lowerer). With ``recover`` set, attachment
+    failures append to ``degraded`` instead of raising.
     """
     # index function start positions per file
     per_file: Dict[str, List[Tuple[int, str]]] = {}
@@ -46,15 +57,62 @@ def attach_annotations(
             per_file, annotation.location.filename, annotation.location.line
         )
         if target is None:
+            if recover and degraded is not None:
+                degraded.append(DegradedUnit(
+                    kind=KIND_ANNOTATION,
+                    name=annotation.raw_text[:60] or "<annotation>",
+                    cause="function-level SafeFlow annotation is not "
+                          "attached to any function definition",
+                    location=annotation.location,
+                ))
+                continue
             raise AnnotationError(
                 "function-level SafeFlow annotation is not attached to any "
                 "function definition",
                 annotation.location,
             )
-        attached.setdefault(target, []).extend(items)
+        bucket = attached.setdefault(target, [])
+        if recover and degraded is not None:
+            fresh = []
+            for item in items:
+                if any(_same_item(item, prior) for prior in bucket + fresh):
+                    degraded.append(DegradedUnit(
+                        kind=KIND_ANNOTATION,
+                        name=annotation.raw_text[:60] or "<annotation>",
+                        cause=f"duplicate {type(item).__name__} annotation "
+                              f"on function {target!r}",
+                        location=annotation.location,
+                        function=target,
+                    ))
+                else:
+                    fresh.append(item)
+            bucket.extend(fresh)
+        else:
+            bucket.extend(items)
 
     module.function_annotations = attached
     return attached
+
+
+def _same_item(a: AnnotationItem, b: AnnotationItem) -> bool:
+    """Two function-level items that declare the same thing twice."""
+    if type(a) is not type(b):
+        return False
+    pa = getattr(a, "pointer", None)
+    pb = getattr(b, "pointer", None)
+    return pa == pb
+
+
+def owning_function(
+    function_starts: Dict[str, object], filename: str, line: int
+) -> Optional[str]:
+    """The function whose definition encloses/precedes (filename, line)."""
+    per_file: Dict[str, List[Tuple[int, str]]] = {}
+    for name, loc in function_starts.items():
+        per_file.setdefault(loc.filename, []).append((loc.line, name))
+    for starts in per_file.values():
+        starts.sort()
+    return _owning_function(per_file, filename, line)
 
 
 def _owning_function(

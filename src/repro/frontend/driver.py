@@ -1,13 +1,32 @@
-"""Front-end driver: C text/files → annotated IR program."""
+"""Front-end driver: C text/files → annotated IR program.
+
+With ``recover=True`` (degraded-mode analysis, ``--keep-going``) the
+driver isolates failures instead of raising: a translation unit that
+fails to preprocess or parse, a function whose lowering/SSA fails, or
+an annotation that does not validate each become a structured
+:class:`repro.degrade.DegradedUnit` on the returned
+:class:`Program`, and the rest of the corpus is still front-ended.
+The value-flow engine fails closed around ``Program.degraded_functions``.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from ..annotations.lang import AnnotationItem
+from ..degrade import (
+    KIND_FUNCTION,
+    KIND_UNIT,
+    DegradedUnit,
+    degraded_function_names,
+    sort_degraded,
+)
+from ..errors import ParseError, PreprocessorError
 from ..ir import Module, verify_module
-from .attach import annotation_line_count, attach_annotations
+from ..ir.source import SourceLocation
+from ..ir.verifier import verify_function
+from .attach import annotation_line_count, attach_annotations, owning_function
 from .lower import ModuleLowerer, lower_units
 from .parser import ParsedUnit, parse_preprocessed
 from .preprocessor import ExtractedAnnotation, Preprocessor
@@ -24,6 +43,10 @@ class Program:
     )
     sizeof: Callable[[str], int] = lambda name: 4
     units: List[ParsedUnit] = field(default_factory=list)
+    #: frontend failures isolated in recover mode (deterministic order)
+    degraded: List[DegradedUnit] = field(default_factory=list)
+    #: functions the value-flow engine must fail closed around
+    degraded_functions: Set[str] = field(default_factory=set)
 
     @property
     def annotation_lines(self) -> int:
@@ -36,6 +59,7 @@ def load_source(
     defines: Optional[Dict[str, str]] = None,
     verify: bool = True,
     cache=None,
+    recover: bool = False,
 ) -> Program:
     """Front-end a single C source string.
 
@@ -44,14 +68,24 @@ def load_source(
     """
     key = None
     if cache is not None:
-        key = cache.key_for_source(text, filename, defines, verify)
+        key = cache.key_for_source(text, filename, defines, verify, recover)
         program = cache.fetch(key)
         if program is not None:
             return program
-    pp = Preprocessor(predefined=dict(defines or {}))
-    source = pp.process_text(text, filename=filename)
-    unit = parse_preprocessed(source, name=filename)
-    program = _finish([unit], [source.annotations], verify)
+    degraded: List[DegradedUnit] = []
+    units: List[ParsedUnit] = []
+    annotation_groups: List[List[ExtractedAnnotation]] = []
+    try:
+        pp = Preprocessor(predefined=dict(defines or {}), recover=recover)
+        source = pp.process_text(text, filename=filename)
+        degraded.extend(source.degraded)
+        units.append(parse_preprocessed(source, name=filename))
+        annotation_groups.append(source.annotations)
+    except (PreprocessorError, ParseError, RecursionError) as exc:
+        if not recover:
+            raise
+        degraded.append(_unit_failure(filename, exc))
+    program = _finish(units, annotation_groups, verify, recover, degraded)
     if cache is not None:
         cache.store(key, program)
     return program
@@ -63,52 +97,123 @@ def load_files(
     defines: Optional[Dict[str, str]] = None,
     verify: bool = True,
     cache=None,
+    recover: bool = False,
 ) -> Program:
     """Front-end several C files into one program (whole-program analysis).
 
     ``cache`` is an optional :class:`repro.perf.IRCache`; a hit is
     validated against the content hash of every file the preprocessor
     read when the entry was built (``#include`` dependencies included).
+
+    In recover mode each path is preprocessed and parsed in isolation:
+    a unit that fails becomes a :class:`DegradedUnit` and the remaining
+    units are still analyzed.
     """
     key = None
     if cache is not None:
-        key = cache.key_for_files(paths, include_dirs, defines, verify)
+        key = cache.key_for_files(paths, include_dirs, defines, verify,
+                                  recover)
         program = cache.fetch(key)
         if program is not None:
             return program
     units: List[ParsedUnit] = []
-    annotation_groups = []
+    annotation_groups: List[List[ExtractedAnnotation]] = []
+    degraded: List[DegradedUnit] = []
     for path in paths:
         pp = Preprocessor(
-            include_dirs=list(include_dirs), predefined=dict(defines or {})
+            include_dirs=list(include_dirs), predefined=dict(defines or {}),
+            recover=recover,
         )
-        source = pp.process_file(path)
-        units.append(parse_preprocessed(source, name=path))
-        annotation_groups.append(source.annotations)
-    program = _finish(units, annotation_groups, verify)
+        try:
+            source = pp.process_file(path)
+            degraded.extend(source.degraded)
+            units.append(parse_preprocessed(source, name=path))
+            annotation_groups.append(source.annotations)
+        except (PreprocessorError, ParseError, RecursionError) as exc:
+            if not recover:
+                raise
+            degraded.append(_unit_failure(path, exc))
+    program = _finish(units, annotation_groups, verify, recover, degraded)
     if cache is not None:
         cache.store(key, program)
     return program
+
+
+def _unit_failure(path: str, exc: BaseException) -> DegradedUnit:
+    if isinstance(exc, RecursionError):
+        cause = "recursion limit exceeded while front-ending the unit"
+        location = SourceLocation(path, 0)
+    else:
+        cause = getattr(exc, "message", None) or str(exc)
+        location = getattr(exc, "location", None) or SourceLocation(path, 0)
+    return DegradedUnit(
+        kind=KIND_UNIT, name=path, cause=cause, location=location,
+    )
 
 
 def _finish(
     units: List[ParsedUnit],
     annotation_groups: List[List[ExtractedAnnotation]],
     verify: bool,
+    recover: bool = False,
+    degraded: Optional[List[DegradedUnit]] = None,
 ) -> Program:
-    module, lowerer = lower_units(units)
+    degraded = list(degraded or [])
+    module, lowerer = lower_units(units, recover=recover)
+    degraded.extend(lowerer.degraded)
     annotations: List[ExtractedAnnotation] = []
     for group in annotation_groups:
         annotations.extend(group)
     function_annotations = attach_annotations(
-        module, annotations, lowerer.function_starts
+        module, annotations, lowerer.function_starts,
+        recover=recover, degraded=degraded,
     )
     if verify:
-        verify_module(module)
+        if recover:
+            _verify_recover(module, degraded)
+        else:
+            verify_module(module)
+    # annotation failures degrade their enclosing function (when one is
+    # identifiable) so monitors whose annotations were dropped are
+    # treated fail-closed rather than as ordinary unannotated code
+    resolved: List[DegradedUnit] = []
+    for unit in degraded:
+        if unit.function is None and unit.location is not None:
+            owner = owning_function(
+                lowerer.function_starts,
+                unit.location.filename, unit.location.line,
+            )
+            if owner is not None:
+                unit = DegradedUnit(
+                    kind=unit.kind, name=unit.name, cause=unit.cause,
+                    location=unit.location, function=owner,
+                )
+        resolved.append(unit)
+    resolved = sort_degraded(resolved)
     return Program(
         module=module,
         annotations=annotations,
         function_annotations=function_annotations,
         sizeof=lowerer.sizeof_name,
         units=units,
+        degraded=resolved,
+        degraded_functions=degraded_function_names(resolved),
     )
+
+
+def _verify_recover(module: Module, degraded: List[DegradedUnit]) -> None:
+    """Verify per function; demote failures to declarations."""
+    from ..errors import IRError
+
+    for func in list(module.defined_functions()):
+        try:
+            verify_function(func)
+        except IRError as exc:
+            func.blocks = []
+            degraded.append(DegradedUnit(
+                kind=KIND_FUNCTION,
+                name=func.name,
+                cause=f"IR verification failed: {exc.message}",
+                location=getattr(func, "location", None),
+                function=func.name,
+            ))

@@ -18,7 +18,8 @@ from typing import Dict, List, Optional, Tuple
 
 from pycparser import c_ast
 
-from ..errors import LoweringError
+from ..degrade import KIND_CONSTRUCT, KIND_FUNCTION, DegradedUnit
+from ..errors import IRError, LoweringError
 from ..ir import (
     Alloca,
     Argument,
@@ -315,12 +316,17 @@ class _LoopContext:
 class ModuleLowerer:
     """Lowers one or more parsed units into a single IR module."""
 
-    def __init__(self, module_name: str = "program", run_ssa: bool = True):
+    def __init__(self, module_name: str = "program", run_ssa: bool = True,
+                 recover: bool = False):
         self.module = Module(module_name)
         self.run_ssa = run_ssa
         #: function name → start SourceLocation, used for annotation
         #: attachment by the front-end driver
         self.function_starts: Dict[str, SourceLocation] = {}
+        #: per-function/per-construct failures isolated in recover mode
+        #: (degraded-mode analysis) instead of aborting the whole unit
+        self.recover = recover
+        self.degraded: List[DegradedUnit] = []
         self._shared_typedefs: Dict[str, CType] = {}
         self._shared_enums: Dict[str, int] = {}
         self._types: Optional[TypeBuilder] = None
@@ -349,11 +355,32 @@ class ModuleLowerer:
             if isinstance(ext, c_ast.Typedef):
                 continue
             if isinstance(ext, c_ast.FuncDef):
-                self._lower_funcdef(ext, types, unit)
+                if self.recover:
+                    self._lower_funcdef_recover(ext, types, unit)
+                else:
+                    self._lower_funcdef(ext, types, unit)
             elif isinstance(ext, c_ast.Decl):
-                self._lower_global_decl(ext, types, unit)
+                try:
+                    self._lower_global_decl(ext, types, unit)
+                except (LoweringError, IRError) as exc:
+                    if not self.recover:
+                        raise
+                    self.degraded.append(DegradedUnit(
+                        kind=KIND_CONSTRUCT,
+                        name=ext.name or "<anonymous>",
+                        cause=exc.message,
+                        location=unit.origin(getattr(ext, "coord", None)),
+                    ))
             elif isinstance(ext, c_ast.Pragma):
                 continue
+            elif self.recover:
+                self.degraded.append(DegradedUnit(
+                    kind=KIND_CONSTRUCT,
+                    name=type(ext).__name__,
+                    cause=f"unsupported top-level construct "
+                          f"{type(ext).__name__}",
+                    location=unit.origin(getattr(ext, "coord", None)),
+                ))
             else:
                 raise LoweringError(
                     f"unsupported top-level construct {type(ext).__name__}",
@@ -426,6 +453,38 @@ class ModuleLowerer:
         lowerer.lower_body(param_decls, funcdef.body)
         if self.run_ssa:
             build_ssa(func)
+
+    def _lower_funcdef_recover(self, funcdef: c_ast.FuncDef,
+                               types: TypeBuilder, unit: ParsedUnit) -> None:
+        """Lower one function, demoting it to a declaration on failure.
+
+        A function whose body cannot be lowered (unsupported construct,
+        SSA failure, runaway recursion) keeps its symbol in the module
+        so call sites still resolve, but loses its blocks —
+        ``is_declaration`` becomes true, the value-flow engine treats
+        calls to it as unmonitored non-core flow, and a
+        :class:`DegradedUnit` records the cause.
+        """
+        name = getattr(funcdef.decl, "name", None) or "<unknown>"
+        try:
+            self._lower_funcdef(funcdef, types, unit)
+        except (LoweringError, IRError, RecursionError) as exc:
+            cause = getattr(exc, "message", None) or (
+                "function nesting exceeds the lowering recursion limit"
+                if isinstance(exc, RecursionError) else str(exc)
+            )
+            location = getattr(exc, "location", None) or unit.origin(
+                getattr(funcdef, "coord", None))
+            func = self.module.get_function(name)
+            if func is not None:
+                func.blocks = []
+            self.degraded.append(DegradedUnit(
+                kind=KIND_FUNCTION,
+                name=name,
+                cause=cause,
+                location=location,
+                function=name,
+            ))
 
 
 class FunctionLowerer:
@@ -1169,9 +1228,10 @@ def _zero_of(type_: CType) -> Value:
 
 
 def lower_units(units: List[ParsedUnit], module_name: str = "program",
-                run_ssa: bool = True) -> Tuple[Module, ModuleLowerer]:
+                run_ssa: bool = True,
+                recover: bool = False) -> Tuple[Module, ModuleLowerer]:
     """Lower several parsed units into one module; returns (module, lowerer)."""
-    lowerer = ModuleLowerer(module_name, run_ssa=run_ssa)
+    lowerer = ModuleLowerer(module_name, run_ssa=run_ssa, recover=recover)
     for unit in units:
         lowerer.lower_unit(unit)
     return lowerer.module, lowerer

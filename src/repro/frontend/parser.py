@@ -170,6 +170,17 @@ def parse_preprocessed(
         message = str(exc)
         location = _location_from_message(message, source, name)
         raise ParseError(f"C parse error: {message}", location)
+    except RecursionError:
+        raise ParseError(
+            "C parse error: expression nesting exceeds the parser's "
+            "recursion limit",
+            SourceLocation(name, 0),
+        )
+    except Exception as exc:  # pycparser internals (lexer asserts, ...)
+        raise ParseError(
+            f"C parse error: parser failure: {exc}",
+            SourceLocation(name, 0),
+        )
     return ParsedUnit(ast, source, name)
 
 

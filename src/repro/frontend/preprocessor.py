@@ -30,7 +30,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..annotations.lang import AnnotationItem, AssertSafe, parse_annotation
-from ..errors import PreprocessorError
+from ..degrade import KIND_ANNOTATION, DegradedUnit
+from ..errors import AnnotationError, PreprocessorError
 from ..ir.instructions import ASSERT_SAFE_MARKER
 from ..ir.source import SourceLocation
 
@@ -69,6 +70,9 @@ class PreprocessedSource:
     line_map: List[SourceLocation] = field(default_factory=list)
     annotations: List[ExtractedAnnotation] = field(default_factory=list)
     files: List[str] = field(default_factory=list)
+    #: annotation blocks that failed to parse, kept instead of raised
+    #: when the preprocessor runs in recover mode
+    degraded: List[DegradedUnit] = field(default_factory=list)
 
     def origin(self, output_line: int) -> SourceLocation:
         """Original location for a 1-based output line number."""
@@ -86,12 +90,19 @@ class Preprocessor:
         include_dirs: Sequence[str] = (),
         predefined: Optional[Dict[str, str]] = None,
         max_include_depth: int = 32,
+        recover: bool = False,
     ):
         self.include_dirs = list(include_dirs)
         self.macros: Dict[str, Macro] = {}
         for name, body in (predefined or {}).items():
             self.macros[name] = Macro(name, body)
         self.max_include_depth = max_include_depth
+        #: collect malformed annotations as DegradedUnits instead of
+        #: raising (degraded-mode analysis)
+        self.recover = recover
+        #: stack of files currently being processed, outermost first —
+        #: used to diagnose circular #include chains
+        self._active: List[str] = []
 
     # ------------------------------------------------------------------
     # public API
@@ -125,10 +136,27 @@ class Preprocessor:
         out: PreprocessedSource,
     ) -> None:
         if depth > self.max_include_depth:
-            raise PreprocessorError(f"#include nesting too deep in {filename}")
+            chain = " -> ".join(self._active + [filename])
+            raise PreprocessorError(
+                f"#include nesting exceeds the maximum depth of "
+                f"{self.max_include_depth}: {chain}"
+            )
         if filename not in out.files:
             out.files.append(filename)
+        self._active.append(filename)
+        try:
+            self._process_active(text, filename, depth, out_lines, out)
+        finally:
+            self._active.pop()
 
+    def _process_active(
+        self,
+        text: str,
+        filename: str,
+        depth: int,
+        out_lines: List[str],
+        out: PreprocessedSource,
+    ) -> None:
         spliced, splice_map = _splice_lines(text)
         stripped = self._strip_comments(spliced, splice_map, filename, out)
         # conditional stack: each entry is (taking, taken_any, seen_else)
@@ -248,7 +276,18 @@ class Preprocessor:
         # the paper's closing delimiter /***/ leaves a trailing '/**'-ish tail
         ann_text = ann_text.rstrip().rstrip("/*").strip()
         location = SourceLocation(filename, line)
-        items = parse_annotation(ann_text, location)
+        try:
+            items = parse_annotation(ann_text, location)
+        except AnnotationError as exc:
+            if not self.recover:
+                raise
+            out.degraded.append(DegradedUnit(
+                kind=KIND_ANNOTATION,
+                name=ann_text[:60] or "<empty annotation>",
+                cause=exc.message,
+                location=location,
+            ))
+            return " "
         out.annotations.append(
             ExtractedAnnotation(location=location, items=items, raw_text=ann_text)
         )
@@ -370,9 +409,15 @@ class Preprocessor:
             raise PreprocessorError(f"malformed #include {rest!r}", loc)
         target = m.group(1)
         search = [os.path.dirname(os.path.abspath(filename))] + self.include_dirs
+        active = {os.path.abspath(p) for p in self._active}
         for directory in search:
             candidate = os.path.join(directory, target)
             if os.path.exists(candidate):
+                if os.path.abspath(candidate) in active:
+                    chain = " -> ".join(self._active + [candidate])
+                    raise PreprocessorError(
+                        f"circular #include of {target!r}: {chain}", loc
+                    )
                 with open(candidate, "r") as f:
                     text = f.read()
                 self._process(text, candidate, depth + 1, out_lines, out)

@@ -14,7 +14,10 @@ sequential cold path):
   :mod:`repro.resilience`);
 - :func:`seal` / :func:`unseal` — the checksum frame every on-disk
   cache entry carries, so torn or rotted entries are evicted and
-  recomputed instead of trusted (:mod:`repro.perf.integrity`).
+  recomputed instead of trusted (:mod:`repro.perf.integrity`);
+- :class:`BatchJournal` / :func:`run_journaled` — durable batch
+  checkpoint/resume over an append-only, checksum-framed WAL
+  (:mod:`repro.perf.journal`).
 """
 
 from .batch import (
@@ -34,10 +37,12 @@ from .fingerprint import (
 )
 from .integrity import IntegrityError, seal, unseal
 from .ircache import IRCache
+from .journal import BatchJournal, JournalReplay, job_fingerprint, run_journaled
 from .summary_store import BodyRecord, BodyRecorder, CellNamer, SummaryStore
 
 __all__ = [
     "BatchJob",
+    "BatchJournal",
     "BatchOutcome",
     "BatchResult",
     "BodyRecord",
@@ -46,13 +51,16 @@ __all__ = [
     "FlowFingerprints",
     "IRCache",
     "IntegrityError",
+    "JournalReplay",
     "SCHEMA_VERSION",
     "SummaryStore",
     "config_fingerprint",
     "file_digest",
     "function_fingerprint",
+    "job_fingerprint",
     "resolve_mp_context",
     "run_batch",
+    "run_journaled",
     "seal",
     "text_digest",
     "unseal",

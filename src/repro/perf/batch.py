@@ -102,6 +102,11 @@ class BatchOutcome:
     wall_time: float = 0.0
     worker_restarts: int = 0
     quarantined: List[str] = field(default_factory=list)
+    #: jobs whose results were replayed from a batch journal instead of
+    #: re-run (``safeflow batch --resume``)
+    resumed_jobs: int = 0
+    #: torn/corrupt journal tail records truncated during replay
+    journal_truncated_records: int = 0
 
     @property
     def ok(self) -> bool:
@@ -179,10 +184,28 @@ def resolve_mp_context(prefer: str = "fork"):
         return None
 
 
+def _aborted_result(job: BatchJob) -> BatchResult:
+    return BatchResult(
+        name=job.name, code="aborted",
+        error="aborted: an earlier job failed (--fail-fast)",
+    )
+
+
 def _run_sequential(outcome: BatchOutcome, jobs: Sequence[BatchJob],
-                    config, start: float, guards=None) -> BatchOutcome:
+                    config, start: float, guards=None,
+                    fail_fast: bool = False,
+                    on_result=None) -> BatchOutcome:
+    stopped = False
     for job in jobs:
-        outcome.results.append(_run_job(job, config, guards))
+        if stopped:
+            outcome.results.append(_aborted_result(job))
+            continue
+        result = _run_job(job, config, guards)
+        outcome.results.append(result)
+        if on_result is not None:
+            on_result(len(outcome.results) - 1, result)
+        if fail_fast and not result.ok:
+            stopped = True
     outcome.wall_time = time.perf_counter() - start
     return outcome
 
@@ -203,6 +226,8 @@ def run_batch(
     timeout: Optional[float] = None,
     guards=None,
     max_crashes: int = 2,
+    fail_fast: bool = False,
+    on_result=None,
 ) -> BatchOutcome:
     """Analyze ``jobs`` with up to ``max_workers`` processes.
 
@@ -212,6 +237,14 @@ def run_batch(
     unaffected. ``guards`` caps each worker's CPU/RSS and arms the
     in-analysis deadline; ``max_crashes`` is the quarantine threshold
     of the crash supervision (see the module docstring).
+
+    ``fail_fast`` stops dispatching after the first failed job; jobs
+    never dispatched come back as ``aborted`` results. ``on_result``
+    is invoked as ``on_result(index, result)`` the moment a job's
+    result settles (in completion order, not job order), for every job
+    that actually executed — never for aborted ones. The batch journal
+    uses it for incremental durability: a batch killed mid-run keeps
+    every result that reached the callback.
     """
     from ..resilience import SupervisedExecutor
 
@@ -222,7 +255,8 @@ def run_batch(
     guards = _effective_guards(guards, timeout)
 
     if max_workers <= 1 or len(jobs) == 1:
-        return _run_sequential(outcome, jobs, config, start, guards)
+        return _run_sequential(outcome, jobs, config, start, guards,
+                               fail_fast, on_result)
 
     # fork keeps worker start cheap; the analyzer holds no threads or
     # open handles at this point that fork could corrupt. Platforms
@@ -231,11 +265,13 @@ def run_batch(
     supervisor = SupervisedExecutor(max_workers=min(max_workers, len(jobs)))
     if not supervisor.available:
         supervisor.shutdown()
-        return _run_sequential(outcome, jobs, config, start, guards)
+        return _run_sequential(outcome, jobs, config, start, guards,
+                               fail_fast, on_result)
     abandoned = False
     try:
         abandoned = _run_supervised(
-            outcome, jobs, config, supervisor, timeout, guards, max_crashes
+            outcome, jobs, config, supervisor, timeout, guards, max_crashes,
+            fail_fast, on_result,
         )
     finally:
         # an abandoned (timed-out but still running) future would make
@@ -248,7 +284,8 @@ def run_batch(
 
 def _run_supervised(outcome: BatchOutcome, jobs: Sequence[BatchJob],
                     config, supervisor, timeout: Optional[float],
-                    guards, max_crashes: int) -> bool:
+                    guards, max_crashes: int,
+                    fail_fast: bool = False, on_result=None) -> bool:
     """The supervised dispatch loop; returns True when futures were
     abandoned (timed out while running)."""
     from ..resilience import CrashLedger
@@ -260,6 +297,15 @@ def _run_supervised(outcome: BatchOutcome, jobs: Sequence[BatchJob],
     # future -> (index, job, dispatched_at, generation)
     inflight: Dict[concurrent.futures.Future, Tuple] = {}
     abandoned = False
+    stopping = False  # fail-fast tripped: drain in-flight, dispatch none
+
+    def settle(index: int, result: BatchResult) -> None:
+        nonlocal stopping
+        results[index] = result
+        if on_result is not None:
+            on_result(index, result)
+        if fail_fast and not result.ok:
+            stopping = True
 
     def dispatch(item) -> None:
         index, job = item
@@ -269,7 +315,7 @@ def _run_supervised(outcome: BatchOutcome, jobs: Sequence[BatchJob],
             )
         except RuntimeError:
             # no pool can be (re)built anymore: run inline
-            results[index] = _run_job(job, config, guards)
+            settle(index, _run_job(job, config, guards))
             return
         inflight[future] = (index, job, time.perf_counter(), generation)
 
@@ -277,23 +323,27 @@ def _run_supervised(outcome: BatchOutcome, jobs: Sequence[BatchJob],
         key = f"{index}:{job.name}"
         crashes = ledger.record(key)
         if crashes >= max_crashes:
-            results[index] = BatchResult(
+            settle(index, BatchResult(
                 name=job.name, code="worker_crashed",
                 error=f"worker crashed {crashes} times running this "
                       f"job; quarantined",
                 duration=time.perf_counter() - dispatched_at,
-            )
+            ))
             outcome.quarantined.append(job.name)
         else:
             suspects.append((index, job))
 
     while pending or suspects or inflight:
-        while pending and len(inflight) < supervisor.max_workers:
-            dispatch(pending.popleft())
-        if not inflight and not pending and suspects:
-            # isolation: exactly one suspect in flight, so a repeat
-            # crash is attributed unambiguously
-            dispatch(suspects.popleft())
+        if stopping and not inflight:
+            break
+        if not stopping:
+            while (not stopping and pending
+                   and len(inflight) < supervisor.max_workers):
+                dispatch(pending.popleft())
+            if not inflight and not pending and suspects:
+                # isolation: exactly one suspect in flight, so a repeat
+                # crash is attributed unambiguously
+                dispatch(suspects.popleft())
         if not inflight:
             continue
 
@@ -311,18 +361,18 @@ def _run_supervised(outcome: BatchOutcome, jobs: Sequence[BatchJob],
         for future in done:
             index, job, dispatched_at, generation = inflight.pop(future)
             try:
-                results[index] = future.result()
+                settle(index, future.result())
             except BrokenProcessPool:
                 broken_generation = generation
                 settle_crash(index, job, dispatched_at)
             except concurrent.futures.CancelledError:
                 pending.appendleft((index, job))  # never started: retry
             except Exception as exc:  # future raised something odd
-                results[index] = BatchResult(
+                settle(index, BatchResult(
                     name=job.name, code="worker_crashed",
                     error=f"worker failed: {exc!r}",
                     duration=time.perf_counter() - dispatched_at,
-                )
+                ))
         if broken_generation is not None:
             # the break dooms every other in-flight future too; drain
             # them now so their jobs are recorded as suspects exactly
@@ -330,7 +380,7 @@ def _run_supervised(outcome: BatchOutcome, jobs: Sequence[BatchJob],
             for future, (index, job, dispatched_at, _gen) in list(
                     inflight.items()):
                 try:
-                    results[index] = future.result(timeout=10.0)
+                    settle(index, future.result(timeout=10.0))
                 except BrokenProcessPool:
                     settle_crash(index, job, dispatched_at)
                 except concurrent.futures.CancelledError:
@@ -343,11 +393,11 @@ def _run_supervised(outcome: BatchOutcome, jobs: Sequence[BatchJob],
                     # innocent is never crash-attributed.
                     suspects.append((index, job))
                 except Exception as exc:
-                    results[index] = BatchResult(
+                    settle(index, BatchResult(
                         name=job.name, code="worker_crashed",
                         error=f"worker failed: {exc!r}",
                         duration=time.perf_counter() - dispatched_at,
-                    )
+                    ))
             inflight.clear()
             if supervisor.notify_broken(broken_generation):
                 outcome.worker_restarts += 1
@@ -362,11 +412,15 @@ def _run_supervised(outcome: BatchOutcome, jobs: Sequence[BatchJob],
                     abandoned = True  # running: the worker-side
                     # deadline (armed from ``timeout``) will abort it
                 del inflight[future]
-                results[index] = BatchResult(
+                settle(index, BatchResult(
                     name=job.name, code="timeout",
                     error=f"timed out after {timeout:.1f}s",
                     duration=now - dispatched_at,
-                )
+                ))
 
+    # fail-fast: everything never dispatched is reported as aborted
+    for index, job in list(pending) + list(suspects):
+        if index not in results:
+            results[index] = _aborted_result(job)
     outcome.results.extend(results[i] for i in range(len(jobs)))
     return abandoned

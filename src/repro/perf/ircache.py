@@ -82,6 +82,7 @@ class IRCache:
         include_dirs: Sequence[str],
         defines: Optional[Dict[str, str]],
         verify: bool,
+        recover: bool = False,
     ) -> Optional[str]:
         parts = [
             f"schema={SCHEMA_VERSION}",
@@ -89,6 +90,7 @@ class IRCache:
             f"include_dirs={tuple(include_dirs)!r}",
             f"defines={sorted((defines or {}).items())!r}",
             f"verify={verify}",
+            f"recover={recover}",
         ]
         for path in paths:
             digest = file_digest(path)
@@ -103,12 +105,14 @@ class IRCache:
         filename: str,
         defines: Optional[Dict[str, str]],
         verify: bool,
+        recover: bool = False,
     ) -> str:
         return combine([
             f"schema={SCHEMA_VERSION}",
             f"pycparser={_pycparser_version()}",
             f"defines={sorted((defines or {}).items())!r}",
             f"verify={verify}",
+            f"recover={recover}",
             f"filename={filename}",
             f"text={text_digest(text)}",
         ])

@@ -14,7 +14,11 @@ fault schedule (:mod:`repro.resilience.faults`) and assert that
   kill schedules, integrity evictions counted for corruption ones);
 - for the ``serve-kill`` schedule, the daemon answers a *follow-up*
   request in the same process — one worker crash never costs the
-  service.
+  service;
+- for the ``kill-resume`` schedule, the batch *driver* is SIGKILLed
+  right after a result reaches the write-ahead journal, and a
+  ``--resume`` run completes the batch byte-identical to an
+  uninterrupted one, re-running only the unfinished jobs.
 
 Schedules needing a real process pool (anything that kills a worker)
 are skipped, not failed, on platforms where no pool can be created —
@@ -36,8 +40,8 @@ from .faults import FaultPlan
 
 #: schedule names in execution order; ``--smoke`` runs the starred core
 SCHEDULES = ("kill", "quarantine", "slow", "corrupt-ir", "torn-summary",
-             "serve-kill")
-SMOKE_SCHEDULES = ("kill", "corrupt-ir", "serve-kill")
+             "serve-kill", "kill-resume")
+SMOKE_SCHEDULES = ("kill", "corrupt-ir", "serve-kill", "kill-resume")
 
 #: the job a schedule's fault targets (second job: exercises recovery
 #: with completed work before and pending work after the crash)
@@ -303,6 +307,92 @@ def _schedule_serve_kill(report, jobs, baseline, config, workers, scratch):
         server.stop()
 
 
+def _schedule_kill_resume(report, jobs, _unused_baseline, config, workers,
+                          scratch):
+    """Kill the batch *driver* after a journal append, then resume.
+
+    Three ``safeflow batch --journal`` subprocess runs over the same
+    workload: an uninterrupted reference, a run SIGKILLed by the
+    ``kill_after_journal`` fault the instant the target job's record is
+    durable, and a ``--resume`` of the killed journal. Asserts the
+    resume reused exactly the journaled results (re-running only the
+    unfinished jobs) and that the final journal replays byte-identical
+    to the uninterrupted run. Sequential (``--jobs 1``) so the journal
+    contents at the kill point are deterministic.
+    """
+    import json as json_mod
+    import signal
+    import subprocess
+    import sys
+
+    from ..perf.journal import BatchJournal
+
+    files = [job.files[0] for job in jobs]
+    target = os.path.basename(files[1])  # the CLI names jobs by basename
+
+    def run_cli(journal, extra=(), env_extra=None):
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        env.pop(faults.ENV_VAR, None)
+        if env_extra:
+            env.update(env_extra)
+        cmd = [sys.executable, "-m", "repro.cli", "batch",
+               "--jobs", "1", "--no-cache", "--json",
+               "--journal", journal, *extra, *files]
+        return subprocess.run(cmd, env=env, capture_output=True,
+                              text=True, timeout=600)
+
+    def journal_renders(path):
+        replay = BatchJournal(path).replay()
+        return {name: rec[1].report.render(verbose=False)
+                for name, rec in replay.results.items()
+                if rec[1].ok and rec[1].report is not None}
+
+    reference = os.path.join(scratch, "reference.journal")
+    proc = run_cli(reference)
+    if proc.returncode not in (0, 1):
+        report.fail(f"reference run failed (rc {proc.returncode}): "
+                    f"{proc.stderr.strip()[:200]}")
+        return
+    baseline = journal_renders(reference)
+    if len(baseline) != len(files):
+        report.fail(f"reference journal holds {len(baseline)} result(s), "
+                    f"expected {len(files)}")
+        return
+
+    journal = os.path.join(scratch, "killed.journal")
+    plan = FaultPlan(kill_after_journal=target)
+    proc = run_cli(journal, env_extra={faults.ENV_VAR: plan.to_json()})
+    if proc.returncode != -signal.SIGKILL:
+        report.fail(f"driver should die by SIGKILL right after "
+                    f"journaling {target!r} (rc {proc.returncode})")
+        return
+    survived = journal_renders(journal)
+    if not survived or len(survived) >= len(files):
+        report.fail(f"killed journal holds {len(survived)} result(s); "
+                    f"expected a proper non-empty prefix of {len(files)}")
+        return
+    report.note(f"driver SIGKILLed mid-batch; journal holds "
+                f"{len(survived)}/{len(files)} durable result(s)")
+
+    proc = run_cli(journal, extra=("--resume",))
+    if proc.returncode not in (0, 1):
+        report.fail(f"resume run failed (rc {proc.returncode}): "
+                    f"{proc.stderr.strip()[:200]}")
+        return
+    payload = json_mod.loads(proc.stdout)
+    resumed = payload.get("resumed_jobs", 0)
+    if resumed != len(survived):
+        report.fail(f"resume reused {resumed} job(s), expected "
+                    f"{len(survived)} (only unfinished jobs re-run)")
+    else:
+        report.note(f"resume reused {resumed} journaled result(s), "
+                    f"re-ran {len(files) - resumed}")
+    _compare(report, baseline, journal_renders(journal))
+
+
 _RUNNERS: Dict[str, Callable] = {
     "kill": _schedule_kill,
     "quarantine": _schedule_quarantine,
@@ -310,6 +400,7 @@ _RUNNERS: Dict[str, Callable] = {
     "corrupt-ir": _schedule_corrupt_ir,
     "torn-summary": _schedule_torn_summary,
     "serve-kill": _schedule_serve_kill,
+    "kill-resume": _schedule_kill_resume,
 }
 
 #: schedules meaningless without a real worker process to kill

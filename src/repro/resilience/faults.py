@@ -56,6 +56,12 @@ class FaultPlan:
     #: raise ``MemoryError`` at the start of this job — the
     #: deterministic stand-in for an RLIMIT_AS allocation failure
     boom_job: Optional[str] = None
+    #: SIGKILL the *batch driver* right after this job's result has
+    #: been durably appended to the batch journal — the deterministic
+    #: stand-in for a machine dying mid-batch (the kill-resume chaos
+    #: schedule). Unlike ``kill_job`` this deliberately fires in the
+    #: driver process, never in a worker.
+    kill_after_journal: Optional[str] = None
     #: directory for one-shot latch tokens (required by one-shot kills)
     latch_dir: Optional[str] = None
 
@@ -156,6 +162,22 @@ def on_job_start(job_name: str) -> None:
     if plan.kill_job == job_name and in_worker():
         if plan.kill_always or _claim(plan.latch_dir, f"kill-{job_name}"):
             os.kill(os.getpid(), signal.SIGKILL)
+
+
+def on_journal_append(job_name: str) -> None:
+    """Fire the ``kill_after_journal`` fault, if scheduled.
+
+    Called by :class:`repro.perf.journal.BatchJournal` after a job's
+    record has been appended *and* flushed/fsynced: the record is
+    durable, so a resume must replay it. The kill targets the batch
+    driver itself (a simulated machine death), so it fires regardless
+    of :func:`in_worker`, and needs no latch — the process is gone
+    right after.
+    """
+    plan = plan_from_env()
+    if plan is None or plan.kill_after_journal != job_name:
+        return
+    os.kill(os.getpid(), signal.SIGKILL)
 
 
 # ----------------------------------------------------------------------

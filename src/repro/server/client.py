@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import logging
 import random
 import socket
 import time
@@ -265,7 +266,15 @@ class SafeFlowClient:
             params["job_id"] = job_id
         if config:
             params["config"] = config
-        return self.call("analyze", params, timeout=timeout)
+        result = self.call("analyze", params, timeout=timeout)
+        report = (result or {}).get("report") or {}
+        if report.get("verdict") == "degraded":
+            units = report.get("degraded") or []
+            logging.getLogger(__name__).warning(
+                "analysis of %r returned a DEGRADED verdict: %d unit(s) "
+                "could not be analyzed and were treated fail-closed",
+                name, len(units))
+        return result
 
     def cancel(self, job_id: str) -> Dict[str, Any]:
         return self.call("cancel", {"job_id": job_id})

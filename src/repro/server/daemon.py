@@ -327,6 +327,7 @@ class SafeFlowServer:
     def _rpc_health(self, request) -> Dict[str, Any]:
         with self._lock:
             draining = self._draining
+        degraded = self.metrics.degraded_counts()
         return protocol.ok_response(request.id, {
             "status": "draining" if draining else "ok",
             "protocol": protocol.PROTOCOL_VERSION,
@@ -338,6 +339,8 @@ class SafeFlowServer:
             "queue_capacity": self.queue.capacity,
             "in_flight": self.pool.running_count(),
             "worker_restarts": self.pool.worker_restarts,
+            "degraded_analyses": degraded["analyses"],
+            "degraded_units": degraded["units"],
             "cache_dir": self.config.cache_dir,
         })
 

@@ -113,6 +113,10 @@ class ServerMetrics:
             "jobs_resubmitted": 0,
             "jobs_quarantined": 0,
         }
+        self._degraded = {
+            "analyses": 0,  # completed analyses with a degraded verdict
+            "units": 0,     # DegradedUnits across them (fail-closed)
+        }
         self._request_latency = LatencyHistogram()
         self._phase_latency: Dict[str, LatencyHistogram] = {}
         self._gauges: Dict[str, Callable[[], int]] = {}
@@ -170,6 +174,10 @@ class ServerMetrics:
                 stats.get("summary_cache_misses", 0) or 0)
             self._cache["integrity_evictions"] += int(
                 stats.get("cache_integrity_evictions", 0) or 0)
+            units = int(stats.get("degraded_units", 0) or 0)
+            if units:
+                self._degraded["analyses"] += 1
+                self._degraded["units"] += units
 
     # ------------------------------------------------------------------
     # reading
@@ -177,6 +185,11 @@ class ServerMetrics:
 
     def uptime_seconds(self) -> float:
         return time.monotonic() - self._started_mono
+
+    def degraded_counts(self) -> Dict[str, int]:
+        """Degraded-verdict totals (for the ``health`` RPC)."""
+        with self._lock:
+            return dict(self._degraded)
 
     def snapshot(self) -> Dict[str, object]:
         with self._lock:
@@ -196,6 +209,7 @@ class ServerMetrics:
                 "gauges": gauges,
                 "cache": dict(self._cache),
                 "resilience": dict(self._resilience),
+                "degraded": dict(self._degraded),
                 "latency": {
                     "request": self._request_latency.snapshot(),
                     "phases": {

@@ -98,6 +98,14 @@ class ShmAnalysis:
             # components, whether annotated noncore or not
             for region in self.regions.values():
                 region.noncore = True
+        if self.config.degraded_mode:
+            # fail closed: a region initialized by a degraded function
+            # cannot have its write-audit trusted, so treat it as
+            # writable by non-core components
+            degraded = getattr(self.program, "degraded_functions", set())
+            for region in self.regions.values():
+                if region.init_function in degraded:
+                    region.noncore = True
         self._check_init_layouts()
         self._propagate()
         return self
@@ -115,19 +123,47 @@ class ShmAnalysis:
         for fname, items in self.program.function_annotations.items():
             func = self.module.get_function(fname)
             for item in items:
-                if isinstance(item, AssumeShmvar):
-                    self._declare_region(fname, item, sizeof)
-                elif isinstance(item, AssumeNoncore):
-                    if fname in self.init_functions:
-                        self._mark_noncore(fname, item)
-                    else:
-                        self.noncore_descriptors.setdefault(fname, set()).add(
-                            item.pointer
-                        )
-                elif isinstance(item, AssumeCore):
-                    self._resolve_assume_core(fname, func, item, sizeof)
-                elif isinstance(item, (ShmInit, AssertSafe)):
-                    continue
+                try:
+                    if isinstance(item, AssumeShmvar):
+                        self._declare_region(fname, item, sizeof)
+                    elif isinstance(item, AssumeNoncore):
+                        if fname in self.init_functions:
+                            self._mark_noncore(fname, item)
+                        else:
+                            self.noncore_descriptors.setdefault(
+                                fname, set()
+                            ).add(item.pointer)
+                    elif isinstance(item, AssumeCore):
+                        self._resolve_assume_core(fname, func, item, sizeof)
+                    elif isinstance(item, (ShmInit, AssertSafe)):
+                        continue
+                except AnnotationError as exc:
+                    if not self.config.degraded_mode:
+                        raise
+                    self._degrade_annotation(fname, item, exc)
+
+    def _degrade_annotation(self, fname: str, item: AnnotationItem,
+                            exc: AnnotationError) -> None:
+        """Record a failed annotation item and fail closed around it.
+
+        The owning function is added to ``program.degraded_functions``:
+        its monitoring assumptions can no longer be trusted, so the
+        value-flow engine treats calls into it as unmonitored flow.
+        """
+        from ..degrade import KIND_ANNOTATION, DegradedUnit
+
+        degraded = getattr(self.program, "degraded", None)
+        if degraded is not None:
+            degraded.append(DegradedUnit(
+                kind=KIND_ANNOTATION,
+                name=f"{type(item).__name__}({getattr(item, 'pointer', '')})",
+                cause=exc.message,
+                location=exc.location,
+                function=fname,
+            ))
+        functions = getattr(self.program, "degraded_functions", None)
+        if functions is not None:
+            functions.add(fname)
 
     def _declare_region(self, fname: str, item: AssumeShmvar, sizeof) -> None:
         if fname not in self.init_functions:
@@ -147,6 +183,15 @@ class ShmAnalysis:
         if gv is not None and isinstance(gv.declared_type, PointerType):
             element_type = gv.declared_type.pointee
         elif gv is None:
+            if self.config.degraded_mode:
+                # degraded mode reports the missing symbol as a
+                # DegradedUnit (fail-closed around the shminit function)
+                # rather than a violation pinned to a phantom region
+                raise AnnotationError(
+                    f"shmvar pointer {item.pointer!r} does not name any "
+                    f"global variable",
+                    item.location,
+                )
             self.init_issues.append(
                 InitializationIssue(
                     message=(

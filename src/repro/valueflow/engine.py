@@ -25,7 +25,9 @@ from time import perf_counter
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..core.config import AnalysisConfig
+from ..degrade import degraded_region
 from ..frontend.driver import Program
+from ..frontend.parser import BUILTIN_FUNCTIONS
 from ..resilience.guards import check_deadline
 from ..ir import (
     Alloca,
@@ -230,6 +232,14 @@ class ValueFlowAnalysis:
             self.vfg = ValueFlowGraph()
         self.warnings_map: Dict[Tuple[str, str, int], UnmonitoredReadWarning] = {}
         self._failures: Dict[Tuple[str, int, str, str], Dict[str, Set[TaintSource]]] = {}
+        #: fail-closed degradation (see :mod:`repro.degrade`): calls
+        #: into these functions are unmonitored non-core flow
+        self._degraded_functions = frozenset(
+            getattr(program, "degraded_functions", ()) or ())
+        #: a whole translation unit was dropped — unresolved externals
+        #: may live in it, so they too are treated fail-closed
+        self._unit_degraded = any(
+            d.kind == "unit" for d in getattr(program, "degraded", ()) or ())
         self._memo: Dict[Tuple, Taint] = {}
         self._in_progress: Set[Tuple] = set()
         self._control_deps: Dict[Function, Dict[BasicBlock, Set[BasicBlock]]] = {}
@@ -1167,6 +1177,10 @@ class ValueFlowAnalysis:
             # §3.4.3: message passing and I/O reads share the treatment
             return self._transfer_recv(func, inst, vt, block_ctl)
 
+        if self._is_degraded_callee(name, inst):
+            return self._transfer_degraded_call(
+                func, inst, name, vt, block_ctl)
+
         targets: List[Function] = []
         if isinstance(inst.callee, Function) and not inst.callee.is_declaration:
             targets = [inst.callee]
@@ -1210,6 +1224,68 @@ class ValueFlowAnalysis:
                     if stored:
                         self._edge_cell(cell, func, inst)
                     result = result.join(stored)
+        return result.join(block_ctl)
+
+    def _is_degraded_callee(self, name: Optional[str], inst: Call) -> bool:
+        """Must this call be treated fail-closed (see repro.degrade)?
+
+        True for calls into functions that were individually degraded
+        (body dropped, annotations unusable), and — when a whole
+        translation unit was dropped — for every unresolved external
+        that is not part of the builtin prelude: its definition may
+        live in the lost unit, so nothing can be assumed about it.
+        """
+        if not self._degraded_functions and not self._unit_degraded:
+            return False
+        if name in self._degraded_functions:
+            return True
+        if not self._unit_degraded or not name:
+            return False
+        if name in BUILTIN_FUNCTIONS:
+            return False
+        callee = self.module.get_function(name)
+        defined = callee is not None and not callee.is_declaration
+        return not defined
+
+    def _transfer_degraded_call(self, func: Function, inst: Call,
+                                name: str, vt, block_ctl: Taint) -> Taint:
+        """Fail-closed transfer for a call into degraded code.
+
+        The result joins a synthetic ``degraded:<callee>`` taint source
+        with every argument taint, and the same taint is written
+        through every pointer argument — anything a degraded function
+        could have touched is unmonitored non-core flow, so the final
+        verdict can only get stricter.
+        """
+        location = inst.location
+        source = TaintSource(
+            region=degraded_region(name),
+            function=func.name,
+            filename=location.filename if location else "<unknown>",
+            line=location.line if location else 0,
+        )
+        self._record_warning_source(
+            func, inst, source,
+            message=(
+                f"call into degraded function {name!r}: result treated "
+                f"as unmonitored non-core flow (fail-closed)"
+            ),
+        )
+        self._edge_source(source, func, inst)
+        taint = Taint(data=frozenset({source}))
+        result = taint.join(join_all(vt(op) for op in inst.operands))
+        for op in inst.operands:
+            if vt(op):
+                self._edge_value(func, op, inst, "data")
+            if op.type.is_pointer:
+                cell = self.points_to.target_of(op)
+                if cell is not None:
+                    old = self.cell_taint.get(cell, SAFE)
+                    result = result.join(old)
+                    stored = self.strip_placeholders(result)
+                    if stored:
+                        self.cell_taint[cell] = old.join(stored)
+                    self._edge_cell(cell, func, inst)
         return result.join(block_ctl)
 
     def _transfer_copy(self, func: Function, inst: Call, ctx: Context, vt,
@@ -1323,11 +1399,12 @@ class ValueFlowAnalysis:
         return source
 
     def _record_warning_source(self, func: Function, inst: Instruction,
-                               source: TaintSource) -> None:
+                               source: TaintSource,
+                               message: Optional[str] = None) -> None:
         key = (source.function, source.region, source.line)
         if key not in self.warnings_map:
             self.warnings_map[key] = UnmonitoredReadWarning(
-                message=(
+                message=message or (
                     f"unmonitored access to non-core shared variable "
                     f"{source.region!r}: value is unsafe"
                 ),

@@ -1,0 +1,238 @@
+"""Durable batch checkpoint/resume: the write-ahead result journal.
+
+Covers the WAL frame format round-trip, torn/corrupt-tail truncation,
+fingerprint-gated reuse on resume, fail-fast abort results, and the
+in-process kill-resume byte-identity guarantee (the subprocess SIGKILL
+variant lives in the chaos harness).
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.core.config import AnalysisConfig
+from repro.errors import JournalError
+from repro.perf.batch import BatchJob, BatchResult, run_batch
+from repro.perf.journal import (
+    FRAME_MAGIC,
+    BatchJournal,
+    job_fingerprint,
+    run_journaled,
+)
+
+from tests.perf.test_cache_correctness import SIMPLE
+
+BROKEN = "int main(void) { return 0;"  # unbalanced brace: parse error
+
+
+def _write_jobs(tmp_path, count=3):
+    jobs = []
+    for i in range(count):
+        path = tmp_path / f"prog{i}.c"
+        path.write_text(SIMPLE.replace("a * 2.0", f"a * {i + 2}.0"))
+        jobs.append(BatchJob(name=f"prog{i}", files=(str(path),)))
+    return jobs
+
+
+def _config():
+    return AnalysisConfig(cache_dir=None)
+
+
+def _renders(outcome):
+    return {r.name: r.report.render(verbose=True)
+            for r in outcome.results if r.ok}
+
+
+class TestJournalFormat:
+    def test_round_trip(self, tmp_path):
+        jobs = _write_jobs(tmp_path)
+        config = _config()
+        journal_path = str(tmp_path / "batch.journal")
+        outcome = run_journaled(jobs, config, journal_path, max_workers=1)
+        assert outcome.ok
+        assert outcome.resumed_jobs == 0
+
+        replay = BatchJournal(journal_path).replay()
+        assert replay.truncated_records == 0
+        assert sorted(replay.results) == [j.name for j in jobs]
+        assert replay.header is not None and replay.header["version"] == 1
+        for job in jobs:
+            fingerprint, result = replay.results[job.name]
+            assert fingerprint == job_fingerprint(job, config)
+            assert result.ok and result.report is not None
+
+    def test_missing_journal_replays_empty(self, tmp_path):
+        replay = BatchJournal(str(tmp_path / "absent.journal")).replay()
+        assert replay.results == {}
+        assert replay.truncated_records == 0
+
+    def test_torn_tail_is_truncated_and_counted(self, tmp_path):
+        jobs = _write_jobs(tmp_path)
+        journal_path = str(tmp_path / "batch.journal")
+        run_journaled(jobs, _config(), journal_path, max_workers=1)
+        intact = os.path.getsize(journal_path)
+        with open(journal_path, "ab") as f:
+            f.write(FRAME_MAGIC + b"\x00\x00\x01\x00" + b"torn")  # short
+        replay = BatchJournal(journal_path).replay()
+        assert replay.truncated_records == 1
+        assert len(replay.results) == len(jobs)
+        # the damaged tail is physically gone
+        assert os.path.getsize(journal_path) == intact
+
+    def test_corrupt_payload_stops_replay_at_frame_boundary(self, tmp_path):
+        jobs = _write_jobs(tmp_path)
+        journal_path = str(tmp_path / "batch.journal")
+        run_journaled(jobs, _config(), journal_path, max_workers=1)
+        # flip bytes inside the last frame's sealed payload
+        size = os.path.getsize(journal_path)
+        with open(journal_path, "r+b") as f:
+            f.seek(size - 32)
+            f.write(b"\xff" * 16)
+        replay = BatchJournal(journal_path).replay()
+        assert replay.truncated_records == 1
+        # everything before the damaged frame is preserved
+        assert len(replay.results) == len(jobs) - 1
+
+    def test_garbage_file_recovers_to_empty(self, tmp_path):
+        journal_path = str(tmp_path / "garbage.journal")
+        with open(journal_path, "wb") as f:
+            f.write(b"this is not a journal at all")
+        replay = BatchJournal(journal_path).replay()
+        assert replay.results == {}
+        assert replay.truncated_records == 1
+        assert os.path.getsize(journal_path) == 0
+
+    def test_append_requires_open(self, tmp_path):
+        journal = BatchJournal(str(tmp_path / "j"))
+        with pytest.raises(JournalError):
+            journal.append_result("x", "fp", BatchResult(name="x"))
+
+
+class TestResume:
+    def test_resume_skips_matching_fingerprints(self, tmp_path):
+        jobs = _write_jobs(tmp_path)
+        config = _config()
+        journal_path = str(tmp_path / "batch.journal")
+        first = run_journaled(jobs, config, journal_path, max_workers=1)
+        second = run_journaled(jobs, config, journal_path, resume=True,
+                               max_workers=1)
+        assert second.resumed_jobs == len(jobs)
+        assert _renders(second) == _renders(first)
+
+    def test_resume_reruns_changed_inputs(self, tmp_path):
+        jobs = _write_jobs(tmp_path)
+        config = _config()
+        journal_path = str(tmp_path / "batch.journal")
+        run_journaled(jobs, config, journal_path, max_workers=1)
+        # edit one job's source: its fingerprint no longer matches
+        path = jobs[1].files[0]
+        with open(path) as f:
+            text = f.read()
+        with open(path, "w") as f:
+            f.write(text.replace("a * 3.0", "a * 9.0"))
+        outcome = run_journaled(jobs, config, journal_path, resume=True,
+                                max_workers=1)
+        assert outcome.resumed_jobs == len(jobs) - 1
+        # the re-run result superseded the stale record
+        replay = BatchJournal(journal_path).replay()
+        fingerprint, result = replay.results[jobs[1].name]
+        assert fingerprint == job_fingerprint(jobs[1], config)
+        assert "a * 9.0" not in SIMPLE  # sanity: the edit was real
+
+    def test_resume_reruns_failed_jobs(self, tmp_path):
+        jobs = _write_jobs(tmp_path, count=2)
+        bad = tmp_path / "bad.c"
+        bad.write_text(BROKEN)
+        jobs.append(BatchJob(name="bad", files=(str(bad),)))
+        config = _config()
+        journal_path = str(tmp_path / "batch.journal")
+        first = run_journaled(jobs, config, journal_path, max_workers=1)
+        assert not first.ok
+        # failed results are never journaled, so resume re-runs them
+        bad.write_text(SIMPLE)
+        second = run_journaled(jobs, config, journal_path, resume=True,
+                               max_workers=1)
+        assert second.resumed_jobs == 2
+        assert second.ok
+
+    def test_kill_resume_byte_identity_in_process(self, tmp_path):
+        """Simulated crash: journal the first two jobs, then resume
+        over the full job list — the merged output must be
+        byte-identical to an uninterrupted run."""
+        jobs = _write_jobs(tmp_path, count=4)
+        config = _config()
+        uninterrupted = run_journaled(
+            jobs, config, str(tmp_path / "ref.journal"), max_workers=1)
+
+        journal_path = str(tmp_path / "crashed.journal")
+        partial = run_journaled(jobs[:2], config, journal_path,
+                                max_workers=1)
+        assert partial.ok  # "the machine died" right after job 2
+        resumed = run_journaled(jobs, config, journal_path, resume=True,
+                                max_workers=1)
+        assert resumed.resumed_jobs == 2
+        assert [r.name for r in resumed.results] == [j.name for j in jobs]
+        assert _renders(resumed) == _renders(uninterrupted)
+
+    def test_truncation_is_counted_in_stats(self, tmp_path):
+        jobs = _write_jobs(tmp_path)
+        config = _config()
+        journal_path = str(tmp_path / "batch.journal")
+        run_journaled(jobs, config, journal_path, max_workers=1)
+        # damage the last frame, forcing one job to be recomputed
+        size = os.path.getsize(journal_path)
+        with open(journal_path, "r+b") as f:
+            f.truncate(size - 10)
+        outcome = run_journaled(jobs, config, journal_path, resume=True,
+                                max_workers=1)
+        assert outcome.journal_truncated_records == 1
+        assert outcome.resumed_jobs == len(jobs) - 1
+        recovered = [r.report.stats.journal_recovered_records
+                     for r in outcome.results if r.ok]
+        assert sum(recovered) == 1
+
+    def test_fresh_run_discards_stale_journal(self, tmp_path):
+        jobs = _write_jobs(tmp_path)
+        config = _config()
+        journal_path = str(tmp_path / "batch.journal")
+        run_journaled(jobs, config, journal_path, max_workers=1)
+        # without resume, the journal is rewritten from scratch
+        outcome = run_journaled(jobs[:1], config, journal_path,
+                                max_workers=1)
+        assert outcome.resumed_jobs == 0
+        replay = BatchJournal(journal_path).replay()
+        assert sorted(replay.results) == [jobs[0].name]
+
+
+class TestFailFast:
+    def test_fail_fast_aborts_remaining_jobs(self, tmp_path):
+        bad = tmp_path / "bad.c"
+        bad.write_text(BROKEN)
+        jobs = [BatchJob(name="bad", files=(str(bad),))]
+        jobs += _write_jobs(tmp_path, count=2)
+        outcome = run_batch(jobs, _config(), max_workers=1,
+                            fail_fast=True)
+        assert not outcome.results[0].ok
+        aborted = [r for r in outcome.results if r.code == "aborted"]
+        assert len(aborted) == 2
+        assert all("--fail-fast" in r.error for r in aborted)
+
+    def test_keep_going_default_runs_everything(self, tmp_path):
+        bad = tmp_path / "bad.c"
+        bad.write_text(BROKEN)
+        jobs = [BatchJob(name="bad", files=(str(bad),))]
+        jobs += _write_jobs(tmp_path, count=2)
+        outcome = run_batch(jobs, _config(), max_workers=1)
+        assert sum(1 for r in outcome.results if r.ok) == 2
+
+    def test_aborted_jobs_are_not_journaled(self, tmp_path):
+        bad = tmp_path / "bad.c"
+        bad.write_text(BROKEN)
+        jobs = [BatchJob(name="bad", files=(str(bad),))]
+        jobs += _write_jobs(tmp_path, count=2)
+        journal_path = str(tmp_path / "batch.journal")
+        run_journaled(jobs, _config(), journal_path, fail_fast=True,
+                      max_workers=1)
+        replay = BatchJournal(journal_path).replay()
+        assert replay.results == {}

@@ -11,6 +11,13 @@ def test_smoke_schedules_are_a_subset():
     assert set(SMOKE_SCHEDULES) <= set(SCHEDULES)
 
 
+def test_kill_resume_schedule_is_registered():
+    # the durability schedule must run in CI smoke: it is the only
+    # coverage of a SIGKILLed batch *driver* (not worker) resuming
+    assert "kill-resume" in SCHEDULES
+    assert "kill-resume" in SMOKE_SCHEDULES
+
+
 def test_corrupt_ir_schedule_passes_and_reports():
     outcome = run_chaos(schedules=["corrupt-ir"], jobs=2, workers=1)
     assert outcome.ok
