@@ -218,6 +218,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _add_cache_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--kernel", choices=("compiled", "object"),
+                     default="compiled",
+                     help="value-flow body kernel: 'compiled' lowers "
+                          "each function to a bitset opcode program, "
+                          "'object' keeps the reference interpreter "
+                          "(reports are byte-identical)")
     sub.add_argument("--no-cache", action="store_true",
                      help="disable the IR / summary caches")
     sub.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -306,6 +312,7 @@ def cmd_analyze(args) -> int:
         cache_dir=_cache_dir(args),
         profile=args.profile,
         degraded_mode=args.keep_going,
+        kernel=args.kernel,
     )
     report = SafeFlow(config).analyze_files(args.files, name=args.name)
     if args.json:
@@ -354,6 +361,7 @@ def cmd_batch(args) -> int:
         include_dirs=tuple(args.include),
         cache_dir=_cache_dir(args),
         degraded_mode=args.keep_going,
+        kernel=args.kernel,
     )
     max_workers = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
     outcome = SafeFlow(config).analyze_batch(
@@ -433,6 +441,7 @@ def cmd_serve(args) -> int:
         summary_mode=args.summaries,
         include_dirs=tuple(args.include),
         cache_dir=_cache_dir(args),
+        kernel=args.kernel,
     )
     try:
         server = SafeFlowServer(

@@ -82,6 +82,29 @@ class AnalysisConfig:
     #: value-flow phase (surfaced as ``AnalysisStats.hotspots`` /
     #: ``kernel_counters`` and by ``safeflow analyze --profile``)
     profile: bool = False
+    #: which value-flow body kernel runs the intra-function fixpoints:
+    #: ``"compiled"`` (default) lowers each (function, context) body to
+    #: a flat transfer-opcode program over bitset-encoded taints and
+    #: executes it in one tight interpreter loop, falling back to the
+    #: object domain past the bitset width; ``"object"`` keeps the
+    #: reference implementation over hash-consed Taint objects.
+    #: Reports are byte-identical either way (the object kernel is the
+    #: correctness oracle); part of the cache fingerprint together with
+    #: the opcode format version, so summaries recorded under one
+    #: representation are never replayed into the other.
+    kernel: str = "compiled"
+    #: bitset width of the compiled kernel's taint-source interner;
+    #: programs with more distinct taint sources than this fall back to
+    #: the object kernel. Report-preserving, hence never part of a
+    #: cache key.
+    kernel_width: int = 256
+    #: pause the cyclic garbage collector for the duration of each
+    #: pipeline run (one full collection afterwards). The analysis
+    #: allocates heavily and keeps almost all of it live until the
+    #: report is built, so mid-phase collections are pure overhead —
+    #: 20-30% of wall time on the bench workloads. Report-preserving,
+    #: never part of a cache key.
+    pause_gc: bool = True
     #: degraded-mode analysis (``--keep-going``): isolate frontend and
     #: annotation failures per translation unit / function / annotation
     #: as structured :class:`repro.degrade.DegradedUnit` records and

@@ -52,43 +52,49 @@ class SafeFlow:
     def analyze_source(self, text: str, filename: str = "<source>",
                        name: str = "program") -> AnalysisReport:
         """Analyze a single C source string (the core component)."""
-        cache = self._ir_cache()
-        started = time.perf_counter()
-        program = load_source(
-            text,
-            filename=filename,
-            defines=self.config.defines,
-            verify=self.config.verify_ir,
-            cache=cache,
-            recover=self.config.degraded_mode,
-        )
-        return self.analyze_program(
-            program,
-            name=name,
-            source_text=text,
-            frontend_seconds=time.perf_counter() - started,
-            ir_cache=cache,
-        )
+        from ..perf.gcpause import gc_paused
+
+        with gc_paused(self.config.pause_gc):
+            cache = self._ir_cache()
+            started = time.perf_counter()
+            program = load_source(
+                text,
+                filename=filename,
+                defines=self.config.defines,
+                verify=self.config.verify_ir,
+                cache=cache,
+                recover=self.config.degraded_mode,
+            )
+            return self.analyze_program(
+                program,
+                name=name,
+                source_text=text,
+                frontend_seconds=time.perf_counter() - started,
+                ir_cache=cache,
+            )
 
     def analyze_files(self, paths: Sequence[str],
                       name: str = "program") -> AnalysisReport:
         """Analyze one or more C files as a whole program."""
-        cache = self._ir_cache()
-        started = time.perf_counter()
-        program = load_files(
-            paths,
-            include_dirs=self.config.include_dirs,
-            defines=self.config.defines,
-            verify=self.config.verify_ir,
-            cache=cache,
-            recover=self.config.degraded_mode,
-        )
-        return self.analyze_program(
-            program,
-            name=name,
-            frontend_seconds=time.perf_counter() - started,
-            ir_cache=cache,
-        )
+        from ..perf.gcpause import gc_paused
+
+        with gc_paused(self.config.pause_gc):
+            cache = self._ir_cache()
+            started = time.perf_counter()
+            program = load_files(
+                paths,
+                include_dirs=self.config.include_dirs,
+                defines=self.config.defines,
+                verify=self.config.verify_ir,
+                cache=cache,
+                recover=self.config.degraded_mode,
+            )
+            return self.analyze_program(
+                program,
+                name=name,
+                frontend_seconds=time.perf_counter() - started,
+                ir_cache=cache,
+            )
 
     def analyze_request(self, *, source: Optional[str] = None,
                         filename: str = "<source>",
@@ -168,6 +174,18 @@ class SafeFlow:
                         source_text: Optional[str] = None,
                         frontend_seconds: Optional[float] = None,
                         ir_cache=None) -> AnalysisReport:
+        from ..perf.gcpause import gc_paused
+
+        with gc_paused(self.config.pause_gc):
+            return self._analyze_program(
+                program, name=name, source_text=source_text,
+                frontend_seconds=frontend_seconds, ir_cache=ir_cache,
+            )
+
+    def _analyze_program(self, program: Program, name: str = "program",
+                         source_text: Optional[str] = None,
+                         frontend_seconds: Optional[float] = None,
+                         ir_cache=None) -> AnalysisReport:
         from ..restrictions.checker import check_restrictions
         from ..shm.propagation import ShmAnalysis
         from ..valueflow.engine import ValueFlowAnalysis

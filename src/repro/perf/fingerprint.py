@@ -54,7 +54,7 @@ SCHEMA_VERSION = 1
 #: them must not invalidate summaries recorded under the other setting.
 CACHE_ONLY_FIELDS = frozenset({
     "cache_dir", "frontend_cache", "summary_cache",
-    "sparse_fixpoint", "profile",
+    "sparse_fixpoint", "profile", "kernel_width", "pause_gc",
 })
 
 
@@ -90,7 +90,18 @@ def config_fingerprint(config) -> str:
         if f.name in CACHE_ONLY_FIELDS:
             continue
         value = getattr(config, f.name)
-        if isinstance(value, dict):
+        if f.name == "kernel":
+            # the compiled kernel's persisted side effects (summary
+            # records) depend on its program/lattice format: fold the
+            # opcode format version in, so records written under one
+            # representation are never replayed into another
+            if value == "compiled":
+                from ..valueflow.opcodes import OPCODE_FORMAT_VERSION
+
+                rendered = repr(f"compiled/v{OPCODE_FORMAT_VERSION}")
+            else:
+                rendered = repr(value)
+        elif isinstance(value, dict):
             rendered = repr(sorted(value.items()))
         elif isinstance(value, (tuple, list)):
             rendered = repr(tuple(value))

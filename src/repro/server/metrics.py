@@ -12,6 +12,9 @@ single lock:
 - cache effectiveness, folded from the ``AnalysisStats`` cache
   counters of every completed analysis — this is how a warm request
   becomes visible from the outside (``frontend_hits`` > 0);
+- compiled-kernel totals (``kernel`` block), folded from each
+  analysis's ``kernel_*`` counters: opcode dispatches, compiled vs
+  fallback bodies, interner occupancy, compile/execute microseconds;
 - latency histograms: whole-request wall time plus one histogram per
   analysis phase (``frontend``, ``shm``, ``restrictions``, ``lint``,
   ``valueflow``, ``total``), folded from ``phase_timings``;
@@ -113,6 +116,11 @@ class ServerMetrics:
             "jobs_resubmitted": 0,
             "jobs_quarantined": 0,
         }
+        #: compiled value-flow kernel totals, folded from the
+        #: ``kernel_*`` entries of every completed analysis's
+        #: ``kernel_counters`` (opcode dispatches, compiled vs
+        #: fallback bodies, compile/execute microseconds, ...)
+        self._kernel: Dict[str, int] = {}
         self._degraded = {
             "analyses": 0,  # completed analyses with a degraded verdict
             "units": 0,     # DegradedUnits across them (fail-closed)
@@ -178,6 +186,12 @@ class ServerMetrics:
             if units:
                 self._degraded["analyses"] += 1
                 self._degraded["units"] += units
+            counters = stats.get("kernel_counters") or {}
+            for key, value in counters.items():
+                if key.startswith("kernel_"):
+                    self._kernel[key] = (
+                        self._kernel.get(key, 0) + int(value or 0)
+                    )
 
     # ------------------------------------------------------------------
     # reading
@@ -208,6 +222,7 @@ class ServerMetrics:
                 "analyses": dict(self._analyses),
                 "gauges": gauges,
                 "cache": dict(self._cache),
+                "kernel": dict(sorted(self._kernel.items())),
                 "resilience": dict(self._resilience),
                 "degraded": dict(self._degraded),
                 "latency": {

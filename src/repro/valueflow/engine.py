@@ -224,6 +224,18 @@ class ValueFlowAnalysis:
         self.body_profile: Dict[str, Dict[str, float]] = {}
         self._profile_stack: List[list] = []
 
+        #: compiled kernel (bitset taints + flat opcode programs); the
+        #: object-domain body below stays the byte-identity oracle and
+        #: the fallback target (see repro.valueflow.kernel)
+        self._kernel = None
+        if getattr(self.config, "kernel", "compiled") == "compiled":
+            from .kernel import KernelState
+
+            self._kernel = KernelState(
+                self, width=getattr(self.config, "kernel_width", 256)
+            )
+        self._value_node_memo: Dict[Tuple[Function, Value], VFGNode] = {}
+
         if summary_store is not None:
             self.cell_taint: Dict[Cell, Taint] = _RecordingCellMap(self)
             self.vfg = _RecordingVFG(self)
@@ -306,6 +318,8 @@ class ValueFlowAnalysis:
         self.contexts_analyzed = (
             self._reachable_contexts() if sparse else len(self._memo)
         )
+        if self._kernel is not None:
+            self._kernel.publish_counters(self.kernel_counters)
         self._finalize()
         if self.summary_store is not None:
             self.summary_store.flush()
@@ -939,6 +953,23 @@ class ValueFlowAnalysis:
 
     def _analyze_body(self, func: Function, ctx: Context,
                       arg_taints: Tuple[Taint, ...]) -> Taint:
+        """One intra-function local fixpoint; compiled when possible.
+
+        The compiled kernel returns ``None`` to request fallback (the
+        function is uncompilable or the bitset domain overflowed its
+        width); the object-domain body then re-runs from scratch, which
+        is safe because every compiled effect is an idempotent,
+        monotone join.
+        """
+        kernel = self._kernel
+        if kernel is not None and kernel.enabled:
+            ret = kernel.run_body(func, ctx, arg_taints)
+            if ret is not None:
+                return ret
+        return self._analyze_body_object(func, ctx, arg_taints)
+
+    def _analyze_body_object(self, func: Function, ctx: Context,
+                             arg_taints: Tuple[Taint, ...]) -> Taint:
         taints: Dict[Value, Taint] = {}
         deps = self._control_deps.get(func)
         if deps is None:
@@ -1535,6 +1566,13 @@ class ValueFlowAnalysis:
     # ------------------------------------------------------------------
 
     def _value_node(self, func: Function, value: Value) -> VFGNode:
+        # memoized: the unnamed-temp branch walks the parent block's
+        # instruction list, and edge-heavy bodies resolve the same
+        # nodes every pass (both kernels go through here)
+        memo_key = (func, value)
+        cached = self._value_node_memo.get(memo_key)
+        if cached is not None:
+            return cached
         location = ""
         if isinstance(value, Instruction):
             if value.location is not None:
@@ -1552,7 +1590,9 @@ class ValueFlowAnalysis:
                          f"{where}.{block}.{index}")
         else:
             label = f"{func.name}::{value.short()}"
-        return VFGNode("value", label, location)
+        node = VFGNode("value", label, location)
+        self._value_node_memo[memo_key] = node
+        return node
 
     def _edge_value(self, func: Function, src: Value, dst: Instruction,
                     kind: str) -> None:
