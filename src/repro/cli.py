@@ -3,6 +3,7 @@
 Subcommands::
 
     safeflow analyze FILE...     # run the analysis on C sources
+    safeflow watch PATH...       # incremental re-verdicts on file change
     safeflow batch FILE...       # analyze independent programs in parallel
     safeflow serve               # long-lived analysis service (JSON-RPC)
     safeflow chaos               # fault-injection harness (resilience)
@@ -76,6 +77,47 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="collect analysis-kernel counters and "
                               "per-body timings; print the hottest bodies")
     _add_cache_flags(analyze)
+
+    watch = sub.add_parser(
+        "watch",
+        help="watch C sources and re-verdict incrementally on change",
+        description="Keeps the front end and a disk-backed value-flow "
+                    "segment store alive between verdicts: an edit "
+                    "re-lowers only the touched unit, invalidates the "
+                    "dirty dependency cone, replays every intact "
+                    "segment, and emits a verdict byte-identical to a "
+                    "cold run.",
+    )
+    watch.add_argument("paths", nargs="+",
+                       help="C files and/or directories to watch "
+                            "(directories are rescanned for *.c)")
+    watch.add_argument("--name", default="program")
+    watch.add_argument("--interval", type=float, default=0.2, metavar="SEC",
+                       help="poll interval in seconds (default: 0.2)")
+    watch.add_argument("--idle-release", type=float, default=2.0,
+                       metavar="SEC",
+                       help="seconds without a change before the gc "
+                            "pause held across a re-verdict burst is "
+                            "released (default: 2.0)")
+    watch.add_argument("--once", action="store_true",
+                       help="run one verdict and exit")
+    watch.add_argument("--max-verdicts", type=int, default=None, metavar="N",
+                       help="exit after N verdicts")
+    watch.add_argument("--duration", type=float, default=None, metavar="SEC",
+                       help="exit after SEC seconds")
+    watch.add_argument("--json", action="store_true",
+                       help="one JSON object per verdict (JSON lines)")
+    watch.add_argument("--verbose", "-v", action="store_true",
+                       help="include value-flow witness paths")
+    watch.add_argument("--stats", action="store_true",
+                       help="print per-verdict timings and incremental "
+                            "counters")
+    watch.add_argument("--keep-going", action="store_true",
+                       help="degraded mode: recover from front-end "
+                            "failures, analyze the rest fail-closed")
+    watch.add_argument("--include", "-I", action="append", default=[],
+                       help="include directory")
+    _add_cache_flags(watch)
 
     batch = sub.add_parser(
         "batch", help="analyze independent programs in parallel"
@@ -161,7 +203,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="NAME",
                        help="run only this schedule (repeatable); one of "
                             "kill, quarantine, slow, corrupt-ir, "
-                            "torn-summary, serve-kill, kill-resume")
+                            "torn-summary, serve-kill, kill-resume, "
+                            "watch-kill")
     chaos.add_argument("--chaos-jobs", type=int, default=6, metavar="N",
                        help="generated programs in the workload "
                             "(default: 6)")
@@ -279,6 +322,15 @@ def _render_stats(report: AnalysisReport) -> str:
         lines.append(f"  {phase + ' time':<19}: {seconds * 1000:.1f} ms")
     for counter, value in stats.cache_counters().items():
         lines.append(f"  {counter:<19}: {value}")
+    incremental = {
+        "functions_reanalyzed": stats.functions_reanalyzed,
+        "dirty_cone_size": stats.dirty_cone_size,
+        "segment_evictions": stats.segment_evictions,
+        "segment_fallbacks": stats.segment_fallbacks,
+    }
+    if any(incremental.values()):
+        for counter, value in incremental.items():
+            lines.append(f"  {counter:<19}: {value}")
     return "\n".join(lines)
 
 
@@ -329,6 +381,76 @@ def cmd_analyze(args) -> int:
         with open(args.dot, "w") as f:
             f.write(report.witness_graphs[0])
         print(f"\nvalue flow graph written to {args.dot}")
+    return 0 if report.passed else 1
+
+
+def cmd_watch(args) -> int:
+    import time as _time
+
+    from .incremental import IncrementalSession, WatchLoop
+
+    config = AnalysisConfig(
+        # incremental replay records/replays summary bodies, so the
+        # watch pipeline always runs in summary mode
+        summary_mode=True,
+        include_dirs=tuple(args.include),
+        cache_dir=_cache_dir(args),
+        degraded_mode=args.keep_going,
+        kernel=args.kernel,
+    )
+    session = IncrementalSession([], config=config, name=args.name)
+    last = {"report": None, "started": _time.perf_counter()}
+
+    def on_report(report):
+        elapsed = _time.perf_counter() - last["started"]
+        last["report"] = report
+        changed = [os.path.basename(p) for p in session.last_changed]
+        if args.json:
+            payload = report.to_json()
+            payload["watch"] = {
+                "verdict_index": session.verdicts,
+                "changed_files": changed,
+                "reverdict_seconds": elapsed,
+                "unit_swaps": session.swaps,
+                "full_relowers": session.full_relowers,
+            }
+            print(json.dumps(payload), flush=True)
+            return
+        header = (f"[verdict {session.verdicts}] "
+                  f"{report.verdict.upper()} in {elapsed * 1000:.0f} ms")
+        if changed:
+            header += f"  changed: {', '.join(changed)}"
+        if report.stats.dirty_cone_size:
+            header += (f"  cone={report.stats.dirty_cone_size}"
+                       f" reanalyzed={report.stats.functions_reanalyzed}")
+        print(header, flush=True)
+        print(report.render(verbose=args.verbose), flush=True)
+        if args.stats:
+            print(_render_stats(report), flush=True)
+        print(flush=True)
+
+    loop = WatchLoop(
+        session, roots=args.paths,
+        interval=args.interval, idle_release=args.idle_release,
+        on_report=on_report,
+    )
+
+    loop_poll = loop.poll_once
+
+    def poll_timed():
+        last["started"] = _time.perf_counter()
+        return loop_poll()
+
+    loop.poll_once = poll_timed
+    try:
+        loop.run(max_verdicts=args.max_verdicts,
+                 duration=args.duration, once=args.once)
+    except KeyboardInterrupt:
+        pass
+    report = last["report"]
+    if report is None:
+        print("safeflow watch: no verdict ran", file=sys.stderr)
+        return 2
     return 0 if report.passed else 1
 
 
@@ -609,6 +731,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "analyze": cmd_analyze,
+        "watch": cmd_watch,
         "batch": cmd_batch,
         "serve": cmd_serve,
         "chaos": cmd_chaos,

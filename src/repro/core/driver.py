@@ -173,19 +173,24 @@ class SafeFlow:
     def analyze_program(self, program: Program, name: str = "program",
                         source_text: Optional[str] = None,
                         frontend_seconds: Optional[float] = None,
-                        ir_cache=None) -> AnalysisReport:
+                        ir_cache=None, summary_store=None) -> AnalysisReport:
+        """``summary_store`` overrides the config-derived store: the
+        incremental session (:mod:`repro.incremental`) injects its
+        long-lived :class:`~repro.incremental.segments.SegmentStore`
+        here so successive verdicts share one on-disk segment map."""
         from ..perf.gcpause import gc_paused
 
         with gc_paused(self.config.pause_gc):
             return self._analyze_program(
                 program, name=name, source_text=source_text,
                 frontend_seconds=frontend_seconds, ir_cache=ir_cache,
+                summary_store=summary_store,
             )
 
     def _analyze_program(self, program: Program, name: str = "program",
                          source_text: Optional[str] = None,
                          frontend_seconds: Optional[float] = None,
-                         ir_cache=None) -> AnalysisReport:
+                         ir_cache=None, summary_store=None) -> AnalysisReport:
         from ..restrictions.checker import check_restrictions
         from ..shm.propagation import ShmAnalysis
         from ..valueflow.engine import ValueFlowAnalysis
@@ -239,15 +244,49 @@ class SafeFlow:
 
         # phase 3: value flow
         phase_start = time.perf_counter()
-        store = self._summary_store()
+        store = summary_store if summary_store is not None \
+            else self._summary_store()
+        if store is not None:
+            # a session-shared (incremental) store outlives this call:
+            # report this run's contribution as deltas. A store the
+            # driver just created reports absolute counts — its load-
+            # time integrity evictions belong to this run.
+            shared = summary_store is not None
+            hits_before = store.hits if shared else 0
+            misses_before = store.misses if shared else 0
+            integrity_before = store.integrity_evictions if shared else 0
+            evictions_before = getattr(store, "evictions", 0) if shared else 0
         vf = ValueFlowAnalysis(program, shm, self.config, summary_store=store)
         vf.run()
+        if getattr(vf, "replay_validation_failed", False):
+            # optimistic (trusted) segment replay could not prove its
+            # deferred reads against the converged state: rerun phase 3
+            # with validating replay. Every mismatching record is then
+            # rejected sweep-by-sweep and recomputed — byte-identical
+            # to a cold run by the summary-store argument.
+            report.stats.segment_fallbacks += 1
+            prior_trust = store.trust_replay
+            store.trust_replay = False
+            try:
+                vf = ValueFlowAnalysis(
+                    program, shm, self.config, summary_store=store)
+                vf.run()
+            finally:
+                store.trust_replay = prior_trust
         timings["valueflow"] = time.perf_counter() - phase_start
         if store is not None:
-            report.stats.summary_cache_hits = store.hits
-            report.stats.summary_cache_misses = store.misses
+            report.stats.summary_cache_hits = store.hits - hits_before
+            report.stats.summary_cache_misses = store.misses - misses_before
             report.stats.cache_integrity_evictions += (
-                store.integrity_evictions)
+                store.integrity_evictions - integrity_before)
+            report.stats.functions_reanalyzed = len({
+                fname for fname, _, status in vf.summary_events
+                if status == "miss"
+            })
+            report.stats.dirty_cone_size = len(
+                getattr(store, "last_cone", ()))
+            report.stats.segment_evictions = (
+                getattr(store, "evictions", 0) - evictions_before)
         report.stats.kernel_counters = dict(vf.kernel_counters)
         for key, value in taint_cache_stats().items():
             report.stats.kernel_counters[key] = value - taint_before.get(key, 0)

@@ -51,6 +51,17 @@ class AnalysisStats:
     #: torn/corrupt batch-journal tail records truncated and recovered
     #: from during ``safeflow batch --resume``
     journal_recovered_records: int = 0
+    #: incremental analysis (repro.incremental): distinct functions
+    #: whose summary bodies were recomputed rather than replayed
+    functions_reanalyzed: int = 0
+    #: size of the dirty dependency cone the segment store invalidated
+    #: at the start of the run (0 when nothing changed)
+    dirty_cone_size: int = 0
+    #: segments evicted by dirty-cone invalidation this run
+    segment_evictions: int = 0
+    #: trusted segment replays that failed deferred validation and were
+    #: rerun in validating mode (should be rare; >0 is worth a look)
+    segment_fallbacks: int = 0
     #: analysis-kernel counters (outer iterations, bodies analyzed,
     #: memo hits, sparse invalidations, cache hit rates of the interned
     #: taint / solver layers); populated by the driver after phase 3
@@ -118,6 +129,10 @@ class AnalysisStats:
             "monitored_functions": self.monitored_functions,
             "degraded_units": self.degraded_units,
             "journal_recovered_records": self.journal_recovered_records,
+            "functions_reanalyzed": self.functions_reanalyzed,
+            "dirty_cone_size": self.dirty_cone_size,
+            "segment_evictions": self.segment_evictions,
+            "segment_fallbacks": self.segment_fallbacks,
             "phase_timings": dict(self.phase_timings),
             **self.cache_counters(),
         }

@@ -1,6 +1,11 @@
 """The Table 1 evaluation corpus and the synthetic program generator."""
 
-from .builder import GeneratedProgram, generate_core
+from .builder import (
+    GeneratedProgram,
+    GeneratedProgramFiles,
+    generate_core,
+    generate_core_files,
+)
 from .loader import (
     CorpusSystem,
     PaperRow,
@@ -13,7 +18,9 @@ from .loader import (
 __all__ = [
     "CorpusSystem",
     "GeneratedProgram",
+    "GeneratedProgramFiles",
     "generate_core",
+    "generate_core_files",
     "PaperRow",
     "SYSTEM_KEYS",
     "SYSTEMS_DIR",

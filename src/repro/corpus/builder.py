@@ -13,8 +13,9 @@ complexity discussion).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+import os
+from dataclasses import dataclass, field
+from typing import List, Tuple
 
 
 @dataclass
@@ -30,6 +31,63 @@ class GeneratedProgram:
     @property
     def loc(self) -> int:
         return len(self.source.splitlines())
+
+
+@dataclass
+class GeneratedProgramFiles:
+    """A synthetic core component split over several translation units.
+
+    ``files`` is an ordered list of ``(filename, source)`` pairs: the
+    annotated core unit first, then standalone filler units. The filler
+    units are deliberately *declaration-free* — plain arithmetic
+    functions that reference nothing and are referenced by nothing — so
+    an edit inside one exercises the incremental layer's surgical unit
+    swap (:mod:`repro.incremental`) and keeps the expected dirty cone
+    to exactly the edited functions.
+    """
+
+    files: List[Tuple[str, str]] = field(default_factory=list)
+    regions: int = 0
+    expected_warnings: int = 0
+    expected_errors: int = 0
+    expected_false_positives: int = 0
+
+    @property
+    def loc(self) -> int:
+        return sum(len(src.splitlines()) for _, src in self.files)
+
+    def write_to(self, directory: str) -> List[str]:
+        """Materialize the units under ``directory``; returns paths."""
+        os.makedirs(directory, exist_ok=True)
+        paths = []
+        for fname, source in self.files:
+            path = os.path.join(directory, fname)
+            with open(path, "w") as f:
+                f.write(source)
+            paths.append(path)
+        return paths
+
+
+def _filler_lines(index: int, loops: bool) -> List[str]:
+    """One standalone filler function (pure double arithmetic)."""
+    lines = [f"double filler{index}(double x)", "{"]
+    add = lines.append
+    add("    double acc;")
+    add("    int i;")
+    add("    acc = x;")
+    if loops:
+        add("    for (i = 0; i < 16; i++) {")
+        add(f"        acc = acc * 0.99 + {index + 1}.0 / (i + 2.0);")
+        add("        acc = acc + x * 0.5;")
+        add("        if (acc > 1000.0) {")
+        add("            acc = acc * 0.5;")
+        add("        }")
+        add("        acc = acc - 0.125;")
+        add("    }")
+    add(f"    return acc + {index}.5;")
+    add("}")
+    add("")
+    return lines
 
 
 def generate_core(
@@ -130,23 +188,7 @@ def generate_core(
 
     # --- filler computation --------------------------------------------
     for i in range(filler_functions):
-        add(f"double filler{i}(double x)")
-        add("{")
-        add("    double acc;")
-        add("    int i;")
-        add("    acc = x;")
-        if loops:
-            add("    for (i = 0; i < 16; i++) {")
-            add(f"        acc = acc * 0.99 + {i + 1}.0 / (i + 2.0);")
-            add("        acc = acc + x * 0.5;")
-            add("        if (acc > 1000.0) {")
-            add("            acc = acc * 0.5;")
-            add("        }")
-            add("        acc = acc - 0.125;")
-            add("    }")
-        add(f"    return acc + {i}.5;")
-        add("}")
-        add("")
+        lines.extend(_filler_lines(i, loops))
 
     # --- shared fan-out helpers (call-graph width stress) ---------------
     for j in range(call_fanout):
@@ -277,4 +319,39 @@ def generate_core(
         expected_warnings=expected_warnings,
         expected_errors=len(data_regions),
         expected_false_positives=len(control_regions),
+    )
+
+
+def generate_core_files(
+    filler_units: int = 2,
+    fillers_per_unit: int = 4,
+    **knobs,
+) -> GeneratedProgramFiles:
+    """Multi-translation-unit variant of :func:`generate_core`.
+
+    The annotated core program (every ``generate_core`` knob applies)
+    becomes ``core.c``; ``filler_units`` additional files carry
+    ``fillers_per_unit`` standalone filler functions each, numbered
+    after the core's own fillers so names never collide. The expected
+    diagnosis is the core's — the filler units cannot contribute
+    findings. ``safeflow watch`` benchmarks and the incremental
+    edit-type matrix use the filler units as swap targets: editing one
+    touches a single declaration-free unit.
+    """
+    core = generate_core(**knobs)
+    loops = knobs.get("loops", True)
+    index = knobs.get("filler_functions", 0)
+    files: List[Tuple[str, str]] = [("core.c", core.source)]
+    for u in range(filler_units):
+        lines = [f"/* synthetic SafeFlow filler unit {u} (generated) */", ""]
+        for _ in range(fillers_per_unit):
+            lines.extend(_filler_lines(index, loops))
+            index += 1
+        files.append((f"filler_{u:02d}.c", "\n".join(lines) + "\n"))
+    return GeneratedProgramFiles(
+        files=files,
+        regions=core.regions,
+        expected_warnings=core.expected_warnings,
+        expected_errors=core.expected_errors,
+        expected_false_positives=core.expected_false_positives,
     )

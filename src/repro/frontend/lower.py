@@ -317,8 +317,12 @@ class ModuleLowerer:
     """Lowers one or more parsed units into a single IR module."""
 
     def __init__(self, module_name: str = "program", run_ssa: bool = True,
-                 recover: bool = False):
-        self.module = Module(module_name)
+                 recover: bool = False, module: Optional[Module] = None):
+        #: lowering into an existing module (``module=``) is the
+        #: incremental front end's surgical unit swap: the edited
+        #: unit's new functions bind call targets against the live
+        #: function objects of every other (unchanged) unit
+        self.module = module if module is not None else Module(module_name)
         self.run_ssa = run_ssa
         #: function name → start SourceLocation, used for annotation
         #: attachment by the front-end driver

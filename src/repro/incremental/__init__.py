@@ -1,0 +1,28 @@
+"""Incremental analysis: disk-backed value-flow segments, a function
+dependency graph, and the ``safeflow watch`` session/loop.
+
+``IncrementalSession``/``WatchLoop`` are imported lazily: the package
+is also imported from :func:`repro.perf.fingerprint.config_fingerprint`
+(to fold ``SEGMENT_FORMAT_VERSION`` in), which must not drag the whole
+driver stack along.
+"""
+
+from .depgraph import DependencyGraph
+from .segments import SEGMENT_FORMAT_VERSION, Segment, SegmentStore
+
+__all__ = [
+    "DependencyGraph",
+    "SEGMENT_FORMAT_VERSION",
+    "Segment",
+    "SegmentStore",
+    "IncrementalSession",
+    "WatchLoop",
+]
+
+
+def __getattr__(name):
+    if name in ("IncrementalSession", "WatchLoop"):
+        from . import watcher
+
+        return getattr(watcher, name)
+    raise AttributeError(name)

@@ -1,0 +1,137 @@
+"""Function-level dependency graph for incremental invalidation.
+
+Two edge families, with different invalidation duties:
+
+- **call edges** (caller → callee, from the recorded call dispatches of
+  every persisted segment): these are *informational* for invalidation
+  purposes, because the segment keys already embed each function's
+  transitive closure fingerprint — editing a callee changes every
+  transitive caller's closure fingerprint, so their old segments can
+  never be looked up again. They are kept in the serialized graph for
+  observability (``safeflow watch --stats``, tests asserting cone
+  shapes) and for future distribution work;
+
+- **cell-coupling edges** (writer → reader over canonical memory-cell
+  names, from the recorded reads/writes of every segment plus the
+  coupling stubs of bodies that could not be persisted): these are
+  *correctness-load-bearing*. A segment's recorded reads reflect the
+  **final converged** cell state of the run that produced it, so under
+  optimistic (trusted) replay a stale record could re-justify its own
+  inputs around a taint cycle. Before a run starts, the store computes
+  the forward closure of the changed functions over these edges — the
+  *dirty cone* — and evicts every segment in it, so no record whose
+  inputs may have been produced by changed code is ever trusted.
+
+The cone is a forward closure: a changed function's (old) writes fed
+the recorded reads of its readers, whose writes fed *their* readers,
+transitively. Taints only grow within a run, and every recorded effect
+is an idempotent join, so replaying the surviving segments plus
+recomputing the cone reaches the same fixpoint as a cold run — the
+engine additionally re-validates every trusted read against the final
+state and falls back to a validating run on any mismatch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+
+class DependencyGraph:
+    """Writer→reader cell coupling + caller→callee edges, by name."""
+
+    def __init__(self) -> None:
+        #: cell name → functions whose segments/stubs write it
+        self.cell_writers: Dict[str, Set[str]] = {}
+        #: cell name → functions whose segments/stubs read it
+        self.cell_readers: Dict[str, Set[str]] = {}
+        #: caller → callees (from recorded dispatches)
+        self.call_edges: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_body(self, function: str, reads: Iterable[str],
+                 writes: Iterable[str],
+                 calls: Iterable[str] = ()) -> None:
+        for name in reads:
+            self.cell_readers.setdefault(name, set()).add(function)
+        for name in writes:
+            self.cell_writers.setdefault(name, set()).add(function)
+        for callee in calls:
+            self.call_edges.setdefault(function, set()).add(callee)
+
+    @classmethod
+    def from_segments(cls, segments, couplings=None) -> "DependencyGraph":
+        """Build from an iterable of :class:`repro.incremental.segments.
+        Segment` plus the coupling stubs ``{function: (reads, writes)}``
+        of bodies that were analyzed but not persisted."""
+        graph = cls()
+        for seg in segments:
+            record = seg.record
+            graph.add_body(
+                seg.function,
+                (name for name, _ in record.reads),
+                (name for name, _ in record.writes),
+                (call[0] for call in record.calls),
+            )
+        for function, (reads, writes) in (couplings or {}).items():
+            graph.add_body(function, reads, writes)
+        return graph
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def coupling_edges(self) -> Dict[str, Set[str]]:
+        """writer function → reader functions (derived adjacency)."""
+        adjacency: Dict[str, Set[str]] = {}
+        for cell, writers in self.cell_writers.items():
+            readers = self.cell_readers.get(cell)
+            if not readers:
+                continue
+            for writer in writers:
+                adjacency.setdefault(writer, set()).update(readers)
+        return adjacency
+
+    def dirty_cone(self, seeds: Iterable[str]) -> FrozenSet[str]:
+        """Forward closure of ``seeds`` over writer→reader coupling.
+
+        Seeds are functions whose closure fingerprint changed (edited
+        functions and every transitive caller, new functions, deleted
+        functions). The result always contains the seeds themselves.
+        """
+        adjacency = self.coupling_edges()
+        cone: Set[str] = set()
+        work: List[str] = list(seeds)
+        while work:
+            function = work.pop()
+            if function in cone:
+                continue
+            cone.add(function)
+            work.extend(adjacency.get(function, ()))
+        return frozenset(cone)
+
+    # ------------------------------------------------------------------
+    # serialization (a plain payload the store seals to disk)
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, Dict[str, Tuple[str, ...]]]:
+        def freeze(table: Dict[str, Set[str]]):
+            return {key: tuple(sorted(value))
+                    for key, value in sorted(table.items())}
+
+        return {
+            "cell_writers": freeze(self.cell_writers),
+            "cell_readers": freeze(self.cell_readers),
+            "call_edges": freeze(self.call_edges),
+        }
+
+    @classmethod
+    def from_payload(cls, payload) -> "DependencyGraph":
+        graph = cls()
+        for attr in ("cell_writers", "cell_readers", "call_edges"):
+            table = getattr(graph, attr)
+            for key, values in (payload.get(attr) or {}).items():
+                table[key] = set(values)
+        return graph

@@ -1,0 +1,469 @@
+"""Disk-backed value-flow segment store (the incremental subsystem).
+
+A *segment* is one persisted summary/effects body run — the
+:class:`repro.perf.summary_store.BodyRecord` (reads, writes, warnings,
+failures, VFG edges, call dispatches, returned taint) plus its identity
+metadata: function, body kind, closure fingerprint, assumed-core
+context and serialized argument taints. Segments are keyed exactly like
+:class:`repro.perf.summary_store.SummaryStore` entries, so the
+value-flow engine drives both stores through one duck-typed protocol
+(``entry_key`` / ``lookup`` / ``stage`` / ``flush``).
+
+What the segment store adds over the summary store:
+
+- **an append-only checksum-framed log**: every frame is length-
+  prefixed and sealed (:mod:`repro.perf.integrity`), appended with an
+  ``fsync``. A SIGKILL mid-write leaves a torn tail that the next open
+  truncates back to the last intact frame (counted as an integrity
+  eviction, never an error) — the PR 4 evict-and-recompute discipline.
+  The log is compacted in place once dead frames dominate;
+
+- **run lifecycle + dirty-cone invalidation** (:meth:`begin_run`): the
+  store remembers the per-function closure fingerprints of the last
+  completed run. At the start of a run the engine hands it the current
+  map; the diff (edited functions and their transitive callers, new
+  functions, deleted functions) seeds a forward closure over the
+  writer→reader cell-coupling edges of the persisted
+  :class:`repro.incremental.depgraph.DependencyGraph`, and every
+  segment in that *dirty cone* is evicted up front. This is
+  correctness-load-bearing for trusted replay — see below;
+
+- **trusted (optimistic) replay** (``trust_replay``): recorded cell
+  reads reflect the final converged state of the producing run, so
+  validating them against mid-fixpoint state (the summary store's
+  discipline) rejects nearly every record in the early sweeps and
+  re-pays the whole fixpoint. With ``trust_replay`` the engine applies
+  intact segments without sweep-time read validation, *defers* every
+  read check to the converged end state, and the driver falls back to
+  a validating rerun if any deferred check fails. Eviction of the
+  dirty cone up front is what makes this sound: a stale record whose
+  inputs were produced by changed code is never replayed, so the only
+  way a deferred check can pass is that the recorded input really is
+  the converged value;
+
+- **coupling stubs** (:meth:`note_coupling`): bodies that cannot be
+  persisted (they touched an unnamed cell, or ran through the merged
+  context-budget path) still read and write named cells. Their
+  writer→reader facts are persisted as stubs so the dirty cone sees
+  every coupling, not just the replayable ones.
+
+The dependency graph is serialized alongside the log (``deps.bin``,
+sealed) on every flush; it is an introspection artifact — the cone is
+always computed from the live segments, so a damaged ``deps.bin`` is
+simply rewritten.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..perf.fingerprint import SCHEMA_VERSION
+from ..perf.integrity import IntegrityError, seal, unseal
+from ..perf.summary_store import BodyRecord, SummaryStore
+from ..resilience.faults import on_segment_flush
+from .depgraph import DependencyGraph
+
+#: bump on any change to the segment/frame layout; folded into
+#: ``config_fingerprint`` so a format rev namespaces every store
+SEGMENT_FORMAT_VERSION = 1
+
+LOG_NAME = "segments.log"
+DEPS_NAME = "deps.bin"
+
+_LEN_BYTES = 4
+_MAX_FRAME = 1 << 30
+
+
+@dataclass
+class Segment:
+    """One persisted per-(function, context) analysis unit."""
+
+    function: str
+    kind: str  # "summary" | "effects"
+    closure_fp: str
+    ctx: Tuple[str, ...]
+    args: tuple
+    record: BodyRecord
+
+
+def _frame(obj) -> bytes:
+    payload = seal(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    return len(payload).to_bytes(_LEN_BYTES, "big") + payload
+
+
+class SegmentStore:
+    """On-disk, crash-tolerant, incrementally-invalidated segment map.
+
+    ``root`` is a directory owned by this store (created on demand);
+    the caller namespaces it by config fingerprint so records produced
+    under one configuration are never replayed into another.
+    """
+
+    def __init__(self, root: str, trust_replay: bool = True):
+        self.root = root
+        self.path = os.path.join(root, LOG_NAME)
+        self.deps_path = os.path.join(root, DEPS_NAME)
+        #: engine-visible mode switch: apply records optimistically and
+        #: defer read validation to the converged state (the driver
+        #: flips this off for the validating fallback rerun)
+        self.trust_replay = trust_replay
+        self.hits = 0
+        self.misses = 0
+        self.integrity_evictions = 0
+        #: segments evicted by dirty-cone invalidation (not integrity)
+        self.evictions = 0
+        self.last_seeds: FrozenSet[str] = frozenset()
+        self.last_cone: FrozenSet[str] = frozenset()
+        #: converged merged-input joins of the last successful run in
+        #: this process (see ``ValueFlowAnalysis._apply_merged_seeds``).
+        #: Deliberately *not* persisted: seeds are only sound against
+        #: the exact segment population that produced them, and a
+        #: process restart pays one ordinary warm run to re-harvest.
+        self.merged_seeds: Optional[dict] = None
+        self._segments: Dict[str, Segment] = {}
+        #: function → (read cell names, written cell names) for bodies
+        #: analyzed but not persisted (coupling stubs)
+        self._couplings: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {}
+        #: closure fingerprints of the last *completed* (flushed) run
+        self._closures: Dict[str, str] = {}
+        self._staged: Dict[str, Segment] = {}
+        self._staged_couplings: Dict[
+            str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {}
+        self._tombstones: List[str] = []
+        self._uncouple: List[str] = []
+        #: metadata captured by :meth:`entry_key`, so :meth:`stage` can
+        #: wrap the engine's bare record into a full :class:`Segment`
+        self._pending_meta: Dict[str, Tuple[str, str, str, tuple, tuple]] = {}
+        #: the closure map of the run in flight (None outside a run)
+        self._run_closures: Optional[Dict[str, str]] = None
+        self._disk_frames = 0
+        self._load()
+
+    # ------------------------------------------------------------------
+    # loading / crash recovery
+    # ------------------------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "rb") as f:
+                raw = f.read()
+        except OSError:
+            return
+        frames: List[tuple] = []
+        offset = 0
+        torn = False
+        size = len(raw)
+        while offset < size:
+            end = offset + _LEN_BYTES
+            if end > size:
+                torn = True
+                break
+            length = int.from_bytes(raw[offset:end], "big")
+            if length <= 0 or length > _MAX_FRAME or end + length > size:
+                torn = True
+                break
+            try:
+                obj = pickle.loads(unseal(raw[end:end + length]))
+            except (IntegrityError, Exception):
+                torn = True
+                break
+            frames.append(obj)
+            offset = end + length
+        if torn:
+            # a kill mid-append left a torn tail: keep the intact
+            # prefix, truncate the rest, count one eviction
+            self.integrity_evictions += 1
+            self._truncate_to(offset)
+        if not frames:
+            return
+        header = frames[0]
+        if (not isinstance(header, tuple) or len(header) != 2
+                or header[0] != "header"
+                or header[1].get("format") != SEGMENT_FORMAT_VERSION
+                or header[1].get("schema") != SCHEMA_VERSION):
+            # foreign or stale-format store: evict wholesale and
+            # recompute (stale segments must never replay)
+            self.integrity_evictions += 1
+            self._remove_files()
+            return
+        for obj in frames[1:]:
+            self._apply(obj)
+        self._disk_frames = len(frames)
+
+    def _apply(self, obj: tuple) -> None:
+        tag = obj[0]
+        if tag == "segment":
+            _, key, segment = obj
+            self._segments[key] = segment
+        elif tag == "evict":
+            for key in obj[1]:
+                self._segments.pop(key, None)
+        elif tag == "coupling":
+            _, function, reads, writes = obj
+            self._couplings[function] = (tuple(reads), tuple(writes))
+        elif tag == "uncouple":
+            for function in obj[1]:
+                self._couplings.pop(function, None)
+        elif tag == "closures":
+            self._closures = dict(obj[1])
+        # unknown tags are ignored: forward-compatible within a format
+
+    def _truncate_to(self, offset: int) -> None:
+        try:
+            if offset <= 0:
+                os.unlink(self.path)
+            else:
+                with open(self.path, "r+b") as f:
+                    f.truncate(offset)
+        except OSError:
+            pass
+
+    def _remove_files(self) -> None:
+        for path in (self.path, self.deps_path):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self._segments.clear()
+        self._couplings.clear()
+        self._closures = {}
+        self._disk_frames = 0
+
+    # ------------------------------------------------------------------
+    # run lifecycle: dirty-cone invalidation
+    # ------------------------------------------------------------------
+
+    def begin_run(self, closures: Dict[str, str]) -> FrozenSet[str]:
+        """Start a run: diff closure fingerprints, evict the dirty cone.
+
+        ``closures`` maps every currently defined function to its
+        transitive closure fingerprint. Seeds are the symmetric
+        difference against the last completed run (edited functions and
+        all their transitive callers — the closure fingerprint moves
+        for every one of them — plus new and deleted functions); the
+        cone is their forward closure over writer→reader cell coupling.
+        Idempotent within a run: a fallback rerun recomputes the same
+        (already applied) eviction set.
+        """
+        current = dict(closures)
+        seeds = {
+            name
+            for name in set(self._closures) | set(current)
+            if self._closures.get(name) != current.get(name)
+        }
+        self.last_seeds = frozenset(seeds)
+        if seeds:
+            graph = self.dependency_graph()
+            cone = graph.dirty_cone(seeds)
+        else:
+            cone = frozenset()
+        self.last_cone = cone
+        if cone:
+            evicted = [key for key, seg in self._segments.items()
+                       if seg.function in cone]
+            for key in evicted:
+                del self._segments[key]
+            self._tombstones.extend(evicted)
+            self.evictions += len(evicted)
+        self._run_closures = current
+        return cone
+
+    def dependency_graph(self) -> DependencyGraph:
+        """The live graph (persisted segments + coupling stubs)."""
+        return DependencyGraph.from_segments(
+            self._segments.values(), self._couplings
+        )
+
+    # ------------------------------------------------------------------
+    # the engine-facing store protocol
+    # ------------------------------------------------------------------
+
+    def entry_key(self, func_name: str, kind: str, closure_fp: str,
+                  ctx: Tuple[str, ...], args: tuple) -> str:
+        """Same digest as :meth:`SummaryStore.entry_key` (the protocols
+        are interchangeable); additionally captures the metadata that
+        turns a staged record into a full :class:`Segment`."""
+        key = SummaryStore.entry_key(func_name, kind, closure_fp, ctx, args)
+        self._pending_meta[key] = (func_name, kind, closure_fp, ctx, args)
+        return key
+
+    def lookup(self, key: str) -> Optional[BodyRecord]:
+        segment = self._segments.get(key)
+        return segment.record if segment is not None else None
+
+    def stage(self, key: str, record: BodyRecord) -> None:
+        meta = self._pending_meta.get(key)
+        if meta is None:  # unknown key: engine bypassed entry_key
+            return
+        function, kind, closure_fp, ctx, args = meta
+        self._staged[key] = Segment(
+            function=function, kind=kind, closure_fp=closure_fp,
+            ctx=ctx, args=args, record=record,
+        )
+
+    def note_coupling(self, function: str, reads, writes) -> None:
+        """Record the cell coupling of a body that has no segment."""
+        reads = tuple(sorted(reads))
+        writes = tuple(sorted(writes))
+        if not reads and not writes:
+            return
+        self._staged_couplings[function] = (reads, writes)
+
+    def hold_merged_seeds(self, payload: Optional[dict]) -> None:
+        """Keep (or poison, with ``None``) the engine's converged
+        merged-input joins for the next trusted run in this process."""
+        self.merged_seeds = payload
+
+    def discard_staged(self) -> None:
+        """Drop everything staged by a run whose deferred validation
+        failed: its records were computed against optimistic state."""
+        self._staged.clear()
+        self._staged_couplings.clear()
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    # ------------------------------------------------------------------
+    # flush / compaction / artifacts
+    # ------------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Persist the completed run: evictions, new segments, coupling
+        stubs and the closure map, appended as sealed frames with one
+        fsync; then refresh ``deps.bin`` and compact if dead frames
+        dominate. No-op when nothing changed."""
+        run_closures = self._run_closures
+        if run_closures is not None:
+            # stubs of re-analyzed (cone) functions that were not
+            # re-noted this run describe bodies that no longer exist,
+            # as do stubs of deleted functions
+            for function in list(self._couplings):
+                replaced = function in self._staged_couplings
+                gone = function not in run_closures
+                stale = function in self.last_cone and not replaced
+                if gone or stale:
+                    del self._couplings[function]
+                    self._uncouple.append(function)
+        closures_changed = (
+            run_closures is not None and run_closures != self._closures
+        )
+        if not (self._staged or self._staged_couplings or self._tombstones
+                or self._uncouple or closures_changed):
+            self._pending_meta.clear()
+            return
+        frames: List[bytes] = []
+        fresh = self._disk_frames == 0
+        if fresh:
+            frames.append(_frame(("header", {
+                "format": SEGMENT_FORMAT_VERSION,
+                "schema": SCHEMA_VERSION,
+            })))
+        if self._tombstones:
+            frames.append(_frame(("evict", tuple(self._tombstones))))
+        if self._uncouple:
+            frames.append(_frame(("uncouple", tuple(self._uncouple))))
+        for key, segment in self._staged.items():
+            frames.append(_frame(("segment", key, segment)))
+        for function, (reads, writes) in self._staged_couplings.items():
+            frames.append(_frame(("coupling", function, reads, writes)))
+        if closures_changed:
+            frames.append(_frame(("closures", dict(run_closures))))
+        blob = b"".join(frames)
+        try:
+            os.makedirs(self.root, exist_ok=True)
+            with open(self.path, "ab") as f:
+                on_segment_flush(f, blob)
+                f.write(blob)
+                f.flush()
+                os.fsync(f.fileno())
+        except OSError:
+            return
+        self._disk_frames += len(frames)
+        self._segments.update(self._staged)
+        self._couplings.update(self._staged_couplings)
+        if run_closures is not None:
+            self._closures = dict(run_closures)
+        self._staged.clear()
+        self._staged_couplings.clear()
+        self._tombstones.clear()
+        self._uncouple.clear()
+        self._pending_meta.clear()
+        live = len(self._segments) + len(self._couplings) + 2
+        if self._disk_frames > 2 * live + 64:
+            self._compact()
+        self._write_deps()
+
+    def _compact(self) -> None:
+        """Rewrite the log with only live frames (atomic replace)."""
+        frames = [_frame(("header", {
+            "format": SEGMENT_FORMAT_VERSION,
+            "schema": SCHEMA_VERSION,
+        }))]
+        if self._closures:
+            frames.append(_frame(("closures", dict(self._closures))))
+        for function, (reads, writes) in sorted(self._couplings.items()):
+            frames.append(_frame(("coupling", function, reads, writes)))
+        for key, segment in sorted(self._segments.items()):
+            frames.append(_frame(("segment", key, segment)))
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as f:
+                    f.write(b"".join(frames))
+                    f.flush()
+                    os.fsync(f.fileno())
+                os.replace(tmp, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return
+        self._disk_frames = len(frames)
+
+    def _write_deps(self) -> None:
+        """Serialize the dependency graph alongside the store."""
+        payload = {
+            "format": SEGMENT_FORMAT_VERSION,
+            "graph": self.dependency_graph().to_payload(),
+            "closures": dict(self._closures),
+        }
+        try:
+            blob = seal(pickle.dumps(payload,
+                                     protocol=pickle.HIGHEST_PROTOCOL))
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as f:
+                    f.write(blob)
+                os.replace(tmp, self.deps_path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return
+
+    def read_deps_artifact(self) -> Optional[dict]:
+        """Load ``deps.bin``; ``None`` when absent or damaged (the
+        artifact is derived state — the caller just rebuilds)."""
+        try:
+            with open(self.deps_path, "rb") as f:
+                raw = f.read()
+        except OSError:
+            return None
+        try:
+            payload = pickle.loads(unseal(raw))
+        except (IntegrityError, Exception):
+            self.integrity_evictions += 1
+            return None
+        if payload.get("format") != SEGMENT_FORMAT_VERSION:
+            return None
+        return payload

@@ -108,6 +108,12 @@ def config_fingerprint(config) -> str:
         else:
             rendered = repr(value)
         parts.append(f"{f.name}={rendered}")
+    # persisted value-flow segments (repro.incremental) have their own
+    # on-disk format; fold its version in so a format rev gives stores
+    # and summary caches a fresh namespace, like OPCODE_FORMAT_VERSION
+    from ..incremental.segments import SEGMENT_FORMAT_VERSION
+
+    parts.append(f"segments=v{SEGMENT_FORMAT_VERSION}")
     return combine(parts)
 
 
@@ -265,6 +271,21 @@ class FlowFingerprints:
         for fname in sorted(self.shm.noncore_descriptors):
             names = sorted(self.shm.noncore_descriptors[fname])
             parts.append(f"descr:{fname}:{names}")
+        # fail-closed degradation changes every body's semantics (calls
+        # into degraded functions become unmonitored non-core flow, and
+        # a lost unit smears every unresolved external), so the degraded
+        # set must namespace the summaries: flipping a function's
+        # degraded status without changing its IR must not replay
+        # records from the other mode
+        program = getattr(self.shm, "program", None)
+        if program is not None:
+            degraded = sorted(
+                getattr(program, "degraded_functions", ()) or ())
+            unit_lost = any(
+                d.kind == "unit"
+                for d in getattr(program, "degraded", ()) or ())
+            if degraded or unit_lost:
+                parts.append(f"degraded:{degraded}:{unit_lost}")
         return combine(parts)
 
     def _flow_fp(self, func: Function) -> str:

@@ -67,16 +67,30 @@ def ser_taint(taint: Taint) -> SerTaint:
     return (_ser_sources(taint.data), _ser_sources(taint.control))
 
 
+#: ser-tuple → interned taint. Taints are interned by value, so the
+#: mapping is a pure function; memoizing it keeps warm segment replays
+#: (which deserialize the same few taints thousands of times per
+#: verdict) off the frozenset-construction path.
+_DESER_TAINT_MEMO: Dict[SerTaint, "Taint"] = {}
+_DESER_ARGS_MEMO: Dict[Tuple[SerTaint, ...], Tuple["Taint", ...]] = {}
+
+
 def deser_taint(data: SerTaint) -> "Taint":
+    cached = _DESER_TAINT_MEMO.get(data)
+    if cached is not None:
+        return cached
     from ..valueflow.taint import SAFE, Taint, TaintSource
 
     data_srcs, control_srcs = data
     if not data_srcs and not control_srcs:
-        return SAFE
-    return Taint(
-        frozenset(TaintSource(*s) for s in data_srcs),
-        frozenset(TaintSource(*s) for s in control_srcs),
-    )
+        taint = SAFE
+    else:
+        taint = Taint(
+            frozenset(TaintSource(*s) for s in data_srcs),
+            frozenset(TaintSource(*s) for s in control_srcs),
+        )
+    _DESER_TAINT_MEMO[data] = taint
+    return taint
 
 
 def ser_args(args) -> Tuple[SerTaint, ...]:
@@ -84,7 +98,11 @@ def ser_args(args) -> Tuple[SerTaint, ...]:
 
 
 def deser_args(data) -> Tuple[Taint, ...]:
-    return tuple(deser_taint(a) for a in data)
+    cached = _DESER_ARGS_MEMO.get(data)
+    if cached is None:
+        cached = _DESER_ARGS_MEMO[data] = tuple(
+            deser_taint(a) for a in data)
+    return cached
 
 
 def ser_ctx(ctx) -> Tuple[str, ...]:
@@ -116,6 +134,14 @@ class BodyRecord:
     edges: Tuple[tuple, ...] = ()
     #: (callee name, context, argument taints, returned taint)
     calls: Tuple[tuple, ...] = ()
+
+    def __getstate__(self):
+        # the replaying engine attaches a per-process decoded view
+        # (interned taints, VFG nodes) under ``_replay_cache``; the
+        # persisted form must stay pure serialized tuples
+        state = dict(self.__dict__)
+        state.pop("_replay_cache", None)
+        return state
 
 
 class BodyRecorder:
@@ -165,6 +191,16 @@ class BodyRecorder:
     def note_call(self, callee: str, ctx, args, ret: Taint) -> None:
         self.calls.append((callee, ser_ctx(ctx), ser_args(args),
                            ser_taint(ret)))
+
+    def coupling(self) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+        """The named cells this body read/wrote, even when the record
+        itself is not persistable (``ok`` is False because an unnamed
+        cell was touched). The incremental segment store keeps these as
+        dependency-graph facts: a body that is never replayed still
+        couples writers to readers, and its edges must take part in
+        dirty-cone invalidation."""
+        return (tuple(sorted(self._read_names)),
+                tuple(sorted(self._written)))
 
     def finish(self, ret: Taint) -> BodyRecord:
         return BodyRecord(

@@ -18,7 +18,11 @@ fault schedule (:mod:`repro.resilience.faults`) and assert that
 - for the ``kill-resume`` schedule, the batch *driver* is SIGKILLed
   right after a result reaches the write-ahead journal, and a
   ``--resume`` run completes the batch byte-identical to an
-  uninterrupted one, re-running only the unfinished jobs.
+  uninterrupted one, re-running only the unfinished jobs;
+- for the ``watch-kill`` schedule, an incremental watch session is
+  SIGKILLed mid-append to its segment log, and a fresh session on the
+  same store truncates the torn tail (one integrity eviction) and
+  re-verdicts byte-identical to a fault-free cold run.
 
 Schedules needing a real process pool (anything that kills a worker)
 are skipped, not failed, on platforms where no pool can be created —
@@ -40,8 +44,9 @@ from .faults import FaultPlan
 
 #: schedule names in execution order; ``--smoke`` runs the starred core
 SCHEDULES = ("kill", "quarantine", "slow", "corrupt-ir", "torn-summary",
-             "serve-kill", "kill-resume")
-SMOKE_SCHEDULES = ("kill", "corrupt-ir", "serve-kill", "kill-resume")
+             "serve-kill", "kill-resume", "watch-kill")
+SMOKE_SCHEDULES = ("kill", "corrupt-ir", "serve-kill", "kill-resume",
+                   "watch-kill")
 
 #: the job a schedule's fault targets (second job: exercises recovery
 #: with completed work before and pending work after the crash)
@@ -393,6 +398,92 @@ def _schedule_kill_resume(report, jobs, _unused_baseline, config, workers,
     _compare(report, baseline, journal_renders(journal))
 
 
+def _schedule_watch_kill(report, _unused_jobs, _unused_baseline, config,
+                         _unused_workers, scratch):
+    """SIGKILL a watch session mid-append to ``segments.log``.
+
+    A subprocess drives an :class:`repro.incremental.watcher.
+    IncrementalSession` over a generated multi-unit program: cold
+    verdict, filler-body edit, re-verdict. The ``kill_segment_flush``
+    fault SIGKILLs it during the second segment-store append, after a
+    durable prefix that ends *inside* a frame — exactly the torn tail
+    a machine death leaves. A fresh session on the same store must
+    then truncate back to the last intact frame (counted as an
+    integrity eviction) and produce a verdict byte-identical to a
+    fault-free cold run over the edited sources.
+    """
+    import signal
+    import subprocess
+    import sys
+
+    from ..corpus import generate_core_files
+    from ..incremental.watcher import IncrementalSession
+
+    src_dir = os.path.join(scratch, "watch-src")
+    generated = generate_core_files(
+        filler_units=2, fillers_per_unit=2,
+        data_error_regions=2, monitored_regions=1, chain_depth=1,
+    )
+    paths = generated.write_to(src_dir)
+    store_root = os.path.join(scratch, "watch-store")
+
+    # the driver script edits one filler unit between verdicts, so the
+    # killed append carries that unit's re-analyzed segments
+    driver = (
+        "import sys\n"
+        "from repro.core.config import AnalysisConfig\n"
+        "from repro.incremental.watcher import IncrementalSession\n"
+        "store, target, *paths = sys.argv[1:]\n"
+        "config = AnalysisConfig(cache_dir=None, summary_mode=True)\n"
+        "session = IncrementalSession(paths, config=config,\n"
+        "                             store_root=store)\n"
+        "session.verdict()\n"
+        "with open(target) as f:\n"
+        "    text = f.read()\n"
+        "assert '* 0.99' in text\n"
+        "with open(target, 'w') as f:\n"
+        "    f.write(text.replace('* 0.99', '* 0.98'))\n"
+        "session.verdict()\n"
+        "print('survived the scheduled kill', file=sys.stderr)\n"
+    )
+    env = dict(os.environ)
+    src_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    env[faults.ENV_VAR] = FaultPlan(kill_segment_flush=2).to_json()
+    proc = subprocess.run(
+        [sys.executable, "-c", driver, store_root, paths[1], *paths],
+        env=env, capture_output=True, text=True, timeout=600)
+    if proc.returncode != -signal.SIGKILL:
+        report.fail(f"watch driver should die by SIGKILL mid-append "
+                    f"(rc {proc.returncode}): {proc.stderr.strip()[:200]}")
+        return
+    log = os.path.join(store_root, "segments.log")
+    if not os.path.exists(log):
+        report.fail("killed driver left no segment log to recover")
+        return
+    report.note("watch driver SIGKILLed mid-append to segments.log")
+
+    inc = dataclasses.replace(config, summary_mode=True)
+    cold = IncrementalSession(
+        list(paths), config=inc,
+        store_root=os.path.join(scratch, "watch-cold"))
+    baseline_render = cold.verdict().render(verbose=False)
+
+    resumed = IncrementalSession(list(paths), config=inc,
+                                 store_root=store_root)
+    rep = resumed.verdict()
+    evictions = rep.stats.cache_integrity_evictions
+    if evictions < 1:
+        report.fail("torn segment-log tail was not detected/evicted")
+    else:
+        report.note(f"{evictions} integrity eviction(s) on restart")
+    if rep.render(verbose=False) != baseline_render:
+        report.fail("post-crash verdict differs from fault-free cold run")
+    else:
+        report.note("post-crash re-verdict byte-identical to a cold run")
+
+
 _RUNNERS: Dict[str, Callable] = {
     "kill": _schedule_kill,
     "quarantine": _schedule_quarantine,
@@ -401,6 +492,7 @@ _RUNNERS: Dict[str, Callable] = {
     "torn-summary": _schedule_torn_summary,
     "serve-kill": _schedule_serve_kill,
     "kill-resume": _schedule_kill_resume,
+    "watch-kill": _schedule_watch_kill,
 }
 
 #: schedules meaningless without a real worker process to kill

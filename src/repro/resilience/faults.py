@@ -62,6 +62,12 @@ class FaultPlan:
     #: schedule). Unlike ``kill_job`` this deliberately fires in the
     #: driver process, never in a worker.
     kill_after_journal: Optional[str] = None
+    #: SIGKILL the process during its Nth (1-based) segment-store
+    #: append, after a durable *prefix* of the frame bytes reached
+    #: ``segments.log`` — the deterministic stand-in for a machine
+    #: dying mid-append during ``safeflow watch`` (the watch-kill
+    #: chaos schedule). Fires in whatever process owns the store.
+    kill_segment_flush: Optional[int] = None
     #: directory for one-shot latch tokens (required by one-shot kills)
     latch_dir: Optional[str] = None
 
@@ -177,6 +183,37 @@ def on_journal_append(job_name: str) -> None:
     plan = plan_from_env()
     if plan is None or plan.kill_after_journal != job_name:
         return
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+#: per-process count of segment-store log appends (kill_segment_flush)
+_segment_flushes = 0
+
+
+def on_segment_flush(fileobj, blob: bytes) -> None:
+    """Fire the ``kill_segment_flush`` fault, if scheduled.
+
+    Called by :meth:`repro.incremental.segments.SegmentStore.flush`
+    with the open log file and the sealed frames about to be appended.
+    On the scheduled append, writes a prefix that is guaranteed to end
+    *inside* the final frame, fsyncs it (the torn tail is durable) and
+    SIGKILLs the process: the next open of the store must truncate back
+    to the last intact frame, count an integrity eviction, and
+    recompute. No latch needed — the process is gone right after.
+    """
+    global _segment_flushes
+    plan = plan_from_env()
+    if plan is None or plan.kill_segment_flush is None:
+        return
+    _segment_flushes += 1
+    if _segment_flushes != plan.kill_segment_flush:
+        return
+    # a sealed frame is 4 length bytes + a digest-carrying payload far
+    # larger than 16 bytes, so cutting 16 bytes off the end always
+    # leaves a partial final frame
+    fileobj.write(blob[: max(1, len(blob) - 16)])
+    fileobj.flush()
+    os.fsync(fileobj.fileno())
     os.kill(os.getpid(), signal.SIGKILL)
 
 

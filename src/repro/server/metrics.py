@@ -116,6 +116,14 @@ class ServerMetrics:
             "jobs_resubmitted": 0,
             "jobs_quarantined": 0,
         }
+        #: incremental-analysis totals (repro.incremental), folded from
+        #: the segment-store fields of every completed analysis
+        self._incremental = {
+            "functions_reanalyzed": 0,
+            "dirty_cone_functions": 0,
+            "segment_evictions": 0,
+            "segment_fallbacks": 0,
+        }
         #: compiled value-flow kernel totals, folded from the
         #: ``kernel_*`` entries of every completed analysis's
         #: ``kernel_counters`` (opcode dispatches, compiled vs
@@ -186,6 +194,14 @@ class ServerMetrics:
             if units:
                 self._degraded["analyses"] += 1
                 self._degraded["units"] += units
+            self._incremental["functions_reanalyzed"] += int(
+                stats.get("functions_reanalyzed", 0) or 0)
+            self._incremental["dirty_cone_functions"] += int(
+                stats.get("dirty_cone_size", 0) or 0)
+            self._incremental["segment_evictions"] += int(
+                stats.get("segment_evictions", 0) or 0)
+            self._incremental["segment_fallbacks"] += int(
+                stats.get("segment_fallbacks", 0) or 0)
             counters = stats.get("kernel_counters") or {}
             for key, value in counters.items():
                 if key.startswith("kernel_"):
@@ -224,6 +240,7 @@ class ServerMetrics:
                 "cache": dict(self._cache),
                 "kernel": dict(sorted(self._kernel.items())),
                 "resilience": dict(self._resilience),
+                "incremental": dict(self._incremental),
                 "degraded": dict(self._degraded),
                 "latency": {
                     "request": self._request_latency.snapshot(),

@@ -533,6 +533,8 @@ class KernelState:
         dmask = interner.data_mask
         cmap = engine.cell_taint
         cmap_get = cmap.get
+        recording = engine.summary_store is not None
+        note_elided_write = engine._note_elided_write
         add_edge = engine.vfg.add_edge
         value_node = engine._value_node
         dispatch_call = engine._dispatch_call
@@ -634,6 +636,8 @@ class KernelState:
                                 new = old | t
                                 if new != old:
                                     cmap[target] = decode(new)
+                                elif recording:
+                                    note_elided_write(target, decode(old))
                             if v and not emitted[sk]:
                                 emitted[sk] = 1
                                 add_edge(value_node(func, src),

@@ -11,17 +11,46 @@ witness paths and DOT exports for the manual-triage workflow.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 
-@dataclass(frozen=True)
 class VFGNode:
-    """A program point through which unsafe values flow."""
+    """A program point through which unsafe values flow.
 
-    kind: str        # "source" | "value" | "cell" | "sink"
-    label: str       # human-readable description
-    location: str    # "file:line" or ""
+    Effectively a frozen dataclass, hand-rolled so the hash — computed
+    for every edge insertion, and segment replay re-inserts the whole
+    recorded edge set on every warm verdict — is computed once per
+    node instead of per dict operation.
+    """
+
+    __slots__ = ("kind", "label", "location", "_hash")
+
+    def __init__(self, kind: str, label: str, location: str):
+        self.kind = kind          # "source" | "value" | "cell" | "sink"
+        self.label = label        # human-readable description
+        self.location = location  # "file:line" or ""
+        self._hash = hash((kind, label, location))
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        return (self.__class__ is other.__class__
+                and self.kind == other.kind
+                and self.label == other.label
+                and self.location == other.location)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return (f"VFGNode(kind={self.kind!r}, label={self.label!r}, "
+                f"location={self.location!r})")
+
+    def __reduce__(self):
+        # string hashes are salted per process: rebuild through
+        # ``__init__`` instead of persisting the cached hash (reports
+        # pickle across batch workers)
+        return (self.__class__, (self.kind, self.label, self.location))
 
     def render(self) -> str:
         loc = f" @ {self.location}" if self.location else ""
