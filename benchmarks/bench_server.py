@@ -22,21 +22,29 @@ from pathlib import Path
 from repro.core.config import AnalysisConfig
 from repro.core.driver import SafeFlow
 from repro.corpus import load_system
+from repro.perf.latency import LatencyRecorder
 from repro.server import SafeFlowClient, SafeFlowServer
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 ROUNDS = 5
+WARM_ROUNDS = 30
 SYSTEM = "generic_simplex"
 MIN_SPEEDUP = 1.2
 
 
 def _best_of(fn, rounds=ROUNDS):
-    times = []
+    return _record(fn, rounds).percentile(0)
+
+
+def _record(fn, rounds) -> LatencyRecorder:
+    """Time ``rounds`` calls into the shared latency recorder
+    (:mod:`repro.perf.latency` — same helper ``bench_fleet`` uses)."""
+    recorder = LatencyRecorder()
     for _ in range(rounds):
         start = time.perf_counter()
         fn()
-        times.append(time.perf_counter() - start)
-    return min(times)
+        recorder.record(time.perf_counter() - start)
+    return recorder
 
 
 def test_warm_server_request_beats_cold_cli(tmp_path):
@@ -64,8 +72,10 @@ def test_warm_server_request_beats_cold_cli(tmp_path):
                 result = client.analyze(files=files, name=SYSTEM)
                 assert result["render"] == prime["render"]
 
-            warm_s = _best_of(warm)
+            warm_lat = _record(warm, WARM_ROUNDS)
+            warm_s = warm_lat.percentile(0)
             metrics = client.metrics()
+            client_stats = dict(client.stats)
     finally:
         server.stop()
 
@@ -73,16 +83,22 @@ def test_warm_server_request_beats_cold_cli(tmp_path):
     payload = {
         "system": SYSTEM,
         "rounds": ROUNDS,
+        "warm_rounds": WARM_ROUNDS,
         "cold_cli_s": cold_s,
         "warm_server_s": warm_s,
+        "warm_latency": warm_lat.summary(),
         "speedup": speedup,
         "pool_mode": server.pool.mode,
         "cache": metrics["cache"],
+        "client": client_stats,
     }
     (REPO_ROOT / "BENCH_server.json").write_text(
         json.dumps(payload, indent=2) + "\n")
 
     assert metrics["cache"]["frontend_hits"] > 0
+    assert warm_lat.summary()["p99_s"] >= warm_lat.summary()["p50_s"]
+    # the persistent connection did persist: N requests, one connect
+    assert client_stats["reconnects"] == 0
     assert speedup >= MIN_SPEEDUP, (
         f"warm server request ({warm_s:.3f}s) not measurably faster "
         f"than cold CLI path ({cold_s:.3f}s): {speedup:.2f}x"

@@ -186,8 +186,67 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-crashes", type=int, default=2, metavar="N",
                        help="worker crashes before a request is "
                             "quarantined (default: 2)")
+    serve.add_argument("--in-process", action="store_true",
+                       help="run analyses on in-process threads instead "
+                            "of worker subprocesses (lower per-request "
+                            "overhead, no crash isolation)")
     _add_limit_flags(serve)
     _add_cache_flags(serve)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run the sharded analysis fleet (front router + N daemons)",
+        description="Starts N `safeflow serve` shards and a consistent-"
+                    "hash front router speaking the same NDJSON "
+                    "JSON-RPC, so SafeFlowClient works unchanged. Jobs "
+                    "route by content fingerprint (warm caches stay "
+                    "warm) with load-aware work stealing, automatic "
+                    "shard restart + in-flight re-dispatch, and "
+                    "rolling restarts via --reload.",
+    )
+    fleet.add_argument("--shards", type=int, default=4, metavar="N",
+                       help="shard daemons behind the router (default: 4)")
+    fleet.add_argument("--host", default="127.0.0.1",
+                       help="router bind address (default: 127.0.0.1)")
+    fleet.add_argument("--port", type=int, default=4650, metavar="PORT",
+                       help="router TCP port (default: 4650; "
+                            "0 = ephemeral)")
+    fleet.add_argument("--workers-per-shard", type=int, default=1,
+                       metavar="N",
+                       help="analysis workers per shard daemon "
+                            "(default: 1)")
+    fleet.add_argument("--queue-size", type=int, default=64, metavar="N",
+                       help="per-shard request queue capacity "
+                            "(default: 64)")
+    fleet.add_argument("--summaries", action="store_true",
+                       help="use ESP-style function summaries (§3.3)")
+    fleet.add_argument("--steal-threshold", type=int, default=2,
+                       metavar="N",
+                       help="home-shard load at which work stealing is "
+                            "considered (default: 2)")
+    fleet.add_argument("--steal-margin", type=int, default=2, metavar="N",
+                       help="minimum load gap before a colder shard "
+                            "steals (default: 2)")
+    fleet.add_argument("--health-interval", type=float, default=0.5,
+                       metavar="SEC",
+                       help="seconds between shard health polls "
+                            "(default: 0.5)")
+    fleet.add_argument("--conns-per-shard", type=int, default=8,
+                       metavar="N",
+                       help="concurrent router connections per shard "
+                            "(default: 8)")
+    fleet.add_argument("--in-process", action="store_true",
+                       help="embed shard daemons in the router process "
+                            "(testing; no crash isolation)")
+    fleet.add_argument("--reload", action="store_true",
+                       help="rolling-restart the shards of the fleet "
+                            "already running at --host/--port, then "
+                            "exit (drains one shard at a time; no "
+                            "dropped requests)")
+    fleet.add_argument("--metrics-json", metavar="FILE", default=None,
+                       help="write a fleet metrics snapshot to FILE on "
+                            "shutdown")
+    _add_cache_flags(fleet)
 
     chaos = sub.add_parser(
         "chaos",
@@ -574,6 +633,7 @@ def cmd_serve(args) -> int:
             workers=args.workers if args.workers > 0 else None,
             queue_size=args.queue_size,
             default_deadline=args.deadline,
+            use_processes=not args.in_process,
             guards=_guards_from_args(args),
             max_crashes=args.max_crashes,
         )
@@ -606,6 +666,91 @@ def cmd_serve(args) -> int:
         with open(args.metrics_json, "w") as f:
             json.dump(server.metrics.snapshot(), f, indent=2)
         print(f"safeflow serve: metrics written to {args.metrics_json}",
+              flush=True)
+    return 0
+
+
+def cmd_fleet(args) -> int:
+    import signal
+    import threading
+
+    if args.reload:
+        from .server.client import SafeFlowClient
+
+        try:
+            with SafeFlowClient(host=args.host, port=args.port) as client:
+                result = client.call("fleet_reload", timeout=600.0)
+        except SafeFlowError as exc:
+            print(f"safeflow fleet: reload failed: {exc}", file=sys.stderr)
+            return 2
+        reloaded = result.get("reloaded", [])
+        healthy = result.get("healthy", [])
+        print(f"safeflow fleet: reloaded shards {reloaded} "
+              f"({len(healthy)}/{len(reloaded)} healthy)")
+        return 0 if len(healthy) >= len(reloaded) else 1
+
+    from .fleet import FleetConfig, FleetRouter
+
+    cache_dir = _cache_dir(args)
+    if cache_dir is None:
+        print("safeflow fleet: shards need a cache directory "
+              "(--no-cache is not supported here)", file=sys.stderr)
+        return 2
+    config = FleetConfig(
+        shards=args.shards,
+        host=args.host,
+        port=args.port,
+        cache_root=os.path.join(cache_dir, "fleet"),
+        workers_per_shard=args.workers_per_shard,
+        queue_size=args.queue_size,
+        summaries=args.summaries,
+        kernel=args.kernel,
+        backend="inprocess" if args.in_process else "process",
+        steal_threshold=args.steal_threshold,
+        steal_margin=args.steal_margin,
+        health_interval=args.health_interval,
+        conns_per_shard=args.conns_per_shard,
+    )
+    router = FleetRouter(config)
+    try:
+        host, port = router.start()
+    except (OSError, RuntimeError) as exc:
+        print(f"safeflow fleet: cannot start: {exc}", file=sys.stderr)
+        router.stop()
+        return 2
+    print(
+        f"safeflow fleet: routing on {host}:{port} "
+        f"(pid {os.getpid()}, {args.shards} shards x "
+        f"{args.workers_per_shard} workers, "
+        f"{'in-process' if args.in_process else 'process'} backends)",
+        flush=True,
+    )
+
+    done = threading.Event()
+
+    def _on_signal(_signum, _frame):
+        done.set()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, _on_signal)
+        except (ValueError, OSError):  # pragma: no cover - odd hosts
+            pass
+    try:
+        done.wait()
+    except KeyboardInterrupt:  # pragma: no cover - handler-less hosts
+        pass
+    snapshot = None
+    if args.metrics_json:
+        try:
+            snapshot = router.metrics_snapshot()
+        except RuntimeError:
+            pass
+    router.stop()
+    if args.metrics_json and snapshot is not None:
+        with open(args.metrics_json, "w") as f:
+            json.dump(snapshot, f, indent=2)
+        print(f"safeflow fleet: metrics written to {args.metrics_json}",
               flush=True)
     return 0
 
@@ -734,6 +879,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "watch": cmd_watch,
         "batch": cmd_batch,
         "serve": cmd_serve,
+        "fleet": cmd_fleet,
         "chaos": cmd_chaos,
         "corpus": cmd_corpus,
         "table1": cmd_table1,

@@ -68,6 +68,13 @@ class AnalysisConfig:
     cache_dir: Optional[str] = None
     #: reuse pickled front-ended programs from ``cache_dir``
     frontend_cache: bool = True
+    #: reuse front-ended :class:`Program` objects in memory between
+    #: runs of one process (:mod:`repro.perf.progmemo`) — skips even
+    #: the disk cache's unpickle on the serving hot path. Effective
+    #: only when ``cache_dir``/``frontend_cache`` are on (keys are the
+    #: IR-cache content keys). Report-preserving, never part of a
+    #: cache key.
+    frontend_memo: bool = True
     #: persist/replay value-flow summary bodies (only effective in
     #: ``summary_mode``); see :mod:`repro.perf.summary_store`
     summary_cache: bool = True

@@ -57,21 +57,36 @@ class SafeFlow:
         with gc_paused(self.config.pause_gc):
             cache = self._ir_cache()
             started = time.perf_counter()
-            program = load_source(
-                text,
-                filename=filename,
-                defines=self.config.defines,
-                verify=self.config.verify_ir,
-                cache=cache,
-                recover=self.config.degraded_mode,
-            )
-            return self.analyze_program(
-                program,
-                name=name,
-                source_text=text,
-                frontend_seconds=time.perf_counter() - started,
-                ir_cache=cache,
-            )
+            memo, memo_key = self._program_memo(), None
+            program = None
+            if memo is not None:
+                memo_key = self._memo_key(cache.key_for_source(
+                    text, filename, self.config.defines,
+                    self.config.verify_ir, self.config.degraded_mode,
+                ))
+                program = memo.acquire(memo_key)
+                if program is not None:
+                    cache.hits += 1
+            if program is None:
+                program = load_source(
+                    text,
+                    filename=filename,
+                    defines=self.config.defines,
+                    verify=self.config.verify_ir,
+                    cache=cache,
+                    recover=self.config.degraded_mode,
+                )
+            try:
+                return self.analyze_program(
+                    program,
+                    name=name,
+                    source_text=text,
+                    frontend_seconds=time.perf_counter() - started,
+                    ir_cache=cache,
+                )
+            finally:
+                if memo is not None:
+                    memo.release(memo_key, program)
 
     def analyze_files(self, paths: Sequence[str],
                       name: str = "program") -> AnalysisReport:
@@ -81,20 +96,35 @@ class SafeFlow:
         with gc_paused(self.config.pause_gc):
             cache = self._ir_cache()
             started = time.perf_counter()
-            program = load_files(
-                paths,
-                include_dirs=self.config.include_dirs,
-                defines=self.config.defines,
-                verify=self.config.verify_ir,
-                cache=cache,
-                recover=self.config.degraded_mode,
-            )
-            return self.analyze_program(
-                program,
-                name=name,
-                frontend_seconds=time.perf_counter() - started,
-                ir_cache=cache,
-            )
+            memo, memo_key = self._program_memo(), None
+            program = None
+            if memo is not None:
+                memo_key = self._memo_key(cache.key_for_files(
+                    paths, self.config.include_dirs, self.config.defines,
+                    self.config.verify_ir, self.config.degraded_mode,
+                ))
+                program = memo.acquire(memo_key)
+                if program is not None:
+                    cache.hits += 1
+            if program is None:
+                program = load_files(
+                    paths,
+                    include_dirs=self.config.include_dirs,
+                    defines=self.config.defines,
+                    verify=self.config.verify_ir,
+                    cache=cache,
+                    recover=self.config.degraded_mode,
+                )
+            try:
+                return self.analyze_program(
+                    program,
+                    name=name,
+                    frontend_seconds=time.perf_counter() - started,
+                    ir_cache=cache,
+                )
+            finally:
+                if memo is not None:
+                    memo.release(memo_key, program)
 
     def analyze_request(self, *, source: Optional[str] = None,
                         filename: str = "<source>",
@@ -329,6 +359,25 @@ class SafeFlow:
         from ..perf.ircache import IRCache
 
         return IRCache(self.config.cache_dir)
+
+    def _program_memo(self):
+        # memo keys are IR-cache content keys, so the memo exists only
+        # where the disk cache does
+        if (not self.config.cache_dir or not self.config.frontend_cache
+                or not self.config.frontend_memo):
+            return None
+        from ..perf.progmemo import program_memo
+
+        return program_memo()
+
+    def _memo_key(self, cache_key: Optional[str]) -> Optional[str]:
+        # scope memo entries to the cache directory they belong to:
+        # the memo is process-global, and two analyzers with disjoint
+        # cache dirs (tests, multi-tenant embeddings) must not share
+        # warm programs across that boundary
+        if cache_key is None:
+            return None
+        return f"{os.path.abspath(self.config.cache_dir)}|{cache_key}"
 
     def _summary_store(self):
         # summary bodies only exist in context-sensitive summary mode

@@ -53,7 +53,7 @@ SCHEMA_VERSION = 1
 #: ``profile`` qualify because both are report-preserving: toggling
 #: them must not invalidate summaries recorded under the other setting.
 CACHE_ONLY_FIELDS = frozenset({
-    "cache_dir", "frontend_cache", "summary_cache",
+    "cache_dir", "frontend_cache", "frontend_memo", "summary_cache",
     "sparse_fixpoint", "profile", "kernel_width", "pause_gc",
 })
 

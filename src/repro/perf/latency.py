@@ -1,0 +1,122 @@
+"""Shared latency accounting: full-run recorders and rolling windows.
+
+Two consumers need the same quantile math and must not drift apart:
+
+- the benchmarks (``bench_server.py``, ``bench_fleet.py``) record every
+  request of a run and report p50/p90/p99 — :class:`LatencyRecorder`;
+- the daemon / fleet health planes report *recent* latency so a router
+  can make backpressure decisions on a live signal — a full-run
+  aggregate would be dominated by history and never recover after a
+  spike — :class:`RollingLatency` keeps a bounded window of the most
+  recent observations.
+
+Quantiles use the nearest-rank method on sorted samples: ``p50`` of
+one sample is that sample, never an interpolation artifact. All
+durations are seconds (floats); renderers multiply up to ms.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from typing import Dict, List, Optional, Sequence
+
+
+def percentile(sorted_samples: Sequence[float], p: float) -> Optional[float]:
+    """Nearest-rank percentile of an ascending-sorted sequence.
+
+    ``p`` is in [0, 100]. Returns ``None`` for an empty sequence.
+    """
+    if not sorted_samples:
+        return None
+    if p <= 0:
+        return sorted_samples[0]
+    if p >= 100:
+        return sorted_samples[-1]
+    # nearest-rank: ceil(p/100 * n), 1-based
+    n = len(sorted_samples)
+    rank = max(1, math.ceil(p * n / 100.0))
+    return sorted_samples[min(n, rank) - 1]
+
+
+class LatencyRecorder:
+    """Records every observation of a benchmark run.
+
+    Unbounded by design — a bench run knows its own size — but cheap:
+    one float append per observation, sorting deferred to
+    :meth:`summary`.
+    """
+
+    __slots__ = ("_samples", "_sorted")
+
+    def __init__(self):
+        self._samples: List[float] = []
+        self._sorted = True
+
+    def record(self, seconds: float) -> None:
+        self._samples.append(float(seconds))
+        self._sorted = False
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def _ensure_sorted(self) -> List[float]:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        return self._samples
+
+    def percentile(self, p: float) -> Optional[float]:
+        return percentile(self._ensure_sorted(), p)
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-ready stats block: count/mean/min/p50/p90/p99/max."""
+        samples = self._ensure_sorted()
+        if not samples:
+            return {"count": 0}
+        return {
+            "count": len(samples),
+            "mean_s": sum(samples) / len(samples),
+            "min_s": samples[0],
+            "p50_s": percentile(samples, 50),
+            "p90_s": percentile(samples, 90),
+            "p99_s": percentile(samples, 99),
+            "max_s": samples[-1],
+        }
+
+
+class RollingLatency:
+    """Thread-safe bounded window of recent latency observations.
+
+    The health plane reads :meth:`quantiles` on every ``health`` RPC;
+    a router polling many shards needs that read to be cheap, so the
+    window is kept small (default 512) and sorting happens per read on
+    a copied snapshot.
+    """
+
+    def __init__(self, window: int = 512):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self._lock = threading.Lock()
+        self._samples: deque = deque(maxlen=window)
+        self._count = 0
+
+    def observe(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(float(seconds))
+            self._count += 1
+
+    def quantiles(self) -> Dict[str, object]:
+        """Recent p50/p99 (seconds) plus window occupancy and the
+        all-time observation count."""
+        with self._lock:
+            samples = sorted(self._samples)
+            count = self._count
+        return {
+            "p50_s": percentile(samples, 50),
+            "p99_s": percentile(samples, 99),
+            "window": len(samples),
+            "count": count,
+        }

@@ -80,7 +80,17 @@ class RequestTimeout(SafeFlowError):
 
 
 class SafeFlowClient:
-    """Blocking client with a persistent, lazily (re)connected socket."""
+    """Blocking client with a persistent, lazily (re)connected socket.
+
+    The socket persists across :meth:`call`/:meth:`analyze`
+    invocations — N requests on a healthy connection cost exactly one
+    TCP handshake. :attr:`stats` makes that observable (and is how the
+    fleet bench proves the router does not force reconnect churn):
+    ``requests``/``responses`` counters plus ``connects`` (successful
+    socket establishments), ``reconnects`` (connects after the first —
+    each one means the previous connection died), and ``retries``
+    (send- or queue-full-driven resubmissions).
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: Optional[int] = None,
                  unix_path: Optional[str] = None,
@@ -100,6 +110,10 @@ class SafeFlowClient:
         self._rfile = None
         self._ids = itertools.count(1)
         self._rng = random.Random()
+        self.stats: Dict[str, int] = {
+            "requests": 0, "responses": 0,
+            "connects": 0, "reconnects": 0, "retries": 0,
+        }
 
     def _backoff_sleep(self, attempt: int) -> None:
         """Exponential backoff with jitter in [0.5x, 1.5x)."""
@@ -118,9 +132,13 @@ class SafeFlowClient:
         else:
             sock = socket.create_connection(
                 (self.host, self.port), timeout=self.connect_timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         sock.settimeout(self.request_timeout)
         self._sock = sock
         self._rfile = sock.makefile("rb")
+        if self.stats["connects"] > 0:
+            self.stats["reconnects"] += 1
+        self.stats["connects"] += 1
 
     def connect(self) -> None:
         """(Re)connect, retrying transient failures with backoff."""
@@ -180,7 +198,10 @@ class SafeFlowClient:
         line = protocol.encode(
             protocol.request_payload(method, params, req_id))
         last: Optional[Exception] = None
+        self.stats["requests"] += 1
         for attempt in range(self.retries + 1):
+            if attempt > 0:
+                self.stats["retries"] += 1
             self.connect()
             try:
                 self._sock.sendall(line)
@@ -191,12 +212,15 @@ class SafeFlowClient:
                     self._backoff_sleep(attempt)
                 continue
             try:
-                return self._read_response(req_id, timeout)
+                result = self._read_response(req_id, timeout)
             except ServerError as exc:
                 if not exc.retryable or attempt >= self.retries:
                     raise
                 last = exc
                 self._backoff_sleep(attempt)
+                continue
+            self.stats["responses"] += 1
+            return result
         if isinstance(last, ServerError):
             raise last
         raise ConnectionFailed(

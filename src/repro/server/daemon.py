@@ -77,6 +77,11 @@ class _RpcHandler(socketserver.StreamRequestHandler):
 
     def setup(self):
         super().setup()
+        try:  # line-framed RPC: never wait on Nagle for a sub-MTU line
+            self.connection.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # unix sockets have no TCP level
         self.server.safeflow_server._track_connection(self.connection, True)
 
     def finish(self):
@@ -139,6 +144,8 @@ class SafeFlowServer:
                                events=self.metrics.count_resilience)
         self.metrics.register_gauge("queue_depth", self.queue.depth)
         self.metrics.register_gauge("in_flight", self.pool.running_count)
+        # fleet-era alias of in_flight (the router's field name)
+        self.metrics.register_gauge("inflight", self.pool.running_count)
 
         self._lock = threading.Lock()
         self._draining = False
@@ -328,6 +335,8 @@ class SafeFlowServer:
         with self._lock:
             draining = self._draining
         degraded = self.metrics.degraded_counts()
+        rolling = self.metrics.rolling_latency.quantiles()
+        inflight = self.pool.running_count()
         return protocol.ok_response(request.id, {
             "status": "draining" if draining else "ok",
             "protocol": protocol.PROTOCOL_VERSION,
@@ -337,7 +346,14 @@ class SafeFlowServer:
             "pool_mode": self.pool.mode,
             "queue_depth": self.queue.depth(),
             "queue_capacity": self.queue.capacity,
-            "in_flight": self.pool.running_count(),
+            # both spellings: "in_flight" predates the fleet router;
+            # "inflight" matches the fleet's backpressure field names
+            "in_flight": inflight,
+            "inflight": inflight,
+            # recent-window latency (seconds; None until first request)
+            # — the router's backpressure signal
+            "latency_p50_s": rolling["p50_s"],
+            "latency_p99_s": rolling["p99_s"],
             "worker_restarts": self.pool.worker_restarts,
             "degraded_analyses": degraded["analyses"],
             "degraded_units": degraded["units"],

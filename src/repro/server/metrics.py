@@ -35,6 +35,8 @@ import threading
 import time
 from typing import Callable, Dict, List, Optional
 
+from ..perf.latency import RollingLatency
+
 #: upper bounds (seconds) of the latency buckets; +Inf is implicit
 DEFAULT_BUCKETS = (
     0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
@@ -134,6 +136,11 @@ class ServerMetrics:
             "units": 0,     # DegradedUnits across them (fail-closed)
         }
         self._request_latency = LatencyHistogram()
+        #: recent-window request latency: a router polling this
+        #: daemon's health plane needs a *live* p50/p99, not the
+        #: process-lifetime histogram (thread-safe on its own, so it is
+        #: also read without taking the metrics lock)
+        self.rolling_latency = RollingLatency()
         self._phase_latency: Dict[str, LatencyHistogram] = {}
         self._gauges: Dict[str, Callable[[], int]] = {}
 
@@ -157,6 +164,8 @@ class ServerMetrics:
                 self._errors[error_name] = self._errors.get(error_name, 0) + 1
             if seconds is not None:
                 self._request_latency.observe(seconds)
+        if seconds is not None:
+            self.rolling_latency.observe(seconds)
 
     def count_analysis(self, outcome: str) -> None:
         """``outcome`` is one of the ``_analyses`` keys."""
@@ -244,6 +253,7 @@ class ServerMetrics:
                 "degraded": dict(self._degraded),
                 "latency": {
                     "request": self._request_latency.snapshot(),
+                    "rolling": self.rolling_latency.quantiles(),
                     "phases": {
                         phase: hist.snapshot()
                         for phase, hist in sorted(self._phase_latency.items())

@@ -1,0 +1,144 @@
+"""Chaos behavior with real ``safeflow serve`` subprocess shards:
+SIGKILL of a shard mid-burst must lose zero requests (re-dispatch +
+automatic restart), and a rolling reload under sustained load must
+drain without erroring. These spawn subprocesses and take seconds,
+not milliseconds — the fast-path router behavior lives in
+test_router.py."""
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.fleet import FleetConfig, FleetRouter
+from repro.server import SafeFlowClient
+
+SOURCES = [
+    f"""
+int source{i}(void);
+void sink{i}(int x);
+int main(void) {{
+    int v = source{i}();
+    if (v > {i}) sink{i}(v);
+    return 0;
+}}
+""" for i in range(4)
+]
+
+
+@pytest.fixture(scope="module")
+def process_fleet(tmp_path_factory):
+    root = tmp_path_factory.mktemp("chaos-fleet")
+    router = FleetRouter(FleetConfig(
+        shards=2, port=0, cache_root=str(root),
+        backend="process", use_processes=False,
+        health_interval=0.2,
+    ))
+    host, port = router.start()
+    yield router, host, port
+    router.stop()
+
+
+def _wait_all_healthy(client, shards=2, timeout=30.0, min_restarts=0):
+    """Block until the router reports every shard healthy (and, when
+    ``min_restarts`` is set, until the supervisor has actually cycled
+    a shard — health snapshots are read asynchronously from the
+    monitor, so "ok" alone can predate the kill being noticed)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        health = client.call("health")
+        restarts = sum(s["restarts"] for s in health["shards"])
+        if (health["status"] == "ok"
+                and health["shards_healthy"] == shards
+                and restarts >= min_restarts):
+            return health
+        time.sleep(0.2)
+    raise AssertionError(f"fleet never recovered: {health}")
+
+
+def _burst(host, port, baseline, rounds, errors, done, start_evt):
+    def worker(wid):
+        try:
+            with SafeFlowClient(host=host, port=port,
+                                request_timeout=120.0) as client:
+                start_evt.wait()
+                for n in range(rounds):
+                    i = (wid + n) % len(SOURCES)
+                    r = client.analyze(source=SOURCES[i], filename=f"j{i}.c")
+                    if (r["counts"], r["render"]) != baseline[i]:
+                        errors.append((wid, n, "verdict drift"))
+                    else:
+                        done.append(1)
+        except Exception as exc:
+            errors.append((wid, repr(exc)))
+
+    return [threading.Thread(target=worker, args=(w,)) for w in range(6)]
+
+
+def _prime(host, port):
+    baseline = {}
+    with SafeFlowClient(host=host, port=port,
+                        request_timeout=120.0) as client:
+        for i, src in enumerate(SOURCES):
+            r = client.analyze(source=src, filename=f"j{i}.c")
+            baseline[i] = (r["counts"], r["render"])
+    return baseline
+
+
+def test_shard_sigkill_mid_burst_drops_nothing(process_fleet):
+    router, host, port = process_fleet
+    baseline = _prime(host, port)
+
+    errors, done = [], []
+    start_evt = threading.Event()
+    threads = _burst(host, port, baseline, 40, errors, done, start_evt)
+    for t in threads:
+        t.start()
+    start_evt.set()
+    time.sleep(0.1)  # let requests be in flight on both shards
+    victim = router._shard_list()[0].backend.pid
+    os.kill(victim, signal.SIGKILL)
+    for t in threads:
+        t.join(timeout=180.0)
+    assert not any(t.is_alive() for t in threads)
+
+    assert errors == []
+    assert len(done) == 6 * 40, "every request answered, none dropped"
+
+    with SafeFlowClient(host=host, port=port) as client:
+        health = _wait_all_healthy(client, min_restarts=1)
+        metrics = client.call("metrics")
+    assert sum(s["restarts"] for s in health["shards"]) >= 1
+    assert metrics["router"]["shard_restarts"] >= 1
+    # the dead shard's in-flight requests were re-dispatched, and the
+    # loss is attributed to the shard that lost them
+    assert (metrics["router"]["redispatches"]
+            == sum(s["redispatches_out"] for s in metrics["shards"]))
+
+
+def test_rolling_reload_under_load_is_lossless(process_fleet):
+    router, host, port = process_fleet
+    baseline = _prime(host, port)
+
+    errors, done = [], []
+    start_evt = threading.Event()
+    threads = _burst(host, port, baseline, 15, errors, done, start_evt)
+    for t in threads:
+        t.start()
+    start_evt.set()
+    time.sleep(0.2)
+    with SafeFlowClient(host=host, port=port) as client:
+        result = client.call("fleet_reload", timeout=300.0)
+    for t in threads:
+        t.join(timeout=180.0)
+    assert not any(t.is_alive() for t in threads)
+
+    assert errors == []
+    assert len(done) == 6 * 15
+    assert result["reloaded"] == [0, 1]
+    assert result["healthy"] == [0, 1]
+
+    # verdicts survive the full fleet restart byte-identically
+    assert _prime(host, port) == baseline

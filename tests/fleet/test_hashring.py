@@ -1,0 +1,142 @@
+"""Properties of the consistent-hash ring the fleet router relies on:
+stability under membership change, spread across shards, and the
+deterministic skip-walk used for re-dispatch and drain overflow."""
+
+import pytest
+
+from repro.fleet.hashring import DEFAULT_REPLICAS, HashRing, routing_key
+
+
+def _keys(n):
+    return [f"job-{i}" for i in range(n)]
+
+
+class TestRoutingKey:
+    def test_stable_for_equal_params(self):
+        params = {"source": "int main(void){}", "filename": "a.c",
+                  "config": {"kernel": "compiled"}}
+        assert routing_key(params) == routing_key(dict(params))
+
+    def test_differs_by_source(self):
+        a = routing_key({"source": "int main(void){return 0;}"})
+        b = routing_key({"source": "int main(void){return 1;}"})
+        assert a != b
+
+    def test_differs_by_config_override(self):
+        base = {"files": ["/srv/x.c"], "name": "x"}
+        a = routing_key(base)
+        b = routing_key({**base, "config": {"summary_mode": True}})
+        assert a != b
+
+    def test_total_over_missing_fields(self):
+        # any params dict hashes; absent fields hash as their absence
+        assert routing_key({}) == routing_key({"irrelevant": 1})
+
+    def test_ignores_file_contents(self, tmp_path):
+        # paths, not digests: an edited file keeps its warm shard
+        path = tmp_path / "unit.c"
+        path.write_text("int a;")
+        before = routing_key({"files": [str(path)]})
+        path.write_text("int b;")
+        assert routing_key({"files": [str(path)]}) == before
+
+
+class TestRingBasics:
+    def test_replicas_validated(self):
+        with pytest.raises(ValueError):
+            HashRing([0], replicas=0)
+
+    def test_empty_ring_has_no_owner(self):
+        ring = HashRing([])
+        assert ring.lookup("anything") is None
+        assert ring.preference("anything") == []
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing([7])
+        assert all(ring.lookup(k) == 7 for k in _keys(50))
+
+    def test_lookup_is_deterministic(self):
+        ring_a = HashRing(range(4))
+        ring_b = HashRing(range(4))
+        for key in _keys(200):
+            assert ring_a.lookup(key) == ring_b.lookup(key)
+
+    def test_add_remove_roundtrip(self):
+        ring = HashRing(range(3))
+        before = {k: ring.lookup(k) for k in _keys(100)}
+        ring.add(3)
+        ring.remove(3)
+        assert {k: ring.lookup(k) for k in _keys(100)} == before
+
+
+class TestStability:
+    def test_adding_one_shard_moves_about_one_nth(self):
+        keys = _keys(4000)
+        ring = HashRing(range(4))
+        before = {k: ring.lookup(k) for k in keys}
+        ring.add(4)
+        moved = sum(1 for k in keys if ring.lookup(k) != before[k])
+        # ideal movement is 1/5 of the keyspace; allow generous slack
+        assert 0.5 * len(keys) / 5 <= moved <= 1.7 * len(keys) / 5
+        # every moved key moved TO the new shard, never between old ones
+        for k in keys:
+            owner = ring.lookup(k)
+            assert owner == before[k] or owner == 4
+
+    def test_removing_a_shard_only_moves_its_keys(self):
+        keys = _keys(2000)
+        ring = HashRing(range(4))
+        before = {k: ring.lookup(k) for k in keys}
+        ring.remove(2)
+        for k in keys:
+            if before[k] != 2:
+                assert ring.lookup(k) == before[k]
+            else:
+                assert ring.lookup(k) != 2
+
+
+class TestSpread:
+    def test_virtual_nodes_keep_shards_near_fair(self):
+        keys = _keys(8000)
+        counts = HashRing(range(4)).spread(keys)
+        fair = len(keys) / 4
+        for shard, count in counts.items():
+            assert 0.5 * fair <= count <= 1.6 * fair, (shard, counts)
+
+    def test_more_replicas_tighten_the_spread(self):
+        keys = _keys(8000)
+        coarse = HashRing(range(4), replicas=4).spread(keys)
+        fine = HashRing(range(4), replicas=DEFAULT_REPLICAS).spread(keys)
+
+        def imbalance(counts):
+            return max(counts.values()) - min(counts.values())
+
+        assert imbalance(fine) <= imbalance(coarse)
+
+
+class TestSkipWalk:
+    def test_skip_walks_to_next_distinct_shard(self):
+        ring = HashRing(range(4))
+        for key in _keys(300):
+            home = ring.lookup(key)
+            fallback = ring.lookup(key, skip={home})
+            assert fallback is not None and fallback != home
+
+    def test_walk_follows_preference_order(self):
+        ring = HashRing(range(4))
+        for key in _keys(100):
+            pref = ring.preference(key)
+            assert pref[0] == ring.lookup(key)
+            assert sorted(pref) == [0, 1, 2, 3]
+            # skipping the first k preferred shards yields pref[k]
+            for k in range(1, 4):
+                assert ring.lookup(key, skip=set(pref[:k])) == pref[k]
+
+    def test_all_skipped_returns_none(self):
+        ring = HashRing(range(3))
+        assert ring.lookup("key", skip={0, 1, 2}) is None
+
+    def test_preference_is_stable_across_calls(self):
+        ring = HashRing(range(5))
+        for key in _keys(50):
+            assert ring.preference(key) == ring.preference(key)

@@ -162,9 +162,15 @@ def test_summary_cache_config_flag_invalidation(tmp_path):
 
 
 def test_corrupt_cache_files_fail_open(tmp_path):
-    """Garbage in any cache file must read as a miss, never a crash."""
+    """Garbage in any cache file must read as a miss, never a crash.
+
+    The in-memory program memo is disabled here: this test corrupts
+    the *disk* tier and asserts its fail-open behavior, which a memory
+    hit would mask (the memo has its own suite in test_progmemo.py).
+    """
     cache = tmp_path / "cache"
-    config = AnalysisConfig(summary_mode=True, cache_dir=str(cache))
+    config = AnalysisConfig(summary_mode=True, cache_dir=str(cache),
+                            frontend_memo=False)
     flow = SafeFlow(config)
     good = flow.analyze_source(SIMPLE, name="prog")
 

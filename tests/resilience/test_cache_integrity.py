@@ -48,7 +48,10 @@ class TestSealUnseal:
 
 class TestIRCacheSelfHeal:
     def _config(self, tmp_path):
-        return AnalysisConfig(cache_dir=str(tmp_path / "cache"))
+        # memo off: these tests corrupt the *disk* tier and assert its
+        # self-healing, which an in-memory program hit would mask
+        return AnalysisConfig(cache_dir=str(tmp_path / "cache"),
+                              frontend_memo=False)
 
     def test_corrupt_entry_is_evicted_and_recomputed(self, tmp_path):
         config = self._config(tmp_path)

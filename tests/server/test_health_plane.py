@@ -1,0 +1,73 @@
+"""Fleet-era observability satellites: the client's connection-reuse
+stats and the daemon health plane's queue/inflight/latency fields the
+fleet router steers by."""
+
+from repro.server import SafeFlowClient
+
+from tests.server.test_daemon import CLEAN, client_for, start_server
+
+
+class TestClientStats:
+    def test_persistent_connection_is_reused(self, tmp_path):
+        server = start_server(tmp_path, use_processes=False)
+        try:
+            with client_for(server) as client:
+                for _ in range(6):
+                    client.ping()
+                stats = dict(client.stats)
+        finally:
+            server.stop()
+        assert stats["connects"] == 1
+        assert stats["reconnects"] == 0
+        assert stats["requests"] == 6
+        assert stats["responses"] == 6
+        assert stats["retries"] == 0
+
+    def test_reconnect_is_counted(self, tmp_path):
+        server = start_server(tmp_path, use_processes=False)
+        try:
+            client = client_for(server)
+            client.ping()
+            client.close()  # next call must re-establish the socket
+            client.ping()
+            stats = dict(client.stats)
+            client.close()
+        finally:
+            server.stop()
+        assert stats["connects"] == 2
+        assert stats["reconnects"] == 1
+        assert stats["responses"] == 2
+
+
+class TestHealthLatencyPlane:
+    def test_health_reports_queue_inflight_and_latency(self, tmp_path):
+        server = start_server(tmp_path, use_processes=False)
+        try:
+            with client_for(server) as client:
+                client.analyze(source=CLEAN, filename="clean.c")
+                health = client.health()
+        finally:
+            server.stop()
+        # pre-fleet fields survive...
+        assert health["status"] == "ok"
+        assert health["queue_depth"] == 0
+        assert health["in_flight"] == 0
+        # ...and the fleet router's routing signals are present
+        assert health["inflight"] == health["in_flight"]
+        assert health["latency_p50_s"] > 0
+        assert health["latency_p99_s"] >= health["latency_p50_s"]
+
+    def test_metrics_rolling_quantiles(self, tmp_path):
+        server = start_server(tmp_path, use_processes=False)
+        try:
+            with client_for(server) as client:
+                for _ in range(5):
+                    client.ping()
+                metrics = client.metrics()
+        finally:
+            server.stop()
+        rolling = metrics["latency"]["rolling"]
+        assert rolling["count"] >= 5
+        assert rolling["p99_s"] >= rolling["p50_s"] > 0
+        gauges = metrics["gauges"]
+        assert gauges["inflight"] == gauges["in_flight"]
