@@ -1,0 +1,35 @@
+/*
+ * adc_stdint.c -- ADC sample conditioning written against <stdint.h>,
+ * the single most common reason real firmware fails the strict front
+ * end: uint16_t/uint32_t are unknown type names without the system
+ * headers. The prelude tier resolves the includes against the bundled
+ * fake declarations (recovery tier: prelude).
+ */
+
+#include <stdint.h>
+#include <stddef.h>
+
+#define ADC_CHANNELS 8
+
+uint16_t adcRaw[ADC_CHANNELS];
+uint32_t adcAccum[ADC_CHANNELS];
+uint8_t adcReady;
+
+uint16_t adcClamp(uint32_t sample)
+{
+    if (sample > (uint32_t) UINT16_MAX) {
+        return UINT16_MAX;
+    }
+    return (uint16_t) sample;
+}
+
+void adcIngest(size_t channel, uint32_t sample)
+{
+    if (channel >= ADC_CHANNELS) {
+        return;
+    }
+    adcAccum[channel] = adcAccum[channel] - (adcAccum[channel] >> 4);
+    adcAccum[channel] = adcAccum[channel] + sample;
+    adcRaw[channel] = adcClamp(adcAccum[channel] >> 4);
+    adcReady = 1;
+}

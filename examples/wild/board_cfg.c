@@ -1,0 +1,39 @@
+/*
+ * board_cfg.c -- board configuration shim that includes a vendor
+ * header this corpus does not ship (the usual state of vendored
+ * firmware drops). Strict mode fails on the missing include; the
+ * prelude tier skips it, records the skip in the unit's provenance,
+ * and the remaining plain C parses (recovery tier: prelude).
+ */
+
+#include "board_hw_defs.h"
+
+#define CFG_SLOTS 4
+
+int cfgSlotUsed[CFG_SLOTS];
+int cfgChecksum;
+
+int cfgReserve(void)
+{
+    int i;
+
+    for (i = 0; i < CFG_SLOTS; i = i + 1) {
+        if (cfgSlotUsed[i] == 0) {
+            cfgSlotUsed[i] = 1;
+            return i;
+        }
+    }
+    return -1;
+}
+
+void cfgRelease(int slot)
+{
+    if (slot >= 0 && slot < CFG_SLOTS) {
+        cfgSlotUsed[slot] = 0;
+    }
+}
+
+void cfgStamp(int value)
+{
+    cfgChecksum = cfgChecksum ^ value;
+}

@@ -1,0 +1,39 @@
+/*
+ * gpio_attr.c -- GPIO bank driver in the GCC dialect: section/aligned
+ * attributes on globals, __inline__ helpers, an __extension__ marker.
+ * The strict parser rejects every one of them; the GNU tier normalizes
+ * the dialect away (recovery tier: gnu).
+ */
+
+#define GPIO_BANKS 4
+
+__attribute__((aligned(16))) unsigned int gpioShadow[GPIO_BANKS];
+
+__attribute__((section(".fastdata"))) unsigned int gpioFaults;
+
+static __inline__ unsigned int gpioMask(int pin)
+{
+    return 1u << (pin & 31);
+}
+
+__extension__ typedef unsigned long long gpio_stamp_t;
+
+gpio_stamp_t lastEdgeStamp;
+
+void __attribute__((noinline)) gpioSet(int bank, int pin)
+{
+    if (bank >= 0 && bank < GPIO_BANKS) {
+        gpioShadow[bank] = gpioShadow[bank] | gpioMask(pin);
+    } else {
+        gpioFaults = gpioFaults + 1u;
+    }
+}
+
+void gpioClear(int bank, int pin)
+{
+    if (bank >= 0 && bank < GPIO_BANKS) {
+        gpioShadow[bank] = gpioShadow[bank] & ~gpioMask(pin);
+    } else {
+        gpioFaults = gpioFaults + 1u;
+    }
+}

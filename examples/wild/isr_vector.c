@@ -1,0 +1,34 @@
+/*
+ * isr_vector.c -- timer interrupt handler with inline asm barriers,
+ * as shipped by most silicon-vendor SDKs. The strict parser has no
+ * asm production; the GNU tier blanks the asm statements (each one is
+ * recorded in the unit's provenance) and keeps the surrounding control
+ * flow (recovery tier: gnu).
+ */
+
+unsigned int isrCount;
+unsigned int isrOverruns;
+int isrBusy;
+
+void timerIsr(void)
+{
+    if (isrBusy) {
+        isrOverruns = isrOverruns + 1u;
+        return;
+    }
+    isrBusy = 1;
+    __asm__ __volatile__("dmb" ::: "memory");
+    isrCount = isrCount + 1u;
+    asm volatile("dsb");
+    isrBusy = 0;
+}
+
+unsigned int isrSnapshot(void)
+{
+    unsigned int n;
+
+    asm("cpsid i");
+    n = isrCount;
+    asm("cpsie i");
+    return n;
+}

@@ -1,0 +1,36 @@
+/*
+ * legacy_warn.c -- hoisted from a 90s-era vendor BSP: CRLF line
+ * endings, #warning build notes, #region editor folding directives
+ * and a stray non-breaking space. The mini preprocessor refuses the
+ * unknown directives; the cleanup tier blanks them, normalizes the
+ * line endings and spaces out the non-ASCII byte
+ * (recovery tier: cleanup).
+ */
+
+#warning "legacy board support: verify clock tree before flight"
+
+#region fan control
+
+#define FAN_STEPS 5
+
+int fanStep;
+int fanFault;
+
+int fanAdvance(void)
+{
+    if (fanFault) {
+        return fanStep;
+    }
+    if (fanStep < FAN_STEPS) {
+        fanStep = fanStep + 1;
+    }
+    return fanStep;
+}
+
+void fanTrip(void)
+{
+    fanFault = 1;
+    fanStep = 0;
+}
+
+#endregion

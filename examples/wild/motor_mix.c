@@ -1,0 +1,43 @@
+/*
+ * motor_mix.c -- thrust mixer with merge damage in one definition
+ * (the classic half-resolved-conflict commit). No tier can make the
+ * damaged function parse; the salvage tier drops exactly that
+ * definition to a declaration (degraded, fail-closed) and the rest of
+ * the unit analyzes normally (recovery tier: salvage).
+ */
+
+#define MOTORS 4
+
+int mixOutput[MOTORS];
+int mixSaturated;
+
+int mixClamp(int v)
+{
+    if (v > 1000) {
+        mixSaturated = 1;
+        return 1000;
+    }
+    if (v < 0) {
+        mixSaturated = 1;
+        return 0;
+    }
+    return v;
+}
+
+int mixBlend(int throttle, int yaw)
+{
+    int out;
+    out = throttle @@ yaw;
+    return mixClamp(out;
+}
+
+void mixApply(int throttle, int yaw)
+{
+    int base;
+
+    base = mixClamp(throttle);
+    mixOutput[0] = mixClamp(base + yaw);
+    mixOutput[1] = mixClamp(base - yaw);
+    mixOutput[2] = mixClamp(base + yaw);
+    mixOutput[3] = mixClamp(base - yaw);
+}

@@ -1,0 +1,42 @@
+/*
+ * pwm_duty.c -- PWM duty-cycle governor for the actuator bridge.
+ * Plain ANSI C: the one unit in this corpus the strict front end
+ * accepts unchanged (recovery tier: strict).
+ */
+
+#define PWM_PERIOD_TICKS 1000
+#define DUTY_MAX         950
+#define DUTY_MIN         50
+
+int dutyNow;
+int dutySetpoint;
+
+int clampDuty(int d)
+{
+    if (d > DUTY_MAX) {
+        return DUTY_MAX;
+    }
+    if (d < DUTY_MIN) {
+        return DUTY_MIN;
+    }
+    return d;
+}
+
+int slewDuty(int current, int target)
+{
+    int step;
+
+    step = target - current;
+    if (step > 20) {
+        step = 20;
+    }
+    if (step < -20) {
+        step = -20;
+    }
+    return clampDuty(current + step);
+}
+
+void pwmTick(void)
+{
+    dutyNow = slewDuty(dutyNow, dutySetpoint);
+}

@@ -1,0 +1,32 @@
+/*
+ * stmt_expr.c -- rate limiter written against a Linux-kernel-style
+ * macro header: statement expressions and typeof in the min/max/clamp
+ * macros. The GNU tier rewrites both constructs into plain C
+ * (recovery tier: gnu).
+ */
+
+#define rl_min(a, b) ({ typeof(a) _a = (a); typeof(b) _b = (b); \
+                        _a < _b ? _a : _b; })
+#define rl_max(a, b) ({ typeof(a) _a = (a); typeof(b) _b = (b); \
+                        _a > _b ? _a : _b; })
+
+int rateBudget;
+int rateSpent;
+
+int rateAllow(int cost)
+{
+    int room;
+
+    room = rl_max(rateBudget - rateSpent, 0);
+    if (cost > room) {
+        return 0;
+    }
+    rateSpent = rateSpent + cost;
+    return 1;
+}
+
+void rateReplenish(int amount)
+{
+    rateSpent = rl_min(rateSpent, rateBudget);
+    rateSpent = rl_max(rateSpent - amount, 0);
+}

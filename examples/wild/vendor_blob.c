@@ -1,0 +1,16 @@
+/*
+ * vendor_blob.c -- truncated mid-download: the top level never closes
+ * its brace and the tail is line noise. Nothing in the ladder can
+ * reconstruct a translation unit from this; it stays a lost unit
+ * (fail-closed KIND_UNIT record) even with every tier enabled.
+ */
+
+int blobState;
+
+void blobInit(void)
+{
+    blobState = 1;
+
+int blobPoll(void) {{
+    return blobState ]]
+%%%% 0x__ "unterminated

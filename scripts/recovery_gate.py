@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""CI ``recovery-gate``: the frontend recovery ladder must keep earning
+its keep on the vendored real-world corpus (``examples/wild``).
+
+Three assertions, each a regression the ladder has actually prevented:
+
+1. **Salvage gap** — running the corpus through ``safeflow batch
+   --keep-going`` (strict front end, fail-closed skips only) loses
+   most units; the same corpus under ``--recover`` must lose strictly
+   fewer, and no more than ``MAX_LADDER_LOST`` (today: only the
+   deliberately unsalvageable ``vendor_blob.c``).
+2. **Fail-closed floor** — the ladder never upgrades a verdict: every
+   job that is not byte-for-byte strict-clean stays ``degraded``; only
+   the strict-clean unit may ``pass``; and the batch exits 1 (mixed),
+   never 0.
+3. **Chaos drill** — with ``SAFEFLOW_FAULTS`` scheduling a
+   ``crash_tier`` fault against each tier in turn, a crashing tier
+   counts as that tier *failing*: units fall through to later tiers or
+   are lost, jobs still complete (no driver error, no ``ok=False``),
+   and killing a tier never *increases* the pass count.
+
+Run from the repository root::
+
+    python scripts/recovery_gate.py
+"""
+
+import glob
+import json
+import os
+import subprocess
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+WILD = sorted(glob.glob(os.path.join(ROOT, "examples", "wild", "*.c")))
+
+#: lost units the full ladder is allowed (vendor_blob.c is unsalvageable
+#: by design); raising this number means the ladder regressed
+MAX_LADDER_LOST = 1
+
+failures = []
+
+
+def check(cond, message):
+    tag = "ok" if cond else "FAIL"
+    print(f"  [{tag}] {message}")
+    if not cond:
+        failures.append(message)
+
+
+def run_batch(extra_args, faults=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src")
+    env.pop("SAFEFLOW_FAULTS", None)
+    if faults is not None:
+        env["SAFEFLOW_FAULTS"] = json.dumps(faults)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "batch", *WILD,
+         "--json", *extra_args],
+        capture_output=True, text=True, env=env, cwd=ROOT,
+    )
+    try:
+        payload = json.loads(proc.stdout)
+    except ValueError:
+        print(proc.stdout)
+        print(proc.stderr, file=sys.stderr)
+        raise SystemExit(f"batch produced no JSON (exit {proc.returncode})")
+    return proc.returncode, payload
+
+
+def lost_units(payload):
+    """Units no front end produced: fail-closed KIND_UNIT records."""
+    n = 0
+    for job in payload["jobs"]:
+        report = job["report"] or {}
+        n += sum(1 for u in report.get("degraded", ())
+                 if u.get("kind") == "unit")
+    return n
+
+
+def verdicts(payload):
+    return {job["name"]: (job["report"] or {}).get("verdict")
+            for job in payload["jobs"]}
+
+
+def main():
+    if not WILD:
+        raise SystemExit("examples/wild is empty — nothing to gate on")
+
+    print(f"recovery-gate over {len(WILD)} wild units")
+
+    print("strict-only (--keep-going):")
+    strict_code, strict = run_batch(["--keep-going"])
+    strict_lost = lost_units(strict)
+    check(all(job["ok"] for job in strict["jobs"]),
+          "every strict job completes (fail-closed, not tool failure)")
+    check(strict_lost >= len(WILD) - 2,
+          f"strict front end loses most of the corpus "
+          f"({strict_lost}/{len(WILD)} units lost)")
+
+    print("full ladder (--recover):")
+    ladder_code, ladder = run_batch(["--recover"])
+    ladder_lost = lost_units(ladder)
+    ladder_verdicts = verdicts(ladder)
+    check(all(job["ok"] for job in ladder["jobs"]),
+          "every ladder job completes")
+    check(ladder_lost < strict_lost,
+          f"ladder loses strictly fewer units "
+          f"({ladder_lost} < {strict_lost})")
+    check(ladder_lost <= MAX_LADDER_LOST,
+          f"ladder lost-unit count {ladder_lost} within budget "
+          f"{MAX_LADDER_LOST}")
+    passes = [n for n, v in ladder_verdicts.items() if v == "pass"]
+    check(passes == ["pwm_duty.c"],
+          f"only the strict-clean unit passes (got {passes})")
+    check(all(v in ("pass", "degraded") for v in ladder_verdicts.values()),
+          "no wild unit produces a hard failure verdict")
+    check(ladder_code == 1 and strict_code == 1,
+          f"mixed batches exit 1 (strict={strict_code}, "
+          f"ladder={ladder_code})")
+
+    print("chaos drill (crash_tier per tier):")
+    for tier in ("gnu", "prelude", "cleanup", "salvage"):
+        code, chaos = run_batch(["--recover"],
+                                faults={"crash_tier": tier})
+        chaos_verdicts = verdicts(chaos)
+        chaos_passes = [n for n, v in chaos_verdicts.items()
+                        if v == "pass"]
+        check(all(job["ok"] for job in chaos["jobs"]),
+              f"crash_tier={tier}: jobs complete, never a driver error")
+        check(set(chaos_passes) <= set(passes),
+              f"crash_tier={tier}: a crashing tier never certifies "
+              f"more units")
+        check(lost_units(chaos) >= ladder_lost,
+              f"crash_tier={tier}: a crashing tier never salvages "
+              f"more units ({lost_units(chaos)} lost)")
+
+    if failures:
+        print(f"\nrecovery-gate: {len(failures)} assertion(s) failed")
+        return 1
+    print("\nrecovery-gate: all assertions held")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

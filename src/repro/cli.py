@@ -17,10 +17,22 @@ Subcommands::
 ``~/.cache/safeflow``); disable with ``--no-cache``, relocate with
 ``--cache-dir``.
 
-Exit codes are uniform across subcommands: 0 = analysis ran and the
-property holds, 1 = analysis ran and found errors/violations, 2 = the
-tool itself failed (bad input, job crash, timeout). Failures are
-always reported as structured one-line errors, never raw tracebacks.
+Exit codes are uniform across subcommands:
+
+====  =================================================================
+code  meaning
+====  =================================================================
+0     analysis ran and the property holds for every unit/job
+1     analysis ran and found errors/violations, or (keep-going modes)
+      some jobs passed while others were degraded fail-closed
+2     the tool itself failed (bad input, job crash, timeout) — or, under
+      ``--keep-going``/``--recover``, *nothing was certified*: every
+      job's verdict is ``degraded``, so no finding exists but no part of
+      the corpus passed either
+====  =================================================================
+
+Failures are always reported as structured one-line errors, never raw
+tracebacks.
 """
 
 from __future__ import annotations
@@ -69,6 +81,7 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="degraded mode: recover from front-end "
                               "failures, analyze the rest fail-closed "
                               "(a degraded verdict never passes)")
+    _add_recover_flag(analyze)
     analyze.add_argument("--include", "-I", action="append", default=[],
                          help="include directory")
     analyze.add_argument("--stats", action="store_true",
@@ -115,6 +128,7 @@ def _build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--keep-going", action="store_true",
                        help="degraded mode: recover from front-end "
                             "failures, analyze the rest fail-closed")
+    _add_recover_flag(watch)
     watch.add_argument("--include", "-I", action="append", default=[],
                        help="include directory")
     _add_cache_flags(watch)
@@ -159,6 +173,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="stop dispatching new jobs after the "
                              "first failure (remaining jobs are "
                              "reported as aborted)")
+    _add_recover_flag(batch)
     _add_limit_flags(batch)
     _add_cache_flags(batch)
 
@@ -190,6 +205,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="run analyses on in-process threads instead "
                             "of worker subprocesses (lower per-request "
                             "overhead, no crash isolation)")
+    _add_recover_flag(serve)
     _add_limit_flags(serve)
     _add_cache_flags(serve)
 
@@ -333,6 +349,31 @@ def _add_cache_flags(sub: argparse.ArgumentParser) -> None:
                           "or ~/.cache/safeflow)")
 
 
+def _add_recover_flag(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--recover", nargs="?", const="all", default=None,
+                     metavar="TIERS",
+                     help="frontend recovery ladder: units the strict "
+                          "front end rejects fall through the given "
+                          "comma-separated tiers (gnu,prelude,cleanup,"
+                          "salvage; no argument = all) before being "
+                          "recorded as lost. Salvaged units are "
+                          "analyzed fail-closed — they can never "
+                          "certify. Implies --keep-going")
+
+
+def _recover_tiers(args):
+    """Canonical recovery tiers from ``--recover`` (or ``()``)."""
+    spec = getattr(args, "recover", None)
+    if spec is None:
+        return ()
+    from .frontend.recovery import normalize_tiers
+
+    try:
+        return normalize_tiers(spec)
+    except ValueError as exc:
+        raise SafeFlowError(str(exc))
+
+
 def _add_limit_flags(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--cpu-limit", type=float, default=None, metavar="SEC",
                      help="per-worker CPU-time cap in seconds "
@@ -390,6 +431,15 @@ def _render_stats(report: AnalysisReport) -> str:
     if any(incremental.values()):
         for counter, value in incremental.items():
             lines.append(f"  {counter:<19}: {value}")
+    if stats.recovery_attempts:
+        lines.append(f"  recovered units    : {stats.recovered_units}")
+        for tier in ("strict", "gnu", "prelude", "cleanup", "salvage"):
+            if tier in stats.recovery_attempts:
+                lines.append(
+                    f"  tier {tier:<14}: "
+                    f"{stats.recovery_successes.get(tier, 0)}"
+                    f"/{stats.recovery_attempts[tier]} "
+                    f"(succeeded/attempted)")
     return "\n".join(lines)
 
 
@@ -413,6 +463,7 @@ def _report_json(report: AnalysisReport) -> str:
 
 
 def cmd_analyze(args) -> int:
+    tiers = _recover_tiers(args)
     config = AnalysisConfig(
         check_restrictions=not args.no_restrictions,
         context_sensitive=not args.context_insensitive,
@@ -422,7 +473,8 @@ def cmd_analyze(args) -> int:
         include_dirs=tuple(args.include),
         cache_dir=_cache_dir(args),
         profile=args.profile,
-        degraded_mode=args.keep_going,
+        degraded_mode=args.keep_going or bool(tiers),
+        recover_tiers=tiers,
         kernel=args.kernel,
     )
     report = SafeFlow(config).analyze_files(args.files, name=args.name)
@@ -448,13 +500,15 @@ def cmd_watch(args) -> int:
 
     from .incremental import IncrementalSession, WatchLoop
 
+    tiers = _recover_tiers(args)
     config = AnalysisConfig(
         # incremental replay records/replays summary bodies, so the
         # watch pipeline always runs in summary mode
         summary_mode=True,
         include_dirs=tuple(args.include),
         cache_dir=_cache_dir(args),
-        degraded_mode=args.keep_going,
+        degraded_mode=args.keep_going or bool(tiers),
+        recover_tiers=tiers,
         kernel=args.kernel,
     )
     session = IncrementalSession([], config=config, name=args.name)
@@ -537,11 +591,13 @@ def cmd_batch(args) -> int:
               file=sys.stderr)
         return 2
 
+    tiers = _recover_tiers(args)
     config = AnalysisConfig(
         summary_mode=args.summaries,
         include_dirs=tuple(args.include),
         cache_dir=_cache_dir(args),
-        degraded_mode=args.keep_going,
+        degraded_mode=args.keep_going or bool(tiers),
+        recover_tiers=tiers,
         kernel=args.kernel,
     )
     max_workers = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
@@ -608,9 +664,41 @@ def cmd_batch(args) -> int:
             degraded = sum(len(r.report.degraded)
                            for r in outcome.results if r.ok)
             print(f"degraded units      : {degraded}")
+            attempts: dict = {}
+            successes: dict = {}
+            recovered = 0
+            for r in outcome.results:
+                if not r.ok:
+                    continue
+                recovered += getattr(r.report.stats, "recovered_units", 0)
+                for tier, n in getattr(r.report.stats,
+                                       "recovery_attempts", {}).items():
+                    attempts[tier] = attempts.get(tier, 0) + n
+                for tier, n in getattr(r.report.stats,
+                                       "recovery_successes", {}).items():
+                    successes[tier] = successes.get(tier, 0) + n
+            if attempts:
+                print(f"recovered units     : {recovered}")
+                for tier in ("strict", "gnu", "prelude", "cleanup",
+                             "salvage"):
+                    if tier in attempts:
+                        print(f"  tier {tier:<9}: "
+                              f"{successes.get(tier, 0)}/{attempts[tier]} "
+                              f"(succeeded/attempted)")
     if not outcome.ok:
         return 2
-    return 0 if all(r.report.passed for r in outcome.results) else 1
+    reports = [r.report for r in outcome.results]
+    if all(r.passed for r in reports):
+        return 0
+    if ((args.keep_going or tiers)
+            and all(r.verdict == "degraded" for r in reports)):
+        # keep-going batch where *nothing* was certified: every job is
+        # degraded and no finding exists — that is a tool-level failure
+        # (exit 2), distinct from "findings or mixed" (exit 1)
+        print("safeflow batch: nothing certified — every job degraded",
+              file=sys.stderr)
+        return 2
+    return 1
 
 
 def cmd_serve(args) -> int:
@@ -618,10 +706,13 @@ def cmd_serve(args) -> int:
 
     from .server.daemon import SafeFlowServer
 
+    tiers = _recover_tiers(args)
     config = AnalysisConfig(
         summary_mode=args.summaries,
         include_dirs=tuple(args.include),
         cache_dir=_cache_dir(args),
+        degraded_mode=bool(tiers),
+        recover_tiers=tiers,
         kernel=args.kernel,
     )
     try:

@@ -122,3 +122,14 @@ class AnalysisConfig:
     #: analysis fingerprint: degraded and strict runs never share
     #: cached results.
     degraded_mode: bool = False
+    #: enabled recovery-ladder tiers (``--recover``): translation units
+    #: the strict front end cannot process fall through the ordered
+    #: tiers of :mod:`repro.frontend.recovery` ("gnu", "prelude",
+    #: "cleanup", "salvage") before being recorded as lost. A salvaged
+    #: unit is analyzed fail-closed — every function it defines is
+    #: degraded, so relative to strict mode a verdict can only go
+    #: pass → degraded, never degraded → pass. Implies the same
+    #: keep-going discipline as ``degraded_mode``. The enabled set
+    #: (plus the tier format version and GNU parser strategy) is part
+    #: of the analysis fingerprint.
+    recover_tiers: Tuple[str, ...] = ()

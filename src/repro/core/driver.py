@@ -32,7 +32,7 @@ import re
 import time
 from typing import List, Optional, Sequence, Union
 
-from ..frontend.driver import Program, load_files, load_source
+from ..frontend.driver import Program, load_files, load_source, recover_token
 from .config import AnalysisConfig
 from .results import AnalysisReport, AnalysisStats
 
@@ -62,7 +62,7 @@ class SafeFlow:
             if memo is not None:
                 memo_key = self._memo_key(cache.key_for_source(
                     text, filename, self.config.defines,
-                    self.config.verify_ir, self.config.degraded_mode,
+                    self.config.verify_ir, self._recover_token(),
                 ))
                 program = memo.acquire(memo_key)
                 if program is not None:
@@ -74,7 +74,8 @@ class SafeFlow:
                     defines=self.config.defines,
                     verify=self.config.verify_ir,
                     cache=cache,
-                    recover=self.config.degraded_mode,
+                    recover=self._recover(),
+                    recover_tiers=self.config.recover_tiers,
                 )
             try:
                 return self.analyze_program(
@@ -101,7 +102,7 @@ class SafeFlow:
             if memo is not None:
                 memo_key = self._memo_key(cache.key_for_files(
                     paths, self.config.include_dirs, self.config.defines,
-                    self.config.verify_ir, self.config.degraded_mode,
+                    self.config.verify_ir, self._recover_token(),
                 ))
                 program = memo.acquire(memo_key)
                 if program is not None:
@@ -113,7 +114,8 @@ class SafeFlow:
                     defines=self.config.defines,
                     verify=self.config.verify_ir,
                     cache=cache,
-                    recover=self.config.degraded_mode,
+                    recover=self._recover(),
+                    recover_tiers=self.config.recover_tiers,
                 )
             try:
                 return self.analyze_program(
@@ -344,6 +346,12 @@ class SafeFlow:
 
         report.degraded = sort_degraded(getattr(program, "degraded", []) or [])
         report.stats.degraded_units = len(report.degraded)
+        report.stats.recovery_attempts = dict(
+            getattr(program, "recovery_attempts", {}) or {})
+        report.stats.recovery_successes = dict(
+            getattr(program, "recovery_successes", {}) or {})
+        report.stats.recovered_units = sum(
+            1 for d in report.degraded if d.kind == "recovered")
         timings["total"] = (
             time.perf_counter() - started + (frontend_seconds or 0.0)
         )
@@ -352,6 +360,14 @@ class SafeFlow:
     # ------------------------------------------------------------------
     # performance layer plumbing
     # ------------------------------------------------------------------
+
+    def _recover(self) -> bool:
+        """Keep-going front-ending: ``--keep-going`` or ``--recover``
+        (the recovery ladder only makes sense per-unit-isolated)."""
+        return bool(self.config.degraded_mode or self.config.recover_tiers)
+
+    def _recover_token(self):
+        return recover_token(self._recover(), self.config.recover_tiers)
 
     def _ir_cache(self):
         if not self.config.cache_dir or not self.config.frontend_cache:

@@ -48,6 +48,14 @@ class AnalysisStats:
     #: frontend/annotation failures isolated instead of raised
     #: (degraded-mode analysis; see :mod:`repro.degrade`)
     degraded_units: int = 0
+    #: units the recovery ladder salvaged (analyzed fail-closed); see
+    #: :mod:`repro.frontend.recovery`
+    recovered_units: int = 0
+    #: per-tier recovery-ladder attempt counts ("strict", "gnu", ...);
+    #: populated only when ``--recover`` is active
+    recovery_attempts: Dict[str, int] = field(default_factory=dict)
+    #: per-tier recovery-ladder success counts
+    recovery_successes: Dict[str, int] = field(default_factory=dict)
     #: torn/corrupt batch-journal tail records truncated and recovered
     #: from during ``safeflow batch --resume``
     journal_recovered_records: int = 0
@@ -136,6 +144,12 @@ class AnalysisStats:
             "phase_timings": dict(self.phase_timings),
             **self.cache_counters(),
         }
+        if self.recovered_units:
+            out["recovered_units"] = self.recovered_units
+        if self.recovery_attempts:
+            out["recovery_attempts"] = dict(self.recovery_attempts)
+        if self.recovery_successes:
+            out["recovery_successes"] = dict(self.recovery_successes)
         if self.kernel_counters:
             out["kernel_counters"] = dict(self.kernel_counters)
         if self.hotspots:

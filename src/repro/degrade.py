@@ -28,7 +28,7 @@ unprocessable input.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Optional, Set
+from typing import Any, Dict, Iterable, Optional, Set, Tuple
 
 from .ir.source import SourceLocation
 
@@ -42,6 +42,7 @@ __all__ = [
     "KIND_FUNCTION",
     "KIND_ANNOTATION",
     "KIND_CONSTRUCT",
+    "KIND_RECOVERED",
 ]
 
 #: Reserved taint-region prefix for flows that pass through degraded
@@ -49,11 +50,16 @@ __all__ = [
 #: and can never contain a colon, so the namespace cannot collide.
 DEGRADED_REGION_PREFIX = "degraded:"
 
-# The four failure granularities the frontend can isolate.
+# The failure granularities the frontend can isolate.
 KIND_UNIT = "unit"              # a whole translation unit (parse/cpp)
 KIND_FUNCTION = "function"      # one function body (lowering/SSA/verify)
 KIND_ANNOTATION = "annotation"  # one SafeFlow annotation block/item
 KIND_CONSTRUCT = "construct"    # one top-level declaration
+#: a unit the recovery ladder salvaged by rewriting its text
+#: (:mod:`repro.frontend.recovery`): the unit *is* analyzed, but every
+#: function defined in it stays fail-closed because the analyzed text
+#: is not the text the author wrote
+KIND_RECOVERED = "recovered"
 
 
 def degraded_region(name: str) -> str:
@@ -79,10 +85,21 @@ class DegradedUnit:
     cause: str
     location: Optional[SourceLocation] = None
     function: Optional[str] = None
+    #: recovery-ladder tier that produced this record (kind
+    #: :data:`KIND_RECOVERED` only): "gnu", "prelude", "cleanup", ...
+    tier: Optional[str] = None
+    #: audited provenance of what the tier rewrote/stripped, one human-
+    #: readable entry per edit (kind :data:`KIND_RECOVERED` only)
+    edits: Tuple[str, ...] = ()
 
     def __str__(self) -> str:
         where = f"{self.location}: " if self.location is not None else ""
-        return f"{where}degraded {self.kind} {self.name!r}: {self.cause}"
+        base = f"{where}degraded {self.kind} {self.name!r}: {self.cause}"
+        if self.tier is not None and self.edits:
+            base += f" [tier {self.tier}: " + "; ".join(self.edits) + "]"
+        elif self.tier is not None:
+            base += f" [tier {self.tier}]"
+        return base
 
     def sort_key(self):
         loc = self.location
@@ -102,6 +119,10 @@ class DegradedUnit:
         }
         if self.function is not None:
             payload["function"] = self.function
+        if self.tier is not None:
+            payload["tier"] = self.tier
+        if self.edits:
+            payload["edits"] = list(self.edits)
         if self.location is not None:
             payload["location"] = {
                 "file": self.location.filename,

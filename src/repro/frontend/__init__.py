@@ -19,8 +19,24 @@ from .preprocessor import (
     PreprocessedSource,
     Preprocessor,
 )
+from .recovery import (
+    DEFAULT_TIERS,
+    RECOVERY_FORMAT_VERSION,
+    TIER_ORDER,
+    RecoveredUnit,
+    frontend_unit,
+    normalize_tiers,
+    recovery_fingerprint,
+)
 
 __all__ = [
+    "DEFAULT_TIERS",
+    "RECOVERY_FORMAT_VERSION",
+    "RecoveredUnit",
+    "TIER_ORDER",
+    "frontend_unit",
+    "normalize_tiers",
+    "recovery_fingerprint",
     "ANNOTATION_TAG",
     "BUILTIN_FUNCTIONS",
     "BUILTIN_PRELUDE",

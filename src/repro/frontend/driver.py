@@ -7,16 +7,22 @@ an annotation that does not validate each become a structured
 :class:`repro.degrade.DegradedUnit` on the returned
 :class:`Program`, and the rest of the corpus is still front-ended.
 The value-flow engine fails closed around ``Program.degraded_functions``.
+
+With ``recover_tiers`` (``--recover``) a failing unit additionally
+falls through the recovery ladder of :mod:`repro.frontend.recovery`
+before being recorded as lost; a salvaged unit is analyzed with every
+function it defines degraded (fail-closed around rewritten text).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from ..annotations.lang import AnnotationItem
 from ..degrade import (
     KIND_FUNCTION,
+    KIND_RECOVERED,
     KIND_UNIT,
     DegradedUnit,
     degraded_function_names,
@@ -28,8 +34,9 @@ from ..ir.source import SourceLocation
 from ..ir.verifier import verify_function
 from .attach import annotation_line_count, attach_annotations, owning_function
 from .lower import ModuleLowerer, lower_units
-from .parser import ParsedUnit, parse_preprocessed
-from .preprocessor import ExtractedAnnotation, Preprocessor
+from .parser import ParsedUnit
+from .preprocessor import ExtractedAnnotation
+from .recovery import frontend_unit
 
 
 @dataclass
@@ -47,10 +54,41 @@ class Program:
     degraded: List[DegradedUnit] = field(default_factory=list)
     #: functions the value-flow engine must fail closed around
     degraded_functions: Set[str] = field(default_factory=set)
+    #: per-tier recovery-ladder attempt counts (``--recover`` only)
+    recovery_attempts: Dict[str, int] = field(default_factory=dict)
+    #: per-tier recovery-ladder success counts (``--recover`` only)
+    recovery_successes: Dict[str, int] = field(default_factory=dict)
 
     @property
     def annotation_lines(self) -> int:
         return annotation_line_count(self.annotations)
+
+    @property
+    def recovered_units(self) -> int:
+        """Units the recovery ladder salvaged (analyzed fail-closed)."""
+        return sum(1 for u in self.degraded if u.kind == KIND_RECOVERED)
+
+
+def recover_token(recover: bool, recover_tiers: Sequence[str] = ()):
+    """The value cache keys carry for the (recover, tiers) pair.
+
+    With no tiers this is the plain bool the seed always used, so
+    existing cache keys are unchanged; with tiers it folds in
+    :func:`repro.frontend.recovery.recovery_fingerprint` (tier set,
+    format version, GNU parser strategy) so recovered programs are
+    never replayed across recovery-config changes.
+    """
+    from .recovery import recovery_fingerprint
+
+    fingerprint = recovery_fingerprint(recover_tiers)
+    if not fingerprint:
+        return recover
+    return f"{recover}+recovery[{fingerprint}]"
+
+
+def _merge_counts(into: Dict[str, int], counts: Dict[str, int]) -> None:
+    for name, value in counts.items():
+        into[name] = into.get(name, 0) + value
 
 
 def load_source(
@@ -60,32 +98,39 @@ def load_source(
     verify: bool = True,
     cache=None,
     recover: bool = False,
+    recover_tiers: Sequence[str] = (),
 ) -> Program:
     """Front-end a single C source string.
 
     ``cache`` is an optional :class:`repro.perf.IRCache`; on a hit the
-    pickled program is returned without re-parsing.
+    pickled program is returned without re-parsing. ``recover_tiers``
+    enables the recovery ladder of :mod:`repro.frontend.recovery`.
     """
     key = None
     if cache is not None:
-        key = cache.key_for_source(text, filename, defines, verify, recover)
+        key = cache.key_for_source(text, filename, defines, verify,
+                                   recover_token(recover, recover_tiers))
         program = cache.fetch(key)
         if program is not None:
             return program
     degraded: List[DegradedUnit] = []
     units: List[ParsedUnit] = []
     annotation_groups: List[List[ExtractedAnnotation]] = []
-    try:
-        pp = Preprocessor(predefined=dict(defines or {}), recover=recover)
-        source = pp.process_text(text, filename=filename)
-        degraded.extend(source.degraded)
-        units.append(parse_preprocessed(source, name=filename))
-        annotation_groups.append(source.annotations)
-    except (PreprocessorError, ParseError, RecursionError) as exc:
-        if not recover:
-            raise
-        degraded.append(_unit_failure(filename, exc))
-    program = _finish(units, annotation_groups, verify, recover, degraded)
+    attempts: Dict[str, int] = {}
+    successes: Dict[str, int] = {}
+    result = frontend_unit(
+        text, filename, defines=defines,
+        recover=recover, tiers=recover_tiers,
+    )
+    _merge_counts(attempts, result.attempts)
+    _merge_counts(successes, result.successes)
+    degraded.extend(result.degraded)
+    if result.unit is not None:
+        units.append(result.unit)
+        annotation_groups.append(result.annotations)
+    program = _finish(units, annotation_groups, verify, recover, degraded,
+                      recovery_attempts=attempts,
+                      recovery_successes=successes)
     if cache is not None:
         cache.store(key, program)
     return program
@@ -98,6 +143,7 @@ def load_files(
     verify: bool = True,
     cache=None,
     recover: bool = False,
+    recover_tiers: Sequence[str] = (),
 ) -> Program:
     """Front-end several C files into one program (whole-program analysis).
 
@@ -105,35 +151,46 @@ def load_files(
     validated against the content hash of every file the preprocessor
     read when the entry was built (``#include`` dependencies included).
 
-    In recover mode each path is preprocessed and parsed in isolation:
-    a unit that fails becomes a :class:`DegradedUnit` and the remaining
-    units are still analyzed.
+    In recover mode each path is front-ended in isolation: a unit that
+    fails becomes a :class:`DegradedUnit` and the remaining units are
+    still analyzed. ``recover_tiers`` additionally sends failing units
+    through the recovery ladder before they are recorded as lost.
     """
     key = None
     if cache is not None:
         key = cache.key_for_files(paths, include_dirs, defines, verify,
-                                  recover)
+                                  recover_token(recover, recover_tiers))
         program = cache.fetch(key)
         if program is not None:
             return program
     units: List[ParsedUnit] = []
     annotation_groups: List[List[ExtractedAnnotation]] = []
     degraded: List[DegradedUnit] = []
+    attempts: Dict[str, int] = {}
+    successes: Dict[str, int] = {}
     for path in paths:
-        pp = Preprocessor(
-            include_dirs=list(include_dirs), predefined=dict(defines or {}),
-            recover=recover,
-        )
         try:
-            source = pp.process_file(path)
-            degraded.extend(source.degraded)
-            units.append(parse_preprocessed(source, name=path))
-            annotation_groups.append(source.annotations)
-        except (PreprocessorError, ParseError, RecursionError) as exc:
+            with open(path, "r") as f:
+                text = f.read()
+        except OSError as exc:
+            failure = PreprocessorError(f"cannot read {path}: {exc}")
             if not recover:
-                raise
-            degraded.append(_unit_failure(path, exc))
-    program = _finish(units, annotation_groups, verify, recover, degraded)
+                raise failure
+            degraded.append(_unit_failure(path, failure))
+            continue
+        result = frontend_unit(
+            text, path, include_dirs=include_dirs, defines=defines,
+            recover=recover, tiers=recover_tiers,
+        )
+        _merge_counts(attempts, result.attempts)
+        _merge_counts(successes, result.successes)
+        degraded.extend(result.degraded)
+        if result.unit is not None:
+            units.append(result.unit)
+            annotation_groups.append(result.annotations)
+    program = _finish(units, annotation_groups, verify, recover, degraded,
+                      recovery_attempts=attempts,
+                      recovery_successes=successes)
     if cache is not None:
         cache.store(key, program)
     return program
@@ -151,12 +208,57 @@ def _unit_failure(path: str, exc: BaseException) -> DegradedUnit:
     )
 
 
+def _smear_recovered(
+    units: List[ParsedUnit],
+    degraded: List[DegradedUnit],
+    lowerer: ModuleLowerer,
+) -> None:
+    """Degrade every function defined in a recovery-salvaged unit.
+
+    The analyzed text of a recovered unit is not the text the author
+    wrote, so nothing defined in it may certify: each of its functions
+    gets a :data:`KIND_FUNCTION` record (unless one exists already) and
+    the engine fails closed around the whole set. Functions are matched
+    by the source file their definition came from, which is exact
+    because the line map tracks provenance through includes.
+    """
+    recovered_tier: Dict[str, str] = {
+        u.name: (u.tier or "?")
+        for u in degraded if u.kind == KIND_RECOVERED
+    }
+    if not recovered_tier:
+        return
+    file_tier: Dict[str, str] = {}
+    for unit in units:
+        tier = recovered_tier.get(unit.name)
+        if tier is None:
+            continue
+        for fname in list(unit.source.files) + [unit.name]:
+            file_tier[fname] = tier
+    already = degraded_function_names(degraded)
+    for func_name, loc in sorted(lowerer.function_starts.items()):
+        tier = file_tier.get(loc.filename)
+        if tier is None or func_name in already:
+            continue
+        degraded.append(DegradedUnit(
+            kind=KIND_FUNCTION,
+            name=func_name,
+            cause=("fail-closed: defined in a unit salvaged by the "
+                   f"recovery ladder ({tier} tier)"),
+            location=loc,
+            function=func_name,
+            tier=tier,
+        ))
+
+
 def _finish(
     units: List[ParsedUnit],
     annotation_groups: List[List[ExtractedAnnotation]],
     verify: bool,
     recover: bool = False,
     degraded: Optional[List[DegradedUnit]] = None,
+    recovery_attempts: Optional[Dict[str, int]] = None,
+    recovery_successes: Optional[Dict[str, int]] = None,
 ) -> Program:
     degraded = list(degraded or [])
     module, lowerer = lower_units(units, recover=recover)
@@ -173,21 +275,22 @@ def _finish(
             _verify_recover(module, degraded)
         else:
             verify_module(module)
+    _smear_recovered(units, degraded, lowerer)
     # annotation failures degrade their enclosing function (when one is
     # identifiable) so monitors whose annotations were dropped are
     # treated fail-closed rather than as ordinary unannotated code
     resolved: List[DegradedUnit] = []
     for unit in degraded:
-        if unit.function is None and unit.location is not None:
+        if (unit.function is None and unit.location is not None
+                and unit.kind != KIND_RECOVERED):
+            # KIND_RECOVERED records stay unit-scoped: their location is
+            # the strict-mode failure point, not a function of their own
             owner = owning_function(
                 lowerer.function_starts,
                 unit.location.filename, unit.location.line,
             )
             if owner is not None:
-                unit = DegradedUnit(
-                    kind=unit.kind, name=unit.name, cause=unit.cause,
-                    location=unit.location, function=owner,
-                )
+                unit = replace(unit, function=owner)
         resolved.append(unit)
     resolved = sort_degraded(resolved)
     return Program(
@@ -198,6 +301,8 @@ def _finish(
         units=units,
         degraded=resolved,
         degraded_functions=degraded_function_names(resolved),
+        recovery_attempts=dict(recovery_attempts or {}),
+        recovery_successes=dict(recovery_successes or {}),
     )
 
 

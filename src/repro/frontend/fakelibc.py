@@ -1,0 +1,329 @@
+"""Bundled fake system headers for the recovery ladder's prelude tier.
+
+The strict front end *skips* ``#include <...>`` entirely and relies on
+the builtin prelude in :mod:`repro.frontend.parser` to declare the
+handful of library calls the paper's corpus uses.  Real embedded code
+includes ``<stdint.h>``/``<string.h>``/friends and then *uses* what
+they declare — ``uint8_t`` typedefs, ``UINT16_MAX`` macros — so the
+unit fails to parse even though nothing about it is exotic.
+
+Tier 3 of the recovery ladder (:mod:`repro.frontend.recovery`)
+resolves those includes against the declaration stubs below, in the
+spirit of pycparser's ``fake_libc_include`` directory (and of
+``pycparser_fake_libc``, which this repo deliberately does not depend
+on): just enough typedefs, ``#define``\\ s and prototypes for the code
+to parse.  The stubs are processed *as include text by the mini
+preprocessor*, so their macros participate in expansion and every
+declaration they contribute carries a ``<fake:NAME>`` filename in the
+line map — diagnostics never point at a line the author wrote when the
+declaration came from a stub.
+
+These are parsing aids, not semantic models: any unit that needed them
+is analyzed fail-closed (every function it defines is degraded), so a
+wrong constant here can widen but never weaken a verdict.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["FAKE_HEADERS", "fake_header", "COMPAT_TYPEDEFS"]
+
+_STDINT = """
+typedef signed char int8_t;
+typedef short int16_t;
+typedef int int32_t;
+typedef long long int64_t;
+typedef unsigned char uint8_t;
+typedef unsigned short uint16_t;
+typedef unsigned int uint32_t;
+typedef unsigned long long uint64_t;
+typedef long intptr_t;
+typedef unsigned long uintptr_t;
+typedef long long intmax_t;
+typedef unsigned long long uintmax_t;
+#define INT8_MIN (-128)
+#define INT8_MAX 127
+#define INT16_MIN (-32768)
+#define INT16_MAX 32767
+#define INT32_MIN (-2147483648)
+#define INT32_MAX 2147483647
+#define UINT8_MAX 255
+#define UINT16_MAX 65535
+#define UINT32_MAX 4294967295U
+#define INT64_MAX 9223372036854775807LL
+#define SIZE_MAX 4294967295U
+"""
+
+_STDBOOL = """
+typedef int _Bool_fake;
+#define bool _Bool_fake
+#define true 1
+#define false 0
+#define __bool_true_false_are_defined 1
+"""
+
+_STDDEF = """
+#define NULL 0
+#define offsetof(t, m) 0
+typedef long ptrdiff_t;
+typedef unsigned short wchar_t;
+"""
+
+_LIMITS = """
+#define CHAR_BIT 8
+#define SCHAR_MIN (-128)
+#define SCHAR_MAX 127
+#define UCHAR_MAX 255
+#define CHAR_MIN (-128)
+#define CHAR_MAX 127
+#define SHRT_MIN (-32768)
+#define SHRT_MAX 32767
+#define USHRT_MAX 65535
+#define INT_MIN (-2147483648)
+#define INT_MAX 2147483647
+#define UINT_MAX 4294967295U
+#define LONG_MIN (-2147483647L)
+#define LONG_MAX 2147483647L
+#define ULONG_MAX 4294967295UL
+"""
+
+_STDLIB = """
+#define EXIT_SUCCESS 0
+#define EXIT_FAILURE 1
+#define RAND_MAX 2147483647
+extern void *realloc(void *ptr, size_t size);
+extern long labs(long j);
+extern void qsort(void *base, size_t nmemb, size_t size,
+                  int (*compar)(const void *, const void *));
+"""
+
+_STDIO = """
+#define EOF (-1)
+#define SEEK_SET 0
+#define SEEK_CUR 1
+#define SEEK_END 2
+#define BUFSIZ 512
+extern int fputs(const char *s, FILE *stream);
+extern int fputc(int c, FILE *stream);
+extern int fgetc(FILE *stream);
+extern int putchar(int c);
+extern size_t fread(void *ptr, size_t size, size_t nmemb, FILE *stream);
+extern size_t fwrite(const void *ptr, size_t size, size_t nmemb, FILE *stream);
+extern int fseek(FILE *stream, long offset, int whence);
+extern long ftell(FILE *stream);
+extern void perror(const char *s);
+"""
+
+_STRING = """
+extern char *strchr(const char *s, int c);
+extern char *strrchr(const char *s, int c);
+extern char *strstr(const char *haystack, const char *needle);
+extern char *strncat(char *dest, const char *src, size_t n);
+extern void *memmove(void *dest, const void *src, size_t n);
+extern void *memchr(const void *s, int c, size_t n);
+extern char *strerror(int errnum);
+"""
+
+_ERRNO = """
+extern int errno;
+#define EINTR 4
+#define EIO 5
+#define EAGAIN 11
+#define ENOMEM 12
+#define EACCES 13
+#define EBUSY 16
+#define EINVAL 22
+#define ERANGE 34
+#define ETIMEDOUT 110
+"""
+
+_SIGNAL = """
+typedef int sig_atomic_t;
+typedef void (*sighandler_t)(int);
+#define SIGHUP 1
+#define SIGINT 2
+#define SIGQUIT 3
+#define SIGKILL 9
+#define SIGUSR1 10
+#define SIGUSR2 12
+#define SIGALRM 14
+#define SIGTERM 15
+#define SIG_DFL ((sighandler_t)0)
+#define SIG_IGN ((sighandler_t)1)
+extern sighandler_t signal(int signum, sighandler_t handler);
+extern unsigned int alarm(unsigned int seconds);
+extern int raise(int sig);
+"""
+
+_UNISTD = """
+#define STDIN_FILENO 0
+#define STDOUT_FILENO 1
+#define STDERR_FILENO 2
+extern int pause(void);
+extern long sysconf(int name);
+extern int isatty(int fd);
+"""
+
+_FCNTL = """
+#define O_RDONLY 0
+#define O_WRONLY 1
+#define O_RDWR 2
+#define O_CREAT 64
+#define O_EXCL 128
+#define O_TRUNC 512
+#define O_APPEND 1024
+#define O_NONBLOCK 2048
+"""
+
+_SYS_TYPES = """
+typedef unsigned int uid_t;
+typedef unsigned int gid_t;
+typedef unsigned long dev_t;
+typedef unsigned long ino_t;
+typedef unsigned int useconds_t;
+"""
+
+_SYS_SHM = """
+#define IPC_CREAT 01000
+#define IPC_EXCL 02000
+#define IPC_NOWAIT 04000
+#define IPC_RMID 0
+#define IPC_SET 1
+#define IPC_STAT 2
+#define IPC_PRIVATE ((key_t)0)
+#define SHM_RDONLY 010000
+#define SHM_RND 020000
+extern key_t ftok(const char *pathname, int proj_id);
+"""
+
+_SYS_SOCKET = """
+#define AF_UNIX 1
+#define AF_INET 2
+#define SOCK_STREAM 1
+#define SOCK_DGRAM 2
+#define MSG_DONTWAIT 64
+typedef unsigned int socklen_t;
+typedef unsigned short sa_family_t;
+struct sockaddr { sa_family_t sa_family; char sa_data[14]; };
+extern int bind(int sockfd, const struct sockaddr *addr, socklen_t addrlen);
+extern int listen(int sockfd, int backlog);
+extern int accept(int sockfd, struct sockaddr *addr, socklen_t *addrlen);
+extern int connect(int sockfd, const struct sockaddr *addr, socklen_t addrlen);
+extern int setsockopt(int sockfd, int level, int optname,
+                      const void *optval, socklen_t optlen);
+"""
+
+_ASSERT = """
+#define assert(x) ((void)0)
+"""
+
+_CTYPE = """
+extern int isdigit(int c);
+extern int isalpha(int c);
+extern int isalnum(int c);
+extern int isspace(int c);
+extern int isupper(int c);
+extern int islower(int c);
+extern int toupper(int c);
+extern int tolower(int c);
+"""
+
+_MATH = """
+#define M_PI 3.14159265358979323846
+#define M_E 2.7182818284590452354
+#define HUGE_VAL 1e308
+extern double round(double x);
+extern float sqrtf(float x);
+extern float sinf(float x);
+extern float cosf(float x);
+extern double fmin(double x, double y);
+extern double fmax(double x, double y);
+extern double hypot(double x, double y);
+"""
+
+_STDARG = """
+typedef char *va_list;
+#define va_start(ap, last) ((void)0)
+#define va_end(ap) ((void)0)
+#define va_arg(ap, type) (*(type *)0)
+#define va_copy(d, s) ((void)0)
+"""
+
+#: header basename (as written between ``<...>``) → stub text.
+#: Aliases share one stub so ``<sys/shm.h>`` and ``<sys/ipc.h>`` both
+#: resolve, matching how real code splits those includes.
+FAKE_HEADERS: Dict[str, str] = {
+    "stdint.h": _STDINT,
+    "inttypes.h": _STDINT,
+    "stdbool.h": _STDBOOL,
+    "stddef.h": _STDDEF,
+    "limits.h": _LIMITS,
+    "stdlib.h": _STDLIB,
+    "stdio.h": _STDIO,
+    "string.h": _STRING,
+    "errno.h": _ERRNO,
+    "signal.h": _SIGNAL,
+    "unistd.h": _UNISTD,
+    "fcntl.h": _FCNTL,
+    "assert.h": _ASSERT,
+    "ctype.h": _CTYPE,
+    "math.h": _MATH,
+    "stdarg.h": _STDARG,
+    "time.h": "",     # time_t/time()/gettimeofday() are in the prelude
+    "sys/types.h": _SYS_TYPES,
+    "sys/time.h": "",
+    "sys/stat.h": "",
+    "sys/ipc.h": _SYS_SHM,
+    "sys/shm.h": _SYS_SHM,
+    "sys/sem.h": _SYS_SHM,
+    "sys/socket.h": _SYS_SOCKET,
+    "netinet/in.h": _SYS_SOCKET,
+    "sys/ioctl.h": "",
+    "sys/wait.h": "",
+}
+
+#: embedded-style integer typedef shorthands → the declaration the
+#: compat prelude injects when the unit *uses* the name but never
+#: defines it (tier 3; scanned textually, so this is heuristic — which
+#: is fine, the unit is fail-closed anyway)
+COMPAT_TYPEDEFS: Dict[str, str] = {
+    "u8": "typedef unsigned char u8;",
+    "u16": "typedef unsigned short u16;",
+    "u32": "typedef unsigned int u32;",
+    "u64": "typedef unsigned long long u64;",
+    "s8": "typedef signed char s8;",
+    "s16": "typedef short s16;",
+    "s32": "typedef int s32;",
+    "s64": "typedef long long s64;",
+    "BYTE": "typedef unsigned char BYTE;",
+    "WORD": "typedef unsigned short WORD;",
+    "DWORD": "typedef unsigned long DWORD;",
+    "BOOL": "typedef int BOOL;",
+    # stdint names used without the include (common in pasted snippets)
+    "int8_t": "typedef signed char int8_t;",
+    "int16_t": "typedef short int16_t;",
+    "int32_t": "typedef int int32_t;",
+    "int64_t": "typedef long long int64_t;",
+    "uint8_t": "typedef unsigned char uint8_t;",
+    "uint16_t": "typedef unsigned short uint16_t;",
+    "uint32_t": "typedef unsigned int uint32_t;",
+    "uint64_t": "typedef unsigned long long uint64_t;",
+    "uintptr_t": "typedef unsigned long uintptr_t;",
+    "bool": "typedef int bool;",
+    "float32_t": "typedef float float32_t;",
+    "float64_t": "typedef double float64_t;",
+}
+
+def fake_header(name: str) -> Optional[str]:
+    """Stub text for ``#include <name>``, or ``None`` when unbundled.
+
+    Lookup is by the exact path written in the include, then by
+    basename (``<avr/pgmspace.h>`` has no stub, but ``<foo/stdint.h>``
+    still resolves to the stdint stub).
+    """
+    name = name.strip()
+    if name in FAKE_HEADERS:
+        return FAKE_HEADERS[name]
+    base = name.rsplit("/", 1)[-1]
+    return FAKE_HEADERS.get(base)

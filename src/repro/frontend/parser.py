@@ -135,23 +135,32 @@ SHM_ALLOCATORS = frozenset({"shmat"})
 
 
 class ParsedUnit:
-    """A parsed translation unit plus its line-provenance map."""
+    """A parsed translation unit plus its line-provenance map.
+
+    ``extra_prelude_lines`` counts prelude lines injected *beyond* the
+    builtin prelude (the recovery ladder's prelude tier prepends compat
+    typedefs); coordinate translation subtracts both, so diagnostics
+    stay line-accurate however much the prelude grew.
+    """
 
     def __init__(
         self,
         ast: c_ast.FileAST,
         source: PreprocessedSource,
         name: str = "<unit>",
+        extra_prelude_lines: int = 0,
     ):
         self.ast = ast
         self.source = source
         self.name = name
+        self.extra_prelude_lines = extra_prelude_lines
 
     def origin(self, coord) -> SourceLocation:
         """Translate a pycparser coord into an original source location."""
         if coord is None:
             return SourceLocation(self.name, 0)
-        line = coord.line - PRELUDE_LINES
+        extra = getattr(self, "extra_prelude_lines", 0)
+        line = coord.line - PRELUDE_LINES - extra
         if line <= 0:
             return SourceLocation("<builtin>", coord.line)
         loc = self.source.origin(line)
@@ -159,16 +168,30 @@ class ParsedUnit:
 
 
 def parse_preprocessed(
-    source: PreprocessedSource, name: str = "<unit>"
+    source: PreprocessedSource,
+    name: str = "<unit>",
+    extra_prelude: str = "",
+    parser_factory=None,
 ) -> ParsedUnit:
-    """Parse preprocessed C (with the builtin prelude prepended)."""
-    full_text = BUILTIN_PRELUDE + source.text
-    parser = pycparser.CParser()
+    """Parse preprocessed C (with the builtin prelude prepended).
+
+    ``extra_prelude`` is additional declaration text the recovery
+    ladder injects between the builtin prelude and the unit; it must be
+    newline-terminated. ``parser_factory`` overrides the parser class
+    (the GNU recovery tier substitutes pycparserext's ``GnuCParser``
+    when the ``wild`` extra is installed).
+    """
+    if extra_prelude and not extra_prelude.endswith("\n"):
+        extra_prelude += "\n"
+    extra_lines = extra_prelude.count("\n")
+    full_text = BUILTIN_PRELUDE + extra_prelude + source.text
+    parser = parser_factory() if parser_factory is not None else (
+        pycparser.CParser())
     try:
         ast = parser.parse(full_text, filename=name)
     except PlyParseError as exc:
         message = str(exc)
-        location = _location_from_message(message, source, name)
+        location = _location_from_message(message, source, name, extra_lines)
         raise ParseError(f"C parse error: {message}", location)
     except RecursionError:
         raise ParseError(
@@ -181,17 +204,18 @@ def parse_preprocessed(
             f"C parse error: parser failure: {exc}",
             SourceLocation(name, 0),
         )
-    return ParsedUnit(ast, source, name)
+    return ParsedUnit(ast, source, name, extra_prelude_lines=extra_lines)
 
 
 def _location_from_message(
-    message: str, source: PreprocessedSource, name: str
+    message: str, source: PreprocessedSource, name: str,
+    extra_prelude_lines: int = 0,
 ) -> Optional[SourceLocation]:
     # pycparser errors look like "<file>:LINE:COL: before: tok"
     parts = message.split(":")
     for i, part in enumerate(parts):
         if part.strip().isdigit():
-            line = int(part.strip()) - PRELUDE_LINES
+            line = int(part.strip()) - PRELUDE_LINES - extra_prelude_lines
             if line > 0:
                 return source.origin(line)
             return SourceLocation("<builtin>", int(part.strip()))

@@ -73,6 +73,16 @@ class PreprocessedSource:
     #: annotation blocks that failed to parse, kept instead of raised
     #: when the preprocessor runs in recover mode
     degraded: List[DegradedUnit] = field(default_factory=list)
+    #: every ``#include <name>`` seen in an active conditional branch,
+    #: in order — the recovery ladder's prelude tier resolves these
+    #: against :data:`repro.frontend.fakelibc.FAKE_HEADERS`
+    system_includes: List[str] = field(default_factory=list)
+    #: system headers that *were* satisfied by a bundled fake stub
+    #: (prelude tier active and a stub existed)
+    fake_included: List[str] = field(default_factory=list)
+    #: local ``#include "..."`` targets that could not be found but
+    #: were skipped instead of raised (``ignore_missing_includes``)
+    skipped_includes: List[str] = field(default_factory=list)
 
     def origin(self, output_line: int) -> SourceLocation:
         """Original location for a 1-based output line number."""
@@ -91,6 +101,8 @@ class Preprocessor:
         predefined: Optional[Dict[str, str]] = None,
         max_include_depth: int = 32,
         recover: bool = False,
+        fake_headers: bool = False,
+        ignore_missing_includes: bool = False,
     ):
         self.include_dirs = list(include_dirs)
         self.macros: Dict[str, Macro] = {}
@@ -100,9 +112,19 @@ class Preprocessor:
         #: collect malformed annotations as DegradedUnits instead of
         #: raising (degraded-mode analysis)
         self.recover = recover
+        #: resolve ``#include <name>`` against the bundled declaration
+        #: stubs of :mod:`repro.frontend.fakelibc` instead of skipping
+        #: it (recovery ladder, prelude tier)
+        self.fake_headers = fake_headers
+        #: skip (and record) local includes that cannot be found
+        #: instead of raising (recovery ladder, prelude tier onward)
+        self.ignore_missing_includes = ignore_missing_includes
         #: stack of files currently being processed, outermost first —
         #: used to diagnose circular #include chains
         self._active: List[str] = []
+        #: fake stubs already injected in this unit (stub identity, so
+        #: aliases like <sys/ipc.h>/<sys/shm.h> inject only once)
+        self._fake_done: set = set()
 
     # ------------------------------------------------------------------
     # public API
@@ -403,6 +425,22 @@ class Preprocessor:
     ) -> None:
         rest = rest.strip()
         if rest.startswith("<"):
+            name = rest[1:].split(">", 1)[0].strip()
+            if name:
+                out.system_includes.append(name)
+            if self.fake_headers and name:
+                from .fakelibc import fake_header
+
+                stub = fake_header(name)
+                if stub is not None:
+                    out.fake_included.append(name)
+                    if id(stub) not in self._fake_done:
+                        self._fake_done.add(id(stub))
+                        self._process(
+                            stub, f"<fake:{name}>", depth + 1,
+                            out_lines, out,
+                        )
+                    return
             return  # system headers: builtin prelude supplies declarations
         m = re.match(r'"([^"]+)"', rest)
         if m is None:
@@ -422,6 +460,9 @@ class Preprocessor:
                     text = f.read()
                 self._process(text, candidate, depth + 1, out_lines, out)
                 return
+        if self.ignore_missing_includes:
+            out.skipped_includes.append(target)
+            return
         raise PreprocessorError(f"include file not found: {target}", loc)
 
     # ------------------------------------------------------------------

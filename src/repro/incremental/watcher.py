@@ -44,10 +44,11 @@ from ..core.driver import SafeFlow
 from ..core.results import AnalysisReport
 from ..degrade import DegradedUnit
 from ..errors import IRError, LoweringError, ParseError, PreprocessorError
-from ..frontend.driver import Program, _finish, _unit_failure
+from ..frontend.driver import Program, _finish, _merge_counts, _unit_failure
 from ..frontend.lower import ModuleLowerer
-from ..frontend.parser import ParsedUnit, parse_preprocessed
-from ..frontend.preprocessor import ExtractedAnnotation, Preprocessor
+from ..frontend.parser import ParsedUnit
+from ..frontend.preprocessor import ExtractedAnnotation
+from ..frontend.recovery import frontend_unit
 from ..ir import Function
 from ..ir.verifier import verify_function
 from ..perf.fingerprint import text_digest
@@ -80,7 +81,8 @@ class _UnitState:
     """Cached front-end state of one translation unit."""
 
     __slots__ = ("path", "digest", "unit", "annotations", "degraded",
-                 "defs", "refs", "funcs_only", "def_digests")
+                 "defs", "refs", "funcs_only", "def_digests",
+                 "recovery_attempts", "recovery_successes")
 
     def __init__(self, path: str, digest: str,
                  unit: Optional[ParsedUnit],
@@ -91,6 +93,12 @@ class _UnitState:
         self.unit = unit
         self.annotations = list(annotations)
         self.degraded = list(degraded)
+        #: per-tier recovery-ladder counters for this unit (empty
+        #: unless the session runs with ``recover_tiers``); folded
+        #: into every full re-lower's Program so watch verdicts report
+        #: the same recovery stats as a cold ``safeflow analyze``
+        self.recovery_attempts: Dict[str, int] = {}
+        self.recovery_successes: Dict[str, int] = {}
         #: function names defined by this unit (definition order)
         self.defs: Tuple[str, ...] = ()
         #: function names this unit's code references (call targets and
@@ -288,7 +296,8 @@ class IncrementalSession:
         changed: List[str] = []
         added: List[str] = []
         removed: List[str] = []
-        recover = self.config.degraded_mode
+        recover = bool(self.config.degraded_mode
+                       or self.config.recover_tiers)
         for path in self._paths:
             try:
                 with open(path, "rb") as f:
@@ -317,20 +326,33 @@ class IncrementalSession:
 
     def _frontend_unit(self, path: str, digest: str,
                        recover: bool) -> _UnitState:
-        pp = Preprocessor(
-            include_dirs=list(self.config.include_dirs),
-            predefined=dict(self.config.defines or {}),
-            recover=recover,
-        )
         try:
-            source = pp.process_file(path)
-            unit = parse_preprocessed(source, name=path)
-            return _UnitState(path, digest, unit, source.annotations,
-                              list(source.degraded))
+            with open(path, "r") as f:
+                text = f.read()
+        except (OSError, UnicodeDecodeError) as exc:
+            exc = PreprocessorError(f"cannot read {path}: {exc}")
+            if not recover:
+                raise exc
+            return _UnitState(path, digest, None, [],
+                              [_unit_failure(path, exc)])
+        try:
+            result = frontend_unit(
+                text, path,
+                include_dirs=self.config.include_dirs,
+                defines=self.config.defines,
+                recover=recover,
+                tiers=self.config.recover_tiers,
+            )
         except (PreprocessorError, ParseError, RecursionError) as exc:
             if not recover:
                 raise
-            return _UnitState(path, digest, None, [], [_unit_failure(path, exc)])
+            return _UnitState(path, digest, None, [],
+                              [_unit_failure(path, exc)])
+        state = _UnitState(path, digest, result.unit, result.annotations,
+                           result.degraded)
+        state.recovery_attempts = dict(result.attempts)
+        state.recovery_successes = dict(result.successes)
+        return state
 
     def _promote_pending(self) -> None:
         for path, state in getattr(self, "_pending", {}).items():
@@ -343,17 +365,25 @@ class IncrementalSession:
         units: List[ParsedUnit] = []
         annotation_groups: List[List[ExtractedAnnotation]] = []
         degraded: List[DegradedUnit] = []
+        attempts: Dict[str, int] = {}
+        successes: Dict[str, int] = {}
         for path in self._paths:
             state = self._units.get(path)
             if state is None:
                 continue
             degraded.extend(state.degraded)
+            _merge_counts(attempts, state.recovery_attempts)
+            _merge_counts(successes, state.recovery_successes)
             if state.unit is not None:
                 units.append(state.unit)
                 annotation_groups.append(state.annotations)
         self.program = _finish(
             units, annotation_groups, self.config.verify_ir,
-            recover=self.config.degraded_mode, degraded=degraded,
+            recover=bool(self.config.degraded_mode
+                         or self.config.recover_tiers),
+            degraded=degraded,
+            recovery_attempts=attempts,
+            recovery_successes=successes,
         )
         self.full_relowers += 1
         # reference sets for future swap-eligibility checks

@@ -114,6 +114,15 @@ def config_fingerprint(config) -> str:
     from ..incremental.segments import SEGMENT_FORMAT_VERSION
 
     parts.append(f"segments=v{SEGMENT_FORMAT_VERSION}")
+    # the recovery ladder rewrites unit text before parsing: fold the
+    # tier format version and GNU parser strategy in (the enabled-tier
+    # set itself is an ordinary config field above), so a rewrite-rule
+    # rev or installing the wild extra renamespaces every cache
+    if getattr(config, "recover_tiers", ()):
+        from ..frontend.recovery import recovery_fingerprint
+
+        fp = recovery_fingerprint(config.recover_tiers)
+        parts.append(f"recovery={fp}")
     return combine(parts)
 
 

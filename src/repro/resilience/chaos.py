@@ -44,9 +44,9 @@ from .faults import FaultPlan
 
 #: schedule names in execution order; ``--smoke`` runs the starred core
 SCHEDULES = ("kill", "quarantine", "slow", "corrupt-ir", "torn-summary",
-             "serve-kill", "kill-resume", "watch-kill")
+             "serve-kill", "kill-resume", "watch-kill", "tier-crash")
 SMOKE_SCHEDULES = ("kill", "corrupt-ir", "serve-kill", "kill-resume",
-                   "watch-kill")
+                   "watch-kill", "tier-crash")
 
 #: the job a schedule's fault targets (second job: exercises recovery
 #: with completed work before and pending work after the crash)
@@ -484,6 +484,78 @@ def _schedule_watch_kill(report, _unused_jobs, _unused_baseline, config,
         report.note("post-crash re-verdict byte-identical to a cold run")
 
 
+def _schedule_tier_crash(report, _unused_jobs, _unused_baseline, config,
+                         workers, scratch):
+    """Crash each recovery tier in turn on a salvage workload.
+
+    The contract under test: a crashing tier counts as that tier
+    *failing* — units fall through to the next tier or are lost
+    fail-closed, jobs always complete (never a driver error), and no
+    crash can make the ladder certify more than the fault-free run.
+    """
+    from ..frontend.recovery import DEFAULT_TIERS
+    from ..perf.batch import BatchJob
+
+    units = {
+        "wild-gnu": ("int __attribute__((noinline)) t(int x) "
+                     "{ return x + x; }\n"
+                     "int u(void) { return t(2); }\n"),
+        "wild-stdint": ("#include <stdint.h>\n"
+                        "uint16_t v;\n"
+                        "uint16_t b(uint16_t a) "
+                        "{ return (uint16_t) (a + 1); }\n"),
+        "wild-broken": ("int good(int a) { return a + 1; }\n"
+                        "int bad(int a)\n{\n    return a @@ 2;\n}\n"),
+        "wild-clean": "int plain(int a) { return a - 1; }\n",
+    }
+    src_dir = os.path.join(scratch, "wild-src")
+    os.makedirs(src_dir, exist_ok=True)
+    jobs = []
+    for name, text in units.items():
+        path = os.path.join(src_dir, f"{name}.c")
+        with open(path, "w") as f:
+            f.write(text)
+        jobs.append(BatchJob(name=name, files=(path,)))
+
+    ladder = dataclasses.replace(config, degraded_mode=True,
+                                 recover_tiers=DEFAULT_TIERS)
+    fault_free = _run_batch(jobs, ladder, workers)
+    baseline_verdicts = {r.name: r.report.verdict
+                         for r in fault_free.results if r.ok}
+    baseline_pass = {n for n, v in baseline_verdicts.items()
+                     if v == "pass"}
+    if len(baseline_verdicts) != len(jobs):
+        report.fail("fault-free ladder run did not complete every job")
+        return
+
+    for tier in ("strict",) + tuple(DEFAULT_TIERS):
+        plan = FaultPlan(crash_tier=tier)
+        outcome = _run_batch(jobs, ladder, workers, plan)
+        verdicts = {r.name: r.report.verdict
+                    for r in outcome.results if r.ok}
+        if len(verdicts) != len(jobs):
+            incomplete = [r.name for r in outcome.results if not r.ok]
+            report.fail(f"crash_tier={tier}: {incomplete} did not "
+                        f"complete — a crashing tier must never be a "
+                        f"driver error")
+            continue
+        escaped = {n for n, v in verdicts.items()
+                   if v == "pass"} - baseline_pass
+        if escaped:
+            report.fail(f"crash_tier={tier}: {sorted(escaped)} passed "
+                        f"only under the fault — fail-open")
+            continue
+        if tier == "strict" and verdicts["wild-clean"] == "pass":
+            # proves the fault reached the workers: with strict
+            # crashing, even a clean unit must be salvaged by a later
+            # tier (degraded), not certified
+            report.fail("crash_tier=strict: clean unit still passed — "
+                        "fault did not propagate")
+        else:
+            report.note(f"crash_tier={tier}: all jobs completed, "
+                        f"pass set never grew")
+
+
 _RUNNERS: Dict[str, Callable] = {
     "kill": _schedule_kill,
     "quarantine": _schedule_quarantine,
@@ -493,6 +565,7 @@ _RUNNERS: Dict[str, Callable] = {
     "serve-kill": _schedule_serve_kill,
     "kill-resume": _schedule_kill_resume,
     "watch-kill": _schedule_watch_kill,
+    "tier-crash": _schedule_tier_crash,
 }
 
 #: schedules meaningless without a real worker process to kill

@@ -68,6 +68,13 @@ class FaultPlan:
     #: dying mid-append during ``safeflow watch`` (the watch-kill
     #: chaos schedule). Fires in whatever process owns the store.
     kill_segment_flush: Optional[int] = None
+    #: raise inside this recovery-ladder tier ("strict", "gnu",
+    #: "prelude", "cleanup", "salvage") every time it is attempted —
+    #: the chaos stand-in for a buggy tier. The ladder must treat the
+    #: crash as that tier *failing* and fall through to the next tier,
+    #: never as a driver error (see
+    #: :func:`repro.frontend.recovery.frontend_unit`).
+    crash_tier: Optional[str] = None
     #: directory for one-shot latch tokens (required by one-shot kills)
     latch_dir: Optional[str] = None
 
@@ -184,6 +191,26 @@ def on_journal_append(job_name: str) -> None:
     if plan is None or plan.kill_after_journal != job_name:
         return
     os.kill(os.getpid(), signal.SIGKILL)
+
+
+class RecoveryTierCrash(RuntimeError):
+    """The injected ``crash_tier`` fault: a recovery tier blowing up."""
+
+
+def on_recovery_tier(tier_name: str) -> None:
+    """Fire the ``crash_tier`` fault, if scheduled.
+
+    Called by :func:`repro.frontend.recovery.frontend_unit` at the
+    start of every tier attempt. Raising (rather than SIGKILL) is the
+    point: the contract under test is that a *crashing* tier counts as
+    that tier failing — the ladder falls through to the next tier and
+    the driver never sees the exception. Fires on every attempt (no
+    latch): a buggy tier is buggy for every unit.
+    """
+    plan = plan_from_env()
+    if plan is None or plan.crash_tier != tier_name:
+        return
+    raise RecoveryTierCrash(f"injected recovery-tier crash: {tier_name}")
 
 
 #: per-process count of segment-store log appends (kill_segment_flush)

@@ -135,6 +135,13 @@ class ServerMetrics:
             "analyses": 0,  # completed analyses with a degraded verdict
             "units": 0,     # DegradedUnits across them (fail-closed)
         }
+        #: frontend recovery-ladder totals (--recover), folded from the
+        #: per-tier attempt/success counts of every completed analysis
+        self._recovery = {
+            "recovered_units": 0,
+            "tier_attempts": {},   # tier name → attempts
+            "tier_successes": {},  # tier name → successes
+        }
         self._request_latency = LatencyHistogram()
         #: recent-window request latency: a router polling this
         #: daemon's health plane needs a *live* p50/p99, not the
@@ -203,6 +210,13 @@ class ServerMetrics:
             if units:
                 self._degraded["analyses"] += 1
                 self._degraded["units"] += units
+            self._recovery["recovered_units"] += int(
+                stats.get("recovered_units", 0) or 0)
+            for key, bucket in (("recovery_attempts", "tier_attempts"),
+                                ("recovery_successes", "tier_successes")):
+                for tier, n in (stats.get(key) or {}).items():
+                    counts = self._recovery[bucket]
+                    counts[tier] = counts.get(tier, 0) + int(n or 0)
             self._incremental["functions_reanalyzed"] += int(
                 stats.get("functions_reanalyzed", 0) or 0)
             self._incremental["dirty_cone_functions"] += int(
@@ -251,6 +265,13 @@ class ServerMetrics:
                 "resilience": dict(self._resilience),
                 "incremental": dict(self._incremental),
                 "degraded": dict(self._degraded),
+                "recovery": {
+                    "recovered_units": self._recovery["recovered_units"],
+                    "tier_attempts": dict(sorted(
+                        self._recovery["tier_attempts"].items())),
+                    "tier_successes": dict(sorted(
+                        self._recovery["tier_successes"].items())),
+                },
                 "latency": {
                     "request": self._request_latency.snapshot(),
                     "rolling": self.rolling_latency.quantiles(),

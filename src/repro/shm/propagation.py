@@ -72,6 +72,13 @@ class ShmAnalysis:
         self.config = config or AnalysisConfig()
         self.module = program.module
         self.callgraph = CallGraph(self.module)
+        #: keep-going analysis: degraded mode or the recovery ladder —
+        #: both promise the same fail-closed discipline around whatever
+        #: the frontend could not certify
+        self.fail_closed = bool(
+            self.config.degraded_mode
+            or getattr(self.config, "recover_tiers", ())
+        )
 
         self.regions: Dict[str, SharedRegion] = {}
         self.init_functions: Set[str] = set()
@@ -98,7 +105,7 @@ class ShmAnalysis:
             # components, whether annotated noncore or not
             for region in self.regions.values():
                 region.noncore = True
-        if self.config.degraded_mode:
+        if self.fail_closed:
             # fail closed: a region initialized by a degraded function
             # cannot have its write-audit trusted, so treat it as
             # writable by non-core components
@@ -138,7 +145,7 @@ class ShmAnalysis:
                     elif isinstance(item, (ShmInit, AssertSafe)):
                         continue
                 except AnnotationError as exc:
-                    if not self.config.degraded_mode:
+                    if not self.fail_closed:
                         raise
                     self._degrade_annotation(fname, item, exc)
 
@@ -183,7 +190,7 @@ class ShmAnalysis:
         if gv is not None and isinstance(gv.declared_type, PointerType):
             element_type = gv.declared_type.pointee
         elif gv is None:
-            if self.config.degraded_mode:
+            if self.fail_closed:
                 # degraded mode reports the missing symbol as a
                 # DegradedUnit (fail-closed around the shminit function)
                 # rather than a violation pinned to a phantom region

@@ -1,0 +1,126 @@
+"""Incremental sessions over recovered units: the tier-move matrix.
+
+An edit that moves a unit between recovery tiers (strict → gnu →
+strict, salvage in and out) changes the degraded set and therefore the
+global fingerprint: the dirty cone must be invalidated and every
+re-verdict must stay byte-identical to a cold session over the same
+on-disk sources — tier moves are exactly where stale fail-closed state
+would silently certify a recovered unit.
+"""
+
+from repro.core.config import AnalysisConfig
+from repro.frontend.recovery import DEFAULT_TIERS
+from repro.incremental.watcher import IncrementalSession
+
+MAIN_C = """
+double leaf(double a);
+double helper(double a) { return leaf(a) + 1.0; }
+
+int main(void)
+{
+    double y;
+    y = helper(2.0);
+    return y > 0.0;
+}
+"""
+
+LIB_STRICT = "double leaf(double a) { return a * 2.0; }\n"
+
+LIB_GNU = ("double __attribute__((noinline)) leaf(double a) "
+           "{ return a * 2.0; }\n")
+
+LIB_BROKEN = ("double leaf(double a) { return a * 2.0; }\n"
+              "double stray(double a)\n"
+              "{\n"
+              "    return a @@ 1.0;\n"
+              "}\n")
+
+
+def _config():
+    return AnalysisConfig(cache_dir=None, summary_mode=True,
+                          recover_tiers=DEFAULT_TIERS)
+
+
+def _write(path, text):
+    with open(path, "w") as f:
+        f.write(text)
+
+
+def _session(tmp_path):
+    main = str(tmp_path / "main.c")
+    lib = str(tmp_path / "lib.c")
+    _write(main, MAIN_C)
+    _write(lib, LIB_STRICT)
+    session = IncrementalSession(
+        [main, lib], config=_config(),
+        store_root=str(tmp_path / "store"))
+    return session, main, lib
+
+
+def _cold_render(paths, tmp_path, tag):
+    session = IncrementalSession(
+        list(paths), config=_config(),
+        store_root=str(tmp_path / f"cold-{tag}"))
+    return session.verdict().render(verbose=True)
+
+
+def test_tier_move_matrix_byte_identical_to_cold(tmp_path):
+    """strict → gnu → strict → salvage → strict, cold-checked at
+    every step."""
+    session, main, lib = _session(tmp_path)
+    first = session.verdict()
+    assert first.verdict == "pass"
+    assert first.stats.recovery_successes == {"strict": 2}
+
+    steps = [
+        ("gnu", LIB_GNU, "degraded"),
+        ("back-to-strict", LIB_STRICT, "pass"),
+        ("salvage", LIB_BROKEN, "degraded"),
+        ("strict-again", LIB_STRICT, "pass"),
+    ]
+    for tag, text, want in steps:
+        _write(lib, text)
+        report = session.verdict()
+        assert report.verdict == want, tag
+        assert report.render(verbose=True) == _cold_render(
+            [main, lib], tmp_path, tag), tag
+
+
+def test_tier_move_invalidates_dirty_cone(tmp_path):
+    session, main, lib = _session(tmp_path)
+    session.verdict()
+    _write(lib, LIB_GNU)
+    degraded_run = session.verdict()
+    # the recovered unit degrades its own functions *and* poisons the
+    # callers fail-closed — nothing is swap-eligible
+    assert degraded_run.verdict == "degraded"
+    assert {u.function for u in degraded_run.degraded
+            if u.function} == {"leaf"}
+    assert session.swaps == 0
+    _write(lib, LIB_STRICT)
+    clean_run = session.verdict()
+    assert clean_run.verdict == "pass"
+    assert clean_run.degraded == []
+    # moving back must rerun the previously-poisoned cone, not replay
+    # fail-closed results
+    assert clean_run.stats.functions_reanalyzed > 0
+
+
+def test_recovered_unit_counters_fold_into_watch_stats(tmp_path):
+    session, main, lib = _session(tmp_path)
+    _write(lib, LIB_GNU)
+    report = session.verdict()
+    assert report.stats.recovered_units == 1
+    assert report.stats.recovery_attempts["strict"] == 2
+    assert report.stats.recovery_successes["gnu"] == 1
+
+
+def test_lost_unit_in_watch_session(tmp_path):
+    session, main, lib = _session(tmp_path)
+    session.verdict()
+    _write(lib, "int f(void) {{ %% \"unterminated\n")
+    report = session.verdict()
+    assert report.verdict == "degraded"
+    assert any(u.kind == "unit" for u in report.degraded)
+    _write(lib, LIB_STRICT)
+    assert session.verdict().verdict == "pass"

@@ -1,0 +1,106 @@
+"""``--recover`` through the CLI: flag parsing, batch exit codes, and
+the recovery block of ``--stats``.
+
+The exit-code contract under test (documented in ``repro.cli``):
+0 = everything certified, 1 = findings or a mix of verdicts, 2 = tool
+failure *or* — under ``--keep-going``/``--recover`` — a batch where
+nothing was certified because every job's verdict is degraded.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+
+GNU = "int __attribute__((noinline)) f(int a) { return a + a; }\n"
+CLEAN = "int g(int a) { return a - 1; }\n"
+HOPELESS = "int f(void) {{ %% \"unterminated\n"
+
+
+def _write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+class TestAnalyzeRecover:
+    def test_recovered_analyze_reports_degraded(self, tmp_path, capsys):
+        path = _write(tmp_path, "gnu.c", GNU)
+        rc = cli_main(["analyze", path, "--recover", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] == "degraded"
+        assert payload["stats"]["recovered_units"] == 1
+        assert payload["stats"]["recovery_successes"] == {"gnu": 1}
+        assert rc != 0  # a salvaged unit is never certified
+
+    def test_recover_accepts_tier_subset(self, tmp_path, capsys):
+        path = _write(tmp_path, "gnu.c", GNU)
+        rc = cli_main(["analyze", path, "--recover", "gnu", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] == "degraded"
+        assert rc != 0
+
+    def test_recover_rejects_unknown_tier(self, tmp_path, capsys):
+        path = _write(tmp_path, "gnu.c", GNU)
+        rc = cli_main(["analyze", path, "--recover", "nope"])
+        assert rc == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_stats_renders_recovery_block(self, tmp_path, capsys):
+        path = _write(tmp_path, "gnu.c", GNU)
+        cli_main(["analyze", path, "--recover", "--stats"])
+        out = capsys.readouterr().out
+        assert "recovered units" in out
+        assert "tier gnu" in out
+
+    def test_stats_silent_without_recover(self, tmp_path, capsys):
+        path = _write(tmp_path, "clean.c", CLEAN)
+        cli_main(["analyze", path, "--stats"])
+        assert "recovered units" not in capsys.readouterr().out
+
+
+class TestBatchExitCodes:
+    def test_all_certified_exit_zero(self, tmp_path, capsys):
+        a = _write(tmp_path, "a.c", CLEAN)
+        b = _write(tmp_path, "b.c", "int h(void) { return 2; }\n")
+        assert cli_main(["batch", a, b, "--recover"]) == 0
+
+    def test_mixed_verdicts_exit_one(self, tmp_path, capsys):
+        clean = _write(tmp_path, "clean.c", CLEAN)
+        gnu = _write(tmp_path, "gnu.c", GNU)
+        assert cli_main(["batch", clean, gnu, "--recover"]) == 1
+
+    def test_nothing_certified_exit_two(self, tmp_path, capsys):
+        gnu = _write(tmp_path, "gnu.c", GNU)
+        lost = _write(tmp_path, "blob.c", HOPELESS)
+        rc = cli_main(["batch", gnu, lost, "--recover"])
+        assert rc == 2
+        assert "nothing certified" in capsys.readouterr().err
+
+    def test_nothing_certified_applies_to_keep_going(self, tmp_path,
+                                                     capsys):
+        lost = _write(tmp_path, "blob.c", HOPELESS)
+        assert cli_main(["batch", lost, "--keep-going"]) == 2
+
+    def test_strict_batch_unchanged_by_contract(self, tmp_path, capsys):
+        # without --keep-going/--recover a frontend failure is still a
+        # tool failure, not a fail-closed skip
+        lost = _write(tmp_path, "blob.c", HOPELESS)
+        clean = _write(tmp_path, "clean.c", CLEAN)
+        assert cli_main(["batch", lost, clean]) == 2
+
+    def test_batch_stats_aggregates_tiers(self, tmp_path, capsys):
+        clean = _write(tmp_path, "clean.c", CLEAN)
+        gnu = _write(tmp_path, "gnu.c", GNU)
+        cli_main(["batch", clean, gnu, "--recover", "--stats"])
+        out = capsys.readouterr().out
+        assert "recovered units     : 1" in out
+        assert "tier strict" in out and "tier gnu" in out
+
+    def test_batch_json_carries_recovery_stats(self, tmp_path, capsys):
+        gnu = _write(tmp_path, "gnu.c", GNU)
+        cli_main(["batch", gnu, "--recover", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        (job,) = payload["jobs"]
+        assert job["report"]["stats"]["recovered_units"] == 1
