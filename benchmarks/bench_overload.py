@@ -1,0 +1,514 @@
+"""Overload drill for multi-tenant admission control.
+
+Measures a two-shard tenant-aware fleet (``--tenants`` table, DRR
+fair queue, token buckets, adaptive ``--max-inflight auto``, brownout)
+in two phases:
+
+- *saturation*: closed-loop clients (unlimited ``gold`` tenant) issue
+  requests back-to-back — the sustainable throughput the admission
+  layer must protect;
+- *overload*: open-loop Poisson arrivals at ``OVERLOAD_FACTOR`` (10x)
+  that throughput, spread over three tenants — ``gold`` (weight 4,
+  high priority), ``free`` (weight 1, token-bucket rate limit) and
+  ``batch`` (weight 1, low priority, shed first under brownout).
+
+Every *accepted* request must complete byte-identical to the direct
+(in-process) verdict — overload may refuse work, never corrupt or
+drop it. Refusals must be structured admission codes
+(``rate_limited``/``shed``/``queue_full``), each carrying enough for
+the caller to act (``retry_after_s`` on ``rate_limited``).
+
+The CI gate (``--check``) enforces the machine-independent contract:
+goodput under 10x overload stays at or above
+``MIN_GOODPUT_FRACTION`` (70%) of the measured saturation
+throughput, no positive-weight tenant is fully starved, zero
+accepted-then-dropped, zero verdict drift — and, when run with
+``--chaos`` (SIGKILL one shard mid-overload), the dead shard's
+circuit breaker visibly opens and the fleet recovers.
+
+Usage::
+
+    python benchmarks/bench_overload.py            # full run
+    python benchmarks/bench_overload.py --smoke    # CI-sized
+    python benchmarks/bench_overload.py --chaos    # SIGKILL drill
+    python benchmarks/bench_overload.py --check    # gate the JSON
+"""
+
+import argparse
+import json
+import os
+import platform
+import queue
+import random
+import signal
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.config import AnalysisConfig          # noqa: E402
+from repro.core.driver import SafeFlow                # noqa: E402
+from repro.fleet import FleetConfig, FleetRouter      # noqa: E402
+from repro.perf.latency import LatencyRecorder        # noqa: E402
+from repro.server import SafeFlowClient               # noqa: E402
+from repro.server.client import ServerError           # noqa: E402
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_overload.json"
+
+#: distinct job shapes so the ring spreads load across both shards
+N_SOURCES = 32
+SOURCES = [
+    (
+        f"unit{i}.c",
+        "int reg%d; int step%d(int x) { if (x > %d) reg%d = x; return x; }\n"
+        "int main(void) { return step%d(%d); }\n" % (i, i, i, i, i, i),
+    )
+    for i in range(N_SOURCES)
+]
+
+TENANTS = ("gold", "free", "batch")
+#: per-request tenant assignment during overload (weighted mix)
+TENANT_MIX = ("gold", "free", "batch", "gold", "free")
+ADMISSION = {"queue_full", "rate_limited", "shed"}
+
+OVERLOAD_FACTOR = 10.0
+MIN_GOODPUT_FRACTION = 0.70
+
+SAT_CONCURRENCY = 8
+OVER_CONCURRENCY = 32
+
+FULL_SAT = 20_000
+FULL_OVER = 40_000
+SMOKE_SAT = 1_500
+SMOKE_OVER = 3_000
+CHAOS_OVER = 2_000
+
+
+def expected_renders():
+    """Direct-path verdicts — the byte-identity reference."""
+    flow = SafeFlow(AnalysisConfig())
+    return [
+        flow.analyze_source(src, filename=name).render()
+        for name, src in SOURCES
+    ]
+
+
+def write_tenants(path):
+    with open(path, "w") as f:
+        json.dump({
+            "tenants": {
+                "gold": {"weight": 4, "priority": "high"},
+                "free": {"weight": 1, "rate": 50, "burst": 25,
+                         "priority": "normal"},
+                "batch": {"weight": 1, "priority": "low"},
+            },
+        }, f, indent=2)
+    return path
+
+
+def start_fleet(cache_root, tenants_path):
+    router = FleetRouter(FleetConfig(
+        shards=2, port=0, cache_root=str(cache_root),
+        backend="process", use_processes=False,
+        health_interval=0.2,
+        # a small per-shard queue keeps the backlog where the fair
+        # queue and brownout ladder act on it, instead of hiding
+        # overload in a deep FIFO
+        queue_size=16,
+        tenants_path=str(tenants_path), max_inflight="auto",
+        # short breaker window so a shard SIGKILL's burst of
+        # connection failures dominates the storm's successes
+        breaker_min_volume=2, breaker_window=4, breaker_cooldown_s=0.5,
+    ))
+    host, port = router.start()
+    return router, host, port
+
+
+def prime(host, port, expected):
+    """One warm pass per source; also the byte-identity preflight."""
+    with SafeFlowClient(host=host, port=port,
+                        request_timeout=120.0) as client:
+        for i, (name, src) in enumerate(SOURCES):
+            r = client.analyze(source=src, filename=name, tenant="gold")
+            if r["render"] != expected[i]:
+                raise AssertionError(
+                    f"preflight: fleet verdict for {name} differs "
+                    f"from direct analysis")
+
+
+def saturation_loop(host, port, total, expected):
+    """Closed loop, unlimited tenant: the protected throughput."""
+    recorder = LatencyRecorder()
+    errors = [0]
+    per = total // SAT_CONCURRENCY
+
+    def worker(wid):
+        try:
+            with SafeFlowClient(host=host, port=port,
+                                request_timeout=300.0) as client:
+                for n in range(per):
+                    i = (wid + n) % N_SOURCES
+                    t0 = time.perf_counter()
+                    r = client.analyze(source=SOURCES[i][1],
+                                       filename=SOURCES[i][0],
+                                       tenant="gold")
+                    recorder.record(time.perf_counter() - t0)
+                    if r["render"] != expected[i]:
+                        errors[0] += 1
+        except Exception:
+            errors[0] += per
+
+    threads = [threading.Thread(target=worker, args=(w,))
+               for w in range(SAT_CONCURRENCY)]
+    wall0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - wall0
+    done = per * SAT_CONCURRENCY
+    summary = recorder.summary()
+    summary.update({
+        "requests": done,
+        "concurrency": SAT_CONCURRENCY,
+        "wall_s": wall,
+        "throughput_rps": done / wall if wall else 0.0,
+        "errors": errors[0],
+    })
+    return summary
+
+
+def overload_loop(host, port, total, rate_rps, expected, on_progress=None,
+                  seed=97):
+    """Poisson arrivals at ``rate_rps`` across the tenant mix.
+
+    Clients run with ``retries=0``: the drill counts every admission
+    decision exactly once (retry behavior has its own unit tests).
+    Returns per-tenant outcome counts and latency quantiles plus the
+    aggregate goodput.
+    """
+    rng = random.Random(seed)
+    work: "queue.Queue" = queue.Queue()
+    t = 0.0
+    for n in range(total):
+        t += rng.expovariate(rate_rps)
+        work.put((t, n % N_SOURCES, TENANT_MIX[n % len(TENANT_MIX)]))
+    for _ in range(OVER_CONCURRENCY):
+        work.put(None)
+
+    lock = threading.Lock()
+    tenants = {
+        name: {"offered": 0, "completed": 0, "rate_limited": 0,
+               "shed": 0, "queue_full": 0, "lost": 0, "drift": 0}
+        for name in TENANTS
+    }
+    recorders = {name: LatencyRecorder() for name in TENANTS}
+    fired = [0]
+    epoch = time.perf_counter()
+
+    def worker():
+        try:
+            with SafeFlowClient(host=host, port=port, retries=0,
+                                request_timeout=300.0) as client:
+                while True:
+                    item = work.get()
+                    if item is None:
+                        return
+                    offset, i, tenant = item
+                    delay = (epoch + offset) - time.perf_counter()
+                    if delay > 0:
+                        time.sleep(delay)
+                    with lock:
+                        tenants[tenant]["offered"] += 1
+                        fired[0] += 1
+                        n_fired = fired[0]
+                    if on_progress is not None:
+                        on_progress(n_fired)
+                    try:
+                        r = client.analyze(source=SOURCES[i][1],
+                                           filename=SOURCES[i][0],
+                                           tenant=tenant)
+                    except ServerError as exc:
+                        with lock:
+                            if exc.name in ADMISSION:
+                                tenants[tenant][exc.name] += 1
+                            else:
+                                tenants[tenant]["lost"] += 1
+                        continue
+                    except Exception:
+                        with lock:
+                            tenants[tenant]["lost"] += 1
+                        continue
+                    latency = time.perf_counter() - (epoch + offset)
+                    with lock:
+                        if r["render"] == expected[i]:
+                            tenants[tenant]["completed"] += 1
+                        else:
+                            tenants[tenant]["drift"] += 1
+                    recorders[tenant].record(latency)
+        except Exception:
+            pass
+
+    threads = [threading.Thread(target=worker)
+               for _ in range(OVER_CONCURRENCY)]
+    wall0 = time.perf_counter()
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join()
+    wall = time.perf_counter() - wall0
+
+    completed = sum(c["completed"] for c in tenants.values())
+    refused = sum(c["rate_limited"] + c["shed"] + c["queue_full"]
+                  for c in tenants.values())
+    for name, rec in recorders.items():
+        if tenants[name]["completed"]:
+            tenants[name]["latency"] = rec.summary()
+    return {
+        "requests": total,
+        "target_rate_rps": rate_rps,
+        "concurrency": OVER_CONCURRENCY,
+        "wall_s": wall,
+        "completed": completed,
+        "refused": refused,
+        "lost": sum(c["lost"] for c in tenants.values()),
+        "drift": sum(c["drift"] for c in tenants.values()),
+        "goodput_rps": completed / wall if wall else 0.0,
+        "tenants": tenants,
+    }
+
+
+def fleet_qos(router):
+    snapshot = router.metrics_snapshot()
+    return {
+        "qos": snapshot.get("qos", {}),
+        "router": snapshot.get("router", {}),
+    }
+
+
+def run_bench(out_path, smoke):
+    sat_n = SMOKE_SAT if smoke else FULL_SAT
+    over_n = SMOKE_OVER if smoke else FULL_OVER
+    print(f"bench_overload: {'smoke' if smoke else 'full'} mode, "
+          f"saturation={sat_n}, overload={over_n} at "
+          f"{OVERLOAD_FACTOR:.0f}x", flush=True)
+    expected = expected_renders()
+
+    import tempfile
+    workdir = Path(tempfile.mkdtemp(prefix="bench-overload-"))
+    tenants_path = write_tenants(workdir / "tenants.json")
+    router, host, port = start_fleet(workdir / "fleet", tenants_path)
+    try:
+        prime(host, port, expected)
+        saturation = saturation_loop(host, port, sat_n, expected)
+        if saturation["errors"]:
+            raise AssertionError("saturation phase saw verdict errors")
+        print(f"  saturation: {saturation['throughput_rps']:.0f} req/s "
+              f"p50 {saturation['p50_s'] * 1e3:.2f} ms "
+              f"p99 {saturation['p99_s'] * 1e3:.2f} ms", flush=True)
+        rate = max(1.0, saturation["throughput_rps"] * OVERLOAD_FACTOR)
+        overload = overload_loop(host, port, over_n, rate, expected)
+        qos = fleet_qos(router)
+    finally:
+        router.stop()
+
+    goodput_fraction = (overload["goodput_rps"]
+                        / saturation["throughput_rps"]
+                        if saturation["throughput_rps"] else 0.0)
+    payload = {
+        "mode": "smoke" if smoke else "full",
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "params": {
+            "sources": N_SOURCES,
+            "overload_factor": OVERLOAD_FACTOR,
+            "tenant_mix": list(TENANT_MIX),
+            "sat_concurrency": SAT_CONCURRENCY,
+            "over_concurrency": OVER_CONCURRENCY,
+        },
+        "saturation": saturation,
+        "overload": overload,
+        "fleet": qos,
+        "ratios": {
+            "goodput_fraction": goodput_fraction,
+        },
+    }
+    merged = _merge_out(out_path, payload)
+    shed = sum(c["shed"] for c in overload["tenants"].values())
+    limited = sum(c["rate_limited"]
+                  for c in overload["tenants"].values())
+    print(f"bench_overload: goodput {overload['goodput_rps']:.0f} req/s "
+          f"({goodput_fraction * 100:.0f}% of saturation) under "
+          f"{OVERLOAD_FACTOR:.0f}x load; {overload['completed']} served, "
+          f"{limited} rate-limited, {shed} shed, "
+          f"{overload['lost']} lost -> {out_path}", flush=True)
+    return merged
+
+
+def run_chaos(out_path):
+    """SIGKILL one shard mid-overload: breaker opens, goodput
+    recovers, zero accepted-then-dropped."""
+    import tempfile
+    expected = expected_renders()
+    workdir = Path(tempfile.mkdtemp(prefix="bench-overload-chaos-"))
+    tenants_path = write_tenants(workdir / "tenants.json")
+    router, host, port = start_fleet(workdir / "fleet", tenants_path)
+    try:
+        prime(host, port, expected)
+        sat = saturation_loop(host, port, SMOKE_SAT, expected)
+        rate = max(1.0, sat["throughput_rps"] * OVERLOAD_FACTOR)
+
+        killed = [False]
+
+        def kill_mid_storm(n_fired):
+            if killed[0] or n_fired < CHAOS_OVER // 4:
+                return
+            killed[0] = True
+            victim = router._shard_list()[0].backend.pid
+            if victim is not None:
+                os.kill(victim, signal.SIGKILL)
+
+        storm = overload_loop(host, port, CHAOS_OVER, rate, expected,
+                              on_progress=kill_mid_storm)
+
+        # recovery: once the shard is back, a clean wave must complete
+        deadline = time.monotonic() + 60
+        health = None
+        with SafeFlowClient(host=host, port=port,
+                            request_timeout=30.0) as client:
+            while time.monotonic() < deadline:
+                health = client.call("health")
+                restarts = sum(s.get("restarts", 0)
+                               for s in health.get("shards", []))
+                if health["status"] == "ok" and restarts >= 1:
+                    break
+                time.sleep(0.5)
+            recovery_errors = 0
+            for i, (name, src) in enumerate(SOURCES):
+                r = client.analyze(source=src, filename=name,
+                                   tenant="gold")
+                if r["render"] != expected[i]:
+                    recovery_errors += 1
+        qos = fleet_qos(router)
+    finally:
+        router.stop()
+
+    restarts = sum(s.get("restarts", 0)
+                   for s in (health or {}).get("shards", []))
+    chaos = {
+        "requests": storm["requests"],
+        "completed": storm["completed"],
+        "refused": storm["refused"],
+        "lost": storm["lost"],
+        "drift": storm["drift"],
+        "breaker_opens": qos["qos"].get("breaker_opens", 0),
+        "shard_restarts": restarts,
+        "recovered": (health is not None and health["status"] == "ok"
+                      and recovery_errors == 0),
+        "recovery_errors": recovery_errors,
+    }
+    _merge_out(out_path, {"chaos": chaos})
+    ok = (chaos["lost"] == 0 and chaos["drift"] == 0
+          and chaos["breaker_opens"] >= 1
+          and chaos["recovered"] and chaos["shard_restarts"] >= 1)
+    print(f"bench_overload chaos: {chaos['completed']} served, "
+          f"{chaos['refused']} refused, {chaos['lost']} lost, "
+          f"breaker opens={chaos['breaker_opens']}, "
+          f"restarts={chaos['shard_restarts']} -> "
+          f"{'PASS' if ok else 'FAIL'}", flush=True)
+    return ok
+
+
+def _merge_out(out_path, payload):
+    """Update ``out_path`` in place so --chaos can annotate a run."""
+    data = {}
+    if Path(out_path).exists():
+        try:
+            data = json.loads(Path(out_path).read_text())
+        except ValueError:
+            data = {}
+    data.update(payload)
+    Path(out_path).write_text(json.dumps(data, indent=2) + "\n")
+    return data
+
+
+def run_check(out_path):
+    """Gate the machine-independent contract of a recorded run."""
+    data = json.loads(Path(out_path).read_text())
+    failures = []
+
+    def gate(ok, message):
+        print(f"  [{'ok' if ok else 'FAIL'}] {message}")
+        if not ok:
+            failures.append(message)
+
+    overload = data["overload"]
+    fraction = data["ratios"]["goodput_fraction"]
+    gate(fraction >= MIN_GOODPUT_FRACTION,
+         f"goodput under {data['params']['overload_factor']:.0f}x load "
+         f"{fraction * 100:.0f}% >= {MIN_GOODPUT_FRACTION * 100:.0f}% "
+         f"of saturation throughput")
+    gate(overload["lost"] == 0,
+         "zero accepted-then-dropped (every request served or refused "
+         "with a structured admission code)")
+    gate(overload["drift"] == 0,
+         "accepted results byte-identical to the unloaded run")
+    for name, counts in sorted(overload["tenants"].items()):
+        gate(counts["completed"] >= 1,
+             f"tenant {name!r} not starved "
+             f"({counts['completed']}/{counts['offered']} served)")
+        latency = counts.get("latency")
+        if latency:
+            gate(latency["p99_s"] >= latency["p50_s"],
+                 f"tenant {name!r}: p99 >= p50")
+    limited = sum(c["rate_limited"]
+                  for c in overload["tenants"].values())
+    shed = sum(c["shed"] for c in overload["tenants"].values())
+    print(f"  [info] {limited} rate-limited, {shed} shed, "
+          f"{overload['refused']} total refusals under overload")
+    if "chaos" in data:
+        chaos = data["chaos"]
+        gate(chaos["lost"] == 0 and chaos["drift"] == 0,
+             "chaos: zero accepted-then-dropped under shard SIGKILL")
+        gate(chaos["breaker_opens"] >= 1,
+             f"chaos: circuit breaker opened "
+             f"({chaos['breaker_opens']} time(s))")
+        gate(chaos["recovered"] and chaos["shard_restarts"] >= 1,
+             "chaos: dead shard restarted and goodput recovered")
+    if failures:
+        print(f"bench_overload check: {len(failures)} gate(s) FAILED")
+        return False
+    print("bench_overload check: all gates passed")
+    return True
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--out", default=str(DEFAULT_OUT),
+                        help="results JSON path "
+                             "(default: BENCH_overload.json)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run")
+    parser.add_argument("--chaos", action="store_true",
+                        help="SIGKILL-one-shard drill; merges a 'chaos' "
+                             "block into --out")
+    parser.add_argument("--check", action="store_true",
+                        help="gate the contract recorded in --out")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        return 0 if run_check(args.out) else 1
+    if args.chaos:
+        return 0 if run_chaos(args.out) else 1
+    run_bench(args.out, smoke=args.smoke)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

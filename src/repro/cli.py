@@ -31,6 +31,22 @@ code  meaning
       the corpus passed either
 ====  =================================================================
 
+Jobs submitted through a daemon or fleet can additionally be refused
+at admission (they never ran, so no verdict exists):
+
+==============  =====================================================
+outcome         meaning
+==============  =====================================================
+rate_limited    the tenant exceeded its token-bucket quota; the error
+                carries ``retry_after_s`` and a well-behaved client
+                (``SafeFlowClient``) retries after that long, within
+                its retry budget
+shed            brownout: the daemon is saturated and dropped this
+                request *before* accepting it (low-priority tenants
+                first, then cold-cache jobs); not retryable until
+                load drops — accepted work is never shed
+==============  =====================================================
+
 Failures are always reported as structured one-line errors, never raw
 tracebacks.
 """
@@ -205,6 +221,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="run analyses on in-process threads instead "
                             "of worker subprocesses (lower per-request "
                             "overhead, no crash isolation)")
+    _add_qos_flags(serve)
     _add_recover_flag(serve)
     _add_limit_flags(serve)
     _add_cache_flags(serve)
@@ -262,6 +279,7 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--metrics-json", metavar="FILE", default=None,
                        help="write a fleet metrics snapshot to FILE on "
                             "shutdown")
+    _add_qos_flags(fleet)
     _add_cache_flags(fleet)
 
     chaos = sub.add_parser(
@@ -279,7 +297,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="run only this schedule (repeatable); one of "
                             "kill, quarantine, slow, corrupt-ir, "
                             "torn-summary, serve-kill, kill-resume, "
-                            "watch-kill")
+                            "watch-kill, tier-crash, overload")
     chaos.add_argument("--chaos-jobs", type=int, default=6, metavar="N",
                        help="generated programs in the workload "
                             "(default: 6)")
@@ -372,6 +390,45 @@ def _recover_tiers(args):
         return normalize_tiers(spec)
     except ValueError as exc:
         raise SafeFlowError(str(exc))
+
+
+def _add_qos_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--tenants", metavar="FILE", default=None,
+                     help="tenants.json quota table: per-tenant weight "
+                          "(fair-share), rate/burst (token bucket) and "
+                          "priority (brownout shed order); enables "
+                          "multi-tenant admission control")
+    sub.add_argument("--max-inflight", metavar="N|auto", default=None,
+                     help="cap concurrently dispatched analyses: an "
+                          "integer fixes the limit, 'auto' adapts it "
+                          "(AIMD on the rolling p99)")
+
+
+def _parse_max_inflight(value):
+    """``--max-inflight`` → None | "auto" | int (≥1)."""
+    if value is None:
+        return None
+    if value == "auto":
+        return "auto"
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise SafeFlowError(
+            f"--max-inflight must be an integer or 'auto', got {value!r}")
+    if parsed < 1:
+        raise SafeFlowError("--max-inflight must be >= 1")
+    return parsed
+
+
+def _load_tenant_table(path):
+    if path is None:
+        return None
+    from .qos import load_tenants
+
+    try:
+        return load_tenants(path)
+    except (OSError, ValueError) as exc:
+        raise SafeFlowError(f"--tenants: {exc}")
 
 
 def _add_limit_flags(sub: argparse.ArgumentParser) -> None:
@@ -727,6 +784,8 @@ def cmd_serve(args) -> int:
             use_processes=not args.in_process,
             guards=_guards_from_args(args),
             max_crashes=args.max_crashes,
+            tenants=_load_tenant_table(args.tenants),
+            max_inflight=_parse_max_inflight(args.max_inflight),
         )
     except OSError as exc:
         print(f"safeflow serve: cannot bind: {exc}", file=sys.stderr)
@@ -787,6 +846,9 @@ def cmd_fleet(args) -> int:
         print("safeflow fleet: shards need a cache directory "
               "(--no-cache is not supported here)", file=sys.stderr)
         return 2
+    # shards re-read the table by path; validate it up front so a bad
+    # file fails the fleet launch, not N shard spawns later
+    _load_tenant_table(args.tenants)
     config = FleetConfig(
         shards=args.shards,
         host=args.host,
@@ -801,6 +863,10 @@ def cmd_fleet(args) -> int:
         steal_margin=args.steal_margin,
         health_interval=args.health_interval,
         conns_per_shard=args.conns_per_shard,
+        tenants_path=args.tenants,
+        max_inflight=(str(args.max_inflight)
+                      if _parse_max_inflight(args.max_inflight) is not None
+                      else None),
     )
     router = FleetRouter(config)
     try:

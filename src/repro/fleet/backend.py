@@ -58,6 +58,12 @@ class ShardSpec:
     #: False maps to `safeflow serve --in-process` (thread workers);
     #: tests use it to avoid per-shard worker-process spawn cost
     use_processes: bool = True
+    #: path to a tenants.json quota table; every shard gets the same
+    #: table so admission behaves identically wherever a job lands
+    tenants_path: Optional[str] = None
+    #: in-flight dispatch cap per shard: "auto" (AIMD adaptive), an
+    #: integer (fixed), or None (unlimited)
+    max_inflight: Optional[str] = None
     #: extra `safeflow serve` flags (ProcessBackend only)
     extra_args: Tuple[str, ...] = ()
 
@@ -146,6 +152,10 @@ class ProcessBackend:
             argv.append("--summaries")
         if not spec.use_processes:
             argv.append("--in-process")
+        if spec.tenants_path:
+            argv.extend(["--tenants", spec.tenants_path])
+        if spec.max_inflight:
+            argv.extend(["--max-inflight", str(spec.max_inflight)])
         argv.extend(spec.extra_args)
         return argv
 
@@ -231,12 +241,22 @@ class InProcessBackend:
         from ..server.daemon import SafeFlowServer
 
         os.makedirs(self.spec.cache_dir, exist_ok=True)
+        tenants = None
+        if self.spec.tenants_path:
+            from ..qos import load_tenants
+
+            tenants = load_tenants(self.spec.tenants_path)
+        max_inflight = self.spec.max_inflight
+        if max_inflight not in (None, "auto"):
+            max_inflight = int(max_inflight)
         self.server = SafeFlowServer(
             config=self.spec.config(),
             host=self.spec.host, port=0,
             workers=self.spec.workers,
             queue_size=self.spec.queue_size,
             use_processes=self.spec.use_processes,
+            tenants=tenants,
+            max_inflight=max_inflight,
         )
         self.server.start()
         self.address = tuple(self.server.address[:2])

@@ -56,6 +56,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..perf.latency import LatencyRecorder, RollingLatency
+from ..qos.breaker import CircuitBreaker
 from ..server import protocol
 from .backend import InProcessBackend, ProcessBackend, ShardSpec
 from .hashring import HashRing, routing_key
@@ -98,6 +99,23 @@ class FleetConfig:
     #: give up re-dispatching a request after this long without any
     #: healthy shard (the whole fleet is down, not one shard)
     redispatch_deadline: float = 60.0
+    #: per-shard circuit breaker (PR 10): trip when this fraction of
+    #: the last ``breaker_window`` forwards were shard faults
+    #: (connection death, ``worker_crashed``, ``deadline_exceeded``) —
+    #: at least ``breaker_min_volume`` samples required, so one early
+    #: blip cannot open a cold breaker
+    breaker_failure_threshold: float = 0.5
+    breaker_min_volume: int = 5
+    breaker_window: int = 20
+    #: seconds an open breaker holds traffic off the shard before
+    #: letting one half-open probe through
+    breaker_cooldown_s: float = 2.0
+    #: path to a tenants.json quota table, given to every shard so
+    #: admission control behaves identically wherever a job lands
+    tenants_path: Optional[str] = None
+    #: per-shard in-flight dispatch cap: "auto" (AIMD), "N" (fixed),
+    #: or None (unlimited)
+    max_inflight: Optional[str] = None
 
 
 class _Conn:
@@ -118,9 +136,13 @@ class _Conn:
 class _ShardState:
     """Router-side view of one shard."""
 
-    def __init__(self, sid: int, backend):
+    def __init__(self, sid: int, backend,
+                 breaker: Optional[CircuitBreaker] = None):
         self.sid = sid
         self.backend = backend
+        #: closed/open/half-open health latch fed by forward outcomes;
+        #: an open breaker takes the shard out of the ring walk
+        self.breaker = breaker or CircuitBreaker()
         #: bumped on every restart; pooled connections from an older
         #: generation are closed on checkout/release instead of reused
         self.generation = 0
@@ -162,6 +184,7 @@ class _ShardState:
             "steals_out": self.steals_out,
             "redispatches_out": self.redispatches_out,
             "restarts": self.restarts,
+            "breaker": self.breaker.snapshot(),
             "address": list(self.backend.address or ()) or None,
             "pid": self.backend.pid,
             "health": dict(self.last_health),
@@ -184,13 +207,22 @@ class FleetRouter:
                     summaries=self.config.summaries,
                     kernel=self.config.kernel,
                     use_processes=self.config.use_processes,
+                    tenants_path=self.config.tenants_path,
+                    max_inflight=self.config.max_inflight,
                 )
                 for i in range(self.config.shards)
             ]
         backend_cls = (InProcessBackend if self.config.backend == "inprocess"
                        else ProcessBackend)
         self.shards: Dict[int, _ShardState] = {
-            spec.shard_id: _ShardState(spec.shard_id, backend_cls(spec))
+            spec.shard_id: _ShardState(
+                spec.shard_id, backend_cls(spec),
+                breaker=CircuitBreaker(
+                    failure_threshold=self.config.breaker_failure_threshold,
+                    min_volume=self.config.breaker_min_volume,
+                    window=self.config.breaker_window,
+                    cooldown_s=self.config.breaker_cooldown_s,
+                ))
             for spec in specs
         }
         self.ring = HashRing(self.shards.keys())
@@ -431,17 +463,26 @@ class FleetRouter:
                 await self._wait_ring_change(deadline)
                 continue
             state = self.shards[sid]
+            if not state.breaker.allow():
+                # lost the half-open probe slot to a concurrent request
+                # (routable() raced); walk on without recording a fault
+                failed.add(sid)
+                continue
             state.outstanding += 1
             state.routed += 1
             try:
-                return await self._shard_call(state, line)
+                raw = await self._shard_call(state, line)
             except (ConnectionError, OSError, EOFError):
                 # the forward died before a response: provably no kept
                 # result on the client side, so re-dispatch is safe
                 failed.add(sid)
+                state.breaker.record_failure()
                 state.redispatches_out += 1
                 self.counters["redispatches"] += 1
                 self._mark_suspect(state)
+            else:
+                self._record_breaker_outcome(state, raw)
+                return raw
             finally:
                 state.outstanding -= 1
 
@@ -449,7 +490,8 @@ class FleetRouter:
         """Home shard for ``key``, unless stealing is warranted."""
         skip = set(failed)
         for sid, state in self.shards.items():
-            if not state.healthy or state.draining:
+            if (not state.healthy or state.draining
+                    or not state.breaker.routable()):
                 skip.add(sid)
         home = self.ring.lookup(key, skip)
         if home is None:
@@ -469,6 +511,36 @@ class FleetRouter:
                 self.counters["steals"] += 1
                 return thief.sid
         return home
+
+    #: error codes that indict the *shard* rather than the request —
+    #: what the breaker counts as failures. parse/param errors and
+    #: admission rejections (queue_full, rate_limited, shed) mean the
+    #: shard is alive and answering; crashes, expired deadlines, and
+    #: internal errors mean it is not keeping up.
+    _SHARD_FAULT_CODES = frozenset({
+        protocol.WORKER_CRASHED,
+        protocol.DEADLINE_EXCEEDED,
+        protocol.INTERNAL_ERROR,
+    })
+
+    def _record_breaker_outcome(self, state: _ShardState,
+                                raw: bytes) -> None:
+        """Feed one forwarded response into the shard's breaker. The
+        fast path (no ``"error"`` substring) skips JSON decoding — the
+        router passes responses through untouched, so this sniff is
+        the only per-response cost the breaker adds."""
+        if b'"error"' not in raw:
+            state.breaker.record_success()
+            return
+        try:
+            error = (json.loads(raw.decode("utf-8")) or {}).get("error")
+            code = (error or {}).get("code")
+        except (ValueError, AttributeError):
+            code = None
+        if code in self._SHARD_FAULT_CODES:
+            state.breaker.record_failure()
+        else:
+            state.breaker.record_success()
 
     async def _wait_ring_change(self, deadline: float) -> None:
         self._ring_changed.clear()
@@ -740,12 +812,34 @@ class FleetRouter:
 
     async def _fleet_metrics(self) -> Dict[str, Any]:
         health = await self._fleet_health()
+        states = self._shard_list()
+        qos: Dict[str, Any] = {
+            "breakers": {
+                str(s.sid): s.breaker.snapshot() for s in states
+            },
+            "breaker_opens": sum(s.breaker.opens for s in states),
+        }
+        # fold each shard's own qos block (per-tenant counters,
+        # brownout level, concurrency limit) in from its health poll
+        shard_tenants: Dict[str, Dict[str, int]] = {}
+        for state in states:
+            for tenant, counts in ((state.last_health.get("qos") or {})
+                                   .get("tenants") or {}).items():
+                merged = shard_tenants.setdefault(tenant, {})
+                for outcome, n in counts.items():
+                    merged[outcome] = merged.get(outcome, 0) + int(n or 0)
+        if shard_tenants:
+            qos["tenants"] = {
+                name: dict(sorted(counts.items()))
+                for name, counts in sorted(shard_tenants.items())
+            }
         return {
             "role": "fleet",
             "started_at": self.started_at,
             "uptime_seconds": health["uptime_seconds"],
             "status": health["status"],
             "router": dict(self.counters),
+            "qos": qos,
             "latency": {
                 "rolling": self.rolling_latency.quantiles(),
                 "request": self.latency.summary(),

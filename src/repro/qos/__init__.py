@@ -1,0 +1,43 @@
+"""Admission control and overload protection (PR 10).
+
+The QoS layer keeps a multi-tenant analysis fleet predictable under
+pressure, extending the source paper's fail-closed discipline from
+analysis verdicts to capacity itself: overload produces explicit,
+structured, prioritized refusals — never collapse, never fabricated
+results.
+
+Pieces, from the outside in:
+
+- :mod:`~repro.qos.tenants` — tenant identity, weights, rates, and
+  shed priorities (``tenants.json``);
+- :mod:`~repro.qos.tokenbucket` — the one rate-limit primitive;
+- :mod:`~repro.qos.fairqueue` — weighted deficit-round-robin queue
+  replacing the daemon's single FIFO;
+- :mod:`~repro.qos.concurrency` — AIMD in-flight limiter driven by
+  rolling p99 (``--max-inflight auto``);
+- :mod:`~repro.qos.breaker` — per-shard circuit breakers for the
+  fleet router;
+- :mod:`~repro.qos.retrybudget` — client retry budget (bounded retry
+  amplification);
+- :mod:`~repro.qos.brownout` — the load-shed ladder and warm-set.
+"""
+
+from .tokenbucket import TokenBucket
+from .tenants import (DEFAULT_TENANT, PRIORITIES, TenantSpec, TenantTable,
+                      load_tenants)
+from .fairqueue import FairQueue, RateLimitedError
+from .concurrency import AdaptiveLimiter
+from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from .retrybudget import RetryBudget
+from .brownout import BrownoutController, WarmSet
+
+__all__ = [
+    "TokenBucket",
+    "DEFAULT_TENANT", "PRIORITIES", "TenantSpec", "TenantTable",
+    "load_tenants",
+    "FairQueue", "RateLimitedError",
+    "AdaptiveLimiter",
+    "CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN",
+    "RetryBudget",
+    "BrownoutController", "WarmSet",
+]

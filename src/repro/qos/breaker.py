@@ -1,0 +1,145 @@
+"""Per-shard circuit breakers for the fleet router.
+
+When a shard starts failing — worker crashes, timeouts, connection
+resets — continuing to route to it wastes the caller's deadline and
+piles restart load on a host that is already struggling. The breaker
+gives each shard a three-state health latch:
+
+- ``closed``: traffic flows; outcomes are recorded into a rolling
+  window, and once the window holds at least ``min_volume`` samples
+  with a failure rate at or above ``failure_threshold`` the breaker
+  *opens*;
+- ``open``: the router skips this shard entirely (the ring walk
+  re-dispatches to the next replica) until ``cooldown_s`` elapses;
+- ``half_open``: after cooldown, exactly one probe request is let
+  through — success closes the breaker and normal routing resumes,
+  failure re-opens it for another cooldown.
+
+The breaker is deliberately stateless about *why* a request failed;
+the router decides what counts as a shard fault (connection errors,
+``worker_crashed``, ``deadline_exceeded``) versus a caller problem
+(``parse_error`` is the request's fault, not the shard's).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Rolling-window failure-rate breaker with half-open probing."""
+
+    def __init__(self,
+                 failure_threshold: float = 0.5,
+                 min_volume: int = 5,
+                 window: int = 20,
+                 cooldown_s: float = 2.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if not (0.0 < failure_threshold <= 1.0):
+            raise ValueError("failure_threshold must be in (0, 1]")
+        if min_volume < 1 or window < min_volume:
+            raise ValueError("need 1 <= min_volume <= window")
+        self.failure_threshold = failure_threshold
+        self.min_volume = min_volume
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._window: deque = deque(maxlen=window)
+        self._state = CLOSED
+        self._opened_at = 0.0
+        self._probe_out = False
+        self._opens = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May a request be routed to this shard right now?
+
+        In ``open`` state this flips to ``half_open`` once the
+        cooldown has elapsed and admits a single probe; further calls
+        return False until that probe reports back.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            now = self._clock()
+            if self._state == OPEN:
+                if now - self._opened_at < self.cooldown_s:
+                    return False
+                self._state = HALF_OPEN
+                self._probe_out = False
+            # half-open: one probe in flight at a time
+            if self._probe_out:
+                return False
+            self._probe_out = True
+            return True
+
+    def routable(self) -> bool:
+        """Non-mutating peek for routing tables: would a request be
+        admitted right now? Unlike :meth:`allow` this never consumes
+        the half-open probe slot, so a router can scan every shard's
+        breaker while building its skip set and only :meth:`allow` the
+        shard it actually picked."""
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if self._clock() - self._opened_at < self.cooldown_s:
+                    return False
+                return True  # cooled down: a probe could go out
+            return not self._probe_out
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._state = CLOSED
+                self._window.clear()
+                self._probe_out = False
+                return
+            self._window.append(True)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._trip()
+                return
+            self._window.append(False)
+            if self._state == CLOSED and len(self._window) >= self.min_volume:
+                failures = sum(1 for ok in self._window if not ok)
+                if failures / len(self._window) >= self.failure_threshold:
+                    self._trip()
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._opens += 1
+        self._window.clear()
+        self._probe_out = False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def opens(self) -> int:
+        with self._lock:
+            return self._opens
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state,
+                "opens": self._opens,
+                "window": len(self._window),
+                "failures": sum(1 for ok in self._window if not ok),
+            }

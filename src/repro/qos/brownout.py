@@ -1,0 +1,147 @@
+"""Brownout: a load-shed ladder for sustained overload.
+
+Rejecting at the queue bound protects memory but treats every request
+the same; under *sustained* pressure the right degradation is
+prioritized, not random. The controller watches queue saturation and
+climbs a ladder with hysteresis (a level changes only after the
+pressure signal holds for ``hold_s``, and entering needs more
+saturation than leaving, so the ladder does not flap):
+
+- **level 0** — normal admission;
+- **level 1** — shed ``low``-priority tenants (structured ``shed``
+  rejection with a retry hint); everyone else is unaffected;
+- **level 2** — additionally serve only *warm* jobs: requests whose
+  routing key was analyzed recently enough to hit the result cache or
+  incremental segment store. Cold jobs are shed — except for
+  ``high``-priority tenants, which stay admitted so paid/control
+  traffic survives the deepest brownout.
+
+Shedding is fail-closed in the paper's sense: a shed request gets an
+explicit structured refusal, never a fabricated or partial verdict,
+and work that was *accepted* is never dropped or degraded — the
+byte-identity guarantee of the overload drill.
+
+:class:`WarmSet` is the memory of "warm": a bounded LRU of routing
+keys (:func:`repro.fleet.hashring.routing_key` — pure hashing, no
+I/O) recorded on each successful analysis.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Optional
+
+from .tenants import TenantSpec
+
+
+class WarmSet:
+    """Bounded LRU set of recently served routing keys."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._keys: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+
+    def add(self, key: str) -> None:
+        with self._lock:
+            self._keys.pop(key, None)
+            self._keys[key] = True
+            while len(self._keys) > self.capacity:
+                self._keys.popitem(last=False)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            if key not in self._keys:
+                return False
+            self._keys.move_to_end(key)
+            return True
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._keys)
+
+
+class BrownoutController:
+    """Saturation-driven shed ladder with hysteresis."""
+
+    #: shed reasons, by ladder level
+    LOW_PRIORITY = "low_priority"
+    COLD = "cold"
+
+    def __init__(self,
+                 enter_saturation: float = 0.85,
+                 exit_saturation: float = 0.5,
+                 hold_s: float = 1.0,
+                 retry_after_s: float = 1.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if not (0.0 < exit_saturation < enter_saturation <= 1.0):
+            raise ValueError(
+                "need 0 < exit_saturation < enter_saturation <= 1")
+        self.enter_saturation = enter_saturation
+        self.exit_saturation = exit_saturation
+        self.hold_s = hold_s
+        self.retry_after_s = retry_after_s
+        self._clock = clock
+        self._level = 0
+        self._above_since: Optional[float] = None
+        self._below_since: Optional[float] = None
+        self._escalations = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+
+    def update(self, saturation: float) -> int:
+        """Feed the current queue saturation; returns the (possibly
+        changed) brownout level. Called on every admission, so the
+        signal is as fresh as the traffic."""
+        now = self._clock()
+        with self._lock:
+            if saturation >= self.enter_saturation:
+                self._below_since = None
+                if self._above_since is None:
+                    self._above_since = now
+                elif (now - self._above_since >= self.hold_s
+                      and self._level < 2):
+                    self._level += 1
+                    self._escalations += 1
+                    self._above_since = now  # re-arm for the next rung
+            elif saturation <= self.exit_saturation:
+                self._above_since = None
+                if self._below_since is None:
+                    self._below_since = now
+                elif (now - self._below_since >= self.hold_s
+                      and self._level > 0):
+                    self._level -= 1
+                    self._below_since = now
+            else:
+                # dead band: hold the current level, reset both timers
+                self._above_since = None
+                self._below_since = None
+            return self._level
+
+    def decide(self, spec: TenantSpec, warm: bool) -> Optional[str]:
+        """Shed verdict for one request at the current level: ``None``
+        admits; otherwise the shed reason (``low_priority``/``cold``).
+        """
+        with self._lock:
+            level = self._level
+        if level >= 1 and spec.priority_rank == 0:
+            return self.LOW_PRIORITY
+        if level >= 2 and not warm and spec.priority_rank < 2:
+            return self.COLD
+        return None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def level(self) -> int:
+        with self._lock:
+            return self._level
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {"level": self._level, "escalations": self._escalations}

@@ -1,0 +1,157 @@
+"""Adaptive concurrency: an AIMD limiter on in-flight analyses.
+
+A static queue bound caps *waiting* work but not *running* work: on a
+small host, dispatching every queued job at once pushes the analyzer
+past its collapse point and p99 latency goes vertical while goodput
+drops. The :class:`AdaptiveLimiter` sits between the queue and the
+runner threads and caps in-flight dispatch, adjusting the cap by
+AIMD — additive increase, multiplicative decrease — against the p99
+of the daemon's existing :class:`~repro.perf.latency.RollingLatency`
+window:
+
+- while p99 stays under the threshold and the limit is actually being
+  reached, the limit creeps up by 1 (probe for headroom);
+- when p99 crosses the threshold, the limit is cut multiplicatively
+  (back off before collapse).
+
+The threshold is either explicit (``target_p99_s``) or derived from a
+latency floor the limiter learns on its own: the smallest p99 it has
+seen, with a slow upward drift so a one-off fast sample does not pin
+the target forever. ``--max-inflight N`` builds the same object with
+adaptation off — one code path either way.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+
+class AdaptiveLimiter:
+    """Thread-safe in-flight cap with optional AIMD adaptation.
+
+    ``p99`` is a zero-argument callable returning the current rolling
+    p99 in seconds (or ``None`` while the window is empty) — in the
+    daemon it is bound to ``metrics.rolling_latency.quantiles``. The
+    limiter re-reads it every ``adjust_every`` completed jobs.
+    """
+
+    def __init__(self,
+                 limit: int = 4,
+                 min_limit: int = 1,
+                 max_limit: int = 64,
+                 adaptive: bool = True,
+                 p99: Optional[Callable[[], Optional[float]]] = None,
+                 target_p99_s: Optional[float] = None,
+                 tolerance: float = 2.0,
+                 floor_drift: float = 0.05,
+                 decrease: float = 0.75,
+                 adjust_every: int = 10):
+        if not (1 <= min_limit <= limit <= max_limit):
+            raise ValueError("need 1 <= min_limit <= limit <= max_limit")
+        if not (0.0 < decrease < 1.0):
+            raise ValueError("decrease must be in (0, 1)")
+        self._limit = limit
+        self.min_limit = min_limit
+        self.max_limit = max_limit
+        self.adaptive = adaptive
+        self._p99 = p99
+        self.target_p99_s = target_p99_s
+        self.tolerance = tolerance
+        self.floor_drift = floor_drift
+        self.decrease = decrease
+        self.adjust_every = max(1, adjust_every)
+        self._floor: Optional[float] = None
+        self._since_adjust = 0
+        self._inflight = 0
+        self._saturated = False  # hit the cap since the last adjustment
+        self._increases = 0
+        self._decreases = 0
+        self._lock = threading.Lock()
+        self._can_run = threading.Condition(self._lock)
+
+    # ------------------------------------------------------------------
+    # gating
+    # ------------------------------------------------------------------
+
+    def acquire(self, timeout: float = 0.1) -> bool:
+        """Take an in-flight slot; False if none freed within
+        ``timeout`` (callers loop, re-checking shutdown in between)."""
+        with self._can_run:
+            if self._inflight >= self._limit:
+                self._saturated = True
+                if not self._can_run.wait(timeout):
+                    return False
+                if self._inflight >= self._limit:
+                    return False
+            self._inflight += 1
+            return True
+
+    def release(self, duration_s: Optional[float] = None) -> None:
+        """Give the slot back; ``duration_s`` is the job's service
+        time, which drives the periodic AIMD adjustment."""
+        with self._can_run:
+            self._inflight = max(0, self._inflight - 1)
+            if duration_s is not None and self.adaptive:
+                self._since_adjust += 1
+                if self._since_adjust >= self.adjust_every:
+                    self._since_adjust = 0
+                    self._adjust()
+            self._can_run.notify()
+
+    # ------------------------------------------------------------------
+    # AIMD
+    # ------------------------------------------------------------------
+
+    def _threshold(self, p99: float) -> float:
+        if self.target_p99_s is not None:
+            return self.target_p99_s
+        if self._floor is None:
+            self._floor = p99
+        else:
+            # track the floor but let it drift up slowly, so one
+            # anomalously fast window cannot pin the target forever
+            self._floor = min(p99, self._floor * (1.0 + self.floor_drift))
+        # +5ms absolute headroom keeps microsecond-scale floors from
+        # turning measurement noise into congestion signals
+        return self._floor * self.tolerance + 0.005
+
+    def _adjust(self) -> None:
+        p99 = self._p99() if self._p99 is not None else None
+        if p99 is None:
+            return
+        if p99 > self._threshold(p99):
+            new = max(self.min_limit, int(self._limit * self.decrease))
+            if new < self._limit:
+                self._limit = new
+                self._decreases += 1
+                self._saturated = False
+        elif self._saturated:
+            # only probe upward when the cap is actually binding
+            if self._limit < self.max_limit:
+                self._limit += 1
+                self._increases += 1
+            self._saturated = False
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def limit(self) -> int:
+        with self._lock:
+            return self._limit
+
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "limit": self._limit,
+                "inflight": self._inflight,
+                "adaptive": self.adaptive,
+                "increases": self._increases,
+                "decreases": self._decreases,
+            }

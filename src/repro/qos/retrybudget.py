@@ -1,0 +1,60 @@
+"""Client-side retry budgets: retry storms impossible by construction.
+
+Exponential backoff shapes *when* retries happen but not *how many*:
+under a real outage every client eventually fires its full retry
+count, multiplying offered load exactly when the servers can least
+afford it. A retry budget bounds the ratio instead — each first-try
+request deposits ``ratio`` retry credits (default 0.1 = at most ~10%
+retry amplification in steady state), and each retry withdraws one
+whole credit. When the budget is empty, retries are *denied* and the
+original error surfaces immediately; the deny count is visible in
+client stats as ``retries_denied``.
+
+An ``initial`` balance lets a fresh client ride out a transient
+hiccup on its very first requests without waiting to earn credit.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class RetryBudget:
+    """Deposit-on-request / withdraw-on-retry credit counter."""
+
+    def __init__(self, ratio: float = 0.1,
+                 initial: float = 10.0,
+                 max_balance: float = 100.0):
+        if ratio < 0:
+            raise ValueError("ratio must be >= 0")
+        if max_balance <= 0:
+            raise ValueError("max_balance must be > 0")
+        self.ratio = ratio
+        self.max_balance = max_balance
+        self._balance = min(initial, max_balance)
+        self._denied = 0
+        self._lock = threading.Lock()
+
+    def record_request(self) -> None:
+        """A first-try request went out: earn ``ratio`` credits."""
+        with self._lock:
+            self._balance = min(self.max_balance, self._balance + self.ratio)
+
+    def try_spend(self) -> bool:
+        """Withdraw one credit for a retry; False (and counted as
+        denied) when the budget is exhausted."""
+        with self._lock:
+            if self._balance >= 1.0:
+                self._balance -= 1.0
+                return True
+            self._denied += 1
+            return False
+
+    @property
+    def denied(self) -> int:
+        with self._lock:
+            return self._denied
+
+    def balance(self) -> float:
+        with self._lock:
+            return self._balance

@@ -1,0 +1,173 @@
+"""Tenant identity, weights, and quotas.
+
+A *tenant* is the unit of fairness and accounting: every ``analyze``
+request may carry a ``tenant`` string (API-key style), and the
+admission layer schedules, rate-limits, sheds, and counts by it.
+Requests without one belong to the ``default`` tenant, whose stock
+shape — weight 1, no rate limit, normal priority — makes a
+tenant-free deployment behave exactly like the pre-QoS daemon.
+
+A :class:`TenantTable` is loaded from the ``--tenants tenants.json``
+file::
+
+    {
+      "default": {"weight": 1, "priority": "normal"},
+      "tenants": {
+        "gold": {"weight": 4, "rate": 50, "burst": 100,
+                 "priority": "high"},
+        "free": {"weight": 1, "rate": 5, "priority": "low"}
+      }
+    }
+
+``weight`` drives the deficit-round-robin share (see
+:mod:`repro.qos.fairqueue`), ``rate``/``burst`` the per-tenant token
+bucket (requests per second; omitted = unlimited), and ``priority``
+the brownout shed order (``low`` tenants are shed first; ``high``
+tenants survive into the deepest brownout level). Unknown tenant
+names inherit the default spec but keep their own name for metrics —
+an unrecognized API key is throttled like anonymous traffic, not
+rejected, so rotating keys never turns into an outage.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Optional
+
+from .tokenbucket import TokenBucket
+
+#: shed order: lower number is shed earlier under brownout
+PRIORITIES = {"low": 0, "normal": 1, "high": 2}
+
+#: the tenant every untagged request belongs to
+DEFAULT_TENANT = "default"
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Static per-tenant policy (the tenants.json row)."""
+
+    name: str
+    weight: float = 1.0
+    rate: Optional[float] = None   #: requests/second; None = unlimited
+    burst: Optional[float] = None  #: bucket size; None = max(rate, 1)
+    priority: str = "normal"
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.weight <= 0:
+            raise ValueError(f"tenant {self.name!r}: weight must be > 0")
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError(f"tenant {self.name!r}: rate must be > 0")
+        if self.burst is not None and self.burst <= 0:
+            raise ValueError(f"tenant {self.name!r}: burst must be > 0")
+        if self.priority not in PRIORITIES:
+            raise ValueError(
+                f"tenant {self.name!r}: priority must be one of "
+                f"{sorted(PRIORITIES)}")
+
+    @property
+    def priority_rank(self) -> int:
+        return PRIORITIES[self.priority]
+
+    def bucket(self, clock=None) -> TokenBucket:
+        kwargs = {} if clock is None else {"clock": clock}
+        return TokenBucket(rate=self.rate, burst=self.burst, **kwargs)
+
+    def to_json(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"weight": self.weight,
+                                   "priority": self.priority}
+        if self.rate is not None:
+            payload["rate"] = self.rate
+        if self.burst is not None:
+            payload["burst"] = self.burst
+        return payload
+
+
+def _spec_from_json(name: str, raw: Any) -> TenantSpec:
+    if not isinstance(raw, dict):
+        raise ValueError(f"tenant {name!r}: spec must be a JSON object")
+    unknown = set(raw) - {"weight", "rate", "burst", "priority"}
+    if unknown:
+        raise ValueError(
+            f"tenant {name!r}: unknown field(s) {sorted(unknown)}")
+    try:
+        return TenantSpec(
+            name=name,
+            weight=float(raw.get("weight", 1.0)),
+            rate=(float(raw["rate"]) if raw.get("rate") is not None
+                  else None),
+            burst=(float(raw["burst"]) if raw.get("burst") is not None
+                   else None),
+            priority=str(raw.get("priority", "normal")),
+        )
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"tenant {name!r}: {exc}")
+
+
+class TenantTable:
+    """All declared tenants plus the default spec for everyone else."""
+
+    def __init__(self, specs: Iterable[TenantSpec] = (),
+                 default: Optional[TenantSpec] = None):
+        self.default = default or TenantSpec(name=DEFAULT_TENANT)
+        self.specs: Dict[str, TenantSpec] = {self.default.name: self.default}
+        for spec in specs:
+            if spec.name in self.specs and spec.name != self.default.name:
+                raise ValueError(f"duplicate tenant {spec.name!r}")
+            self.specs[spec.name] = spec
+
+    def lookup(self, name: Optional[str]) -> TenantSpec:
+        """The governing spec for ``name``; unknown names inherit the
+        default policy (but are accounted under their own name)."""
+        if not name:
+            return self.default
+        return self.specs.get(name, self.default)
+
+    def declared(self) -> Dict[str, TenantSpec]:
+        return dict(self.specs)
+
+    @property
+    def total_weight(self) -> float:
+        return sum(s.weight for s in self.specs.values())
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "default": self.default.to_json(),
+            "tenants": {
+                name: spec.to_json()
+                for name, spec in sorted(self.specs.items())
+                if name != self.default.name
+            },
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "TenantTable":
+        if not isinstance(payload, dict):
+            raise ValueError("tenants file must hold a JSON object")
+        raw_tenants = payload.get("tenants", {})
+        # also accept the flat form: a bare {name: spec} mapping
+        if "tenants" not in payload and "default" not in payload:
+            raw_tenants = payload
+        if not isinstance(raw_tenants, dict):
+            raise ValueError("'tenants' must be an object of name -> spec")
+        default = TenantSpec(name=DEFAULT_TENANT)
+        if "default" in payload and payload["default"] is not None:
+            default = _spec_from_json(DEFAULT_TENANT, payload["default"])
+        specs = [_spec_from_json(str(name), raw)
+                 for name, raw in raw_tenants.items()]
+        return cls(specs, default=default)
+
+
+def load_tenants(path: str) -> TenantTable:
+    """Parse a ``tenants.json`` file; ``ValueError`` on bad content."""
+    try:
+        with open(path) as f:
+            payload = json.load(f)
+    except OSError as exc:
+        raise ValueError(f"cannot read tenants file {path!r}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"tenants file {path!r} is not valid JSON: {exc}")
+    return TenantTable.from_json(payload)

@@ -1,0 +1,104 @@
+"""Token buckets: the one rate-limiting primitive of the QoS layer.
+
+Every quota in the admission-control stack is a :class:`TokenBucket` —
+per-tenant request rates in the fair queue, the client's retry budget,
+the brownout controller's shed-hint pacing. One implementation means
+one set of semantics to reason about:
+
+- *lazy refill*: tokens accrue continuously at ``rate`` per second up
+  to ``burst``; no timer thread, the balance is computed from the
+  monotonic clock at each acquire;
+- *non-blocking*: :meth:`try_acquire` either takes the tokens now or
+  returns the seconds until they will exist — that number is the
+  ``retry_after_s`` hint the server puts on ``rate_limited``
+  rejections, so a well-behaved client sleeps exactly as long as the
+  bucket needs, no more (wasted latency) and no less (wasted round
+  trip);
+- *refundable*: :meth:`refund` puts tokens back, which is how a job
+  cancelled while still queued ends up never having consumed its
+  tenant's quota (see :mod:`repro.qos.fairqueue`).
+
+The clock is injectable so property tests can drive time by hand.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+
+class TokenBucket:
+    """Thread-safe lazy-refill token bucket.
+
+    ``rate`` is tokens per second; ``None`` means unlimited (every
+    acquire succeeds — the default tenant's backward-compatible
+    shape). ``burst`` is the bucket capacity; it defaults to the
+    larger of ``rate`` and 1, i.e. one second of traffic.
+    """
+
+    def __init__(self, rate: Optional[float] = None,
+                 burst: Optional[float] = None,
+                 clock: Callable[[], float] = time.monotonic):
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive (or None = unlimited)")
+        if burst is not None and burst <= 0:
+            raise ValueError("burst must be positive")
+        self.rate = rate
+        self.burst = (burst if burst is not None
+                      else max(1.0, rate or 1.0))
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tokens = self.burst
+        self._updated = clock()
+
+    # ------------------------------------------------------------------
+
+    def _refill(self, now: float) -> None:
+        if self.rate is None:
+            return
+        elapsed = now - self._updated
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    def try_acquire(self, tokens: float = 1.0) -> float:
+        """Take ``tokens`` now; returns 0.0 on success, otherwise the
+        seconds until the bucket will hold that many tokens (the
+        ``retry_after_s`` hint). Never blocks."""
+        if self.rate is None:
+            return 0.0
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return 0.0
+            deficit = tokens - self._tokens
+            return deficit / self.rate
+
+    def refund(self, tokens: float = 1.0) -> None:
+        """Return tokens (capped at ``burst``) — a charge that turned
+        out not to consume service (cancelled while queued)."""
+        if self.rate is None:
+            return
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            self._tokens = min(self.burst, self._tokens + tokens)
+
+    def deposit(self, tokens: float) -> None:
+        """Unconditionally add earned tokens (retry-budget style:
+        successful work earns retry headroom)."""
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            self._tokens = min(self.burst, self._tokens + tokens)
+
+    def available(self) -> float:
+        """Current balance (diagnostic; racy by nature)."""
+        if self.rate is None:
+            return float("inf")
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens

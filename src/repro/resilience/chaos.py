@@ -22,7 +22,14 @@ fault schedule (:mod:`repro.resilience.faults`) and assert that
 - for the ``watch-kill`` schedule, an incremental watch session is
   SIGKILLed mid-append to its segment log, and a fresh session on the
   same store truncates the torn tail (one integrity eviction) and
-  re-verdicts byte-identical to a fault-free cold run.
+  re-verdicts byte-identical to a fault-free cold run;
+- for the ``overload`` schedule, a two-shard fleet under multi-tenant
+  admission control is stormed past capacity and one shard is
+  SIGKILLed mid-storm: the shard's circuit breaker must open, every
+  request must end as either a byte-identical result or a structured
+  admission rejection (``rate_limited``/``shed``/``queue_full``) —
+  zero accepted-then-dropped — and a post-storm wave must complete
+  cleanly once the shard is restarted (goodput recovers).
 
 Schedules needing a real process pool (anything that kills a worker)
 are skipped, not failed, on platforms where no pool can be created —
@@ -44,9 +51,10 @@ from .faults import FaultPlan
 
 #: schedule names in execution order; ``--smoke`` runs the starred core
 SCHEDULES = ("kill", "quarantine", "slow", "corrupt-ir", "torn-summary",
-             "serve-kill", "kill-resume", "watch-kill", "tier-crash")
+             "serve-kill", "kill-resume", "watch-kill", "tier-crash",
+             "overload")
 SMOKE_SCHEDULES = ("kill", "corrupt-ir", "serve-kill", "kill-resume",
-                   "watch-kill", "tier-crash")
+                   "watch-kill", "tier-crash", "overload")
 
 #: the job a schedule's fault targets (second job: exercises recovery
 #: with completed work before and pending work after the crash)
@@ -556,6 +564,143 @@ def _schedule_tier_crash(report, _unused_jobs, _unused_baseline, config,
                         f"pass set never grew")
 
 
+def _schedule_overload(report, jobs, baseline, config, workers, scratch):
+    """SIGKILL one shard of a tenant-aware fleet mid-overload.
+
+    The admission-control contract under fire: work the fleet
+    *accepted* is never dropped (it completes byte-identical, even if
+    its shard dies and the router re-dispatches it), work the fleet
+    *refused* is refused with a structured admission code the caller
+    can act on, and the dead shard's circuit breaker visibly opens
+    and then recovers.
+    """
+    import json as json_mod
+    import signal as signal_mod
+    import threading
+
+    from ..fleet import FleetConfig, FleetRouter
+    from ..server.client import SafeFlowClient, ServerError
+
+    admission = {"queue_full", "rate_limited", "shed"}
+    tenants_path = os.path.join(scratch, "overload-tenants.json")
+    with open(tenants_path, "w") as f:
+        json_mod.dump({
+            "tenants": {
+                "gold": {"weight": 3, "priority": "high"},
+                "free": {"weight": 1, "priority": "low",
+                         "rate": 200, "burst": 50},
+            },
+        }, f)
+
+    router = FleetRouter(FleetConfig(
+        shards=2, port=0,
+        cache_root=os.path.join(scratch, "overload-fleet"),
+        backend="process", use_processes=False,
+        queue_size=4, health_interval=0.2,
+        tenants_path=tenants_path, max_inflight="auto",
+        # a short window so the burst of connection failures from the
+        # SIGKILL dominates the storm's successes and visibly trips
+        breaker_min_volume=2, breaker_window=4,
+        breaker_cooldown_s=0.5,
+    ))
+    try:
+        host, port = router.start()
+
+        def analyze(client, job, tenant):
+            return client.analyze(files=list(job.files), name=job.name,
+                                  tenant=tenant)
+
+        # warm pass doubles as the byte-identity preflight
+        with SafeFlowClient(host=host, port=port,
+                            request_timeout=120.0) as client:
+            for job in jobs:
+                result = analyze(client, job, "gold")
+                if result["render"] != baseline[job.name]:
+                    report.fail(f"{job.name}: fleet verdict differs "
+                                f"from fault-free baseline")
+                    return
+
+        threads_n, rounds = 8, 20
+        lock = threading.Lock()
+        outcomes = {"ok": 0, "admission": 0, "drift": 0, "lost": 0}
+
+        def storm(wid):
+            tenant = "gold" if wid % 2 == 0 else "free"
+            try:
+                with SafeFlowClient(host=host, port=port, retries=2,
+                                    request_timeout=120.0) as client:
+                    for n in range(rounds):
+                        job = jobs[(wid + n) % len(jobs)]
+                        try:
+                            result = analyze(client, job, tenant)
+                        except ServerError as exc:
+                            with lock:
+                                if exc.name in admission:
+                                    outcomes["admission"] += 1
+                                else:
+                                    outcomes["lost"] += 1
+                            continue
+                        with lock:
+                            if result["render"] == baseline[job.name]:
+                                outcomes["ok"] += 1
+                            else:
+                                outcomes["drift"] += 1
+            except Exception:
+                with lock:
+                    outcomes["lost"] += 1
+
+        threads = [threading.Thread(target=storm, args=(w,))
+                   for w in range(threads_n)]
+        for t in threads:
+            t.start()
+        import time as time_mod
+        time_mod.sleep(0.15)
+        victim = router._shard_list()[0].backend.pid
+        if victim is not None:
+            os.kill(victim, signal_mod.SIGKILL)
+        for t in threads:
+            t.join()
+
+        snapshot = router.metrics_snapshot()
+        qos = snapshot.get("qos", {})
+        if outcomes["lost"]:
+            report.fail(f"{outcomes['lost']} request(s) lost — accepted "
+                        f"work must complete or be refused at admission, "
+                        f"never dropped")
+        if outcomes["drift"]:
+            report.fail(f"{outcomes['drift']} result(s) differ from the "
+                        f"fault-free baseline under overload")
+        if outcomes["ok"] == 0:
+            report.fail("no request completed during the storm")
+        if qos.get("breaker_opens", 0) < 1:
+            report.fail("dead shard's circuit breaker never opened")
+        else:
+            report.note(f"breaker opened {qos['breaker_opens']} time(s) "
+                        f"on shard death")
+        report.note(f"storm: {outcomes['ok']} completed byte-identical, "
+                    f"{outcomes['admission']} refused at admission")
+
+        # goodput recovers: once the shard is back, a clean wave runs
+        with SafeFlowClient(host=host, port=port,
+                            request_timeout=120.0) as client:
+            for job in jobs:
+                result = analyze(client, job, "gold")
+                if result["render"] != baseline[job.name]:
+                    report.fail(f"{job.name}: post-recovery verdict "
+                                f"differs from baseline")
+                    return
+            health = client.call("health")
+        restarts = sum(s.get("restarts", 0)
+                       for s in health.get("shards", []))
+        if restarts < 1:
+            report.fail("killed shard was never restarted")
+        else:
+            report.note(f"goodput recovered: post-storm wave completed "
+                        f"({restarts} shard restart(s))")
+    finally:
+        router.stop()
+
+
 _RUNNERS: Dict[str, Callable] = {
     "kill": _schedule_kill,
     "quarantine": _schedule_quarantine,
@@ -566,6 +711,7 @@ _RUNNERS: Dict[str, Callable] = {
     "kill-resume": _schedule_kill_resume,
     "watch-kill": _schedule_watch_kill,
     "tier-crash": _schedule_tier_crash,
+    "overload": _schedule_overload,
 }
 
 #: schedules meaningless without a real worker process to kill

@@ -18,12 +18,23 @@ work (the framing makes re-sending a partially written request safe —
 a line without its newline is not a message — so send-side retries
 are). Non-retryable error responses (``analysis_failed``,
 ``deadline_exceeded``, ``resource_exhausted``, ``cancelled``,
-``worker_crashed``) raise immediately: the same input would fail the
-same way again — ``worker_crashed`` in particular means the input has
-been *quarantined* after repeatedly killing workers, so resubmitting
-it would only kill more. Backoff is
-exponential with jitter so a fleet of clients bounced by one crash
-does not reconverge in lockstep.
+``worker_crashed``, ``shed``) raise immediately: the same input would
+fail the same way again — ``worker_crashed`` in particular means the
+input has been *quarantined* after repeatedly killing workers, so
+resubmitting it would only kill more, and ``shed`` means the server
+is in brownout and resubmission is exactly the load being shed.
+
+Every retry is double-gated (PR 10): by the per-call ``retries``
+count *and* by a :class:`~repro.qos.retrybudget.RetryBudget` that
+caps fleet-wide retry amplification at ~10% of first-try traffic —
+under a total outage the budget empties and further retries are
+denied (``stats["retries_denied"]``), so a thousand clients cannot
+turn one incident into a retry storm. Pacing honors the server when
+it speaks: a ``rate_limited`` rejection carries ``retry_after_s``
+(the exact token-bucket deficit) and the client sleeps precisely
+that; only hint-less retries (``queue_full``, dead connections) use
+exponential backoff with jitter so bounced clients do not reconverge
+in lockstep.
 
 Usage::
 
@@ -48,6 +59,7 @@ import time
 from typing import Any, Dict, List, Optional, Union
 
 from ..errors import SafeFlowError
+from ..qos.retrybudget import RetryBudget
 from . import protocol
 
 
@@ -62,10 +74,24 @@ class ServerError(SafeFlowError):
         self.data = data or {}
 
     @property
+    def retry_after_s(self) -> Optional[float]:
+        """Server-provided backoff hint, when present."""
+        value = self.data.get("retry_after_s")
+        return float(value) if value is not None else None
+
+    @property
     def retryable(self) -> bool:
         """True when resubmitting the same request is safe and likely
-        to succeed (see :data:`repro.server.protocol.RETRYABLE_CODES`)."""
-        return self.code in protocol.RETRYABLE_CODES
+        to succeed (see :data:`repro.server.protocol.RETRYABLE_CODES`).
+        ``rate_limited`` is only retryable when the server attached a
+        ``retry_after_s`` hint — without one the client cannot know
+        how long the quota needs, so blind resubmission would just be
+        more over-rate traffic."""
+        if self.code not in protocol.RETRYABLE_CODES:
+            return False
+        if self.code == protocol.RATE_LIMITED:
+            return self.retry_after_s is not None
+        return True
 
     def __str__(self) -> str:
         return f"[{self.name}] {self.message}"
@@ -96,7 +122,9 @@ class SafeFlowClient:
                  unix_path: Optional[str] = None,
                  connect_timeout: float = 5.0,
                  request_timeout: float = 300.0,
-                 retries: int = 3, backoff: float = 0.05):
+                 retries: int = 3, backoff: float = 0.05,
+                 retry_budget: Optional[RetryBudget] = None,
+                 tenant: Optional[str] = None):
         if (port is None) == (unix_path is None):
             raise ValueError("give exactly one of port= or unix_path=")
         self.host = host
@@ -106,6 +134,14 @@ class SafeFlowClient:
         self.request_timeout = request_timeout
         self.retries = max(0, retries)
         self.backoff = backoff
+        #: retry *budget* on top of the per-call retry *count*: each
+        #: first-try request earns a fraction of a retry credit and
+        #: each retry spends one, so a fleet of clients can never
+        #: amplify an outage by more than the budget ratio. Pass a
+        #: shared instance to pool the budget across clients.
+        self.retry_budget = retry_budget or RetryBudget()
+        #: default tenant tag attached to every ``analyze`` call
+        self.tenant = tenant
         self._sock: Optional[socket.socket] = None
         self._rfile = None
         self._ids = itertools.count(1)
@@ -113,12 +149,31 @@ class SafeFlowClient:
         self.stats: Dict[str, int] = {
             "requests": 0, "responses": 0,
             "connects": 0, "reconnects": 0, "retries": 0,
+            "retries_denied": 0,
         }
 
     def _backoff_sleep(self, attempt: int) -> None:
         """Exponential backoff with jitter in [0.5x, 1.5x)."""
         time.sleep(self.backoff * (2 ** attempt)
                    * (0.5 + self._rng.random()))
+
+    def _retry_pause(self, attempt: int,
+                     retry_after_s: Optional[float]) -> None:
+        """Pace one retry: sleep exactly what the server asked for
+        when it said (``retry_after_s`` on ``rate_limited``), jittered
+        exponential backoff when it did not (``queue_full``)."""
+        if retry_after_s is not None and retry_after_s > 0:
+            time.sleep(min(retry_after_s, self.request_timeout))
+        else:
+            self._backoff_sleep(attempt)
+
+    def _spend_retry(self) -> bool:
+        """Gate one retry on the budget; a denial is terminal for the
+        call and counted in ``stats['retries_denied']``."""
+        if self.retry_budget.try_spend():
+            return True
+        self.stats["retries_denied"] += 1
+        return False
 
     # ------------------------------------------------------------------
     # connection management
@@ -199,6 +254,7 @@ class SafeFlowClient:
             protocol.request_payload(method, params, req_id))
         last: Optional[Exception] = None
         self.stats["requests"] += 1
+        self.retry_budget.record_request()
         for attempt in range(self.retries + 1):
             if attempt > 0:
                 self.stats["retries"] += 1
@@ -208,16 +264,18 @@ class SafeFlowClient:
             except (ConnectionError, socket.timeout, OSError) as exc:
                 last = exc
                 self.close()
-                if attempt < self.retries:
+                if attempt < self.retries and self._spend_retry():
                     self._backoff_sleep(attempt)
-                continue
+                    continue
+                break
             try:
                 result = self._read_response(req_id, timeout)
             except ServerError as exc:
-                if not exc.retryable or attempt >= self.retries:
+                if (not exc.retryable or attempt >= self.retries
+                        or not self._spend_retry()):
                     raise
                 last = exc
-                self._backoff_sleep(attempt)
+                self._retry_pause(attempt, exc.retry_after_s)
                 continue
             self.stats["responses"] += 1
             return result
@@ -275,10 +333,16 @@ class SafeFlowClient:
                 deadline: Optional[float] = None,
                 job_id: Optional[str] = None,
                 config: Optional[Dict[str, Any]] = None,
-                timeout: Optional[float] = None) -> Dict[str, Any]:
+                timeout: Optional[float] = None,
+                tenant: Optional[str] = None) -> Dict[str, Any]:
         """Submit one analysis; returns the result payload
-        (``render``, ``report``, ``counts``, ``passed``, ...)."""
+        (``render``, ``report``, ``counts``, ``passed``, ...).
+        ``tenant`` (or the client-wide default) tags the request for
+        the server's per-tenant fairness, quota, and shed policies."""
         params: Dict[str, Any] = {"name": name, "verbose": verbose}
+        tenant = tenant if tenant is not None else self.tenant
+        if tenant is not None:
+            params["tenant"] = tenant
         if source is not None:
             params["source"] = source
             params["filename"] = filename

@@ -40,10 +40,12 @@ import time
 from typing import Any, Dict, Optional, Tuple, Union
 
 from ..core.config import AnalysisConfig
+from ..qos import (AdaptiveLimiter, BrownoutController, FairQueue,
+                   RateLimitedError, TenantTable, WarmSet)
 from . import protocol
 from .metrics import ServerMetrics
 from .pool import WorkerPool
-from .queue import PendingJob, QueueClosedError, QueueFullError, RequestQueue
+from .queue import PendingJob, QueueClosedError, QueueFullError
 
 #: extra seconds a handler waits past the job deadline before declaring
 #: the pool wedged (the pool itself resolves deadlines; this is a
@@ -132,20 +134,42 @@ class SafeFlowServer:
                  default_deadline: Optional[float] = None,
                  use_processes: bool = True,
                  guards=None,
-                 max_crashes: int = 2):
+                 max_crashes: int = 2,
+                 tenants: Optional[TenantTable] = None,
+                 max_inflight: Optional[Union[int, str]] = None,
+                 brownout: Optional[BrownoutController] = None):
         self.config = config or AnalysisConfig()
         self.default_deadline = default_deadline
         self.unix_path = unix_path
         self.metrics = ServerMetrics()
-        self.queue = RequestQueue(queue_size)
+        # the admission layer (PR 10): the fair queue is always the
+        # queue (with only the default tenant it reproduces the old
+        # FIFO exactly); brownout needs tenant priorities to act on,
+        # so it arms only when a tenant table (or an explicit
+        # controller) is supplied — a tenant-free daemon never sheds
+        self.tenant_table = tenants or TenantTable()
+        self.queue = FairQueue(queue_size, tenants=self.tenant_table)
+        worker_count = max(1, workers or os.cpu_count() or 1)
+        self.limiter = self._build_limiter(max_inflight, worker_count)
+        self.brownout: Optional[BrownoutController] = None
+        self.warm: Optional[WarmSet] = None
+        if tenants is not None or brownout is not None:
+            self.brownout = brownout or BrownoutController()
+            self.warm = WarmSet()
         self.pool = WorkerPool(self.queue, self.config, workers=workers,
                                use_processes=use_processes,
                                guards=guards, max_crashes=max_crashes,
-                               events=self.metrics.count_resilience)
+                               events=self.metrics.count_resilience,
+                               limiter=self.limiter)
         self.metrics.register_gauge("queue_depth", self.queue.depth)
         self.metrics.register_gauge("in_flight", self.pool.running_count)
         # fleet-era alias of in_flight (the router's field name)
         self.metrics.register_gauge("inflight", self.pool.running_count)
+        self.metrics.register_qos("queue", self._qos_queue_state)
+        if self.limiter is not None:
+            self.metrics.register_qos("concurrency", self.limiter.snapshot)
+        if self.brownout is not None:
+            self.metrics.register_qos("brownout", self._qos_brownout_state)
 
         self._lock = threading.Lock()
         self._draining = False
@@ -176,6 +200,49 @@ class SafeFlowServer:
             "ping": self._rpc_ping,
             "shutdown": self._rpc_shutdown,
         }
+
+    # ------------------------------------------------------------------
+    # QoS helpers
+    # ------------------------------------------------------------------
+
+    def _build_limiter(self, max_inflight, worker_count: int):
+        """``--max-inflight``: None = uncapped (legacy), an int = fixed
+        cap, ``"auto"`` = AIMD against the rolling p99."""
+        if max_inflight is None:
+            return None
+        if isinstance(max_inflight, str):
+            if max_inflight != "auto":
+                raise ValueError(
+                    f"max_inflight must be an int or 'auto', "
+                    f"not {max_inflight!r}")
+            return AdaptiveLimiter(
+                limit=worker_count, min_limit=1,
+                max_limit=max(8, worker_count * 4), adaptive=True,
+                p99=lambda: self.metrics.rolling_latency
+                                .quantiles().get("p99_s"))
+        n = int(max_inflight)
+        if n < 1:
+            raise ValueError("max_inflight must be >= 1")
+        return AdaptiveLimiter(limit=n, min_limit=1, max_limit=n,
+                               adaptive=False)
+
+    def _qos_queue_state(self) -> Dict[str, Any]:
+        return {
+            "depth_by_tenant": self.queue.depth_by_tenant(),
+            "saturation": round(self.queue.saturation(), 4),
+        }
+
+    def _qos_brownout_state(self) -> Dict[str, Any]:
+        state = self.brownout.snapshot()
+        state["warm_keys"] = len(self.warm) if self.warm is not None else 0
+        return state
+
+    @staticmethod
+    def _warm_key(params: Dict[str, Any]) -> str:
+        # deferred import: repro.fleet imports repro.server at package
+        # init, so a module-level import here would be circular
+        from ..fleet.hashring import routing_key
+        return routing_key(params)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -354,6 +421,16 @@ class SafeFlowServer:
             # — the router's backpressure signal
             "latency_p50_s": rolling["p50_s"],
             "latency_p99_s": rolling["p99_s"],
+            "brownout_level": (self.brownout.level
+                               if self.brownout is not None else 0),
+            "inflight_limit": (self.limiter.limit
+                               if self.limiter is not None else None),
+            # compact QoS summary for the fleet router's health poll
+            "qos": {
+                "tenants": self.metrics.qos_tenants(),
+                "brownout_level": (self.brownout.level
+                                   if self.brownout is not None else 0),
+            },
             "worker_restarts": self.pool.worker_restarts,
             "degraded_analyses": degraded["analyses"],
             "degraded_units": degraded["units"],
@@ -393,10 +470,12 @@ class SafeFlowServer:
 
     def _rpc_analyze(self, request) -> Dict[str, Any]:
         try:
-            spec, deadline_s, job_id = self._parse_analyze(request.params)
+            spec, deadline_s, job_id, tenant = self._parse_analyze(
+                request.params)
         except ValueError as exc:
             return protocol.error_response(
                 request.id, protocol.INVALID_PARAMS, str(exc))
+        tenant_name = tenant or self.tenant_table.default.name
         with self._lock:
             if self._draining:
                 return protocol.error_response(
@@ -408,17 +487,45 @@ class SafeFlowServer:
                     request.id, protocol.INVALID_PARAMS,
                     f"job_id {job_id!r} is already in flight",
                 )
+        warm_key = None
+        if self.brownout is not None:
+            level = self.brownout.update(self.queue.saturation())
+            warm_key = self._warm_key(request.params)
+            if level > 0:
+                reason = self.brownout.decide(
+                    self.tenant_table.lookup(tenant_name),
+                    warm_key in self.warm)
+                if reason is not None:
+                    self.metrics.count_qos(tenant_name, "shed")
+                    return protocol.error_response(
+                        request.id, protocol.SHED,
+                        f"brownout level {level}: shedding {reason} "
+                        f"requests",
+                        data={"job_id": job_id, "reason": reason,
+                              "brownout_level": level,
+                              "retry_after_s": self.brownout.retry_after_s},
+                    )
         deadline = None
         if deadline_s is not None:
             deadline = time.monotonic() + deadline_s
-        job = PendingJob(job_id, spec, deadline=deadline)
+        job = PendingJob(job_id, spec, deadline=deadline, tenant=tenant_name)
+        job._qos_warm_key = warm_key
         with self._lock:
             self._jobs[job_id] = job
         try:
             try:
                 self.queue.put_nowait(job)
+                self.metrics.count_qos(tenant_name, "accepted")
+            except RateLimitedError as exc:
+                self.metrics.count_qos(tenant_name, "rate_limited")
+                return protocol.error_response(
+                    request.id, protocol.RATE_LIMITED, str(exc),
+                    data={"job_id": job_id, "tenant": tenant_name,
+                          "retry_after_s": round(exc.retry_after_s, 4)},
+                )
             except QueueFullError as exc:
                 self.metrics.count_analysis("queue_rejections")
+                self.metrics.count_qos(tenant_name, "queue_full")
                 return protocol.error_response(
                     request.id, protocol.QUEUE_FULL, str(exc),
                     data={"job_id": job_id},
@@ -448,6 +555,11 @@ class SafeFlowServer:
         if job.result is not None:
             stats = (job.result.get("report") or {}).get("stats") or {}
             self.metrics.observe_analysis(stats)
+            self.metrics.count_qos(job.tenant or "default", "completed")
+            if self.warm is not None:
+                key = getattr(job, "_qos_warm_key", None)
+                if key:
+                    self.warm.add(key)
             result = dict(job.result)
             result.pop("ok", None)
             result["job_id"] = job.id
@@ -502,6 +614,9 @@ class SafeFlowServer:
             job_id = f"job-{next(self._job_seq)}"
         elif not isinstance(job_id, str) or not job_id:
             raise ValueError("job_id must be a non-empty string")
+        tenant = params.get("tenant")
+        if tenant is not None and (not isinstance(tenant, str) or not tenant):
+            raise ValueError("tenant must be a non-empty string")
         spec: Dict[str, Any] = {
             "name": name,
             "verbose": bool(params.get("verbose", False)),
@@ -513,4 +628,4 @@ class SafeFlowServer:
             spec["files"] = list(files)
         if overrides:
             spec["config_overrides"] = overrides
-        return spec, deadline_s, job_id
+        return spec, deadline_s, job_id, tenant

@@ -142,6 +142,12 @@ class ServerMetrics:
             "tier_attempts": {},   # tier name → attempts
             "tier_successes": {},  # tier name → successes
         }
+        #: admission-control outcomes by tenant (PR 10): tenant name →
+        #: {accepted, completed, rate_limited, shed, queue_full}
+        self._qos_tenants: Dict[str, Dict[str, int]] = {}
+        #: extra QoS state (brownout level, concurrency limit, breaker
+        #: states) read live at snapshot time, like gauges
+        self._qos_readers: Dict[str, Callable[[], object]] = {}
         self._request_latency = LatencyHistogram()
         #: recent-window request latency: a router polling this
         #: daemon's health plane needs a *live* p50/p99, not the
@@ -178,6 +184,19 @@ class ServerMetrics:
         """``outcome`` is one of the ``_analyses`` keys."""
         with self._lock:
             self._analyses[outcome] = self._analyses.get(outcome, 0) + 1
+
+    def count_qos(self, tenant: str, outcome: str) -> None:
+        """One admission decision for ``tenant``: ``accepted`` /
+        ``completed`` / ``rate_limited`` / ``shed`` / ``queue_full``."""
+        with self._lock:
+            counts = self._qos_tenants.setdefault(tenant, {})
+            counts[outcome] = counts.get(outcome, 0) + 1
+
+    def register_qos(self, name: str, read: Callable[[], object]) -> None:
+        """Attach a live QoS state reader (brownout level, concurrency
+        limiter snapshot, ...) to the ``qos`` metrics block."""
+        with self._lock:
+            self._qos_readers[name] = read
 
     def count_resilience(self, event: str) -> None:
         """``event`` is one of the ``_resilience`` keys (pool events:
@@ -239,6 +258,13 @@ class ServerMetrics:
     def uptime_seconds(self) -> float:
         return time.monotonic() - self._started_mono
 
+    def qos_tenants(self) -> Dict[str, Dict[str, int]]:
+        """Per-tenant admission counters (for the ``health`` RPC — the
+        fleet router folds these across shards)."""
+        with self._lock:
+            return {name: dict(counts)
+                    for name, counts in self._qos_tenants.items()}
+
     def degraded_counts(self) -> Dict[str, int]:
         """Degraded-verdict totals (for the ``health`` RPC)."""
         with self._lock:
@@ -252,6 +278,17 @@ class ServerMetrics:
                     gauges[name] = int(read())
                 except Exception:  # a dying pool must not break metrics
                     gauges[name] = -1
+            qos: Dict[str, object] = {
+                "tenants": {
+                    name: dict(sorted(counts.items()))
+                    for name, counts in sorted(self._qos_tenants.items())
+                },
+            }
+            for name, read in self._qos_readers.items():
+                try:
+                    qos[name] = read()
+                except Exception:  # QoS state must not break metrics
+                    qos[name] = None
             return {
                 "started_at": self.started_at,
                 "uptime_seconds": self.uptime_seconds(),
@@ -263,6 +300,7 @@ class ServerMetrics:
                 "cache": dict(self._cache),
                 "kernel": dict(sorted(self._kernel.items())),
                 "resilience": dict(self._resilience),
+                "qos": qos,
                 "incremental": dict(self._incremental),
                 "degraded": dict(self._degraded),
                 "recovery": {

@@ -136,12 +136,17 @@ class WorkerPool:
                  poll_interval: float = 0.05,
                  guards: Optional[ResourceGuards] = None,
                  max_crashes: int = 2,
-                 events: Optional[Callable[[str], None]] = None):
+                 events: Optional[Callable[[str], None]] = None,
+                 limiter=None):
         self.queue = queue
         self.config = config
         self.workers = max(1, workers or os.cpu_count() or 1)
         self.poll_interval = poll_interval
         self.guards = guards
+        #: optional :class:`repro.qos.AdaptiveLimiter`: runners take an
+        #: in-flight slot *before* pulling from the queue, so backlog
+        #: waits where fairness and brownout can still act on it
+        self.limiter = limiter
         self.ledger = CrashLedger(max_crashes)
         self._events = events
         self._lock = threading.Lock()
@@ -191,20 +196,35 @@ class WorkerPool:
 
     def _run_loop(self) -> None:
         while True:
-            job = self.queue.get(timeout=0.1)
-            if job is None:
-                if self.queue.finished():
-                    return
-                continue
-            if not job.start():
-                continue  # cancelled between dequeue and start
-            with self._lock:
-                self._running += 1
+            if self.limiter is not None:
+                if not self.limiter.acquire(timeout=0.1):
+                    if self.queue.finished():
+                        return
+                    continue
+            job = None
+            started = None
             try:
-                self._execute(job)
-            finally:
+                job = self.queue.get(timeout=0.1)
+                if job is None:
+                    if self.queue.finished():
+                        return
+                    continue
+                if not job.start():
+                    job = None  # cancelled between dequeue and start
+                    continue
+                started = time.monotonic()
                 with self._lock:
-                    self._running -= 1
+                    self._running += 1
+                try:
+                    self._execute(job)
+                finally:
+                    with self._lock:
+                        self._running -= 1
+            finally:
+                if self.limiter is not None:
+                    duration = (time.monotonic() - started
+                                if started is not None else None)
+                    self.limiter.release(duration)
 
     # ------------------------------------------------------------------
 

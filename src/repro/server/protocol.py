@@ -46,6 +46,8 @@ CANCELLED = -32003          #: request cancelled by a ``cancel`` call
 SHUTTING_DOWN = -32004      #: daemon is draining; no new work accepted
 WORKER_CRASHED = -32005     #: request quarantined after repeated worker deaths
 RESOURCE_EXHAUSTED = -32006 #: analysis hit a CPU/RSS/deadline resource guard
+RATE_LIMITED = -32007       #: tenant over its request rate (see data.retry_after_s)
+SHED = -32008               #: brownout shed the request before admission
 
 ERROR_NAMES: Dict[int, str] = {
     PARSE_ERROR: "parse_error",
@@ -60,6 +62,8 @@ ERROR_NAMES: Dict[int, str] = {
     SHUTTING_DOWN: "shutting_down",
     WORKER_CRASHED: "worker_crashed",
     RESOURCE_EXHAUSTED: "resource_exhausted",
+    RATE_LIMITED: "rate_limited",
+    SHED: "shed",
 }
 
 #: codes a client may retry without risking doubled work: the request
@@ -70,8 +74,12 @@ ERROR_NAMES: Dict[int, str] = {
 #: ``max_crashes`` workers), so resubmitting would just kill more
 #: workers and disrupt every in-flight neighbour. ``resource_exhausted``
 #: is likewise excluded — the same input will exhaust the same budget
-#: again.
-RETRYABLE_CODES = frozenset({QUEUE_FULL})
+#: again. ``rate_limited`` is retryable only with a server-provided
+#: ``retry_after_s`` hint (the client checks the error data before
+#: retrying — see ``SafeFlowClient``); ``shed`` is NOT retryable: the
+#: server is in brownout and immediate resubmission is exactly the
+#: load it is shedding.
+RETRYABLE_CODES = frozenset({QUEUE_FULL, RATE_LIMITED})
 
 
 def error_name(code: int) -> str:

@@ -46,14 +46,23 @@ class PendingJob:
     """One in-flight analysis request."""
 
     def __init__(self, job_id: str, spec: Dict[str, Any],
-                 deadline: Optional[float] = None):
+                 deadline: Optional[float] = None,
+                 tenant: Optional[str] = None):
         #: externally visible id (``cancel`` targets this)
         self.id = job_id
         #: picklable description handed to the worker function
         self.spec = spec
         #: absolute ``time.monotonic()`` deadline, or None
         self.deadline = deadline
+        #: accounting identity; None = the default tenant
+        self.tenant = tenant
         self.created = time.monotonic()
+        #: set by the QoS fair queue at admission: fired (at most once,
+        #: popped under the job lock) when the job is cancelled while
+        #: still queued, refunding the tenant's rate token. A job that
+        #: reaches RUNNING keeps its charge — start() and the refunding
+        #: cancel() are mutually exclusive on the QUEUED state.
+        self._qos_refund = None
         self._lock = threading.Lock()
         self._finished = threading.Event()
         self.state = QUEUED
@@ -112,6 +121,7 @@ class PendingJob:
         it); a RUNNING job is flagged and the runner resolves it at its
         next poll point without waiting for the worker process.
         """
+        refund = None
         with self._lock:
             if self.state == DONE:
                 return False
@@ -119,8 +129,13 @@ class PendingJob:
             if self.state == QUEUED:
                 self.state = DONE
                 self.error = (CANCELLED, "request cancelled while queued")
+                # pop the refund hook under the job lock so exactly one
+                # cancel wins the token back (see FairQueue._arm_refund)
+                refund, self._qos_refund = self._qos_refund, None
                 self._finished.set()
-            return True
+        if refund is not None:
+            refund()
+        return True
 
     @property
     def done(self) -> bool:

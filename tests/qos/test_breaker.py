@@ -1,0 +1,139 @@
+"""Circuit-breaker state machine: trip, cooldown, half-open probe."""
+
+import pytest
+
+from repro.qos import CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_breaker(clock, **kwargs):
+    defaults = dict(failure_threshold=0.5, min_volume=4, window=8,
+                    cooldown_s=2.0, clock=clock)
+    defaults.update(kwargs)
+    return CircuitBreaker(**defaults)
+
+
+class TestTrip:
+    def test_starts_closed_and_allows(self):
+        breaker = make_breaker(FakeClock())
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        assert breaker.routable()
+
+    def test_failures_below_min_volume_never_trip(self):
+        breaker = make_breaker(FakeClock())
+        for _ in range(3):  # min_volume is 4
+            breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_trips_at_threshold_with_volume(self):
+        breaker = make_breaker(FakeClock())
+        breaker.record_success()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # 1/3 < 0.5
+        breaker.record_failure()
+        assert breaker.state == "open"    # 2/4 >= 0.5
+        assert breaker.opens == 1
+        assert not breaker.allow()
+        assert not breaker.routable()
+
+    def test_successes_dilute_the_failure_rate(self):
+        breaker = make_breaker(FakeClock())
+        for _ in range(6):
+            breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        # 2 failures over a window of 8 is 25% — stays closed
+        assert breaker.state == "closed"
+
+    def test_old_outcomes_roll_out_of_the_window(self):
+        breaker = make_breaker(FakeClock(), window=4, min_volume=4)
+        breaker.record_failure()
+        for _ in range(6):
+            breaker.record_success()
+        # the early failure was evicted: 0/4 failures
+        assert breaker.snapshot()["failures"] == 0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"failure_threshold": 0.0}, {"failure_threshold": 1.5},
+        {"min_volume": 0}, {"min_volume": 10, "window": 5},
+    ])
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            make_breaker(FakeClock(), **kwargs)
+
+
+def tripped_breaker(clock):
+    breaker = make_breaker(clock)
+    for _ in range(4):
+        breaker.record_failure()
+    assert breaker.state == "open"
+    return breaker
+
+
+class TestHalfOpen:
+    def test_cooldown_gates_the_probe(self):
+        clock = FakeClock()
+        breaker = tripped_breaker(clock)
+        clock.advance(1.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()
+        assert breaker.state == "half_open"
+
+    def test_single_probe_at_a_time(self):
+        clock = FakeClock()
+        breaker = tripped_breaker(clock)
+        clock.advance(2.1)
+        assert breaker.allow()
+        # the probe is out: nobody else gets through
+        assert not breaker.allow()
+        assert not breaker.allow()
+
+    def test_routable_does_not_consume_the_probe(self):
+        clock = FakeClock()
+        breaker = tripped_breaker(clock)
+        clock.advance(2.1)
+        # peek any number of times without spending the probe slot
+        assert breaker.routable()
+        assert breaker.routable()
+        assert breaker.allow()
+        # now the probe is out and the peek says so
+        assert not breaker.routable()
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = tripped_breaker(clock)
+        clock.advance(2.1)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        # the window restarts clean: one new failure cannot re-trip
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_probe_failure_reopens_for_another_cooldown(self):
+        clock = FakeClock()
+        breaker = tripped_breaker(clock)
+        clock.advance(2.1)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.opens == 2
+        assert not breaker.allow()
+        clock.advance(2.1)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"

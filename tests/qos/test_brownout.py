@@ -1,0 +1,166 @@
+"""Brownout ladder: hysteresis, shed decisions, warm-set LRU."""
+
+import pytest
+
+from repro.qos import BrownoutController, TenantSpec, WarmSet
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestWarmSet:
+    def test_membership_tracks_adds(self):
+        warm = WarmSet(capacity=8)
+        warm.add("k1")
+        assert "k1" in warm
+        assert "k2" not in warm
+
+    def test_evicts_least_recently_used(self):
+        warm = WarmSet(capacity=2)
+        warm.add("a")
+        warm.add("b")
+        warm.add("c")
+        assert "a" not in warm
+        assert "b" in warm and "c" in warm
+
+    def test_lookup_refreshes_recency(self):
+        warm = WarmSet(capacity=2)
+        warm.add("a")
+        warm.add("b")
+        assert "a" in warm  # touch: a is now the most recent
+        warm.add("c")
+        assert "a" in warm
+        assert "b" not in warm
+
+    def test_readd_refreshes_recency(self):
+        warm = WarmSet(capacity=2)
+        warm.add("a")
+        warm.add("b")
+        warm.add("a")
+        warm.add("c")
+        assert "b" not in warm and "a" in warm
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            WarmSet(capacity=0)
+
+
+def make_controller(clock, **kwargs):
+    defaults = dict(enter_saturation=0.85, exit_saturation=0.5,
+                    hold_s=1.0, clock=clock)
+    defaults.update(kwargs)
+    return BrownoutController(**defaults)
+
+
+def escalate(controller, clock, target_level):
+    """Drive the ladder up by sustained saturation."""
+    controller.update(0.95)  # arm the timer
+    while controller.level < target_level:
+        clock.advance(1.0)
+        controller.update(0.95)
+    assert controller.level == target_level
+
+
+class TestHysteresis:
+    def test_spike_shorter_than_hold_does_not_escalate(self):
+        clock = FakeClock()
+        controller = make_controller(clock)
+        assert controller.update(0.95) == 0
+        clock.advance(0.5)
+        assert controller.update(0.95) == 0  # held only 0.5s of 1.0s
+
+    def test_sustained_pressure_climbs_one_rung_per_hold(self):
+        clock = FakeClock()
+        controller = make_controller(clock)
+        controller.update(0.95)
+        clock.advance(1.0)
+        assert controller.update(0.95) == 1
+        # the timer re-arms: the next rung needs its own full hold
+        clock.advance(0.5)
+        assert controller.update(0.95) == 1
+        clock.advance(0.5)
+        assert controller.update(0.95) == 2
+
+    def test_ladder_tops_out_at_level_two(self):
+        clock = FakeClock()
+        controller = make_controller(clock)
+        escalate(controller, clock, 2)
+        for _ in range(5):
+            clock.advance(1.0)
+            assert controller.update(0.95) == 2
+
+    def test_recovery_needs_sustained_low_saturation(self):
+        clock = FakeClock()
+        controller = make_controller(clock)
+        escalate(controller, clock, 1)
+        controller.update(0.1)  # arm the exit timer
+        clock.advance(0.5)
+        assert controller.update(0.1) == 1
+        clock.advance(0.5)
+        assert controller.update(0.1) == 0
+
+    def test_dead_band_holds_level_and_resets_timers(self):
+        clock = FakeClock()
+        controller = make_controller(clock)
+        escalate(controller, clock, 1)
+        # saturation between exit (0.5) and enter (0.85): no movement,
+        # and the partial exit progress is discarded
+        controller.update(0.1)
+        clock.advance(0.9)
+        assert controller.update(0.7) == 1
+        controller.update(0.1)
+        clock.advance(0.9)
+        assert controller.update(0.1) == 1  # timer restarted at the dip
+        clock.advance(0.2)
+        assert controller.update(0.1) == 0
+
+    def test_escalations_counter(self):
+        clock = FakeClock()
+        controller = make_controller(clock)
+        escalate(controller, clock, 2)
+        assert controller.snapshot() == {"level": 2, "escalations": 2}
+
+    def test_rejects_inverted_thresholds(self):
+        with pytest.raises(ValueError):
+            make_controller(FakeClock(), enter_saturation=0.4,
+                            exit_saturation=0.5)
+
+
+LOW = TenantSpec(name="free", priority="low")
+NORMAL = TenantSpec(name="anon", priority="normal")
+HIGH = TenantSpec(name="gold", priority="high")
+
+
+class TestDecide:
+    def test_level_zero_admits_everyone(self):
+        controller = make_controller(FakeClock())
+        for spec in (LOW, NORMAL, HIGH):
+            for warm in (True, False):
+                assert controller.decide(spec, warm=warm) is None
+
+    def test_level_one_sheds_only_low_priority(self):
+        clock = FakeClock()
+        controller = make_controller(clock)
+        escalate(controller, clock, 1)
+        assert controller.decide(LOW, warm=True) == "low_priority"
+        assert controller.decide(LOW, warm=False) == "low_priority"
+        assert controller.decide(NORMAL, warm=False) is None
+        assert controller.decide(HIGH, warm=False) is None
+
+    def test_level_two_serves_warm_and_high_only(self):
+        clock = FakeClock()
+        controller = make_controller(clock)
+        escalate(controller, clock, 2)
+        assert controller.decide(LOW, warm=True) == "low_priority"
+        assert controller.decide(NORMAL, warm=True) is None
+        assert controller.decide(NORMAL, warm=False) == "cold"
+        # high-priority traffic survives the deepest brownout cold
+        assert controller.decide(HIGH, warm=False) is None

@@ -1,0 +1,148 @@
+"""Adaptive in-flight limiter: gating and AIMD behavior."""
+
+import pytest
+
+from repro.qos import AdaptiveLimiter
+
+
+class P99:
+    """A settable p99 source standing in for the rolling window."""
+
+    def __init__(self, value=None):
+        self.value = value
+
+    def __call__(self):
+        return self.value
+
+
+def saturate(limiter):
+    """Hit the cap so the limiter knows it is binding."""
+    assert not limiter.acquire(timeout=0.0)
+
+
+class TestFixedLimit:
+    def test_gates_at_the_limit(self):
+        limiter = AdaptiveLimiter(limit=2, adaptive=False)
+        assert limiter.acquire(timeout=0.0)
+        assert limiter.acquire(timeout=0.0)
+        assert not limiter.acquire(timeout=0.0)
+        limiter.release(0.01)
+        assert limiter.acquire(timeout=0.0)
+        assert limiter.inflight() == 2
+
+    def test_non_adaptive_limit_never_moves(self):
+        limiter = AdaptiveLimiter(limit=2, adaptive=False, adjust_every=1)
+        for _ in range(20):
+            assert limiter.acquire(timeout=0.0)
+            assert limiter.acquire(timeout=0.0)
+            saturate(limiter)
+            limiter.release(0.001)
+            limiter.release(0.001)
+        assert limiter.limit == 2
+
+
+class TestAdditiveIncrease:
+    def make(self, p99, **kwargs):
+        defaults = dict(limit=2, max_limit=8, adaptive=True, p99=p99,
+                        adjust_every=1)
+        defaults.update(kwargs)
+        return AdaptiveLimiter(**defaults)
+
+    def test_increase_requires_saturation(self):
+        p99 = P99(0.01)
+        limiter = self.make(p99)
+        # fast p99 but the cap never binds: no reason to raise it
+        for _ in range(5):
+            assert limiter.acquire(timeout=0.0)
+            limiter.release(0.01)
+        assert limiter.limit == 2
+
+    def test_saturated_and_fast_probes_upward(self):
+        p99 = P99(0.01)
+        limiter = self.make(p99)
+        assert limiter.acquire(timeout=0.0)
+        assert limiter.acquire(timeout=0.0)
+        saturate(limiter)
+        limiter.release(0.01)
+        assert limiter.limit == 3
+        assert limiter.snapshot()["increases"] == 1
+
+    def test_limit_stops_at_max(self):
+        p99 = P99(0.01)
+        limiter = self.make(p99, limit=7, max_limit=8)
+        for _ in range(5):
+            assert limiter.acquire(timeout=0.0)
+            saturate_needed = limiter.limit - limiter.inflight()
+            for _ in range(saturate_needed):
+                limiter.acquire(timeout=0.0)
+            saturate(limiter)
+            for _ in range(limiter.inflight()):
+                limiter.release(0.01)
+        assert limiter.limit == 8
+
+    def test_empty_window_is_a_noop(self):
+        limiter = self.make(P99(None))
+        assert limiter.acquire(timeout=0.0)
+        assert limiter.acquire(timeout=0.0)
+        saturate(limiter)
+        limiter.release(0.01)
+        assert limiter.limit == 2
+
+
+class TestMultiplicativeDecrease:
+    def test_slow_p99_cuts_the_limit(self):
+        p99 = P99(0.01)
+        limiter = AdaptiveLimiter(limit=8, adaptive=True, p99=p99,
+                                  adjust_every=1)
+        # establish a fast floor first
+        assert limiter.acquire(timeout=0.0)
+        limiter.release(0.01)
+        assert limiter.limit == 8
+        # then the window goes 100x over the learned floor
+        p99.value = 1.0
+        assert limiter.acquire(timeout=0.0)
+        limiter.release(1.0)
+        assert limiter.limit == 6  # int(8 * 0.75)
+        assert limiter.snapshot()["decreases"] == 1
+
+    def test_decrease_respects_min_limit(self):
+        p99 = P99(0.01)
+        limiter = AdaptiveLimiter(limit=2, min_limit=2, adaptive=True,
+                                  p99=p99, adjust_every=1)
+        limiter.acquire(timeout=0.0)
+        limiter.release(0.01)
+        p99.value = 5.0
+        for _ in range(10):
+            limiter.acquire(timeout=0.0)
+            limiter.release(5.0)
+        assert limiter.limit == 2
+
+    def test_explicit_target_overrides_learned_floor(self):
+        p99 = P99(0.05)
+        limiter = AdaptiveLimiter(limit=4, adaptive=True, p99=p99,
+                                  target_p99_s=0.1, adjust_every=1)
+        # 0.05 < 0.1 target and saturated: increase
+        limiter.acquire(timeout=0.0)
+        limiter.acquire(timeout=0.0)
+        limiter.acquire(timeout=0.0)
+        limiter.acquire(timeout=0.0)
+        saturate(limiter)
+        limiter.release(0.05)
+        assert limiter.limit == 5
+        # 0.2 > 0.1 target: decrease regardless of history
+        p99.value = 0.2
+        limiter.release(0.2)
+        assert limiter.limit == 3  # int(5 * 0.75)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"limit": 0},
+        {"limit": 4, "min_limit": 5},
+        {"limit": 65, "max_limit": 64},
+        {"decrease": 0.0},
+        {"decrease": 1.0},
+    ])
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            AdaptiveLimiter(**kwargs)

@@ -1,0 +1,273 @@
+"""DRR fair-queue properties: weight proportionality, no starvation,
+per-lane shares, quota refund on cancel (including the race)."""
+
+import threading
+
+import pytest
+
+from repro.qos import FairQueue, RateLimitedError, TenantSpec, TenantTable
+from repro.server.queue import PendingJob, QueueFullError
+
+
+def make_job(job_id, tenant=None):
+    return PendingJob(str(job_id), {"name": str(job_id)}, tenant=tenant)
+
+
+def frozen_clock():
+    return 0.0
+
+
+def drain(queue, limit=10_000):
+    served = []
+    for _ in range(limit):
+        job = queue.get(timeout=0.0)
+        if job is None:
+            break
+        served.append(job)
+    return served
+
+
+class TestLegacyFifo:
+    """No declared tenants: byte-for-byte the old FIFO behavior."""
+
+    def test_fifo_order_preserved(self):
+        queue = FairQueue(capacity=16)
+        jobs = [make_job(i) for i in range(10)]
+        for job in jobs:
+            queue.put_nowait(job)
+        assert drain(queue) == jobs
+
+    def test_single_lane_gets_full_capacity(self):
+        queue = FairQueue(capacity=4)
+        for i in range(4):
+            queue.put_nowait(make_job(i))
+        with pytest.raises(QueueFullError):
+            queue.put_nowait(make_job("overflow"))
+
+
+class TestWeightProportionality:
+    def test_service_matches_weights_within_ten_percent(self):
+        table = TenantTable([
+            TenantSpec(name="heavy", weight=3.0),
+            TenantSpec(name="light", weight=1.0),
+        ])
+        # lane shares are weight-proportional over heavy+light+default
+        # (3+1+1): heavy may hold 48, light 16 — stay inside both
+        queue = FairQueue(capacity=80, tenants=table)
+        for i in range(45):
+            queue.put_nowait(make_job(f"h{i}", tenant="heavy"))
+        for i in range(14):
+            queue.put_nowait(make_job(f"l{i}", tenant="light"))
+        window = 40  # both lanes stay backlogged throughout
+        served = [queue.get(timeout=0.0) for _ in range(window)]
+        heavy = sum(1 for j in served if j.tenant == "heavy")
+        expected = window * 3.0 / 4.0
+        assert abs(heavy - expected) <= 0.10 * expected
+
+    def test_equal_weights_interleave_evenly(self):
+        table = TenantTable([
+            TenantSpec(name="a"), TenantSpec(name="b"),
+        ])
+        queue = FairQueue(capacity=40, tenants=table)
+        for i in range(10):
+            queue.put_nowait(make_job(f"a{i}", tenant="a"))
+            queue.put_nowait(make_job(f"b{i}", tenant="b"))
+        served = [queue.get(timeout=0.0) for _ in range(20)]
+        # every consecutive pair serves both tenants once
+        for i in range(0, 20, 2):
+            assert {served[i].tenant, served[i + 1].tenant} == {"a", "b"}
+
+
+class TestNoStarvation:
+    def test_flooded_lane_cannot_starve_a_light_tenant(self):
+        table = TenantTable([
+            TenantSpec(name="flood", weight=8.0),
+            TenantSpec(name="tiny", weight=1.0),
+        ])
+        queue = FairQueue(capacity=200, tenants=table)
+        for i in range(150):
+            queue.put_nowait(make_job(f"f{i}", tenant="flood"))
+        for i in range(5):
+            queue.put_nowait(make_job(f"t{i}", tenant="tiny"))
+        served = drain(queue)
+        positions = [n for n, job in enumerate(served)
+                     if job.tenant == "tiny"]
+        assert len(positions) == 5
+        # one tiny job per full DRR cycle (8 flood + 1 tiny), so the
+        # k-th tiny job lands near position 9k — never pushed to the
+        # tail by the flood
+        cycle = 9
+        for k, position in enumerate(positions):
+            assert position <= (k + 2) * cycle
+
+    def test_late_arrival_is_scheduled_into_the_rotation(self):
+        table = TenantTable([
+            TenantSpec(name="busy", weight=2.0),
+            TenantSpec(name="late", weight=1.0),
+        ])
+        queue = FairQueue(capacity=64, tenants=table)
+        for i in range(30):
+            queue.put_nowait(make_job(f"b{i}", tenant="busy"))
+        assert queue.get(timeout=0.0).tenant == "busy"
+        queue.put_nowait(make_job("newcomer", tenant="late"))
+        window = [queue.get(timeout=0.0) for _ in range(4)]
+        assert any(job.tenant == "late" for job in window)
+
+
+class TestLaneShares:
+    def test_hot_tenant_cannot_fill_the_whole_queue(self):
+        table = TenantTable([
+            TenantSpec(name="hot", weight=1.0),
+            TenantSpec(name="cold", weight=1.0),
+        ])
+        queue = FairQueue(capacity=12, tenants=table)
+        admitted = 0
+        with pytest.raises(QueueFullError):
+            for i in range(13):
+                queue.put_nowait(make_job(f"h{i}", tenant="hot"))
+                admitted += 1
+        assert admitted < 12
+        # the other tenant still has admission headroom
+        queue.put_nowait(make_job("c0", tenant="cold"))
+
+    def test_global_capacity_still_binds(self):
+        table = TenantTable([TenantSpec(name="a"), TenantSpec(name="b")])
+        # three lanes (a, b, and the undeclared "c" inheriting the
+        # default spec) of share 2 each exactly cover capacity 6
+        queue = FairQueue(capacity=6, tenants=table)
+        for tenant in ("a", "b", "c"):
+            queue.put_nowait(make_job(f"{tenant}0", tenant=tenant))
+            queue.put_nowait(make_job(f"{tenant}1", tenant=tenant))
+        with pytest.raises(QueueFullError, match="queue full"):
+            queue.put_nowait(make_job("x", tenant="a"))
+
+
+class TestRateLimiting:
+    def table(self):
+        return TenantTable([
+            TenantSpec(name="metered", rate=1.0, burst=2.0),
+            TenantSpec(name="open"),
+        ])
+
+    def test_over_rate_is_rejected_with_retry_hint(self):
+        queue = FairQueue(capacity=16, tenants=self.table(),
+                          clock=frozen_clock)
+        queue.put_nowait(make_job(0, tenant="metered"))
+        queue.put_nowait(make_job(1, tenant="metered"))
+        with pytest.raises(RateLimitedError) as excinfo:
+            queue.put_nowait(make_job(2, tenant="metered"))
+        assert excinfo.value.tenant == "metered"
+        assert excinfo.value.retry_after_s == pytest.approx(1.0)
+
+    def test_quota_is_per_tenant(self):
+        queue = FairQueue(capacity=16, tenants=self.table(),
+                          clock=frozen_clock)
+        queue.put_nowait(make_job(0, tenant="metered"))
+        queue.put_nowait(make_job(1, tenant="metered"))
+        with pytest.raises(RateLimitedError):
+            queue.put_nowait(make_job(2, tenant="metered"))
+        # the unlimited tenant can still fill its whole lane share
+        for i in range(5):
+            queue.put_nowait(make_job(f"o{i}", tenant="open"))
+
+    def test_rejected_request_consumes_nothing(self):
+        queue = FairQueue(capacity=2, tenants=self.table(),
+                          clock=frozen_clock)
+        queue.put_nowait(make_job("x", tenant="open"))
+        queue.put_nowait(make_job("y", tenant="other"))
+        # the queue-full check runs before the bucket charge
+        with pytest.raises(QueueFullError):
+            queue.put_nowait(make_job("z", tenant="metered"))
+        assert queue._lanes["metered"].bucket.available() == \
+            pytest.approx(2.0)
+
+
+class TestCancelRefund:
+    def test_cancel_while_queued_refunds_exactly_once(self):
+        table = TenantTable([TenantSpec(name="t", rate=10.0, burst=10.0)])
+        queue = FairQueue(capacity=8, tenants=table, clock=frozen_clock)
+        job = make_job("victim", tenant="t")
+        queue.put_nowait(job)
+        bucket = queue._lanes["t"].bucket
+        assert bucket.available() == pytest.approx(9.0)
+        assert job.cancel()
+        assert bucket.available() == pytest.approx(10.0)
+        # a second cancel is a no-op, not a second refund
+        assert not job.cancel()
+        assert bucket.available() == pytest.approx(10.0)
+        # the dead job is dropped at dispatch, never handed out
+        assert queue.get(timeout=0.0) is None
+
+    def test_dispatched_job_keeps_its_charge(self):
+        table = TenantTable([TenantSpec(name="t", rate=10.0, burst=10.0)])
+        queue = FairQueue(capacity=8, tenants=table, clock=frozen_clock)
+        job = make_job("runner", tenant="t")
+        queue.put_nowait(job)
+        got = queue.get(timeout=0.0)
+        assert got is job and got.start()
+        # cancelling a RUNNING job must not refund
+        job.cancel()
+        assert queue._lanes["t"].bucket.available() == pytest.approx(9.0)
+
+    def test_cancellation_race_never_consumes_tokens(self):
+        """Race a dispatcher (get + start) against cancel() over many
+        jobs on a frozen clock: afterwards the bucket is short exactly
+        one token per job that *ran* — a cancelled-while-queued job
+        never consumes its tenant's quota, no matter who wins."""
+        burst = 512.0
+        table = TenantTable([
+            TenantSpec(name="t", rate=1000.0, burst=burst)])
+        queue = FairQueue(capacity=8, tenants=table, clock=frozen_clock)
+        started = []
+
+        for i in range(300):
+            job = make_job(i, tenant="t")
+            queue.put_nowait(job)
+            barrier = threading.Barrier(2)
+
+            def dispatcher():
+                barrier.wait()
+                # the job is already queued, so timeout=0 never misses
+                # a live job — it only returns None when cancel won
+                got = queue.get(timeout=0.0)
+                if got is not None and got.start():
+                    started.append(got)
+
+            def canceller():
+                barrier.wait()
+                job.cancel()
+
+            threads = [threading.Thread(target=dispatcher),
+                       threading.Thread(target=canceller)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        bucket = queue._lanes["t"].bucket
+        assert bucket.available() == pytest.approx(burst - len(started))
+
+
+class TestLifecycle:
+    def test_close_without_drain_fails_queued_jobs(self):
+        from repro.server import protocol
+
+        queue = FairQueue(capacity=8)
+        jobs = [make_job(i) for i in range(3)]
+        for job in jobs:
+            queue.put_nowait(job)
+        queue.close(drain=False)
+        for job in jobs:
+            assert job.error[0] == protocol.SHUTTING_DOWN
+        assert queue.finished()
+        assert queue.get(timeout=0.0) is None
+
+    def test_depth_by_tenant_and_saturation(self):
+        table = TenantTable([TenantSpec(name="a"), TenantSpec(name="b")])
+        queue = FairQueue(capacity=10, tenants=table)
+        queue.put_nowait(make_job("a0", tenant="a"))
+        queue.put_nowait(make_job("a1", tenant="a"))
+        queue.put_nowait(make_job("b0", tenant="b"))
+        assert queue.depth() == 3
+        assert queue.depth_by_tenant() == {"a": 2, "b": 1}
+        assert queue.saturation() == pytest.approx(0.3)

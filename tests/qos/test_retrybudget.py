@@ -1,0 +1,68 @@
+"""Retry-budget accounting: bounded retry amplification."""
+
+import pytest
+
+from repro.qos import RetryBudget
+
+
+class TestSpend:
+    def test_initial_balance_covers_early_retries(self):
+        budget = RetryBudget(ratio=0.1, initial=3.0)
+        assert budget.try_spend()
+        assert budget.try_spend()
+        assert budget.try_spend()
+        assert not budget.try_spend()
+
+    def test_denials_are_counted(self):
+        budget = RetryBudget(ratio=0.1, initial=0.0)
+        assert budget.denied == 0
+        assert not budget.try_spend()
+        assert not budget.try_spend()
+        assert budget.denied == 2
+
+    def test_partial_credit_cannot_buy_a_retry(self):
+        budget = RetryBudget(ratio=0.1, initial=0.0)
+        for _ in range(9):
+            budget.record_request()
+        assert budget.balance() == pytest.approx(0.9)
+        assert not budget.try_spend()
+
+
+class TestEarn:
+    def test_requests_earn_ratio_credits(self):
+        # 0.25 is exact in binary, so four deposits make exactly 1.0
+        budget = RetryBudget(ratio=0.25, initial=0.0)
+        for _ in range(4):
+            budget.record_request()
+        assert budget.try_spend()
+        assert not budget.try_spend()
+
+    def test_steady_state_amplification_is_bounded_by_ratio(self):
+        budget = RetryBudget(ratio=0.1, initial=0.0)
+        retries = 0
+        for _ in range(1000):
+            budget.record_request()
+            if budget.try_spend():
+                retries += 1
+        # at most ~10% of requests can be retried, ever
+        assert retries <= 100
+
+    def test_balance_caps_at_max(self):
+        budget = RetryBudget(ratio=1.0, initial=0.0, max_balance=5.0)
+        for _ in range(50):
+            budget.record_request()
+        assert budget.balance() == pytest.approx(5.0)
+
+    def test_initial_is_clamped_to_max(self):
+        budget = RetryBudget(initial=500.0, max_balance=20.0)
+        assert budget.balance() == pytest.approx(20.0)
+
+
+class TestValidation:
+    def test_rejects_negative_ratio(self):
+        with pytest.raises(ValueError):
+            RetryBudget(ratio=-0.1)
+
+    def test_rejects_nonpositive_max_balance(self):
+        with pytest.raises(ValueError):
+            RetryBudget(max_balance=0.0)

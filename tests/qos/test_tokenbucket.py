@@ -1,0 +1,91 @@
+"""Token-bucket semantics: lazy refill, retry hints, refunds."""
+
+import pytest
+
+from repro.qos import TokenBucket
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestUnlimited:
+    def test_default_bucket_always_admits(self):
+        bucket = TokenBucket()
+        for _ in range(10_000):
+            assert bucket.try_acquire() == 0.0
+        assert bucket.available() == float("inf")
+
+    def test_refund_on_unlimited_is_a_noop(self):
+        bucket = TokenBucket()
+        bucket.refund()
+        assert bucket.try_acquire() == 0.0
+
+
+class TestRateLimited:
+    def test_burst_then_exact_retry_hint(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=clock)
+        for _ in range(3):
+            assert bucket.try_acquire() == 0.0
+        # empty: one token exists in 1/rate seconds
+        hint = bucket.try_acquire()
+        assert hint == pytest.approx(0.5)
+
+    def test_lazy_refill_from_clock(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0.0
+        clock.advance(0.5)  # earns one token
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0.0
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.available() == pytest.approx(2.0)
+
+    def test_burst_defaults_to_one_second_of_rate(self):
+        assert TokenBucket(rate=8.0).burst == 8.0
+        assert TokenBucket(rate=0.25).burst == 1.0
+
+    def test_refund_restores_a_charge(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0.0
+        bucket.refund()
+        assert bucket.try_acquire() == 0.0
+
+    def test_refund_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        bucket.refund(5.0)
+        assert bucket.available() == pytest.approx(2.0)
+
+    def test_deposit_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        bucket.try_acquire()
+        bucket.deposit(10.0)
+        assert bucket.available() == pytest.approx(3.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"rate": 0}, {"rate": -1.0}, {"rate": 1.0, "burst": 0},
+        {"rate": 1.0, "burst": -2.0},
+    ])
+    def test_rejects_nonpositive_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            TokenBucket(**kwargs)

@@ -56,9 +56,20 @@ class TestClassification:
         # moment: resubmitting would burn another worker's budget.
         # worker_crashed means the input is already quarantined after
         # killing max_crashes workers: resubmitting would kill more.
+        # shed is an explicit overload refusal: blind resubmission is
+        # exactly the traffic the brownout is trying to get rid of.
         assert protocol.RESOURCE_EXHAUSTED not in protocol.RETRYABLE_CODES
         assert protocol.WORKER_CRASHED not in protocol.RETRYABLE_CODES
-        assert protocol.RETRYABLE_CODES == frozenset({protocol.QUEUE_FULL})
+        assert protocol.SHED not in protocol.RETRYABLE_CODES
+        assert protocol.RETRYABLE_CODES == frozenset(
+            {protocol.QUEUE_FULL, protocol.RATE_LIMITED})
+
+    def test_rate_limited_is_retryable_only_with_a_hint(self):
+        bare = ServerError(protocol.RATE_LIMITED, "over quota")
+        assert bare.retryable is False
+        hinted = ServerError(protocol.RATE_LIMITED, "over quota",
+                             data={"retry_after_s": 0.5})
+        assert hinted.retryable is True
 
 
 class TestRetryLoop:

@@ -1,0 +1,158 @@
+"""Admission control over the wire: rate limits, brownout shedding,
+and the qos metrics block, end to end through a live daemon."""
+
+import pytest
+
+from repro.qos import BrownoutController, TenantSpec, TenantTable
+from repro.server import ServerError
+
+from tests.server.test_daemon import CLEAN, client_for, start_server
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def metered_table():
+    # burst 1, one token per 100s: the second request within a test
+    # run is always over quota
+    return TenantTable([
+        TenantSpec(name="metered", rate=0.01, burst=1.0),
+        TenantSpec(name="open"),
+    ])
+
+
+@pytest.fixture
+def metered_server(tmp_path):
+    server = start_server(tmp_path, tenants=metered_table())
+    yield server
+    server.stop()
+
+
+class TestRateLimitedOverTheWire:
+    def test_over_quota_is_a_structured_refusal(self, metered_server):
+        with client_for(metered_server, retries=0) as client:
+            assert client.analyze(source=CLEAN, tenant="metered")["passed"]
+            with pytest.raises(ServerError) as excinfo:
+                client.analyze(source=CLEAN, tenant="metered",
+                               job_id="throttled")
+        err = excinfo.value
+        assert err.name == "rate_limited"
+        assert err.data["tenant"] == "metered"
+        assert err.retry_after_s is not None and err.retry_after_s > 0
+        # hint-gated: with the hint attached the client may retry
+        assert err.retryable
+
+    def test_quota_does_not_leak_across_tenants(self, metered_server):
+        with client_for(metered_server, retries=0) as client:
+            assert client.analyze(source=CLEAN, tenant="metered")["passed"]
+            with pytest.raises(ServerError):
+                client.analyze(source=CLEAN, tenant="metered")
+            # the unlimited tenant and untagged traffic are unaffected
+            assert client.analyze(source=CLEAN, tenant="open")["passed"]
+            assert client.analyze(source=CLEAN)["passed"]
+
+    def test_qos_metrics_account_per_tenant(self, metered_server):
+        with client_for(metered_server, retries=0) as client:
+            client.analyze(source=CLEAN, tenant="metered")
+            with pytest.raises(ServerError):
+                client.analyze(source=CLEAN, tenant="metered")
+            client.analyze(source=CLEAN)
+            qos = client.metrics()["qos"]
+        metered = qos["tenants"]["metered"]
+        assert metered["accepted"] == 1
+        assert metered["completed"] == 1
+        assert metered["rate_limited"] == 1
+        default = qos["tenants"]["default"]
+        assert default["accepted"] == 1
+        # declaring tenants arms the brownout controller; without a
+        # --max-inflight there is no concurrency limiter to report
+        assert qos["brownout"]["level"] == 0
+        assert "concurrency" not in qos
+
+    def test_health_carries_the_qos_summary(self, metered_server):
+        with client_for(metered_server, retries=0) as client:
+            client.analyze(source=CLEAN, tenant="metered")
+            health = client.health()
+        assert health["brownout_level"] == 0
+        assert health["qos"]["tenants"]["metered"]["completed"] == 1
+
+
+def browned_out_controller():
+    """A controller already at level 1, pinned there: its frozen clock
+    means the daemon's low-saturation updates arm the exit timer but
+    the hold never elapses."""
+    clock = FakeClock()
+    controller = BrownoutController(hold_s=1.0, clock=clock)
+    controller.update(0.95)
+    clock.advance(1.0)
+    assert controller.update(0.95) == 1
+    return controller
+
+
+@pytest.fixture
+def shedding_server(tmp_path):
+    table = TenantTable([
+        TenantSpec(name="free", priority="low"),
+        TenantSpec(name="gold", priority="high"),
+    ])
+    server = start_server(tmp_path, tenants=table,
+                          brownout=browned_out_controller())
+    yield server
+    server.stop()
+
+
+class TestShedOverTheWire:
+    def test_low_priority_is_shed_with_a_retry_hint(self, shedding_server):
+        with client_for(shedding_server, retries=0) as client:
+            with pytest.raises(ServerError) as excinfo:
+                client.analyze(source=CLEAN, tenant="free")
+        err = excinfo.value
+        assert err.name == "shed"
+        assert err.data["reason"] == "low_priority"
+        assert err.data["brownout_level"] == 1
+        assert err.retry_after_s is not None and err.retry_after_s > 0
+        # shedding is terminal for the call: blind resubmission would
+        # be more overload traffic
+        assert not err.retryable
+
+    def test_other_tenants_ride_through_level_one(self, shedding_server):
+        with client_for(shedding_server, retries=0) as client:
+            assert client.analyze(source=CLEAN, tenant="gold")["passed"]
+            assert client.analyze(source=CLEAN)["passed"]
+
+    def test_shed_is_counted_and_level_visible(self, shedding_server):
+        with client_for(shedding_server, retries=0) as client:
+            with pytest.raises(ServerError):
+                client.analyze(source=CLEAN, tenant="free")
+            assert client.metrics()["qos"]["tenants"]["free"]["shed"] == 1
+            assert client.health()["brownout_level"] == 1
+
+
+class TestInflightLimiter:
+    def test_fixed_limit_is_reported(self, tmp_path):
+        server = start_server(tmp_path, max_inflight=3)
+        try:
+            with client_for(server) as client:
+                concurrency = client.metrics()["qos"]["concurrency"]
+            assert concurrency["limit"] == 3
+            assert concurrency["adaptive"] is False
+        finally:
+            server.stop()
+
+    def test_auto_mode_adapts(self, tmp_path):
+        server = start_server(tmp_path, max_inflight="auto")
+        try:
+            with client_for(server) as client:
+                concurrency = client.metrics()["qos"]["concurrency"]
+            assert concurrency["adaptive"] is True
+            assert concurrency["limit"] >= 1
+        finally:
+            server.stop()
